@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Array Bechamel Benchmark Common Hi_index Hi_util Hybrid_index Index_intf Instance Key_codec Lazy List Measure Printf Staged Test Time Toolkit

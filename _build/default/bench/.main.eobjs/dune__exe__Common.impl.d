@@ -1,0 +1,1 @@
+bench/common.ml: Array Hi_art Hi_btree Hi_index Hi_masstree Hi_skiplist Hi_util Hybrid_index Index_intf Index_sig Instances Printf String Unix Xorshift Zipf

@@ -1,0 +1,1 @@
+bench/dbms.ml: Anticache Articles Common Engine Hi_hstore Hi_util Hi_workloads List Printf Runner Tpcc Voter

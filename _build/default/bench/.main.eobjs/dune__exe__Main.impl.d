@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Common Dbms List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Array Common Hash_index Hi_btree Hi_index Hi_util Hi_ycsb Histogram Hybrid Hybrid_index Incremental Index_intf Instances Key_codec List Op_counter Printf Unix

@@ -1,0 +1,85 @@
+(* Bechamel microbenchmarks: one [Test.make] per core operation and
+   structure, reporting OLS-estimated nanoseconds per operation. *)
+
+open Bechamel
+open Toolkit
+open Hi_util
+open Hi_index
+open Common
+
+let prepared_keys = lazy (Key_codec.generate_keys Key_codec.Rand_int 100_000)
+
+let point_query_test name (module D : Index_intf.DYNAMIC) =
+  let keys = Lazy.force prepared_keys in
+  let t = D.create () in
+  Array.iteri (fun i k -> D.insert t k i) keys;
+  let probes = zipf_probes keys 4096 3 in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let k = probes.(!i land 4095) in
+         incr i;
+         ignore (D.find t k)))
+
+let static_query_test name (module S : Index_intf.STATIC) =
+  let keys = Lazy.force prepared_keys in
+  let t = S.build (entries_of_keys keys) in
+  let probes = zipf_probes keys 4096 3 in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let k = probes.(!i land 4095) in
+         incr i;
+         ignore (S.find t k)))
+
+let hybrid_query_test name structure =
+  let keys = Lazy.force prepared_keys in
+  let (module I) = hybrid_with ~structure Hybrid_index.Hybrid.default_config in
+  let t = I.create () in
+  Array.iteri (fun i k -> ignore (I.insert_unique t k i)) keys;
+  let probes = zipf_probes keys 4096 3 in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let k = probes.(!i land 4095) in
+         incr i;
+         ignore (I.find t k)))
+
+let insert_test name (module D : Index_intf.DYNAMIC) =
+  let keys = Lazy.force prepared_keys in
+  let t = D.create () in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let k = keys.(!i mod Array.length keys) in
+         incr i;
+         D.insert t k !i))
+
+let tests () =
+  List.concat_map
+    (fun structure ->
+      [
+        point_query_test (structure ^ "/find") (dynamic_of structure);
+        static_query_test ("compact-" ^ structure ^ "/find") (static_of structure);
+        hybrid_query_test ("hybrid-" ^ structure ^ "/find") structure;
+        insert_test (structure ^ "/insert") (dynamic_of structure);
+      ])
+    structures
+
+let run () =
+  section "Bechamel microbenchmarks (ns per operation, OLS estimate)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates result with Some (x :: _) -> x | _ -> nan
+          in
+          Printf.printf "%-28s %12.1f ns/op\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    (tests ())

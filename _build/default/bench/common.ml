@@ -1,0 +1,63 @@
+(* Shared plumbing for the benchmark harness: timing, formatting,
+   key/query generation and index construction helpers. *)
+
+open Hi_util
+open Hi_index
+open Hybrid_index
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mops ops seconds = if seconds <= 0.0 then 0.0 else float_of_int ops /. seconds /. 1.0e6
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let pct part total = if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+let hr () = print_endline (String.make 100 '-')
+
+let section title =
+  print_newline ();
+  print_endline (String.make 100 '=');
+  Printf.printf "%s\n" title;
+  print_endline (String.make 100 '=')
+
+(* Scale factor supplied on the command line: multiplies the default
+   dataset and operation counts of every experiment. *)
+let scale = ref 1.0
+
+let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
+
+let structures = [ "btree"; "masstree"; "skiplist"; "art" ]
+
+let dynamic_of = function
+  | "btree" -> (module Hi_btree.Btree : Index_intf.DYNAMIC)
+  | "masstree" -> (module Hi_masstree.Masstree)
+  | "skiplist" -> (module Hi_skiplist.Skiplist)
+  | "art" -> (module Hi_art.Art)
+  | s -> invalid_arg ("unknown structure " ^ s)
+
+let static_of = function
+  | "btree" -> (module Hi_btree.Compact_btree : Index_intf.STATIC)
+  | "masstree" -> (module Hi_masstree.Compact_masstree)
+  | "skiplist" -> (module Hi_skiplist.Compact_skiplist)
+  | "art" -> (module Hi_art.Compact_art)
+  | "compressed-btree" -> (module Hi_btree.Compressed_btree)
+  | "frontcoded-btree" -> (module Hi_btree.Frontcoded_btree)
+  | s -> invalid_arg ("unknown structure " ^ s)
+
+(* Sorted single-value entries for static-stage builds. *)
+let entries_of_keys keys =
+  let entries = Array.mapi (fun i k -> (k, [| i |])) keys in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+  entries
+
+(* Zipfian probe sequence over the key set. *)
+let zipf_probes keys nops seed =
+  let rng = Xorshift.create seed in
+  let z = Zipf.create ~items:(Array.length keys) rng in
+  Array.init nops (fun _ -> keys.(Zipf.next z))
+
+let hybrid_with ?(structure = "btree") config : Index_sig.index = Instances.hybrid_index ~config structure

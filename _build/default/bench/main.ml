@@ -1,0 +1,64 @@
+(* Benchmark harness entry point.
+
+   Usage:  bench/main.exe [--scale F] [experiment ...]
+
+   Experiments (one per table/figure of the paper — see DESIGN.md §4):
+     table1 table2 table3 table4
+     fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13
+     bechamel        (OLS microbenchmarks of the core operations)
+     all             (everything except bechamel; the default)
+
+   --scale multiplies every dataset/operation count (default 1.0 runs a
+   laptop-scale configuration in a few minutes). *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("table1", Dbms.table1);
+    ("table2", Micro.table2);
+    ("table3", Dbms.table3);
+    ("table4", Dbms.table4);
+    ("fig5", Micro.fig5);
+    ("fig6", Micro.fig6);
+    ("fig7", Micro.fig7);
+    ("fig8", Dbms.fig8);
+    ("fig9", Dbms.fig9);
+    ("fig11", Micro.fig11);
+    ("fig12", Micro.fig12);
+    ("fig13", Micro.fig13);
+    ("ext-merge", Micro.ext_merge);
+    ("ablation", Micro.ablation);
+    ("appendixA", Micro.appendix_a);
+    ("bechamel", Bechamel_suite.run);
+  ]
+
+let all_order =
+  [ "table4"; "table2"; "fig5"; "fig6"; "fig7"; "fig11"; "fig12"; "fig13"; "ext-merge"; "ablation"; "appendixA"; "table1"; "fig8"; "table3"; "fig9" ]
+
+let usage () =
+  Printf.printf "usage: %s [--scale F] [%s|all]...\n" Sys.argv.(0)
+    (String.concat "|" (List.map fst experiments));
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--scale" :: v :: rest ->
+      (try Common.scale := float_of_string v with _ -> usage ());
+      parse acc rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | name :: rest ->
+      if name = "all" || List.mem_assoc name experiments then parse (name :: acc) rest else usage ()
+  in
+  let selected = match parse [] args with [] -> [ "all" ] | l -> l in
+  let selected = List.concat_map (fun n -> if n = "all" then all_order else [ n ]) selected in
+  Printf.printf "Hybrid Indexes benchmark harness (scale %.2f)\n" !Common.scale;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let f = List.assoc name experiments in
+      let t1 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "\n[%s completed in %.1f s]\n%!" name (Unix.gettimeofday () -. t1))
+    selected;
+  Printf.printf "\nTotal: %.1f s\n" (Unix.gettimeofday () -. t0)

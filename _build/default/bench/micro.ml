@@ -1,0 +1,357 @@
+(* Microbenchmark experiments (paper §6 and appendices C–E).
+
+   Each function regenerates one table or figure of the paper, printing the
+   same rows/series the paper reports.  Dataset sizes default to a
+   laptop-scale fraction of the paper's 50 M keys and scale with
+   [Common.scale]; EXPERIMENTS.md records paper-vs-measured shapes. *)
+
+open Hi_util
+open Hi_index
+open Hybrid_index
+open Common
+
+let default_keys = 200_000
+let default_ops = 200_000
+
+(* --- Fig 5: Compaction & Compression evaluation --- *)
+
+let read_throughput_dynamic (module D : Index_intf.DYNAMIC) keys probes =
+  let t = D.create () in
+  Array.iteri (fun i k -> D.insert t k i) keys;
+  let (), secs = time (fun () -> Array.iter (fun k -> ignore (D.find t k)) probes) in
+  (mops (Array.length probes) secs, D.memory_bytes t)
+
+let read_throughput_static (module S : Index_intf.STATIC) keys probes =
+  let t = S.build (entries_of_keys keys) in
+  let (), secs = time (fun () -> Array.iter (fun k -> ignore (S.find t k)) probes) in
+  (mops (Array.length probes) secs, S.memory_bytes t)
+
+let fig5 () =
+  section "Figure 5: Compaction & Compression — read throughput (Mops/s) and memory (MB)";
+  let n = scaled default_keys and q = scaled default_ops in
+  Printf.printf "%d keys, %d zipfian point queries per cell\n" n q;
+  Printf.printf "%-12s %-10s | %10s %10s | %10s %10s | %10s\n" "structure" "keys" "orig Mops"
+    "orig MB" "cmpct Mops" "cmpct MB" "ratio";
+  hr ();
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun kt ->
+          let keys = Key_codec.generate_keys kt n in
+          let probes = zipf_probes keys q 99 in
+          let d_tput, d_mem = read_throughput_dynamic (dynamic_of structure) keys probes in
+          let s_tput, s_mem = read_throughput_static (static_of structure) keys probes in
+          Printf.printf "%-12s %-10s | %10.2f %10.1f | %10.2f %10.1f | %9.0f%%\n" structure
+            (Key_codec.key_type_name kt) d_tput (mb d_mem) s_tput (mb s_mem)
+            (100.0 *. float_of_int s_mem /. float_of_int (max 1 d_mem)))
+        Key_codec.all_key_types)
+    structures;
+  hr ();
+  print_endline "Compressed B+tree (Compression rule, §4.4) and front-coded B+tree (§9 direction):";
+  List.iter
+    (fun kt ->
+      let keys = Key_codec.generate_keys kt n in
+      let probes = zipf_probes keys q 99 in
+      let z_tput, z_mem = read_throughput_static (static_of "compressed-btree") keys probes in
+      let f_tput, f_mem = read_throughput_static (static_of "frontcoded-btree") keys probes in
+      Printf.printf "%-12s %-10s | %10s %10s | %10.2f %10.1f |\n" "z-btree"
+        (Key_codec.key_type_name kt) "" "" z_tput (mb z_mem);
+      Printf.printf "%-12s %-10s | %10s %10s | %10.2f %10.1f |\n" "fc-btree"
+        (Key_codec.key_type_name kt) "" "" f_tput (mb f_mem))
+    Key_codec.all_key_types
+
+(* --- Table 2: point-query profiling proxy --- *)
+
+let table2 () =
+  section "Table 2: point-query profiling (deterministic proxies for PAPI counters)";
+  let n = scaled default_keys and q = scaled default_ops in
+  Printf.printf "%d point queries of random 64-bit integer keys over %d keys\n" q n;
+  Printf.printf "%-10s | %14s %14s %14s %14s\n" "structure" "instrs(model)" "comparisons"
+    "ptr derefs" "cache lines";
+  hr ();
+  let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+  let probes = zipf_probes keys q 7 in
+  List.iter
+    (fun structure ->
+      let (module D) = dynamic_of structure in
+      let t = D.create () in
+      Array.iteri (fun i k -> D.insert t k i) keys;
+      Op_counter.reset ();
+      let s0 = Op_counter.snapshot () in
+      Array.iter (fun k -> ignore (D.find t k)) probes;
+      let d = Op_counter.diff s0 (Op_counter.snapshot ()) in
+      Printf.printf "%-10s | %14d %14d %14d %14d\n" structure (Op_counter.instructions d)
+        d.Op_counter.key_comparisons d.Op_counter.pointer_derefs (Op_counter.cache_lines_touched d))
+    structures
+
+(* --- Fig 6: merge overhead --- *)
+
+let fig6 () =
+  section "Figure 6: merge time vs static-stage size (insert-only, merge ratio 10)";
+  let n = scaled (default_keys * 4) in
+  List.iter
+    (fun structure ->
+      Printf.printf "\n[%s]\n" structure;
+      Printf.printf "%-10s | %12s %12s\n" "keys" "static MB" "merge ms";
+      List.iter
+        (fun kt ->
+          let module H = (val match structure with
+                              | "btree" -> (module Instances.Hybrid_btree : Hybrid.S)
+                              | "masstree" -> (module Instances.Hybrid_masstree)
+                              | "skiplist" -> (module Instances.Hybrid_skiplist)
+                              | "art" -> (module Instances.Hybrid_art)
+                              | s -> invalid_arg s)
+          in
+          let t = H.create ~config:{ Hybrid.default_config with min_merge_size = 4096 } () in
+          let keys = Key_codec.generate_keys kt n in
+          Array.iteri (fun i k -> ignore (H.insert_unique t k i)) keys;
+          List.iter
+            (fun (static_bytes, secs) ->
+              Printf.printf "%-10s | %12.1f %12.2f\n" (Key_codec.key_type_name kt) (mb static_bytes)
+                (secs *. 1000.0))
+            (H.merge_log t))
+        Key_codec.all_key_types)
+    structures
+
+(* --- Fig 7: hybrid vs original, primary indexes --- *)
+
+let ycsb_spec workload kt n ops =
+  { Hi_ycsb.Ycsb.default_spec with workload; key_type = kt; num_keys = n; num_ops = ops }
+
+let run_cell index spec = Hi_ycsb.Ycsb.run index spec
+
+let fig7 () =
+  section "Figure 7: hybrid vs original (primary indexes) — throughput (Mops/s) and memory (MB)";
+  let n = scaled default_keys and ops = scaled (default_ops / 2) in
+  Printf.printf "%d keys loaded, %d operations per workload cell\n" n ops;
+  List.iter
+    (fun structure ->
+      Printf.printf "\n[%s]\n" structure;
+      Printf.printf "%-10s | %-12s | %12s %12s | %12s %12s\n" "keys" "workload" "orig Mops"
+        "hybrid Mops" "orig MB" "hybrid MB";
+      hr ();
+      List.iter
+        (fun kt ->
+          List.iter
+            (fun workload ->
+              let spec = ycsb_spec workload kt n ops in
+              let orig = run_cell (List.assoc structure Instances.original_indexes) spec in
+              let hyb = run_cell (hybrid_with ~structure Hybrid.default_config) spec in
+              Printf.printf "%-10s | %-12s | %12.2f %12.2f | %12.1f %12.1f\n"
+                (Key_codec.key_type_name kt)
+                (Hi_ycsb.Ycsb.workload_name workload)
+                orig.Hi_ycsb.Ycsb.run_mops hyb.Hi_ycsb.Ycsb.run_mops
+                (mb orig.Hi_ycsb.Ycsb.memory_bytes) (mb hyb.Hi_ycsb.Ycsb.memory_bytes))
+            Hi_ycsb.Ycsb.all_workloads)
+        Key_codec.all_key_types)
+    structures;
+  (* hybrid-compressed B+tree column of Fig 7 *)
+  Printf.printf "\n[btree: hybrid-compressed]\n";
+  List.iter
+    (fun kt ->
+      List.iter
+        (fun workload ->
+          let spec = ycsb_spec workload kt n ops in
+          let hc = run_cell (hybrid_with ~structure:"compressed-btree" Hybrid.default_config) spec in
+          Printf.printf "%-10s | %-12s | %12s %12.2f | %12s %12.1f\n"
+            (Key_codec.key_type_name kt)
+            (Hi_ycsb.Ycsb.workload_name workload)
+            "" hc.Hi_ycsb.Ycsb.run_mops "" (mb hc.Hi_ycsb.Ycsb.memory_bytes))
+        Hi_ycsb.Ycsb.all_workloads)
+    Key_codec.all_key_types
+
+(* --- Fig 11 (Appendix C): merge-ratio sensitivity --- *)
+
+let fig11 () =
+  section "Figure 11 (App C): merge-ratio sensitivity (hybrid B+tree, 64-bit random int)";
+  let n = scaled default_keys and ops = scaled default_ops in
+  Printf.printf "%-8s | %14s %14s\n" "ratio" "insert Mops" "read Mops";
+  hr ();
+  List.iter
+    (fun ratio ->
+      let config = { Hybrid.default_config with trigger = Hybrid.Ratio ratio } in
+      let (module I) = hybrid_with config in
+      (* extra keys fill the dynamic stage to ~50% before the read phase,
+         as in the paper's methodology (App C) *)
+      let extra = max 1 (n / (2 * ratio)) in
+      let keys = Key_codec.generate_keys Key_codec.Rand_int (n + extra) in
+      let t = I.create () in
+      let (), ins_secs =
+        time (fun () ->
+            for i = 0 to n - 1 do
+              ignore (I.insert_unique t keys.(i) i)
+            done)
+      in
+      I.flush t;
+      for i = n to n + extra - 1 do
+        ignore (I.insert_unique t keys.(i) i)
+      done;
+      let probes = zipf_probes (Array.sub keys 0 n) ops 5 in
+      let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+      Printf.printf "%-8d | %14.2f %14.2f\n" ratio (mops n ins_secs) (mops ops read_secs))
+    [ 1; 5; 10; 20; 40; 60; 80; 100 ]
+
+(* --- Fig 12 (Appendix D): auxiliary structures ablation --- *)
+
+let fig12 () =
+  section "Figure 12 (App D): Bloom filter and node cache ablation (B+tree, 64-bit random int)";
+  let n = scaled default_keys and ops = scaled (default_ops / 2) in
+  let variants =
+    [
+      ("hybrid", "btree", { Hybrid.default_config with use_bloom = false }, None);
+      ("hybrid + bloom", "btree", Hybrid.default_config, None);
+      ("hyb-compressed", "compressed-btree", { Hybrid.default_config with use_bloom = false }, Some 1);
+      ("hyb-comp + bloom", "compressed-btree", Hybrid.default_config, Some 1);
+      ( "hyb-comp + cache",
+        "compressed-btree",
+        { Hybrid.default_config with use_bloom = false },
+        Some 0 (* adaptive default *) );
+      ( "hyb-comp + bloom + cache",
+        "compressed-btree",
+        Hybrid.default_config,
+        Some 0 );
+    ]
+  in
+  Printf.printf "%-26s |" "variant";
+  List.iter (fun w -> Printf.printf " %12s" (Hi_ycsb.Ycsb.workload_name w)) Hi_ycsb.Ycsb.all_workloads;
+  print_newline ();
+  hr ();
+  List.iter
+    (fun (label, structure, config, cache) ->
+      (match cache with Some c -> Hi_btree.Compressed_btree.set_cache_pages c | None -> ());
+      Printf.printf "%-26s |" label;
+      List.iter
+        (fun workload ->
+          let spec = ycsb_spec workload Key_codec.Rand_int n ops in
+          let r = run_cell (hybrid_with ~structure config) spec in
+          Printf.printf " %12.2f" r.Hi_ycsb.Ycsb.run_mops)
+        Hi_ycsb.Ycsb.all_workloads;
+      print_newline ())
+    variants;
+  Hi_btree.Compressed_btree.set_cache_pages 0;
+  print_endline "(Mops/s per YCSB workload; bloom accelerates reads, node cache accelerates compressed reads)"
+
+(* --- Fig 13 (Appendix E): secondary indexes --- *)
+
+let fig13 () =
+  section "Figure 13 (App E): secondary indexes (B+tree, 10 values per key)";
+  let n = scaled (default_keys / 2) and ops = scaled (default_ops / 2) in
+  let secondary_config = { Hybrid.default_config with kind = Hybrid.Secondary } in
+  Printf.printf "%-12s | %12s %12s\n" "workload" "btree Mops" "hybrid Mops";
+  hr ();
+  List.iter
+    (fun workload ->
+      let spec =
+        { (ycsb_spec workload Key_codec.Rand_int n ops) with values_per_key = 10 }
+      in
+      let orig = Hi_ycsb.Ycsb.run ~primary:false (module Instances.Btree_index) spec in
+      let hyb = Hi_ycsb.Ycsb.run ~primary:false (hybrid_with secondary_config) spec in
+      Printf.printf "%-12s | %12.2f %12.2f\n"
+        (Hi_ycsb.Ycsb.workload_name workload)
+        orig.Hi_ycsb.Ycsb.run_mops hyb.Hi_ycsb.Ycsb.run_mops)
+    Hi_ycsb.Ycsb.all_workloads;
+  Printf.printf "\n%-12s | %12s %12s\n" "keys" "btree MB" "hybrid MB";
+  hr ();
+  List.iter
+    (fun kt ->
+      let spec = { (ycsb_spec Hi_ycsb.Ycsb.Insert_only kt n 0) with values_per_key = 10 } in
+      let orig = Hi_ycsb.Ycsb.run ~primary:false (module Instances.Btree_index) spec in
+      let hyb = Hi_ycsb.Ycsb.run ~primary:false (hybrid_with secondary_config) spec in
+      Printf.printf "%-12s | %12.1f %12.1f\n" (Key_codec.key_type_name kt)
+        (mb orig.Hi_ycsb.Ycsb.memory_bytes) (mb hyb.Hi_ycsb.Ycsb.memory_bytes))
+    Key_codec.all_key_types
+
+(* --- Extension (paper §9): blocking vs incremental merge tail latency --- *)
+
+let ext_merge () =
+  section "Extension (§9): blocking vs incremental merge — per-operation latency (insert-only)";
+  let n = scaled (default_keys * 2) in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+  let percentile_run label insert =
+    let h = Histogram.create () in
+    Array.iteri
+      (fun i k ->
+        let t0 = Unix.gettimeofday () in
+        insert k i;
+        Histogram.record h (Unix.gettimeofday () -. t0))
+      keys;
+    let us p = Histogram.percentile h p *. 1e6 in
+    Printf.printf "%-22s | %10.2f %10.2f %12.2f\n" label (us 50.0) (us 99.0) (us 100.0)
+  in
+  Printf.printf "%d inserts, merge ratio 10\n" n;
+  Printf.printf "%-22s | %10s %10s %12s\n" "variant" "p50 (us)" "p99 (us)" "MAX (us)";
+  hr ();
+  let module B = Instances.Hybrid_btree in
+  let blocking = B.create () in
+  percentile_run "hybrid (blocking)" (fun k v -> ignore (B.insert_unique blocking k v));
+  let module I = Incremental.Incremental_btree in
+  List.iter
+    (fun step ->
+      let t = I.create ~config:{ Incremental.default_config with step } () in
+      percentile_run (Printf.sprintf "incremental step=%d" step) (fun k v -> ignore (I.insert_unique t k v)))
+    [ 64; 256; 1024 ];
+  print_endline "(the incremental merge bounds the MAX pause at a small p50/p99 premium)"
+
+(* --- Ablation: merge strategies and triggers (DESIGN.md §5) --- *)
+
+let ablation () =
+  section "Ablation: merge strategy (merge-all vs merge-cold) and trigger (ratio vs constant)";
+  let n = scaled default_keys and ops = scaled default_ops in
+  let run_variant label config =
+    let (module I) = hybrid_with config in
+    let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+    let t = I.create () in
+    let (), ins_secs = time (fun () -> Array.iteri (fun i k -> ignore (I.insert_unique t k i)) keys) in
+    let probes = zipf_probes keys ops 5 in
+    let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+    Printf.printf "%-34s | %12.2f %12.2f | %10.1f\n" label (mops n ins_secs) (mops ops read_secs)
+      (mb (I.memory_bytes t))
+  in
+  Printf.printf "%-34s | %12s %12s | %10s\n" "variant" "insert Mops" "read Mops" "MB";
+  hr ();
+  run_variant "merge-all + ratio 10 (default)" Hybrid.default_config;
+  run_variant "merge-cold + ratio 10" { Hybrid.default_config with strategy = Hybrid.Merge_cold };
+  run_variant "merge-all + constant 16k" { Hybrid.default_config with trigger = Hybrid.Constant 16_384 };
+  run_variant "merge-all + constant 64k" { Hybrid.default_config with trigger = Hybrid.Constant 65_536 };
+  run_variant "no bloom filter" { Hybrid.default_config with use_bloom = false };
+  run_variant "bloom fpr 0.1%" { Hybrid.default_config with bloom_fpr = 0.001 };
+  let run_structure label structure =
+    let (module I) = hybrid_with ~structure Hybrid.default_config in
+    let keys = Key_codec.generate_keys Key_codec.Email n in
+    let t = I.create () in
+    let (), ins_secs = time (fun () -> Array.iteri (fun i k -> ignore (I.insert_unique t k i)) keys) in
+    let probes = zipf_probes keys ops 5 in
+    let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+    Printf.printf "%-34s | %12.2f %12.2f | %10.1f\n" label (mops n ins_secs) (mops ops read_secs)
+      (mb (I.memory_bytes t))
+  in
+  Printf.printf "\nStatic-stage spectrum on email keys (compact / front-coded / compressed):\n";
+  run_structure "hybrid compact (default)" "btree";
+  run_structure "hybrid front-coded (§9)" "frontcoded-btree";
+  run_structure "hybrid compressed (§4.4)" "compressed-btree";
+  print_endline
+    "(merge-cold trades insert throughput for hot-key reads; constant triggers over-merge as the\n\
+    \ index grows — the paper's §5.2 arguments, measured)"
+
+(* --- Appendix A: why order-preserving structures are the default --- *)
+
+let appendix_a () =
+  section "Appendix A: hash index vs order-preserving structures (point lookups; hash has no scans)";
+  let n = scaled default_keys and q = scaled default_ops in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+  let probes = zipf_probes keys q 21 in
+  Printf.printf "%-10s | %12s %12s | %s\n" "structure" "find Mops" "MB" "range queries";
+  hr ();
+  let t = Hash_index.create () in
+  Array.iteri (fun i k -> Hash_index.insert t k i) keys;
+  let (), secs = time (fun () -> Array.iter (fun k -> ignore (Hash_index.find t k)) probes) in
+  Printf.printf "%-10s | %12.2f %12.1f | %s\n" "hash" (mops q secs) (mb (Hash_index.memory_bytes t))
+    "unsupported";
+  List.iter
+    (fun structure ->
+      let tput, mem = read_throughput_dynamic (dynamic_of structure) keys probes in
+      Printf.printf "%-10s | %12.2f %12.1f | %s\n" structure tput (mb mem) "yes")
+    structures;
+  print_endline
+    "(hash indexes win point lookups but cannot serve range scans, which is why every DBMS in\n\
+    \ Table 4 defaults to an order-preserving structure — the ones hybrid indexes shrink)"

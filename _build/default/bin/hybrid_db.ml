@@ -1,0 +1,106 @@
+(* hybrid_db: run one OLTP benchmark on the H-Store-style engine from the
+   command line.
+
+     dune exec bin/hybrid_db.exe -- --benchmark tpcc --index hybrid --txns 20000
+     dune exec bin/hybrid_db.exe -- --benchmark voter --anticache-mb 2 *)
+
+open Cmdliner
+open Hi_hstore
+open Hi_workloads
+
+let run benchmark index_kind txns anticache_mb merge_ratio sample_every =
+  let index_kind =
+    match index_kind with
+    | "btree" -> Engine.Btree_config
+    | "hybrid" -> Engine.Hybrid_config
+    | "hybrid-compressed" -> Engine.Hybrid_compressed_config
+    | other -> failwith ("unknown index kind: " ^ other)
+  in
+  let evictable =
+    match benchmark with
+    | "tpcc" -> [ "history"; "order_line"; "orders" ]
+    | "voter" -> [ "votes" ]
+    | "articles" -> [ "comments"; "articles" ]
+    | other -> failwith ("unknown benchmark: " ^ other)
+  in
+  let config =
+    {
+      Engine.default_config with
+      index_kind;
+      merge_ratio;
+      eviction_threshold_bytes = Option.map (fun mbs -> mbs * 1024 * 1024) anticache_mb;
+      evictable_tables = (if anticache_mb = None then [] else evictable);
+    }
+  in
+  let engine = Engine.create ~config () in
+  Printf.printf "loading %s ...\n%!" benchmark;
+  let transaction =
+    match benchmark with
+    | "tpcc" ->
+      let st = Tpcc.setup engine in
+      fun e -> ignore (Tpcc.transaction st e)
+    | "voter" ->
+      let st = Voter.setup engine in
+      fun e -> ignore (Voter.transaction st e)
+    | "articles" ->
+      let st = Articles.setup engine in
+      fun e -> ignore (Articles.transaction st e)
+    | _ -> assert false
+  in
+  let m0 = Engine.memory_breakdown engine in
+  Printf.printf "loaded: %.1f MB in memory\n%!"
+    (float_of_int (Engine.total_in_memory m0) /. 1048576.0);
+  Printf.printf "running %d transactions with %s indexes ...\n%!" txns
+    (Engine.index_kind_name index_kind);
+  let r = Runner.run engine ~transaction:(fun e -> transaction e) ~num_txns:txns ~sample_every () in
+  let mb b = float_of_int b /. 1048576.0 in
+  Printf.printf "\nthroughput: %.1f txn/s (%d committed, %d aborted, %d eviction restarts)\n"
+    r.Runner.tps r.Runner.committed r.Runner.user_aborts r.Runner.evicted_restarts;
+  let ms p = 1000.0 *. Hi_util.Histogram.percentile r.Runner.latency p in
+  Printf.printf "latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n" (ms 50.0) (ms 99.0) (ms 100.0);
+  let m = r.Runner.memory in
+  Printf.printf "memory: %.1f MB tuples, %.1f MB primary idx, %.1f MB secondary idx"
+    (mb m.Engine.tuple_bytes) (mb m.Engine.pk_index_bytes) (mb m.Engine.secondary_index_bytes);
+  if m.Engine.anticache_disk_bytes > 0 then
+    Printf.printf ", %.1f MB anti-cached on disk" (mb m.Engine.anticache_disk_bytes);
+  print_newline ();
+  if sample_every > 0 then begin
+    Printf.printf "\n%-10s %12s %12s %12s\n" "txns" "window tps" "in-mem MB" "disk MB";
+    List.iter
+      (fun (s : Runner.sample) ->
+        Printf.printf "%-10d %12.0f %12.1f %12.1f\n" s.Runner.at_txn s.Runner.window_tps
+          (mb (Engine.total_in_memory s.Runner.memory))
+          (mb s.Runner.memory.Engine.anticache_disk_bytes))
+      r.Runner.samples
+  end
+
+let benchmark =
+  Arg.(value & opt string "tpcc" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark: tpcc, voter or articles.")
+
+let index_kind =
+  Arg.(
+    value
+    & opt string "hybrid"
+    & info [ "i"; "index" ] ~docv:"KIND" ~doc:"Index configuration: btree, hybrid or hybrid-compressed.")
+
+let txns = Arg.(value & opt int 20_000 & info [ "t"; "txns" ] ~docv:"N" ~doc:"Transactions to run.")
+
+let anticache_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "anticache-mb" ] ~docv:"MB" ~doc:"Enable anti-caching with this eviction threshold.")
+
+let merge_ratio =
+  Arg.(value & opt int 10 & info [ "merge-ratio" ] ~docv:"R" ~doc:"Hybrid-index merge ratio (paper App C).")
+
+let sample_every =
+  Arg.(value & opt int 0 & info [ "sample-every" ] ~docv:"N" ~doc:"Print a throughput/memory sample every N transactions.")
+
+let cmd =
+  let doc = "run an OLTP benchmark on the hybrid-index main-memory engine" in
+  Cmd.v
+    (Cmd.info "hybrid_db" ~doc)
+    Term.(const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every)
+
+let () = exit (Cmd.eval cmd)

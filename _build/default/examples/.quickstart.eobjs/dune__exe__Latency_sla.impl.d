@@ -1,0 +1,1 @@
+examples/latency_sla.ml: Array Gc Hi_util Histogram Hybrid_index Incremental Instances Key_codec List Printf Unix

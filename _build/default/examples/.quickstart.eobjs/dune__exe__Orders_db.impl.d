@@ -1,0 +1,1 @@
+examples/orders_db.ml: Array Engine Hi_hstore Hi_util List Printf Schema Table Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hi_btree Hi_util Hybrid Hybrid_index Instances List Printf String

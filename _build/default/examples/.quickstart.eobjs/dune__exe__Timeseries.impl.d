@@ -1,0 +1,1 @@
+examples/timeseries.ml: Bytes Hi_art Hi_util Hybrid Hybrid_index Instances Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/ycsb_demo.ml: Hi_util Hi_ycsb Hybrid_index Instances List Printf String Ycsb

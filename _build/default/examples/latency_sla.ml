@@ -1,0 +1,53 @@
+(* Tail-latency-sensitive ingestion with the incremental merge (the §9
+   future-work extension): compare per-operation latency percentiles of the
+   blocking hybrid index against the bounded-pause variant.
+
+   Run with:  dune exec examples/latency_sla.exe *)
+
+open Hi_util
+open Hybrid_index
+
+let n = 400_000
+
+let measure label insert =
+  let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+  Gc.compact ();
+  let h = Histogram.create () in
+  Array.iteri
+    (fun i k ->
+      let t0 = Unix.gettimeofday () in
+      insert k i;
+      Histogram.record h (Unix.gettimeofday () -. t0))
+    keys;
+  let us p = 1e6 *. Histogram.percentile h p in
+  Printf.printf "%-28s p50 %6.2f us   p99 %7.2f us   MAX %10.0f us\n%!" label (us 50.0) (us 99.0)
+    (us 100.0)
+
+let () =
+  Printf.printf "Ingesting %d keys through a hybrid B+tree (merge ratio 10):\n\n" n;
+
+  (* the paper's blocking merge: every query pauses while the static stage
+     is rebuilt, which shows up as the MAX latency (Table 3) *)
+  let module B = Instances.Hybrid_btree in
+  let blocking = B.create () in
+  measure "blocking merge (paper §5)" (fun k v -> ignore (B.insert_unique blocking k v));
+
+  (* the incremental merge spreads that work: each operation advances the
+     merge by at most [step] entries *)
+  let module I = Incremental.Incremental_btree in
+  List.iter
+    (fun step ->
+      let t = I.create ~config:{ Incremental.default_config with step } () in
+      measure (Printf.sprintf "incremental, step %4d" step) (fun k v -> ignore (I.insert_unique t k v));
+      let s = I.stats t in
+      Printf.printf "%-28s (%d merges, peak %d entries of merge work in one op)\n" ""
+        s.Incremental.merges_completed s.Incremental.max_entries_per_op)
+    [ 1024; 8192 ];
+
+  print_newline ();
+  print_endline "The blocking variant's MAX is one full merge; the incremental variant";
+  print_endline "bounds per-operation merge work, trading a small p99 premium for a much";
+  print_endline "smaller worst case — the trade-off the paper's §9 calls for.  The";
+  print_endline "residual spike is the freeze + final-build step (and GC); making those";
+  print_endline "incremental as well is the remaining engineering gap to a fully";
+  print_endline "non-blocking merge."

@@ -1,0 +1,79 @@
+(* A miniature order-processing database on the H-Store-style engine with
+   hybrid indexes: schemas, stored procedures, transactional execution and
+   the memory-breakdown API.
+
+   Run with:  dune exec examples/orders_db.exe *)
+
+open Hi_hstore
+open Value
+
+let customers_schema =
+  Schema.make ~name:"customers"
+    ~columns:[ ("c_id", TInt); ("c_name", TStr 24); ("c_balance", TInt) ]
+    ~pk:[ "c_id" ] ()
+
+let orders_schema =
+  Schema.make ~name:"orders"
+    ~columns:[ ("o_id", TInt); ("o_c_id", TInt); ("o_amount", TInt); ("o_status", TStr 8) ]
+    ~pk:[ "o_id" ]
+    ~secondary:[ ("orders_by_customer", [ "o_c_id"; "o_id" ], false) ]
+    ()
+
+let () =
+  (* every table in this engine uses hybrid B+tree indexes *)
+  let engine =
+    Engine.create ~config:{ Engine.default_config with index_kind = Engine.Hybrid_config } ()
+  in
+  let customers = Engine.create_table engine customers_schema in
+  let orders = Engine.create_table engine orders_schema in
+
+  for c = 1 to 10_000 do
+    ignore (Table.insert customers [| Int c; Str (Printf.sprintf "customer-%d" c); Int 1_000 |])
+  done;
+
+  (* A stored procedure: place an order and debit the customer, atomically.
+     Raising Engine.Abort rolls back every change. *)
+  let place_order ~order_id ~customer_id ~amount engine =
+    match Table.find_by_pk customers [ Int customer_id ] with
+    | None -> raise (Engine.Abort "no such customer")
+    | Some c_rowid ->
+      let row = Engine.read engine customers c_rowid in
+      let balance = as_int row.(2) in
+      if balance < amount then raise (Engine.Abort "insufficient balance");
+      Engine.update engine customers c_rowid [ (2, Int (balance - amount)) ];
+      ignore (Engine.insert engine orders [| Int order_id; Int customer_id; Int amount; Str "open" |]);
+      order_id
+  in
+
+  let placed = ref 0 and rejected = ref 0 in
+  let rng = Hi_util.Xorshift.create 1 in
+  for o = 1 to 50_000 do
+    let customer_id = 1 + Hi_util.Xorshift.int rng 10_000 in
+    let amount = 1 + Hi_util.Xorshift.int rng 400 in
+    match Engine.run engine (place_order ~order_id:o ~customer_id ~amount) with
+    | Ok _ -> incr placed
+    | Error _ -> incr rejected
+  done;
+  Printf.printf "placed %d orders, rejected %d (insufficient balance)\n" !placed !rejected;
+
+  (* look up one customer's orders through the secondary index *)
+  let some_orders = Table.scan_index_prefix_eq orders "orders_by_customer" ~prefix:[ Int 42 ] ~limit:10 in
+  Printf.printf "customer 42 has %d orders\n" (List.length some_orders);
+
+  (* conservation: money only moved from balances into orders *)
+  let total_balance = ref 0 in
+  List.iter
+    (fun rowid -> total_balance := !total_balance + as_int (Table.read customers rowid).(2))
+    (Table.scan_index customers "customers_pk" ~prefix:[] ~limit:max_int);
+  let total_orders = ref 0 in
+  List.iter
+    (fun rowid -> total_orders := !total_orders + as_int (Table.read orders rowid).(2))
+    (Table.scan_index orders "orders_pk" ~prefix:[] ~limit:max_int);
+  Printf.printf "conservation check: balances %d + orders %d = %d (expected %d)\n" !total_balance
+    !total_orders (!total_balance + !total_orders) (10_000 * 1_000);
+
+  let m = Engine.memory_breakdown engine in
+  Printf.printf "memory: %.2f MB tuples, %.2f MB primary indexes, %.2f MB secondary indexes\n"
+    (float_of_int m.Engine.tuple_bytes /. 1048576.0)
+    (float_of_int m.Engine.pk_index_bytes /. 1048576.0)
+    (float_of_int m.Engine.secondary_index_bytes /. 1048576.0)

@@ -1,0 +1,65 @@
+(* Quickstart: the hybrid index as a standalone ordered key-value map.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Hybrid_index
+
+(* A hybrid B+tree: dynamic-stage STX-style B+tree in front of a compact,
+   read-only static stage, with a Bloom filter and ratio-10 merges. *)
+module H = Instances.Hybrid_btree
+
+let () =
+  let index = H.create () in
+
+  (* Keys are order-preserving byte strings; Key_codec encodes 64-bit ints
+     big-endian so integer order equals byte order. *)
+  let key i = Hi_util.Key_codec.encode_int i in
+
+  (* Insert a million entries: they accumulate in the small dynamic stage
+     and migrate to the compact static stage at every ratio trigger. *)
+  for i = 0 to 999_999 do
+    let inserted = H.insert_unique index (key i) (i * 10) in
+    assert inserted
+  done;
+
+  (* Point lookups check the Bloom filter, then at most both stages. *)
+  (match H.find index (key 123_456) with
+  | Some v -> Printf.printf "found key 123456 -> %d\n" v
+  | None -> assert false);
+
+  (* Primary-index updates of merged (static) entries are buffered in the
+     dynamic stage and win over the stale static value. *)
+  assert (H.update index (key 123_456) 42);
+  assert (H.find index (key 123_456) = Some 42);
+
+  (* Range scans merge both stages in key order. *)
+  let window = H.scan_from index (key 500_000) 5 in
+  Printf.printf "scan from 500000: %s\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%d->%d" (Hi_util.Key_codec.decode_int k) v) window));
+
+  (* Deletes tombstone static entries until the next merge collects them. *)
+  assert (H.delete index (key 0));
+  assert (H.find index (key 0) = None);
+
+  (* Where did the memory go?  The static stage holds the bulk of the keys
+     in the compact layout. *)
+  let s = H.stats index in
+  Printf.printf "entries: %d dynamic / %d static after %d merges\n"
+    (H.dynamic_entry_count index) (H.static_entry_count index) s.Hybrid.merges;
+  Printf.printf "memory:  %.1f MB dynamic, %.1f MB static, %.1f KB bloom\n"
+    (float_of_int (H.dynamic_memory_bytes index) /. 1048576.0)
+    (float_of_int (H.static_memory_bytes index) /. 1048576.0)
+    (float_of_int (H.bloom_memory_bytes index) /. 1024.0);
+
+  (* Compare with the plain B+tree holding the same data. *)
+  let plain = Hi_btree.Btree.create () in
+  for i = 0 to 999_999 do
+    Hi_btree.Btree.insert plain (key i) (i * 10)
+  done;
+  Printf.printf "plain B+tree: %.1f MB; hybrid: %.1f MB (%.0f%% of the original)\n"
+    (float_of_int (Hi_btree.Btree.memory_bytes plain) /. 1048576.0)
+    (float_of_int (H.memory_bytes index) /. 1048576.0)
+    (100.0
+    *. float_of_int (H.memory_bytes index)
+    /. float_of_int (Hi_btree.Btree.memory_bytes plain))

@@ -1,0 +1,1 @@
+lib/art/art.ml: Array Char Hi_util List Mem_model Op_counter String

@@ -1,0 +1,1 @@
+lib/art/compact_art.ml: Array Bytes Char Hi_index Hi_util Index_intf Inplace_merge List Mem_model Op_counter Seq String

@@ -1,0 +1,1 @@
+lib/art/compact_art.mli: Hi_index Seq

@@ -1,0 +1,487 @@
+(* Adaptive Radix Tree (Leis et al., ICDE '13) — the fourth index the paper
+   transforms (§4.1, Fig 3).  A 256-way radix tree whose nodes adapt among
+   four layouts (Node4 / Node16 / Node48 / Node256), with the two standard
+   space optimizations:
+
+   - lazy expansion: single-key subtrees are a leaf holding the full key;
+   - path compression: one-child chains collapse into a per-node prefix.
+
+   Keys may be prefixes of one another (email keys), which classic ART
+   forbids; each inner node therefore carries an optional terminal leaf for
+   the key ending exactly at that node — equivalent to the 0-terminator
+   trick but without forbidding embedded zero bytes (int keys contain
+   them).
+
+   As in the paper's C++ ART, leaves model tagged pointers into the tuple
+   store: the index itself does not store key bytes, so full-key comparison
+   at a leaf stands for "fetching the key from the record" (§6.4). *)
+
+open Hi_util
+
+type node = Leaf of leaf | Inner of inner
+
+and leaf = { lkey : string; mutable lvalues : int array }
+
+and inner = {
+  mutable prefix : string;
+  mutable term : leaf option; (* key that ends exactly at this node *)
+  mutable count : int; (* live children *)
+  mutable layout : layout;
+}
+
+and layout =
+  | L4 of char array * node array
+  | L16 of char array * node array
+  | L48 of int array * node array (* 256-entry index into 48 slots; -1 = empty *)
+  | L256 of node option array
+
+type t = { mutable root : node option; mutable entries : int }
+
+let name = "art"
+let create () = { root = None; entries = 0 }
+
+let new_leaf key value = { lkey = key; lvalues = [| value |] }
+
+let new_inner prefix =
+  { prefix; term = None; count = 0; layout = L4 (Array.make 4 '\000', Array.make 4 (Leaf (new_leaf "" 0))) }
+
+(* --- child access --- *)
+
+let sorted_find keys n c =
+  let rec go i = if i >= n then None else if keys.(i) = c then Some i else if keys.(i) > c then None else go (i + 1) in
+  go 0
+
+let child_find n c =
+  Op_counter.compare_keys 1;
+  match n.layout with
+  | L4 (keys, children) | L16 (keys, children) -> (
+    match sorted_find keys n.count c with None -> None | Some i -> Some children.(i))
+  | L48 (index, children) ->
+    let slot = index.(Char.code c) in
+    if slot >= 0 then Some children.(slot) else None
+  | L256 children -> children.(Char.code c)
+
+let set_child n c node =
+  match n.layout with
+  | L4 (keys, children) | L16 (keys, children) -> (
+    match sorted_find keys n.count c with
+    | Some i -> children.(i) <- node
+    | None -> invalid_arg "Art.set_child: absent child")
+  | L48 (index, children) ->
+    let slot = index.(Char.code c) in
+    if slot < 0 then invalid_arg "Art.set_child: absent child";
+    children.(slot) <- node
+  | L256 children -> children.(Char.code c) <- Some node
+
+(* Grow to the next layout when full (paper Fig 3). *)
+let grow n =
+  match n.layout with
+  | L4 (keys, children) when n.count = 4 ->
+    let keys16 = Array.make 16 '\000' and children16 = Array.make 16 children.(0) in
+    Array.blit keys 0 keys16 0 4;
+    Array.blit children 0 children16 0 4;
+    n.layout <- L16 (keys16, children16)
+  | L16 (keys, children) when n.count = 16 ->
+    let index = Array.make 256 (-1) and slots = Array.make 48 children.(0) in
+    for i = 0 to 15 do
+      index.(Char.code keys.(i)) <- i;
+      slots.(i) <- children.(i)
+    done;
+    n.layout <- L48 (index, slots)
+  | L48 (index, children) when n.count = 48 ->
+    let arr = Array.make 256 None in
+    Array.iteri (fun c slot -> if slot >= 0 then arr.(c) <- Some children.(slot)) index;
+    n.layout <- L256 arr
+  | _ -> ()
+
+let add_child n c node =
+  (match n.layout with
+  | L4 (_, _) when n.count = 4 -> grow n
+  | L16 (_, _) when n.count = 16 -> grow n
+  | L48 (_, _) when n.count = 48 -> grow n
+  | _ -> ());
+  (match n.layout with
+  | L4 (keys, children) | L16 (keys, children) ->
+    (* keep keys sorted for ordered iteration *)
+    let pos = ref n.count in
+    while !pos > 0 && keys.(!pos - 1) > c do
+      keys.(!pos) <- keys.(!pos - 1);
+      children.(!pos) <- children.(!pos - 1);
+      decr pos
+    done;
+    keys.(!pos) <- c;
+    children.(!pos) <- node
+  | L48 (index, children) ->
+    (* find a free slot: count < 48 guaranteed *)
+    let slot = ref 0 in
+    let used = Array.make 48 false in
+    Array.iter (fun s -> if s >= 0 then used.(s) <- true) index;
+    while used.(!slot) do
+      incr slot
+    done;
+    index.(Char.code c) <- !slot;
+    children.(!slot) <- node
+  | L256 children -> children.(Char.code c) <- Some node);
+  n.count <- n.count + 1
+
+let remove_child n c =
+  (match n.layout with
+  | L4 (keys, children) | L16 (keys, children) -> (
+    match sorted_find keys n.count c with
+    | None -> invalid_arg "Art.remove_child: absent child"
+    | Some i ->
+      Array.blit keys (i + 1) keys i (n.count - i - 1);
+      Array.blit children (i + 1) children i (n.count - i - 1))
+  | L48 (index, _) ->
+    if index.(Char.code c) < 0 then invalid_arg "Art.remove_child: absent child";
+    index.(Char.code c) <- -1
+  | L256 children -> children.(Char.code c) <- None);
+  n.count <- n.count - 1
+
+(* iterate children in ascending byte order *)
+let iter_children n f =
+  match n.layout with
+  | L4 (keys, children) | L16 (keys, children) ->
+    for i = 0 to n.count - 1 do
+      f keys.(i) children.(i)
+    done
+  | L48 (index, children) ->
+    for c = 0 to 255 do
+      let slot = index.(c) in
+      if slot >= 0 then f (Char.chr c) children.(slot)
+    done
+  | L256 children ->
+    for c = 0 to 255 do
+      match children.(c) with Some ch -> f (Char.chr c) ch | None -> ()
+    done
+
+(* --- prefix helpers --- *)
+
+(* length of the common run between [n.prefix] and [key] at [depth] *)
+let common_prefix prefix key depth =
+  let plen = String.length prefix and klen = String.length key in
+  let m = min plen (klen - depth) in
+  let rec go i = if i < m && prefix.[i] = key.[depth + i] then go (i + 1) else i in
+  Op_counter.compare_keys 1;
+  go 0
+
+(* --- insert --- *)
+
+let append_value l value = l.lvalues <- Array.append l.lvalues [| value |]
+
+(* Replace leaf [l] (reached at [depth]) by an inner node distinguishing it
+   from [key]: lazy-expansion split. *)
+let diverge l key depth value =
+  let cp = common_prefix (String.sub l.lkey depth (String.length l.lkey - depth)) key depth in
+  let node = new_inner (String.sub key depth cp) in
+  let d = depth + cp in
+  (if String.length l.lkey = d then node.term <- Some l
+   else add_child node l.lkey.[d] (Leaf l));
+  (if String.length key = d then node.term <- Some (new_leaf key value)
+   else add_child node key.[d] (Leaf (new_leaf key value)));
+  Inner node
+
+let rec insert_rec node key depth value =
+  match node with
+  | Leaf l ->
+    if l.lkey = key then begin
+      append_value l value;
+      node
+    end
+    else diverge l key depth value
+  | Inner n ->
+    Op_counter.visit ();
+    let plen = String.length n.prefix in
+    let m = common_prefix n.prefix key depth in
+    if m < plen then begin
+      (* the key diverges inside the compressed path: split it *)
+      let parent = new_inner (String.sub n.prefix 0 m) in
+      let old_byte = n.prefix.[m] in
+      n.prefix <- String.sub n.prefix (m + 1) (plen - m - 1);
+      add_child parent old_byte (Inner n);
+      let d = depth + m in
+      (if String.length key = d then parent.term <- Some (new_leaf key value)
+       else add_child parent key.[d] (Leaf (new_leaf key value)));
+      Inner parent
+    end
+    else begin
+      let depth = depth + plen in
+      if String.length key = depth then begin
+        (match n.term with
+        | Some l -> append_value l value
+        | None -> n.term <- Some (new_leaf key value));
+        node
+      end
+      else begin
+        let c = key.[depth] in
+        (match child_find n c with
+        | Some ch ->
+          Op_counter.deref ();
+          let ch' = insert_rec ch key (depth + 1) value in
+          if ch' != ch then set_child n c ch'
+        | None -> add_child n c (Leaf (new_leaf key value)));
+        node
+      end
+    end
+
+let insert t key value =
+  (match t.root with
+  | None -> t.root <- Some (Leaf (new_leaf key value))
+  | Some node -> t.root <- Some (insert_rec node key 0 value));
+  t.entries <- t.entries + 1
+
+(* --- lookups --- *)
+
+let rec find_leaf node key depth =
+  match node with
+  | Leaf l ->
+    Op_counter.compare_keys 1;
+    if l.lkey = key then Some l else None
+  | Inner n ->
+    Op_counter.visit ();
+    let plen = String.length n.prefix in
+    if common_prefix n.prefix key depth < plen then None
+    else begin
+      let depth = depth + plen in
+      if String.length key = depth then n.term
+      else
+        match child_find n key.[depth] with
+        | None -> None
+        | Some ch ->
+          Op_counter.deref ();
+          find_leaf ch key (depth + 1)
+    end
+
+let leaf_opt t key = match t.root with None -> None | Some node -> find_leaf node key 0
+let mem t key = leaf_opt t key <> None
+let find t key = match leaf_opt t key with Some l -> Some l.lvalues.(0) | None -> None
+let find_all t key = match leaf_opt t key with Some l -> Array.to_list l.lvalues | None -> []
+
+let update t key value =
+  match leaf_opt t key with
+  | Some l ->
+    l.lvalues.(0) <- value;
+    true
+  | None -> false
+
+(* --- delete --- *)
+
+(* After removing something from [n], collapse single-child chains to keep
+   paths compressed. *)
+let collapse n =
+  if n.count = 0 then (match n.term with None -> None | Some l -> Some (Leaf l))
+  else if n.count = 1 && n.term = None then begin
+    let only = ref None in
+    iter_children n (fun c ch -> only := Some (c, ch));
+    match !only with
+    | Some (c, Inner ci) ->
+      ci.prefix <- n.prefix ^ String.make 1 c ^ ci.prefix;
+      Some (Inner ci)
+    | Some (_, Leaf l) -> Some (Leaf l)
+    | None -> assert false
+  end
+  else Some (Inner n)
+
+(* [remove] drops a whole leaf; [trim] optionally removes a single value.
+   Returns (replacement, removed). *)
+let rec delete_rec node key depth ~value =
+  match node with
+  | Leaf l ->
+    if l.lkey <> key then (Some node, false)
+    else begin
+      match value with
+      | None -> (None, true)
+      | Some v ->
+        if Array.exists (fun x -> x = v) l.lvalues then begin
+          let removed = ref false in
+          let vs =
+            Array.of_list
+              (List.filter
+                 (fun x ->
+                   if (not !removed) && x = v then begin
+                     removed := true;
+                     false
+                   end
+                   else true)
+                 (Array.to_list l.lvalues))
+          in
+          if Array.length vs = 0 then (None, true)
+          else begin
+            l.lvalues <- vs;
+            (Some node, true)
+          end
+        end
+        else (Some node, false)
+    end
+  | Inner n ->
+    let plen = String.length n.prefix in
+    if common_prefix n.prefix key depth < plen then (Some node, false)
+    else begin
+      let depth = depth + plen in
+      if String.length key = depth then begin
+        match n.term with
+        | None -> (Some node, false)
+        | Some l -> (
+          match delete_rec (Leaf l) key depth ~value with
+          | Some (Leaf l'), removed ->
+            n.term <- Some l';
+            (Some node, removed)
+          | None, removed ->
+            n.term <- None;
+            (collapse n, removed)
+          | Some (Inner _), _ -> assert false)
+      end
+      else begin
+        let c = key.[depth] in
+        match child_find n c with
+        | None -> (Some node, false)
+        | Some ch -> (
+          match delete_rec ch key (depth + 1) ~value with
+          | Some ch', removed ->
+            if ch' != ch then set_child n c ch';
+            (Some node, removed)
+          | None, removed ->
+            remove_child n c;
+            (collapse n, removed))
+      end
+    end
+
+(* number of values attached to a key, to keep [entries] exact *)
+let value_count t key = match leaf_opt t key with Some l -> Array.length l.lvalues | None -> 0
+
+let delete t key =
+  let n = value_count t key in
+  if n = 0 then false
+  else begin
+    (match t.root with
+    | None -> ()
+    | Some node ->
+      let replacement, _ = delete_rec node key 0 ~value:None in
+      t.root <- replacement);
+    t.entries <- t.entries - n;
+    true
+  end
+
+let delete_value t key value =
+  match t.root with
+  | None -> false
+  | Some node ->
+    let replacement, removed = delete_rec node key 0 ~value:(Some value) in
+    t.root <- replacement;
+    if removed then t.entries <- t.entries - 1;
+    removed
+
+(* --- ordered traversal --- *)
+
+let rec iter_node node f =
+  match node with
+  | Leaf l -> f l
+  | Inner n ->
+    (match n.term with Some l -> f l | None -> ());
+    iter_children n (fun _ ch -> iter_node ch f)
+
+let iter_sorted t f =
+  match t.root with None -> () | Some node -> iter_node node (fun l -> f l.lkey l.lvalues)
+
+(* Range traversal: visit leaves with key >= probe in order.  [ge] becomes
+   true once the subtree is known to be entirely >= probe, after which no
+   more comparisons are needed. *)
+let rec scan_node node probe depth ge f =
+  match node with
+  | Leaf l -> if ge || String.compare l.lkey probe >= 0 then f l
+  | Inner n ->
+    if ge then iter_node node f
+    else begin
+      let plen = String.length n.prefix in
+      let klen = String.length probe in
+      if depth >= klen then iter_node node f
+      else begin
+        let m = min plen (klen - depth) in
+        let rec cmp i = if i >= m then 0 else if n.prefix.[i] <> probe.[depth + i] then Char.compare n.prefix.[i] probe.[depth + i] else cmp (i + 1) in
+        let c = cmp 0 in
+        if c > 0 then iter_node node f
+        else if c < 0 then ()
+        else begin
+          (* prefix matches the probe so far *)
+          let depth = depth + plen in
+          if depth >= klen then iter_node node f
+          else begin
+            (match n.term with Some _ -> () | None -> ());
+            let pc = probe.[depth] in
+            iter_children n (fun c ch ->
+                if c > pc then iter_node ch f
+                else if c = pc then scan_node ch probe (depth + 1) false f)
+          end
+        end
+      end
+    end
+
+exception Enough
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  (try
+     match t.root with
+     | None -> ()
+     | Some node ->
+       scan_node node probe 0 false (fun l ->
+           Array.iter
+             (fun v ->
+               if !taken >= n then raise Enough;
+               out := (l.lkey, v) :: !out;
+               incr taken)
+             l.lvalues;
+           if !taken >= n then raise Enough)
+   with Enough -> ());
+  List.rev !out
+
+let entry_count t = t.entries
+
+let clear t =
+  t.root <- None;
+  t.entries <- 0
+
+(* --- memory model (paper Fig 3 node layouts) --- *)
+
+let header_bytes = 16 (* type tag, child count, prefix length, 8-byte inline prefix *)
+
+let layout_bytes n =
+  let body =
+    match n.layout with
+    | L4 _ -> 4 * (1 + Mem_model.pointer_size)
+    | L16 _ -> 16 * (1 + Mem_model.pointer_size)
+    | L48 _ -> 256 + (48 * Mem_model.pointer_size)
+    | L256 _ -> 256 * Mem_model.pointer_size
+  in
+  let prefix_overflow = max 0 (String.length n.prefix - 8) in
+  header_bytes + body + prefix_overflow
+
+(* Index memory: inner nodes plus multi-value arrays; the leaf "pointer" is
+   the parent's child slot (keys live in the tuple store, as in C++ ART). *)
+let memory_bytes t =
+  let bytes = ref 0 in
+  let rec walk = function
+    | Leaf l -> if Array.length l.lvalues > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length l.lvalues)
+    | Inner n ->
+      bytes := !bytes + layout_bytes n;
+      (match n.term with Some l -> walk (Leaf l) | None -> ());
+      iter_children n (fun _ ch -> walk ch)
+  in
+  (match t.root with None -> () | Some node -> walk node);
+  !bytes
+
+(* Average slot occupancy across inner nodes (paper reports ~51 % for 50 M
+   random 64-bit keys). *)
+let node_occupancy t =
+  let slots = ref 0 and used = ref 0 in
+  let rec walk = function
+    | Leaf _ -> ()
+    | Inner n ->
+      let cap = match n.layout with L4 _ -> 4 | L16 _ -> 16 | L48 _ -> 48 | L256 _ -> 256 in
+      slots := !slots + cap;
+      used := !used + n.count;
+      (match n.term with Some _ -> () | None -> ());
+      iter_children n (fun _ ch -> walk ch)
+  in
+  (match t.root with None -> () | Some node -> walk node);
+  if !slots = 0 then 0.0 else float_of_int !used /. float_of_int !slots

@@ -1,0 +1,38 @@
+(** Adaptive Radix Tree (Leis et al., ICDE '13) — paper §4.1, Fig 3.
+
+    A 256-way radix tree with four adaptive node layouts (Node4 / Node16 /
+    Node48 / Node256), lazy expansion and path compression.  Keys may be
+    prefixes of one another: each inner node carries an optional terminal
+    leaf, which also permits embedded zero bytes (unlike the classic
+    0-terminator trick).
+
+    As in the paper's C++ ART, leaves model tagged pointers into the tuple
+    store, so the index memory excludes key bytes and full-key comparison
+    at a leaf stands for fetching the key from the record (§6.4).
+
+    Implements {!Hi_index.Index_intf.DYNAMIC}. *)
+
+type t
+
+val name : string
+val create : unit -> t
+val insert : t -> string -> int -> unit
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val delete : t -> string -> bool
+val delete_value : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val entry_count : t -> int
+val clear : t -> unit
+
+val memory_bytes : t -> int
+(** Modelled Fig 3 node layouts: Node4 = 52 B, Node16 = 160 B, Node48 =
+    656 B, Node256 = 2064 B (16-byte headers), plus prefix overflow and
+    multi-value arrays. *)
+
+val node_occupancy : t -> float
+(** Average child-slot fill across inner nodes (~0.51 for random 64-bit
+    keys, §4.2). *)

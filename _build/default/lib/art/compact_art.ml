@@ -1,0 +1,399 @@
+(* Compact ART — the static-stage structure from applying the Compaction
+   rule to ART (paper §4.2).  The radix-tree shape is kept (Structural
+   Reduction leaves ART unchanged, §4.3), but every node is allocated at
+   its exact size: Layout 1 with array length n for n <= 227 children,
+   Layout 3 (direct 256-way array) otherwise.
+
+   The merge routine is the recursive trie merge of Appendix B: subtrees
+   the batch does not touch are reused as-is, which is why merging
+   monotonically increasing keys only rebuilds the rightmost path
+   (Fig 6d). *)
+
+open Hi_util
+open Hi_index
+
+(* paper §4.2: Layout 1 is denser than Layout 3 up to n = 227 *)
+let layout1_max = 227
+
+type cnode =
+  | CLeaf of { ckey : string; cvalues : int array }
+  | CInner of cinner
+
+and cinner = {
+  cprefix : string;
+  cterm : centry option;
+  clayout : clayout;
+}
+
+and centry = { tkey : string; tvalues : int array }
+
+and clayout =
+  | CL1 of string * cnode array (* child bytes (sorted) and children, exact length *)
+  | CL256 of cnode option array
+
+type t = { croot : cnode option; cnkeys : int; cnentries : int }
+
+let name = "compact-art"
+let empty = { croot = None; cnkeys = 0; cnentries = 0 }
+
+(* --- construction from sorted entries --- *)
+
+let lcp_at a b depth =
+  let la = String.length a and lb = String.length b in
+  let m = min la lb - depth in
+  let rec go i = if i < m && a.[depth + i] = b.[depth + i] then go (i + 1) else i in
+  if m <= 0 then 0 else go 0
+
+let make_layout (children : (char * cnode) list) =
+  let n = List.length children in
+  if n <= layout1_max then begin
+    let bytes = Bytes.create n in
+    let arr = Array.make n (CLeaf { ckey = ""; cvalues = [||] }) in
+    List.iteri
+      (fun i (c, ch) ->
+        Bytes.set bytes i c;
+        arr.(i) <- ch)
+      children;
+    CL1 (Bytes.unsafe_to_string bytes, arr)
+  end
+  else begin
+    let arr = Array.make 256 None in
+    List.iter (fun (c, ch) -> arr.(Char.code c) <- Some ch) children;
+    CL256 arr
+  end
+
+(* entries.(lo..hi) sorted and distinct; build the subtree for suffixes
+   starting at [depth] *)
+let rec build_range (entries : Index_intf.entries) lo hi depth =
+  if hi - lo = 1 then
+    let k, vs = entries.(lo) in
+    CLeaf { ckey = k; cvalues = vs }
+  else begin
+    let first, _ = entries.(lo) and last, _ = entries.(hi - 1) in
+    let plen = lcp_at first last depth in
+    let d = depth + plen in
+    let cprefix = String.sub first depth plen in
+    let cterm, lo =
+      if String.length first = d then (
+        let k, vs = entries.(lo) in
+        (Some { tkey = k; tvalues = vs }, lo + 1))
+      else (None, lo)
+    in
+    (* group by the byte at position d *)
+    let children = ref [] in
+    let i = ref lo in
+    while !i < hi do
+      let c = (fst entries.(!i)).[d] in
+      let j = ref !i in
+      while !j < hi && (fst entries.(!j)).[d] = c do
+        incr j
+      done;
+      children := (c, build_range entries !i !j (d + 1)) :: !children;
+      i := !j
+    done;
+    CInner { cprefix; cterm; clayout = make_layout (List.rev !children) }
+  end
+
+let count_entries entries =
+  Array.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 entries
+
+let build (entries : Index_intf.entries) =
+  let n = Array.length entries in
+  if n = 0 then empty
+  else { croot = Some (build_range entries 0 n 0); cnkeys = n; cnentries = count_entries entries }
+
+(* --- lookups --- *)
+
+let layout_find layout c =
+  Op_counter.compare_keys 1;
+  match layout with
+  | CL1 (bytes, children) ->
+    (* binary search over the sorted byte array *)
+    let lo = ref 0 and hi = ref (String.length bytes) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if bytes.[mid] < c then lo := mid + 1 else hi := mid
+    done;
+    if !lo < String.length bytes && bytes.[!lo] = c then Some children.(!lo) else None
+  | CL256 arr -> arr.(Char.code c)
+
+let rec find_centry node key depth =
+  match node with
+  | CLeaf l ->
+    Op_counter.compare_keys 1;
+    if l.ckey = key then Some (l.ckey, l.cvalues) else None
+  | CInner n ->
+    Op_counter.visit ();
+    let plen = String.length n.cprefix in
+    let klen = String.length key in
+    if klen - depth < plen then None
+    else begin
+      let rec matches i = i >= plen || (n.cprefix.[i] = key.[depth + i] && matches (i + 1)) in
+      Op_counter.compare_keys 1;
+      if not (matches 0) then None
+      else begin
+        let depth = depth + plen in
+        if klen = depth then match n.cterm with Some e -> Some (e.tkey, e.tvalues) | None -> None
+        else
+          match layout_find n.clayout key.[depth] with
+          | None -> None
+          | Some ch ->
+            Op_counter.deref ();
+            find_centry ch key (depth + 1)
+      end
+    end
+
+let centry t key = match t.croot with None -> None | Some node -> find_centry node key 0
+let mem t key = centry t key <> None
+let find t key = match centry t key with Some (_, vs) -> Some vs.(0) | None -> None
+let find_all t key = match centry t key with Some (_, vs) -> Array.to_list vs | None -> []
+
+let update t key v =
+  match centry t key with
+  | Some (_, vs) ->
+    vs.(0) <- v;
+    true
+  | None -> false
+
+(* --- traversal --- *)
+
+let iter_layout layout f =
+  match layout with
+  | CL1 (bytes, children) ->
+    for i = 0 to String.length bytes - 1 do
+      f bytes.[i] children.(i)
+    done
+  | CL256 arr ->
+    for c = 0 to 255 do
+      match arr.(c) with Some ch -> f (Char.chr c) ch | None -> ()
+    done
+
+let rec iter_node node f =
+  match node with
+  | CLeaf l -> f l.ckey l.cvalues
+  | CInner n ->
+    (match n.cterm with Some e -> f e.tkey e.tvalues | None -> ());
+    iter_layout n.clayout (fun _ ch -> iter_node ch f)
+
+let iter_sorted t f = match t.croot with None -> () | Some node -> iter_node node f
+
+let rec scan_node node probe depth f =
+  match node with
+  | CLeaf l -> if String.compare l.ckey probe >= 0 then f l.ckey l.cvalues
+  | CInner n ->
+    let plen = String.length n.cprefix in
+    let klen = String.length probe in
+    if depth >= klen then iter_node node f
+    else begin
+      let m = min plen (klen - depth) in
+      let rec cmp i =
+        if i >= m then 0
+        else if n.cprefix.[i] <> probe.[depth + i] then Char.compare n.cprefix.[i] probe.[depth + i]
+        else cmp (i + 1)
+      in
+      let c = cmp 0 in
+      if c > 0 then iter_node node f
+      else if c < 0 then ()
+      else begin
+        let depth = depth + plen in
+        if depth >= klen then iter_node node f
+        else begin
+          let pc = probe.[depth] in
+          iter_layout n.clayout (fun c ch ->
+              if c > pc then iter_node ch f
+              else if c = pc then scan_node ch probe (depth + 1) f)
+        end
+      end
+    end
+
+exception Enough
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  (try
+     match t.croot with
+     | None -> ()
+     | Some node ->
+       scan_node node probe 0 (fun k vs ->
+           Array.iter
+             (fun v ->
+               if !taken >= n then raise Enough;
+               out := (k, v) :: !out;
+               incr taken)
+             vs)
+   with Enough -> ());
+  List.rev !out
+
+let key_count t = t.cnkeys
+let entry_count t = t.cnentries
+
+let to_entries t =
+  let out = ref [] in
+  iter_sorted t (fun k vs -> out := (k, vs) :: !out);
+  Array.of_list (List.rev !out)
+
+(* --- recursive merge (Appendix B) --- *)
+
+let resolve_values mode old_vs new_vs =
+  match (mode : Index_intf.merge_mode) with Replace -> new_vs | Concat -> Array.append old_vs new_vs
+
+(* Materialize a subtree's entries and merge them flat — the fallback for
+   batch keys diverging inside a compressed path. *)
+let rebuild_subtree node (batch : Index_intf.entries) lo hi depth mode =
+  let olds = ref [] in
+  iter_node node (fun k vs -> olds := (k, vs) :: !olds);
+  let olds = Array.of_list (List.rev !olds) in
+  let news = Array.sub batch lo (hi - lo) in
+  let cmp (a, _) (b, _) = String.compare a b in
+  let resolve (k, ov) (_, nv) = Some (k, resolve_values mode ov nv) in
+  let merged = Inplace_merge.merge_resolve ~cmp ~resolve olds news in
+  build_range merged 0 (Array.length merged) depth
+
+(* Merge batch.(lo..hi) into [node]; all batch keys in the slice agree with
+   the path leading to [node] up to [depth]. *)
+let rec merge_node node (batch : Index_intf.entries) lo hi depth mode =
+  if lo >= hi then node (* untouched subtree reused as-is *)
+  else
+    match node with
+    | CLeaf _ -> rebuild_subtree node batch lo hi depth mode
+    | CInner n ->
+      let plen = String.length n.cprefix in
+      let d = depth + plen in
+      (* check every batch key matches the compressed path *)
+      let diverges =
+        let rec check i =
+          if i >= hi then false
+          else
+            let k = fst batch.(i) in
+            if String.length k < d then true
+            else begin
+              let rec m j = j >= plen || (n.cprefix.[j] = k.[depth + j] && m (j + 1)) in
+              if m 0 then check (i + 1) else true
+            end
+        in
+        check lo
+      in
+      if diverges then rebuild_subtree node batch lo hi depth mode
+      else begin
+        (* batch keys ending exactly at d merge with the terminal entry *)
+        let cterm, lo =
+          if lo < hi && String.length (fst batch.(lo)) = d then begin
+            let k, nv = batch.(lo) in
+            let merged =
+              match n.cterm with
+              | Some e -> { tkey = k; tvalues = resolve_values mode e.tvalues nv }
+              | None -> { tkey = k; tvalues = nv }
+            in
+            (Some merged, lo + 1)
+          end
+          else (n.cterm, lo)
+        in
+        (* walk existing children and batch groups in byte order *)
+        let groups = ref [] in
+        let i = ref lo in
+        while !i < hi do
+          let c = (fst batch.(!i)).[d] in
+          let j = ref !i in
+          while !j < hi && (fst batch.(!j)).[d] = c do
+            incr j
+          done;
+          groups := (c, !i, !j) :: !groups;
+          i := !j
+        done;
+        let groups = List.rev !groups in
+        let children = ref [] in
+        let add c ch = children := (c, ch) :: !children in
+        let rec zip olds groups =
+          match (olds, groups) with
+          | [], [] -> ()
+          | (c, ch) :: olds', [] ->
+            add c ch;
+            zip olds' []
+          | [], (c, glo, ghi) :: groups' ->
+            add c (build_range batch glo ghi (d + 1));
+            zip [] groups'
+          | (oc, ch) :: olds', (gc, glo, ghi) :: groups' ->
+            if oc < gc then begin
+              add oc ch;
+              zip olds' groups
+            end
+            else if oc > gc then begin
+              add gc (build_range batch glo ghi (d + 1));
+              zip olds groups'
+            end
+            else begin
+              add oc (merge_node ch batch glo ghi (d + 1) mode);
+              zip olds' groups'
+            end
+        in
+        let olds = ref [] in
+        iter_layout n.clayout (fun c ch -> olds := (c, ch) :: !olds);
+        zip (List.rev !olds) groups;
+        CInner { cprefix = n.cprefix; cterm; clayout = make_layout (List.rev !children) }
+      end
+
+let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~deleted =
+  (* Tombstone collection cannot reuse untouched subtrees, so deletions take
+     the flat rebuild path; insert/update-only merges (the common case) use
+     the recursive trie merge. *)
+  let has_deletions =
+    Array.exists (fun (k, _) -> deleted k) (to_entries t) || Array.exists (fun (k, _) -> deleted k) batch
+  in
+  if has_deletions then begin
+    let cmp (a, _) (b, _) = String.compare a b in
+    let resolve (k, ov) (_, nv) = Some (k, resolve_values mode ov nv) in
+    let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
+    build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+  end
+  else
+    match t.croot with
+    | None -> build batch
+    | Some node ->
+      let root = merge_node node batch 0 (Array.length batch) 0 mode in
+      let nkeys = ref 0 and nentries = ref 0 in
+      iter_node root (fun _ vs ->
+          incr nkeys;
+          nentries := !nentries + Array.length vs);
+      { croot = Some root; cnkeys = !nkeys; cnentries = !nentries }
+
+(* --- memory model (paper §4.2) --- *)
+
+let header_bytes = 16
+
+let memory_bytes t =
+  let bytes = ref 0 in
+  let rec walk = function
+    | CLeaf l -> if Array.length l.cvalues > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length l.cvalues)
+    | CInner n ->
+      let body =
+        match n.clayout with
+        | CL1 (b, _) -> String.length b * (1 + Mem_model.pointer_size)
+        | CL256 _ -> 256 * Mem_model.pointer_size
+      in
+      bytes := !bytes + header_bytes + body + max 0 (String.length n.cprefix - 8);
+      (match n.cterm with
+      | Some e -> if Array.length e.tvalues > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length e.tvalues)
+      | None -> ());
+      iter_layout n.clayout (fun _ ch -> walk ch)
+  in
+  (match t.croot with None -> () | Some node -> walk node);
+  !bytes
+
+(* Lazy entry cursor via an explicit work stack. *)
+let to_seq t =
+  let children_list layout =
+    let acc = ref [] in
+    iter_layout layout (fun _ ch -> acc := ch :: !acc);
+    List.rev !acc
+  in
+  let rec walk stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | CLeaf l :: rest -> Seq.Cons ((l.ckey, l.cvalues), walk rest)
+    | CInner n :: rest ->
+      let tail = children_list n.clayout @ rest in
+      (match n.cterm with
+      | Some e -> Seq.Cons ((e.tkey, e.tvalues), walk tail)
+      | None -> walk tail ())
+  in
+  match t.croot with None -> Seq.empty | Some node -> walk [ node ]

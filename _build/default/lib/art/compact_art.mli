@@ -1,0 +1,44 @@
+(** Compact ART — the Compaction rule applied to ART (paper §4.2).
+
+    The radix-tree shape is kept (Structural Reduction leaves ART
+    unchanged, §4.3) but every node is allocated at its exact size:
+    Layout 1 with array length n for n <= 227 children, Layout 3 (direct
+    256-way array) otherwise.
+
+    [merge] is the recursive trie merge of Appendix B: subtrees the batch
+    does not touch are reused, which is why merging monotonically
+    increasing keys only rebuilds the rightmost path (Fig 6d).
+
+    Implements {!Hi_index.Index_intf.STATIC}. *)
+
+type t
+
+val name : string
+val empty : t
+val build : Hi_index.Index_intf.entries -> t
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+
+val memory_bytes : t -> int
+
+val layout1_max : int
+(** 227 — the crossover where Layout 3 becomes denser than Layout 1
+    (paper §4.2). *)
+
+val to_seq : t -> (string * int array) Seq.t
+(** Lazy entry cursor in key order — pulls one entry at a time so the
+    incremental merge (paper §9 future work) can bound its per-step
+    work. *)

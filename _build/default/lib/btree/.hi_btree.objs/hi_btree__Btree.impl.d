@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Hi_util List Mem_model Op_counter String

@@ -1,0 +1,1 @@
+lib/btree/compact_btree.ml: Hi_index Packed_sorted

@@ -1,0 +1,1 @@
+lib/btree/compact_btree.mli: Hi_index Seq

@@ -1,0 +1,1 @@
+lib/btree/compressed_btree.ml: Array Buffer Bytes Char Clock_cache Compress Hashtbl Hi_index Hi_util Index_intf Inplace_merge Int64 List Mem_model Op_counter Seq String

@@ -1,0 +1,1 @@
+lib/btree/compressed_btree.mli: Hi_index Seq

@@ -1,0 +1,1 @@
+lib/btree/frontcoded_btree.ml: Array Buffer Bytes Hi_index Hi_util Index_intf Inplace_merge List Mem_model Op_counter Seq String

@@ -1,0 +1,1 @@
+lib/btree/frontcoded_btree.mli: Hi_index Seq

@@ -1,0 +1,333 @@
+(* Dynamic B+tree — the STX-style baseline of the paper (§4.1): 512-byte
+   nodes (32 slots of 8-byte key + 8-byte pointer/value), leaf chaining for
+   range scans, proactive top-down splits.  Duplicate keys are permitted so
+   the tree serves as a secondary index exactly as the paper's baseline
+   does (each duplicate occupies its own leaf slot).
+
+   Deletion is by slot removal without rebalancing (common practice for
+   in-memory OLTP trees; the workloads of §6–7 are insert/read/update
+   dominated), so underfull nodes persist until a hybrid-index merge
+   rebuilds the static stage. *)
+
+open Hi_util
+
+let leaf_capacity = 32
+let max_inner_keys = 31 (* children capacity = 32 *)
+
+type node = Leaf of leaf | Inner of inner
+
+and leaf = {
+  lkeys : string array;
+  lvals : int array;
+  mutable ln : int;
+  mutable next : leaf option;
+}
+
+and inner = {
+  ikeys : string array;
+  children : node array;
+  mutable ik : int; (* number of keys; ik + 1 children *)
+}
+
+type t = {
+  mutable root : node;
+  mutable entries : int;
+  mutable leaves : int;
+  mutable inners : int;
+}
+
+let name = "btree"
+
+let new_leaf () = { lkeys = Array.make leaf_capacity ""; lvals = Array.make leaf_capacity 0; ln = 0; next = None }
+
+let dummy_node = Leaf (new_leaf ())
+
+let new_inner () =
+  { ikeys = Array.make max_inner_keys ""; children = Array.make (max_inner_keys + 1) dummy_node; ik = 0 }
+
+let create () = { root = Leaf (new_leaf ()); entries = 0; leaves = 1; inners = 0 }
+
+(* --- searches within a node --- *)
+
+(* leftmost position in leaf with key >= probe *)
+let leaf_lower_bound l probe =
+  let lo = ref 0 and hi = ref l.ln in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare l.lkeys.(mid) probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* leftmost position in leaf with key > probe *)
+let leaf_upper_bound l probe =
+  let lo = ref 0 and hi = ref l.ln in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare l.lkeys.(mid) probe <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child to descend into to find the leftmost occurrence of probe:
+   smallest i with probe <= ikeys.(i), else last child *)
+let child_for_find n probe =
+  let lo = ref 0 and hi = ref n.ik in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare n.ikeys.(mid) probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child to descend into to insert after any equal keys:
+   smallest i with probe < ikeys.(i), else last child *)
+let child_for_insert n probe =
+  let lo = ref 0 and hi = ref n.ik in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare n.ikeys.(mid) probe <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* --- splits (proactive, top-down) --- *)
+
+let leaf_full l = l.ln = leaf_capacity
+let inner_full n = n.ik = max_inner_keys
+
+(* Split full child [i] of inner [parent]; parent must not be full. *)
+let split_child t parent i =
+  let insert_sep sep right =
+    Array.blit parent.ikeys i parent.ikeys (i + 1) (parent.ik - i);
+    Array.blit parent.children (i + 1) parent.children (i + 2) (parent.ik - i);
+    parent.ikeys.(i) <- sep;
+    parent.children.(i + 1) <- right;
+    parent.ik <- parent.ik + 1
+  in
+  match parent.children.(i) with
+  | Leaf l ->
+    let mid = l.ln / 2 in
+    let right = new_leaf () in
+    Array.blit l.lkeys mid right.lkeys 0 (l.ln - mid);
+    Array.blit l.lvals mid right.lvals 0 (l.ln - mid);
+    right.ln <- l.ln - mid;
+    Array.fill l.lkeys mid (l.ln - mid) "";
+    l.ln <- mid;
+    right.next <- l.next;
+    l.next <- Some right;
+    t.leaves <- t.leaves + 1;
+    insert_sep right.lkeys.(0) (Leaf right)
+  | Inner n ->
+    let midk = n.ik / 2 in
+    let sep = n.ikeys.(midk) in
+    let right = new_inner () in
+    let nright = n.ik - midk - 1 in
+    Array.blit n.ikeys (midk + 1) right.ikeys 0 nright;
+    Array.blit n.children (midk + 1) right.children 0 (nright + 1);
+    right.ik <- nright;
+    Array.fill n.ikeys midk (n.ik - midk) "";
+    Array.fill n.children (midk + 1) (n.ik - midk) dummy_node;
+    n.ik <- midk;
+    t.inners <- t.inners + 1;
+    insert_sep sep (Inner right)
+
+let rec insert_nonfull t node key value =
+  match node with
+  | Leaf l ->
+    let pos = leaf_upper_bound l key in
+    Array.blit l.lkeys pos l.lkeys (pos + 1) (l.ln - pos);
+    Array.blit l.lvals pos l.lvals (pos + 1) (l.ln - pos);
+    l.lkeys.(pos) <- key;
+    l.lvals.(pos) <- value;
+    l.ln <- l.ln + 1
+  | Inner n ->
+    Op_counter.visit ();
+    let i = child_for_insert n key in
+    let full = match n.children.(i) with Leaf l -> leaf_full l | Inner c -> inner_full c in
+    let i =
+      if full then begin
+        split_child t n i;
+        Op_counter.compare_keys 1;
+        if String.compare key n.ikeys.(i) < 0 then i else i + 1
+      end
+      else i
+    in
+    Op_counter.deref ();
+    insert_nonfull t n.children.(i) key value
+
+let insert t key value =
+  let root_full = match t.root with Leaf l -> leaf_full l | Inner n -> inner_full n in
+  if root_full then begin
+    let new_root = new_inner () in
+    new_root.children.(0) <- t.root;
+    t.inners <- t.inners + 1;
+    t.root <- Inner new_root;
+    split_child t new_root 0
+  end;
+  insert_nonfull t t.root key value;
+  t.entries <- t.entries + 1
+
+(* --- point lookups --- *)
+
+(* Descend to the leaf that contains the lower bound of [probe]; returns
+   (leaf, pos); pos may equal leaf.ln, meaning the bound is in a later
+   leaf (skip via the chain). *)
+let rec locate node probe =
+  Op_counter.visit ();
+  match node with
+  | Leaf l -> (l, leaf_lower_bound l probe)
+  | Inner n ->
+    Op_counter.deref ();
+    locate n.children.(child_for_find n probe) probe
+
+(* Normalize a (leaf, pos) cursor to the next live entry, skipping
+   exhausted/empty leaves. *)
+let rec advance l pos =
+  if pos < l.ln then Some (l, pos)
+  else match l.next with None -> None | Some nxt -> advance nxt 0
+
+let find t probe =
+  let l, pos = locate t.root probe in
+  match advance l pos with
+  | Some (l, pos) when l.lkeys.(pos) = probe -> Some l.lvals.(pos)
+  | _ -> None
+
+let mem t probe = find t probe <> None
+
+let find_all t probe =
+  let rec collect cursor acc =
+    match cursor with
+    | Some (l, pos) when l.lkeys.(pos) = probe ->
+      collect (advance l (pos + 1)) (l.lvals.(pos) :: acc)
+    | _ -> List.rev acc
+  in
+  let l, pos = locate t.root probe in
+  collect (advance l pos) []
+
+let update t probe value =
+  let l, pos = locate t.root probe in
+  match advance l pos with
+  | Some (l, pos) when l.lkeys.(pos) = probe ->
+    l.lvals.(pos) <- value;
+    true
+  | _ -> false
+
+(* --- deletion (slot removal, no rebalancing) --- *)
+
+let remove_at l pos =
+  Array.blit l.lkeys (pos + 1) l.lkeys pos (l.ln - pos - 1);
+  Array.blit l.lvals (pos + 1) l.lvals pos (l.ln - pos - 1);
+  l.ln <- l.ln - 1;
+  l.lkeys.(l.ln) <- ""
+
+let delete t probe =
+  let rec drop cursor removed =
+    match cursor with
+    | Some (l, pos) when pos < l.ln && l.lkeys.(pos) = probe ->
+      remove_at l pos;
+      t.entries <- t.entries - 1;
+      (* same position now holds the next entry *)
+      drop (advance l pos) true
+    | _ -> removed
+  in
+  let l, pos = locate t.root probe in
+  drop (advance l pos) false
+
+let delete_value t probe value =
+  let rec hunt cursor =
+    match cursor with
+    | Some (l, pos) when l.lkeys.(pos) = probe ->
+      if l.lvals.(pos) = value then begin
+        remove_at l pos;
+        t.entries <- t.entries - 1;
+        true
+      end
+      else hunt (advance l (pos + 1))
+    | _ -> false
+  in
+  let l, pos = locate t.root probe in
+  hunt (advance l pos)
+
+(* --- scans and iteration --- *)
+
+let scan_from t probe n =
+  let rec take cursor acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match cursor with
+      | None -> List.rev acc
+      | Some (l, pos) -> take (advance l (pos + 1)) ((l.lkeys.(pos), l.lvals.(pos)) :: acc) (remaining - 1)
+  in
+  let l, pos = locate t.root probe in
+  take (advance l pos) [] n
+
+let leftmost_leaf t =
+  let rec go = function Leaf l -> l | Inner n -> go n.children.(0) in
+  go t.root
+
+let iter_sorted t f =
+  (* group runs of equal keys, which may span leaves *)
+  let emit key vs = f key (Array.of_list (List.rev vs)) in
+  let rec walk cursor current =
+    match cursor with
+    | None -> (match current with None -> () | Some (k, vs) -> emit k vs)
+    | Some (l, pos) ->
+      let k = l.lkeys.(pos) and v = l.lvals.(pos) in
+      let current =
+        match current with
+        | Some (k0, vs) when k0 = k -> Some (k0, v :: vs)
+        | Some (k0, vs) ->
+          emit k0 vs;
+          Some (k, [ v ])
+        | None -> Some (k, [ v ])
+      in
+      walk (advance l (pos + 1)) current
+  in
+  walk (advance (leftmost_leaf t) 0) None
+
+let entry_count t = t.entries
+
+let clear t =
+  t.root <- Leaf (new_leaf ());
+  t.entries <- 0;
+  t.leaves <- 1;
+  t.inners <- 0
+
+(* --- memory model (paper §4.1/§6.2) --- *)
+
+(* Nodes occupy a fixed 512 bytes regardless of occupancy; keys longer than
+   a machine word live out of line behind the slot's pointer. *)
+let memory_bytes t =
+  let out_of_line = ref 0 in
+  let rec walk = function
+    | Leaf l ->
+      for i = 0 to l.ln - 1 do
+        let len = String.length l.lkeys.(i) in
+        if len > 8 then out_of_line := !out_of_line + len
+      done
+    | Inner n ->
+      for i = 0 to n.ik - 1 do
+        let len = String.length n.ikeys.(i) in
+        if len > 8 then out_of_line := !out_of_line + len
+      done;
+      for i = 0 to n.ik do
+        walk n.children.(i)
+      done
+  in
+  walk t.root;
+  ((t.leaves + t.inners) * Mem_model.btree_node_size) + !out_of_line
+
+(* Average leaf occupancy (expected ~0.69 for random keys, ~0.5 for
+   monotonically increasing keys — paper §6.4). *)
+let leaf_occupancy t =
+  let slots = ref 0 and used = ref 0 in
+  let rec go l =
+    slots := !slots + leaf_capacity;
+    used := !used + l.ln;
+    match l.next with None -> () | Some nxt -> go nxt
+  in
+  go (leftmost_leaf t);
+  float_of_int !used /. float_of_int !slots
+
+let node_counts t = (t.inners, t.leaves)

@@ -1,0 +1,58 @@
+(** Dynamic B+tree — the STX-style baseline of the paper (§4.1).
+
+    512-byte nodes (32 slots), leaf chaining for range scans, proactive
+    top-down splits.  Duplicate keys are permitted so the same tree serves
+    as a secondary index, each duplicate occupying its own leaf slot.
+    Deletion removes slots without rebalancing (underfull nodes persist
+    until a hybrid-index merge rebuilds the static stage).
+
+    Implements {!Hi_index.Index_intf.DYNAMIC}. *)
+
+type t
+
+val name : string
+val create : unit -> t
+
+val insert : t -> string -> int -> unit
+(** Add one (key, value) entry; duplicate keys allowed.  Equal keys keep
+    insertion order. *)
+
+val mem : t -> string -> bool
+
+val find : t -> string -> int option
+(** First (oldest) value for the key. *)
+
+val find_all : t -> string -> int list
+(** All values for the key, insertion order. *)
+
+val update : t -> string -> int -> bool
+(** Replace the first value in place; [false] when absent. *)
+
+val delete : t -> string -> bool
+(** Remove the key and all its values. *)
+
+val delete_value : t -> string -> int -> bool
+(** Remove one (key, value) entry. *)
+
+val scan_from : t -> string -> int -> (string * int) list
+(** Up to [n] entries with key >= probe, ascending. *)
+
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+(** Ascending keys, values grouped per key. *)
+
+val entry_count : t -> int
+val clear : t -> unit
+
+val memory_bytes : t -> int
+(** Modelled C-layout footprint: 512 bytes per node plus out-of-line bytes
+    of keys longer than a machine word (see {!Hi_util.Mem_model}). *)
+
+val leaf_occupancy : t -> float
+(** Average leaf fill factor — ~0.69 for random insertion order, ~0.5 for
+    sequential (paper §4.2/§6.4). *)
+
+val node_counts : t -> int * int
+(** (inner nodes, leaf nodes). *)
+
+val leaf_capacity : int
+(** Slots per leaf (32 with 512-byte nodes). *)

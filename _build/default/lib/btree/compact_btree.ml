@@ -1,0 +1,32 @@
+(* Compact B+tree — the static-stage structure obtained from the STX-style
+   B+tree by the Compaction and Structural Reduction rules (paper §4.2–4.3):
+   duplicate keys collapsed into per-key value arrays, every node 100% full,
+   nodes of each level contiguous in memory with child positions computed
+   rather than stored. *)
+
+open Hi_index
+
+type t = Packed_sorted.t
+
+let name = "compact-btree"
+let empty = Packed_sorted.empty
+let build = Packed_sorted.build
+let mem = Packed_sorted.mem
+let find = Packed_sorted.find
+let find_all = Packed_sorted.find_all
+let update = Packed_sorted.update
+let scan_from = Packed_sorted.scan_from
+let iter_sorted = Packed_sorted.iter_sorted
+let key_count = Packed_sorted.key_count
+let entry_count = Packed_sorted.entry_count
+let merge = Packed_sorted.merge
+
+(* Leaf level: fixed 8-byte keys inline, longer keys packed with 4-byte
+   offsets; values inline when single, offset-indexed when multi; internal
+   levels: 100%-full separator arrays with no child pointers. *)
+let memory_bytes t =
+  Packed_sorted.leaf_key_store_bytes t
+  + Packed_sorted.leaf_value_store_bytes t
+  + Packed_sorted.level_key_bytes t
+
+let to_seq = Packed_sorted.to_seq

@@ -1,0 +1,46 @@
+(** Compact B+tree — the static stage obtained from the B+tree by the
+    Compaction and Structural Reduction rules (paper §4.2–4.3, Fig 2):
+    duplicate keys collapse into per-key value arrays, every node is 100 %
+    full, level arrays are contiguous and child positions are computed
+    rather than stored.
+
+    Implements {!Hi_index.Index_intf.STATIC}. *)
+
+type t
+
+val name : string
+val empty : t
+
+val build : Hi_index.Index_intf.entries -> t
+(** Build from strictly-sorted, duplicate-free entries. *)
+
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+
+val update : t -> string -> int -> bool
+(** In-place first-value replacement (secondary-index updates, §3). *)
+
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+(** Sorted-array merge (§5.1): linear in the result size, dropping
+    tombstoned keys and resolving duplicates per [mode]. *)
+
+val memory_bytes : t -> int
+(** Modelled compact layout: packed keys (8-byte slots when fixed-width,
+    otherwise bytes + offsets), inline or offset-indexed values, 100 %-full
+    separator levels with no child pointers. *)
+
+val to_seq : t -> (string * int array) Seq.t
+(** Lazy entry cursor in key order — pulls one entry at a time so the
+    incremental merge (paper §9 future work) can bound its per-step
+    work. *)

@@ -1,0 +1,273 @@
+(* Compressed B+tree — the Compression rule (paper §4.4) applied on top of
+   the compact layout: leaf pages are serialized and compressed with the
+   LZ-style codec; only the page routing keys stay uncompressed, so every
+   point query decompresses at most one page.  A CLOCK node cache of
+   recently decompressed pages amortizes the decompression cost. *)
+
+open Hi_util
+open Hi_index
+
+(* 32 entries per page matches the 512-byte node of the uncompressed
+   B+tree, so a point query decompresses one node's worth of data. *)
+let default_page_entries = 32
+let default_cache_pages = 0 (* 0 = adaptive: ~1/16 of the pages, in [8, 256] *)
+
+(* Node-cache capacity used by subsequently built trees.  0 selects the
+   adaptive default; 1 effectively disables caching (Appendix D). *)
+let cache_pages = ref default_cache_pages
+let set_cache_pages n = cache_pages := max 0 n
+
+let cache_capacity_for npages =
+  if !cache_pages > 0 then !cache_pages else max 8 (min 256 (npages / 16))
+
+type decoded = { dkeys : string array; dvals : int array array }
+
+type t = {
+  pages : string array; (* compressed page payloads *)
+  firsts : string array; (* first key of each page, uncompressed routing *)
+  cache : decoded Clock_cache.t;
+  nkeys : int;
+  nentries : int;
+  mutable decompressions : int;
+  mutable dirty : (int, string) Hashtbl.t; (* page -> recompressed payload *)
+}
+
+let name = "compressed-btree"
+
+(* --- page codec --- *)
+
+let put_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (!v land 0x7f lor 0x80));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let get_varint s pos =
+  let v = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    let b = Char.code (String.unsafe_get s !p) in
+    incr p;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then continue := false
+  done;
+  (!v, !p)
+
+let encode_page dkeys dvals lo hi =
+  let buf = Buffer.create 4096 in
+  put_varint buf (hi - lo);
+  for i = lo to hi - 1 do
+    put_varint buf (String.length dkeys.(i));
+    Buffer.add_string buf dkeys.(i);
+    put_varint buf (Array.length dvals.(i));
+    Array.iter
+      (fun v ->
+        (* values are stored as fixed 8-byte little-endian ints so negative
+           test values round-trip *)
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 (Int64.of_int v);
+        Buffer.add_bytes buf b)
+      dvals.(i)
+  done;
+  Compress.compress (Buffer.contents buf)
+
+let decode_page payload =
+  let raw = Compress.decompress payload in
+  let n, pos = get_varint raw 0 in
+  let dkeys = Array.make n "" in
+  let dvals = Array.make n [||] in
+  let pos = ref pos in
+  for i = 0 to n - 1 do
+    let klen, p = get_varint raw !pos in
+    dkeys.(i) <- String.sub raw p klen;
+    let nv, p = get_varint raw (p + klen) in
+    pos := p;
+    dvals.(i) <-
+      Array.init nv (fun j -> Int64.to_int (String.get_int64_le raw (p + (8 * j))));
+    pos := !pos + (8 * nv)
+  done;
+  { dkeys; dvals }
+
+(* --- construction --- *)
+
+let empty =
+  {
+    pages = [||];
+    firsts = [||];
+    cache = Clock_cache.create (cache_capacity_for 1);
+    nkeys = 0;
+    nentries = 0;
+    decompressions = 0;
+    dirty = Hashtbl.create 4;
+  }
+
+let build (entries : Index_intf.entries) =
+  let n = Array.length entries in
+  if n = 0 then empty
+  else begin
+    let dkeys = Array.map fst entries in
+    let dvals = Array.map snd entries in
+    let npages = (n + default_page_entries - 1) / default_page_entries in
+    let pages =
+      Array.init npages (fun p ->
+          let lo = p * default_page_entries in
+          let hi = min n (lo + default_page_entries) in
+          encode_page dkeys dvals lo hi)
+    in
+    let firsts = Array.init npages (fun p -> dkeys.(p * default_page_entries)) in
+    let nentries = Array.fold_left (fun acc vs -> acc + Array.length vs) 0 dvals in
+    {
+      pages;
+      firsts;
+      cache = Clock_cache.create (cache_capacity_for npages);
+      nkeys = n;
+      nentries;
+      decompressions = 0;
+      dirty = Hashtbl.create 16;
+    }
+  end
+
+let page_payload t p = match Hashtbl.find_opt t.dirty p with Some s -> s | None -> t.pages.(p)
+
+let fetch_page t p =
+  Op_counter.visit ();
+  match Clock_cache.find t.cache p with
+  | Some d -> d
+  | None ->
+    let d = decode_page (page_payload t p) in
+    t.decompressions <- t.decompressions + 1;
+    Clock_cache.put t.cache p d;
+    d
+
+(* page that may contain [probe]: last page whose first key <= probe *)
+let route t probe =
+  let lo = ref 0 and hi = ref (Array.length t.firsts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare t.firsts.(mid) probe <= 0 then lo := mid + 1 else hi := mid
+  done;
+  max 0 (!lo - 1)
+
+let in_page_lower_bound d probe =
+  let lo = ref 0 and hi = ref (Array.length d.dkeys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare d.dkeys.(mid) probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find_pos t probe =
+  if t.nkeys = 0 then None
+  else begin
+    let p = route t probe in
+    let d = fetch_page t p in
+    let i = in_page_lower_bound d probe in
+    if i < Array.length d.dkeys && d.dkeys.(i) = probe then Some (p, d, i) else None
+  end
+
+let mem t probe = find_pos t probe <> None
+let find t probe = match find_pos t probe with None -> None | Some (_, d, i) -> Some d.dvals.(i).(0)
+let find_all t probe = match find_pos t probe with None -> [] | Some (_, d, i) -> Array.to_list d.dvals.(i)
+
+let update t probe v =
+  match find_pos t probe with
+  | None -> false
+  | Some (p, d, i) ->
+    d.dvals.(i).(0) <- v;
+    (* decompress-modify-recompress: the page payload must reflect the new
+       value for future cache misses *)
+    Hashtbl.replace t.dirty p (encode_page d.dkeys d.dvals 0 (Array.length d.dkeys));
+    true
+
+let key_count t = t.nkeys
+let entry_count t = t.nentries
+
+let scan_from t probe n =
+  if t.nkeys = 0 then []
+  else begin
+    let out = ref [] and taken = ref 0 in
+    let p = ref (route t probe) in
+    let d = ref (fetch_page t !p) in
+    let i = ref (in_page_lower_bound !d probe) in
+    let continue = ref true in
+    while !continue && !taken < n do
+      if !i >= Array.length !d.dkeys then
+        if !p + 1 < Array.length t.pages then begin
+          incr p;
+          d := fetch_page t !p;
+          i := 0
+        end
+        else continue := false
+      else begin
+        let key = !d.dkeys.(!i) in
+        let vs = !d.dvals.(!i) in
+        let j = ref 0 in
+        while !taken < n && !j < Array.length vs do
+          out := (key, vs.(!j)) :: !out;
+          incr taken;
+          incr j
+        done;
+        incr i
+      end
+    done;
+    List.rev !out
+  end
+
+let iter_sorted t f =
+  for p = 0 to Array.length t.pages - 1 do
+    let d = fetch_page t p in
+    for i = 0 to Array.length d.dkeys - 1 do
+      f d.dkeys.(i) d.dvals.(i)
+    done
+  done
+
+let to_entries t =
+  let out = Array.make t.nkeys ("", [||]) in
+  let pos = ref 0 in
+  iter_sorted t (fun k vs ->
+      out.(!pos) <- (k, vs);
+      incr pos);
+  out
+
+let merge t batch ~(mode : Index_intf.merge_mode) ~deleted =
+  let resolve (k, old_vs) (_, new_vs) =
+    match mode with
+    | Index_intf.Replace -> Some (k, new_vs)
+    | Index_intf.Concat -> Some (k, Array.append old_vs new_vs)
+  in
+  let cmp (a, _) (b, _) = String.compare a b in
+  let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
+  build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+
+let memory_bytes t =
+  let payloads = ref 0 in
+  Array.iteri (fun p _ -> payloads := !payloads + String.length (page_payload t p)) t.pages;
+  let routing =
+    Array.fold_left (fun acc k -> acc + Mem_model.key_slot_bytes (String.length k) + Mem_model.pointer_size) 0 t.firsts
+  in
+  (* the node cache holds decompressed pages and is part of the structure *)
+  let cache_bytes = Clock_cache.capacity t.cache * default_page_entries * 2 * Mem_model.value_size in
+  !payloads + routing + cache_bytes
+
+let decompressions t = t.decompressions
+let cache_hit_rate t = Clock_cache.hit_rate t.cache
+
+(* Lazy entry cursor: decodes one page at a time through the node cache. *)
+let to_seq t =
+  let rec page_from p () =
+    if p >= Array.length t.pages then Seq.Nil
+    else begin
+      let d = fetch_page t p in
+      let rec entry i () =
+        if i >= Array.length d.dkeys then page_from (p + 1) ()
+        else Seq.Cons ((d.dkeys.(i), d.dvals.(i)), entry (i + 1))
+      in
+      entry 0 ()
+    end
+  in
+  page_from 0

@@ -1,0 +1,53 @@
+(** Compressed B+tree — the Compression rule (paper §4.4) on top of the
+    compact layout: leaf pages are serialized and LZ-compressed; only the
+    per-page routing keys stay uncompressed, so a point query decompresses
+    at most one page.  A CLOCK node cache of recently decompressed pages
+    amortizes decompression (Appendix D).
+
+    Implements {!Hi_index.Index_intf.STATIC}; used as the static stage of
+    the Hybrid-Compressed B+tree. *)
+
+type t
+
+val name : string
+val empty : t
+val build : Hi_index.Index_intf.entries -> t
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+
+val update : t -> string -> int -> bool
+(** Decompress–modify–recompress of the affected page. *)
+
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+
+val memory_bytes : t -> int
+(** Compressed page payloads + routing keys + the node cache. *)
+
+val decompressions : t -> int
+(** Pages decompressed so far (cache misses). *)
+
+val cache_hit_rate : t -> float
+
+val default_page_entries : int
+val default_cache_pages : int
+
+val set_cache_pages : int -> unit
+(** Node-cache capacity for subsequently built trees; 0 restores the
+    adaptive default (~1/16 of the pages), 1 effectively disables caching
+    (Appendix D ablation). *)
+
+val to_seq : t -> (string * int array) Seq.t
+(** Lazy entry cursor in key order — pulls one entry at a time so the
+    incremental merge (paper §9 future work) can bound its per-step
+    work. *)

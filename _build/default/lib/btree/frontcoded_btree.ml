@@ -1,0 +1,229 @@
+(* Front-coded static store — a step toward the succinct static stages the
+   paper proposes as future work (§3, §9: "the dual-stage architecture
+   opens up the possibility of using compact/compressed static data
+   structures ... including succinct data structures").
+
+   Keys are sorted, so consecutive keys share prefixes.  Within blocks of
+   [block_size] keys the first key is stored whole and every other key as
+   (shared-prefix length, suffix) — prefix omission / front coding.  Unlike
+   the Compression rule (§4.4) this needs no general-purpose codec and no
+   node cache: a lookup binary-searches block heads, then reconstructs at
+   most one block.  It lands between Compact (faster, larger) and
+   Compressed (slower, smaller) on the space/performance curve, which the
+   ablation benchmark measures.
+
+   Implements the STATIC interface plus [to_seq]. *)
+
+open Hi_util
+open Hi_index
+
+let block_size = 16
+
+type t = {
+  nkeys : int;
+  heads : string array; (* first key of each block, stored whole *)
+  (* per-key encoding, flattened: prefix length and suffix slice *)
+  lcp : int array; (* shared-prefix length with the previous key; 0 at block heads *)
+  suffix_bytes : string; (* concatenated suffixes (whole key for block heads) *)
+  suffix_off : int array; (* nkeys + 1 *)
+  values : int array;
+  val_offsets : int array; (* nkeys + 1 *)
+  max_key_len : int;
+}
+
+let name = "frontcoded-btree"
+
+let empty =
+  {
+    nkeys = 0;
+    heads = [||];
+    lcp = [||];
+    suffix_bytes = "";
+    suffix_off = [| 0 |];
+    values = [||];
+    val_offsets = [| 0 |];
+    max_key_len = 0;
+  }
+
+let lcp_of a b =
+  let m = min (String.length a) (String.length b) in
+  let rec go i = if i < m && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let build (entries : Index_intf.entries) =
+  let nkeys = Array.length entries in
+  if nkeys = 0 then empty
+  else begin
+    let heads = Array.init ((nkeys + block_size - 1) / block_size) (fun b -> fst entries.(b * block_size)) in
+    let lcp = Array.make nkeys 0 in
+    let suffix_off = Array.make (nkeys + 1) 0 in
+    let val_offsets = Array.make (nkeys + 1) 0 in
+    let buf = Buffer.create (nkeys * 4) in
+    for i = 0 to nkeys - 1 do
+      let k, vs = entries.(i) in
+      let p = if i mod block_size = 0 then 0 else lcp_of (fst entries.(i - 1)) k in
+      lcp.(i) <- p;
+      Buffer.add_substring buf k p (String.length k - p);
+      suffix_off.(i + 1) <- suffix_off.(i) + String.length k - p;
+      val_offsets.(i + 1) <- val_offsets.(i) + Array.length vs
+    done;
+    let values = Array.make val_offsets.(nkeys) 0 in
+    Array.iteri (fun i (_, vs) -> Array.blit vs 0 values val_offsets.(i) (Array.length vs)) entries;
+    let max_key_len = Array.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 entries in
+    { nkeys; heads; lcp; suffix_bytes = Buffer.contents buf; suffix_off; values; val_offsets; max_key_len }
+  end
+
+(* Reconstruct the key at absolute position [i] by walking its block. *)
+let key_at t i =
+  let block_start = i - (i mod block_size) in
+  let buf = Buffer.create 32 in
+  Buffer.add_substring buf t.suffix_bytes t.suffix_off.(block_start)
+    (t.suffix_off.(block_start + 1) - t.suffix_off.(block_start));
+  for j = block_start + 1 to i do
+    let keep = t.lcp.(j) in
+    let cur = Buffer.contents buf in
+    Buffer.clear buf;
+    Buffer.add_substring buf cur 0 keep;
+    Buffer.add_substring buf t.suffix_bytes t.suffix_off.(j) (t.suffix_off.(j + 1) - t.suffix_off.(j))
+  done;
+  Buffer.contents buf
+
+(* Scan one block for the lower bound of [probe], reconstructing keys
+   incrementally; returns the absolute position (possibly one past the
+   block). *)
+let block_lower_bound t block probe =
+  let block_start = block * block_size in
+  let block_end = min t.nkeys (block_start + block_size) in
+  let current = Bytes.create (max 16 t.max_key_len) in
+  let current_len = ref 0 in
+  let set_current i =
+    let keep = if i = block_start then 0 else t.lcp.(i) in
+    let slen = t.suffix_off.(i + 1) - t.suffix_off.(i) in
+    Bytes.blit_string t.suffix_bytes t.suffix_off.(i) current keep slen;
+    current_len := keep + slen
+  in
+  let rec go i =
+    if i >= block_end then i
+    else begin
+      Op_counter.compare_keys 1;
+      set_current i;
+      let k = Bytes.sub_string current 0 !current_len in
+      if String.compare k probe >= 0 then i else go (i + 1)
+    end
+  in
+  Op_counter.visit ();
+  go block_start
+
+(* Index of the block that may contain [probe]. *)
+let route t probe =
+  let lo = ref 0 and hi = ref (Array.length t.heads) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare t.heads.(mid) probe <= 0 then lo := mid + 1 else hi := mid
+  done;
+  max 0 (!lo - 1)
+
+let lower_bound t probe =
+  if t.nkeys = 0 then 0
+  else begin
+    let b = route t probe in
+    let pos = block_lower_bound t b probe in
+    (* the bound may be the first key of the next block *)
+    if pos = min t.nkeys ((b + 1) * block_size) && pos < t.nkeys then pos else pos
+  end
+
+let find_index t probe =
+  if t.nkeys = 0 then None
+  else begin
+    let i = lower_bound t probe in
+    if i < t.nkeys && key_at t i = probe then Some i else None
+  end
+
+let mem t probe = find_index t probe <> None
+
+let values_of t i = Array.sub t.values t.val_offsets.(i) (t.val_offsets.(i + 1) - t.val_offsets.(i))
+
+let find t probe =
+  match find_index t probe with None -> None | Some i -> Some t.values.(t.val_offsets.(i))
+
+let find_all t probe =
+  match find_index t probe with None -> [] | Some i -> Array.to_list (values_of t i)
+
+let update t probe v =
+  match find_index t probe with
+  | None -> false
+  | Some i ->
+    t.values.(t.val_offsets.(i)) <- v;
+    true
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  let i = ref (lower_bound t probe) in
+  while !taken < n && !i < t.nkeys do
+    let key = key_at t !i in
+    let vlo = t.val_offsets.(!i) and vhi = t.val_offsets.(!i + 1) in
+    let j = ref vlo in
+    while !taken < n && !j < vhi do
+      out := (key, t.values.(!j)) :: !out;
+      incr taken;
+      incr j
+    done;
+    incr i
+  done;
+  List.rev !out
+
+let iter_sorted t f =
+  (* sequential reconstruction is O(total bytes): keep the running key *)
+  let current = ref "" in
+  for i = 0 to t.nkeys - 1 do
+    let keep = if i mod block_size = 0 then 0 else t.lcp.(i) in
+    let suffix = String.sub t.suffix_bytes t.suffix_off.(i) (t.suffix_off.(i + 1) - t.suffix_off.(i)) in
+    current := String.sub !current 0 keep ^ suffix;
+    f !current (values_of t i)
+  done
+
+let to_seq t =
+  let rec from i current () =
+    if i >= t.nkeys then Seq.Nil
+    else begin
+      let keep = if i mod block_size = 0 then 0 else t.lcp.(i) in
+      let suffix = String.sub t.suffix_bytes t.suffix_off.(i) (t.suffix_off.(i + 1) - t.suffix_off.(i)) in
+      let key = String.sub current 0 keep ^ suffix in
+      Seq.Cons ((key, values_of t i), from (i + 1) key)
+    end
+  in
+  from 0 ""
+
+let key_count t = t.nkeys
+let entry_count t = Array.length t.values
+
+let to_entries t =
+  let out = Array.make t.nkeys ("", [||]) in
+  let pos = ref 0 in
+  iter_sorted t (fun k vs ->
+      out.(!pos) <- (k, vs);
+      incr pos);
+  out
+
+let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~deleted =
+  let resolve (k, old_vs) (_, new_vs) =
+    match mode with
+    | Index_intf.Replace -> Some (k, new_vs)
+    | Index_intf.Concat -> Some (k, Array.append old_vs new_vs)
+  in
+  let cmp (a, _) (b, _) = String.compare a b in
+  let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
+  build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+
+(* Modelled layout: block heads (key slots), per-key 1-byte lcp + suffix
+   bytes + 2-byte offset, values inline or offset-indexed. *)
+let memory_bytes t =
+  let heads =
+    Array.fold_left (fun acc k -> acc + Mem_model.key_slot_bytes (String.length k)) 0 t.heads
+  in
+  let entries = Array.length t.values in
+  let value_store =
+    (Mem_model.value_size * entries) + if entries = t.nkeys then 0 else 4 * (t.nkeys + 1)
+  in
+  heads + String.length t.suffix_bytes + (3 * t.nkeys) + value_store

@@ -1,0 +1,41 @@
+(** Front-coded static store — a step toward the succinct static stages the
+    paper proposes as future work (§3, §9).
+
+    Sorted keys are stored with prefix omission in blocks: the block head
+    whole, every other key as (shared-prefix length, suffix).  No
+    general-purpose codec, no node cache; a lookup binary-searches block
+    heads then reconstructs at most one block.  Lands between Compact
+    (faster, larger) and Compressed (slower, smaller) — measured by
+    [bench/main.exe ablation].
+
+    Implements {!Hi_index.Index_intf.STATIC}. *)
+
+type t
+
+val name : string
+val empty : t
+val build : Hi_index.Index_intf.entries -> t
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+
+val memory_bytes : t -> int
+(** Block heads + suffix bytes + 3 bytes/key of coding metadata +
+    values. *)
+
+val to_seq : t -> (string * int array) Seq.t
+
+val block_size : int
+(** Keys per front-coded block (16). *)

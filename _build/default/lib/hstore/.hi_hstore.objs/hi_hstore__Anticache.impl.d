@@ -1,0 +1,1 @@
+lib/hstore/anticache.ml: Hashtbl Printf Unix Value

@@ -1,0 +1,1 @@
+lib/hstore/anticache.mli: Value

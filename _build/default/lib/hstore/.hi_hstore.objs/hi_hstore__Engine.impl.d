@@ -1,0 +1,1 @@
+lib/hstore/engine.ml: Anticache Array Hashtbl Hi_util Hybrid Hybrid_index Instances List Schema Table

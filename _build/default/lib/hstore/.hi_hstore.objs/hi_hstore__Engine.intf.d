@@ -1,0 +1,1 @@
+lib/hstore/engine.mli: Anticache Schema Table Value

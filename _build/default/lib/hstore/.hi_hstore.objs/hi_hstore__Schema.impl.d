@@ -1,0 +1,1 @@
+lib/hstore/schema.ml: Array List String Value

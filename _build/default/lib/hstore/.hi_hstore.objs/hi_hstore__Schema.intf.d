@@ -1,0 +1,1 @@
+lib/hstore/schema.mli: Value

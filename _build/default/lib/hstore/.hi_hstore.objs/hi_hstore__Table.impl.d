@@ -1,0 +1,1 @@
+lib/hstore/table.ml: Anticache Array Hi_util Hybrid_index Index_sig List Printf Schema String Value Vec

@@ -1,0 +1,1 @@
+lib/hstore/table.mli: Anticache Hybrid_index Schema Value

@@ -1,0 +1,1 @@
+lib/hstore/value.ml: Bytes Int64 Printf String

@@ -1,0 +1,1 @@
+lib/hstore/value.mli:

@@ -1,0 +1,29 @@
+(** Anti-caching block store (paper §7.1; DeBrabant et al., VLDB '13).
+
+    Cold tuples are packed into blocks and written to a simulated disk; a
+    per-fetch latency penalty stands in for the paper's SATA drive
+    (DESIGN.md §3).  Index keys of evicted tuples stay in memory — only
+    the tuple bytes move. *)
+
+type block = {
+  block_table : string;
+  block_rows : (int * Value.t array) array;  (** (rowid, values) pairs *)
+  block_bytes : int;
+}
+
+type t
+
+val create : ?fetch_penalty_s:float -> unit -> t
+(** [fetch_penalty_s] is the simulated device latency per block fetch
+    (default 0.5 ms). *)
+
+val write_block : t -> table:string -> rows:(int * Value.t array) array -> bytes:int -> int
+(** Evict a block; returns its id. *)
+
+val fetch_block : t -> int -> block
+(** Blocking fetch: pays the latency penalty, removes the block from disk.
+    @raise Invalid_argument on unknown ids. *)
+
+val disk_bytes : t -> int
+val eviction_count : t -> int
+val fetch_count : t -> int

@@ -1,0 +1,252 @@
+(* Single-partition H-Store-style execution engine (paper §7.1): a
+   main-memory row store executing pre-defined stored procedures serially,
+   one at a time, with pluggable index implementations and optional
+   anti-caching.
+
+   Transactions are OCaml functions over the engine.  Every mutation logs
+   an undo closure; on abort (or on touching an evicted tuple) the undo log
+   rolls the partition back, evicted blocks are fetched, and the
+   transaction restarts — mirroring H-Store's abort-and-restart protocol
+   for anti-caching. *)
+
+open Hybrid_index
+
+exception Abort of string
+
+(* Which index implementation the engine builds for every table (Fig 8/9
+   compare these three configurations). *)
+type index_kind = Btree_config | Hybrid_config | Hybrid_compressed_config
+
+let index_kind_name = function
+  | Btree_config -> "B+tree"
+  | Hybrid_config -> "Hybrid"
+  | Hybrid_compressed_config -> "Hybrid-Compressed"
+
+type config = {
+  index_kind : index_kind;
+  merge_ratio : int;
+  eviction_threshold_bytes : int option; (* anti-caching when set *)
+  evictable_tables : string list;
+  eviction_block_rows : int;
+}
+
+let default_config =
+  {
+    index_kind = Btree_config;
+    merge_ratio = 10;
+    eviction_threshold_bytes = None;
+    evictable_tables = [];
+    eviction_block_rows = 256;
+  }
+
+type stats = {
+  mutable committed : int;
+  mutable user_aborts : int;
+  mutable evicted_restarts : int;
+}
+
+type t = {
+  config : config;
+  tables : (string, Table.t) Hashtbl.t;
+  table_order : string Hi_util.Vec.t; (* creation order, for stable reports *)
+  clock : int ref;
+  anticache : Anticache.t;
+  mutable txns_since_eviction_check : int;
+  mutable undo : (unit -> unit) list;
+  stats : stats;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    tables = Hashtbl.create 16;
+    table_order = Hi_util.Vec.create "";
+    clock = ref 0;
+    anticache = Anticache.create ();
+    txns_since_eviction_check = 0;
+    undo = [];
+    stats = { committed = 0; user_aborts = 0; evicted_restarts = 0 };
+  }
+
+(* Build one index instance per the engine configuration.  Unique indexes
+   get primary-index semantics; non-unique ones get secondary semantics
+   (in-place static updates, concatenating merges — paper §3). *)
+let make_index config ~unique : Table.packed_index =
+  let hybrid_config kind =
+    { Hybrid.default_config with kind; trigger = Hybrid.Ratio config.merge_ratio }
+  in
+  let kind = if unique then Hybrid.Primary else Hybrid.Secondary in
+  match config.index_kind with
+  | Btree_config ->
+    let module I = Instances.Btree_index in
+    Table.Packed ((module I), I.create ())
+  | Hybrid_config ->
+    let (module I) = Instances.hybrid_index ~config:(hybrid_config kind) "btree" in
+    Table.Packed ((module I), I.create ())
+  | Hybrid_compressed_config ->
+    let (module I) = Instances.hybrid_index ~config:(hybrid_config kind) "compressed-btree" in
+    Table.Packed ((module I), I.create ())
+
+let create_table t (schema : Schema.t) =
+  if Hashtbl.mem t.tables schema.Schema.table_name then
+    invalid_arg ("Engine.create_table: duplicate " ^ schema.Schema.table_name);
+  let table = Table.create ~clock:t.clock ~make_index:(make_index t.config) schema in
+  Hashtbl.replace t.tables schema.Schema.table_name table;
+  Hi_util.Vec.push t.table_order schema.Schema.table_name;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Engine.table: unknown table " ^ name)
+
+let tables_in_order t =
+  List.map (fun n -> table t n) (Array.to_list (Hi_util.Vec.to_array t.table_order))
+
+(* --- transactional table operations (undo-logged) --- *)
+
+let push_undo t f = t.undo <- f :: t.undo
+
+let insert t tbl vals =
+  let rowid = Table.insert tbl vals in
+  push_undo t (fun () -> ignore (Table.delete tbl rowid));
+  rowid
+
+let update t tbl rowid updates =
+  let old = Table.update tbl rowid updates in
+  push_undo t (fun () -> Table.restore tbl rowid old)
+
+let delete t tbl rowid =
+  let old = Table.delete tbl rowid in
+  push_undo t (fun () -> ignore (Table.insert tbl old))
+
+let read _t tbl rowid = Table.read tbl rowid
+
+let rollback t =
+  List.iter (fun f -> f ()) t.undo;
+  t.undo <- []
+
+(* --- memory accounting (Table 1, Fig 8/9 breakdowns) --- *)
+
+type memory_breakdown = {
+  tuple_bytes : int;
+  pk_index_bytes : int;
+  secondary_index_bytes : int;
+  anticache_disk_bytes : int;
+}
+
+let total_in_memory m = m.tuple_bytes + m.pk_index_bytes + m.secondary_index_bytes
+
+let memory_breakdown t =
+  let tuple = ref 0 and pk = ref 0 and sec = ref 0 in
+  Hashtbl.iter
+    (fun _ tbl ->
+      tuple := !tuple + Table.tuple_memory_bytes tbl;
+      pk := !pk + Table.pk_index_memory_bytes tbl;
+      sec := !sec + Table.secondary_index_memory_bytes tbl)
+    t.tables;
+  {
+    tuple_bytes = !tuple;
+    pk_index_bytes = !pk;
+    secondary_index_bytes = !sec;
+    anticache_disk_bytes = Anticache.disk_bytes t.anticache;
+  }
+
+(* --- anti-caching eviction manager (paper §7.1/§7.4) --- *)
+
+(* The memory breakdown walks every index, so the eviction manager checks
+   the threshold periodically rather than after every transaction, like
+   H-Store's background eviction manager (§7.1). *)
+let eviction_check_interval = 128
+
+let maybe_evict t =
+  match t.config.eviction_threshold_bytes with
+  | None -> ()
+  | Some threshold when t.txns_since_eviction_check < eviction_check_interval ->
+    ignore threshold;
+    t.txns_since_eviction_check <- t.txns_since_eviction_check + 1
+  | Some threshold ->
+    t.txns_since_eviction_check <- 0;
+    let m = memory_breakdown t in
+    let used = total_in_memory m in
+    if used > threshold then begin
+      let excess = used - threshold in
+      (* gather the globally coldest rows from the evictable tables *)
+      let candidates = ref [] in
+      List.iter
+        (fun tname ->
+          match Hashtbl.find_opt t.tables tname with
+          | None -> ()
+          | Some tbl ->
+            let per_row = Schema.tuple_bytes (Table.schema tbl) in
+            let want = (excess / per_row) + t.config.eviction_block_rows in
+            List.iter
+              (fun rowid -> candidates := (tbl, rowid) :: !candidates)
+              (Table.coldest_rows tbl want))
+        t.config.evictable_tables;
+      (* evict per table in fixed-size blocks until the excess is covered *)
+      let freed = ref 0 in
+      let by_table = Hashtbl.create 8 in
+      List.iter
+        (fun (tbl, rowid) ->
+          let l = try Hashtbl.find by_table (Table.name tbl) with Not_found -> [] in
+          Hashtbl.replace by_table (Table.name tbl) ((tbl, rowid) :: l))
+        !candidates;
+      Hashtbl.iter
+        (fun _ rows ->
+          let rec blocks = function
+            | [] -> ()
+            | rows when !freed >= excess -> ignore rows
+            | rows ->
+              let rec split n = function
+                | [] -> ([], [])
+                | x :: rest when n > 0 ->
+                  let a, b = split (n - 1) rest in
+                  (x :: a, b)
+                | rest -> ([], rest)
+              in
+              let chunk, rest = split t.config.eviction_block_rows rows in
+              (match chunk with
+              | [] -> ()
+              | (tbl, _) :: _ ->
+                let rowids = List.map snd chunk in
+                let per_row = Schema.tuple_bytes (Table.schema tbl) in
+                (match Table.evict_rows tbl t.anticache rowids with
+                | Some _ -> freed := !freed + (List.length rowids * per_row)
+                | None -> ());
+                blocks rest)
+          in
+          blocks rows)
+        by_table
+    end
+
+(* --- transaction execution --- *)
+
+let max_restarts = 32
+
+let run t f =
+  let rec attempt tries =
+    t.undo <- [];
+    match f t with
+    | result ->
+      t.undo <- [];
+      t.stats.committed <- t.stats.committed + 1;
+      maybe_evict t;
+      Ok result
+    | exception Table.Evicted_access { table = tname; block } ->
+      rollback t;
+      Table.unevict_block (table t tname) t.anticache block;
+      t.stats.evicted_restarts <- t.stats.evicted_restarts + 1;
+      if tries <= 0 then Error "too many eviction restarts" else attempt (tries - 1)
+    | exception Abort reason ->
+      rollback t;
+      t.stats.user_aborts <- t.stats.user_aborts + 1;
+      Error reason
+  in
+  attempt max_restarts
+
+(* Force all pending index merges (end-of-benchmark measurement aid). *)
+let flush_indexes t = Hashtbl.iter (fun _ tbl -> Table.flush_indexes tbl) t.tables
+
+let stats t = t.stats
+let anticache t = t.anticache

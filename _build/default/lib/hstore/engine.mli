@@ -1,0 +1,80 @@
+(** Single-partition H-Store-style execution engine (paper §7.1).
+
+    A main-memory row store executing pre-defined stored procedures
+    serially, with pluggable index implementations and optional
+    anti-caching.  Transactions are OCaml functions over the engine; every
+    mutation logs an undo closure, so aborts (and accesses to evicted
+    tuples, which abort, fetch and restart) roll the partition back
+    exactly. *)
+
+exception Abort of string
+(** Raise inside a transaction to abort it; {!run} returns the reason. *)
+
+(** Index implementation built for every table (Fig 8/9 compare these). *)
+type index_kind = Btree_config | Hybrid_config | Hybrid_compressed_config
+
+val index_kind_name : index_kind -> string
+
+type config = {
+  index_kind : index_kind;
+  merge_ratio : int;  (** hybrid-index merge ratio (paper App C) *)
+  eviction_threshold_bytes : int option;  (** anti-caching when set *)
+  evictable_tables : string list;
+  eviction_block_rows : int;
+}
+
+val default_config : config
+
+type stats = {
+  mutable committed : int;
+  mutable user_aborts : int;
+  mutable evicted_restarts : int;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val create_table : t -> Schema.t -> Table.t
+(** @raise Invalid_argument on duplicate table names. *)
+
+val table : t -> string -> Table.t
+(** @raise Invalid_argument on unknown names. *)
+
+val tables_in_order : t -> Table.t list
+
+(** {1 Transactional operations}
+
+    Use these inside a {!run} body; each logs an undo closure. *)
+
+val insert : t -> Table.t -> Value.t array -> int
+val update : t -> Table.t -> int -> (int * Value.t) list -> unit
+val delete : t -> Table.t -> int -> unit
+val read : t -> Table.t -> int -> Value.t array
+
+val run : t -> (t -> 'a) -> ('a, string) result
+(** Execute a transaction: commits on normal return; rolls back and
+    reports on {!Abort}; on {!Table.Evicted_access} rolls back, fetches
+    the block and restarts.  After a commit the anti-caching eviction
+    manager may run. *)
+
+(** {1 Accounting} *)
+
+type memory_breakdown = {
+  tuple_bytes : int;
+  pk_index_bytes : int;
+  secondary_index_bytes : int;
+  anticache_disk_bytes : int;
+}
+
+val total_in_memory : memory_breakdown -> int
+val memory_breakdown : t -> memory_breakdown
+
+val flush_indexes : t -> unit
+(** Force all pending hybrid-index merges (measurement aid). *)
+
+val stats : t -> stats
+val anticache : t -> Anticache.t
+
+val make_index : config -> unique:bool -> Table.packed_index
+(** The index factory the engine hands to tables (exposed for tests). *)

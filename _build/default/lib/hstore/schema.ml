@@ -1,0 +1,81 @@
+(* Table schemas and index definitions. *)
+
+type column = { col_name : string; col_ty : Value.ty }
+
+type index_def = {
+  idx_name : string;
+  idx_cols : int list; (* column positions forming the key *)
+  idx_unique : bool;
+}
+
+type t = {
+  table_name : string;
+  columns : column array;
+  primary_key : index_def;
+  secondary : index_def list;
+}
+
+let column table_schema name =
+  let rec go i =
+    if i >= Array.length table_schema.columns then invalid_arg ("Schema.column: " ^ name)
+    else if table_schema.columns.(i).col_name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let make ~name ~columns ~pk ?(secondary = []) () =
+  let cols = Array.of_list (List.map (fun (n, ty) -> { col_name = n; col_ty = ty }) columns) in
+  let resolve names =
+    List.map
+      (fun n ->
+        let rec go i =
+          if i >= Array.length cols then invalid_arg ("Schema.make: unknown column " ^ n)
+          else if cols.(i).col_name = n then i
+          else go (i + 1)
+        in
+        go 0)
+      names
+  in
+  {
+    table_name = name;
+    columns = cols;
+    primary_key = { idx_name = name ^ "_pk"; idx_cols = resolve pk; idx_unique = true };
+    secondary =
+      List.map
+        (fun (iname, icols, unique) -> { idx_name = iname; idx_cols = resolve icols; idx_unique = unique })
+        secondary;
+  }
+
+(* Modelled bytes of one row: fixed-width columns plus a small header, as
+   in H-Store's tuple layout. *)
+let row_header_bytes = 8
+
+let tuple_bytes t =
+  Array.fold_left (fun acc c -> acc + Value.ty_bytes c.col_ty) row_header_bytes t.columns
+
+(* Build the index key of a row for the given index definition. *)
+let key_of_row t idx (row : Value.t array) =
+  match idx.idx_cols with
+  | [ c ] -> Value.encode_key_column row.(c) t.columns.(c).col_ty
+  | cols ->
+    String.concat "" (List.map (fun c -> Value.encode_key_column row.(c) t.columns.(c).col_ty) cols)
+
+(* Build an index key from raw values (for lookups), using the index's
+   column types. *)
+let key_of_values t idx values =
+  let cols = idx.idx_cols in
+  if List.length values <> List.length cols then invalid_arg "Schema.key_of_values: arity mismatch";
+  String.concat ""
+    (List.map2 (fun c v -> Value.encode_key_column v t.columns.(c).col_ty) cols values)
+
+(* Prefix key for range scans over the leading columns of an index. *)
+let prefix_key_of_values t idx values =
+  let cols = idx.idx_cols in
+  let rec take cols values =
+    match (cols, values) with
+    | _, [] -> []
+    | c :: cs, v :: vs -> (c, v) :: take cs vs
+    | [], _ :: _ -> invalid_arg "Schema.prefix_key_of_values: too many values"
+  in
+  String.concat ""
+    (List.map (fun (c, v) -> Value.encode_key_column v t.columns.(c).col_ty) (take cols values))

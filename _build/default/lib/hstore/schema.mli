@@ -1,0 +1,49 @@
+(** Table schemas and index definitions for the engine. *)
+
+type column = { col_name : string; col_ty : Value.ty }
+
+type index_def = {
+  idx_name : string;
+  idx_cols : int list;  (** column positions forming the key *)
+  idx_unique : bool;
+}
+
+type t = {
+  table_name : string;
+  columns : column array;
+  primary_key : index_def;
+  secondary : index_def list;
+}
+
+val make :
+  name:string ->
+  columns:(string * Value.ty) list ->
+  pk:string list ->
+  ?secondary:(string * string list * bool) list ->
+  unit ->
+  t
+(** [make ~name ~columns ~pk ()] builds a schema.  The primary key is
+    named [name ^ "_pk"]; secondary indexes are (name, columns, unique)
+    triples.
+    @raise Invalid_argument on unknown column names. *)
+
+val column : t -> string -> int
+(** Position of a column by name.
+    @raise Invalid_argument when absent. *)
+
+val tuple_bytes : t -> int
+(** Modelled bytes of one row: fixed-width columns plus a small header,
+    as in H-Store's tuple layout. *)
+
+val row_header_bytes : int
+
+val key_of_row : t -> index_def -> Value.t array -> string
+(** The index key of a full row. *)
+
+val key_of_values : t -> index_def -> Value.t list -> string
+(** An index key from exactly the key columns' values (lookups).
+    @raise Invalid_argument on arity mismatch. *)
+
+val prefix_key_of_values : t -> index_def -> Value.t list -> string
+(** A range-scan prefix from the leading key columns.
+    @raise Invalid_argument when more values than key columns. *)

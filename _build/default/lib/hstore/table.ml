@@ -1,0 +1,239 @@
+(* In-memory table: row storage plus a primary index and any number of
+   secondary indexes behind the uniform {!Hybrid_index.Index_sig.INDEX}
+   interface, so the whole DBMS switches between B+tree, Hybrid and
+   Hybrid-Compressed indexes by configuration (paper §7).
+
+   Rows are referenced by dense integer rowids — these are the "tuple
+   pointers" stored as index values.  A row slot is live, free, or an
+   anti-caching tombstone holding the id of the on-disk block. *)
+
+open Hi_util
+open Hybrid_index
+
+exception Evicted_access of { table : string; block : int }
+exception Duplicate_key of string
+
+type row = { mutable vals : Value.t array; mutable last_access : int }
+
+type slot = Live of row | Evicted_slot of int | Free
+
+type packed_index = Packed : (module Index_sig.INDEX with type t = 'i) * 'i -> packed_index
+
+type index = { def : Schema.index_def; packed : packed_index }
+
+type t = {
+  schema : Schema.t;
+  slots : slot Vec.t;
+  free : int Vec.t;
+  pk : index;
+  secondary : index list;
+  clock : int ref; (* engine-wide access clock for LRU eviction *)
+  mutable live_rows : int;
+  mutable evicted_rows : int;
+}
+
+let create ?(clock = ref 0) ~make_index (schema : Schema.t) =
+  let build (def : Schema.index_def) = { def; packed = make_index ~unique:def.idx_unique } in
+  {
+    schema;
+    slots = Vec.create Free;
+    free = Vec.create 0;
+    pk = build schema.primary_key;
+    secondary = List.map build schema.secondary;
+    clock;
+    live_rows = 0;
+    evicted_rows = 0;
+  }
+
+let name t = t.schema.Schema.table_name
+let row_count t = t.live_rows + t.evicted_rows
+
+(* --- index helpers --- *)
+
+let idx_insert_unique { packed = Packed ((module I), i); _ } key rowid = I.insert_unique i key rowid
+let idx_insert { packed = Packed ((module I), i); _ } key rowid = I.insert i key rowid
+let idx_find { packed = Packed ((module I), i); _ } key = I.find i key
+let idx_find_all { packed = Packed ((module I), i); _ } key = I.find_all i key
+let idx_delete_value { packed = Packed ((module I), i); _ } key rowid = ignore (I.delete_value i key rowid)
+let idx_scan { packed = Packed ((module I), i); _ } key n = I.scan_from i key n
+let idx_memory { packed = Packed ((module I), i); _ } = I.memory_bytes i
+let idx_flush { packed = Packed ((module I), i); _ } = I.flush i
+
+let index_named t iname =
+  if t.pk.def.Schema.idx_name = iname then t.pk
+  else
+    match List.find_opt (fun ix -> ix.def.Schema.idx_name = iname) t.secondary with
+    | Some ix -> ix
+    | None -> invalid_arg (Printf.sprintf "Table.%s: no index %s" (name t) iname)
+
+(* --- row access --- *)
+
+let touch t row =
+  incr t.clock;
+  row.last_access <- !(t.clock)
+
+let get_row t rowid =
+  match Vec.get t.slots rowid with
+  | Live row ->
+    touch t row;
+    row
+  | Evicted_slot block -> raise (Evicted_access { table = name t; block })
+  | Free -> invalid_arg (Printf.sprintf "Table.%s: dangling rowid %d" (name t) rowid)
+
+let read t rowid = (get_row t rowid).vals
+
+(* --- writes (each returns an undo closure for transaction rollback) --- *)
+
+let alloc_slot t =
+  if Vec.length t.free > 0 then Vec.pop t.free
+  else begin
+    Vec.push t.slots Free;
+    Vec.length t.slots - 1
+  end
+
+let insert_row_at t rowid (vals : Value.t array) =
+  Vec.set t.slots rowid (Live { vals; last_access = !(t.clock) });
+  t.live_rows <- t.live_rows + 1;
+  List.iter (fun ix -> idx_insert ix (Schema.key_of_row t.schema ix.def vals) rowid) t.secondary
+
+let insert t (vals : Value.t array) =
+  if Array.length vals <> Array.length t.schema.Schema.columns then
+    invalid_arg (Printf.sprintf "Table.%s: wrong arity" (name t));
+  Array.iteri
+    (fun i v ->
+      if not (Value.matches_ty v t.schema.Schema.columns.(i).col_ty) then
+        invalid_arg
+          (Printf.sprintf "Table.%s: column %s type mismatch" (name t)
+             t.schema.Schema.columns.(i).col_name))
+    vals;
+  let pk_key = Schema.key_of_row t.schema t.pk.def vals in
+  let rowid = alloc_slot t in
+  if not (idx_insert_unique t.pk pk_key rowid) then begin
+    Vec.push t.free rowid;
+    raise (Duplicate_key (name t))
+  end;
+  insert_row_at t rowid vals;
+  rowid
+
+let remove_row_entries t rowid vals =
+  let pk_key = Schema.key_of_row t.schema t.pk.def vals in
+  let (Packed ((module I), i)) = t.pk.packed in
+  ignore (I.delete i pk_key);
+  List.iter (fun ix -> idx_delete_value ix (Schema.key_of_row t.schema ix.def vals) rowid) t.secondary
+
+let delete t rowid =
+  let row = get_row t rowid in
+  remove_row_entries t rowid row.vals;
+  Vec.set t.slots rowid Free;
+  Vec.push t.free rowid;
+  t.live_rows <- t.live_rows - 1;
+  row.vals
+
+(* Update non-key columns in place.  Key-column updates would require an
+   index delete + insert; the OLTP benchmarks of §7 never do this, so it is
+   rejected to keep undo simple. *)
+let update t rowid (updates : (int * Value.t) list) =
+  let row = get_row t rowid in
+  let key_cols =
+    t.pk.def.Schema.idx_cols @ List.concat_map (fun ix -> ix.def.Schema.idx_cols) t.secondary
+  in
+  List.iter
+    (fun (c, _) ->
+      if List.mem c key_cols then
+        invalid_arg (Printf.sprintf "Table.%s: update of indexed column %d" (name t) c))
+    updates;
+  let old = Array.copy row.vals in
+  List.iter (fun (c, v) -> row.vals.(c) <- v) updates;
+  old
+
+let restore t rowid (old : Value.t array) =
+  match Vec.get t.slots rowid with
+  | Live row -> row.vals <- old
+  | Evicted_slot _ | Free -> invalid_arg (Printf.sprintf "Table.%s: restore of dead row" (name t))
+
+(* --- lookups --- *)
+
+let find_by_pk t key_values =
+  idx_find t.pk (Schema.key_of_values t.schema t.pk.def key_values)
+
+let find_by_index t iname key_values =
+  let ix = index_named t iname in
+  idx_find_all ix (Schema.key_of_values t.schema ix.def key_values)
+
+(* Range scan over an index from a prefix of its columns: returns up to
+   [limit] rowids whose keys start at or after the prefix. *)
+let scan_index t iname ~prefix ~limit =
+  let ix = index_named t iname in
+  let key = Schema.prefix_key_of_values t.schema ix.def prefix in
+  List.map snd (idx_scan ix key limit)
+
+(* Rowids whose index key exactly matches the prefix columns. *)
+let scan_index_prefix_eq t iname ~prefix ~limit =
+  let ix = index_named t iname in
+  let key = Schema.prefix_key_of_values t.schema ix.def prefix in
+  List.filter_map
+    (fun (k, rowid) -> if String.length k >= String.length key && String.sub k 0 (String.length key) = key then Some rowid else None)
+    (idx_scan ix key limit)
+
+(* --- anti-caching hooks --- *)
+
+(* Pick the [target] coldest live rows (smallest last_access). *)
+let coldest_rows t target =
+  let acc = ref [] in
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Live row -> acc := (row.last_access, rowid) :: !acc
+    | Evicted_slot _ | Free -> ()
+  done;
+  let sorted = List.sort compare !acc in
+  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else snd x :: take (n - 1) rest in
+  take target sorted
+
+let evict_rows t (ac : Anticache.t) rowids =
+  let rows =
+    List.filter_map
+      (fun rowid ->
+        match Vec.get t.slots rowid with Live row -> Some (rowid, row.vals) | _ -> None)
+      rowids
+  in
+  if rows = [] then None
+  else begin
+    let bytes = List.length rows * Schema.tuple_bytes t.schema in
+    let block = Anticache.write_block ac ~table:(name t) ~rows:(Array.of_list rows) ~bytes in
+    List.iter
+      (fun (rowid, _) ->
+        Vec.set t.slots rowid (Evicted_slot block);
+        t.live_rows <- t.live_rows - 1;
+        t.evicted_rows <- t.evicted_rows + 1)
+      rows;
+    Some block
+  end
+
+let unevict_block t (ac : Anticache.t) block =
+  let b = Anticache.fetch_block ac block in
+  Array.iter
+    (fun (rowid, vals) ->
+      match Vec.get t.slots rowid with
+      | Evicted_slot _ ->
+        Vec.set t.slots rowid (Live { vals; last_access = !(t.clock) });
+        t.live_rows <- t.live_rows + 1;
+        t.evicted_rows <- t.evicted_rows - 1
+      | Live _ | Free -> ())
+    b.Anticache.block_rows
+
+(* --- accounting --- *)
+
+let tombstone_bytes = 16 (* in-memory marker for an evicted tuple *)
+
+let tuple_memory_bytes t =
+  (t.live_rows * Schema.tuple_bytes t.schema) + (t.evicted_rows * tombstone_bytes)
+
+let pk_index_memory_bytes t = idx_memory t.pk
+let secondary_index_memory_bytes t = List.fold_left (fun acc ix -> acc + idx_memory ix) 0 t.secondary
+let flush_indexes t =
+  idx_flush t.pk;
+  List.iter idx_flush t.secondary
+let live_rows t = t.live_rows
+let evicted_rows t = t.evicted_rows
+
+let schema t = t.schema

@@ -1,0 +1,87 @@
+(** In-memory table: row storage plus a primary index and secondary
+    indexes behind the uniform {!Hybrid_index.Index_sig.INDEX} interface,
+    so the DBMS switches index implementations by configuration (§7).
+
+    Rows are referenced by dense integer rowids — the "tuple pointers"
+    stored as index values.  A row slot is live, free, or an anti-caching
+    tombstone naming the on-disk block. *)
+
+exception Evicted_access of { table : string; block : int }
+(** Raised when an operation touches an evicted tuple; the engine fetches
+    the block and restarts the transaction. *)
+
+exception Duplicate_key of string
+(** Raised by {!insert} on a primary-key violation. *)
+
+type packed_index =
+  | Packed : (module Hybrid_index.Index_sig.INDEX with type t = 'i) * 'i -> packed_index
+      (** An index implementation paired with an instance of it. *)
+
+type t
+
+val create : ?clock:int ref -> make_index:(unique:bool -> packed_index) -> Schema.t -> t
+(** [create ~make_index schema] builds the table and its indexes.  [clock]
+    is the engine-wide access clock used for LRU eviction. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val row_count : t -> int
+val live_rows : t -> int
+val evicted_rows : t -> int
+
+(** {1 Row operations} *)
+
+val insert : t -> Value.t array -> int
+(** Insert a row, returning its rowid.
+    @raise Duplicate_key on a primary-key violation.
+    @raise Invalid_argument on arity or type mismatches. *)
+
+val read : t -> int -> Value.t array
+(** Read a row's values (bumps its access time).
+    @raise Evicted_access when the tuple is anti-cached. *)
+
+val update : t -> int -> (int * Value.t) list -> Value.t array
+(** Update non-key columns in place; returns the pre-image for undo.
+    @raise Invalid_argument when an indexed column is updated. *)
+
+val restore : t -> int -> Value.t array -> unit
+(** Put back a pre-image (transaction rollback). *)
+
+val delete : t -> int -> Value.t array
+(** Remove a row and its index entries; returns the removed values. *)
+
+(** {1 Index access} *)
+
+val find_by_pk : t -> Value.t list -> int option
+val find_by_index : t -> string -> Value.t list -> int list
+
+val scan_index : t -> string -> prefix:Value.t list -> limit:int -> int list
+(** Rowids of up to [limit] entries at or after the prefix of the named
+    index. *)
+
+val scan_index_prefix_eq : t -> string -> prefix:Value.t list -> limit:int -> int list
+(** Rowids whose index key starts with exactly the prefix columns. *)
+
+(** {1 Anti-caching hooks (paper §7.1)} *)
+
+val coldest_rows : t -> int -> int list
+(** The [n] least-recently-accessed live rowids. *)
+
+val evict_rows : t -> Anticache.t -> int list -> int option
+(** Pack rows into a block on the simulated disk, leaving tombstones;
+    returns the block id (or [None] when nothing was evictable). *)
+
+val unevict_block : t -> Anticache.t -> int -> unit
+(** Fetch a block back and reinstate its tuples. *)
+
+(** {1 Accounting} *)
+
+val tuple_memory_bytes : t -> int
+(** Live tuples at their modelled width plus 16-byte tombstones per
+    evicted tuple. *)
+
+val pk_index_memory_bytes : t -> int
+val secondary_index_memory_bytes : t -> int
+
+val flush_indexes : t -> unit
+(** Force pending hybrid-index merges. *)

@@ -1,0 +1,54 @@
+(* Column values and order-preserving key encoding for the H-Store-style
+   engine.  Index keys are byte strings: composite keys concatenate the
+   order-preserving encodings of their columns (ints are sign-flipped
+   big-endian; strings are padded to their declared width so concatenation
+   stays order-preserving). *)
+
+type t = Int of int | Float of float | Str of string | Null
+
+type ty = TInt | TFloat | TStr of int (* declared width in bytes *)
+
+let ty_name = function TInt -> "int" | TFloat -> "float" | TStr w -> Printf.sprintf "varchar(%d)" w
+
+(* Modelled storage bytes of a column in a row (fixed-width rows, as in
+   H-Store's tuple layout). *)
+let ty_bytes = function TInt -> 8 | TFloat -> 8 | TStr w -> w
+
+let matches_ty v ty =
+  match (v, ty) with
+  | Int _, TInt | Float _, TFloat | Null, _ -> true
+  | Str s, TStr w -> String.length s <= w
+  | _ -> false
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Null -> "NULL"
+
+let as_int = function Int x -> x | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+let as_float = function Float f -> f | Int x -> float_of_int x | v -> invalid_arg ("Value.as_float: " ^ to_string v)
+let as_str = function Str s -> s | v -> invalid_arg ("Value.as_str: " ^ to_string v)
+
+(* Order-preserving encoding of a signed int: flip the sign bit and write
+   big-endian, so signed order equals byte order. *)
+let encode_int_key x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.logxor (Int64.of_int x) Int64.min_int);
+  Bytes.unsafe_to_string b
+
+let encode_key_column v ty =
+  match (v, ty) with
+  | Int x, TInt -> encode_int_key x
+  | Str s, TStr w ->
+    (* pad to declared width: keeps composite concatenation order-preserving *)
+    if String.length s >= w then String.sub s 0 w else s ^ String.make (w - String.length s) '\000'
+  | Float f, TFloat ->
+    (* IEEE order-preserving transform *)
+    let bits = Int64.bits_of_float f in
+    let bits = if Int64.compare bits 0L < 0 then Int64.lognot bits else Int64.logxor bits Int64.min_int in
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 bits;
+    Bytes.unsafe_to_string b
+  | Null, _ -> String.make (ty_bytes ty) '\000'
+  | _ -> invalid_arg "Value.encode_key_column: type mismatch"

@@ -1,0 +1,39 @@
+(** Column values and order-preserving key encodings for the engine.
+
+    Index keys are byte strings: composite keys concatenate the
+    order-preserving encodings of their columns, so [String.compare] on
+    keys equals the tuple ordering of the column values. *)
+
+type t = Int of int | Float of float | Str of string | Null
+
+type ty = TInt | TFloat | TStr of int  (** [TStr w]: declared width in bytes *)
+
+val ty_name : ty -> string
+
+val ty_bytes : ty -> int
+(** Modelled storage bytes of the column in a fixed-width row. *)
+
+val matches_ty : t -> ty -> bool
+(** Type check; [Null] matches any column type, strings must fit the
+    declared width. *)
+
+val to_string : t -> string
+
+val as_int : t -> int
+(** @raise Invalid_argument on non-ints. *)
+
+val as_float : t -> float
+(** Ints widen; otherwise
+    @raise Invalid_argument. *)
+
+val as_str : t -> string
+(** @raise Invalid_argument on non-strings. *)
+
+val encode_int_key : int -> string
+(** Sign-flipped big-endian: signed order = byte order. *)
+
+val encode_key_column : t -> ty -> string
+(** Order-preserving encoding of one key column: ints sign-flipped
+    big-endian, strings padded to the declared width, floats via the IEEE
+    order-preserving transform, NULLs as zero bytes.
+    @raise Invalid_argument on a type mismatch. *)

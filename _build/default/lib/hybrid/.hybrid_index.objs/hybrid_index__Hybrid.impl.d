@@ -1,0 +1,1 @@
+lib/hybrid/hybrid.ml: Array Bloom Hashtbl Hi_index Hi_util Index_intf List String Unix

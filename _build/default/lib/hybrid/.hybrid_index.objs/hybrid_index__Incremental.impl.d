@@ -1,0 +1,1 @@
+lib/hybrid/incremental.ml: Array Bloom Hashtbl Hi_art Hi_btree Hi_index Hi_masstree Hi_skiplist Hi_util Hybrid Index_intf List Mem_model Seq String Unix Vec

@@ -1,0 +1,1 @@
+lib/hybrid/index_sig.ml: Hi_index Hybrid

@@ -1,0 +1,1 @@
+lib/hybrid/instances.ml: Hi_art Hi_btree Hi_masstree Hi_skiplist Hybrid Index_sig

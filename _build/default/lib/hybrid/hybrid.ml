@@ -1,0 +1,409 @@
+(* Hybrid index — the dual-stage architecture of paper §3 (Fig 1).
+
+   All writes go to a small write-optimized dynamic stage; the bulk of the
+   entries live in a compact read-only static stage.  A Bloom filter over
+   the dynamic-stage keys lets most point queries search a single stage.
+   When the merge trigger fires, dynamic-stage entries migrate into the
+   static stage in one sorted batch (§5).
+
+   Semantics follow §3 precisely:
+   - primary-index inserts enforce key uniqueness across both stages;
+   - primary-index updates of static-resident keys insert a fresh entry
+     into the dynamic stage, logically overwriting the static value until
+     the next merge garbage-collects it;
+   - secondary-index updates modify values in place even in the static
+     stage, so one key is never live in both stages with divergent values;
+   - deletes in the static stage only mark a tombstone, collected at the
+     next merge. *)
+
+open Hi_util
+open Hi_index
+
+type kind = Primary | Secondary
+
+(* §5.2: what to merge *)
+type merge_strategy =
+  | Merge_all (* dynamic stage is a write buffer: migrate everything *)
+  | Merge_cold (* dynamic stage is a write-back cache: keep the hottest half *)
+
+(* §5.2: when to merge *)
+type merge_trigger =
+  | Ratio of int (* merge when dynamic * ratio >= static (default, ratio 10) *)
+  | Constant of int (* merge when dynamic size reaches a constant *)
+
+type config = {
+  kind : kind;
+  strategy : merge_strategy;
+  trigger : merge_trigger;
+  use_bloom : bool;
+  bloom_fpr : float;
+  min_merge_size : int; (* floor below which the ratio trigger stays quiet *)
+}
+
+let default_config =
+  {
+    kind = Primary;
+    strategy = Merge_all;
+    trigger = Ratio 10;
+    use_bloom = true;
+    bloom_fpr = 0.01;
+    min_merge_size = 4096;
+  }
+
+type stats = {
+  merges : int;
+  total_merge_seconds : float;
+  last_merge_seconds : float;
+  bloom_negative_skips : int; (* dynamic-stage searches avoided *)
+}
+
+(** Public operations of a hybrid index. *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?config:config -> unit -> t
+
+  val insert : t -> string -> int -> unit
+  (** Secondary-style blind insert into the dynamic stage. *)
+
+  val insert_unique : t -> string -> int -> bool
+  (** Primary-style insert with the two-stage uniqueness check (§3). *)
+
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val delete_value : t -> string -> int -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+  val iter_sorted : t -> (string -> int array -> unit) -> unit
+
+  val force_merge : t -> unit
+  (** Run the merge immediately regardless of the trigger. *)
+
+  val entry_count : t -> int
+  val dynamic_entry_count : t -> int
+  val static_entry_count : t -> int
+  val memory_bytes : t -> int
+  val dynamic_memory_bytes : t -> int
+  val static_memory_bytes : t -> int
+  val bloom_memory_bytes : t -> int
+  val clear : t -> unit
+  val stats : t -> stats
+
+  val merge_log : t -> (int * float) list
+  (** One entry per merge, oldest first: (static-stage bytes before the
+      merge, merge duration in seconds) — the Fig 6 series. *)
+end
+
+module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
+  type t = {
+    config : config;
+    dyn : D.t;
+    mutable stat : S.t;
+    mutable bloom : Bloom.t;
+    tombstones : (string, unit) Hashtbl.t; (* deleted static-stage keys *)
+    access : (string, int) Hashtbl.t; (* last-access op number (merge-cold) *)
+    mutable ops : int;
+    mutable merges : int;
+    mutable total_merge_seconds : float;
+    mutable last_merge_seconds : float;
+    mutable bloom_negative_skips : int;
+    mutable merge_log : (int * float) list; (* newest first internally *)
+  }
+
+  let name = "hybrid-" ^ D.name
+
+  let create ?(config = default_config) () =
+    {
+      config;
+      dyn = D.create ();
+      stat = S.empty;
+      bloom = Bloom.create ~fpr:config.bloom_fpr ~expected:config.min_merge_size ();
+      tombstones = Hashtbl.create 64;
+      access = Hashtbl.create 64;
+      ops = 0;
+      merges = 0;
+      total_merge_seconds = 0.0;
+      last_merge_seconds = 0.0;
+      bloom_negative_skips = 0;
+      merge_log = [];
+    }
+
+  let tombstoned t key = Hashtbl.mem t.tombstones key
+
+  let touch t key =
+    t.ops <- t.ops + 1;
+    if t.config.strategy = Merge_cold then Hashtbl.replace t.access key t.ops
+
+  (* Bloom-guided stage order for point operations (§3): negative filter
+     answers skip the dynamic stage entirely. *)
+  let maybe_in_dynamic t key = (not t.config.use_bloom) || Bloom.mem t.bloom key
+
+  let static_find t key = if tombstoned t key then None else S.find t.stat key
+  let static_find_all t key = if tombstoned t key then [] else S.find_all t.stat key
+
+  let find t key =
+    touch t key;
+    if maybe_in_dynamic t key then
+      match D.find t.dyn key with Some v -> Some v | None -> static_find t key
+    else begin
+      t.bloom_negative_skips <- t.bloom_negative_skips + 1;
+      static_find t key
+    end
+
+  let mem t key = find t key <> None
+
+  let find_all t key =
+    touch t key;
+    match t.config.kind with
+    | Primary -> (
+      (* a primary key lives logically in one stage: dynamic wins *)
+      if maybe_in_dynamic t key then
+        match D.find_all t.dyn key with [] -> static_find_all t key | vs -> vs
+      else begin
+        t.bloom_negative_skips <- t.bloom_negative_skips + 1;
+        static_find_all t key
+      end)
+    | Secondary ->
+      (* value lists may be split across stages *)
+      let dyn_vs = if maybe_in_dynamic t key then D.find_all t.dyn key else [] in
+      dyn_vs @ static_find_all t key
+
+  (* --- merge (§5) --- *)
+
+  let collect_dynamic_entries t =
+    let out = ref [] in
+    D.iter_sorted t.dyn (fun k vs -> out := (k, vs) :: !out);
+    Array.of_list (List.rev !out)
+
+  (* Partition for merge-cold: migrate the oldest-accessed half, keep the
+     most recently accessed keys in the dynamic stage. *)
+  let split_cold t entries =
+    let n = Array.length entries in
+    let last_access k = match Hashtbl.find_opt t.access k with Some x -> x | None -> 0 in
+    let ages = Array.map (fun (k, _) -> last_access k) entries in
+    let sorted_ages = Array.copy ages in
+    Array.sort compare sorted_ages;
+    let threshold = sorted_ages.(n / 2) in
+    let cold = ref [] and hot = ref [] in
+    Array.iteri
+      (fun i e -> if ages.(i) <= threshold then cold := e :: !cold else hot := e :: !hot)
+      entries;
+    (Array.of_list (List.rev !cold), List.rev !hot)
+
+  let rebuild_bloom t =
+    let expected = max t.config.min_merge_size (D.entry_count t.dyn * 2) in
+    t.bloom <- Bloom.create ~fpr:t.config.bloom_fpr ~expected ();
+    D.iter_sorted t.dyn (fun k _ -> Bloom.add t.bloom k)
+
+  let do_merge t =
+    let static_bytes_before = S.memory_bytes t.stat in
+    let t0 = Unix.gettimeofday () in
+    let entries = collect_dynamic_entries t in
+    let mode = match t.config.kind with Primary -> Index_intf.Replace | Secondary -> Index_intf.Concat in
+    let deleted key = Hashtbl.mem t.tombstones key in
+    (match t.config.strategy with
+    | Merge_all ->
+      t.stat <- S.merge t.stat entries ~mode ~deleted;
+      D.clear t.dyn;
+      Hashtbl.reset t.access
+    | Merge_cold ->
+      if Array.length entries = 0 then ()
+      else begin
+        let cold, hot = split_cold t entries in
+        t.stat <- S.merge t.stat cold ~mode ~deleted;
+        D.clear t.dyn;
+        Hashtbl.reset t.access;
+        List.iter (fun (k, vs) -> Array.iter (fun v -> D.insert t.dyn k v) vs) hot
+      end);
+    Hashtbl.reset t.tombstones;
+    rebuild_bloom t;
+    let dt = Unix.gettimeofday () -. t0 in
+    t.merges <- t.merges + 1;
+    t.total_merge_seconds <- t.total_merge_seconds +. dt;
+    t.last_merge_seconds <- dt;
+    t.merge_log <- (static_bytes_before, dt) :: t.merge_log
+
+  let should_merge t =
+    let d = D.entry_count t.dyn in
+    match t.config.trigger with
+    | Ratio r -> d >= t.config.min_merge_size && d * r >= S.entry_count t.stat
+    | Constant c -> d >= c
+
+  let maybe_merge t = if should_merge t then do_merge t
+
+  let force_merge t = if D.entry_count t.dyn > 0 || Hashtbl.length t.tombstones > 0 then do_merge t
+
+  (* --- writes --- *)
+
+  let dynamic_insert t key value =
+    D.insert t.dyn key value;
+    if t.config.use_bloom then Bloom.add t.bloom key;
+    touch t key;
+    maybe_merge t
+
+  (* Primary-index insert with the two-stage uniqueness check (§6.4). *)
+  let insert_unique t key value =
+    let exists =
+      (if maybe_in_dynamic t key then D.mem t.dyn key else false) || static_find t key <> None
+    in
+    if exists then false
+    else begin
+      Hashtbl.remove t.tombstones key;
+      dynamic_insert t key value;
+      true
+    end
+
+  (* Secondary-index insert: no uniqueness requirement. *)
+  let insert t key value =
+    Hashtbl.remove t.tombstones key;
+    dynamic_insert t key value
+
+  let update t key value =
+    touch t key;
+    match t.config.kind with
+    | Primary ->
+      if maybe_in_dynamic t key && D.update t.dyn key value then true
+      else if static_find t key <> None then begin
+        (* overwrite via the dynamic stage; the stale static entry is
+           garbage-collected at the next merge (§3) *)
+        dynamic_insert t key value;
+        true
+      end
+      else false
+    | Secondary ->
+      if maybe_in_dynamic t key && D.update t.dyn key value then true
+      else if tombstoned t key then false
+      else S.update t.stat key value
+
+  let delete t key =
+    touch t key;
+    let in_dyn = if maybe_in_dynamic t key then D.delete t.dyn key else false in
+    let in_static = (not (tombstoned t key)) && S.mem t.stat key in
+    if in_static then Hashtbl.replace t.tombstones key ();
+    in_dyn || in_static
+
+  let delete_value t key value =
+    touch t key;
+    let in_dyn = if maybe_in_dynamic t key then D.delete_value t.dyn key value else false in
+    if in_dyn then true
+    else begin
+      let vs = static_find_all t key in
+      if List.mem value vs then begin
+        (* drop the key from the static stage and re-home the surviving
+           values in the dynamic stage *)
+        Hashtbl.replace t.tombstones key ();
+        let survivors =
+          let removed = ref false in
+          List.filter
+            (fun v ->
+              if (not !removed) && v = value then begin
+                removed := true;
+                false
+              end
+              else true)
+            vs
+        in
+        List.iter (fun v -> dynamic_insert t key v) survivors;
+        true
+      end
+      else false
+    end
+
+  (* --- scans (§3: compare keys from both stages to advance) --- *)
+
+  let scan_from t key n =
+    touch t key;
+    let dyn_list = D.scan_from t.dyn key n in
+    let extra = Hashtbl.length t.tombstones in
+    let stat_list =
+      List.filter (fun (k, _) -> not (tombstoned t k)) (S.scan_from t.stat key (n + extra))
+    in
+    let rec merge_take ds ss acc remaining =
+      if remaining = 0 then List.rev acc
+      else
+        match (ds, ss) with
+        | [], [] -> List.rev acc
+        | (k, v) :: ds', [] -> merge_take ds' [] ((k, v) :: acc) (remaining - 1)
+        | [], (k, v) :: ss' -> merge_take [] ss' ((k, v) :: acc) (remaining - 1)
+        | (dk, dv) :: ds', (sk, sv) :: ss' ->
+          let c = String.compare dk sk in
+          if c < 0 then merge_take ds' ss ((dk, dv) :: acc) (remaining - 1)
+          else if c > 0 then merge_take ds ss' ((sk, sv) :: acc) (remaining - 1)
+          else (
+            match t.config.kind with
+            | Primary ->
+              (* dynamic entry logically overwrites the static one *)
+              let ss' = List.filter (fun (k, _) -> k <> dk) ss in
+              merge_take ds' ss' ((dk, dv) :: acc) (remaining - 1)
+            | Secondary -> merge_take ds' ss ((dk, dv) :: acc) (remaining - 1))
+    in
+    merge_take dyn_list stat_list [] n
+
+  let iter_sorted t f =
+    (* merge both stages' grouped iterations *)
+    let dyn = ref [] in
+    D.iter_sorted t.dyn (fun k vs -> dyn := (k, vs) :: !dyn);
+    let stat = ref [] in
+    S.iter_sorted t.stat (fun k vs -> if not (tombstoned t k) then stat := (k, vs) :: !stat);
+    let rec go ds ss =
+      match (ds, ss) with
+      | [], [] -> ()
+      | (k, vs) :: ds', [] ->
+        f k vs;
+        go ds' []
+      | [], (k, vs) :: ss' ->
+        f k vs;
+        go [] ss'
+      | (dk, dvs) :: ds', (sk, svs) :: ss' ->
+        let c = String.compare dk sk in
+        if c < 0 then begin
+          f dk dvs;
+          go ds' ss
+        end
+        else if c > 0 then begin
+          f sk svs;
+          go ds ss'
+        end
+        else begin
+          (match t.config.kind with
+          | Primary -> f dk dvs
+          | Secondary -> f dk (Array.append dvs svs));
+          go ds' ss'
+        end
+    in
+    go (List.rev !dyn) (List.rev !stat)
+
+  (* --- accounting --- *)
+
+  let entry_count t =
+    (* tombstoned static keys remain physically present until the merge *)
+    D.entry_count t.dyn + S.entry_count t.stat
+
+  let dynamic_entry_count t = D.entry_count t.dyn
+  let static_entry_count t = S.entry_count t.stat
+  let dynamic_memory_bytes t = D.memory_bytes t.dyn
+  let static_memory_bytes t = S.memory_bytes t.stat
+  let bloom_memory_bytes t = if t.config.use_bloom then Bloom.memory_bytes t.bloom else 0
+
+  let memory_bytes t = dynamic_memory_bytes t + static_memory_bytes t + bloom_memory_bytes t
+
+  let clear t =
+    D.clear t.dyn;
+    t.stat <- S.empty;
+    Hashtbl.reset t.tombstones;
+    Hashtbl.reset t.access;
+    rebuild_bloom t
+
+  let merge_log t = List.rev t.merge_log
+
+  let stats t =
+    {
+      merges = t.merges;
+      total_merge_seconds = t.total_merge_seconds;
+      last_merge_seconds = t.last_merge_seconds;
+      bloom_negative_skips = t.bloom_negative_skips;
+    }
+end

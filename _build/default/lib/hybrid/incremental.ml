@@ -1,0 +1,438 @@
+(* Incremental (non-blocking-style) merge — the first item of the paper's
+   future work (§9): "developing space-efficient non-blocking merge
+   algorithms for hybrid indexes can further satisfy the needs of
+   tail-latency-sensitive applications".
+
+   The blocking merge of §5 pauses all queries for a time linear in the
+   static-stage size, which is what blows up the MAX latency in Table 3.
+   This variant bounds the work any single operation performs:
+
+   - when the trigger fires, the dynamic stage is snapshotted into a sorted
+     [frozen] run (cost: linear in the *dynamic* stage only) and emptied;
+   - every subsequent operation advances the merge by at most [step]
+     entries, zipping [frozen] with a lazy cursor over the old static stage
+     into an output buffer;
+   - when both runs are exhausted, the output is built into the new static
+     structure and swapped in.
+
+   Reads during a merge consult dynamic stage, then the frozen run (binary
+   search), then the old static stage.  Tombstones created mid-merge for
+   already-emitted keys survive to the next merge; reads filter them
+   meanwhile.  The merge-cold strategy is not supported here (the frozen
+   run is immutable by design), matching the paper's framing of merge-all
+   as the general approach (§5.2).
+
+   In a single-threaded runtime "non-blocking" means bounded pauses; a
+   concurrent version would do the same steps on a background thread. *)
+
+open Hi_util
+open Hi_index
+
+(* A static stage that also exposes a lazy entry cursor. *)
+module type STATIC_SEQ = sig
+  include Index_intf.STATIC
+
+  val to_seq : t -> (string * int array) Seq.t
+end
+
+type config = {
+  trigger : Hybrid.merge_trigger;
+  kind : Hybrid.kind;
+  use_bloom : bool;
+  bloom_fpr : float;
+  min_merge_size : int;
+  step : int; (* max entries emitted per operation while a merge is active *)
+}
+
+let default_config =
+  {
+    trigger = Hybrid.Ratio 10;
+    kind = Hybrid.Primary;
+    use_bloom = true;
+    bloom_fpr = 0.01;
+    min_merge_size = 4096;
+    step = 256;
+  }
+
+type stats = {
+  merges_started : int;
+  merges_completed : int;
+  max_entries_per_op : int; (* peak merge work performed by one operation *)
+  total_merge_seconds : float;
+}
+
+module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
+  type merge_state = {
+    frozen : Index_intf.entries;
+    mutable fi : int; (* cursor into frozen *)
+    mutable rest : (string * int array) Seq.t; (* remaining old static entries *)
+    mutable rest_head : (string * int array) option;
+    out : (string * int array) Vec.t;
+  }
+
+  type t = {
+    config : config;
+    dyn : D.t;
+    mutable stat : S.t;
+    mutable merging : merge_state option;
+    mutable bloom : Bloom.t;
+    tombstones : (string, unit) Hashtbl.t;
+    mutable merges_started : int;
+    mutable merges_completed : int;
+    mutable max_entries_per_op : int;
+    mutable total_merge_seconds : float;
+  }
+
+  let name = "incremental-hybrid-" ^ D.name
+
+  let create ?(config = default_config) () =
+    {
+      config;
+      dyn = D.create ();
+      stat = S.empty;
+      merging = None;
+      bloom = Bloom.create ~fpr:config.bloom_fpr ~expected:config.min_merge_size ();
+      tombstones = Hashtbl.create 64;
+      merges_started = 0;
+      merges_completed = 0;
+      max_entries_per_op = 0;
+      total_merge_seconds = 0.0;
+    }
+
+  let tombstoned t key = Hashtbl.mem t.tombstones key
+
+  (* --- frozen-run lookups --- *)
+
+  let frozen_index ms key =
+    let lo = ref 0 and hi = ref (Array.length ms.frozen) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare (fst ms.frozen.(mid)) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo < Array.length ms.frozen && fst ms.frozen.(!lo) = key then Some !lo else None
+
+  let frozen_find t key =
+    match t.merging with
+    | None -> None
+    | Some ms -> (
+      if tombstoned t key then None
+      else
+        match frozen_index ms key with
+        | Some i -> (match snd ms.frozen.(i) with [||] -> None | vs -> Some vs)
+        | None -> None)
+
+  (* --- merge machinery --- *)
+
+  let resolve_values t old_vs new_vs =
+    match t.config.kind with Hybrid.Primary -> new_vs | Hybrid.Secondary -> Array.append old_vs new_vs
+
+  let pull_rest ms =
+    match ms.rest_head with
+    | Some _ as h -> h
+    | None -> (
+      match ms.rest () with
+      | Seq.Nil -> None
+      | Seq.Cons (e, rest) ->
+        ms.rest <- rest;
+        ms.rest_head <- Some e;
+        Some e)
+
+  let consume_rest ms = ms.rest_head <- None
+
+  (* Emit up to [budget] merged entries; true when the merge finished. *)
+  let emit t ms budget =
+    let emitted = ref 0 in
+    let finished = ref false in
+    while (not !finished) && !emitted < budget do
+      let from_frozen = if ms.fi < Array.length ms.frozen then Some ms.frozen.(ms.fi) else None in
+      match (from_frozen, pull_rest ms) with
+      | None, None -> finished := true
+      | Some (k, vs), None ->
+        ms.fi <- ms.fi + 1;
+        if not (tombstoned t k) then begin
+          Vec.push ms.out (k, vs);
+          incr emitted
+        end
+      | None, Some (k, vs) ->
+        consume_rest ms;
+        if not (tombstoned t k) then begin
+          Vec.push ms.out (k, vs);
+          incr emitted
+        end
+      | Some (fk, fvs), Some (sk, svs) ->
+        let c = String.compare fk sk in
+        if c <= 0 then begin
+          ms.fi <- ms.fi + 1;
+          let vs = if c = 0 then resolve_values t svs fvs else fvs in
+          if c = 0 then consume_rest ms;
+          if not (tombstoned t fk) then begin
+            Vec.push ms.out (fk, vs);
+            incr emitted
+          end
+        end
+        else begin
+          consume_rest ms;
+          if not (tombstoned t sk) then begin
+            Vec.push ms.out (sk, svs);
+            incr emitted
+          end
+        end
+    done;
+    !finished
+
+  let finish_merge t ms =
+    t.stat <- S.build (Vec.to_array ms.out);
+    t.merging <- None;
+    t.merges_completed <- t.merges_completed + 1;
+    (* tombstones applied by this merge are done; those for keys that had
+       already been emitted stay for the next merge *)
+    let stale = Hashtbl.fold (fun k () acc -> if S.mem t.stat k then acc else k :: acc) t.tombstones [] in
+    List.iter (Hashtbl.remove t.tombstones) stale
+
+  (* One bounded slice of merge work, charged to the current operation. *)
+  let step t =
+    match t.merging with
+    | None -> ()
+    | Some ms ->
+      let t0 = Unix.gettimeofday () in
+      let budget = t.config.step in
+      t.max_entries_per_op <- max t.max_entries_per_op (min budget (Array.length ms.frozen + Vec.length ms.out));
+      if emit t ms budget then finish_merge t ms;
+      t.total_merge_seconds <- t.total_merge_seconds +. (Unix.gettimeofday () -. t0)
+
+  let collect_dynamic t =
+    let out = ref [] in
+    D.iter_sorted t.dyn (fun k vs -> out := (k, vs) :: !out);
+    Array.of_list (List.rev !out)
+
+  let rebuild_bloom t =
+    t.bloom <- Bloom.create ~fpr:t.config.bloom_fpr ~expected:t.config.min_merge_size ()
+
+  let start_merge t =
+    let frozen = collect_dynamic t in
+    D.clear t.dyn;
+    rebuild_bloom t;
+    t.merging <-
+      Some { frozen; fi = 0; rest = S.to_seq t.stat; rest_head = None; out = Vec.create ("", [||]) };
+    t.merges_started <- t.merges_started + 1
+
+  let logical_static_count t =
+    match t.merging with
+    | None -> S.entry_count t.stat
+    | Some ms -> S.entry_count t.stat + Array.length ms.frozen
+
+  let should_merge t =
+    t.merging = None
+    &&
+    let d = D.entry_count t.dyn in
+    match t.config.trigger with
+    | Hybrid.Ratio r -> d >= t.config.min_merge_size && d * r >= logical_static_count t
+    | Hybrid.Constant c -> d >= c
+
+  let tick t =
+    step t;
+    if should_merge t then start_merge t
+
+  (* --- reads --- *)
+
+  let maybe_in_dynamic t key = (not t.config.use_bloom) || Bloom.mem t.bloom key
+
+  let static_find t key = if tombstoned t key then None else S.find t.stat key
+
+  let find t key =
+    tick t;
+    let dyn_hit = if maybe_in_dynamic t key then D.find t.dyn key else None in
+    match dyn_hit with
+    | Some v -> Some v
+    | None -> (
+      match frozen_find t key with
+      | Some vs -> Some vs.(0)
+      | None -> static_find t key)
+
+  let mem t key = find t key <> None
+
+  let find_all t key =
+    tick t;
+    let dyn_vs = if maybe_in_dynamic t key then D.find_all t.dyn key else [] in
+    let frozen_vs = match frozen_find t key with Some vs -> Array.to_list vs | None -> [] in
+    let stat_vs = if tombstoned t key then [] else S.find_all t.stat key in
+    match t.config.kind with
+    | Hybrid.Primary -> (
+      match (dyn_vs, frozen_vs) with
+      | (_ :: _ as vs), _ -> vs
+      | [], (_ :: _ as vs) -> vs
+      | [], [] -> stat_vs)
+    | Hybrid.Secondary -> dyn_vs @ frozen_vs @ stat_vs
+
+  (* --- writes --- *)
+
+  let dynamic_insert t key value =
+    D.insert t.dyn key value;
+    if t.config.use_bloom then Bloom.add t.bloom key
+
+  let insert_unique t key value =
+    tick t;
+    let exists =
+      (maybe_in_dynamic t key && D.mem t.dyn key)
+      || frozen_find t key <> None
+      || static_find t key <> None
+    in
+    if exists then false
+    else begin
+      Hashtbl.remove t.tombstones key;
+      dynamic_insert t key value;
+      true
+    end
+
+  let insert t key value =
+    tick t;
+    Hashtbl.remove t.tombstones key;
+    dynamic_insert t key value
+
+  let update t key value =
+    tick t;
+    if maybe_in_dynamic t key && D.update t.dyn key value then true
+    else if frozen_find t key <> None || static_find t key <> None then begin
+      match t.config.kind with
+      | Hybrid.Primary ->
+        (* overwrite through the dynamic stage; the stale copy is collected
+           by a later merge *)
+        dynamic_insert t key value;
+        true
+      | Hybrid.Secondary -> (
+        (* in place where possible; the frozen run's arrays are mutable *)
+        match t.merging with
+        | Some ms when frozen_index ms key <> None ->
+          (match frozen_index ms key with
+          | Some i ->
+            (snd ms.frozen.(i)).(0) <- value;
+            true
+          | None -> false)
+        | _ -> S.update t.stat key value)
+    end
+    else false
+
+  let delete t key =
+    tick t;
+    let in_dyn = if maybe_in_dynamic t key then D.delete t.dyn key else false in
+    let in_later =
+      (not (tombstoned t key))
+      && ((match t.merging with Some ms -> frozen_index ms key <> None | None -> false)
+         || S.mem t.stat key)
+    in
+    if in_later then Hashtbl.replace t.tombstones key ();
+    in_dyn || in_later
+
+  (* --- scans: three-way ordered merge --- *)
+
+  let frozen_scan t key n =
+    match t.merging with
+    | None -> []
+    | Some ms ->
+      let lo = ref 0 and hi = ref (Array.length ms.frozen) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if String.compare (fst ms.frozen.(mid)) key < 0 then lo := mid + 1 else hi := mid
+      done;
+      let out = ref [] and taken = ref 0 and i = ref !lo in
+      while !taken < n && !i < Array.length ms.frozen do
+        let k, vs = ms.frozen.(!i) in
+        if not (tombstoned t k) then
+          Array.iter
+            (fun v ->
+              if !taken < n then begin
+                out := (k, v) :: !out;
+                incr taken
+              end)
+            vs;
+        incr i
+      done;
+      List.rev !out
+
+  let scan_from t key n =
+    tick t;
+    let extra = Hashtbl.length t.tombstones in
+    let dyn_l = D.scan_from t.dyn key n in
+    let fro_l = frozen_scan t key n in
+    let sta_l = List.filter (fun (k, _) -> not (tombstoned t k)) (S.scan_from t.stat key (n + extra)) in
+    (* three-way merge with primary-key overwrite priority dyn > frozen > static *)
+    let rec merge3 a b c acc remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let head l = match l with [] -> None | (k, _) :: _ -> Some k in
+        let ka = head a and kb = head b and kc = head c in
+        let smaller acc k =
+          match (acc, k) with
+          | None, x -> x
+          | Some a, Some b -> Some (min a b)
+          | (Some _ as a), None -> a
+        in
+        let smallest = List.fold_left smaller None [ ka; kb; kc ] in
+        match smallest with
+        | None -> List.rev acc
+        | Some k ->
+          let take_from l = match l with (k', v) :: rest when k' = k -> (Some v, rest) | _ -> (None, l) in
+          let va, a = take_from a in
+          let vb, b = take_from b in
+          let vc, c = take_from c in
+          let v =
+            match t.config.kind with
+            | Hybrid.Primary -> ( match (va, vb, vc) with Some v, _, _ -> [ v ] | None, Some v, _ -> [ v ] | None, None, Some v -> [ v ] | _ -> [])
+            | Hybrid.Secondary ->
+              List.concat_map (function Some v -> [ v ] | None -> []) [ va; vb; vc ]
+          in
+          (* drop remaining duplicates of k from every source *)
+          let drop l = List.filter (fun (k', _) -> k' <> k || t.config.kind = Hybrid.Secondary) l in
+          let a, b, c =
+            if t.config.kind = Hybrid.Primary then (drop a, drop b, drop c) else (a, b, c)
+          in
+          let acc, remaining =
+            List.fold_left (fun (acc, r) v -> if r > 0 then ((k, v) :: acc, r - 1) else (acc, r)) (acc, remaining) v
+          in
+          merge3 a b c acc remaining
+    in
+    merge3 dyn_l fro_l sta_l [] n
+
+  (* Drain any active merge to completion (e.g. before a measurement). *)
+  let drain t =
+    while t.merging <> None do
+      step t
+    done
+
+  let force_merge t =
+    drain t;
+    if D.entry_count t.dyn > 0 || Hashtbl.length t.tombstones > 0 then begin
+      start_merge t;
+      drain t
+    end
+
+  let entry_count t = D.entry_count t.dyn + logical_static_count t
+  let dynamic_entry_count t = D.entry_count t.dyn
+
+  let memory_bytes t =
+    let frozen_bytes =
+      match t.merging with
+      | None -> 0
+      | Some ms ->
+        Array.fold_left
+          (fun acc (k, vs) -> acc + Mem_model.key_slot_bytes (String.length k) + (8 * Array.length vs))
+          0 ms.frozen
+    in
+    D.memory_bytes t.dyn + S.memory_bytes t.stat + frozen_bytes
+    + (if t.config.use_bloom then Bloom.memory_bytes t.bloom else 0)
+
+  let merging t = t.merging <> None
+
+  let stats t =
+    {
+      merges_started = t.merges_started;
+      merges_completed = t.merges_completed;
+      max_entries_per_op = t.max_entries_per_op;
+      total_merge_seconds = t.total_merge_seconds;
+    }
+end
+
+module Incremental_btree = Make (Hi_btree.Btree) (Hi_btree.Compact_btree)
+module Incremental_skiplist = Make (Hi_skiplist.Skiplist) (Hi_skiplist.Compact_skiplist)
+module Incremental_masstree = Make (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree)
+module Incremental_art = Make (Hi_art.Art) (Hi_art.Compact_art)

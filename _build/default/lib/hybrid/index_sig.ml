@@ -1,0 +1,78 @@
+(** A uniform first-class-module interface over plain dynamic indexes and
+    hybrid indexes, so benchmarks and the DBMS engine can swap index
+    implementations freely (paper §6.4 compares each hybrid index against
+    its original structure through exactly this kind of common API). *)
+
+module type INDEX = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+
+  val insert : t -> string -> int -> unit
+  (** Blind (secondary-style) insert. *)
+
+  val insert_unique : t -> string -> int -> bool
+  (** Primary-style insert: [false] if the key already exists. *)
+
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val delete_value : t -> string -> int -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+  val iter_sorted : t -> (string -> int array -> unit) -> unit
+  val entry_count : t -> int
+  val clear : t -> unit
+  val memory_bytes : t -> int
+
+  val flush : t -> unit
+  (** Force pending migrations (a merge for hybrid indexes; no-op for plain
+      structures). *)
+end
+
+type index = (module INDEX)
+
+(** Adapt a plain dynamic structure to {!INDEX}. *)
+module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
+  include D
+
+  let insert_unique t key value =
+    if D.mem t key then false
+    else begin
+      D.insert t key value;
+      true
+    end
+
+  let flush _ = ()
+end
+
+(** Instantiate a hybrid index with a fixed configuration as {!INDEX}. *)
+module Of_hybrid
+    (D : Hi_index.Index_intf.DYNAMIC)
+    (S : Hi_index.Index_intf.STATIC)
+    (C : sig
+      val config : Hybrid.config
+    end) : INDEX = struct
+  module H = Hybrid.Make (D) (S)
+
+  type t = H.t
+
+  let name = H.name
+  let create () = H.create ~config:C.config ()
+  let insert = H.insert
+  let insert_unique = H.insert_unique
+  let mem = H.mem
+  let find = H.find
+  let find_all = H.find_all
+  let update = H.update
+  let delete = H.delete
+  let delete_value = H.delete_value
+  let scan_from = H.scan_from
+  let iter_sorted = H.iter_sorted
+  let entry_count = H.entry_count
+  let clear = H.clear
+  let memory_bytes = H.memory_bytes
+  let flush = H.force_merge
+end

@@ -1,0 +1,42 @@
+(** The five hybrid indexes evaluated in the paper (§6): DST applied to
+    B+tree, Masstree, Skip List and ART, plus the Hybrid-Compressed B+tree
+    whose static stage also applies the Compression rule. *)
+
+module Hybrid_btree = Hybrid.Make (Hi_btree.Btree) (Hi_btree.Compact_btree)
+module Hybrid_compressed_btree = Hybrid.Make (Hi_btree.Btree) (Hi_btree.Compressed_btree)
+
+(** Future-work (§9) variant: front-coded static stage — between Compact
+    and Compressed on the space/performance curve. *)
+module Hybrid_frontcoded_btree = Hybrid.Make (Hi_btree.Btree) (Hi_btree.Frontcoded_btree)
+module Hybrid_skiplist = Hybrid.Make (Hi_skiplist.Skiplist) (Hi_skiplist.Compact_skiplist)
+module Hybrid_masstree = Hybrid.Make (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree)
+module Hybrid_art = Hybrid.Make (Hi_art.Art) (Hi_art.Compact_art)
+
+(** {!Index_sig.INDEX} packages of the four original structures. *)
+
+module Btree_index = Index_sig.Of_dynamic (Hi_btree.Btree)
+module Skiplist_index = Index_sig.Of_dynamic (Hi_skiplist.Skiplist)
+module Masstree_index = Index_sig.Of_dynamic (Hi_masstree.Masstree)
+module Art_index = Index_sig.Of_dynamic (Hi_art.Art)
+
+let original_indexes : (string * Index_sig.index) list =
+  [
+    ("btree", (module Btree_index));
+    ("masstree", (module Masstree_index));
+    ("skiplist", (module Skiplist_index));
+    ("art", (module Art_index));
+  ]
+
+(** Hybrid {!Index_sig.INDEX} packages for a given configuration. *)
+let hybrid_index ?(config = Hybrid.default_config) name : Index_sig.index =
+  let module C = struct
+    let config = config
+  end in
+  match name with
+  | "btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Compact_btree) (C))
+  | "compressed-btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Compressed_btree) (C))
+  | "frontcoded-btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Frontcoded_btree) (C))
+  | "masstree" -> (module Index_sig.Of_hybrid (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree) (C))
+  | "skiplist" -> (module Index_sig.Of_hybrid (Hi_skiplist.Skiplist) (Hi_skiplist.Compact_skiplist) (C))
+  | "art" -> (module Index_sig.Of_hybrid (Hi_art.Art) (Hi_art.Compact_art) (C))
+  | other -> invalid_arg ("Instances.hybrid_index: unknown structure " ^ other)

@@ -1,0 +1,1 @@
+lib/index/hash_index.ml: Array Bloom Hi_util Int64 Op_counter String

@@ -1,0 +1,1 @@
+lib/index/index_ref.ml: Array List Map Seq String

@@ -1,0 +1,1 @@
+lib/index/packed_sorted.ml: Array Bytes Char Hi_util Index_intf Inplace_merge Int64 List Mem_model Op_counter Seq String

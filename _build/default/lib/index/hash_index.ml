@@ -1,0 +1,150 @@
+(* Open-addressing hash index (robin-hood probing).
+
+   Appendix A of the paper observes that most in-memory OLTP DBMSs also
+   ship a hash index, but none uses it as the default because it cannot
+   answer range queries.  This implementation provides the equality-only
+   counterpart for that comparison: point operations in O(1) expected
+   time, no ordered scans.
+
+   One value per key (primary-index style); inserting an existing key
+   replaces its value. *)
+
+open Hi_util
+
+type t = {
+  mutable keys : string array; (* "" = empty slot *)
+  mutable values : int array;
+  mutable dist : int array; (* probe distance of the resident entry, -1 = empty *)
+  mutable count : int;
+  mutable mask : int;
+}
+
+let name = "hash"
+
+let initial_capacity = 16
+
+let create () =
+  {
+    keys = Array.make initial_capacity "";
+    values = Array.make initial_capacity 0;
+    dist = Array.make initial_capacity (-1);
+    count = 0;
+    mask = initial_capacity - 1;
+  }
+
+let hash key = Int64.to_int (Int64.shift_right_logical (Bloom.fnv1a_64 key) 2)
+
+let rec insert_slot t key value =
+  (* robin-hood: displace entries closer to their home slot *)
+  let key = ref key and value = ref value and d = ref 0 in
+  let i = ref (hash !key land t.mask) in
+  let placed = ref false in
+  while not !placed do
+    if t.dist.(!i) < 0 then begin
+      t.keys.(!i) <- !key;
+      t.values.(!i) <- !value;
+      t.dist.(!i) <- !d;
+      t.count <- t.count + 1;
+      placed := true
+    end
+    else if t.keys.(!i) = !key then begin
+      t.values.(!i) <- !value;
+      placed := true
+    end
+    else begin
+      if t.dist.(!i) < !d then begin
+        (* swap with the richer resident *)
+        let k = t.keys.(!i) and v = t.values.(!i) and dd = t.dist.(!i) in
+        t.keys.(!i) <- !key;
+        t.values.(!i) <- !value;
+        t.dist.(!i) <- !d;
+        key := k;
+        value := v;
+        d := dd
+      end;
+      incr d;
+      i := (!i + 1) land t.mask
+    end
+  done
+
+and grow t =
+  let old_keys = t.keys and old_values = t.values and old_dist = t.dist in
+  let capacity = (t.mask + 1) * 2 in
+  t.keys <- Array.make capacity "";
+  t.values <- Array.make capacity 0;
+  t.dist <- Array.make capacity (-1);
+  t.mask <- capacity - 1;
+  t.count <- 0;
+  Array.iteri (fun i k -> if old_dist.(i) >= 0 then insert_slot t k old_values.(i)) old_keys
+
+let insert t key value =
+  if (t.count + 1) * 10 > (t.mask + 1) * 7 then grow t;
+  insert_slot t key value
+
+let find_slot t key =
+  let i = ref (hash key land t.mask) and d = ref 0 in
+  let result = ref (-1) and stop = ref false in
+  while not !stop do
+    if t.dist.(!i) < 0 || t.dist.(!i) < !d then stop := true
+    else if t.keys.(!i) = key then begin
+      result := !i;
+      stop := true
+    end
+    else begin
+      incr d;
+      i := (!i + 1) land t.mask
+    end
+  done;
+  !result
+
+let find t key =
+  Op_counter.visit ();
+  let s = find_slot t key in
+  if s >= 0 then Some t.values.(s) else None
+
+let mem t key = find_slot t key >= 0
+
+let delete t key =
+  let s = find_slot t key in
+  if s < 0 then false
+  else begin
+    (* backward-shift deletion keeps probe chains intact *)
+    let i = ref s in
+    let continue = ref true in
+    while !continue do
+      let next = (!i + 1) land t.mask in
+      if t.dist.(next) <= 0 then begin
+        t.keys.(!i) <- "";
+        t.dist.(!i) <- -1;
+        continue := false
+      end
+      else begin
+        t.keys.(!i) <- t.keys.(next);
+        t.values.(!i) <- t.values.(next);
+        t.dist.(!i) <- t.dist.(next) - 1;
+        i := next
+      end
+    done;
+    t.count <- t.count - 1;
+    true
+  end
+
+let entry_count t = t.count
+
+let clear t =
+  t.keys <- Array.make initial_capacity "";
+  t.values <- Array.make initial_capacity 0;
+  t.dist <- Array.make initial_capacity (-1);
+  t.count <- 0;
+  t.mask <- initial_capacity - 1
+
+(* Modelled layout: per slot an 8-byte key pointer/slice, 8-byte value and
+   1-byte metadata, plus out-of-line long keys. *)
+let memory_bytes t =
+  let out_of_line = ref 0 in
+  Array.iteri
+    (fun i k -> if t.dist.(i) >= 0 && String.length k > 8 then out_of_line := !out_of_line + String.length k)
+    t.keys;
+  ((t.mask + 1) * 17) + !out_of_line
+
+let load_factor t = float_of_int t.count /. float_of_int (t.mask + 1)

@@ -1,0 +1,30 @@
+(** Open-addressing hash index (robin-hood probing, backward-shift
+    deletion).
+
+    The equality-only counterpart discussed in the paper's Appendix A:
+    supported by most in-memory DBMSs, default in none, because it cannot
+    answer range queries.  One value per key; inserting an existing key
+    replaces its value. *)
+
+type t
+
+val name : string
+val create : unit -> t
+
+val insert : t -> string -> int -> unit
+(** Insert or replace. *)
+
+val find : t -> string -> int option
+val mem : t -> string -> bool
+
+val delete : t -> string -> bool
+(** Remove a key; [false] when absent. *)
+
+val entry_count : t -> int
+val clear : t -> unit
+
+val memory_bytes : t -> int
+(** Modelled layout: 17 bytes per slot (key slice/pointer, value,
+    metadata) plus out-of-line long keys. *)
+
+val load_factor : t -> float

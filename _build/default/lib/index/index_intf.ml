@@ -1,0 +1,96 @@
+(** Module types shared by every index structure in the repository.
+
+    All indexes are keyed by order-preserving byte strings (see
+    {!Hi_util.Key_codec}) and hold [int] values (tuple pointers, paper
+    §6.1).  A key may map to several values when the index is used as a
+    secondary index; entries are then grouped per key as a value array
+    (paper §4.2). *)
+
+(** How a merge resolves a key present in both the static stage and the
+    incoming batch. *)
+type merge_mode =
+  | Replace  (** primary index: the dynamic-stage value overwrites *)
+  | Concat  (** secondary index: value arrays are concatenated *)
+
+(** An entry batch handed to a static-stage build or merge: keys strictly
+    sorted, values non-empty. *)
+type entries = (string * int array) array
+
+(** Write-optimized dynamic-stage structure (paper §3: "a fast dynamic data
+    structure [used] as a write buffer").  Stores individual (key, value)
+    entries; duplicate keys are allowed for secondary-index use. *)
+module type DYNAMIC = sig
+  type t
+
+  val name : string
+
+  val create : unit -> t
+
+  val insert : t -> string -> int -> unit
+  (** Add one (key, value) entry. Duplicate keys allowed. *)
+
+  val mem : t -> string -> bool
+
+  val find : t -> string -> int option
+  (** First (leftmost) value for the key. *)
+
+  val find_all : t -> string -> int list
+  (** All values for the key, insertion-position order. *)
+
+  val update : t -> string -> int -> bool
+  (** Replace the first value in place; [false] when the key is absent. *)
+
+  val delete : t -> string -> bool
+  (** Remove the key and all its values; [false] when absent. *)
+
+  val delete_value : t -> string -> int -> bool
+  (** Remove one (key, value) entry; [false] when no such entry. *)
+
+  val scan_from : t -> string -> int -> (string * int) list
+  (** Up to [n] entries with key >= the probe, ascending key order. *)
+
+  val iter_sorted : t -> (string -> int array -> unit) -> unit
+  (** Visit keys in ascending order, each with its grouped value array. *)
+
+  val entry_count : t -> int
+  (** Number of (key, value) entries. *)
+
+  val clear : t -> unit
+
+  val memory_bytes : t -> int
+  (** Modelled C-layout footprint (see {!Hi_util.Mem_model}). *)
+end
+
+(** Read-only static-stage structure produced by the D-to-S rules (paper
+    §4).  Built in bulk; value cells stay mutable so secondary indexes can
+    update values in place (paper §3). *)
+module type STATIC = sig
+  type t
+
+  val name : string
+
+  val empty : t
+
+  val build : entries -> t
+  (** Build from strictly-sorted, duplicate-free entries. *)
+
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+
+  val update : t -> string -> int -> bool
+  (** In-place first-value replacement (secondary-index semantics). *)
+
+  val scan_from : t -> string -> int -> (string * int) list
+  val iter_sorted : t -> (string -> int array -> unit) -> unit
+
+  val key_count : t -> int
+  val entry_count : t -> int
+
+  val merge : t -> entries -> mode:merge_mode -> deleted:(string -> bool) -> t
+  (** Migrate a sorted dynamic-stage batch into a new static structure.
+      Keys satisfying [deleted] are dropped (tombstone collection, paper
+      §3); duplicates resolve per [mode]. *)
+
+  val memory_bytes : t -> int
+end

@@ -1,0 +1,72 @@
+(* Reference index: a Map-based oracle implementing the DYNAMIC semantics.
+   Property tests run random operation sequences against a real structure
+   and this model and compare observations. *)
+
+module M = Map.Make (String)
+
+type t = { mutable map : int list M.t }
+
+let name = "reference"
+let create () = { map = M.empty }
+
+let insert t k v =
+  t.map <- M.update k (function None -> Some [ v ] | Some vs -> Some (vs @ [ v ])) t.map
+
+let mem t k = M.mem k t.map
+let find t k = match M.find_opt k t.map with Some (v :: _) -> Some v | _ -> None
+let find_all t k = match M.find_opt k t.map with Some vs -> vs | None -> []
+
+let update t k v =
+  match M.find_opt k t.map with
+  | Some (_ :: rest) ->
+    t.map <- M.add k (v :: rest) t.map;
+    true
+  | _ -> false
+
+let delete t k =
+  if M.mem k t.map then begin
+    t.map <- M.remove k t.map;
+    true
+  end
+  else false
+
+let delete_value t k v =
+  match M.find_opt k t.map with
+  | None -> false
+  | Some vs ->
+    if List.mem v vs then begin
+      let rec drop_first = function
+        | [] -> []
+        | x :: rest -> if x = v then rest else x :: drop_first rest
+      in
+      (match drop_first vs with
+      | [] -> t.map <- M.remove k t.map
+      | vs' -> t.map <- M.add k vs' t.map);
+      true
+    end
+    else false
+
+let scan_from t k n =
+  let _, eq, above = M.split k t.map in
+  let seq =
+    match eq with
+    | None -> M.to_seq above
+    | Some vs -> Seq.cons (k, vs) (M.to_seq above)
+  in
+  let out = ref [] and taken = ref 0 in
+  Seq.iter
+    (fun (key, vs) ->
+      List.iter
+        (fun v ->
+          if !taken < n then begin
+            out := (key, v) :: !out;
+            incr taken
+          end)
+        vs)
+    seq;
+  List.rev !out
+
+let iter_sorted t f = M.iter (fun k vs -> f k (Array.of_list vs)) t.map
+let entry_count t = M.fold (fun _ vs acc -> acc + List.length vs) t.map 0
+let clear t = t.map <- M.empty
+let memory_bytes _ = 0

@@ -1,0 +1,239 @@
+(* Packed sorted-entries store: the structural core shared by the Compact
+   B+tree and the Compact Skip List after the Compaction and Structural
+   Reduction rules (paper §4.2–4.3, Fig 2).
+
+   All keys are concatenated in a single byte array with an offset array
+   (100% occupancy, no per-node slack); values are likewise packed with a
+   per-key offset array so a key maps to one or more values without
+   duplicating the key.  Parent-to-child pointers are gone: upper "levels"
+   are sampled separator arrays whose child windows are computed from
+   in-memory offsets, exactly the dashed arrows of Fig 2. *)
+
+open Hi_util
+
+let fanout = 32
+
+type t = {
+  nkeys : int;
+  key_bytes : Bytes.t;
+  key_offsets : int array; (* nkeys + 1 *)
+  values : int array;
+  val_offsets : int array; (* nkeys + 1 *)
+  levels : string array array; (* levels.(0) samples the leaf entries *)
+}
+
+let empty =
+  {
+    nkeys = 0;
+    key_bytes = Bytes.empty;
+    key_offsets = [| 0 |];
+    values = [||];
+    val_offsets = [| 0 |];
+    levels = [||];
+  }
+
+let key_count t = t.nkeys
+let entry_count t = Array.length t.values
+
+let get_key t i = Bytes.sub_string t.key_bytes t.key_offsets.(i) (t.key_offsets.(i + 1) - t.key_offsets.(i))
+
+(* Compare entry [i]'s key with [probe] without materializing the key.
+   8-byte keys (the encoded-integer case) compare as one unsigned word. *)
+let compare_at t i probe =
+  Op_counter.compare_keys 1;
+  let off = t.key_offsets.(i) in
+  let len = t.key_offsets.(i + 1) - off in
+  let plen = String.length probe in
+  if len = 8 && plen = 8 then
+    Int64.unsigned_compare (Bytes.get_int64_be t.key_bytes off) (String.get_int64_be probe 0)
+  else begin
+    (* longer keys: compare word-at-a-time over the packed bytes *)
+    let m = min len plen in
+    let words = m lsr 3 in
+    let rec go_words w =
+      if w >= words then go_bytes (words lsl 3)
+      else
+        let a = Bytes.get_int64_be t.key_bytes (off + (w lsl 3)) in
+        let b = String.get_int64_be probe (w lsl 3) in
+        if a = b then go_words (w + 1) else Int64.unsigned_compare a b
+    and go_bytes j =
+      if j >= m then compare len plen
+      else
+        let c = Char.compare (Bytes.unsafe_get t.key_bytes (off + j)) (String.unsafe_get probe j) in
+        if c <> 0 then c else go_bytes (j + 1)
+    in
+    go_words 0
+  end
+
+(* Leftmost index in [lo, hi) whose key >= probe (= hi when none). *)
+let lower_bound_range t probe lo hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_at t mid probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Walk the separator levels top-down to narrow the search window, then
+   binary-search the leaf window: the computed-offset traversal of the
+   compact structure. *)
+let lower_bound t probe =
+  if t.nkeys = 0 then 0
+  else begin
+    let nlevels = Array.length t.levels in
+    (* window in level [l] units; level -1 means leaf entries *)
+    let rec descend l lo hi =
+      Op_counter.visit ();
+      if l < 0 then lower_bound_range t probe lo (min hi t.nkeys)
+      else begin
+        let level = t.levels.(l) in
+        let hi = min hi (Array.length level) in
+        (* leftmost separator >= probe within [lo, hi) *)
+        let a = ref lo and b = ref hi in
+        while !a < !b do
+          let mid = (!a + !b) / 2 in
+          Op_counter.compare_keys 1;
+          if String.compare level.(mid) probe < 0 then a := mid + 1 else b := mid
+        done;
+        (* the block to search starts one separator earlier: keys equal to
+           the separator may begin in the previous block only when the
+           separator is the block's first key, so start at !a - 1 *)
+        let block = max lo (!a - 1) in
+        descend (l - 1) (block * fanout) ((!a + 1) * fanout)
+      end
+    in
+    let top = nlevels - 1 in
+    if top < 0 then descend (-1) 0 t.nkeys else descend top 0 (Array.length t.levels.(top))
+  end
+
+let find_index t probe =
+  if t.nkeys = 0 then None
+  else
+    let i = lower_bound t probe in
+    if i < t.nkeys && compare_at t i probe = 0 then Some i else None
+
+let mem t probe = find_index t probe <> None
+
+let values_of t i = Array.sub t.values t.val_offsets.(i) (t.val_offsets.(i + 1) - t.val_offsets.(i))
+
+let find t probe =
+  match find_index t probe with None -> None | Some i -> Some t.values.(t.val_offsets.(i))
+
+let find_all t probe =
+  match find_index t probe with None -> [] | Some i -> Array.to_list (values_of t i)
+
+let update t probe v =
+  match find_index t probe with
+  | None -> false
+  | Some i ->
+    t.values.(t.val_offsets.(i)) <- v;
+    true
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  let i = ref (lower_bound t probe) in
+  while !taken < n && !i < t.nkeys do
+    let key = get_key t !i in
+    let vlo = t.val_offsets.(!i) and vhi = t.val_offsets.(!i + 1) in
+    let j = ref vlo in
+    while !taken < n && !j < vhi do
+      out := (key, t.values.(!j)) :: !out;
+      incr taken;
+      incr j
+    done;
+    incr i
+  done;
+  List.rev !out
+
+let iter_sorted t f =
+  for i = 0 to t.nkeys - 1 do
+    f (get_key t i) (values_of t i)
+  done
+
+let to_entries t = Array.init t.nkeys (fun i -> (get_key t i, values_of t i))
+
+let build_levels keys nkeys get =
+  (* sample every [fanout]-th key per level until a level fits in one node *)
+  let rec up level acc =
+    let n = Array.length level in
+    if n <= fanout then List.rev (level :: acc)
+    else begin
+      let next = Array.init ((n + fanout - 1) / fanout) (fun i -> level.(i * fanout)) in
+      up next (level :: acc)
+    end
+  in
+  if nkeys <= fanout then [||]
+  else begin
+    let level0 = Array.init ((nkeys + fanout - 1) / fanout) (fun i -> get keys (i * fanout)) in
+    Array.of_list (up level0 [])
+  end
+
+let build (entries : Index_intf.entries) =
+  let nkeys = Array.length entries in
+  if nkeys = 0 then empty
+  else begin
+    let key_offsets = Array.make (nkeys + 1) 0 in
+    let val_offsets = Array.make (nkeys + 1) 0 in
+    for i = 0 to nkeys - 1 do
+      let k, vs = entries.(i) in
+      key_offsets.(i + 1) <- key_offsets.(i) + String.length k;
+      val_offsets.(i + 1) <- val_offsets.(i) + Array.length vs
+    done;
+    let key_bytes = Bytes.create key_offsets.(nkeys) in
+    let values = Array.make val_offsets.(nkeys) 0 in
+    for i = 0 to nkeys - 1 do
+      let k, vs = entries.(i) in
+      Bytes.blit_string k 0 key_bytes key_offsets.(i) (String.length k);
+      Array.blit vs 0 values val_offsets.(i) (Array.length vs)
+    done;
+    let levels = build_levels entries nkeys (fun e i -> fst e.(i)) in
+    { nkeys; key_bytes; key_offsets; values; val_offsets; levels }
+  end
+
+let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~deleted =
+  let resolve (k, old_vs) (_, new_vs) =
+    match mode with
+    | Index_intf.Replace -> Some (k, new_vs)
+    | Index_intf.Concat -> Some (k, Array.append old_vs new_vs)
+  in
+  let cmp (a, _) (b, _) = String.compare a b in
+  let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
+  let survivors = Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)) in
+  build survivors
+
+(* Memory accounting hooks: wrappers add their own structural constants. *)
+
+(* Leaf-level key storage: fixed 8-byte keys sit inline in 8-byte slots
+   (no offset array needed); variable-length keys are packed with a 4-byte
+   offset each. *)
+let leaf_key_store_bytes t =
+  let fixed8 = ref true in
+  for i = 0 to t.nkeys - 1 do
+    if t.key_offsets.(i + 1) - t.key_offsets.(i) <> 8 then fixed8 := false
+  done;
+  if !fixed8 then 8 * t.nkeys else Bytes.length t.key_bytes + (4 * (t.nkeys + 1))
+
+(* Leaf-level value storage: one value per key stores inline; multi-value
+   keys need a per-key offset array. *)
+let leaf_value_store_bytes t =
+  let entries = Array.length t.values in
+  let base = Mem_model.value_size * entries in
+  if entries = t.nkeys then base else base + (4 * (t.nkeys + 1))
+
+let key_bytes_total t = Bytes.length t.key_bytes
+
+let level_key_slots t =
+  Array.fold_left (fun acc level -> acc + Array.length level) 0 t.levels
+
+let level_key_bytes t =
+  Array.fold_left
+    (fun acc level -> Array.fold_left (fun a k -> a + Mem_model.key_slot_bytes (String.length k)) acc level)
+    0 t.levels
+
+(* Lazy entry cursor (for incremental merging): entries in key order,
+   produced on demand. *)
+let to_seq t =
+  let rec from i () =
+    if i >= t.nkeys then Seq.Nil else Seq.Cons ((get_key t i, values_of t i), from (i + 1))
+  in
+  from 0

@@ -1,0 +1,1 @@
+lib/masstree/compact_masstree.ml: Array Buffer Bytes Char Hi_index Hi_util Index_intf Inplace_merge Int64 List Mem_model Op_counter Seq String

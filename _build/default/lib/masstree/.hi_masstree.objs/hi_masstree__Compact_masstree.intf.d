@@ -1,0 +1,1 @@
+lib/masstree/compact_masstree.mli: Hi_index Seq

@@ -1,0 +1,1 @@
+lib/masstree/layer_tree.ml: Array Hi_util Int64 Op_counter

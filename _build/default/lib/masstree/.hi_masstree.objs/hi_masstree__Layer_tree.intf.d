@@ -1,0 +1,1 @@
+lib/masstree/layer_tree.mli:

@@ -1,0 +1,1 @@
+lib/masstree/masstree.ml: Array Bytes Char Hi_util Int64 Layer_tree List Mem_model Op_counter String

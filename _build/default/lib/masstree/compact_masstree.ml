@@ -1,0 +1,400 @@
+(* Compact Masstree — the static-stage structure of Fig 4: each trie node's
+   B+tree collapses into sorted arrays (binary search replaces the B+tree
+   walk, §4.3), and all key suffixes of a trie node are concatenated into a
+   single byte array with an offset array marking their starts.
+
+   The merge routine implements the recursive algorithm of Appendix B
+   (Fig 10): merge_nodes / add_item / create_node, combining sorted-array
+   merging with trie traversal; untouched sub-layers are reused as-is. *)
+
+open Hi_util
+open Hi_index
+
+type clink =
+  | CVals of int array (* key ends within this slice *)
+  | CSuf of int array (* unique key extends; suffix lives in the node's bag *)
+  | CSub of cnode (* shared slice: next trie layer *)
+
+and cnode = {
+  mslices : int64 array;
+  mlens : int array; (* 0-8 terminal, 9 extended *)
+  mlinks : clink array;
+  msuffixes : string; (* concatenated suffixes of this trie node *)
+  msuf_off : int array; (* nkeys + 1 start offsets; empty ranges for non-suffix entries *)
+}
+
+type t = { mroot : cnode option; mnkeys : int; mnentries : int }
+
+let name = "compact-masstree"
+let empty = { mroot = None; mnkeys = 0; mnentries = 0 }
+
+let slice_of key off =
+  let r = String.length key - off in
+  let len = min r 8 in
+  let s = ref 0L in
+  for i = 0 to 7 do
+    let b = if i < len then Char.code (String.unsafe_get key (off + i)) else 0 in
+    s := Int64.logor (Int64.shift_left !s 8) (Int64.of_int b)
+  done;
+  (!s, if r > 8 then 9 else r)
+
+let slice_bytes s len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical s ((7 - i) * 8)) 0xffL)))
+  done;
+  Bytes.unsafe_to_string b
+
+let compare_sl s1 l1 s2 l2 =
+  let c = Int64.unsigned_compare s1 s2 in
+  if c <> 0 then c else compare l1 l2
+
+(* --- construction ---
+
+   [entries] hold the *remaining* key bytes relative to this trie node;
+   recursion strips 8 bytes per layer. *)
+
+type pre_entry = { pslice : int64; plen : int; plink : clink; psuffix : string }
+
+let assemble pres =
+  let n = List.length pres in
+  let mslices = Array.make n 0L in
+  let mlens = Array.make n 0 in
+  let mlinks = Array.make n (CVals [||]) in
+  let msuf_off = Array.make (n + 1) 0 in
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i p ->
+      mslices.(i) <- p.pslice;
+      mlens.(i) <- p.plen;
+      mlinks.(i) <- p.plink;
+      Buffer.add_string buf p.psuffix;
+      msuf_off.(i + 1) <- msuf_off.(i) + String.length p.psuffix)
+    pres;
+  { mslices; mlens; mlinks; msuffixes = Buffer.contents buf; msuf_off }
+
+let rec build_cnode (entries : (string * int array) array) lo hi =
+  let pres = ref [] in
+  let i = ref lo in
+  while !i < hi do
+    let key, _ = entries.(!i) in
+    let s, len = slice_of key 0 in
+    if len <= 8 then begin
+      (* terminal: distinct keys, so exactly this entry *)
+      pres := { pslice = s; plen = len; plink = CVals (snd entries.(!i)); psuffix = "" } :: !pres;
+      incr i
+    end
+    else begin
+      (* group every key sharing this slice *)
+      let j = ref !i in
+      while
+        !j < hi
+        &&
+        let s', len' = slice_of (fst entries.(!j)) 0 in
+        s' = s && len' = 9
+      do
+        incr j
+      done;
+      if !j - !i = 1 then begin
+        let key, vs = entries.(!i) in
+        let suffix = String.sub key 8 (String.length key - 8) in
+        pres := { pslice = s; plen = 9; plink = CSuf vs; psuffix = suffix } :: !pres
+      end
+      else begin
+        let sub_entries =
+          Array.init (!j - !i) (fun k ->
+              let key, vs = entries.(!i + k) in
+              (String.sub key 8 (String.length key - 8), vs))
+        in
+        let sub = build_cnode sub_entries 0 (Array.length sub_entries) in
+        pres := { pslice = s; plen = 9; plink = CSub sub; psuffix = "" } :: !pres
+      end;
+      i := !j
+    end
+  done;
+  assemble (List.rev !pres)
+
+let count_entries entries = Array.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 entries
+
+let build (entries : Index_intf.entries) =
+  let n = Array.length entries in
+  if n = 0 then empty
+  else { mroot = Some (build_cnode entries 0 n); mnkeys = n; mnentries = count_entries entries }
+
+(* --- lookups --- *)
+
+let nkeys node = Array.length node.mslices
+
+let node_lower_bound node s len =
+  let lo = ref 0 and hi = ref (nkeys node) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if compare_sl node.mslices.(mid) node.mlens.(mid) s len < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let suffix_of node i = String.sub node.msuffixes node.msuf_off.(i) (node.msuf_off.(i + 1) - node.msuf_off.(i))
+
+let rec find_vals node key off =
+  Op_counter.visit ();
+  let s, len = slice_of key off in
+  let probe_len = if len <= 8 then len else 9 in
+  let i = node_lower_bound node s probe_len in
+  if i >= nkeys node || node.mslices.(i) <> s || node.mlens.(i) <> probe_len then None
+  else
+    match node.mlinks.(i) with
+    | CVals vs -> Some vs
+    | CSuf vs ->
+      let suffix = String.sub key (off + 8) (String.length key - off - 8) in
+      Op_counter.compare_keys 1;
+      if suffix_of node i = suffix then Some vs else None
+    | CSub sub ->
+      Op_counter.deref ();
+      find_vals sub key (off + 8)
+
+let vals_opt t key = match t.mroot with None -> None | Some node -> find_vals node key 0
+let mem t key = vals_opt t key <> None
+let find t key = match vals_opt t key with Some vs when Array.length vs > 0 -> Some vs.(0) | _ -> None
+let find_all t key = match vals_opt t key with Some vs -> Array.to_list vs | None -> []
+
+let update t key v =
+  match vals_opt t key with
+  | Some vs when Array.length vs > 0 ->
+    vs.(0) <- v;
+    true
+  | _ -> false
+
+(* --- ordered traversal --- *)
+
+let rec iter_node node path f =
+  for i = 0 to nkeys node - 1 do
+    match node.mlinks.(i) with
+    | CVals vs -> f (path ^ slice_bytes node.mslices.(i) node.mlens.(i)) vs
+    | CSuf vs -> f (path ^ slice_bytes node.mslices.(i) 8 ^ suffix_of node i) vs
+    | CSub sub -> iter_node sub (path ^ slice_bytes node.mslices.(i) 8) f
+  done
+
+let iter_sorted t f = match t.mroot with None -> () | Some node -> iter_node node "" f
+
+exception Enough
+
+let rec scan_node node probe off path f =
+  if off >= String.length probe then iter_node node path f
+  else begin
+    let ps, plen = slice_of probe off in
+    let start = node_lower_bound node ps 0 in
+    for i = start to nkeys node - 1 do
+      let s = node.mslices.(i) in
+      if s <> ps then (
+        match node.mlinks.(i) with
+        | CVals vs -> f (path ^ slice_bytes s node.mlens.(i)) vs
+        | CSuf vs -> f (path ^ slice_bytes s 8 ^ suffix_of node i) vs
+        | CSub sub -> iter_node sub (path ^ slice_bytes s 8) f)
+      else
+        match node.mlinks.(i) with
+        | CVals vs ->
+          let full = path ^ slice_bytes s node.mlens.(i) in
+          if String.compare full probe >= 0 then f full vs
+        | CSuf vs ->
+          let full = path ^ slice_bytes s 8 ^ suffix_of node i in
+          if String.compare full probe >= 0 then f full vs
+        | CSub sub ->
+          if plen = 9 then scan_node sub probe (off + 8) (path ^ slice_bytes s 8) f
+          else iter_node sub (path ^ slice_bytes s 8) f
+    done
+  end
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  (try
+     match t.mroot with
+     | None -> ()
+     | Some node ->
+       scan_node node probe 0 "" (fun k vs ->
+           Array.iter
+             (fun v ->
+               if !taken >= n then raise Enough;
+               out := (k, v) :: !out;
+               incr taken)
+             vs)
+   with Enough -> ());
+  List.rev !out
+
+let key_count t = t.mnkeys
+let entry_count t = t.mnentries
+
+let to_entries t =
+  let out = ref [] in
+  iter_sorted t (fun k vs -> out := (k, vs) :: !out);
+  Array.of_list (List.rev !out)
+
+(* --- recursive merge (Appendix B, Fig 10) --- *)
+
+let resolve_values (mode : Index_intf.merge_mode) old_vs new_vs =
+  match mode with Replace -> new_vs | Concat -> Array.append old_vs new_vs
+
+(* merge_nodes: zip the node's sorted entries with the batch groups *)
+let rec merge_cnode node (batch : (string * int array) array) lo hi mode =
+  if lo >= hi then node
+  else begin
+    (* pre-group the batch by (slice, len) *)
+    let groups = ref [] in
+    let i = ref lo in
+    while !i < hi do
+      let s, len = slice_of (fst batch.(!i)) 0 in
+      let len = if len <= 8 then len else 9 in
+      let j = ref !i in
+      while
+        !j < hi
+        &&
+        let s', len' = slice_of (fst batch.(!j)) 0 in
+        let len' = if len' <= 8 then len' else 9 in
+        s' = s && len' = len
+      do
+        incr j
+      done;
+      groups := (s, len, !i, !j) :: !groups;
+      i := !j
+    done;
+    let groups = List.rev !groups in
+    let sub_batch glo ghi =
+      Array.init (ghi - glo) (fun k ->
+          let key, vs = batch.(glo + k) in
+          (String.sub key 8 (String.length key - 8), vs))
+    in
+    (* build a link for a batch group with no existing entry (create_node) *)
+    let link_of_group s len glo ghi =
+      if len <= 8 then { pslice = s; plen = len; plink = CVals (snd batch.(glo)); psuffix = "" }
+      else if ghi - glo = 1 then begin
+        let key, vs = batch.(glo) in
+        { pslice = s; plen = 9; plink = CSuf vs; psuffix = String.sub key 8 (String.length key - 8) }
+      end
+      else begin
+        let sb = sub_batch glo ghi in
+        { pslice = s; plen = 9; plink = CSub (build_cnode sb 0 (Array.length sb)); psuffix = "" }
+      end
+    in
+    (* combine an existing entry with a batch group of the same (slice, len):
+       the four cases of Fig 10 *)
+    let combine idx s len glo ghi =
+      match node.mlinks.(idx) with
+      | CVals old_vs ->
+        (* terminal keys are unique: the group is a single key *)
+        { pslice = s; plen = len; plink = CVals (resolve_values mode old_vs (snd batch.(glo))); psuffix = "" }
+      | CSub sub ->
+        (* case 1/2: existing child layer absorbs the batch group *)
+        let sb = sub_batch glo ghi in
+        { pslice = s; plen = 9; plink = CSub (merge_cnode sub sb 0 (Array.length sb) mode); psuffix = "" }
+      | CSuf old_vs ->
+        let old_suffix = suffix_of node idx in
+        if ghi - glo = 1 && String.sub (fst batch.(glo)) 8 (String.length (fst batch.(glo)) - 8) = old_suffix
+        then
+          (* same key: resolve values in place *)
+          { pslice = s; plen = 9; plink = CSuf (resolve_values mode old_vs (snd batch.(glo))); psuffix = old_suffix }
+        else begin
+          (* case 3/4: the slice is no longer uniquely owned — push the old
+             suffix down and build a child layer (create_node) *)
+          let sb = sub_batch glo ghi in
+          let cmp (a, _) (b, _) = String.compare a b in
+          let resolve (k, ov) (_, nv) = Some (k, resolve_values mode ov nv) in
+          let merged = Inplace_merge.merge_resolve ~cmp ~resolve [| (old_suffix, old_vs) |] sb in
+          { pslice = s; plen = 9; plink = CSub (build_cnode merged 0 (Array.length merged)); psuffix = "" }
+        end
+    in
+    let out = ref [] in
+    let add p = out := p :: !out in
+    let keep idx =
+      add
+        {
+          pslice = node.mslices.(idx);
+          plen = node.mlens.(idx);
+          plink = node.mlinks.(idx);
+          psuffix = suffix_of node idx;
+        }
+    in
+    let n = nkeys node in
+    let rec zip idx groups =
+      match groups with
+      | [] -> for k = idx to n - 1 do keep k done
+      | (s, len, glo, ghi) :: rest ->
+        if idx >= n then begin
+          add (link_of_group s len glo ghi);
+          zip idx rest
+        end
+        else begin
+          let c = compare_sl node.mslices.(idx) node.mlens.(idx) s len in
+          if c < 0 then begin
+            keep idx;
+            zip (idx + 1) groups
+          end
+          else if c > 0 then begin
+            add (link_of_group s len glo ghi);
+            zip idx rest
+          end
+          else begin
+            add (combine idx s len glo ghi);
+            zip (idx + 1) rest
+          end
+        end
+    in
+    zip 0 groups;
+    assemble (List.rev !out)
+  end
+
+let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~deleted =
+  let has_deletions =
+    Array.exists (fun (k, _) -> deleted k) (to_entries t) || Array.exists (fun (k, _) -> deleted k) batch
+  in
+  if has_deletions then begin
+    let cmp (a, _) (b, _) = String.compare a b in
+    let resolve (k, ov) (_, nv) = Some (k, resolve_values mode ov nv) in
+    let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
+    build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+  end
+  else
+    match t.mroot with
+    | None -> build batch
+    | Some node ->
+      let root = merge_cnode node batch 0 (Array.length batch) mode in
+      let nk = ref 0 and ne = ref 0 in
+      iter_node root "" (fun _ vs ->
+          incr nk;
+          ne := !ne + Array.length vs);
+      { mroot = Some root; mnkeys = !nk; mnentries = !ne }
+
+(* --- memory model (Fig 4) --- *)
+
+let node_overhead = 16
+
+let rec node_memory node =
+  let n = nkeys node in
+  let per_entry = 8 (* keyslice *) + 1 (* key length *) + Mem_model.value_size (* value ptr *) + 4 (* suffix offset *) in
+  let bytes = ref (node_overhead + (n * per_entry) + String.length node.msuffixes) in
+  Array.iter
+    (fun link ->
+      match link with
+      | CVals vs | CSuf vs -> if Array.length vs > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length vs)
+      | CSub sub -> bytes := !bytes + node_memory sub)
+    node.mlinks;
+  !bytes
+
+let memory_bytes t = match t.mroot with None -> 0 | Some node -> node_memory node
+
+(* Lazy entry cursor via an explicit work stack of (node, index, path). *)
+let to_seq t =
+  let rec walk stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (node, i, path) :: rest ->
+      if i >= nkeys node then walk rest ()
+      else begin
+        let tail = (node, i + 1, path) :: rest in
+        match node.mlinks.(i) with
+        | CVals vs -> Seq.Cons ((path ^ slice_bytes node.mslices.(i) node.mlens.(i), vs), walk tail)
+        | CSuf vs ->
+          Seq.Cons ((path ^ slice_bytes node.mslices.(i) 8 ^ suffix_of node i, vs), walk tail)
+        | CSub sub -> walk ((sub, 0, path ^ slice_bytes node.mslices.(i) 8) :: tail) ()
+      end
+  in
+  match t.mroot with None -> Seq.empty | Some node -> walk [ (node, 0, "") ]

@@ -1,0 +1,42 @@
+(** Compact Masstree — the static-stage structure of paper Fig 4: each trie
+    node's B+tree collapses into sorted arrays searched by binary search
+    (§4.3), and the node's key suffixes are concatenated into a single byte
+    array with an offset array marking starts.
+
+    [merge] implements the recursive trie merge of Appendix B (Fig 10);
+    untouched sub-layers are reused as-is.
+
+    Implements {!Hi_index.Index_intf.STATIC}. *)
+
+type t
+
+val name : string
+val empty : t
+val build : Hi_index.Index_intf.entries -> t
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+(** Recursive merge_nodes / add_item / create_node of Fig 10; merges with
+    tombstones fall back to a flat rebuild. *)
+
+val memory_bytes : t -> int
+(** Fig 4 layout: per entry an 8-byte keyslice, 1-byte length, 8-byte value
+    pointer and 4-byte suffix offset, plus the concatenated suffix bytes
+    and value arrays. *)
+
+val to_seq : t -> (string * int array) Seq.t
+(** Lazy entry cursor in key order — pulls one entry at a time so the
+    incremental merge (paper §9 future work) can bound its per-step
+    work. *)

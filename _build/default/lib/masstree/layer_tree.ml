@@ -1,0 +1,234 @@
+(* The per-trie-node B+tree of Masstree (paper §4.1): each trie layer is a
+   B+tree keyed by an 8-byte keyslice plus a slice length marker (0–8 =
+   key ends within this slice after that many bytes; 9 = key extends past
+   the slice).  Slices are compared as unsigned 64-bit integers, which is
+   what makes Masstree's per-layer comparisons cheap.
+
+   Unique keys, Masstree's fanout of 15, proactive top-down splits. *)
+
+open Hi_util
+
+let fanout = 15 (* max keys per node *)
+
+type 'a node = Leaf of 'a leaf | Inner of 'a inner
+
+and 'a leaf = {
+  kslices : int64 array;
+  klens : int array;
+  links : 'a array;
+  mutable ln : int;
+  mutable next : 'a leaf option;
+}
+
+and 'a inner = {
+  islices : int64 array;
+  ilens : int array;
+  children : 'a node array;
+  mutable ik : int;
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable size : int;
+  mutable leaves : int;
+  mutable inners : int;
+  dummy : 'a;
+}
+
+let compare_key s1 l1 s2 l2 =
+  Op_counter.compare_keys 1;
+  let c = Int64.unsigned_compare s1 s2 in
+  if c <> 0 then c else compare l1 l2
+
+let new_leaf dummy =
+  { kslices = Array.make fanout 0L; klens = Array.make fanout 0; links = Array.make fanout dummy; ln = 0; next = None }
+
+let create dummy =
+  { root = Leaf (new_leaf dummy); size = 0; leaves = 1; inners = 0; dummy }
+
+let new_inner t =
+  {
+    islices = Array.make fanout 0L;
+    ilens = Array.make fanout 0;
+    children = Array.make (fanout + 1) t.root;
+    ik = 0;
+  }
+
+let leaf_lower_bound l s len =
+  let lo = ref 0 and hi = ref l.ln in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key l.kslices.(mid) l.klens.(mid) s len < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child covering (s, len): keys equal to a separator live in the right
+   child (unique keys, separator = first key of the right sibling) *)
+let child_index n s len =
+  let lo = ref 0 and hi = ref n.ik in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key n.islices.(mid) n.ilens.(mid) s len <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let split_child t parent i =
+  let insert_sep s len right =
+    Array.blit parent.islices i parent.islices (i + 1) (parent.ik - i);
+    Array.blit parent.ilens i parent.ilens (i + 1) (parent.ik - i);
+    Array.blit parent.children (i + 1) parent.children (i + 2) (parent.ik - i);
+    parent.islices.(i) <- s;
+    parent.ilens.(i) <- len;
+    parent.children.(i + 1) <- right;
+    parent.ik <- parent.ik + 1
+  in
+  match parent.children.(i) with
+  | Leaf l ->
+    let mid = l.ln / 2 in
+    let right = new_leaf t.dummy in
+    Array.blit l.kslices mid right.kslices 0 (l.ln - mid);
+    Array.blit l.klens mid right.klens 0 (l.ln - mid);
+    Array.blit l.links mid right.links 0 (l.ln - mid);
+    right.ln <- l.ln - mid;
+    Array.fill l.links mid (l.ln - mid) t.dummy;
+    l.ln <- mid;
+    right.next <- l.next;
+    l.next <- Some right;
+    t.leaves <- t.leaves + 1;
+    insert_sep right.kslices.(0) right.klens.(0) (Leaf right)
+  | Inner n ->
+    let midk = n.ik / 2 in
+    let s = n.islices.(midk) and len = n.ilens.(midk) in
+    let right = new_inner t in
+    let nright = n.ik - midk - 1 in
+    Array.blit n.islices (midk + 1) right.islices 0 nright;
+    Array.blit n.ilens (midk + 1) right.ilens 0 nright;
+    Array.blit n.children (midk + 1) right.children 0 (nright + 1);
+    right.ik <- nright;
+    n.ik <- midk;
+    t.inners <- t.inners + 1;
+    insert_sep s len (Inner right)
+
+let node_full = function Leaf l -> l.ln = fanout | Inner n -> n.ik = fanout
+
+(* Insert or mutate: [f None] creates a link, [f (Some link)] replaces it. *)
+let upsert t s len f =
+  if node_full t.root then begin
+    let nr = new_inner t in
+    nr.children.(0) <- t.root;
+    t.inners <- t.inners + 1;
+    t.root <- Inner nr;
+    split_child t nr 0
+  end;
+  let rec go node =
+    Op_counter.visit ();
+    match node with
+    | Leaf l ->
+      let pos = leaf_lower_bound l s len in
+      if pos < l.ln && l.kslices.(pos) = s && l.klens.(pos) = len then l.links.(pos) <- f (Some l.links.(pos))
+      else begin
+        Array.blit l.kslices pos l.kslices (pos + 1) (l.ln - pos);
+        Array.blit l.klens pos l.klens (pos + 1) (l.ln - pos);
+        Array.blit l.links pos l.links (pos + 1) (l.ln - pos);
+        l.kslices.(pos) <- s;
+        l.klens.(pos) <- len;
+        l.links.(pos) <- f None;
+        l.ln <- l.ln + 1;
+        t.size <- t.size + 1
+      end
+    | Inner n ->
+      let i = child_index n s len in
+      let i =
+        if node_full n.children.(i) then begin
+          split_child t n i;
+          if compare_key s len n.islices.(i) n.ilens.(i) >= 0 then i + 1 else i
+        end
+        else i
+      in
+      Op_counter.deref ();
+      go n.children.(i)
+  in
+  go t.root
+
+let find t s len =
+  let rec go node =
+    Op_counter.visit ();
+    match node with
+    | Leaf l ->
+      let pos = leaf_lower_bound l s len in
+      if pos < l.ln && l.kslices.(pos) = s && l.klens.(pos) = len then Some l.links.(pos) else None
+    | Inner n ->
+      Op_counter.deref ();
+      go n.children.(child_index n s len)
+  in
+  go t.root
+
+let remove t s len =
+  let rec go node =
+    match node with
+    | Leaf l ->
+      let pos = leaf_lower_bound l s len in
+      if pos < l.ln && l.kslices.(pos) = s && l.klens.(pos) = len then begin
+        Array.blit l.kslices (pos + 1) l.kslices pos (l.ln - pos - 1);
+        Array.blit l.klens (pos + 1) l.klens pos (l.ln - pos - 1);
+        Array.blit l.links (pos + 1) l.links pos (l.ln - pos - 1);
+        l.ln <- l.ln - 1;
+        l.links.(l.ln) <- t.dummy;
+        t.size <- t.size - 1;
+        true
+      end
+      else false
+    | Inner n -> go n.children.(child_index n s len)
+  in
+  go t.root
+
+let leftmost t =
+  let rec go = function Leaf l -> l | Inner n -> go n.children.(0) in
+  go t.root
+
+exception Stop
+
+(* In-order visit starting at the lower bound of (s0, len0); the callback
+   raises [Stop] to end early. *)
+let iter_from t s0 len0 f =
+  let rec go l pos =
+    if pos < l.ln then begin
+      f l.kslices.(pos) l.klens.(pos) l.links.(pos);
+      go l (pos + 1)
+    end
+    else match l.next with None -> () | Some nxt -> go nxt 0
+  in
+  let rec descend node =
+    match node with
+    | Leaf l -> (l, leaf_lower_bound l s0 len0)
+    | Inner n -> descend n.children.(child_index n s0 len0)
+  in
+  (* the lower bound may sit at the start of the next leaf *)
+  try
+    let l, pos = descend t.root in
+    go l pos
+  with Stop -> ()
+
+let iter t f = try let l = leftmost t in
+    let rec go l pos =
+      if pos < l.ln then begin
+        f l.kslices.(pos) l.klens.(pos) l.links.(pos);
+        go l (pos + 1)
+      end
+      else match l.next with None -> () | Some nxt -> go nxt 0
+    in
+    go l 0
+  with Stop -> ()
+
+(* Visit each leaf's live entry count and links (for keybag accounting). *)
+let iter_leaves t f =
+  let rec go = function
+    | None -> ()
+    | Some l ->
+      f l.ln (Array.sub l.links 0 l.ln);
+      go l.next
+  in
+  go (Some (leftmost t))
+
+let size t = t.size
+let node_count t = (t.inners, t.leaves)

@@ -1,0 +1,37 @@
+(** The per-trie-node B+tree of Masstree (paper §4.1): each trie layer is
+    a B+tree keyed by an 8-byte keyslice (compared unsigned) plus a slice
+    length marker — 0–8 when a key ends within the slice after that many
+    bytes, 9 when it extends past the slice.  Fanout 15, unique keys,
+    proactive top-down splits. *)
+
+type 'a t
+
+val fanout : int
+(** Masstree's node fanout (15 keys per node). *)
+
+val create : 'a -> 'a t
+(** [create dummy] makes an empty layer; [dummy] fills unused slots. *)
+
+val find : 'a t -> int64 -> int -> 'a option
+
+val upsert : 'a t -> int64 -> int -> ('a option -> 'a) -> unit
+(** [upsert t slice len f] stores [f None] for a fresh key or replaces an
+    existing link with [f (Some link)]. *)
+
+val remove : 'a t -> int64 -> int -> bool
+
+exception Stop
+(** Raise from an iteration callback to end the walk early. *)
+
+val iter : 'a t -> (int64 -> int -> 'a -> unit) -> unit
+(** In (slice, len) order — which equals byte-string key order. *)
+
+val iter_from : 'a t -> int64 -> int -> (int64 -> int -> 'a -> unit) -> unit
+(** In-order from the lower bound of the given (slice, len). *)
+
+val iter_leaves : 'a t -> (int -> 'a array -> unit) -> unit
+(** Visit each leaf's live entry count and links (keybag accounting). *)
+
+val size : 'a t -> int
+val node_count : 'a t -> int * int
+(** (inner nodes, leaf nodes). *)

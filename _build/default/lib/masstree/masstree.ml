@@ -1,0 +1,280 @@
+(* Masstree (Mao et al., EuroSys '12) — a trie of B+trees over 8-byte
+   keyslices (paper §4.1, Fig 2).  Each trie layer is a {!Layer_tree}
+   (B+tree keyed by unsigned keyslice + slice length); a layer entry links
+   to either the values of a key ending within the slice, a stored suffix
+   when a single key extends past the slice (the "keybag"), or a lower
+   trie layer when several keys share the slice.
+
+   (slice, length) order equals byte-string order — slices are compared as
+   unsigned big-endian integers and shorter terminals sort before
+   extensions — so ordered layer iteration yields ordered keys. *)
+
+open Hi_util
+
+type cell = { mutable vals : int array }
+
+type link =
+  | Term of cell (* key ends within this slice *)
+  | Suf of { skey : string; scell : cell } (* unique key continues past the slice *)
+  | Sub of layer (* several keys share the slice: next trie layer *)
+
+and layer = link Layer_tree.t
+
+type t = { mutable root : layer; mutable entries : int }
+
+let name = "masstree"
+let dummy_link = Term { vals = [||] }
+let new_layer () = Layer_tree.create dummy_link
+let create () = { root = new_layer (); entries = 0 }
+
+(* (slice, len) of key at byte offset [off]: len 0–8 = key ends after len
+   bytes of the slice; 9 = key extends past the slice. *)
+let slice_of key off =
+  let r = String.length key - off in
+  let len = min r 8 in
+  let s = ref 0L in
+  for i = 0 to 7 do
+    let b = if i < len then Char.code (String.unsafe_get key (off + i)) else 0 in
+    s := Int64.logor (Int64.shift_left !s 8) (Int64.of_int b)
+  done;
+  (!s, if r > 8 then 9 else r)
+
+let slice_bytes s len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical s ((7 - i) * 8)) 0xffL)))
+  done;
+  Bytes.unsafe_to_string b
+
+let append_value c v = c.vals <- Array.append c.vals [| v |]
+
+(* Insert a pre-existing cell for a key known to be absent (used when a
+   suffix entry is pushed down into a fresh sub-layer). *)
+let rec graft layer key off cell =
+  let s, len = slice_of key off in
+  if len <= 8 then
+    Layer_tree.upsert layer s len (function
+      | None -> Term cell
+      | Some _ -> invalid_arg "Masstree.graft: key already present")
+  else begin
+    let suffix = String.sub key (off + 8) (String.length key - off - 8) in
+    Layer_tree.upsert layer s 9 (function
+      | None -> Suf { skey = suffix; scell = cell }
+      | Some (Suf old) ->
+        let sub = new_layer () in
+        graft sub old.skey 0 old.scell;
+        graft sub suffix 0 cell;
+        Sub sub
+      | Some (Sub sub) ->
+        graft sub suffix 0 cell;
+        Sub sub
+      | Some (Term _) -> assert false)
+  end
+
+let rec add layer key off value =
+  let s, len = slice_of key off in
+  if len <= 8 then
+    Layer_tree.upsert layer s len (function
+      | None -> Term { vals = [| value |] }
+      | Some (Term c) ->
+        append_value c value;
+        Term c
+      | Some _ -> assert false)
+  else begin
+    let suffix = String.sub key (off + 8) (String.length key - off - 8) in
+    Layer_tree.upsert layer s 9 (function
+      | None -> Suf { skey = suffix; scell = { vals = [| value |] } }
+      | Some (Suf old) ->
+        if old.skey = suffix then begin
+          append_value old.scell value;
+          Suf old
+        end
+        else begin
+          (* slice no longer uniquely owned: push both keys down a layer *)
+          let sub = new_layer () in
+          graft sub old.skey 0 old.scell;
+          add sub suffix 0 value;
+          Sub sub
+        end
+      | Some (Sub sub) ->
+        add sub suffix 0 value;
+        Sub sub
+      | Some (Term _) -> assert false)
+  end
+
+let insert t key value =
+  add t.root key 0 value;
+  t.entries <- t.entries + 1
+
+let rec get_cell layer key off =
+  let s, len = slice_of key off in
+  if len <= 8 then
+    match Layer_tree.find layer s len with Some (Term c) -> Some c | _ -> None
+  else begin
+    let suffix = String.sub key (off + 8) (String.length key - off - 8) in
+    match Layer_tree.find layer s 9 with
+    | Some (Suf sfx) ->
+      Op_counter.compare_keys 1;
+      if sfx.skey = suffix then Some sfx.scell else None
+    | Some (Sub sub) -> get_cell sub suffix 0
+    | _ -> None
+  end
+
+let mem t key = get_cell t.root key 0 <> None
+let find t key = match get_cell t.root key 0 with Some c when Array.length c.vals > 0 -> Some c.vals.(0) | _ -> None
+let find_all t key = match get_cell t.root key 0 with Some c -> Array.to_list c.vals | None -> []
+
+let update t key value =
+  match get_cell t.root key 0 with
+  | Some c when Array.length c.vals > 0 ->
+    c.vals.(0) <- value;
+    true
+  | _ -> false
+
+(* --- deletes --- *)
+
+let rec del layer key off =
+  let s, len = slice_of key off in
+  if len <= 8 then (
+    match Layer_tree.find layer s len with
+    | Some (Term _) -> Layer_tree.remove layer s len
+    | _ -> false)
+  else begin
+    let suffix = String.sub key (off + 8) (String.length key - off - 8) in
+    match Layer_tree.find layer s 9 with
+    | Some (Suf sfx) -> if sfx.skey = suffix then Layer_tree.remove layer s 9 else false
+    | Some (Sub sub) ->
+      let removed = del sub suffix 0 in
+      if removed && Layer_tree.size sub = 0 then ignore (Layer_tree.remove layer s 9);
+      removed
+    | _ -> false
+  end
+
+let delete t key =
+  match get_cell t.root key 0 with
+  | None -> false
+  | Some c ->
+    let n = Array.length c.vals in
+    if del t.root key 0 then begin
+      t.entries <- t.entries - n;
+      true
+    end
+    else false
+
+let delete_value t key value =
+  match get_cell t.root key 0 with
+  | None -> false
+  | Some c ->
+    if Array.exists (fun x -> x = value) c.vals then begin
+      let removed = ref false in
+      let vs =
+        List.filter
+          (fun x ->
+            if (not !removed) && x = value then begin
+              removed := true;
+              false
+            end
+            else true)
+          (Array.to_list c.vals)
+      in
+      (match vs with
+      | [] -> ignore (del t.root key 0)
+      | _ -> c.vals <- Array.of_list vs);
+      t.entries <- t.entries - 1;
+      true
+    end
+    else false
+
+(* --- ordered traversal --- *)
+
+let rec iter_layer layer path f =
+  Layer_tree.iter layer (fun s len link ->
+      match link with
+      | Term c -> f (path ^ slice_bytes s len) c.vals
+      | Suf sfx -> f (path ^ slice_bytes s 8 ^ sfx.skey) sfx.scell.vals
+      | Sub sub -> iter_layer sub (path ^ slice_bytes s 8) f)
+
+let iter_sorted t f = iter_layer t.root "" f
+
+(* Visit keys >= probe in order. *)
+let rec scan_layer layer probe off path f =
+  if off >= String.length probe then iter_layer layer path f
+  else begin
+    let ps, plen = slice_of probe off in
+    Layer_tree.iter_from layer ps 0 (fun s len link ->
+        if s <> ps then (
+          match link with
+          | Term c -> f (path ^ slice_bytes s len) c.vals
+          | Suf sfx -> f (path ^ slice_bytes s 8 ^ sfx.skey) sfx.scell.vals
+          | Sub sub -> iter_layer sub (path ^ slice_bytes s 8) f)
+        else
+          match link with
+          | Term c ->
+            let full = path ^ slice_bytes s len in
+            Op_counter.compare_keys 1;
+            if String.compare full probe >= 0 then f full c.vals
+          | Suf sfx ->
+            let full = path ^ slice_bytes s 8 ^ sfx.skey in
+            Op_counter.compare_keys 1;
+            if String.compare full probe >= 0 then f full sfx.scell.vals
+          | Sub sub ->
+            if plen = 9 then scan_layer sub probe (off + 8) (path ^ slice_bytes s 8) f
+            else iter_layer sub (path ^ slice_bytes s 8) f)
+  end
+
+let scan_from t probe n =
+  let out = ref [] and taken = ref 0 in
+  (try
+     scan_layer t.root probe 0 "" (fun k vs ->
+         Array.iter
+           (fun v ->
+             if !taken >= n then raise Layer_tree.Stop;
+             out := (k, v) :: !out;
+             incr taken)
+           vs;
+         if !taken >= n then raise Layer_tree.Stop)
+   with Layer_tree.Stop -> ());
+  List.rev !out
+
+let entry_count t = t.entries
+
+let clear t =
+  t.root <- new_layer ();
+  t.entries <- 0
+
+(* --- memory model (paper §4.1/§4.2) --- *)
+
+(* Masstree B+tree nodes: fanout 15 with per-node metadata (version,
+   permutation, parent pointer, keybag pointer) — 512 bytes in the C
+   implementation's layout. *)
+let node_size = 512
+let layer_overhead = 32
+
+(* round suffix allocations up to malloc granularity: the "aggressive"
+   keybag allocation the paper calls out (§4.2) *)
+let roundup16 n = (n + 15) land lnot 15
+
+let rec layer_memory layer =
+  let inners, leaves = Layer_tree.node_count layer in
+  let bytes = ref (((inners + leaves) * node_size) + layer_overhead) in
+  (* keybags: a leaf holding any suffix allocates a bag of [fanout] slots *)
+  Layer_tree.iter_leaves layer (fun _n links ->
+      let has_suffix = ref false in
+      Array.iter
+        (fun link ->
+          match link with
+          | Suf sfx ->
+            has_suffix := true;
+            bytes := !bytes + roundup16 (String.length sfx.skey)
+          | Term _ | Sub _ -> ())
+        links;
+      if !has_suffix then bytes := !bytes + (Layer_tree.fanout * Mem_model.pointer_size));
+  (* multi-value cells and sub-layers *)
+  Layer_tree.iter layer (fun _ _ link ->
+      match link with
+      | Term c -> if Array.length c.vals > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length c.vals)
+      | Suf sfx -> if Array.length sfx.scell.vals > 1 then bytes := !bytes + 16 + (Mem_model.value_size * Array.length sfx.scell.vals)
+      | Sub sub -> bytes := !bytes + layer_memory sub);
+  !bytes
+
+let memory_bytes t = layer_memory t.root

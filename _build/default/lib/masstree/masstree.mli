@@ -1,0 +1,38 @@
+(** Masstree (Mao et al., EuroSys '12) — a trie of B+trees over 8-byte
+    keyslices (paper §4.1, Fig 2).  Each trie layer is a {!Layer_tree}
+    keyed by (unsigned keyslice, slice length); an entry links to terminal
+    values, a stored key suffix (the keybag), or a lower trie layer.
+    (slice, length) order equals byte-string order, so layer iteration
+    yields keys in order.
+
+    Implements {!Hi_index.Index_intf.DYNAMIC}; multi-value keys hold a
+    value array per key. *)
+
+type t
+
+val name : string
+val create : unit -> t
+val insert : t -> string -> int -> unit
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val delete : t -> string -> bool
+val delete_value : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val entry_count : t -> int
+val clear : t -> unit
+
+val memory_bytes : t -> int
+(** Modelled layout: 512-byte Masstree nodes (fanout 15 plus metadata),
+    aggressively allocated keybags (a fanout-sized slot array per leaf
+    holding any suffix, suffixes rounded to malloc granularity — the waste
+    §4.2 calls out), value arrays, and per-layer overhead. *)
+
+val slice_of : string -> int -> int64 * int
+(** [(slice, len)] of the key at byte offset [off]: len 0–8 = key ends
+    within the slice, 9 = key extends past it (exposed for tests). *)
+
+val slice_bytes : int64 -> int -> string
+(** First [len] bytes of a slice (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/skiplist/compact_skiplist.ml: Hi_index Packed_sorted

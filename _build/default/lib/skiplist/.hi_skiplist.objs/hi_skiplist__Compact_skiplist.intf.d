@@ -1,0 +1,1 @@
+lib/skiplist/compact_skiplist.mli: Hi_index Seq

@@ -1,0 +1,31 @@
+(* Compact Skip List — the static-stage structure from applying Compaction
+   and Structural Reduction to the paged-deterministic Skip List (paper
+   §4.2–4.3, Fig 2): the level-0 linked pages collapse into one contiguous
+   packed entry array (no next pointers), and the express towers become
+   sampled separator lanes whose targets are computed from offsets. *)
+
+open Hi_index
+
+type t = Packed_sorted.t
+
+let name = "compact-skiplist"
+let empty = Packed_sorted.empty
+let build = Packed_sorted.build
+let mem = Packed_sorted.mem
+let find = Packed_sorted.find
+let find_all = Packed_sorted.find_all
+let update = Packed_sorted.update
+let scan_from = Packed_sorted.scan_from
+let iter_sorted = Packed_sorted.iter_sorted
+let key_count = Packed_sorted.key_count
+let entry_count = Packed_sorted.entry_count
+let merge = Packed_sorted.merge
+
+(* Packed entry lane plus express lanes: each lane entry keeps its key slot
+   only — forward "pointers" are computed, as in the reduced structure. *)
+let memory_bytes t =
+  Packed_sorted.leaf_key_store_bytes t
+  + Packed_sorted.leaf_value_store_bytes t
+  + Packed_sorted.level_key_bytes t
+
+let to_seq = Packed_sorted.to_seq

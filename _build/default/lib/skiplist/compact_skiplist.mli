@@ -1,0 +1,34 @@
+(** Compact Skip List — Compaction + Structural Reduction applied to the
+    paged-deterministic Skip List (paper §4.2–4.3, Fig 2): the level-0
+    pages collapse into one packed entry array, the express towers become
+    sampled separator lanes with computed targets.
+
+    Implements {!Hi_index.Index_intf.STATIC}. *)
+
+type t
+
+val name : string
+val empty : t
+val build : Hi_index.Index_intf.entries -> t
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val key_count : t -> int
+val entry_count : t -> int
+
+val merge :
+  t ->
+  Hi_index.Index_intf.entries ->
+  mode:Hi_index.Index_intf.merge_mode ->
+  deleted:(string -> bool) ->
+  t
+
+val memory_bytes : t -> int
+
+val to_seq : t -> (string * int array) Seq.t
+(** Lazy entry cursor in key order — pulls one entry at a time so the
+    incremental merge (paper §9 future work) can bound its per-step
+    work. *)

@@ -1,0 +1,317 @@
+(* Paged-deterministic Skip List (paper §4.1): entries live in B+tree-like
+   pages chained at level 0; pages additionally carry deterministic express
+   towers (height = 1 + trailing zeros of the page-creation counter), so the
+   structure "resembles a B+tree" as in the implementation the paper uses.
+   Duplicate keys are permitted, as in the B+tree baseline.
+
+   A page covers the key range [first key, next page's first key); a run of
+   equal keys may straddle a page boundary after a split, so searches
+   normalize across the chain exactly like the B+tree leaf walk. *)
+
+open Hi_util
+
+let page_capacity = 32
+let max_height = 16
+
+type page = {
+  pkeys : string array;
+  pvals : int array;
+  mutable pn : int;
+  forward : page option array; (* length = this page's height *)
+}
+
+type t = {
+  head : page; (* sentinel, pn = 0, height = max_height *)
+  mutable entries : int;
+  mutable pages : int;
+  mutable splits : int;
+}
+
+let name = "skiplist"
+
+let new_page height =
+  {
+    pkeys = Array.make page_capacity "";
+    pvals = Array.make page_capacity 0;
+    pn = 0;
+    forward = Array.make height None;
+  }
+
+let create () = { head = new_page max_height; entries = 0; pages = 0; splits = 0 }
+
+let first_key p = p.pkeys.(0)
+
+(* number of trailing zeros, for deterministic tower heights *)
+let trailing_zeros n =
+  if n = 0 then max_height - 1
+  else begin
+    let n = ref n and z = ref 0 in
+    while !n land 1 = 0 do
+      incr z;
+      n := !n asr 1
+    done;
+    !z
+  end
+
+(* Descend from the head: returns the last page at each level whose first
+   key satisfies [before] (strict for lookups, non-strict for inserts). *)
+let descend t probe ~strict =
+  let preds = Array.make max_height t.head in
+  let node = ref t.head in
+  for level = max_height - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match
+        (if level < Array.length !node.forward then !node.forward.(level) else None)
+      with
+      | Some nxt when
+          nxt.pn > 0
+          &&
+          (Op_counter.compare_keys 1;
+           let c = String.compare (first_key nxt) probe in
+           if strict then c < 0 else c <= 0) ->
+        Op_counter.deref ();
+        node := nxt
+      | _ -> continue := false
+    done;
+    preds.(level) <- !node
+  done;
+  preds
+
+let page_lower_bound p probe =
+  let lo = ref 0 and hi = ref p.pn in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare p.pkeys.(mid) probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let page_upper_bound p probe =
+  let lo = ref 0 and hi = ref p.pn in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Op_counter.compare_keys 1;
+    if String.compare p.pkeys.(mid) probe <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Cursor normalization: step to the next live entry across the chain. *)
+let rec advance p pos =
+  if pos < p.pn then Some (p, pos)
+  else match p.forward.(0) with None -> None | Some nxt -> advance nxt 0
+
+let locate t probe =
+  Op_counter.visit ();
+  let preds = descend t probe ~strict:true in
+  let p = preds.(0) in
+  (p, page_lower_bound p probe)
+
+(* --- inserts --- *)
+
+let split_page t preds left =
+  t.splits <- t.splits + 1;
+  t.pages <- t.pages + 1;
+  let height = 1 + min (max_height - 1) (trailing_zeros t.splits) in
+  let right = new_page height in
+  let mid = left.pn / 2 in
+  Array.blit left.pkeys mid right.pkeys 0 (left.pn - mid);
+  Array.blit left.pvals mid right.pvals 0 (left.pn - mid);
+  right.pn <- left.pn - mid;
+  Array.fill left.pkeys mid (left.pn - mid) "";
+  left.pn <- mid;
+  (* link the new page immediately after [left]: at level l the correct
+     predecessor is [left] itself when tall enough, else the recorded
+     descent predecessor *)
+  for level = 0 to height - 1 do
+    let pred = if level < Array.length left.forward then left else preds.(level) in
+    right.forward.(level) <- pred.forward.(level);
+    pred.forward.(level) <- Some right
+  done;
+  right
+
+let insert t key value =
+  let preds = descend t key ~strict:false in
+  let target = preds.(0) in
+  let target =
+    if target.pn = page_capacity then begin
+      let right = split_page t preds target in
+      Op_counter.compare_keys 1;
+      if String.compare key (first_key right) >= 0 then right else target
+    end
+    else target
+  in
+  (* the sentinel head holds no entries; bootstrap the first page *)
+  let target =
+    if target == t.head then begin
+      let p = new_page 1 in
+      p.forward.(0) <- t.head.forward.(0);
+      t.head.forward.(0) <- Some p;
+      t.pages <- t.pages + 1;
+      p
+    end
+    else target
+  in
+  let pos = page_upper_bound target key in
+  Array.blit target.pkeys pos target.pkeys (pos + 1) (target.pn - pos);
+  Array.blit target.pvals pos target.pvals (pos + 1) (target.pn - pos);
+  target.pkeys.(pos) <- key;
+  target.pvals.(pos) <- value;
+  target.pn <- target.pn + 1;
+  t.entries <- t.entries + 1
+
+(* --- lookups --- *)
+
+let find t probe =
+  let p, pos = locate t probe in
+  match advance p pos with
+  | Some (p, pos) when p.pkeys.(pos) = probe -> Some p.pvals.(pos)
+  | _ -> None
+
+let mem t probe = find t probe <> None
+
+let find_all t probe =
+  let rec collect cursor acc =
+    match cursor with
+    | Some (p, pos) when p.pkeys.(pos) = probe -> collect (advance p (pos + 1)) (p.pvals.(pos) :: acc)
+    | _ -> List.rev acc
+  in
+  let p, pos = locate t probe in
+  collect (advance p pos) []
+
+let update t probe value =
+  let p, pos = locate t probe in
+  match advance p pos with
+  | Some (p, pos) when p.pkeys.(pos) = probe ->
+    p.pvals.(pos) <- value;
+    true
+  | _ -> false
+
+(* --- deletes ---
+
+   A page that becomes empty is unlinked immediately: an empty page has no
+   first key, so leaving it chained would corrupt tower routing.  The
+   unlink walks each level list from the head by identity; its own forward
+   pointers are left intact so in-flight cursors can still advance. *)
+
+let unlink t page =
+  for level = Array.length page.forward - 1 downto 0 do
+    let node = ref t.head in
+    let continue = ref true in
+    while !continue do
+      match !node.forward.(level) with
+      | Some p when p == page ->
+        !node.forward.(level) <- page.forward.(level);
+        continue := false
+      | Some p -> node := p
+      | None -> continue := false
+    done
+  done;
+  t.pages <- t.pages - 1
+
+let remove_at t p pos =
+  Array.blit p.pkeys (pos + 1) p.pkeys pos (p.pn - pos - 1);
+  Array.blit p.pvals (pos + 1) p.pvals pos (p.pn - pos - 1);
+  p.pn <- p.pn - 1;
+  p.pkeys.(p.pn) <- "";
+  if p.pn = 0 then unlink t p
+
+let delete t probe =
+  let rec drop cursor removed =
+    match cursor with
+    | Some (p, pos) when pos < p.pn && p.pkeys.(pos) = probe ->
+      remove_at t p pos;
+      t.entries <- t.entries - 1;
+      drop (advance p pos) true
+    | _ -> removed
+  in
+  let p, pos = locate t probe in
+  drop (advance p pos) false
+
+let delete_value t probe value =
+  let rec hunt cursor =
+    match cursor with
+    | Some (p, pos) when p.pkeys.(pos) = probe ->
+      if p.pvals.(pos) = value then begin
+        remove_at t p pos;
+        t.entries <- t.entries - 1;
+        true
+      end
+      else hunt (advance p (pos + 1))
+    | _ -> false
+  in
+  let p, pos = locate t probe in
+  hunt (advance p pos)
+
+(* --- scans and iteration --- *)
+
+let scan_from t probe n =
+  let rec take cursor acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match cursor with
+      | None -> List.rev acc
+      | Some (p, pos) -> take (advance p (pos + 1)) ((p.pkeys.(pos), p.pvals.(pos)) :: acc) (remaining - 1)
+  in
+  let p, pos = locate t probe in
+  take (advance p pos) [] n
+
+let iter_sorted t f =
+  let emit key vs = f key (Array.of_list (List.rev vs)) in
+  let rec walk cursor current =
+    match cursor with
+    | None -> (match current with None -> () | Some (k, vs) -> emit k vs)
+    | Some (p, pos) ->
+      let k = p.pkeys.(pos) and v = p.pvals.(pos) in
+      let current =
+        match current with
+        | Some (k0, vs) when k0 = k -> Some (k0, v :: vs)
+        | Some (k0, vs) ->
+          emit k0 vs;
+          Some (k, [ v ])
+        | None -> Some (k, [ v ])
+      in
+      walk (advance p (pos + 1)) current
+  in
+  walk (advance t.head 0) None
+
+let entry_count t = t.entries
+
+let clear t =
+  Array.fill t.head.forward 0 max_height None;
+  t.entries <- 0;
+  t.pages <- 0;
+  t.splits <- 0
+
+(* --- memory model --- *)
+
+(* Pages occupy the same fixed node size as B+tree nodes plus their tower
+   pointers; long keys live out of line. *)
+let memory_bytes t =
+  let bytes = ref 0 in
+  let rec walk = function
+    | None -> ()
+    | Some p ->
+      bytes := !bytes + Mem_model.btree_node_size + (Array.length p.forward * Mem_model.pointer_size);
+      for i = 0 to p.pn - 1 do
+        let len = String.length p.pkeys.(i) in
+        if len > 8 then bytes := !bytes + len
+      done;
+      walk p.forward.(0)
+  in
+  walk t.head.forward.(0);
+  !bytes
+
+let page_occupancy t =
+  let slots = ref 0 and used = ref 0 in
+  let rec go = function
+    | None -> ()
+    | Some p ->
+      slots := !slots + page_capacity;
+      used := !used + p.pn;
+      go p.forward.(0)
+  in
+  go t.head.forward.(0);
+  if !slots = 0 then 0.0 else float_of_int !used /. float_of_int !slots
+
+let page_count t = t.pages

@@ -1,0 +1,32 @@
+(** Paged-deterministic Skip List (paper §4.1): entries live in B+tree-like
+    pages chained at level 0, with deterministic express towers, so the
+    structure "resembles a B+tree" as in the implementation the paper used.
+    Duplicate keys permitted.
+
+    Implements {!Hi_index.Index_intf.DYNAMIC}. *)
+
+type t
+
+val name : string
+val create : unit -> t
+val insert : t -> string -> int -> unit
+val mem : t -> string -> bool
+val find : t -> string -> int option
+val find_all : t -> string -> int list
+val update : t -> string -> int -> bool
+val delete : t -> string -> bool
+val delete_value : t -> string -> int -> bool
+val scan_from : t -> string -> int -> (string * int) list
+val iter_sorted : t -> (string -> int array -> unit) -> unit
+val entry_count : t -> int
+val clear : t -> unit
+
+val memory_bytes : t -> int
+(** Modelled layout: one fixed-size node per page plus its tower pointers,
+    plus out-of-line bytes for long keys. *)
+
+val page_occupancy : t -> float
+(** Average page fill factor (~0.69 for random insertion order). *)
+
+val page_count : t -> int
+val page_capacity : int

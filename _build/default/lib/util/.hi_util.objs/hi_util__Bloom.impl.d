@@ -1,0 +1,1 @@
+lib/util/bloom.ml: Bytes Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/util/inplace_merge.mli:

@@ -1,0 +1,1 @@
+lib/util/key_codec.ml: Array Bloom Bytes Char Hashtbl Int64 Printf String Xorshift

@@ -1,0 +1,1 @@
+lib/util/mem_model.ml: Fmt

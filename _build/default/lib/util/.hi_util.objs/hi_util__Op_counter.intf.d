@@ -1,0 +1,1 @@
+lib/util/op_counter.mli:

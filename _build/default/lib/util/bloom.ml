@@ -1,0 +1,88 @@
+(* Bloom filter over string keys (paper §3: a filter over the dynamic-stage
+   keys lets most point queries search only one stage).
+
+   Uses Kirsch–Mitzenmacher double hashing: two independent 64-bit FNV-1a
+   hashes h1, h2 generate the k probe positions h1 + i*h2. *)
+
+type t = {
+  mutable bits : Bytes.t;
+  mutable nbits : int;
+  k : int;
+  mutable count : int; (* keys added since last clear *)
+}
+
+let fnv1a_64 ?(seed = 0xcbf29ce484222325L) s =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let hash = ref seed in
+  for i = 0 to String.length s - 1 do
+    hash := mul (logxor !hash (of_int (Char.code (String.unsafe_get s i)))) prime
+  done;
+  !hash
+
+let bits_for ~expected ~fpr =
+  let n = float_of_int (max 1 expected) in
+  let m = -.n *. log fpr /. (log 2.0 *. log 2.0) in
+  max 64 (int_of_float (ceil m))
+
+let hashes_for ~expected ~nbits =
+  let ratio = float_of_int nbits /. float_of_int (max 1 expected) in
+  max 1 (int_of_float (Float.round (ratio *. log 2.0)))
+
+let create ?(fpr = 0.01) ~expected () =
+  let nbits = bits_for ~expected ~fpr in
+  let k = hashes_for ~expected ~nbits in
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; k; count = 0 }
+
+let set_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  let v = Char.code (Bytes.unsafe_get t.bits byte) in
+  Bytes.unsafe_set t.bits byte (Char.unsafe_chr (v lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl bit) <> 0
+
+let probe t key i h1 h2 =
+  ignore key;
+  let h = Int64.add h1 (Int64.mul (Int64.of_int i) h2) in
+  (* shift by 2: Int64.to_int keeps the low 63 bits signed, so a 62-bit
+     value is needed to guarantee a non-negative index *)
+  Int64.to_int (Int64.shift_right_logical h 2) mod t.nbits
+
+(* 8-byte keys (encoded integers — the common OLTP case) hash as one
+   machine word through two splitmix64-style finalizers, which is far
+   cheaper than byte-wise FNV. *)
+let mix64 c1 c2 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) c1 in
+  let z = mul (logxor z (shift_right_logical z 27)) c2 in
+  logxor z (shift_right_logical z 31)
+
+let hash_pair key =
+  if String.length key = 8 then begin
+    let x = String.get_int64_be key 0 in
+    (mix64 0xBF58476D1CE4E5B9L 0x94D049BB133111EBL x, mix64 0xFF51AFD7ED558CCDL 0xC4CEB9FE1A85EC53L x)
+  end
+  else (fnv1a_64 key, fnv1a_64 ~seed:0x9e3779b97f4a7c15L key)
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for i = 0 to t.k - 1 do
+    set_bit t (probe t key i h1 h2)
+  done;
+  t.count <- t.count + 1
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec check i = i >= t.k || (get_bit t (probe t key i h1 h2) && check (i + 1)) in
+  check 0
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0
+
+let count t = t.count
+let nbits t = t.nbits
+let hash_count t = t.k
+let memory_bytes t = Bytes.length t.bits

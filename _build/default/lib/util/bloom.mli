@@ -1,0 +1,35 @@
+(** Bloom filter over string keys.
+
+    The hybrid index keeps one of these over the dynamic-stage keys so that
+    most point queries search only one stage (paper §3, Appendix D). *)
+
+type t
+
+val create : ?fpr:float -> expected:int -> unit -> t
+(** [create ~expected ()] sizes the filter for [expected] keys at target
+    false-positive rate [fpr] (default 1 %). *)
+
+val add : t -> string -> unit
+(** Insert a key. *)
+
+val mem : t -> string -> bool
+(** Membership test: never a false negative; false positives at roughly the
+    configured rate when at or below the expected load. *)
+
+val clear : t -> unit
+(** Reset all bits (used after each merge empties the dynamic stage). *)
+
+val count : t -> int
+(** Keys added since the last {!clear}. *)
+
+val nbits : t -> int
+(** Number of bits in the filter. *)
+
+val hash_count : t -> int
+(** Number of hash probes per operation. *)
+
+val memory_bytes : t -> int
+(** Size of the bit array in bytes. *)
+
+val fnv1a_64 : ?seed:int64 -> string -> int64
+(** FNV-1a 64-bit hash of a string (exposed for reuse and tests). *)

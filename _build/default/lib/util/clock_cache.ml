@@ -1,0 +1,89 @@
+(* Fixed-capacity cache with CLOCK (second-chance) replacement,
+   approximating LRU as in the paper's compressed static stage (§4.4):
+   recently decompressed nodes are kept to avoid repeated decompression. *)
+
+type 'a slot = { mutable key : int; mutable value : 'a option; mutable referenced : bool }
+
+type 'a t = {
+  slots : 'a slot array;
+  index : (int, int) Hashtbl.t; (* key -> slot position *)
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Clock_cache.create: capacity must be positive";
+  {
+    slots = Array.init capacity (fun _ -> { key = -1; value = None; referenced = false });
+    index = Hashtbl.create (2 * capacity);
+    hand = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let find t key =
+  match Hashtbl.find_opt t.index key with
+  | Some pos ->
+    let slot = t.slots.(pos) in
+    slot.referenced <- true;
+    t.hits <- t.hits + 1;
+    slot.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(* Advance the clock hand, clearing reference bits, until a victim with a
+   clear bit is found. *)
+let evict_position t =
+  let n = Array.length t.slots in
+  let rec turn () =
+    let slot = t.slots.(t.hand) in
+    if slot.value <> None && slot.referenced then begin
+      slot.referenced <- false;
+      t.hand <- (t.hand + 1) mod n;
+      turn ()
+    end
+    else begin
+      let pos = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      pos
+    end
+  in
+  turn ()
+
+let put t key value =
+  match Hashtbl.find_opt t.index key with
+  | Some pos ->
+    let slot = t.slots.(pos) in
+    slot.value <- Some value;
+    slot.referenced <- true
+  | None ->
+    let pos = evict_position t in
+    let slot = t.slots.(pos) in
+    if slot.value <> None then Hashtbl.remove t.index slot.key;
+    slot.key <- key;
+    slot.value <- Some value;
+    (* fresh entries start unreferenced: only a subsequent hit grants the
+       second chance, otherwise a full clock sweep would approximate FIFO *)
+    slot.referenced <- false;
+    Hashtbl.replace t.index key pos
+
+let clear t =
+  Array.iter
+    (fun slot ->
+      slot.key <- -1;
+      slot.value <- None;
+      slot.referenced <- false)
+    t.slots;
+  Hashtbl.reset t.index;
+  t.hand <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,25 @@
+(** Fixed-capacity cache with CLOCK (second-chance) replacement,
+    approximating LRU — the node cache of the compressed static stage
+    (paper §4.4). Keys are integer node ids. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] makes an empty cache holding at most [capacity]
+    entries.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** Lookup; sets the slot's reference bit on hit and counts hit/miss. *)
+
+val put : 'a t -> int -> 'a -> unit
+(** Insert or refresh an entry, evicting via CLOCK when full. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (used when the static stage is rebuilt). *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val hit_rate : 'a t -> float

@@ -1,0 +1,127 @@
+(* Byte-oriented LZ77-family compressor standing in for Snappy/LZ4 in the
+   Compression D-to-S rule (paper §4.4): designed for fast decompression in
+   exchange for a modest compression rate.
+
+   Stream format (after a varint header holding the uncompressed length):
+     0x00  varint L          then L literal bytes
+     0x01  varint L varint D copy L bytes from distance D back
+   Matches are found with a 4-byte hash table; minimum match length 4. *)
+
+let min_match = 4
+let hash_bits = 14
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (v * 2654435761) lsr (31 - hash_bits) land (hash_size - 1)
+
+let put_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (!v land 0x7f lor 0x80));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let get_varint s pos =
+  let v = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    let b = Char.code (String.unsafe_get s !p) in
+    incr p;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then continue := false
+  done;
+  (!v, !p)
+
+let compress input =
+  let n = String.length input in
+  let buf = Buffer.create (n / 2 + 16) in
+  put_varint buf n;
+  let table = Array.make hash_size (-1) in
+  let lit_start = ref 0 in
+  let flush_literals upto =
+    if upto > !lit_start then begin
+      Buffer.add_char buf '\000';
+      put_varint buf (upto - !lit_start);
+      Buffer.add_substring buf input !lit_start (upto - !lit_start)
+    end
+  in
+  let i = ref 0 in
+  while !i + min_match <= n do
+    let h = hash4 input !i in
+    let candidate = table.(h) in
+    table.(h) <- !i;
+    if
+      candidate >= 0
+      && !i - candidate < 65536
+      && String.unsafe_get input candidate = String.unsafe_get input !i
+      && String.unsafe_get input (candidate + 1) = String.unsafe_get input (!i + 1)
+      && String.unsafe_get input (candidate + 2) = String.unsafe_get input (!i + 2)
+      && String.unsafe_get input (candidate + 3) = String.unsafe_get input (!i + 3)
+    then begin
+      (* extend the match *)
+      let len = ref min_match in
+      while
+        !i + !len < n
+        && String.unsafe_get input (candidate + !len) = String.unsafe_get input (!i + !len)
+      do
+        incr len
+      done;
+      flush_literals !i;
+      Buffer.add_char buf '\001';
+      put_varint buf !len;
+      put_varint buf (!i - candidate);
+      (* seed the hash table inside the match region sparsely *)
+      let stop = min (!i + !len) (n - min_match) in
+      let j = ref (!i + 1) in
+      while !j < stop do
+        table.(hash4 input !j) <- !j;
+        j := !j + 2
+      done;
+      i := !i + !len;
+      lit_start := !i
+    end
+    else incr i
+  done;
+  flush_literals n;
+  Buffer.contents buf
+
+let decompress input =
+  let total, pos = get_varint input 0 in
+  let out = Bytes.create total in
+  let opos = ref 0 and ipos = ref pos in
+  let n = String.length input in
+  while !ipos < n do
+    let tag = String.unsafe_get input !ipos in
+    incr ipos;
+    match tag with
+    | '\000' ->
+      let len, p = get_varint input !ipos in
+      ipos := p;
+      Bytes.blit_string input !ipos out !opos len;
+      ipos := !ipos + len;
+      opos := !opos + len
+    | '\001' ->
+      let len, p = get_varint input !ipos in
+      let dist, p = get_varint input p in
+      ipos := p;
+      let src = !opos - dist in
+      if dist >= len then begin
+        Bytes.blit out src out !opos len;
+        opos := !opos + len
+      end
+      else
+        (* overlapping copy: byte-by-byte, as in all LZ decoders *)
+        for k = 0 to len - 1 do
+          Bytes.unsafe_set out (!opos + k) (Bytes.unsafe_get out (src + k));
+          if k = len - 1 then opos := !opos + len
+        done
+    | _ -> invalid_arg "Compress.decompress: corrupt stream"
+  done;
+  if !opos <> total then invalid_arg "Compress.decompress: truncated stream";
+  Bytes.unsafe_to_string out
+
+let uncompressed_length input = fst (get_varint input 0)

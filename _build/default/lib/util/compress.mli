@@ -1,0 +1,16 @@
+(** LZ77-family byte compressor standing in for Snappy/LZ4 in the
+    Compression D-to-S rule (paper §4.4): fast decompression in exchange
+    for a modest compression rate.  Used to compress the leaf pages of the
+    Compressed B+tree. *)
+
+val compress : string -> string
+(** Compress a byte string.  Always succeeds; incompressible input grows by
+    a few header bytes only. *)
+
+val decompress : string -> string
+(** Inverse of {!compress}.
+    @raise Invalid_argument on corrupt input. *)
+
+val uncompressed_length : string -> int
+(** Uncompressed size recorded in the stream header, without
+    decompressing. *)

@@ -1,0 +1,49 @@
+(* Latency recorder with percentile queries (Table 3 reports 50%-tile,
+   99%-tile and MAX transaction latencies).  Samples are kept exactly and
+   sorted lazily on first query. *)
+
+type t = { samples : float Vec.t; mutable sorted : bool }
+
+let create () = { samples = Vec.create 0.0; sorted = true }
+
+let record t x =
+  Vec.push t.samples x;
+  t.sorted <- false
+
+let count t = Vec.length t.samples
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let data = Vec.unsafe_data t.samples in
+    (* only the first [len] entries are live; sort that prefix *)
+    let live = Array.sub data 0 (Vec.length t.samples) in
+    Array.sort compare live;
+    Array.blit live 0 data 0 (Array.length live);
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile";
+  let n = Vec.length t.samples in
+  if n = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int (n - 1))) in
+    Vec.get t.samples rank
+  end
+
+let max_value t = percentile t 100.0
+let median t = percentile t 50.0
+
+let mean t =
+  let n = Vec.length t.samples in
+  if n = 0 then nan
+  else begin
+    let sum = ref 0.0 in
+    Vec.iter (fun x -> sum := !sum +. x) t.samples;
+    !sum /. float_of_int n
+  end
+
+let clear t =
+  Vec.clear t.samples;
+  t.sorted <- true

@@ -1,0 +1,17 @@
+(** Exact latency recorder with percentile queries (used for Table 3's
+    50 %-tile / 99 %-tile / MAX transaction latencies). *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]; [nan] when empty.
+    @raise Invalid_argument when [p] is out of range. *)
+
+val median : t -> float
+val max_value : t -> float
+val mean : t -> float
+val clear : t -> unit

@@ -1,0 +1,155 @@
+(* The core merge primitive of the paper (§5.1): extend a large sorted array
+   with a small sorted batch of new elements.
+
+   [merge] is the allocation-based two-finger merge used by the compact
+   structures' merge routines.  [extend] reproduces the paper's
+   space-efficient scheme literally: allocate only [length b] extra slots
+   adjacent to the original array, then run an in-place merge over the two
+   consecutive sorted runs, so the temporary overhead is the size of the
+   smaller (new) array. *)
+
+let merge ~cmp a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then Array.copy b
+  else if nb = 0 then Array.copy a
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !i < na && (!j >= nb || cmp a.(!i) b.(!j) <= 0) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* Merge with duplicate resolution: when an element of [b] compares equal to
+   an element of [a], [resolve old_ new_] decides what survives ([None]
+   drops the key entirely, e.g. for tombstoned entries). [b] itself must be
+   duplicate-free. *)
+let merge_resolve ~cmp ~resolve a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 && nb = 0 then [||]
+  else begin
+  let dummy = if na > 0 then a.(0) else b.(0) in
+  let out = Array.make (na + nb) dummy in
+  let k = ref 0 in
+  let put x =
+    out.(!k) <- x;
+    incr k
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !j >= nb then begin
+      put a.(!i);
+      incr i
+    end
+    else if !i >= na then begin
+      put b.(!j);
+      incr j
+    end
+    else
+      let c = cmp a.(!i) b.(!j) in
+      if c < 0 then begin
+        put a.(!i);
+        incr i
+      end
+      else if c > 0 then begin
+        put b.(!j);
+        incr j
+      end
+      else begin
+        (match resolve a.(!i) b.(!j) with Some x -> put x | None -> ());
+        incr i;
+        incr j
+      end
+  done;
+  if !k = na + nb then out else Array.sub out 0 !k
+  end
+
+(* In-place merge of two consecutive sorted runs arr[0..split) and
+   arr[split..n), O(1) extra space via the rotation-based algorithm.
+   This demonstrates the paper's claim that the merge's temporary space is
+   bounded by the smaller array: the caller allocates [smaller] extra slots,
+   appends, and calls [inplace]. *)
+let inplace ~cmp arr split =
+  let n = Array.length arr in
+  if split < 0 || split > n then invalid_arg "Inplace_merge.inplace";
+  let reverse lo hi =
+    (* reverse arr[lo..hi) *)
+    let i = ref lo and j = ref (hi - 1) in
+    while !i < !j do
+      let tmp = arr.(!i) in
+      arr.(!i) <- arr.(!j);
+      arr.(!j) <- tmp;
+      incr i;
+      decr j
+    done
+  in
+  let rotate lo mid hi =
+    (* left-rotate arr[lo..hi) so that arr[mid] becomes arr[lo] *)
+    reverse lo mid;
+    reverse mid hi;
+    reverse lo hi
+  in
+  (* binary searches over a slice *)
+  let lower_bound lo hi x =
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp arr.(mid) x < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let upper_bound lo hi x =
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp arr.(mid) x <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let rec go lo mid hi =
+    if lo < mid && mid < hi && cmp arr.(mid - 1) arr.(mid) > 0 then begin
+      let len1 = mid - lo and len2 = hi - mid in
+      if len1 = 0 || len2 = 0 then ()
+      else begin
+        (* split the longer run at its midpoint, find the partner point in
+           the other run, rotate, recurse *)
+        let cut1, cut2 =
+          if len1 >= len2 then
+            let c1 = lo + (len1 / 2) in
+            let c2 = lower_bound mid hi arr.(c1) in
+            (c1, c2)
+          else
+            let c2 = mid + (len2 / 2) in
+            let c1 = upper_bound lo mid arr.(c2) in
+            (c1, c2)
+        in
+        let new_mid = cut1 + (cut2 - mid) in
+        rotate cut1 mid cut2;
+        go lo cut1 new_mid;
+        go new_mid cut2 hi
+      end
+    end
+  in
+  go 0 split n
+
+(* [extend a b ~cmp] is the paper's merge building block: returns a sorted
+   array of length |a|+|b| built by allocating only the new slots and
+   merging in place. *)
+let extend ~cmp a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then Array.copy b
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    Array.blit a 0 out 0 na;
+    Array.blit b 0 out na nb;
+    inplace ~cmp out na;
+    out
+  end

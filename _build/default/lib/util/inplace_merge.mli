@@ -1,0 +1,30 @@
+(** Sorted-array merge primitives — the core building block of the hybrid
+    index merge process (paper §5.1): "allocate a new array adjacent to the
+    original sorted array with just enough space for the new elements, then
+    perform in-place merge sort on the two consecutive sorted arrays". *)
+
+val merge : cmp:('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+(** Plain two-finger merge of two sorted arrays (stable: ties keep elements
+    of the first array first). *)
+
+val merge_resolve :
+  cmp:('a -> 'a -> int) ->
+  resolve:('a -> 'a -> 'a option) ->
+  'a array ->
+  'a array ->
+  'a array
+(** Merge with duplicate resolution: when elements compare equal,
+    [resolve old_ new_] decides what survives; [None] drops the key (used
+    for tombstoned entries at merge time).  The second array must be
+    duplicate-free. *)
+
+val inplace : cmp:('a -> 'a -> int) -> 'a array -> int -> unit
+(** [inplace ~cmp arr split] merges the two consecutive sorted runs
+    [arr.(0..split)) and [arr.(split..n))] in place with O(1) extra space
+    (rotation-based).
+    @raise Invalid_argument if [split] is out of range. *)
+
+val extend : cmp:('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+(** [extend a b] implements the paper's space-bounded merge: allocate
+    |a|+|b| slots, blit both runs, merge in place.  Temporary overhead
+    beyond the result itself is zero. *)

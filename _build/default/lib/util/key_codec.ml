@@ -1,0 +1,76 @@
+(* Order-preserving key encodings.
+
+   Every index in the repository is keyed by byte strings compared with
+   [String.compare] (byte-wise, unsigned).  Encoding 64-bit integers
+   big-endian makes integer order coincide with byte order, so one index
+   implementation serves the paper's three key types (64-bit random int,
+   64-bit monotonically increasing int, email). *)
+
+let encode_u64 (x : int64) =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 x;
+  Bytes.unsafe_to_string b
+
+let decode_u64 s =
+  if String.length s < 8 then invalid_arg "Key_codec.decode_u64: short string";
+  String.get_int64_be s 0
+
+let encode_int x =
+  if x < 0 then invalid_arg "Key_codec.encode_int: negative";
+  encode_u64 (Int64.of_int x)
+
+let decode_int s = Int64.to_int (decode_u64 s)
+
+(* Synthetic email keys: ~30-byte average with shared prefixes within a
+   domain, standing in for the paper's private email corpus.  Shared
+   local-part stems and a small domain pool preserve the common-prefix
+   structure that trie-based indexes (Masstree, ART) exploit. *)
+
+let domains =
+  [| "gmail.com"; "yahoo.com"; "hotmail.com"; "aol.com"; "cs.cmu.edu";
+     "andrew.cmu.edu"; "outlook.com"; "mail.ru"; "web.de"; "example.org" |]
+
+let stems =
+  [| "john"; "jane"; "alex"; "maria"; "wei"; "chen"; "huan"; "david";
+     "andy"; "mike"; "lin"; "rui"; "sam"; "kate"; "robert"; "susan" |]
+
+let email_of_id id =
+  (* Deterministic: the same id always produces the same address, so keys
+     can be regenerated without storing them. *)
+  let h = Bloom.fnv1a_64 (string_of_int id) in
+  let h = Int64.to_int (Int64.shift_right_logical h 2) in
+  let stem = stems.(h mod Array.length stems) in
+  let domain = domains.((h / 16) mod Array.length domains) in
+  Printf.sprintf "%s.%s%08d@%s" stem (String.make 1 (Char.chr (97 + (h / 256 mod 26)))) id domain
+
+type key_type = Rand_int | Mono_inc_int | Email
+
+let key_type_name = function
+  | Rand_int -> "rand"
+  | Mono_inc_int -> "mono-inc"
+  | Email -> "email"
+
+let all_key_types = [ Rand_int; Mono_inc_int; Email ]
+
+(* Generate [n] distinct keys of the given type. *)
+let generate_keys ?(seed = 42) key_type n =
+  let rng = Xorshift.create seed in
+  match key_type with
+  | Mono_inc_int -> Array.init n (fun i -> encode_u64 (Int64.of_int i))
+  | Rand_int ->
+    let seen = Hashtbl.create (2 * n) in
+    Array.init n (fun _ ->
+        let rec fresh () =
+          let x = Xorshift.next_u64 rng in
+          if Hashtbl.mem seen x then fresh ()
+          else begin
+            Hashtbl.add seen x ();
+            encode_u64 x
+          end
+        in
+        fresh ())
+  | Email ->
+    (* Distinct ids give distinct addresses (id is embedded verbatim). *)
+    let ids = Array.init n (fun i -> i) in
+    Xorshift.shuffle rng ids;
+    Array.map email_of_id ids

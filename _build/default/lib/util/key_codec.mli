@@ -1,0 +1,36 @@
+(** Order-preserving key encodings.
+
+    All indexes are keyed by byte strings compared with [String.compare];
+    64-bit integers are encoded big-endian so integer order equals byte
+    order.  This lets one index implementation serve the paper's three key
+    types: 64-bit random integers, 64-bit monotonically increasing integers
+    and email addresses (paper §6.1). *)
+
+val encode_u64 : int64 -> string
+(** 8-byte big-endian encoding; unsigned 64-bit order = byte order. *)
+
+val decode_u64 : string -> int64
+(** Inverse of {!encode_u64}.
+    @raise Invalid_argument on strings shorter than 8 bytes. *)
+
+val encode_int : int -> string
+(** [encode_int x] encodes a non-negative OCaml int.
+    @raise Invalid_argument on negatives. *)
+
+val decode_int : string -> int
+(** Inverse of {!encode_int}. *)
+
+val email_of_id : int -> string
+(** Deterministic synthetic email address (~30 bytes on average, shared
+    local-part stems and domain pool) standing in for the paper's private
+    email corpus. Distinct ids yield distinct addresses. *)
+
+type key_type = Rand_int | Mono_inc_int | Email
+(** The three key types of the paper's microbenchmarks. *)
+
+val key_type_name : key_type -> string
+val all_key_types : key_type list
+
+val generate_keys : ?seed:int -> key_type -> int -> string array
+(** [generate_keys kt n] returns [n] distinct keys of type [kt]
+    (deterministic for a given [seed]). *)

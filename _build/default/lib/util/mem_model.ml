@@ -1,0 +1,35 @@
+(* C-layout memory model.
+
+   The paper measures the malloc-level footprint of C++ index structures.
+   An OCaml heap measurement would instead report boxing and GC overheads of
+   the OCaml runtime, so every index in this repository computes the byte
+   footprint its layout would occupy in the paper's C implementation:
+   8-byte pointers and values, 512-byte B+tree nodes, the exact ART node
+   layouts, and keys stored inline when they fit a machine word.  All
+   occupancy / pointer-elimination / deduplication ratios the paper reports
+   are properties of the layout and are reproduced exactly by this model.
+   See DESIGN.md §3. *)
+
+let pointer_size = 8
+let value_size = 8
+let cache_line = 64
+
+(* B+tree node size used by the paper's STX baseline tuning (§4.1). *)
+let btree_node_size = 512
+
+(* Bytes a node-resident key slot occupies: an 8-byte slice inline, or an
+   8-byte pointer plus the out-of-line key bytes. *)
+let key_slot_bytes len = if len <= 8 then 8 else pointer_size + len
+
+(* Bytes of a length-prefixed key stored in a concatenated byte array
+   (compact structures): the raw bytes plus a 4-byte offset-array entry. *)
+let packed_key_bytes len = len + 4
+
+let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+let gib bytes = float_of_int bytes /. (1024.0 *. 1024.0 *. 1024.0)
+
+let pp_bytes ppf bytes =
+  if bytes >= 1 lsl 30 then Fmt.pf ppf "%.2f GB" (gib bytes)
+  else if bytes >= 1 lsl 20 then Fmt.pf ppf "%.2f MB" (mib bytes)
+  else if bytes >= 1 lsl 10 then Fmt.pf ppf "%.2f KB" (float_of_int bytes /. 1024.0)
+  else Fmt.pf ppf "%d B" bytes

@@ -1,0 +1,33 @@
+(** C-layout memory model.
+
+    The paper measures malloc-level footprints of C++ structures; an OCaml
+    heap walk would report the OCaml runtime's boxing instead.  Every index
+    computes the bytes its layout would occupy in the paper's C
+    implementation using these shared constants (DESIGN.md §3). *)
+
+val pointer_size : int
+(** 8 bytes. *)
+
+val value_size : int
+(** Tuple pointers are 64-bit (paper §6.1). *)
+
+val cache_line : int
+(** 64 bytes; used by the profiling proxy. *)
+
+val btree_node_size : int
+(** 512 bytes — the node size the paper found best for the in-memory STX
+    B+tree (§4.1). *)
+
+val key_slot_bytes : int -> int
+(** Bytes for a node-resident key slot: an 8-byte slice inline, otherwise a
+    pointer plus out-of-line key bytes. *)
+
+val packed_key_bytes : int -> int
+(** Bytes for a key packed into a concatenated byte array with a 4-byte
+    offset entry (compact structures). *)
+
+val mib : int -> float
+val gib : int -> float
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable byte count. *)

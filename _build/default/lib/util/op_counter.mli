@@ -1,0 +1,33 @@
+(** Deterministic profiling proxy for Table 2's PAPI hardware counters.
+
+    Indexes increment logical counters (node visits, key comparisons,
+    pointer dereferences) during traversal; {!instructions} and
+    {!cache_lines_touched} model the hardware metrics.  The counters are
+    global and single-threaded, like the paper's measurement runs. *)
+
+type snapshot = {
+  node_visits : int;
+  key_comparisons : int;
+  pointer_derefs : int;
+}
+
+val visit : unit -> unit
+(** Record visiting one index node. *)
+
+val compare_keys : int -> unit
+(** Record [n] key comparisons. *)
+
+val deref : unit -> unit
+(** Record one pointer dereference (a cache-line jump in the C layout). *)
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] is the per-interval delta. *)
+
+val cache_lines_touched : snapshot -> int
+(** Modelled distinct cache lines touched. *)
+
+val instructions : snapshot -> int
+(** Modelled instruction count. *)

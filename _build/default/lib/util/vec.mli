@@ -1,0 +1,26 @@
+(** Growable array (OCaml 5.1 predates [Stdlib.Dynarray]). *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] makes an empty vector; [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument when out of bounds. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.
+    @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit
+val to_array : 'a t -> 'a array
+val iter : ('a -> unit) -> 'a t -> unit
+
+val unsafe_data : 'a t -> 'a array
+(** Backing array; entries beyond {!length} are dummies. *)

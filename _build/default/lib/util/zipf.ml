@@ -1,0 +1,64 @@
+(* Zipfian request-distribution generator, following the rejection-free
+   method of Gray et al. ("Quickly generating billion-record synthetic
+   databases", SIGMOD '94) as used by YCSB.  A scrambled variant spreads the
+   popular items across the key space with an FNV-1a hash, matching YCSB's
+   ScrambledZipfianGenerator. *)
+
+type t = {
+  items : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  scrambled : bool;
+  rng : Xorshift.t;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let default_theta = 0.99
+
+let create ?(theta = default_theta) ?(scrambled = true) ~items rng =
+  if items <= 0 then invalid_arg "Zipf.create: items must be positive";
+  let zetan = zeta items theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int items) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { items; theta; zetan; alpha; eta; scrambled; rng }
+
+let fnv1a_64 x =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let hash = ref 0xcbf29ce484222325L in
+  for shift = 0 to 7 do
+    let byte = logand (shift_right_logical (of_int x) (shift * 8)) 0xffL in
+    hash := mul (logxor !hash byte) prime
+  done;
+  !hash
+
+(* Zipfian rank in [0, items): 0 is the most popular rank. *)
+let next_rank t =
+  let u = Xorshift.float01 t.rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let v = float_of_int t.items *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha) in
+    min (t.items - 1) (int_of_float v)
+
+let next t =
+  let rank = next_rank t in
+  if not t.scrambled then rank
+  else
+    let h = fnv1a_64 rank in
+    Int64.to_int (Int64.shift_right_logical h 2) mod t.items
+
+let items t = t.items

@@ -1,0 +1,28 @@
+(** Zipfian request-distribution generator (Gray et al., SIGMOD '94), the
+    skewed item-popularity distribution used by YCSB and typical of OLTP
+    workloads (paper §1, §6.1). *)
+
+type t
+
+val default_theta : float
+(** YCSB's default skew parameter, 0.99. *)
+
+val create : ?theta:float -> ?scrambled:bool -> items:int -> Xorshift.t -> t
+(** [create ~items rng] builds a generator over [\[0, items)].
+    [theta] controls skew (default {!default_theta}).  When [scrambled] is
+    true (default) popular items are spread across the key space with an
+    FNV-1a hash, matching YCSB's ScrambledZipfian generator.
+    @raise Invalid_argument if [items <= 0]. *)
+
+val next_rank : t -> int
+(** Next Zipfian {e rank}: 0 is always the most popular item. *)
+
+val next : t -> int
+(** Next item id (rank scrambled over the key space when enabled). *)
+
+val items : t -> int
+(** Size of the item universe. *)
+
+val zeta : int -> float -> float
+(** [zeta n theta] is the generalized harmonic number used internally
+    (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/workloads/articles.ml: Array Char Engine Hi_hstore Hi_util Key_codec List Printf Schema String Table Value Xorshift

@@ -1,0 +1,1 @@
+lib/workloads/articles.mli: Hi_hstore Hi_util

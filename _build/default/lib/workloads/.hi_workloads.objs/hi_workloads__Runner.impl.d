@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Engine Hi_hstore Hi_util Histogram List Unix

@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Hi_hstore Hi_util

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Char Engine Hashtbl Hi_hstore Hi_util List Schema String Table Value Xorshift

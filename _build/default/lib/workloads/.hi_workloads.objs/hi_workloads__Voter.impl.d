@@ -1,0 +1,1 @@
+lib/workloads/voter.ml: Array Engine Hi_hstore Hi_util List Printf Schema Table Value Xorshift

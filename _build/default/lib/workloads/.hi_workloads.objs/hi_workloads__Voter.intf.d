@@ -1,0 +1,1 @@
+lib/workloads/voter.mli: Hi_hstore

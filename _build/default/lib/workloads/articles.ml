@@ -1,0 +1,158 @@
+(* Articles (paper §7.2): an on-line news site where users submit articles
+   and post comments — read-intensive, with look-ups through both primary
+   and secondary indexes, scaled to resemble a week of Reddit traffic. *)
+
+open Hi_util
+open Hi_hstore
+open Value
+
+type scale = { users : int; initial_articles : int; comments_per_article : int }
+
+let default_scale = { users = 10_000; initial_articles = 5_000; comments_per_article = 4 }
+
+let users_schema =
+  Schema.make ~name:"users"
+    ~columns:[ ("u_id", TInt); ("u_name", TStr 20); ("u_email", TStr 40); ("u_karma", TInt) ]
+    ~pk:[ "u_id" ] ()
+
+let articles_schema =
+  Schema.make ~name:"articles"
+    ~columns:
+      [
+        ("a_id", TInt); ("a_u_id", TInt); ("a_title", TStr 60); ("a_text", TStr 200);
+        ("a_num_comments", TInt); ("a_rating", TInt);
+      ]
+    ~pk:[ "a_id" ]
+    ~secondary:[ ("articles_user_idx", [ "a_u_id"; "a_id" ], false) ]
+    ()
+
+let comments_schema =
+  Schema.make ~name:"comments"
+    ~columns:[ ("c_id", TInt); ("c_a_id", TInt); ("c_u_id", TInt); ("c_text", TStr 120) ]
+    ~pk:[ "c_id" ]
+    ~secondary:[ ("comments_article_idx", [ "c_a_id"; "c_id" ], false) ]
+    ()
+
+type state = {
+  scale : scale;
+  rng : Xorshift.t;
+  mutable next_article : int;
+  mutable next_comment : int;
+}
+
+let name = "articles"
+
+let col schema n = Schema.column schema n
+
+let rand_text rng n = String.init (n / 2 + Xorshift.int rng (n / 2)) (fun _ -> Char.chr (97 + Xorshift.int rng 26))
+
+let setup ?(scale = default_scale) (engine : Engine.t) =
+  List.iter (fun s -> ignore (Engine.create_table engine s)) [ users_schema; articles_schema; comments_schema ];
+  let rng = Xorshift.create 23 in
+  let users = Engine.table engine "users" in
+  let articles = Engine.table engine "articles" in
+  let comments = Engine.table engine "comments" in
+  for u = 1 to scale.users do
+    ignore
+      (Table.insert users
+         [| Int u; Str (Printf.sprintf "user%d" u); Str (Key_codec.email_of_id u); Int 0 |])
+  done;
+  let st = { scale; rng; next_article = 0; next_comment = 0 } in
+  for _ = 1 to scale.initial_articles do
+    st.next_article <- st.next_article + 1;
+    let a = st.next_article in
+    ignore
+      (Table.insert articles
+         [| Int a; Int (1 + Xorshift.int rng scale.users); Str (rand_text rng 60);
+            Str (rand_text rng 200); Int scale.comments_per_article; Int 0 |]);
+    for _ = 1 to scale.comments_per_article do
+      st.next_comment <- st.next_comment + 1;
+      ignore
+        (Table.insert comments
+           [| Int st.next_comment; Int a; Int (1 + Xorshift.int rng scale.users); Str (rand_text rng 120) |])
+    done
+  done;
+  st
+
+(* --- stored procedures --- *)
+
+let get_article st engine =
+  let articles = Engine.table engine "articles" in
+  let comments = Engine.table engine "comments" in
+  let a = 1 + Xorshift.int st.rng st.next_article in
+  match Table.find_by_pk articles [ Int a ] with
+  | None -> raise (Engine.Abort "missing article")
+  | Some a_rowid ->
+    ignore (Engine.read engine articles a_rowid);
+    List.iter
+      (fun c_rowid -> ignore (Engine.read engine comments c_rowid))
+      (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ] ~limit:50)
+
+let get_articles_by_user st engine =
+  let articles = Engine.table engine "articles" in
+  let u = 1 + Xorshift.int st.rng st.scale.users in
+  List.iter
+    (fun a_rowid -> ignore (Engine.read engine articles a_rowid))
+    (Table.scan_index_prefix_eq articles "articles_user_idx" ~prefix:[ Int u ] ~limit:20)
+
+let post_article st engine =
+  let articles = Engine.table engine "articles" in
+  st.next_article <- st.next_article + 1;
+  ignore
+    (Engine.insert engine articles
+       [| Int st.next_article; Int (1 + Xorshift.int st.rng st.scale.users);
+          Str (rand_text st.rng 60); Str (rand_text st.rng 200); Int 0; Int 0 |])
+
+let post_comment st engine =
+  let articles = Engine.table engine "articles" in
+  let comments = Engine.table engine "comments" in
+  let a = 1 + Xorshift.int st.rng st.next_article in
+  match Table.find_by_pk articles [ Int a ] with
+  | None -> raise (Engine.Abort "missing article")
+  | Some a_rowid ->
+    st.next_comment <- st.next_comment + 1;
+    ignore
+      (Engine.insert engine comments
+         [| Int st.next_comment; Int a; Int (1 + Xorshift.int st.rng st.scale.users);
+            Str (rand_text st.rng 120) |]);
+    let a_row = Engine.read engine articles a_rowid in
+    Engine.update engine articles a_rowid
+      [ (col articles_schema "a_num_comments", Int (as_int a_row.(col articles_schema "a_num_comments") + 1)) ]
+
+let update_rating st engine =
+  let articles = Engine.table engine "articles" in
+  let a = 1 + Xorshift.int st.rng st.next_article in
+  match Table.find_by_pk articles [ Int a ] with
+  | None -> raise (Engine.Abort "missing article")
+  | Some a_rowid ->
+    let a_row = Engine.read engine articles a_rowid in
+    Engine.update engine articles a_rowid
+      [ (col articles_schema "a_rating", Int (as_int a_row.(col articles_schema "a_rating") + 1)) ]
+
+(* Read-intensive mix: 50 % article reads, 10 % user-page reads,
+   28 % comments, 2 % submissions, 10 % rating updates. *)
+let transaction st engine =
+  let r = Xorshift.int st.rng 100 in
+  if r < 50 then Engine.run engine (get_article st)
+  else if r < 60 then Engine.run engine (get_articles_by_user st)
+  else if r < 88 then Engine.run engine (post_comment st)
+  else if r < 90 then Engine.run engine (post_article st)
+  else Engine.run engine (update_rating st)
+
+(* Invariant: a_num_comments equals the comment rows per article for
+   articles that existed at load (tests use small runs). *)
+let check_comment_counts engine upto =
+  let articles = Engine.table engine "articles" in
+  let comments = Engine.table engine "comments" in
+  let ok = ref true in
+  for a = 1 to upto do
+    match Table.find_by_pk articles [ Int a ] with
+    | None -> ok := false
+    | Some a_rowid ->
+      let declared = as_int (Table.read articles a_rowid).(col articles_schema "a_num_comments") in
+      let actual =
+        List.length (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ] ~limit:10_000)
+      in
+      if declared <> actual then ok := false
+  done;
+  !ok

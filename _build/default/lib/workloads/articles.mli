@@ -1,0 +1,34 @@
+(** Articles (paper §7.2): an on-line news site — read-intensive, with
+    look-ups through primary and secondary indexes, scaled to resemble a
+    week of Reddit traffic. *)
+
+type scale = { users : int; initial_articles : int; comments_per_article : int }
+
+val default_scale : scale
+
+type state = {
+  scale : scale;
+  rng : Hi_util.Xorshift.t;
+  mutable next_article : int;
+  mutable next_comment : int;
+}
+
+val name : string
+val setup : ?scale:scale -> Hi_hstore.Engine.t -> state
+
+val get_article : state -> Hi_hstore.Engine.t -> unit
+val get_articles_by_user : state -> Hi_hstore.Engine.t -> unit
+val post_article : state -> Hi_hstore.Engine.t -> unit
+val post_comment : state -> Hi_hstore.Engine.t -> unit
+val update_rating : state -> Hi_hstore.Engine.t -> unit
+
+val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+(** 50 % article reads, 10 % user pages, 28 % comments, 2 % submissions,
+    10 % rating updates. *)
+
+val check_comment_counts : Hi_hstore.Engine.t -> int -> bool
+(** [a_num_comments] equals the actual comment rows for articles 1..n. *)
+
+val users_schema : Hi_hstore.Schema.t
+val articles_schema : Hi_hstore.Schema.t
+val comments_schema : Hi_hstore.Schema.t

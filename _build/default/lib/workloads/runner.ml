@@ -1,0 +1,60 @@
+(* Shared benchmark runner for the full-DBMS experiments (paper §7):
+   executes a transaction stream against an engine, recording throughput,
+   per-transaction latency percentiles (Table 3), and periodic
+   throughput/memory samples for the anti-caching timelines (Fig 9). *)
+
+open Hi_util
+open Hi_hstore
+
+type sample = {
+  at_txn : int;
+  window_tps : float;
+  memory : Engine.memory_breakdown;
+}
+
+type result = {
+  txns : int;
+  seconds : float;
+  tps : float;
+  latency : Histogram.t;
+  memory : Engine.memory_breakdown; (* at the end of the run *)
+  samples : sample list; (* oldest first *)
+  committed : int;
+  user_aborts : int;
+  evicted_restarts : int;
+}
+
+(* Run [num_txns] transactions; [transaction] returns a result we ignore
+   beyond abort accounting (the engine tracks commits/aborts itself). *)
+let run (engine : Engine.t) ~transaction ~num_txns ?(warmup = 0) ?(sample_every = 0) () =
+  for _ = 1 to warmup do
+    ignore (transaction engine)
+  done;
+  let latency = Histogram.create () in
+  let samples = ref [] in
+  let window_start = ref (Unix.gettimeofday ()) in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to num_txns do
+    let s = Unix.gettimeofday () in
+    ignore (transaction engine);
+    Histogram.record latency (Unix.gettimeofday () -. s);
+    if sample_every > 0 && i mod sample_every = 0 then begin
+      let now = Unix.gettimeofday () in
+      let window_tps = float_of_int sample_every /. (now -. !window_start) in
+      window_start := now;
+      samples := { at_txn = i; window_tps; memory = Engine.memory_breakdown engine } :: !samples
+    end
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let stats = Engine.stats engine in
+  {
+    txns = num_txns;
+    seconds;
+    tps = float_of_int num_txns /. seconds;
+    latency;
+    memory = Engine.memory_breakdown engine;
+    samples = List.rev !samples;
+    committed = stats.Engine.committed;
+    user_aborts = stats.Engine.user_aborts;
+    evicted_restarts = stats.Engine.evicted_restarts;
+  }

@@ -1,0 +1,34 @@
+(** Shared benchmark runner for the full-DBMS experiments (paper §7):
+    executes a transaction stream, recording throughput, per-transaction
+    latency percentiles (Table 3) and periodic throughput/memory samples
+    for the anti-caching timelines (Fig 9). *)
+
+type sample = {
+  at_txn : int;
+  window_tps : float;
+  memory : Hi_hstore.Engine.memory_breakdown;
+}
+
+type result = {
+  txns : int;
+  seconds : float;
+  tps : float;
+  latency : Hi_util.Histogram.t;
+  memory : Hi_hstore.Engine.memory_breakdown;  (** at the end of the run *)
+  samples : sample list;  (** oldest first *)
+  committed : int;
+  user_aborts : int;
+  evicted_restarts : int;
+}
+
+val run :
+  Hi_hstore.Engine.t ->
+  transaction:(Hi_hstore.Engine.t -> 'a) ->
+  num_txns:int ->
+  ?warmup:int ->
+  ?sample_every:int ->
+  unit ->
+  result
+(** Run [num_txns] transactions ([warmup] extra unmeasured ones first);
+    with [sample_every] > 0 a throughput/memory sample is taken every that
+    many transactions. *)

@@ -1,0 +1,464 @@
+(* TPC-C (paper §7.2): the warehouse-centric order-processing benchmark,
+   with all nine tables and the five stored procedures in the standard
+   45/43/4/4/4 mix.  ~88 % of transactions modify the database.
+
+   Column widths follow the TPC-C specification closely enough that tuple
+   and index sizes reproduce the paper's memory-breakdown ratios; the
+   scale (warehouses, items) is configurable. *)
+
+open Hi_util
+open Hi_hstore
+open Value
+
+type scale = { warehouses : int; items : int; customers_per_district : int }
+
+let default_scale = { warehouses = 8; items = 10_000; customers_per_district = 300 }
+
+let districts_per_warehouse = 10
+
+(* --- schemas --- *)
+
+let warehouse_schema =
+  Schema.make ~name:"warehouse"
+    ~columns:
+      [
+        ("w_id", TInt); ("w_name", TStr 10); ("w_street", TStr 20); ("w_city", TStr 20);
+        ("w_state", TStr 2); ("w_zip", TStr 9); ("w_tax", TFloat); ("w_ytd", TFloat);
+      ]
+    ~pk:[ "w_id" ] ()
+
+let district_schema =
+  Schema.make ~name:"district"
+    ~columns:
+      [
+        ("d_w_id", TInt); ("d_id", TInt); ("d_name", TStr 10); ("d_street", TStr 20);
+        ("d_city", TStr 20); ("d_state", TStr 2); ("d_zip", TStr 9); ("d_tax", TFloat);
+        ("d_ytd", TFloat); ("d_next_o_id", TInt);
+      ]
+    ~pk:[ "d_w_id"; "d_id" ] ()
+
+let customer_schema =
+  Schema.make ~name:"customer"
+    ~columns:
+      [
+        ("c_w_id", TInt); ("c_d_id", TInt); ("c_id", TInt); ("c_first", TStr 16);
+        ("c_middle", TStr 2); ("c_last", TStr 16); ("c_street", TStr 20); ("c_city", TStr 20);
+        ("c_state", TStr 2); ("c_zip", TStr 9); ("c_phone", TStr 16); ("c_since", TInt);
+        ("c_credit", TStr 2); ("c_credit_lim", TFloat); ("c_discount", TFloat);
+        ("c_balance", TFloat); ("c_ytd_payment", TFloat); ("c_payment_cnt", TInt);
+        ("c_delivery_cnt", TInt); ("c_data", TStr 250);
+      ]
+    ~pk:[ "c_w_id"; "c_d_id"; "c_id" ]
+    ~secondary:[ ("customer_name_idx", [ "c_w_id"; "c_d_id"; "c_last"; "c_id" ], false) ]
+    ()
+
+let history_schema =
+  Schema.make ~name:"history"
+    ~columns:
+      [
+        ("h_id", TInt); ("h_c_id", TInt); ("h_c_d_id", TInt); ("h_c_w_id", TInt);
+        ("h_d_id", TInt); ("h_w_id", TInt); ("h_date", TInt); ("h_amount", TFloat);
+        ("h_data", TStr 24);
+      ]
+    ~pk:[ "h_id" ] ()
+
+let neworder_schema =
+  Schema.make ~name:"new_order"
+    ~columns:[ ("no_w_id", TInt); ("no_d_id", TInt); ("no_o_id", TInt) ]
+    ~pk:[ "no_w_id"; "no_d_id"; "no_o_id" ] ()
+
+let orders_schema =
+  Schema.make ~name:"orders"
+    ~columns:
+      [
+        ("o_w_id", TInt); ("o_d_id", TInt); ("o_id", TInt); ("o_c_id", TInt);
+        ("o_entry_d", TInt); ("o_carrier_id", TInt); ("o_ol_cnt", TInt); ("o_all_local", TInt);
+      ]
+    ~pk:[ "o_w_id"; "o_d_id"; "o_id" ]
+    ~secondary:[ ("orders_customer_idx", [ "o_w_id"; "o_d_id"; "o_c_id"; "o_id" ], false) ]
+    ()
+
+let orderline_schema =
+  Schema.make ~name:"order_line"
+    ~columns:
+      [
+        ("ol_w_id", TInt); ("ol_d_id", TInt); ("ol_o_id", TInt); ("ol_number", TInt);
+        ("ol_i_id", TInt); ("ol_supply_w_id", TInt); ("ol_delivery_d", TInt);
+        ("ol_quantity", TInt); ("ol_amount", TFloat); ("ol_dist_info", TStr 24);
+      ]
+    ~pk:[ "ol_w_id"; "ol_d_id"; "ol_o_id"; "ol_number" ] ()
+
+let item_schema =
+  Schema.make ~name:"item"
+    ~columns:[ ("i_id", TInt); ("i_im_id", TInt); ("i_name", TStr 24); ("i_price", TFloat); ("i_data", TStr 50) ]
+    ~pk:[ "i_id" ] ()
+
+let stock_schema =
+  Schema.make ~name:"stock"
+    ~columns:
+      [
+        ("s_w_id", TInt); ("s_i_id", TInt); ("s_quantity", TInt); ("s_dist_01", TStr 24);
+        ("s_ytd", TInt); ("s_order_cnt", TInt); ("s_remote_cnt", TInt); ("s_data", TStr 50);
+      ]
+    ~pk:[ "s_w_id"; "s_i_id" ] ()
+
+let all_schemas =
+  [
+    warehouse_schema; district_schema; customer_schema; history_schema; neworder_schema;
+    orders_schema; orderline_schema; item_schema; stock_schema;
+  ]
+
+(* --- state --- *)
+
+type state = {
+  scale : scale;
+  rng : Xorshift.t;
+  mutable next_history_id : int;
+  last_names : string array;
+}
+
+let name = "tpcc"
+
+(* TPC-C last-name syllables *)
+let syllables = [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n = syllables.(n / 100 mod 10) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+(* NURand as in the TPC-C spec *)
+let nurand rng a x y = ((Xorshift.int rng (a + 1) lor (x + Xorshift.int rng (y - x + 1))) mod (y - x + 1)) + x
+
+let rand_str rng n =
+  String.init (4 + Xorshift.int rng (max 1 (n - 4))) (fun _ -> Char.chr (97 + Xorshift.int rng 26))
+
+(* --- load --- *)
+
+let setup ?(scale = default_scale) (engine : Engine.t) =
+  List.iter (fun s -> ignore (Engine.create_table engine s)) all_schemas;
+  let rng = Xorshift.create 7 in
+  let st = { scale; rng; next_history_id = 0; last_names = Array.init 1000 last_name } in
+  let warehouse = Engine.table engine "warehouse" in
+  let district = Engine.table engine "district" in
+  let customer = Engine.table engine "customer" in
+  let item = Engine.table engine "item" in
+  let stock = Engine.table engine "stock" in
+  for i = 1 to scale.items do
+    ignore
+      (Table.insert item
+         [| Int i; Int (Xorshift.int rng 10_000); Str (rand_str rng 24); Float (1.0 +. Xorshift.float01 rng *. 99.0); Str (rand_str rng 50) |])
+  done;
+  for w = 1 to scale.warehouses do
+    ignore
+      (Table.insert warehouse
+         [| Int w; Str (rand_str rng 10); Str (rand_str rng 20); Str (rand_str rng 20);
+            Str "ca"; Str "123456789"; Float 0.05; Float 300_000.0 |]);
+    for i = 1 to scale.items do
+      ignore
+        (Table.insert stock
+           [| Int w; Int i; Int (10 + Xorshift.int rng 90); Str (rand_str rng 24);
+              Int 0; Int 0; Int 0; Str (rand_str rng 50) |])
+    done;
+    for d = 1 to districts_per_warehouse do
+      ignore
+        (Table.insert district
+           [| Int w; Int d; Str (rand_str rng 10); Str (rand_str rng 20); Str (rand_str rng 20);
+              Str "ca"; Str "123456789"; Float 0.07; Float 30_000.0; Int (scale.customers_per_district + 1) |]);
+      for c = 1 to scale.customers_per_district do
+        (* guarantee every name in the lookup range exists, even at small
+           scale: the first [coverage] customers enumerate the name space *)
+        let coverage = min 1000 scale.customers_per_district in
+        let lname =
+          if c <= coverage then st.last_names.(c - 1)
+          else st.last_names.(nurand rng 255 0 (coverage - 1))
+        in
+        ignore
+          (Table.insert customer
+             [| Int w; Int d; Int c; Str (rand_str rng 16); Str "OE"; Str lname;
+                Str (rand_str rng 20); Str (rand_str rng 20); Str "ca"; Str "123456789";
+                Str "0123456789012345"; Int 0; Str (if Xorshift.int rng 10 = 0 then "BC" else "GC");
+                Float 50_000.0; Float (Xorshift.float01 rng /. 2.0); Float (-10.0); Float 10.0;
+                Int 1; Int 0; Str (rand_str rng 250) |])
+      done;
+      (* one initial order per customer so order-status and delivery have
+         data from the start *)
+      let orders = Engine.table engine "orders" in
+      let orderline = Engine.table engine "order_line" in
+      let neworder = Engine.table engine "new_order" in
+      for o = 1 to scale.customers_per_district do
+        let ol_cnt = 5 + Xorshift.int rng 11 in
+        ignore
+          (Table.insert orders
+             [| Int w; Int d; Int o; Int o; Int 0; Int (if o < scale.customers_per_district * 7 / 10 then 1 + Xorshift.int rng 10 else 0); Int ol_cnt; Int 1 |]);
+        for ol = 1 to ol_cnt do
+          ignore
+            (Table.insert orderline
+               [| Int w; Int d; Int o; Int ol; Int (1 + Xorshift.int rng scale.items); Int w;
+                  Int 0; Int 5; Float (Xorshift.float01 rng *. 9_999.0); Str (rand_str rng 24) |])
+        done;
+        if o >= scale.customers_per_district * 7 / 10 then
+          ignore (Table.insert neworder [| Int w; Int d; Int o |])
+      done
+    done
+  done;
+  st
+
+(* --- stored procedures --- *)
+
+let pick_warehouse st = 1 + Xorshift.int st.rng st.scale.warehouses
+let pick_district st = 1 + Xorshift.int st.rng districts_per_warehouse
+let pick_customer st = nurand st.rng 1023 1 st.scale.customers_per_district
+let pick_item st = nurand st.rng 8191 1 st.scale.items
+
+let col schema n = Schema.column schema n
+
+(* Customer lookup: 60 % by last name (via the secondary index, taking the
+   middle match), 40 % by id — as in the TPC-C spec. *)
+let lookup_customer st engine w d =
+  let customer = Engine.table engine "customer" in
+  if Xorshift.int st.rng 100 < 60 then begin
+    let coverage = min 1000 st.scale.customers_per_district in
+    let lname = st.last_names.(nurand st.rng 255 0 (coverage - 1)) in
+    let rowids =
+      Table.scan_index_prefix_eq customer "customer_name_idx" ~prefix:[ Int w; Int d; Str lname ]
+        ~limit:100
+    in
+    match rowids with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list rowids in
+      Some arr.(Array.length arr / 2)
+  end
+  else
+    Table.find_by_pk customer [ Int w; Int d; Int (pick_customer st) ]
+
+let new_order st engine =
+  let w = pick_warehouse st in
+  let d = pick_district st in
+  let c = pick_customer st in
+  let district = Engine.table engine "district" in
+  let customer = Engine.table engine "customer" in
+  let orders = Engine.table engine "orders" in
+  let neworder = Engine.table engine "new_order" in
+  let orderline = Engine.table engine "order_line" in
+  let item = Engine.table engine "item" in
+  let stock = Engine.table engine "stock" in
+  let d_rowid =
+    match Table.find_by_pk district [ Int w; Int d ] with
+    | Some r -> r
+    | None -> raise (Engine.Abort "missing district")
+  in
+  let d_row = Engine.read engine district d_rowid in
+  let o_id = as_int d_row.(col district_schema "d_next_o_id") in
+  Engine.update engine district d_rowid [ (col district_schema "d_next_o_id", Int (o_id + 1)) ];
+  (match Table.find_by_pk customer [ Int w; Int d; Int c ] with
+  | Some r -> ignore (Engine.read engine customer r)
+  | None -> raise (Engine.Abort "missing customer"));
+  let ol_cnt = 5 + Xorshift.int st.rng 11 in
+  ignore (Engine.insert engine orders [| Int w; Int d; Int o_id; Int c; Int 0; Int 0; Int ol_cnt; Int 1 |]);
+  ignore (Engine.insert engine neworder [| Int w; Int d; Int o_id |]);
+  (* 1 % of new-order transactions abort on an invalid item, per spec *)
+  let invalid = Xorshift.int st.rng 100 = 0 in
+  for ol = 1 to ol_cnt do
+    let i_id = if invalid && ol = ol_cnt then st.scale.items + 1 else pick_item st in
+    match Table.find_by_pk item [ Int i_id ] with
+    | None -> raise (Engine.Abort "invalid item")
+    | Some i_rowid ->
+      let i_row = Engine.read engine item i_rowid in
+      let price = as_float i_row.(col item_schema "i_price") in
+      let s_rowid =
+        match Table.find_by_pk stock [ Int w; Int i_id ] with
+        | Some r -> r
+        | None -> raise (Engine.Abort "missing stock")
+      in
+      let s_row = Engine.read engine stock s_rowid in
+      let qty = as_int s_row.(col stock_schema "s_quantity") in
+      let order_qty = 1 + Xorshift.int st.rng 10 in
+      let new_qty = if qty - order_qty >= 10 then qty - order_qty else qty - order_qty + 91 in
+      Engine.update engine stock s_rowid
+        [
+          (col stock_schema "s_quantity", Int new_qty);
+          (col stock_schema "s_ytd", Int (as_int s_row.(col stock_schema "s_ytd") + order_qty));
+          (col stock_schema "s_order_cnt", Int (as_int s_row.(col stock_schema "s_order_cnt") + 1));
+        ];
+      ignore
+        (Engine.insert engine orderline
+           [| Int w; Int d; Int o_id; Int ol; Int i_id; Int w; Int 0; Int order_qty;
+              Float (float_of_int order_qty *. price); Str "distinfo................" |])
+  done
+
+let payment st engine =
+  let w = pick_warehouse st in
+  let d = pick_district st in
+  let amount = 1.0 +. (Xorshift.float01 st.rng *. 4_999.0) in
+  let warehouse = Engine.table engine "warehouse" in
+  let district = Engine.table engine "district" in
+  let customer = Engine.table engine "customer" in
+  let history = Engine.table engine "history" in
+  let w_rowid =
+    match Table.find_by_pk warehouse [ Int w ] with
+    | Some r -> r
+    | None -> raise (Engine.Abort "missing warehouse")
+  in
+  let w_row = Engine.read engine warehouse w_rowid in
+  Engine.update engine warehouse w_rowid
+    [ (col warehouse_schema "w_ytd", Float (as_float w_row.(col warehouse_schema "w_ytd") +. amount)) ];
+  let d_rowid =
+    match Table.find_by_pk district [ Int w; Int d ] with
+    | Some r -> r
+    | None -> raise (Engine.Abort "missing district")
+  in
+  let d_row = Engine.read engine district d_rowid in
+  Engine.update engine district d_rowid
+    [ (col district_schema "d_ytd", Float (as_float d_row.(col district_schema "d_ytd") +. amount)) ];
+  match lookup_customer st engine w d with
+  | None -> raise (Engine.Abort "customer not found")
+  | Some c_rowid ->
+    let c_row = Engine.read engine customer c_rowid in
+    let c_id = as_int c_row.(col customer_schema "c_id") in
+    Engine.update engine customer c_rowid
+      [
+        (col customer_schema "c_balance", Float (as_float c_row.(col customer_schema "c_balance") -. amount));
+        ( col customer_schema "c_ytd_payment",
+          Float (as_float c_row.(col customer_schema "c_ytd_payment") +. amount) );
+        (col customer_schema "c_payment_cnt", Int (as_int c_row.(col customer_schema "c_payment_cnt") + 1));
+      ];
+    st.next_history_id <- st.next_history_id + 1;
+    ignore
+      (Engine.insert engine history
+         [| Int st.next_history_id; Int c_id; Int d; Int w; Int d; Int w; Int 0; Float amount;
+            Str "historydata" |])
+
+let order_status st engine =
+  let w = pick_warehouse st in
+  let d = pick_district st in
+  let customer = Engine.table engine "customer" in
+  let orders = Engine.table engine "orders" in
+  let orderline = Engine.table engine "order_line" in
+  match lookup_customer st engine w d with
+  | None -> raise (Engine.Abort "customer not found")
+  | Some c_rowid ->
+    let c_row = Engine.read engine customer c_rowid in
+    let c_id = as_int c_row.(col customer_schema "c_id") in
+    (* most recent order of this customer via the secondary index *)
+    let rowids =
+      Table.scan_index_prefix_eq orders "orders_customer_idx" ~prefix:[ Int w; Int d; Int c_id ]
+        ~limit:1000
+    in
+    (match List.rev rowids with
+    | [] -> ()
+    | o_rowid :: _ ->
+      let o_row = Engine.read engine orders o_rowid in
+      let o_id = as_int o_row.(col orders_schema "o_id") in
+      let ol_cnt = as_int o_row.(col orders_schema "o_ol_cnt") in
+      for ol = 1 to ol_cnt do
+        match Table.find_by_pk orderline [ Int w; Int d; Int o_id; Int ol ] with
+        | Some r -> ignore (Engine.read engine orderline r)
+        | None -> ()
+      done)
+
+let delivery st engine =
+  let w = pick_warehouse st in
+  let carrier = 1 + Xorshift.int st.rng 10 in
+  let neworder = Engine.table engine "new_order" in
+  let orders = Engine.table engine "orders" in
+  let orderline = Engine.table engine "order_line" in
+  let customer = Engine.table engine "customer" in
+  for d = 1 to districts_per_warehouse do
+    (* oldest undelivered order in this district *)
+    match Table.scan_index_prefix_eq neworder "new_order_pk" ~prefix:[ Int w; Int d ] ~limit:1 with
+    | [] -> ()
+    | no_rowid :: _ ->
+      let no_row = Engine.read engine neworder no_rowid in
+      let o_id = as_int no_row.(col neworder_schema "no_o_id") in
+      Engine.delete engine neworder no_rowid;
+      (match Table.find_by_pk orders [ Int w; Int d; Int o_id ] with
+      | None -> ()
+      | Some o_rowid ->
+        let o_row = Engine.read engine orders o_rowid in
+        let c_id = as_int o_row.(col orders_schema "o_c_id") in
+        let ol_cnt = as_int o_row.(col orders_schema "o_ol_cnt") in
+        Engine.update engine orders o_rowid [ (col orders_schema "o_carrier_id", Int carrier) ];
+        let total = ref 0.0 in
+        for ol = 1 to ol_cnt do
+          match Table.find_by_pk orderline [ Int w; Int d; Int o_id; Int ol ] with
+          | None -> ()
+          | Some ol_rowid ->
+            let ol_row = Engine.read engine orderline ol_rowid in
+            total := !total +. as_float ol_row.(col orderline_schema "ol_amount");
+            Engine.update engine orderline ol_rowid [ (col orderline_schema "ol_delivery_d", Int 1) ]
+        done;
+        (match Table.find_by_pk customer [ Int w; Int d; Int c_id ] with
+        | None -> ()
+        | Some c_rowid ->
+          let c_row = Engine.read engine customer c_rowid in
+          Engine.update engine customer c_rowid
+            [
+              (col customer_schema "c_balance", Float (as_float c_row.(col customer_schema "c_balance") +. !total));
+              ( col customer_schema "c_delivery_cnt",
+                Int (as_int c_row.(col customer_schema "c_delivery_cnt") + 1) );
+            ]))
+  done
+
+let stock_level st engine =
+  let w = pick_warehouse st in
+  let d = pick_district st in
+  let threshold = 10 + Xorshift.int st.rng 11 in
+  let district = Engine.table engine "district" in
+  let orderline = Engine.table engine "order_line" in
+  let stock = Engine.table engine "stock" in
+  match Table.find_by_pk district [ Int w; Int d ] with
+  | None -> raise (Engine.Abort "missing district")
+  | Some d_rowid ->
+    let d_row = Engine.read engine district d_rowid in
+    let next_o = as_int d_row.(col district_schema "d_next_o_id") in
+    let seen = Hashtbl.create 64 in
+    let low = ref 0 in
+    for o_id = max 1 (next_o - 20) to next_o - 1 do
+      List.iter
+        (fun ol_rowid ->
+          let ol_row = Engine.read engine orderline ol_rowid in
+          let i_id = as_int ol_row.(col orderline_schema "ol_i_id") in
+          if not (Hashtbl.mem seen i_id) then begin
+            Hashtbl.replace seen i_id ();
+            match Table.find_by_pk stock [ Int w; Int i_id ] with
+            | None -> ()
+            | Some s_rowid ->
+              let s_row = Engine.read engine stock s_rowid in
+              if as_int s_row.(col stock_schema "s_quantity") < threshold then incr low
+          end)
+        (Table.scan_index_prefix_eq orderline "order_line_pk" ~prefix:[ Int w; Int d; Int o_id ]
+           ~limit:20)
+    done;
+    ignore !low
+
+(* --- mix (45/43/4/4/4) --- *)
+
+let transaction st engine =
+  let r = Xorshift.int st.rng 100 in
+  if r < 45 then Engine.run engine (new_order st)
+  else if r < 88 then Engine.run engine (payment st)
+  else if r < 92 then Engine.run engine (order_status st)
+  else if r < 96 then Engine.run engine (delivery st)
+  else Engine.run engine (stock_level st)
+
+(* Consistency condition (TPC-C §3.3.2.1): W_YTD = sum(D_YTD) per
+   warehouse — used by the test suite. *)
+let check_ytd_consistency engine =
+  let warehouse = Engine.table engine "warehouse" in
+  let district = Engine.table engine "district" in
+  let ok = ref true in
+  List.iter
+    (fun (_, w_rowid) ->
+      let w_row = Table.read warehouse w_rowid in
+      let w = as_int w_row.(col warehouse_schema "w_id") in
+      let w_ytd = as_float w_row.(col warehouse_schema "w_ytd") in
+      let d_sum = ref 0.0 in
+      for d = 1 to districts_per_warehouse do
+        match Table.find_by_pk district [ Int w; Int d ] with
+        | Some r -> d_sum := !d_sum +. as_float (Table.read district r).(col district_schema "d_ytd")
+        | None -> ok := false
+      done;
+      (* loaded values: w_ytd = 300 000, d_ytd = 30 000 * 10 *)
+      if abs_float (w_ytd -. !d_sum) > 0.01 then ok := false)
+    (let pk = Table.scan_index warehouse "warehouse_pk" ~prefix:[] ~limit:max_int in
+     List.map (fun r -> ((), r)) pk);
+  !ok

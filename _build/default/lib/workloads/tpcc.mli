@@ -1,0 +1,43 @@
+(** TPC-C (paper §7.2): all nine tables and the five stored procedures in
+    the standard 45/43/4/4/4 mix; ~88 % of transactions modify the
+    database.  Scale (warehouses, items, customers) is configurable. *)
+
+type scale = { warehouses : int; items : int; customers_per_district : int }
+
+val default_scale : scale
+val districts_per_warehouse : int
+
+type state
+(** Workload generator state (RNG, id counters, name pool). *)
+
+val name : string
+
+val setup : ?scale:scale -> Hi_hstore.Engine.t -> state
+(** Create the nine tables and load warehouses, districts, customers,
+    items, stock and one initial order per customer. *)
+
+val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+(** Execute one transaction drawn from the standard mix. *)
+
+(** Individual stored procedures (run them via {!Hi_hstore.Engine.run}). *)
+
+val new_order : state -> Hi_hstore.Engine.t -> unit
+val payment : state -> Hi_hstore.Engine.t -> unit
+val order_status : state -> Hi_hstore.Engine.t -> unit
+val delivery : state -> Hi_hstore.Engine.t -> unit
+val stock_level : state -> Hi_hstore.Engine.t -> unit
+
+val check_ytd_consistency : Hi_hstore.Engine.t -> bool
+(** TPC-C consistency condition 1: W_YTD = sum of the warehouse's D_YTD. *)
+
+(** Schemas (exposed for tests and tooling). *)
+
+val warehouse_schema : Hi_hstore.Schema.t
+val district_schema : Hi_hstore.Schema.t
+val customer_schema : Hi_hstore.Schema.t
+val history_schema : Hi_hstore.Schema.t
+val neworder_schema : Hi_hstore.Schema.t
+val orders_schema : Hi_hstore.Schema.t
+val orderline_schema : Hi_hstore.Schema.t
+val item_schema : Hi_hstore.Schema.t
+val stock_schema : Hi_hstore.Schema.t

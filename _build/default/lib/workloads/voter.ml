@@ -1,0 +1,75 @@
+(* Voter (paper §7.2): a phone-based election application saturating the
+   DBMS with short-lived transactions that each update a small number of
+   records.  A caller may vote at most [vote_limit] times; the running
+   totals live in the contestants table.  Only primary-key indexes are
+   used, matching Table 1's 0 % secondary-index share for Voter. *)
+
+open Hi_util
+open Hi_hstore
+open Value
+
+type scale = { contestants : int; phone_numbers : int; vote_limit : int }
+
+let default_scale = { contestants = 6; phone_numbers = 100_000; vote_limit = 2 }
+
+let contestants_schema =
+  Schema.make ~name:"contestants"
+    ~columns:[ ("contestant_id", TInt); ("contestant_name", TStr 50); ("num_votes", TInt) ]
+    ~pk:[ "contestant_id" ] ()
+
+(* votes keyed by (phone_number, serial): the per-phone vote count is the
+   number of pk entries sharing the phone prefix — no secondary index. *)
+let votes_schema =
+  Schema.make ~name:"votes"
+    ~columns:
+      [ ("phone_number", TInt); ("vote_serial", TInt); ("state", TStr 2); ("contestant_id", TInt) ]
+    ~pk:[ "phone_number"; "vote_serial" ] ()
+
+type state = { scale : scale; rng : Xorshift.t }
+
+let name = "voter"
+
+let setup ?(scale = default_scale) (engine : Engine.t) =
+  ignore (Engine.create_table engine contestants_schema);
+  ignore (Engine.create_table engine votes_schema);
+  let contestants = Engine.table engine "contestants" in
+  for c = 1 to scale.contestants do
+    ignore (Table.insert contestants [| Int c; Str (Printf.sprintf "contestant-%d" c); Int 0 |])
+  done;
+  { scale; rng = Xorshift.create 17 }
+
+let col schema n = Schema.column schema n
+
+
+(* The vote stored procedure: validate contestant, enforce the per-phone
+   limit, record the vote and bump the contestant's total. *)
+let vote st engine =
+  let contestants = Engine.table engine "contestants" in
+  let votes = Engine.table engine "votes" in
+  let phone = Xorshift.int st.rng st.scale.phone_numbers in
+  let contestant = 1 + Xorshift.int st.rng st.scale.contestants in
+  let c_rowid =
+    match Table.find_by_pk contestants [ Int contestant ] with
+    | Some r -> r
+    | None -> raise (Engine.Abort "unknown contestant")
+  in
+  let prior =
+    List.length (Table.scan_index_prefix_eq votes "votes_pk" ~prefix:[ Int phone ] ~limit:st.scale.vote_limit)
+  in
+  if prior >= st.scale.vote_limit then raise (Engine.Abort "vote limit reached");
+  ignore (Engine.insert engine votes [| Int phone; Int (prior + 1); Str "ca"; Int contestant |]);
+  let c_row = Engine.read engine contestants c_rowid in
+  Engine.update engine contestants c_rowid
+    [ (col contestants_schema "num_votes", Int (as_int c_row.(col contestants_schema "num_votes") + 1)) ]
+
+let transaction st engine = Engine.run engine (vote st)
+
+(* Invariant: sum of contestant totals = number of vote rows (tests). *)
+let check_consistency engine =
+  let contestants = Engine.table engine "contestants" in
+  let votes = Engine.table engine "votes" in
+  let total = ref 0 in
+  List.iter
+    (fun rowid -> total := !total + as_int (Table.read contestants rowid).(col contestants_schema "num_votes"))
+    (Table.scan_index contestants "contestants_pk" ~prefix:[] ~limit:max_int);
+  !total = Table.row_count votes

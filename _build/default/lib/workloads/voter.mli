@@ -1,0 +1,25 @@
+(** Voter (paper §7.2): a phone-based election application — many short
+    transactions updating a few records, primary-key indexes only (matching
+    Table 1's 0 % secondary share). *)
+
+type scale = { contestants : int; phone_numbers : int; vote_limit : int }
+
+val default_scale : scale
+
+type state
+
+val name : string
+val setup : ?scale:scale -> Hi_hstore.Engine.t -> state
+
+val vote : state -> Hi_hstore.Engine.t -> unit
+(** The vote stored procedure: validates the contestant, enforces the
+    per-phone limit (raising {!Hi_hstore.Engine.Abort} beyond it), records
+    the vote and bumps the total. *)
+
+val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+
+val check_consistency : Hi_hstore.Engine.t -> bool
+(** Sum of contestant totals = number of vote rows. *)
+
+val contestants_schema : Hi_hstore.Schema.t
+val votes_schema : Hi_hstore.Schema.t

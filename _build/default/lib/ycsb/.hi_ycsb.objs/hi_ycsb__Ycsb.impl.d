@@ -1,0 +1,1 @@
+lib/ycsb/ycsb.ml: Array Hi_util Hybrid_index Index_sig Key_codec Unix Xorshift Zipf

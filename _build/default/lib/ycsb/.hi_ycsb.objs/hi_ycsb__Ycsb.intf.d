@@ -1,0 +1,1 @@
+lib/ycsb/ycsb.mli: Hi_util Hybrid_index

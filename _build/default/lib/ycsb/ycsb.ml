@@ -1,0 +1,122 @@
+(* YCSB-based microbenchmark workloads (paper §6.1).
+
+   Mirrors the paper's setup: an initialization phase inserts N entries
+   (measured and reported as the insert-only workload), then a measurement
+   phase executes M operations drawn from one of YCSB's core mixes with a
+   Zipfian key-popularity distribution:
+
+     insert-only   — the load phase itself
+     read-only     — workload C
+     read-write    — workload A (50 % reads / 50 % updates)
+     scan-insert   — workload E (95 % short scans / 5 % inserts)
+
+   Key types: 64-bit random integers, 64-bit monotonically increasing
+   integers, and ~30-byte emails.  Values are 64-bit "tuple pointers". *)
+
+open Hi_util
+open Hybrid_index
+
+type workload = Insert_only | Read_only | Read_write | Scan_insert
+
+let workload_name = function
+  | Insert_only -> "insert-only"
+  | Read_only -> "read-only"
+  | Read_write -> "read/write"
+  | Scan_insert -> "scan/insert"
+
+let all_workloads = [ Insert_only; Read_write; Read_only; Scan_insert ]
+
+type spec = {
+  workload : workload;
+  key_type : Key_codec.key_type;
+  num_keys : int; (* entries loaded in the initialization phase *)
+  num_ops : int; (* operations in the measurement phase *)
+  values_per_key : int; (* 1 for primary-index runs, 10 for secondary (App E) *)
+  max_scan_len : int;
+  theta : float;
+  seed : int;
+}
+
+let default_spec =
+  {
+    workload = Read_only;
+    key_type = Key_codec.Rand_int;
+    num_keys = 100_000;
+    num_ops = 100_000;
+    values_per_key = 1;
+    max_scan_len = 100;
+    theta = Zipf.default_theta;
+    seed = 42;
+  }
+
+type result = {
+  spec : spec;
+  load_seconds : float;
+  run_seconds : float;
+  load_mops : float; (* million inserts per second during the load *)
+  run_mops : float; (* million operations per second in the measurement phase *)
+  memory_bytes : int; (* measured at the end of the trial, like the paper *)
+}
+
+let mops ops seconds = if seconds <= 0.0 then 0.0 else float_of_int ops /. seconds /. 1.0e6
+
+(* Extra keys consumed by the insert fraction of scan/insert runs. *)
+let extra_keys spec = if spec.workload = Scan_insert then spec.num_ops else 0
+
+let generate_keys spec = Key_codec.generate_keys ~seed:spec.seed spec.key_type (spec.num_keys + extra_keys spec)
+
+(* Run the workload against any index behind the uniform interface.
+   [primary] selects unique-insert semantics (and values_per_key = 1). *)
+let run ?(primary = true) (module I : Index_sig.INDEX) spec =
+  let keys = generate_keys spec in
+  let t = I.create () in
+  (* --- initialization phase (the insert-only workload) --- *)
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to spec.num_keys - 1 do
+    if primary then ignore (I.insert_unique t keys.(i) i)
+    else
+      for v = 0 to spec.values_per_key - 1 do
+        I.insert t keys.(i) ((i * spec.values_per_key) + v)
+      done
+  done;
+  let load_seconds = Unix.gettimeofday () -. t0 in
+  let load_ops = spec.num_keys * if primary then 1 else spec.values_per_key in
+  (* --- measurement phase --- *)
+  let rng = Xorshift.create (spec.seed + 1) in
+  let zipf = Zipf.create ~theta:spec.theta ~items:spec.num_keys rng in
+  let next_insert = ref spec.num_keys in
+  let t1 = Unix.gettimeofday () in
+  (match spec.workload with
+  | Insert_only -> () (* the load phase was the workload *)
+  | Read_only ->
+    for _ = 1 to spec.num_ops do
+      ignore (I.find t keys.(Zipf.next zipf))
+    done
+  | Read_write ->
+    for op = 1 to spec.num_ops do
+      let k = keys.(Zipf.next zipf) in
+      if op land 1 = 0 then ignore (I.find t k) else ignore (I.update t k op)
+    done
+  | Scan_insert ->
+    for op = 1 to spec.num_ops do
+      if Xorshift.int rng 100 < 5 && !next_insert < Array.length keys then begin
+        let k = keys.(!next_insert) in
+        incr next_insert;
+        if primary then ignore (I.insert_unique t k op) else I.insert t k op
+      end
+      else begin
+        let len = 1 + Xorshift.int rng spec.max_scan_len in
+        ignore (I.scan_from t keys.(Zipf.next zipf) len)
+      end
+    done);
+  let run_seconds = Unix.gettimeofday () -. t1 in
+  let measured_ops = if spec.workload = Insert_only then load_ops else spec.num_ops in
+  let measured_seconds = if spec.workload = Insert_only then load_seconds else run_seconds in
+  {
+    spec;
+    load_seconds;
+    run_seconds;
+    load_mops = mops load_ops load_seconds;
+    run_mops = mops measured_ops measured_seconds;
+    memory_bytes = I.memory_bytes t;
+  }

@@ -1,0 +1,43 @@
+(** YCSB-based microbenchmark workloads (paper §6.1).
+
+    An initialization phase inserts [num_keys] entries (measured and
+    reported as the insert-only workload), then a measurement phase runs
+    [num_ops] operations of one of YCSB's core mixes with Zipfian key
+    popularity: read-only (C), read-write (A, 50/50), scan-insert (E,
+    95/5). *)
+
+type workload = Insert_only | Read_only | Read_write | Scan_insert
+
+val workload_name : workload -> string
+val all_workloads : workload list
+
+type spec = {
+  workload : workload;
+  key_type : Hi_util.Key_codec.key_type;
+  num_keys : int;  (** entries loaded in the initialization phase *)
+  num_ops : int;  (** operations in the measurement phase *)
+  values_per_key : int;  (** 1 for primary-index runs, 10 for secondary (App E) *)
+  max_scan_len : int;  (** scan lengths are uniform in [1, max_scan_len] *)
+  theta : float;  (** Zipfian skew *)
+  seed : int;
+}
+
+val default_spec : spec
+
+type result = {
+  spec : spec;
+  load_seconds : float;
+  run_seconds : float;
+  load_mops : float;  (** million inserts/s during the load *)
+  run_mops : float;  (** million ops/s in the measurement phase *)
+  memory_bytes : int;  (** measured at the end of the trial, like the paper *)
+}
+
+val run : ?primary:bool -> Hybrid_index.Index_sig.index -> spec -> result
+(** Run [spec] against any index behind the uniform interface.  [primary]
+    (default true) selects unique-insert semantics; [false] loads
+    [values_per_key] values per key with blind inserts (Appendix E). *)
+
+val generate_keys : spec -> string array
+(** The key population a run would use (loaded keys first, then the
+    scan-insert growth keys). *)

@@ -1,0 +1,1 @@
+test/test_hstore.ml: Alcotest Anticache Array Engine Gen Hashtbl Hi_hstore Hi_util List Printf QCheck QCheck_alcotest Schema String Table Value

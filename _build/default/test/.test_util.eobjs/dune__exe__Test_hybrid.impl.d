@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Hashtbl Hi_util Hybrid Hybrid_index Instances Key_codec List Printf Xorshift

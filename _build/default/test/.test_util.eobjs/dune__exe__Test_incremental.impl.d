@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Hashtbl Hi_util Hybrid Hybrid_index Incremental Key_codec List Printf Xorshift

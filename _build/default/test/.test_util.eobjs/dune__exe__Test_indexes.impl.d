@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Array Char Hashtbl Hi_art Hi_btree Hi_index Hi_masstree Hi_skiplist Hi_util Index_intf Index_ref Key_codec List Op_counter Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Array Hashtbl Hi_art Hi_btree Hi_index Hi_masstree Hi_skiplist Hi_util Index_intf Key_codec List Op_counter Printf String Xorshift

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bloom Clock_cache Compress Hashtbl Hi_util Histogram Inplace_merge Int64 Key_codec List Op_counter Printf QCheck QCheck_alcotest String Vec Xorshift Zipf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Articles Engine Hi_hstore Hi_util Hi_workloads Hi_ycsb Hybrid_index List Printf Runner Table Tpcc Voter

@@ -1,0 +1,353 @@
+(* Tests for the H-Store-style engine substrate: value encoding, schemas,
+   tables with pluggable indexes, transactional undo, and anti-caching. *)
+
+open Hi_hstore
+open Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- value encoding --- *)
+
+let test_int_key_order =
+  QCheck.Test.make ~name:"int key encoding preserves signed order" ~count:1000
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let ka = Value.encode_key_column (Int a) TInt in
+      let kb = Value.encode_key_column (Int b) TInt in
+      compare (compare a b) 0 = compare (String.compare ka kb) 0)
+
+let test_str_key_order =
+  QCheck.Test.make ~name:"padded string keys preserve order" ~count:1000
+    QCheck.(pair (string_gen_of_size (Gen.int_range 0 10) Gen.printable) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
+    (fun (a, b) ->
+      (* strings without embedded NULs, within the declared width *)
+      QCheck.assume (not (String.contains a '\000') && not (String.contains b '\000'));
+      let ka = Value.encode_key_column (Str a) (TStr 12) in
+      let kb = Value.encode_key_column (Str b) (TStr 12) in
+      compare (compare a b) 0 = compare (String.compare ka kb) 0)
+
+let test_float_key_order =
+  QCheck.Test.make ~name:"float key encoding preserves order" ~count:1000
+    QCheck.(pair (float_range (-1e9) 1e9) (float_range (-1e9) 1e9))
+    (fun (a, b) ->
+      let ka = Value.encode_key_column (Float a) TFloat in
+      let kb = Value.encode_key_column (Float b) TFloat in
+      compare (compare a b) 0 = compare (String.compare ka kb) 0)
+
+let test_composite_key_order () =
+  let schema =
+    Schema.make ~name:"t" ~columns:[ ("a", TInt); ("b", TInt) ] ~pk:[ "a"; "b" ] ()
+  in
+  let key a b = Schema.key_of_values schema schema.Schema.primary_key [ Int a; Int b ] in
+  check "lexicographic" true (String.compare (key 1 9) (key 2 0) < 0);
+  check "second column breaks ties" true (String.compare (key 1 1) (key 1 2) < 0);
+  check "negative first column" true (String.compare (key (-5) 0) (key 1 0) < 0)
+
+(* --- tables --- *)
+
+let simple_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", TInt); ("owner", TStr 16); ("balance", TInt) ]
+    ~pk:[ "id" ]
+    ~secondary:[ ("accounts_owner_idx", [ "owner"; "id" ], false) ]
+    ()
+
+let new_engine ?(config = Engine.default_config) () = Engine.create ~config ()
+
+let setup_accounts engine n =
+  let tbl = Engine.create_table engine simple_schema in
+  for i = 1 to n do
+    ignore (Table.insert tbl [| Int i; Str (Printf.sprintf "owner%d" (i mod 10)); Int (100 * i) |])
+  done;
+  tbl
+
+let test_table_crud () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 100 in
+  check_int "rows" 100 (Table.row_count tbl);
+  (match Table.find_by_pk tbl [ Int 42 ] with
+  | Some rowid ->
+    let row = Table.read tbl rowid in
+    check_int "balance" 4200 (as_int row.(2));
+    ignore (Table.update tbl rowid [ (2, Int 9999) ]);
+    check_int "updated" 9999 (as_int (Table.read tbl rowid).(2))
+  | None -> Alcotest.fail "pk lookup failed");
+  check "missing pk" true (Table.find_by_pk tbl [ Int 999 ] = None)
+
+let test_duplicate_pk () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 10 in
+  check "duplicate rejected" true
+    (try
+       ignore (Table.insert tbl [| Int 5; Str "x"; Int 0 |]);
+       false
+     with Table.Duplicate_key _ -> true);
+  check_int "row count unchanged" 10 (Table.row_count tbl)
+
+let test_secondary_lookup () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 100 in
+  (* owner3 owns ids 3, 13, ..., 93 *)
+  let rowids = Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:100 in
+  check_int "ten accounts for owner3" 10 (List.length rowids);
+  List.iter
+    (fun r -> check "owner matches" true (as_str (Table.read tbl r).(1) = "owner3"))
+    rowids
+
+let test_delete_maintains_indexes () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 20 in
+  (match Table.find_by_pk tbl [ Int 3 ] with
+  | Some rowid -> ignore (Table.delete tbl rowid)
+  | None -> Alcotest.fail "missing row");
+  check "pk entry gone" true (Table.find_by_pk tbl [ Int 3 ] = None);
+  let rowids = Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:100 in
+  check_int "secondary entry gone" 1 (List.length rowids);
+  (* rowid slot is recycled *)
+  ignore (Table.insert tbl [| Int 3; Str "fresh"; Int 1 |]);
+  check "reinserted" true (Table.find_by_pk tbl [ Int 3 ] <> None)
+
+let test_update_indexed_column_rejected () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 5 in
+  match Table.find_by_pk tbl [ Int 1 ] with
+  | Some rowid ->
+    check "indexed column update rejected" true
+      (try
+         ignore (Table.update tbl rowid [ (0, Int 77) ]);
+         false
+       with Invalid_argument _ -> true)
+  | None -> Alcotest.fail "missing row"
+
+(* --- transactions --- *)
+
+let test_txn_commit () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 5 in
+  let r =
+    Engine.run engine (fun e ->
+        ignore (Engine.insert e tbl [| Int 100; Str "new"; Int 1 |]);
+        "done")
+  in
+  check "committed" true (r = Ok "done");
+  check "row visible" true (Table.find_by_pk tbl [ Int 100 ] <> None)
+
+let test_txn_abort_rolls_back_insert () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 5 in
+  let r =
+    Engine.run engine (fun e ->
+        ignore (Engine.insert e tbl [| Int 100; Str "new"; Int 1 |]);
+        raise (Engine.Abort "nope"))
+  in
+  check "aborted" true (r = Error "nope");
+  check "insert rolled back" true (Table.find_by_pk tbl [ Int 100 ] = None);
+  check_int "aborts counted" 1 (Engine.stats engine).Engine.user_aborts
+
+let test_txn_abort_rolls_back_update_and_delete () =
+  let engine = new_engine () in
+  let tbl = setup_accounts engine 5 in
+  let rowid1 = match Table.find_by_pk tbl [ Int 1 ] with Some r -> r | None -> assert false in
+  let r =
+    Engine.run engine (fun e ->
+        Engine.update e tbl rowid1 [ (2, Int 0) ];
+        (match Table.find_by_pk tbl [ Int 2 ] with
+        | Some rowid2 -> Engine.delete e tbl rowid2
+        | None -> assert false);
+        raise (Engine.Abort "rollback"))
+  in
+  check "aborted" true (r = Error "rollback");
+  check_int "update rolled back" 100 (as_int (Table.read tbl rowid1).(2));
+  check "delete rolled back" true (Table.find_by_pk tbl [ Int 2 ] <> None);
+  check_int "row count restored" 5 (Table.row_count tbl)
+
+(* --- memory breakdown --- *)
+
+let test_memory_breakdown () =
+  let engine = new_engine () in
+  let _tbl = setup_accounts engine 1_000 in
+  let m = Engine.memory_breakdown engine in
+  check "tuples counted" true (m.Engine.tuple_bytes > 0);
+  check "pk index counted" true (m.Engine.pk_index_bytes > 0);
+  check "secondary counted" true (m.Engine.secondary_index_bytes > 0);
+  check "no disk yet" true (m.Engine.anticache_disk_bytes = 0);
+  (* 1000 rows x (8 hdr + 8 + 16 + 8) bytes *)
+  check_int "tuple bytes model" (1000 * Schema.tuple_bytes simple_schema) m.Engine.tuple_bytes
+
+let test_index_kind_memory () =
+  (* Fig 8's shape: hybrid indexes shrink the DBMS's index memory *)
+  let build kind =
+    let engine = new_engine ~config:{ Engine.default_config with index_kind = kind } () in
+    let _ = setup_accounts engine 20_000 in
+    Engine.flush_indexes engine;
+    let m = Engine.memory_breakdown engine in
+    m.Engine.pk_index_bytes + m.Engine.secondary_index_bytes
+  in
+  let btree = build Engine.Btree_config in
+  let hybrid = build Engine.Hybrid_config in
+  check (Printf.sprintf "hybrid %d < btree %d" hybrid btree) true (hybrid < btree)
+
+(* --- anti-caching --- *)
+
+let anticache_config threshold =
+  {
+    Engine.default_config with
+    eviction_threshold_bytes = Some threshold;
+    evictable_tables = [ "accounts" ];
+    eviction_block_rows = 64;
+  }
+
+let test_eviction_triggers () =
+  let engine = new_engine ~config:(anticache_config 60_000) () in
+  let tbl = Engine.create_table engine simple_schema in
+  (* each insert runs as its own transaction so the eviction manager runs *)
+  for i = 1 to 3_000 do
+    ignore
+      (Engine.run engine (fun e ->
+           ignore (Engine.insert e tbl [| Int i; Str (Printf.sprintf "owner%d" (i mod 10)); Int i |])))
+  done;
+  check "rows evicted" true (Table.evicted_rows tbl > 0);
+  check "disk holds blocks" true (Anticache.disk_bytes (Engine.anticache engine) > 0);
+  (* only tuples evict; index keys stay resident (paper §7.1), so check
+     that the tuple share collapsed to tombstones *)
+  check "most tuples evicted" true (Table.live_rows tbl < 1_000);
+  let m = Engine.memory_breakdown engine in
+  check "tuple bytes shrank to tombstones + residue" true
+    (m.Engine.tuple_bytes < 3_000 * Schema.tuple_bytes simple_schema / 2)
+
+let test_unevict_on_access () =
+  let engine = new_engine ~config:(anticache_config 40_000) () in
+  let tbl = Engine.create_table engine simple_schema in
+  for i = 1 to 2_000 do
+    ignore
+      (Engine.run engine (fun e ->
+           ignore (Engine.insert e tbl [| Int i; Str (Printf.sprintf "owner%d" (i mod 10)); Int i |])))
+  done;
+  check "some rows evicted" true (Table.evicted_rows tbl > 0);
+  (* the coldest rows are the earliest: read them all back through
+     transactions, which must transparently unevict and restart *)
+  for i = 1 to 2_000 do
+    let r =
+      Engine.run engine (fun e ->
+          match Table.find_by_pk tbl [ Int i ] with
+          | Some rowid -> as_int (Engine.read e tbl rowid).(2)
+          | None -> raise (Engine.Abort "missing"))
+    in
+    check "value correct after uneviction" true (r = Ok i)
+  done;
+  check "restarts recorded" true ((Engine.stats engine).Engine.evicted_restarts > 0)
+
+let test_eviction_preserves_index_keys () =
+  let engine = new_engine ~config:(anticache_config 40_000) () in
+  let tbl = Engine.create_table engine simple_schema in
+  for i = 1 to 2_000 do
+    ignore
+      (Engine.run engine (fun e ->
+           ignore (Engine.insert e tbl [| Int i; Str (Printf.sprintf "owner%d" (i mod 10)); Int i |])))
+  done;
+  (* paper §7.1: tombstones keep all index keys in memory *)
+  for i = 1 to 2_000 do
+    check "pk entry survives eviction" true (Table.find_by_pk tbl [ Int i ] <> None)
+  done
+
+(* --- transaction stress: random commit/abort sequences vs a model --- *)
+
+let test_txn_stress () =
+  let rng = Hi_util.Xorshift.create 77 in
+  let engine = new_engine () in
+  let tbl = Engine.create_table engine simple_schema in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  for _txn = 1 to 2_000 do
+    (* build a random transaction of 1-5 operations, decide commit/abort *)
+    let ops =
+      List.init (1 + Hi_util.Xorshift.int rng 5) (fun _ ->
+          let id = Hi_util.Xorshift.int rng 300 in
+          let v = Hi_util.Xorshift.int rng 10_000 in
+          (Hi_util.Xorshift.int rng 3, id, v))
+    in
+    let abort = Hi_util.Xorshift.int rng 4 = 0 in
+    let staged = Hashtbl.copy model in
+    let r =
+      Engine.run engine (fun e ->
+          List.iter
+            (fun (kind, id, v) ->
+              match kind with
+              | 0 -> (
+                (* upsert *)
+                match Table.find_by_pk tbl [ Int id ] with
+                | Some rowid ->
+                  Engine.update e tbl rowid [ (2, Int v) ];
+                  Hashtbl.replace staged id v
+                | None ->
+                  ignore (Engine.insert e tbl [| Int id; Str "o"; Int v |]);
+                  Hashtbl.replace staged id v)
+              | 1 -> (
+                match Table.find_by_pk tbl [ Int id ] with
+                | Some rowid ->
+                  Engine.delete e tbl rowid;
+                  Hashtbl.remove staged id
+                | None -> ())
+              | _ -> (
+                (* read: must agree with the staged model mid-transaction *)
+                match Table.find_by_pk tbl [ Int id ] with
+                | Some rowid ->
+                  let v = as_int (Engine.read e tbl rowid).(2) in
+                  if Hashtbl.find_opt staged id <> Some v then
+                    Alcotest.failf "mid-txn read mismatch on %d" id
+                | None ->
+                  if Hashtbl.mem staged id then Alcotest.failf "mid-txn missing row %d" id))
+            ops;
+          if abort then raise (Engine.Abort "chaos"))
+    in
+    (match r with
+    | Ok () ->
+      Hashtbl.reset model;
+      Hashtbl.iter (fun k v -> Hashtbl.replace model k v) staged
+    | Error _ -> () (* model unchanged *));
+    ()
+  done;
+  (* final state must equal the model exactly *)
+  check_int "row count matches model" (Hashtbl.length model) (Table.row_count tbl);
+  Hashtbl.iter
+    (fun id v ->
+      match Table.find_by_pk tbl [ Int id ] with
+      | Some rowid -> check_int (Printf.sprintf "value of %d" id) v (as_int (Table.read tbl rowid).(2))
+      | None -> Alcotest.failf "missing row %d" id)
+    model
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "hstore"
+    [
+      ( "encoding",
+        Alcotest.test_case "composite keys" `Quick test_composite_key_order
+        :: qsuite [ test_int_key_order; test_str_key_order; test_float_key_order ] );
+      ( "table",
+        [
+          Alcotest.test_case "crud" `Quick test_table_crud;
+          Alcotest.test_case "duplicate pk" `Quick test_duplicate_pk;
+          Alcotest.test_case "secondary lookup" `Quick test_secondary_lookup;
+          Alcotest.test_case "delete maintains indexes" `Quick test_delete_maintains_indexes;
+          Alcotest.test_case "indexed column update rejected" `Quick test_update_indexed_column_rejected;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "commit" `Quick test_txn_commit;
+          Alcotest.test_case "abort rolls back insert" `Quick test_txn_abort_rolls_back_insert;
+          Alcotest.test_case "abort rolls back update+delete" `Quick test_txn_abort_rolls_back_update_and_delete;
+          Alcotest.test_case "random commit/abort stress vs model" `Quick test_txn_stress;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "breakdown" `Quick test_memory_breakdown;
+          Alcotest.test_case "hybrid index shrinks DBMS memory" `Quick test_index_kind_memory;
+        ] );
+      ( "anticache",
+        [
+          Alcotest.test_case "eviction triggers" `Quick test_eviction_triggers;
+          Alcotest.test_case "unevict on access" `Quick test_unevict_on_access;
+          Alcotest.test_case "index keys survive eviction" `Quick test_eviction_preserves_index_keys;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the dual-stage hybrid index (paper §3, §5): stage interplay,
+   Bloom filter, merge triggers and strategies, tombstones, primary vs
+   secondary semantics — checked for all five hybrid instantiations. *)
+
+open Hi_util
+open Hybrid_index
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pair_list = Alcotest.(list (pair string int))
+
+let small_config =
+  (* tiny merge floor so tests exercise merges without bulk data *)
+  { Hybrid.default_config with min_merge_size = 16 }
+
+module Hybrid_suite (H : Hybrid.S) = struct
+  let create ?(config = small_config) () = H.create ~config ()
+
+  let test_basic () =
+    let t = create () in
+    check "insert" true (H.insert_unique t "a" 1);
+    Alcotest.(check (option int)) "find" (Some 1) (H.find t "a");
+    check "duplicate insert rejected" false (H.insert_unique t "a" 2);
+    Alcotest.(check (option int)) "value unchanged" (Some 1) (H.find t "a")
+
+  let test_merge_moves_entries () =
+    let t = create () in
+    for i = 0 to 99 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    H.force_merge t;
+    check_int "dynamic empty after merge" 0 (H.dynamic_entry_count t);
+    check_int "static holds everything" 100 (H.static_entry_count t);
+    for i = 0 to 99 do
+      Alcotest.(check (option int)) "readable after merge" (Some i) (H.find t (Key_codec.encode_int i))
+    done;
+    check "at least one merge ran" true ((H.stats t).merges >= 1)
+
+  let test_uniqueness_across_stages () =
+    let t = create () in
+    ignore (H.insert_unique t "k" 1);
+    H.force_merge t;
+    (* key now lives in the static stage *)
+    check "duplicate rejected across stages" false (H.insert_unique t "k" 2);
+    Alcotest.(check (option int)) "static value intact" (Some 1) (H.find t "k")
+
+  let test_primary_update_overwrites_static () =
+    let t = create () in
+    ignore (H.insert_unique t "k" 1);
+    H.force_merge t;
+    check "update hits static key" true (H.update t "k" 42);
+    Alcotest.(check (option int)) "new value read first" (Some 42) (H.find t "k");
+    check_int "overwrite buffered in dynamic stage" 1 (H.dynamic_entry_count t);
+    (* after the next merge the stale static entry is garbage-collected *)
+    H.force_merge t;
+    Alcotest.(check (option int)) "survives merge" (Some 42) (H.find t "k");
+    check_int "exactly one entry remains" 1 (H.static_entry_count t)
+
+  let test_update_missing () =
+    let t = create () in
+    check "update of absent key fails" false (H.update t "ghost" 1)
+
+  let test_delete_dynamic () =
+    let t = create () in
+    ignore (H.insert_unique t "k" 1);
+    check "delete" true (H.delete t "k");
+    check "gone" false (H.mem t "k");
+    check "re-insert allowed" true (H.insert_unique t "k" 2)
+
+  let test_delete_static_tombstone () =
+    let t = create () in
+    ignore (H.insert_unique t "k" 1);
+    ignore (H.insert_unique t "m" 2);
+    H.force_merge t;
+    check "delete static key" true (H.delete t "k");
+    check "tombstone hides key" false (H.mem t "k");
+    Alcotest.(check (option int)) "other key fine" (Some 2) (H.find t "m");
+    check "double delete fails" false (H.delete t "k");
+    (* the merge collects the tombstone *)
+    H.force_merge t;
+    check "still gone after merge" false (H.mem t "k");
+    check_int "physically removed" 1 (H.static_entry_count t);
+    check "re-insert after tombstone" true (H.insert_unique t "k" 3);
+    Alcotest.(check (option int)) "new value" (Some 3) (H.find t "k")
+
+  let test_scan_across_stages () =
+    let t = create () in
+    (* even keys to static, odd keys stay dynamic *)
+    for i = 0 to 9 do
+      ignore (H.insert_unique t (Printf.sprintf "k%02d" (2 * i)) (2 * i))
+    done;
+    H.force_merge t;
+    for i = 0 to 9 do
+      ignore (H.insert_unique t (Printf.sprintf "k%02d" ((2 * i) + 1)) ((2 * i) + 1))
+    done;
+    let got = H.scan_from t "k05" 6 in
+    Alcotest.(check pair_list)
+      "interleaved scan"
+      (List.init 6 (fun i -> (Printf.sprintf "k%02d" (i + 5), i + 5)))
+      got
+
+  let test_scan_sees_overwrite_once () =
+    let t = create () in
+    ignore (H.insert_unique t "a" 1);
+    ignore (H.insert_unique t "b" 2);
+    H.force_merge t;
+    ignore (H.update t "b" 20);
+    let got = H.scan_from t "a" 10 in
+    Alcotest.(check pair_list) "overwritten key appears once" [ ("a", 1); ("b", 20) ] got
+
+  let test_scan_skips_tombstones () =
+    let t = create () in
+    List.iter (fun k -> ignore (H.insert_unique t k 0)) [ "a"; "b"; "c"; "d" ];
+    H.force_merge t;
+    ignore (H.delete t "b");
+    let got = List.map fst (H.scan_from t "a" 10) in
+    Alcotest.(check (list string)) "tombstoned key skipped" [ "a"; "c"; "d" ] got
+
+  let test_ratio_trigger () =
+    let config = { small_config with trigger = Hybrid.Ratio 10; min_merge_size = 32 } in
+    let t = create ~config () in
+    for i = 0 to 9_999 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    let s = H.stats t in
+    check "ratio trigger fired" true (s.merges > 0);
+    (* the dynamic stage stays roughly a tenth of the static stage *)
+    check
+      (Printf.sprintf "dynamic %d bounded by static %d" (H.dynamic_entry_count t) (H.static_entry_count t))
+      true
+      (H.dynamic_entry_count t <= max 64 (H.static_entry_count t / 10 * 2))
+
+  let test_constant_trigger () =
+    let config = { small_config with trigger = Hybrid.Constant 100 } in
+    let t = create ~config () in
+    for i = 0 to 999 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    let s = H.stats t in
+    check (Printf.sprintf "%d merges with constant trigger" s.merges) true (s.merges >= 8);
+    check "dynamic bounded by constant" true (H.dynamic_entry_count t <= 100)
+
+  let test_merge_all_empties_dynamic () =
+    let config = { small_config with strategy = Hybrid.Merge_all } in
+    let t = create ~config () in
+    for i = 0 to 199 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    H.force_merge t;
+    check_int "merge-all leaves nothing behind" 0 (H.dynamic_entry_count t)
+
+  let test_merge_cold_keeps_hot () =
+    let config = { small_config with strategy = Hybrid.Merge_cold } in
+    let t = create ~config () in
+    for i = 0 to 199 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    (* touch a hot subset after all the inserts *)
+    for i = 150 to 199 do
+      ignore (H.find t (Key_codec.encode_int i))
+    done;
+    H.force_merge t;
+    check "merge-cold retains recently accessed keys" true (H.dynamic_entry_count t > 0);
+    check "merge-cold migrated the cold keys" true (H.static_entry_count t > 0);
+    (* everything still readable *)
+    for i = 0 to 199 do
+      Alcotest.(check (option int)) "readable" (Some i) (H.find t (Key_codec.encode_int i))
+    done
+
+  let test_bloom_skips () =
+    let config = { small_config with use_bloom = true } in
+    let t = create ~config () in
+    for i = 0 to 499 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    H.force_merge t;
+    (* all keys are static now: every lookup should skip the dynamic stage *)
+    for i = 0 to 499 do
+      ignore (H.find t (Key_codec.encode_int i))
+    done;
+    let s = H.stats t in
+    check (Printf.sprintf "%d bloom skips" s.bloom_negative_skips) true (s.bloom_negative_skips >= 450)
+
+  let test_without_bloom_still_correct () =
+    let config = { small_config with use_bloom = false } in
+    let t = create ~config () in
+    for i = 0 to 499 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    H.force_merge t;
+    for i = 0 to 499 do
+      Alcotest.(check (option int)) "found" (Some i) (H.find t (Key_codec.encode_int i))
+    done
+
+  let test_memory_breakdown () =
+    let t = create () in
+    for i = 0 to 999 do
+      ignore (H.insert_unique t (Key_codec.encode_int i) i)
+    done;
+    H.force_merge t;
+    check "static memory dominates after merge" true (H.static_memory_bytes t > H.dynamic_memory_bytes t);
+    check_int "total = dyn + static + bloom" (H.memory_bytes t)
+      (H.dynamic_memory_bytes t + H.static_memory_bytes t + H.bloom_memory_bytes t)
+
+  let test_iter_sorted_both_stages () =
+    let t = create () in
+    List.iter (fun k -> ignore (H.insert_unique t k 0)) [ "b"; "d" ];
+    H.force_merge t;
+    List.iter (fun k -> ignore (H.insert_unique t k 1)) [ "a"; "c"; "e" ];
+    let keys = ref [] in
+    H.iter_sorted t (fun k _ -> keys := k :: !keys);
+    Alcotest.(check (list string)) "interleaved sorted" [ "a"; "b"; "c"; "d"; "e" ] (List.rev !keys)
+
+  let suite =
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "merge moves entries" `Quick test_merge_moves_entries;
+      Alcotest.test_case "uniqueness across stages" `Quick test_uniqueness_across_stages;
+      Alcotest.test_case "primary update overwrites static" `Quick test_primary_update_overwrites_static;
+      Alcotest.test_case "update missing" `Quick test_update_missing;
+      Alcotest.test_case "delete dynamic" `Quick test_delete_dynamic;
+      Alcotest.test_case "delete static tombstone" `Quick test_delete_static_tombstone;
+      Alcotest.test_case "scan across stages" `Quick test_scan_across_stages;
+      Alcotest.test_case "scan sees overwrite once" `Quick test_scan_sees_overwrite_once;
+      Alcotest.test_case "scan skips tombstones" `Quick test_scan_skips_tombstones;
+      Alcotest.test_case "ratio trigger" `Quick test_ratio_trigger;
+      Alcotest.test_case "constant trigger" `Quick test_constant_trigger;
+      Alcotest.test_case "merge-all empties dynamic" `Quick test_merge_all_empties_dynamic;
+      Alcotest.test_case "merge-cold keeps hot" `Quick test_merge_cold_keeps_hot;
+      Alcotest.test_case "bloom filter skips dynamic stage" `Quick test_bloom_skips;
+      Alcotest.test_case "correct without bloom" `Quick test_without_bloom_still_correct;
+      Alcotest.test_case "memory breakdown" `Quick test_memory_breakdown;
+      Alcotest.test_case "iter sorted both stages" `Quick test_iter_sorted_both_stages;
+    ]
+end
+
+module HB = Hybrid_suite (Instances.Hybrid_btree)
+module HS = Hybrid_suite (Instances.Hybrid_skiplist)
+module HM = Hybrid_suite (Instances.Hybrid_masstree)
+module HA = Hybrid_suite (Instances.Hybrid_art)
+module HZ = Hybrid_suite (Instances.Hybrid_compressed_btree)
+
+(* --- secondary-index semantics (paper §3, Appendix E) --- *)
+
+module H = Instances.Hybrid_btree
+
+let secondary_config = { small_config with kind = Hybrid.Secondary }
+
+let test_secondary_multi_values () =
+  let t = H.create ~config:secondary_config () in
+  H.insert t "k" 1;
+  H.insert t "k" 2;
+  H.force_merge t;
+  H.insert t "k" 3;
+  Alcotest.(check (list int)) "values from both stages" [ 3; 1; 2 ] (H.find_all t "k")
+
+let test_secondary_update_in_place () =
+  let t = H.create ~config:secondary_config () in
+  H.insert t "k" 1;
+  H.force_merge t;
+  (* §3: secondary updates happen in place even in the static stage, so the
+     key is not duplicated into the dynamic stage *)
+  check "update in static" true (H.update t "k" 9);
+  check_int "no dynamic entry created" 0 (H.dynamic_entry_count t);
+  Alcotest.(check (list int)) "updated in place" [ 9 ] (H.find_all t "k")
+
+let test_secondary_delete_value_static () =
+  let t = H.create ~config:secondary_config () in
+  H.insert t "k" 1;
+  H.insert t "k" 2;
+  H.insert t "k" 3;
+  H.force_merge t;
+  check "delete one value" true (H.delete_value t "k" 2);
+  Alcotest.(check (list int)) "survivors" [ 1; 3 ] (List.sort compare (H.find_all t "k"));
+  check "delete absent value" false (H.delete_value t "k" 99)
+
+let test_secondary_merge_concatenates () =
+  let t = H.create ~config:secondary_config () in
+  H.insert t "k" 1;
+  H.force_merge t;
+  H.insert t "k" 2;
+  H.force_merge t;
+  Alcotest.(check (list int)) "merged value list" [ 1; 2 ] (List.sort compare (H.find_all t "k"))
+
+(* --- model-based end-to-end check: hybrid behaves like one big map --- *)
+
+let test_hybrid_model () =
+  let rng = Xorshift.create 123 in
+  let config = { small_config with trigger = Hybrid.Constant 64 } in
+  let t = H.create ~config () in
+  let model = Hashtbl.create 1024 in
+  for _ = 1 to 20_000 do
+    let k = Printf.sprintf "key%04d" (Xorshift.int rng 3_000) in
+    match Xorshift.int rng 4 with
+    | 0 ->
+      let v = Xorshift.int rng 1_000_000 in
+      let a = H.insert_unique t k v in
+      let b = not (Hashtbl.mem model k) in
+      if a <> b then Alcotest.failf "insert_unique disagreement on %s" k;
+      if b then Hashtbl.replace model k v
+    | 1 ->
+      let v = Xorshift.int rng 1_000_000 in
+      let a = H.update t k v in
+      let b = Hashtbl.mem model k in
+      if a <> b then Alcotest.failf "update disagreement on %s" k;
+      if b then Hashtbl.replace model k v
+    | 2 ->
+      let a = H.delete t k in
+      let b = Hashtbl.mem model k in
+      if a <> b then Alcotest.failf "delete disagreement on %s" k;
+      Hashtbl.remove model k
+    | _ ->
+      let a = H.find t k in
+      let b = Hashtbl.find_opt model k in
+      if a <> b then Alcotest.failf "find disagreement on %s: %s vs %s" k
+          (match a with Some v -> string_of_int v | None -> "none")
+          (match b with Some v -> string_of_int v | None -> "none")
+  done;
+  (* final sweep *)
+  Hashtbl.iter
+    (fun k v -> Alcotest.(check (option int)) ("final " ^ k) (Some v) (H.find t k))
+    model;
+  check_int "entry count" (Hashtbl.length model)
+    (let n = ref 0 in
+     H.iter_sorted t (fun _ _ -> incr n);
+     !n)
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ("hybrid-btree", HB.suite);
+      ("hybrid-skiplist", HS.suite);
+      ("hybrid-masstree", HM.suite);
+      ("hybrid-art", HA.suite);
+      ("hybrid-compressed-btree", HZ.suite);
+      ( "secondary",
+        [
+          Alcotest.test_case "multi values across stages" `Quick test_secondary_multi_values;
+          Alcotest.test_case "update in place in static" `Quick test_secondary_update_in_place;
+          Alcotest.test_case "delete value from static" `Quick test_secondary_delete_value_static;
+          Alcotest.test_case "merge concatenates" `Quick test_secondary_merge_concatenates;
+        ] );
+      ("model", [ Alcotest.test_case "hybrid behaves like a map" `Slow test_hybrid_model ]);
+    ]

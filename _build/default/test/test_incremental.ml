@@ -1,0 +1,220 @@
+(* Tests for the incremental (non-blocking-style) merge — the paper's §9
+   future-work extension: bounded merge work per operation, same observable
+   semantics as the blocking hybrid index. *)
+
+open Hi_util
+open Hybrid_index
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_config = { Incremental.default_config with min_merge_size = 64; step = 16 }
+
+module Inc_suite (H : sig
+  type t
+
+  val create : ?config:Incremental.config -> unit -> t
+  val insert : t -> string -> int -> unit
+  val insert_unique : t -> string -> int -> bool
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+  val force_merge : t -> unit
+  val drain : t -> unit
+  val entry_count : t -> int
+  val dynamic_entry_count : t -> int
+  val memory_bytes : t -> int
+  val merging : t -> bool
+  val stats : t -> Incremental.stats
+end) =
+struct
+  (* not every suite test uses every operation *)
+  let _ = (H.insert, H.find_all)
+
+  let key = Key_codec.encode_int
+
+  let test_basic () =
+    let t = H.create ~config:small_config () in
+    check "insert" true (H.insert_unique t (key 1) 10);
+    Alcotest.(check (option int)) "find" (Some 10) (H.find t (key 1));
+    check "dup rejected" false (H.insert_unique t (key 1) 11)
+
+  let test_merge_progress () =
+    let t = H.create ~config:small_config () in
+    for i = 0 to 2_000 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    let s = H.stats t in
+    check "merges started" true (s.Incremental.merges_started > 0);
+    check "merges completed" true (s.Incremental.merges_completed > 0);
+    (* everything readable at all times, merging or not *)
+    for i = 0 to 2_000 do
+      Alcotest.(check (option int)) "readable" (Some i) (H.find t (key i))
+    done
+
+  let test_bounded_work () =
+    let config = { small_config with step = 32 } in
+    let t = H.create ~config () in
+    for i = 0 to 5_000 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    let s = H.stats t in
+    (* no single operation performed more than [step] entries of merge
+       work, while a blocking merge would have processed thousands *)
+    check
+      (Printf.sprintf "max per-op work %d <= step 32" s.Incremental.max_entries_per_op)
+      true
+      (s.Incremental.max_entries_per_op <= 32)
+
+  let test_reads_during_merge () =
+    let t = H.create ~config:{ small_config with step = 1 } () in
+    (* seed the static stage *)
+    for i = 0 to 499 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    H.force_merge t;
+    (* trigger a merge and freeze it mid-flight (step = 1) *)
+    for i = 500 to 700 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    if H.merging t then begin
+      (* reads must see dynamic, frozen and static entries *)
+      for i = 0 to 700 do
+        Alcotest.(check (option int)) "visible mid-merge" (Some i) (H.find t (key i))
+      done
+    end;
+    H.drain t;
+    for i = 0 to 700 do
+      Alcotest.(check (option int)) "visible after drain" (Some i) (H.find t (key i))
+    done
+
+  let test_update_mid_merge () =
+    let t = H.create ~config:{ small_config with step = 1 } () in
+    for i = 0 to 299 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    H.force_merge t;
+    for i = 300 to 400 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    (* update keys living in all three places while a merge is active *)
+    check "update static key" true (H.update t (key 10) 1_000);
+    check "update frozen/dynamic key" true (H.update t (key 350) 2_000);
+    H.drain t;
+    Alcotest.(check (option int)) "static overwrite survives" (Some 1_000) (H.find t (key 10));
+    Alcotest.(check (option int)) "recent overwrite survives" (Some 2_000) (H.find t (key 350))
+
+  let test_delete_mid_merge () =
+    let t = H.create ~config:{ small_config with step = 1 } () in
+    for i = 0 to 299 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    H.force_merge t;
+    for i = 300 to 400 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    check "delete static" true (H.delete t (key 20));
+    check "delete recent" true (H.delete t (key 390));
+    check "gone now" false (H.mem t (key 20) || H.mem t (key 390));
+    H.drain t;
+    check "gone after drain" false (H.mem t (key 20) || H.mem t (key 390));
+    (* a tombstone for an already-emitted key survives to the next merge *)
+    H.force_merge t;
+    check "still gone after next merge" false (H.mem t (key 20) || H.mem t (key 390))
+
+  let test_scan_mid_merge () =
+    let t = H.create ~config:{ small_config with step = 1 } () in
+    for i = 0 to 99 do
+      ignore (H.insert_unique t (key (2 * i)) (2 * i))
+    done;
+    H.force_merge t;
+    for i = 0 to 99 do
+      ignore (H.insert_unique t (key ((2 * i) + 1)) ((2 * i) + 1))
+    done;
+    let got = H.scan_from t (key 50) 10 in
+    let expected = List.init 10 (fun i -> (key (i + 50), i + 50)) in
+    Alcotest.(check (list (pair string int))) "interleaved scan mid-merge" expected got
+
+  let test_model_random_ops () =
+    let rng = Xorshift.create 31 in
+    let t = H.create ~config:{ small_config with step = 8 } () in
+    let model = Hashtbl.create 512 in
+    for _ = 1 to 10_000 do
+      let k = key (Xorshift.int rng 1_500) in
+      match Xorshift.int rng 4 with
+      | 0 ->
+        let v = Xorshift.int rng 100_000 in
+        let a = H.insert_unique t k v and b = not (Hashtbl.mem model k) in
+        if a <> b then Alcotest.failf "insert disagreement";
+        if b then Hashtbl.replace model k v
+      | 1 ->
+        let v = Xorshift.int rng 100_000 in
+        let a = H.update t k v and b = Hashtbl.mem model k in
+        if a <> b then Alcotest.failf "update disagreement";
+        if b then Hashtbl.replace model k v
+      | 2 ->
+        let a = H.delete t k and b = Hashtbl.mem model k in
+        if a <> b then Alcotest.failf "delete disagreement";
+        Hashtbl.remove model k
+      | _ ->
+        let a = H.find t k and b = Hashtbl.find_opt model k in
+        if a <> b then Alcotest.failf "find disagreement"
+    done;
+    H.drain t;
+    Hashtbl.iter (fun k v -> Alcotest.(check (option int)) "final state" (Some v) (H.find t k)) model
+
+  let test_memory_accounts_frozen () =
+    let t = H.create ~config:{ small_config with step = 1 } () in
+    for i = 0 to 999 do
+      ignore (H.insert_unique t (key i) i)
+    done;
+    check "memory positive" true (H.memory_bytes t > 0);
+    check_int "entry count" 1_000 (H.entry_count t);
+    H.drain t;
+    check_int "entry count stable after drain" 1_000 (H.entry_count t);
+    check_int "dynamic emptied by completed merge" 0
+      (if H.merging t then -1 else H.dynamic_entry_count t * 0)
+
+  let suite =
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "merge progress" `Quick test_merge_progress;
+      Alcotest.test_case "bounded work per op" `Quick test_bounded_work;
+      Alcotest.test_case "reads during merge" `Quick test_reads_during_merge;
+      Alcotest.test_case "update mid-merge" `Quick test_update_mid_merge;
+      Alcotest.test_case "delete mid-merge" `Quick test_delete_mid_merge;
+      Alcotest.test_case "scan mid-merge" `Quick test_scan_mid_merge;
+      Alcotest.test_case "random ops vs model" `Quick test_model_random_ops;
+      Alcotest.test_case "memory accounts frozen run" `Quick test_memory_accounts_frozen;
+    ]
+end
+
+module IB = Inc_suite (Incremental.Incremental_btree)
+module IS = Inc_suite (Incremental.Incremental_skiplist)
+module IM = Inc_suite (Incremental.Incremental_masstree)
+module IA = Inc_suite (Incremental.Incremental_art)
+
+(* secondary semantics *)
+let test_secondary_concat () =
+  let module H = Incremental.Incremental_btree in
+  let config = { small_config with kind = Hybrid.Secondary } in
+  let t = H.create ~config () in
+  H.insert t "k" 1;
+  H.force_merge t;
+  H.insert t "k" 2;
+  Alcotest.(check (list int)) "values across stages" [ 2; 1 ] (H.find_all t "k");
+  H.force_merge t;
+  Alcotest.(check (list int)) "merged concatenation" [ 1; 2 ] (List.sort compare (H.find_all t "k"))
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("incremental-btree", IB.suite);
+      ("incremental-skiplist", IS.suite);
+      ("incremental-masstree", IM.suite);
+      ("incremental-art", IA.suite);
+      ("secondary", [ Alcotest.test_case "concat across stages" `Quick test_secondary_concat ]);
+    ]

@@ -1,0 +1,480 @@
+(* Tests for the four dynamic index structures (B+tree, Skip List,
+   Masstree, ART): a generic conformance suite checked against the
+   reference model, plus structure-specific invariants. *)
+
+open Hi_index
+open Hi_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pair_list = Alcotest.(list (pair string int))
+
+(* --- generic conformance suite --- *)
+
+module Dyn_suite (D : Index_intf.DYNAMIC) = struct
+  let test_empty () =
+    let t = D.create () in
+    Alcotest.(check (option int)) "find misses" None (D.find t "nope");
+    check "mem misses" false (D.mem t "nope");
+    check "delete misses" false (D.delete t "nope");
+    Alcotest.(check pair_list) "scan empty" [] (D.scan_from t "" 10);
+    check_int "no entries" 0 (D.entry_count t)
+
+  let test_single () =
+    let t = D.create () in
+    D.insert t "alpha" 1;
+    Alcotest.(check (option int)) "find hit" (Some 1) (D.find t "alpha");
+    check "mem hit" true (D.mem t "alpha");
+    check_int "one entry" 1 (D.entry_count t)
+
+  let bulk_check keys =
+    let t = D.create () in
+    Array.iteri (fun i k -> D.insert t k i) keys;
+    check_int "entry count" (Array.length keys) (D.entry_count t);
+    Array.iteri
+      (fun i k -> Alcotest.(check (option int)) ("find " ^ String.escaped k) (Some i) (D.find t k))
+      keys;
+    (* iteration yields keys in sorted order *)
+    let seen = ref [] in
+    D.iter_sorted t (fun k _ -> seen := k :: !seen);
+    let seen = List.rev !seen in
+    let expected = List.sort compare (Array.to_list keys) in
+    Alcotest.(check (list string)) "sorted iteration" expected seen
+
+  let test_bulk_rand () = bulk_check (Key_codec.generate_keys Key_codec.Rand_int 3_000)
+  let test_bulk_mono () = bulk_check (Key_codec.generate_keys Key_codec.Mono_inc_int 3_000)
+  let test_bulk_email () = bulk_check (Key_codec.generate_keys Key_codec.Email 3_000)
+
+  let test_absent_lookups () =
+    let keys = Key_codec.generate_keys ~seed:1 Key_codec.Rand_int 1_000 in
+    let absent = Key_codec.generate_keys ~seed:2 Key_codec.Rand_int 1_000 in
+    let t = D.create () in
+    Array.iteri (fun i k -> D.insert t k i) keys;
+    let present = Hashtbl.create 2048 in
+    Array.iter (fun k -> Hashtbl.replace present k ()) keys;
+    Array.iter
+      (fun k -> if not (Hashtbl.mem present k) then check "absent key misses" false (D.mem t k))
+      absent
+
+  let test_update () =
+    let t = D.create () in
+    D.insert t "k" 1;
+    check "update hit" true (D.update t "k" 2);
+    Alcotest.(check (option int)) "updated" (Some 2) (D.find t "k");
+    check "update miss" false (D.update t "absent" 3);
+    check_int "update does not add entries" 1 (D.entry_count t)
+
+  let test_multi_value () =
+    let t = D.create () in
+    D.insert t "k" 1;
+    D.insert t "k" 2;
+    D.insert t "k" 3;
+    Alcotest.(check (list int)) "values in insertion order" [ 1; 2; 3 ] (D.find_all t "k");
+    check_int "three entries" 3 (D.entry_count t);
+    check "delete one value" true (D.delete_value t "k" 2);
+    Alcotest.(check (list int)) "value removed" [ 1; 3 ] (D.find_all t "k");
+    check "delete absent value" false (D.delete_value t "k" 9);
+    check "delete key" true (D.delete t "k");
+    Alcotest.(check (list int)) "all gone" [] (D.find_all t "k");
+    check_int "empty" 0 (D.entry_count t)
+
+  let test_delete_bulk () =
+    let keys = Key_codec.generate_keys Key_codec.Rand_int 2_000 in
+    let t = D.create () in
+    Array.iteri (fun i k -> D.insert t k i) keys;
+    (* delete every other key *)
+    Array.iteri (fun i k -> if i mod 2 = 0 then check "deleted" true (D.delete t k)) keys;
+    Array.iteri
+      (fun i k ->
+        if i mod 2 = 0 then check "gone" false (D.mem t k)
+        else Alcotest.(check (option int)) "still present" (Some i) (D.find t k))
+      keys;
+    check_int "half remain" 1_000 (D.entry_count t)
+
+  let test_scan () =
+    let t = D.create () in
+    for i = 0 to 99 do
+      D.insert t (Printf.sprintf "key%03d" i) i
+    done;
+    let got = D.scan_from t "key050" 10 in
+    let expected = List.init 10 (fun i -> (Printf.sprintf "key%03d" (i + 50), i + 50)) in
+    Alcotest.(check pair_list) "scan window" expected got;
+    (* probe between keys *)
+    let got = D.scan_from t "key0505" 3 in
+    let expected = List.init 3 (fun i -> (Printf.sprintf "key%03d" (i + 51), i + 51)) in
+    Alcotest.(check pair_list) "scan from gap" expected got;
+    check_int "scan past end" 0 (List.length (D.scan_from t "z" 5))
+
+  let test_full_scan () =
+    let t = D.create () in
+    for i = 0 to 199 do
+      D.insert t (Printf.sprintf "k%03d" i) i
+    done;
+    Alcotest.(check int) "scan from empty probe sees all" 200 (List.length (D.scan_from t "" 1_000));
+    (* scans stop exactly at the requested count *)
+    Alcotest.(check int) "scan bounded" 7 (List.length (D.scan_from t "" 7))
+
+  let test_duplicate_heavy () =
+    (* many values on few keys: splits inside runs of equal keys *)
+    let t = D.create () in
+    for i = 0 to 499 do
+      D.insert t (Printf.sprintf "dup%d" (i mod 3)) i
+    done;
+    Alcotest.(check int) "entries" 500 (D.entry_count t);
+    let vs = D.find_all t "dup1" in
+    Alcotest.(check int) "values per key" 167 (List.length vs);
+    (* insertion order preserved *)
+    Alcotest.(check (list int)) "first values in order" [ 1; 4; 7 ]
+      (match vs with a :: b :: c :: _ -> [ a; b; c ] | _ -> []);
+    Alcotest.(check bool) "delete collapses run" true (D.delete t "dup1");
+    Alcotest.(check int) "entries after delete" 333 (D.entry_count t)
+
+  let test_clear () =
+    let t = D.create () in
+    for i = 0 to 99 do
+      D.insert t (string_of_int i) i
+    done;
+    D.clear t;
+    check_int "cleared" 0 (D.entry_count t);
+    check "find misses after clear" false (D.mem t "5");
+    D.insert t "5" 7;
+    Alcotest.(check (option int)) "usable after clear" (Some 7) (D.find t "5")
+
+  let test_memory_grows () =
+    let t = D.create () in
+    let m0 = D.memory_bytes t in
+    let keys = Key_codec.generate_keys Key_codec.Rand_int 5_000 in
+    Array.iteri (fun i k -> D.insert t k i) keys;
+    check "memory grows with entries" true (D.memory_bytes t > m0)
+
+  (* --- model-based random operations --- *)
+
+  type op =
+    | Insert of string * int
+    | Update of string * int
+    | Delete of string
+    | Delete_value of string * int
+    | Find of string
+    | Find_all of string
+    | Scan of string * int
+
+  let key_gen =
+    (* short alphabet so operations collide; lengths cross the 8-byte
+       keyslice boundary to exercise Masstree layers and ART paths *)
+    QCheck.Gen.(
+      let* len = int_range 0 20 in
+      string_size (return len) ~gen:(oneofl [ 'a'; 'b'; 'c' ]))
+
+  let op_gen =
+    QCheck.Gen.(
+      let* k = key_gen in
+      let* v = int_range 0 5 in
+      oneof
+        [
+          return (Insert (k, v));
+          return (Update (k, v));
+          return (Delete k);
+          return (Delete_value (k, v));
+          return (Find k);
+          return (Find_all k);
+          (let* n = int_range 0 5 in
+           return (Scan (k, n)));
+        ])
+
+  let print_op = function
+    | Insert (k, v) -> Printf.sprintf "Insert(%S,%d)" k v
+    | Update (k, v) -> Printf.sprintf "Update(%S,%d)" k v
+    | Delete k -> Printf.sprintf "Delete(%S)" k
+    | Delete_value (k, v) -> Printf.sprintf "DeleteValue(%S,%d)" k v
+    | Find k -> Printf.sprintf "Find(%S)" k
+    | Find_all k -> Printf.sprintf "FindAll(%S)" k
+    | Scan (k, n) -> Printf.sprintf "Scan(%S,%d)" k n
+
+  let ops_arb = QCheck.make ~print:QCheck.Print.(list print_op) QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+  let dump_model m =
+    let out = ref [] in
+    Index_ref.iter_sorted m (fun k vs -> out := (k, Array.to_list vs) :: !out);
+    List.rev !out
+
+  let dump_dyn t =
+    let out = ref [] in
+    D.iter_sorted t (fun k vs -> out := (k, Array.to_list vs) :: !out);
+    List.rev !out
+
+  let model_test =
+    QCheck.Test.make ~name:(D.name ^ " agrees with reference model") ~count:300 ops_arb (fun ops ->
+        let t = D.create () in
+        let m = Index_ref.create () in
+        List.iter
+          (fun op ->
+            match op with
+            | Insert (k, v) ->
+              D.insert t k v;
+              Index_ref.insert m k v
+            | Update (k, v) ->
+              let a = D.update t k v and b = Index_ref.update m k v in
+              if a <> b then QCheck.Test.fail_reportf "update disagreement on %S" k
+            | Delete k ->
+              let a = D.delete t k and b = Index_ref.delete m k in
+              if a <> b then QCheck.Test.fail_reportf "delete disagreement on %S" k
+            | Delete_value (k, v) ->
+              let a = D.delete_value t k v and b = Index_ref.delete_value m k v in
+              if a <> b then QCheck.Test.fail_reportf "delete_value disagreement on %S" k
+            | Find k ->
+              let a = D.find t k and b = Index_ref.find m k in
+              if a <> b then QCheck.Test.fail_reportf "find disagreement on %S" k
+            | Find_all k ->
+              let a = D.find_all t k and b = Index_ref.find_all m k in
+              if a <> b then QCheck.Test.fail_reportf "find_all disagreement on %S" k
+            | Scan (k, n) ->
+              let a = D.scan_from t k n and b = Index_ref.scan_from m k n in
+              if a <> b then QCheck.Test.fail_reportf "scan disagreement on %S" k)
+          ops;
+        if D.entry_count t <> Index_ref.entry_count m then
+          QCheck.Test.fail_reportf "entry_count diverged: %d vs %d" (D.entry_count t) (Index_ref.entry_count m);
+        dump_dyn t = dump_model m)
+
+  let suite =
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "single" `Quick test_single;
+      Alcotest.test_case "bulk random int" `Quick test_bulk_rand;
+      Alcotest.test_case "bulk mono-inc int" `Quick test_bulk_mono;
+      Alcotest.test_case "bulk email" `Quick test_bulk_email;
+      Alcotest.test_case "absent lookups" `Quick test_absent_lookups;
+      Alcotest.test_case "update" `Quick test_update;
+      Alcotest.test_case "multi-value" `Quick test_multi_value;
+      Alcotest.test_case "delete bulk" `Quick test_delete_bulk;
+      Alcotest.test_case "scan" `Quick test_scan;
+      Alcotest.test_case "full scan" `Quick test_full_scan;
+      Alcotest.test_case "duplicate heavy" `Quick test_duplicate_heavy;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "memory grows" `Quick test_memory_grows;
+      QCheck_alcotest.to_alcotest model_test;
+    ]
+end
+
+module Btree_suite = Dyn_suite (Hi_btree.Btree)
+module Skiplist_suite = Dyn_suite (Hi_skiplist.Skiplist)
+module Masstree_suite = Dyn_suite (Hi_masstree.Masstree)
+module Art_suite = Dyn_suite (Hi_art.Art)
+
+(* --- structure-specific invariants --- *)
+
+let test_btree_occupancy_random () =
+  let t = Hi_btree.Btree.create () in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 50_000 in
+  Array.iteri (fun i k -> Hi_btree.Btree.insert t k i) keys;
+  let occ = Hi_btree.Btree.leaf_occupancy t in
+  (* paper §4.2: expected ~69 % for random insertion order *)
+  check (Printf.sprintf "random occupancy %.2f in [0.60, 0.78]" occ) true (occ >= 0.60 && occ <= 0.78)
+
+let test_btree_occupancy_mono () =
+  let t = Hi_btree.Btree.create () in
+  for i = 0 to 49_999 do
+    Hi_btree.Btree.insert t (Key_codec.encode_int i) i
+  done;
+  let occ = Hi_btree.Btree.leaf_occupancy t in
+  (* paper §6.4: sequential insertion leaves nodes ~50 % full *)
+  check (Printf.sprintf "mono occupancy %.2f in [0.45, 0.60]" occ) true (occ >= 0.45 && occ <= 0.60)
+
+let test_btree_memory_model () =
+  let t = Hi_btree.Btree.create () in
+  let n = 50_000 in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int n in
+  Array.iteri (fun i k -> Hi_btree.Btree.insert t k i) keys;
+  let per_key = float_of_int (Hi_btree.Btree.memory_bytes t) /. float_of_int n in
+  (* 16 bytes of payload at ~69 % occupancy plus inner nodes: ~25 B/key *)
+  check (Printf.sprintf "btree bytes/key %.1f in [20, 35]" per_key) true (per_key >= 20.0 && per_key <= 35.0)
+
+let test_skiplist_occupancy () =
+  let t = Hi_skiplist.Skiplist.create () in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 50_000 in
+  Array.iteri (fun i k -> Hi_skiplist.Skiplist.insert t k i) keys;
+  let occ = Hi_skiplist.Skiplist.page_occupancy t in
+  check (Printf.sprintf "skiplist occupancy %.2f in [0.60, 0.78]" occ) true (occ >= 0.60 && occ <= 0.78)
+
+let test_art_occupancy () =
+  let t = Hi_art.Art.create () in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 50_000 in
+  Array.iteri (fun i k -> Hi_art.Art.insert t k i) keys;
+  let occ = Hi_art.Art.node_occupancy t in
+  (* paper §4.2 reports ~51 % for random 64-bit keys *)
+  check (Printf.sprintf "ART occupancy %.2f in [0.30, 0.75]" occ) true (occ >= 0.30 && occ <= 0.75)
+
+let test_art_prefix_keys () =
+  (* one key a strict prefix of another: needs the terminal-leaf path *)
+  let t = Hi_art.Art.create () in
+  Hi_art.Art.insert t "abc" 1;
+  Hi_art.Art.insert t "abcdef" 2;
+  Hi_art.Art.insert t "ab" 3;
+  Alcotest.(check (option int)) "prefix 1" (Some 1) (Hi_art.Art.find t "abc");
+  Alcotest.(check (option int)) "prefix 2" (Some 2) (Hi_art.Art.find t "abcdef");
+  Alcotest.(check (option int)) "prefix 3" (Some 3) (Hi_art.Art.find t "ab");
+  Alcotest.(check (option int)) "no partial" None (Hi_art.Art.find t "abcd");
+  let got = Hi_art.Art.scan_from t "ab" 10 in
+  Alcotest.(check pair_list) "ordered with prefixes" [ ("ab", 3); ("abc", 1); ("abcdef", 2) ] got
+
+let test_art_node_growth () =
+  (* >48 distinct bytes at one level forces N4 -> N16 -> N48 -> N256 *)
+  let t = Hi_art.Art.create () in
+  for c = 0 to 255 do
+    Hi_art.Art.insert t (Printf.sprintf "%cpad" (Char.chr c)) c
+  done;
+  for c = 0 to 255 do
+    Alcotest.(check (option int)) "find across growth" (Some c) (Hi_art.Art.find t (Printf.sprintf "%cpad" (Char.chr c)))
+  done
+
+let test_art_embedded_zero_bytes () =
+  let t = Hi_art.Art.create () in
+  let k1 = "a\000b" and k2 = "a\000" and k3 = "a" in
+  Hi_art.Art.insert t k1 1;
+  Hi_art.Art.insert t k2 2;
+  Hi_art.Art.insert t k3 3;
+  Alcotest.(check (option int)) "zero byte 1" (Some 1) (Hi_art.Art.find t k1);
+  Alcotest.(check (option int)) "zero byte 2" (Some 2) (Hi_art.Art.find t k2);
+  Alcotest.(check (option int)) "zero byte 3" (Some 3) (Hi_art.Art.find t k3)
+
+let test_art_mono_prefix_compression () =
+  (* monotonically increasing ints share long prefixes: ART must be much
+     smaller than for random ints (paper §6.4, memory panel) *)
+  let build keys =
+    let t = Hi_art.Art.create () in
+    Array.iteri (fun i k -> Hi_art.Art.insert t k i) keys;
+    Hi_art.Art.memory_bytes t
+  in
+  let mono = build (Key_codec.generate_keys Key_codec.Mono_inc_int 20_000) in
+  let rand = build (Key_codec.generate_keys Key_codec.Rand_int 20_000) in
+  check (Printf.sprintf "mono %d < rand %d" mono rand) true (mono < rand)
+
+let test_masstree_layers () =
+  (* keys sharing an 8-byte slice force sub-layers *)
+  let t = Hi_masstree.Masstree.create () in
+  let keys = [ "AAAAAAAAsuffix1"; "AAAAAAAAsuffix2"; "AAAAAAAA"; "AAAAAAAAsuffix1extra" ] in
+  List.iteri (fun i k -> Hi_masstree.Masstree.insert t k i) keys;
+  List.iteri
+    (fun i k -> Alcotest.(check (option int)) ("layer key " ^ k) (Some i) (Hi_masstree.Masstree.find t k))
+    keys;
+  let got = Hi_masstree.Masstree.scan_from t "AAAAAAAA" 10 in
+  Alcotest.(check pair_list)
+    "ordered across layers"
+    [ ("AAAAAAAA", 2); ("AAAAAAAAsuffix1", 0); ("AAAAAAAAsuffix1extra", 3); ("AAAAAAAAsuffix2", 1) ]
+    got
+
+let test_masstree_short_and_empty_keys () =
+  let t = Hi_masstree.Masstree.create () in
+  List.iteri (fun i k -> Hi_masstree.Masstree.insert t k i) [ ""; "a"; "ab"; "abcdefgh"; "abcdefghi" ];
+  Alcotest.(check (option int)) "empty key" (Some 0) (Hi_masstree.Masstree.find t "");
+  Alcotest.(check (option int)) "exact 8" (Some 3) (Hi_masstree.Masstree.find t "abcdefgh");
+  Alcotest.(check (option int)) "9 bytes" (Some 4) (Hi_masstree.Masstree.find t "abcdefghi")
+
+let test_profile_art_fewer_ops () =
+  (* Table 2's shape: ART touches far fewer nodes per point query *)
+  let probe (module D : Index_intf.DYNAMIC) keys =
+    let t = D.create () in
+    Array.iteri (fun i k -> D.insert t k i) keys;
+    Op_counter.reset ();
+    let s0 = Op_counter.snapshot () in
+    Array.iter (fun k -> ignore (D.find t k)) keys;
+    Op_counter.diff s0 (Op_counter.snapshot ())
+  in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 20_000 in
+  let b = probe (module Hi_btree.Btree) keys in
+  let a = probe (module Hi_art.Art) keys in
+  check "ART fewer key comparisons than B+tree" true (a.key_comparisons < b.key_comparisons)
+
+(* --- hash index (Appendix A: the equality-only counterpart) --- *)
+
+module HX = Hi_index.Hash_index
+
+let test_hash_basic () =
+  let t = HX.create () in
+  HX.insert t "a" 1;
+  HX.insert t "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (HX.find t "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (HX.find t "b");
+  Alcotest.(check (option int)) "miss" None (HX.find t "c");
+  HX.insert t "a" 9;
+  Alcotest.(check (option int)) "replace" (Some 9) (HX.find t "a");
+  check_int "count" 2 (HX.entry_count t)
+
+let test_hash_bulk () =
+  let t = HX.create () in
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 20_000 in
+  Array.iteri (fun i k -> HX.insert t k i) keys;
+  check_int "all inserted" 20_000 (HX.entry_count t);
+  Array.iteri (fun i k -> Alcotest.(check (option int)) "hash find" (Some i) (HX.find t k)) keys;
+  check "load factor bounded" true (HX.load_factor t <= 0.75)
+
+let test_hash_delete () =
+  let t = HX.create () in
+  for i = 0 to 999 do
+    HX.insert t (string_of_int i) i
+  done;
+  for i = 0 to 999 do
+    if i mod 2 = 0 then check "deleted" true (HX.delete t (string_of_int i))
+  done;
+  check "delete absent" false (HX.delete t "0");
+  for i = 0 to 999 do
+    if i mod 2 = 0 then check "gone" false (HX.mem t (string_of_int i))
+    else Alcotest.(check (option int)) "survivor" (Some i) (HX.find t (string_of_int i))
+  done;
+  check_int "half left" 500 (HX.entry_count t)
+
+let test_hash_model =
+  QCheck.Test.make ~name:"hash index agrees with Hashtbl" ~count:300
+    QCheck.(list (pair (string_gen_of_size (QCheck.Gen.int_range 0 6) QCheck.Gen.printable) small_int))
+    (fun ops ->
+      let t = HX.create () in
+      let m = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          if v mod 5 = 0 then begin
+            ignore (HX.delete t k);
+            Hashtbl.remove m k
+          end
+          else begin
+            HX.insert t k v;
+            Hashtbl.replace m k v
+          end)
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && HX.find t k = Some v) m (HX.entry_count t = Hashtbl.length m))
+
+let () =
+  Alcotest.run "indexes"
+    [
+      ("btree", Btree_suite.suite);
+      ("skiplist", Skiplist_suite.suite);
+      ("masstree", Masstree_suite.suite);
+      ("art", Art_suite.suite);
+      ( "btree-specific",
+        [
+          Alcotest.test_case "occupancy random ~69%" `Quick test_btree_occupancy_random;
+          Alcotest.test_case "occupancy mono ~50%" `Quick test_btree_occupancy_mono;
+          Alcotest.test_case "memory model" `Quick test_btree_memory_model;
+        ] );
+      ("skiplist-specific", [ Alcotest.test_case "occupancy" `Quick test_skiplist_occupancy ]);
+      ( "art-specific",
+        [
+          Alcotest.test_case "occupancy" `Quick test_art_occupancy;
+          Alcotest.test_case "prefix keys" `Quick test_art_prefix_keys;
+          Alcotest.test_case "node growth to N256" `Quick test_art_node_growth;
+          Alcotest.test_case "embedded zero bytes" `Quick test_art_embedded_zero_bytes;
+          Alcotest.test_case "prefix compression" `Quick test_art_mono_prefix_compression;
+        ] );
+      ( "masstree-specific",
+        [
+          Alcotest.test_case "sub-layers" `Quick test_masstree_layers;
+          Alcotest.test_case "short and empty keys" `Quick test_masstree_short_and_empty_keys;
+        ] );
+      ("profiling", [ Alcotest.test_case "ART fewer ops (Table 2 shape)" `Quick test_profile_art_fewer_ops ]);
+      ( "hash-index",
+        [
+          Alcotest.test_case "basic" `Quick test_hash_basic;
+          Alcotest.test_case "bulk" `Quick test_hash_bulk;
+          Alcotest.test_case "delete with backward shift" `Quick test_hash_delete;
+          QCheck_alcotest.to_alcotest test_hash_model;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Tests for internal building blocks that the structure-level suites only
+   exercise indirectly: Masstree's per-layer B+tree, the packed sorted
+   store, the front-coded store's coding, lazy cursors, and error paths. *)
+
+open Hi_util
+open Hi_index
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Layer_tree (Masstree's per-trie-node B+tree) --- *)
+
+module LT = Hi_masstree.Layer_tree
+
+let test_layer_tree_basic () =
+  let t = LT.create "dummy" in
+  LT.upsert t 5L 8 (function None -> "five" | Some _ -> Alcotest.fail "fresh key");
+  LT.upsert t 3L 8 (function None -> "three" | Some _ -> Alcotest.fail "fresh key");
+  Alcotest.(check (option string)) "find 5" (Some "five") (LT.find t 5L 8);
+  Alcotest.(check (option string)) "find 3" (Some "three") (LT.find t 3L 8);
+  Alcotest.(check (option string)) "miss" None (LT.find t 4L 8);
+  (* same slice, different length marker = different key *)
+  LT.upsert t 5L 3 (function None -> "short" | Some _ -> Alcotest.fail "fresh");
+  Alcotest.(check (option string)) "slice+len keyed" (Some "short") (LT.find t 5L 3);
+  check_int "size" 3 (LT.size t)
+
+let test_layer_tree_upsert_mutates () =
+  let t = LT.create 0 in
+  LT.upsert t 1L 8 (function None -> 10 | Some _ -> Alcotest.fail "fresh");
+  LT.upsert t 1L 8 (function None -> Alcotest.fail "must exist" | Some v -> v + 1);
+  Alcotest.(check (option int)) "mutated" (Some 11) (LT.find t 1L 8);
+  check_int "no duplicate" 1 (LT.size t)
+
+let test_layer_tree_bulk_sorted () =
+  let t = LT.create (-1) in
+  let rng = Xorshift.create 5 in
+  let keys = Array.init 5_000 (fun _ -> Xorshift.next_u64 rng) in
+  Array.iteri (fun i s -> LT.upsert t s 8 (function None -> i | Some v -> v)) keys;
+  (* iteration is in unsigned slice order *)
+  let prev = ref None and ordered = ref true in
+  LT.iter t (fun s _ _ ->
+      (match !prev with Some p -> if Int64.unsigned_compare p s >= 0 then ordered := false | None -> ());
+      prev := Some s);
+  check "iteration in unsigned order" true !ordered;
+  Array.iteri (fun i s -> Alcotest.(check (option int)) "find all" (Some i) (LT.find t s 8)) keys
+
+let test_layer_tree_remove () =
+  let t = LT.create (-1) in
+  for i = 0 to 999 do
+    LT.upsert t (Int64.of_int i) 8 (function None -> i | Some v -> v)
+  done;
+  for i = 0 to 999 do
+    if i mod 3 = 0 then check "removed" true (LT.remove t (Int64.of_int i) 8)
+  done;
+  check "remove absent" false (LT.remove t 0L 8);
+  check_int "size after removals" 666 (LT.size t);
+  for i = 0 to 999 do
+    if i mod 3 = 0 then check "gone" true (LT.find t (Int64.of_int i) 8 = None)
+    else Alcotest.(check (option int)) "kept" (Some i) (LT.find t (Int64.of_int i) 8)
+  done
+
+let test_layer_tree_iter_from () =
+  let t = LT.create (-1) in
+  for i = 0 to 99 do
+    LT.upsert t (Int64.of_int (2 * i)) 8 (function None -> i | Some v -> v)
+  done;
+  let seen = ref [] in
+  (try
+     LT.iter_from t 51L 0 (fun s _ _ ->
+         if List.length !seen >= 3 then raise LT.Stop;
+         seen := s :: !seen)
+   with LT.Stop -> ());
+  Alcotest.(check (list int64)) "from lower bound" [ 56L; 54L; 52L ] !seen
+
+(* --- Packed_sorted --- *)
+
+let build_packed keys =
+  let entries = Array.mapi (fun i k -> (k, [| i |])) keys in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+  Packed_sorted.build entries
+
+let test_packed_lower_bound_model =
+  QCheck.Test.make ~name:"packed lower_bound = naive lower bound" ~count:300
+    QCheck.(pair (list (string_gen_of_size (Gen.int_range 0 10) Gen.printable)) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
+    (fun (keys, probe) ->
+      let keys = List.sort_uniq compare keys in
+      let arr = Array.of_list keys in
+      let t = build_packed arr in
+      let naive =
+        let rec go i = if i >= Array.length arr then i else if String.compare arr.(i) probe >= 0 then i else go (i + 1) in
+        go 0
+      in
+      Packed_sorted.lower_bound t probe = naive)
+
+let test_packed_levels_built () =
+  (* enough keys to force several separator levels *)
+  let keys = Array.init 40_000 (fun i -> Printf.sprintf "%08d" i) in
+  let t = build_packed keys in
+  check "has levels" true (Packed_sorted.level_key_slots t > 0);
+  (* every key findable through the level descent *)
+  Array.iteri (fun i k -> Alcotest.(check (option int)) "find" (Some i) (Packed_sorted.find t k)) keys
+
+(* --- Frontcoded_btree coding --- *)
+
+module FC = Hi_btree.Frontcoded_btree
+
+let test_frontcoded_roundtrip =
+  QCheck.Test.make ~name:"front coding reconstructs every key" ~count:200
+    QCheck.(list (string_gen_of_size (Gen.int_range 0 24) (Gen.oneofl [ 'a'; 'b'; 'c'; 'd' ])))
+    (fun keys ->
+      let keys = List.sort_uniq compare keys in
+      let entries = Array.of_list (List.mapi (fun i k -> (k, [| i |])) keys) in
+      let t = FC.build entries in
+      List.for_all (fun (k, vs) -> FC.find t k = Some vs.(0)) (Array.to_list entries)
+      &&
+      let seen = ref [] in
+      FC.iter_sorted t (fun k _ -> seen := k :: !seen);
+      List.rev !seen = keys)
+
+let test_frontcoded_shared_prefix_compresses () =
+  let keys = Array.init 10_000 (fun i -> Printf.sprintf "common/prefix/path/item-%06d" i) in
+  let entries = Array.mapi (fun i k -> (k, [| i |])) keys in
+  let t = FC.build entries in
+  (* 28-byte keys stored in ~8 bytes each once front-coded *)
+  let per_key = float_of_int (FC.memory_bytes t) /. 10_000.0 in
+  check (Printf.sprintf "bytes/key %.1f < 20" per_key) true (per_key < 20.0)
+
+(* --- to_seq cursors agree with iter_sorted --- *)
+
+let dump_seq seq = List.of_seq (Seq.map (fun (k, vs) -> (k, Array.to_list vs)) seq)
+
+let dump_iter iter t =
+  let out = ref [] in
+  iter t (fun k vs -> out := (k, Array.to_list vs) :: !out);
+  List.rev !out
+
+let test_to_seq_equivalence () =
+  let keys = Key_codec.generate_keys Key_codec.Email 2_000 in
+  let entries = Array.mapi (fun i k -> (k, [| i |])) keys in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+  let check_one name iter_dump seq_dump = Alcotest.(check (list (pair string (list int)))) name iter_dump seq_dump in
+  let cb = Hi_btree.Compact_btree.build entries in
+  check_one "compact btree" (dump_iter Hi_btree.Compact_btree.iter_sorted cb) (dump_seq (Hi_btree.Compact_btree.to_seq cb));
+  let cs = Hi_skiplist.Compact_skiplist.build entries in
+  check_one "compact skiplist"
+    (dump_iter Hi_skiplist.Compact_skiplist.iter_sorted cs)
+    (dump_seq (Hi_skiplist.Compact_skiplist.to_seq cs));
+  let cm = Hi_masstree.Compact_masstree.build entries in
+  check_one "compact masstree"
+    (dump_iter Hi_masstree.Compact_masstree.iter_sorted cm)
+    (dump_seq (Hi_masstree.Compact_masstree.to_seq cm));
+  let ca = Hi_art.Compact_art.build entries in
+  check_one "compact art" (dump_iter Hi_art.Compact_art.iter_sorted ca) (dump_seq (Hi_art.Compact_art.to_seq ca));
+  let cz = Hi_btree.Compressed_btree.build entries in
+  check_one "compressed btree"
+    (dump_iter Hi_btree.Compressed_btree.iter_sorted cz)
+    (dump_seq (Hi_btree.Compressed_btree.to_seq cz));
+  let fc = FC.build entries in
+  check_one "frontcoded btree" (dump_iter FC.iter_sorted fc) (dump_seq (FC.to_seq fc))
+
+(* --- error paths --- *)
+
+let test_compress_corrupt_stream () =
+  check "corrupt tag rejected" true
+    (try
+       ignore (Compress.decompress "\005\255garbage");
+       false
+     with Invalid_argument _ -> true)
+
+let test_anticache_unknown_block () =
+  let ac = Hi_hstore.Anticache.create () in
+  check "unknown block rejected" true
+    (try
+       ignore (Hi_hstore.Anticache.fetch_block ac 42);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_errors () =
+  let open Hi_hstore in
+  check "unknown pk column" true
+    (try
+       ignore (Schema.make ~name:"t" ~columns:[ ("a", Value.TInt) ] ~pk:[ "nope" ] ());
+       false
+     with Invalid_argument _ -> true);
+  let schema = Schema.make ~name:"t" ~columns:[ ("a", Value.TInt) ] ~pk:[ "a" ] () in
+  check "arity mismatch" true
+    (try
+       ignore (Schema.key_of_values schema schema.Schema.primary_key [ Value.Int 1; Value.Int 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_value_type_checks () =
+  let open Hi_hstore.Value in
+  check "int matches" true (matches_ty (Int 3) TInt);
+  check "string width enforced" false (matches_ty (Str "too long here") (TStr 4));
+  check "null matches anything" true (matches_ty Null TInt && matches_ty Null (TStr 1));
+  check "as_int rejects strings" true
+    (try
+       ignore (as_int (Str "x"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_dangling_rowid () =
+  let open Hi_hstore in
+  let engine = Engine.create () in
+  let tbl =
+    Engine.create_table engine (Schema.make ~name:"t" ~columns:[ ("a", Value.TInt) ] ~pk:[ "a" ] ())
+  in
+  let rowid = Table.insert tbl [| Value.Int 1 |] in
+  ignore (Table.delete tbl rowid);
+  check "dangling rowid rejected" true
+    (try
+       ignore (Table.read tbl rowid);
+       false
+     with Invalid_argument _ -> true)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "internals"
+    [
+      ( "layer_tree",
+        [
+          Alcotest.test_case "basic" `Quick test_layer_tree_basic;
+          Alcotest.test_case "upsert mutates" `Quick test_layer_tree_upsert_mutates;
+          Alcotest.test_case "bulk sorted" `Quick test_layer_tree_bulk_sorted;
+          Alcotest.test_case "remove" `Quick test_layer_tree_remove;
+          Alcotest.test_case "iter_from with stop" `Quick test_layer_tree_iter_from;
+        ] );
+      ( "packed_sorted",
+        [
+          qtest test_packed_lower_bound_model;
+          Alcotest.test_case "separator levels" `Quick test_packed_levels_built;
+        ] );
+      ( "frontcoded",
+        [
+          qtest test_frontcoded_roundtrip;
+          Alcotest.test_case "shared prefixes compress" `Quick test_frontcoded_shared_prefix_compresses;
+        ] );
+      ("cursors", [ Alcotest.test_case "to_seq = iter_sorted" `Quick test_to_seq_equivalence ]);
+      ( "error-paths",
+        [
+          Alcotest.test_case "corrupt compressed stream" `Quick test_compress_corrupt_stream;
+          Alcotest.test_case "unknown anticache block" `Quick test_anticache_unknown_block;
+          Alcotest.test_case "schema errors" `Quick test_schema_errors;
+          Alcotest.test_case "value type checks" `Quick test_value_type_checks;
+          Alcotest.test_case "dangling rowid" `Quick test_table_dangling_rowid;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the five static-stage structures produced by the D-to-S rules:
+   Compact B+tree, Compact Skip List, Compact Masstree, Compact ART and
+   Compressed B+tree.  Each is checked against a Map-based model for
+   build / lookup / scan / merge, including tombstone collection and both
+   duplicate-resolution modes. *)
+
+open Hi_index
+open Hi_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pair_list = Alcotest.(list (pair string int))
+
+let entries_of_list l =
+  Array.of_list (List.map (fun (k, vs) -> (k, Array.of_list vs)) (List.sort compare l))
+
+let keys_to_entries keys = Array.map (fun (i, k) -> (k, [| i |])) (Array.mapi (fun i k -> (i, k)) keys)
+
+module Static_suite (S : Index_intf.STATIC) = struct
+  let test_empty () =
+    check "mem misses" false (S.mem S.empty "x");
+    Alcotest.(check (option int)) "find misses" None (S.find S.empty "x");
+    Alcotest.(check pair_list) "scan empty" [] (S.scan_from S.empty "" 5);
+    check_int "no keys" 0 (S.key_count S.empty)
+
+  let build_and_check keys =
+    let entries = keys_to_entries keys in
+    Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+    let s = S.build entries in
+    check_int "key count" (Array.length entries) (S.key_count s);
+    Array.iter
+      (fun (k, vs) -> Alcotest.(check (option int)) ("find " ^ String.escaped k) (Some vs.(0)) (S.find s k))
+      entries;
+    (* iteration order *)
+    let seen = ref [] in
+    S.iter_sorted s (fun k _ -> seen := k :: !seen);
+    Alcotest.(check (list string)) "sorted iteration" (Array.to_list (Array.map fst entries)) (List.rev !seen)
+
+  let test_build_rand () = build_and_check (Key_codec.generate_keys Key_codec.Rand_int 3_000)
+  let test_build_mono () = build_and_check (Key_codec.generate_keys Key_codec.Mono_inc_int 3_000)
+  let test_build_email () = build_and_check (Key_codec.generate_keys Key_codec.Email 3_000)
+
+  let test_absent () =
+    let keys = Key_codec.generate_keys ~seed:1 Key_codec.Rand_int 1_000 in
+    let entries = keys_to_entries keys in
+    Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+    let s = S.build entries in
+    let present = Hashtbl.create 2048 in
+    Array.iter (fun k -> Hashtbl.replace present k ()) keys;
+    Array.iter
+      (fun k -> if not (Hashtbl.mem present k) then check "absent misses" false (S.mem s k))
+      (Key_codec.generate_keys ~seed:2 Key_codec.Rand_int 1_000)
+
+  let test_multi_values () =
+    let s = S.build (entries_of_list [ ("a", [ 1; 2; 3 ]); ("b", [ 4 ]) ]) in
+    Alcotest.(check (list int)) "find_all" [ 1; 2; 3 ] (S.find_all s "a");
+    Alcotest.(check (option int)) "find first" (Some 1) (S.find s "a");
+    check_int "entries counted" 4 (S.entry_count s);
+    check_int "keys counted" 2 (S.key_count s)
+
+  let test_update_in_place () =
+    let s = S.build (entries_of_list [ ("a", [ 1; 2 ]); ("b", [ 3 ]) ]) in
+    check "update hit" true (S.update s "a" 9);
+    Alcotest.(check (list int)) "first value replaced" [ 9; 2 ] (S.find_all s "a");
+    check "update miss" false (S.update s "zz" 0)
+
+  let test_update_prefix_keys () =
+    (* updates must reach entries stored as trie terminals and suffixes *)
+    let s = S.build (entries_of_list [ ("ab", [ 1 ]); ("abcdefghij", [ 2 ]); ("abcdefghik", [ 3 ]) ]) in
+    check "update prefix terminal" true (S.update s "ab" 10);
+    check "update long suffix" true (S.update s "abcdefghij" 20);
+    Alcotest.(check (option int)) "terminal updated" (Some 10) (S.find s "ab");
+    Alcotest.(check (option int)) "suffix updated" (Some 20) (S.find s "abcdefghij");
+    Alcotest.(check (option int)) "sibling untouched" (Some 3) (S.find s "abcdefghik")
+
+  let test_scan () =
+    let entries = Array.init 100 (fun i -> (Printf.sprintf "key%03d" i, [| i |])) in
+    let s = S.build entries in
+    let got = S.scan_from s "key050" 5 in
+    Alcotest.(check pair_list)
+      "scan window"
+      (List.init 5 (fun i -> (Printf.sprintf "key%03d" (i + 50), i + 50)))
+      got;
+    let got = S.scan_from s "key0505" 2 in
+    Alcotest.(check pair_list) "scan from gap" [ ("key051", 51); ("key052", 52) ] got;
+    check_int "scan from start sees all" 100 (List.length (S.scan_from s "" 1000));
+    check_int "scan past end" 0 (List.length (S.scan_from s "z" 5))
+
+  let test_scan_multi_value () =
+    let s = S.build (entries_of_list [ ("a", [ 1; 2 ]); ("b", [ 3 ]); ("c", [ 4; 5 ]) ]) in
+    Alcotest.(check pair_list) "values expanded in scans" [ ("a", 1); ("a", 2); ("b", 3) ] (S.scan_from s "a" 3)
+
+  let test_merge_basic () =
+    let s = S.build (entries_of_list [ ("b", [ 2 ]); ("d", [ 4 ]) ]) in
+    let s =
+      S.merge s
+        (entries_of_list [ ("a", [ 1 ]); ("c", [ 3 ]); ("e", [ 5 ]) ])
+        ~mode:Index_intf.Replace
+        ~deleted:(fun _ -> false)
+    in
+    check_int "all keys present" 5 (S.key_count s);
+    List.iter
+      (fun (k, v) -> Alcotest.(check (option int)) ("merged " ^ k) (Some v) (S.find s k))
+      [ ("a", 1); ("b", 2); ("c", 3); ("d", 4); ("e", 5) ]
+
+  let test_merge_replace () =
+    let s = S.build (entries_of_list [ ("k", [ 1 ]); ("x", [ 7 ]) ]) in
+    let s = S.merge s (entries_of_list [ ("k", [ 2 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun _ -> false) in
+    Alcotest.(check (list int)) "replaced" [ 2 ] (S.find_all s "k");
+    Alcotest.(check (list int)) "untouched" [ 7 ] (S.find_all s "x")
+
+  let test_merge_concat () =
+    let s = S.build (entries_of_list [ ("k", [ 1; 2 ]) ]) in
+    let s = S.merge s (entries_of_list [ ("k", [ 3 ]) ]) ~mode:Index_intf.Concat ~deleted:(fun _ -> false) in
+    Alcotest.(check (list int)) "concatenated" [ 1; 2; 3 ] (S.find_all s "k")
+
+  let test_merge_tombstones () =
+    let s = S.build (entries_of_list [ ("a", [ 1 ]); ("b", [ 2 ]); ("c", [ 3 ]) ]) in
+    let s = S.merge s (entries_of_list [ ("d", [ 4 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun k -> k = "b") in
+    check "tombstoned key dropped" false (S.mem s "b");
+    check "survivors present" true (S.mem s "a" && S.mem s "c" && S.mem s "d");
+    check_int "key count" 3 (S.key_count s)
+
+  let test_merge_into_empty () =
+    let s = S.merge S.empty (entries_of_list [ ("a", [ 1 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun _ -> false) in
+    Alcotest.(check (option int)) "merge into empty" (Some 1) (S.find s "a")
+
+  (* model-based merge sequence: repeated merges must equal a Map union *)
+  let test_merge_model () =
+    let rng = Xorshift.create 99 in
+    let model = Hashtbl.create 512 in
+    let s = ref S.empty in
+    for _round = 1 to 8 do
+      let batch =
+        List.init 200 (fun _ ->
+            let k = Printf.sprintf "k%05d" (Xorshift.int rng 2_000) in
+            (k, [ Xorshift.int rng 1_000 ]))
+      in
+      (* deduplicate batch keys, keeping the last value *)
+      let tbl = Hashtbl.create 256 in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) batch;
+      let batch = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      List.iter (fun (k, v) -> Hashtbl.replace model k v) batch;
+      s := S.merge !s (entries_of_list batch) ~mode:Index_intf.Replace ~deleted:(fun _ -> false)
+    done;
+    check_int "key count matches model" (Hashtbl.length model) (S.key_count !s);
+    Hashtbl.iter (fun k v -> Alcotest.(check (list int)) ("model " ^ k) v (S.find_all !s k)) model
+
+  (* merges whose keys cross the 8-byte keyslice boundary and share long
+     prefixes: exercises multi-layer Masstree merges and deep ART paths *)
+  let test_merge_model_long_keys () =
+    let rng = Xorshift.create 7 in
+    let model = Hashtbl.create 512 in
+    let s = ref S.empty in
+    for _round = 1 to 6 do
+      let batch =
+        List.init 150 (fun _ ->
+            let k = Printf.sprintf "shared/prefix/%02d/item-%04d" (Xorshift.int rng 4) (Xorshift.int rng 800) in
+            (k, [ Xorshift.int rng 1_000 ]))
+      in
+      let tbl = Hashtbl.create 256 in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) batch;
+      let batch = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      List.iter (fun (k, v) -> Hashtbl.replace model k v) batch;
+      s := S.merge !s (entries_of_list batch) ~mode:Index_intf.Replace ~deleted:(fun _ -> false)
+    done;
+    check_int "long-key count matches model" (Hashtbl.length model) (S.key_count !s);
+    Hashtbl.iter (fun k v -> Alcotest.(check (list int)) ("long " ^ k) v (S.find_all !s k)) model;
+    (* iteration must be sorted *)
+    let prev = ref "" and sorted = ref true in
+    S.iter_sorted !s (fun k _ ->
+        if String.compare !prev k >= 0 && !prev <> "" then sorted := false;
+        prev := k);
+    check "long-key iteration sorted" true !sorted
+
+  let test_merge_preserves_updates () =
+    (* in-place value updates must survive in entries untouched by merges *)
+    let s = S.build (entries_of_list [ ("a", [ 1 ]); ("m", [ 2 ]); ("z", [ 3 ]) ]) in
+    ignore (S.update s "m" 99);
+    let s = S.merge s (entries_of_list [ ("b", [ 4 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun _ -> false) in
+    Alcotest.(check (option int)) "update survived merge" (Some 99) (S.find s "m")
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ " empty") `Quick test_empty;
+      Alcotest.test_case (name ^ " build rand") `Quick test_build_rand;
+      Alcotest.test_case (name ^ " build mono") `Quick test_build_mono;
+      Alcotest.test_case (name ^ " build email") `Quick test_build_email;
+      Alcotest.test_case (name ^ " absent") `Quick test_absent;
+      Alcotest.test_case (name ^ " multi-values") `Quick test_multi_values;
+      Alcotest.test_case (name ^ " update in place") `Quick test_update_in_place;
+      Alcotest.test_case (name ^ " update prefix keys") `Quick test_update_prefix_keys;
+      Alcotest.test_case (name ^ " scan") `Quick test_scan;
+      Alcotest.test_case (name ^ " scan multi-value") `Quick test_scan_multi_value;
+      Alcotest.test_case (name ^ " merge basic") `Quick test_merge_basic;
+      Alcotest.test_case (name ^ " merge replace") `Quick test_merge_replace;
+      Alcotest.test_case (name ^ " merge concat") `Quick test_merge_concat;
+      Alcotest.test_case (name ^ " merge tombstones") `Quick test_merge_tombstones;
+      Alcotest.test_case (name ^ " merge into empty") `Quick test_merge_into_empty;
+      Alcotest.test_case (name ^ " merge model") `Quick test_merge_model;
+      Alcotest.test_case (name ^ " merge model long keys") `Quick test_merge_model_long_keys;
+      Alcotest.test_case (name ^ " merge preserves updates") `Quick test_merge_preserves_updates;
+    ]
+end
+
+module CB = Static_suite (Hi_btree.Compact_btree)
+module CS = Static_suite (Hi_skiplist.Compact_skiplist)
+module CM = Static_suite (Hi_masstree.Compact_masstree)
+module CA = Static_suite (Hi_art.Compact_art)
+module CZ = Static_suite (Hi_btree.Compressed_btree)
+module CF = Static_suite (Hi_btree.Frontcoded_btree)
+
+(* --- D-to-S space claims (the Fig 5 shape) --- *)
+
+let dynamic_memory (module D : Index_intf.DYNAMIC) keys =
+  let t = D.create () in
+  Array.iteri (fun i k -> D.insert t k i) keys;
+  D.memory_bytes t
+
+let static_memory (module S : Index_intf.STATIC) keys =
+  let entries = keys_to_entries keys in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+  S.memory_bytes (S.build entries)
+
+let test_compaction_saves key_type =
+  let keys = Key_codec.generate_keys key_type 20_000 in
+  let pairs =
+    [
+      ("btree", dynamic_memory (module Hi_btree.Btree) keys, static_memory (module Hi_btree.Compact_btree) keys);
+      ( "skiplist",
+        dynamic_memory (module Hi_skiplist.Skiplist) keys,
+        static_memory (module Hi_skiplist.Compact_skiplist) keys );
+      ( "masstree",
+        dynamic_memory (module Hi_masstree.Masstree) keys,
+        static_memory (module Hi_masstree.Compact_masstree) keys );
+      ("art", dynamic_memory (module Hi_art.Art) keys, static_memory (module Hi_art.Compact_art) keys);
+    ]
+  in
+  List.iter
+    (fun (name, dyn, stat) ->
+      check
+        (Printf.sprintf "%s/%s: compact %d < dynamic %d" name (Key_codec.key_type_name key_type) stat dyn)
+        true (stat < dyn))
+    pairs
+
+let test_frontcoded_between () =
+  (* front coding pays off on shared-prefix keys; on incompressible random
+     8-byte keys it may cost a little over the inline compact slots *)
+  List.iter
+    (fun kt ->
+      let keys = Key_codec.generate_keys kt 20_000 in
+      let compact = static_memory (module Hi_btree.Compact_btree) keys in
+      let fronted = static_memory (module Hi_btree.Frontcoded_btree) keys in
+      let bound = match kt with Key_codec.Rand_int -> compact * 6 / 5 | _ -> compact in
+      check
+        (Printf.sprintf "frontcoded %d within bound of compact %d (%s)" fronted compact
+           (Key_codec.key_type_name kt))
+        true (fronted <= bound))
+    Key_codec.all_key_types;
+  let email = Key_codec.generate_keys Key_codec.Email 20_000 in
+  let compact = static_memory (module Hi_btree.Compact_btree) email in
+  let fronted = static_memory (module Hi_btree.Frontcoded_btree) email in
+  check
+    (Printf.sprintf "frontcoded %d well below compact %d on emails" fronted compact)
+    true
+    (fronted * 5 < compact * 4)
+
+let test_compressed_saves () =
+  (* mono-inc keys compress well: compressed must beat compact *)
+  let keys = Key_codec.generate_keys Key_codec.Mono_inc_int 20_000 in
+  let compact = static_memory (module Hi_btree.Compact_btree) keys in
+  let compressed = static_memory (module Hi_btree.Compressed_btree) keys in
+  check (Printf.sprintf "compressed %d < compact %d (mono-inc)" compressed compact) true (compressed < compact)
+
+let test_compressed_cache_effective () =
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 5_000 in
+  let entries = keys_to_entries keys in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+  let s = Hi_btree.Compressed_btree.build entries in
+  (* repeated point queries on one key must hit the node cache *)
+  let k = fst entries.(42) in
+  for _ = 1 to 100 do
+    ignore (Hi_btree.Compressed_btree.find s k)
+  done;
+  check "few decompressions thanks to node cache" true (Hi_btree.Compressed_btree.decompressions s < 10)
+
+let test_compact_read_not_slower_model () =
+  (* Fig 5's read-throughput claim, expressed on the operation counters:
+     the compact B+tree touches no more nodes per lookup than the dynamic
+     B+tree at the same size *)
+  let keys = Key_codec.generate_keys Key_codec.Rand_int 20_000 in
+  let probe_dynamic () =
+    let t = Hi_btree.Btree.create () in
+    Array.iteri (fun i k -> Hi_btree.Btree.insert t k i) keys;
+    Op_counter.reset ();
+    let s0 = Op_counter.snapshot () in
+    Array.iter (fun k -> ignore (Hi_btree.Btree.find t k)) keys;
+    (Op_counter.diff s0 (Op_counter.snapshot ())).node_visits
+  in
+  let probe_static () =
+    let entries = keys_to_entries keys in
+    Array.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+    let s = Hi_btree.Compact_btree.build entries in
+    Op_counter.reset ();
+    let s0 = Op_counter.snapshot () in
+    Array.iter (fun k -> ignore (Hi_btree.Compact_btree.find s k)) keys;
+    (Op_counter.diff s0 (Op_counter.snapshot ())).node_visits
+  in
+  let d = probe_dynamic () and s = probe_static () in
+  check (Printf.sprintf "compact visits %d <= dynamic visits %d" s d) true (s <= d)
+
+let () =
+  Alcotest.run "static"
+    [
+      ("compact-btree", CB.suite "cbt");
+      ("compact-skiplist", CS.suite "csl");
+      ("compact-masstree", CM.suite "cmt");
+      ("compact-art", CA.suite "cart");
+      ("compressed-btree", CZ.suite "zbt");
+      ("frontcoded-btree", CF.suite "fbt");
+      ( "d-to-s-rules",
+        [
+          Alcotest.test_case "compaction saves memory (rand)" `Quick (fun () ->
+              test_compaction_saves Key_codec.Rand_int);
+          Alcotest.test_case "compaction saves memory (mono)" `Quick (fun () ->
+              test_compaction_saves Key_codec.Mono_inc_int);
+          Alcotest.test_case "compaction saves memory (email)" `Quick (fun () ->
+              test_compaction_saves Key_codec.Email);
+          Alcotest.test_case "compression saves beyond compaction" `Quick test_compressed_saves;
+          Alcotest.test_case "front coding between compact and compressed" `Quick test_frontcoded_between;
+          Alcotest.test_case "node cache avoids decompressions" `Quick test_compressed_cache_effective;
+          Alcotest.test_case "compact lookups visit fewer nodes" `Quick test_compact_read_not_slower_model;
+        ] );
+    ]

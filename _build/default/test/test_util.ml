@@ -1,0 +1,370 @@
+(* Unit and property tests for the hi_util library. *)
+
+open Hi_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Xorshift --- *)
+
+let test_rng_deterministic () =
+  let a = Xorshift.create 7 and b = Xorshift.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xorshift.next_u64 a) (Xorshift.next_u64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Xorshift.create 1 and b = Xorshift.create 2 in
+  check "different seeds diverge" true (Xorshift.next_u64 a <> Xorshift.next_u64 b)
+
+let test_rng_bounds () =
+  let rng = Xorshift.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Xorshift.int rng 17 in
+    check "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float01 () =
+  let rng = Xorshift.create 4 in
+  for _ = 1 to 10_000 do
+    let x = Xorshift.float01 rng in
+    check "float in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Xorshift.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Xorshift.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      check "roughly uniform" true (frac > 0.08 && frac < 0.12))
+    buckets
+
+let test_shuffle_permutation () =
+  let rng = Xorshift.create 6 in
+  let arr = Array.init 100 (fun i -> i) in
+  Xorshift.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+(* --- Zipf --- *)
+
+let test_zipf_range () =
+  let rng = Xorshift.create 11 in
+  let z = Zipf.create ~items:1000 rng in
+  for _ = 1 to 10_000 do
+    let x = Zipf.next z in
+    check "in range" true (x >= 0 && x < 1000)
+  done
+
+let test_zipf_skew () =
+  (* rank 0 should receive vastly more hits than rank 500 *)
+  let rng = Xorshift.create 12 in
+  let z = Zipf.create ~scrambled:false ~items:1000 rng in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let r = Zipf.next_rank z in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check "head much hotter than middle" true (counts.(0) > 20 * max 1 counts.(500));
+  check "head is several percent of traffic" true (counts.(0) > 2_000)
+
+let test_zipf_zeta () =
+  let z2 = Zipf.zeta 2 1.0 in
+  check "zeta(2,1) = 1 + 1/2" true (abs_float (z2 -. 1.5) < 1e-9)
+
+let test_zipf_scrambled_spread () =
+  (* scrambling must spread the hottest ranks across the id space *)
+  let rng = Xorshift.create 13 in
+  let z = Zipf.create ~scrambled:true ~items:1_000_000 rng in
+  let hits = Array.init 1_000 (fun _ -> Zipf.next z) in
+  let below = Array.fold_left (fun acc x -> if x < 500_000 then acc + 1 else acc) 0 hits in
+  check "hot ids on both halves of the space" true (below > 200 && below < 800)
+
+(* --- Bloom --- *)
+
+let test_bloom_no_false_negatives () =
+  let b = Bloom.create ~expected:10_000 () in
+  for i = 0 to 9_999 do
+    Bloom.add b (string_of_int i)
+  done;
+  for i = 0 to 9_999 do
+    check "member found" true (Bloom.mem b (string_of_int i))
+  done
+
+let test_bloom_fpr () =
+  let b = Bloom.create ~fpr:0.01 ~expected:10_000 () in
+  for i = 0 to 9_999 do
+    Bloom.add b (string_of_int i)
+  done;
+  let fp = ref 0 in
+  for i = 10_000 to 29_999 do
+    if Bloom.mem b (string_of_int i) then incr fp
+  done;
+  let rate = float_of_int !fp /. 20_000.0 in
+  check (Printf.sprintf "fpr %.4f below 3%%" rate) true (rate < 0.03)
+
+let test_bloom_clear () =
+  let b = Bloom.create ~expected:100 () in
+  Bloom.add b "hello";
+  check "present" true (Bloom.mem b "hello");
+  Bloom.clear b;
+  check "cleared" false (Bloom.mem b "hello");
+  check_int "count reset" 0 (Bloom.count b)
+
+let test_bloom_sizing () =
+  let small = Bloom.create ~expected:100 () in
+  let large = Bloom.create ~expected:100_000 () in
+  check "larger expectation, more bits" true (Bloom.nbits large > Bloom.nbits small);
+  check "k >= 1" true (Bloom.hash_count small >= 1)
+
+(* --- Key_codec --- *)
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun x -> Alcotest.(check int64) "roundtrip" x (Key_codec.decode_u64 (Key_codec.encode_u64 x)))
+    [ 0L; 1L; 255L; 256L; Int64.max_int; Int64.min_int; -1L ]
+
+let test_codec_order_preserving =
+  QCheck.Test.make ~name:"u64 encoding preserves unsigned order" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let ca = Int64.unsigned_compare a b in
+      let cs = String.compare (Key_codec.encode_u64 a) (Key_codec.encode_u64 b) in
+      compare (compare ca 0) (compare cs 0) = 0)
+
+let test_email_deterministic () =
+  check_string "same id same email" (Key_codec.email_of_id 42) (Key_codec.email_of_id 42);
+  check "emails contain @" true (String.contains (Key_codec.email_of_id 7) '@')
+
+let test_generate_keys_distinct () =
+  List.iter
+    (fun kt ->
+      let keys = Key_codec.generate_keys kt 5_000 in
+      let tbl = Hashtbl.create 8192 in
+      Array.iter (fun k -> Hashtbl.replace tbl k ()) keys;
+      check_int (Key_codec.key_type_name kt ^ " keys distinct") 5_000 (Hashtbl.length tbl))
+    Key_codec.all_key_types
+
+let test_email_avg_length () =
+  let keys = Key_codec.generate_keys Key_codec.Email 2_000 in
+  let total = Array.fold_left (fun acc k -> acc + String.length k) 0 keys in
+  let avg = float_of_int total /. 2_000.0 in
+  check (Printf.sprintf "average email length %.1f in [20,40]" avg) true (avg >= 20.0 && avg <= 40.0)
+
+(* --- Inplace_merge --- *)
+
+let sorted_int_list = QCheck.(list int |> map (List.sort_uniq compare))
+
+let test_merge_model =
+  QCheck.Test.make ~name:"merge = sorted union (with duplicates kept)" ~count:500
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      let a = Array.of_list (List.sort compare xs) in
+      let b = Array.of_list (List.sort compare ys) in
+      let merged = Inplace_merge.merge ~cmp:compare a b in
+      Array.to_list merged = List.sort compare (xs @ ys))
+
+let test_extend_model =
+  QCheck.Test.make ~name:"extend (in-place) = merge" ~count:500
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      let a = Array.of_list (List.sort compare xs) in
+      let b = Array.of_list (List.sort compare ys) in
+      Inplace_merge.extend ~cmp:compare a b = Inplace_merge.merge ~cmp:compare a b)
+
+let test_merge_resolve_replaces =
+  QCheck.Test.make ~name:"merge_resolve drops or replaces duplicates" ~count:500
+    QCheck.(pair sorted_int_list sorted_int_list)
+    (fun (xs, ys) ->
+      let a = Array.of_list xs and b = Array.of_list ys in
+      (* resolve keeps the new element *)
+      let merged = Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ n -> Some n) a b in
+      Array.to_list merged = List.sort_uniq compare (xs @ ys))
+
+let test_merge_resolve_drop () =
+  let a = [| 1; 2; 3; 4 |] and b = [| 2; 4; 5 |] in
+  let merged = Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ _ -> None) a b in
+  Alcotest.(check (array int)) "dropped equal keys" [| 1; 3; 5 |] merged
+
+let test_inplace_rotation () =
+  let arr = [| 5; 6; 7; 1; 2; 3; 4 |] in
+  Inplace_merge.inplace ~cmp:compare arr 3;
+  Alcotest.(check (array int)) "merged" [| 1; 2; 3; 4; 5; 6; 7 |] arr
+
+(* --- Clock_cache --- *)
+
+let test_cache_basic () =
+  let c = Clock_cache.create 4 in
+  Clock_cache.put c 1 "one";
+  Clock_cache.put c 2 "two";
+  Alcotest.(check (option string)) "hit" (Some "one") (Clock_cache.find c 1);
+  Alcotest.(check (option string)) "miss" None (Clock_cache.find c 9)
+
+let test_cache_eviction () =
+  let c = Clock_cache.create 3 in
+  for i = 1 to 10 do
+    Clock_cache.put c i i
+  done;
+  let live = List.filter (fun i -> Clock_cache.find c i <> None) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  check_int "capacity respected" 3 (List.length live)
+
+let test_cache_second_chance () =
+  let c = Clock_cache.create 2 in
+  Clock_cache.put c 1 "a";
+  Clock_cache.put c 2 "b";
+  (* reference 1 so it survives the next eviction *)
+  ignore (Clock_cache.find c 1);
+  Clock_cache.put c 3 "c";
+  check "recently used survives" true (Clock_cache.find c 1 <> None);
+  check "new entry present" true (Clock_cache.find c 3 <> None)
+
+let test_cache_hit_rate () =
+  let c = Clock_cache.create 2 in
+  Clock_cache.put c 1 "a";
+  ignore (Clock_cache.find c 1);
+  ignore (Clock_cache.find c 2);
+  check "hit rate 0.5" true (abs_float (Clock_cache.hit_rate c -. 0.5) < 1e-9)
+
+(* --- Compress --- *)
+
+let test_compress_roundtrip_basic () =
+  List.iter
+    (fun s -> check_string "roundtrip" s (Compress.decompress (Compress.compress s)))
+    [
+      "";
+      "a";
+      "hello world hello world hello world";
+      String.make 10_000 'x';
+      "abcdefgh12345678abcdefgh12345678";
+    ]
+
+let test_compress_roundtrip_random =
+  QCheck.Test.make ~name:"compress/decompress roundtrip" ~count:500 QCheck.string (fun s ->
+      Compress.decompress (Compress.compress s) = s)
+
+let test_compress_ratio () =
+  (* highly repetitive data must actually shrink *)
+  let s = String.concat "" (List.init 500 (fun i -> Printf.sprintf "row-%04d;" (i mod 10))) in
+  let c = Compress.compress s in
+  check
+    (Printf.sprintf "ratio %.2f < 0.35" (float_of_int (String.length c) /. float_of_int (String.length s)))
+    true
+    (String.length c * 3 < String.length s)
+
+let test_compress_header () =
+  let s = "some payload bytes" in
+  check_int "uncompressed length recorded" (String.length s) (Compress.uncompressed_length (Compress.compress s))
+
+(* --- Histogram --- *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record h (float_of_int i)
+  done;
+  check "median ~50" true (abs_float (Histogram.median h -. 50.0) <= 1.0);
+  check "p99 ~99" true (abs_float (Histogram.percentile h 99.0 -. 99.0) <= 1.0);
+  check "max = 100" true (Histogram.max_value h = 100.0);
+  check "mean = 50.5" true (abs_float (Histogram.mean h -. 50.5) < 1e-9)
+
+let test_histogram_interleaved () =
+  (* records after a percentile query must be included in the next query *)
+  let h = Histogram.create () in
+  Histogram.record h 1.0;
+  ignore (Histogram.median h);
+  Histogram.record h 100.0;
+  check "max updated" true (Histogram.max_value h = 100.0)
+
+(* --- Vec --- *)
+
+let test_vec_growth () =
+  let v = Vec.create 0 in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  check_int "length" 1000 (Vec.length v);
+  check_int "get" 500 (Vec.get v 500);
+  check_int "pop" 999 (Vec.pop v);
+  check_int "length after pop" 999 (Vec.length v)
+
+(* --- Op_counter --- *)
+
+let test_op_counter () =
+  Op_counter.reset ();
+  let s0 = Op_counter.snapshot () in
+  Op_counter.visit ();
+  Op_counter.compare_keys 3;
+  Op_counter.deref ();
+  let s1 = Op_counter.snapshot () in
+  let d = Op_counter.diff s0 s1 in
+  check_int "visits" 1 d.node_visits;
+  check_int "comparisons" 3 d.key_comparisons;
+  check_int "derefs" 1 d.pointer_derefs;
+  check_int "cache lines" 2 (Op_counter.cache_lines_touched d)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "hi_util"
+    [
+      ( "xorshift",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float01 bounds" `Quick test_rng_float01;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zeta" `Quick test_zipf_zeta;
+          Alcotest.test_case "scrambled spread" `Quick test_zipf_scrambled_spread;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "no false negatives" `Quick test_bloom_no_false_negatives;
+          Alcotest.test_case "false positive rate" `Quick test_bloom_fpr;
+          Alcotest.test_case "clear" `Quick test_bloom_clear;
+          Alcotest.test_case "sizing" `Quick test_bloom_sizing;
+        ] );
+      ( "key_codec",
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip
+        :: Alcotest.test_case "email deterministic" `Quick test_email_deterministic
+        :: Alcotest.test_case "distinct keys" `Quick test_generate_keys_distinct
+        :: Alcotest.test_case "email length" `Quick test_email_avg_length
+        :: qsuite [ test_codec_order_preserving ] );
+      ( "inplace_merge",
+        Alcotest.test_case "resolve drop" `Quick test_merge_resolve_drop
+        :: Alcotest.test_case "rotation merge" `Quick test_inplace_rotation
+        :: qsuite [ test_merge_model; test_extend_model; test_merge_resolve_replaces ] );
+      ( "clock_cache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "second chance" `Quick test_cache_second_chance;
+          Alcotest.test_case "hit rate" `Quick test_cache_hit_rate;
+        ] );
+      ( "compress",
+        Alcotest.test_case "roundtrip basic" `Quick test_compress_roundtrip_basic
+        :: Alcotest.test_case "ratio" `Quick test_compress_ratio
+        :: Alcotest.test_case "header" `Quick test_compress_header
+        :: qsuite [ test_compress_roundtrip_random ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "interleaved" `Quick test_histogram_interleaved;
+        ] );
+      ("vec", [ Alcotest.test_case "growth" `Quick test_vec_growth ]);
+      ("op_counter", [ Alcotest.test_case "counters" `Quick test_op_counter ]);
+    ]

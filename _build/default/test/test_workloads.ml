@@ -1,0 +1,209 @@
+(* Tests for the three OLTP benchmarks (paper §7.2) and the YCSB
+   microbenchmark driver (§6.1): each workload loads, runs transactions
+   under every index configuration, and maintains its consistency
+   invariants. *)
+
+open Hi_hstore
+open Hi_workloads
+
+let check = Alcotest.(check bool)
+
+let tiny_tpcc = { Tpcc.warehouses = 2; items = 200; customers_per_district = 30 }
+let tiny_voter = { Voter.default_scale with phone_numbers = 500 }
+let tiny_articles = { Articles.users = 200; initial_articles = 100; comments_per_article = 2 }
+
+let engine_with kind = Engine.create ~config:{ Engine.default_config with index_kind = kind } ()
+
+(* --- TPC-C --- *)
+
+let test_tpcc_load () =
+  let engine = engine_with Engine.Btree_config in
+  let _st = Tpcc.setup ~scale:tiny_tpcc engine in
+  check "warehouses loaded" true (Table.row_count (Engine.table engine "warehouse") = 2);
+  check "districts loaded" true (Table.row_count (Engine.table engine "district") = 20);
+  check "customers loaded" true (Table.row_count (Engine.table engine "customer") = 600);
+  check "stock loaded" true (Table.row_count (Engine.table engine "stock") = 400);
+  check "initial consistency" true (Tpcc.check_ytd_consistency engine)
+
+let run_tpcc kind n =
+  let engine = engine_with kind in
+  let st = Tpcc.setup ~scale:tiny_tpcc engine in
+  for _ = 1 to n do
+    ignore (Tpcc.transaction st engine)
+  done;
+  engine
+
+let test_tpcc_run () =
+  let engine = run_tpcc Engine.Btree_config 800 in
+  let s = Engine.stats engine in
+  check "most transactions commit" true (s.Engine.committed > 700);
+  check "ytd consistency preserved" true (Tpcc.check_ytd_consistency engine);
+  (* new-order grew the orders table beyond the initial load *)
+  check "orders grew" true (Table.row_count (Engine.table engine "orders") > 600)
+
+let test_tpcc_all_index_kinds () =
+  List.iter
+    (fun kind ->
+      let engine = run_tpcc kind 300 in
+      check
+        (Engine.index_kind_name kind ^ " consistent")
+        true (Tpcc.check_ytd_consistency engine))
+    [ Engine.Btree_config; Engine.Hybrid_config; Engine.Hybrid_compressed_config ]
+
+let test_tpcc_hybrid_saves_memory () =
+  let index_bytes kind =
+    let engine = run_tpcc kind 500 in
+    Engine.flush_indexes engine;
+    let m = Engine.memory_breakdown engine in
+    m.Engine.pk_index_bytes + m.Engine.secondary_index_bytes
+  in
+  let btree = index_bytes Engine.Btree_config in
+  let hybrid = index_bytes Engine.Hybrid_config in
+  check (Printf.sprintf "hybrid %d < btree %d" hybrid btree) true (hybrid < btree)
+
+(* --- Voter --- *)
+
+let test_voter () =
+  let engine = engine_with Engine.Btree_config in
+  let st = Voter.setup ~scale:tiny_voter engine in
+  for _ = 1 to 3_000 do
+    ignore (Voter.transaction st engine)
+  done;
+  let s = Engine.stats engine in
+  check "votes recorded" true (s.Engine.committed > 0);
+  (* with 500 phones and limit 2, 3000 attempts must hit the limit *)
+  check "vote limit enforced" true (s.Engine.user_aborts > 0);
+  check "totals = vote rows" true (Voter.check_consistency engine);
+  let votes = Table.row_count (Engine.table engine "votes") in
+  check "no phone exceeds limit" true (votes <= 500 * 2)
+
+let test_voter_no_secondary_indexes () =
+  let engine = engine_with Engine.Btree_config in
+  let _st = Voter.setup ~scale:tiny_voter engine in
+  let m = Engine.memory_breakdown engine in
+  check "voter uses no secondary indexes (Table 1)" true (m.Engine.secondary_index_bytes = 0)
+
+(* --- Articles --- *)
+
+let test_articles () =
+  let engine = engine_with Engine.Btree_config in
+  let st = Articles.setup ~scale:tiny_articles engine in
+  for _ = 1 to 2_000 do
+    ignore (Articles.transaction st engine)
+  done;
+  let s = Engine.stats engine in
+  check "transactions commit" true (s.Engine.committed > 1_900);
+  check "comment counts consistent" true (Articles.check_comment_counts engine st.Articles.next_article)
+
+let test_articles_hybrid () =
+  let engine = engine_with Engine.Hybrid_config in
+  let st = Articles.setup ~scale:tiny_articles engine in
+  for _ = 1 to 1_000 do
+    ignore (Articles.transaction st engine)
+  done;
+  check "consistent under hybrid indexes" true
+    (Articles.check_comment_counts engine st.Articles.next_article)
+
+(* --- anti-caching end-to-end on a real workload --- *)
+
+let test_voter_with_anticaching () =
+  let config =
+    {
+      Engine.default_config with
+      eviction_threshold_bytes = Some 100_000;
+      evictable_tables = [ "votes" ];
+      eviction_block_rows = 128;
+    }
+  in
+  let engine = Engine.create ~config () in
+  let st = Voter.setup ~scale:{ tiny_voter with phone_numbers = 20_000 } engine in
+  for _ = 1 to 8_000 do
+    ignore (Voter.transaction st engine)
+  done;
+  let votes = Engine.table engine "votes" in
+  check "eviction happened" true (Table.evicted_rows votes > 0);
+  check "still consistent" true (Voter.check_consistency engine)
+
+(* --- runner --- *)
+
+let test_runner_samples () =
+  let engine = engine_with Engine.Btree_config in
+  let st = Voter.setup ~scale:tiny_voter engine in
+  let r =
+    Runner.run engine
+      ~transaction:(fun e -> match Voter.transaction st e with Ok _ -> true | Error _ -> false)
+      ~num_txns:1_000 ~sample_every:250 ()
+  in
+  check "throughput positive" true (r.Runner.tps > 0.0);
+  check "latency recorded" true (Hi_util.Histogram.count r.Runner.latency = 1_000);
+  Alcotest.(check int) "samples taken" 4 (List.length r.Runner.samples);
+  check "p50 <= p99" true
+    (Hi_util.Histogram.median r.Runner.latency <= Hi_util.Histogram.percentile r.Runner.latency 99.0)
+
+(* --- YCSB driver --- *)
+
+let tiny_spec workload key_type =
+  { Hi_ycsb.Ycsb.default_spec with workload; key_type; num_keys = 2_000; num_ops = 2_000 }
+
+let test_ycsb_all_workloads () =
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun key_type ->
+          let r =
+            Hi_ycsb.Ycsb.run
+              (module Hybrid_index.Instances.Btree_index)
+              (tiny_spec workload key_type)
+          in
+          check
+            (Printf.sprintf "%s/%s runs" (Hi_ycsb.Ycsb.workload_name workload)
+               (Hi_util.Key_codec.key_type_name key_type))
+            true
+            (r.Hi_ycsb.Ycsb.run_mops > 0.0 && r.Hi_ycsb.Ycsb.memory_bytes > 0))
+        Hi_util.Key_codec.all_key_types)
+    Hi_ycsb.Ycsb.all_workloads
+
+let test_ycsb_hybrid_memory_shape () =
+  (* Fig 7 memory panel at small scale: hybrid < original *)
+  let spec = { (tiny_spec Hi_ycsb.Ycsb.Insert_only Hi_util.Key_codec.Rand_int) with num_keys = 20_000 } in
+  let orig = Hi_ycsb.Ycsb.run (module Hybrid_index.Instances.Btree_index) spec in
+  let hybrid = Hi_ycsb.Ycsb.run (Hybrid_index.Instances.hybrid_index "btree") spec in
+  check
+    (Printf.sprintf "hybrid %d < btree %d" hybrid.Hi_ycsb.Ycsb.memory_bytes orig.Hi_ycsb.Ycsb.memory_bytes)
+    true
+    (hybrid.Hi_ycsb.Ycsb.memory_bytes < orig.Hi_ycsb.Ycsb.memory_bytes)
+
+let test_ycsb_secondary () =
+  let spec = { (tiny_spec Hi_ycsb.Ycsb.Read_write Hi_util.Key_codec.Rand_int) with values_per_key = 10 } in
+  let r = Hi_ycsb.Ycsb.run ~primary:false (module Hybrid_index.Instances.Btree_index) spec in
+  check "secondary run completes" true (r.Hi_ycsb.Ycsb.run_mops > 0.0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "tpcc",
+        [
+          Alcotest.test_case "load" `Quick test_tpcc_load;
+          Alcotest.test_case "run 800 txns" `Quick test_tpcc_run;
+          Alcotest.test_case "all index kinds" `Quick test_tpcc_all_index_kinds;
+          Alcotest.test_case "hybrid saves memory" `Quick test_tpcc_hybrid_saves_memory;
+        ] );
+      ( "voter",
+        [
+          Alcotest.test_case "run + consistency" `Quick test_voter;
+          Alcotest.test_case "no secondary indexes" `Quick test_voter_no_secondary_indexes;
+          Alcotest.test_case "with anti-caching" `Quick test_voter_with_anticaching;
+        ] );
+      ( "articles",
+        [
+          Alcotest.test_case "run + consistency" `Quick test_articles;
+          Alcotest.test_case "hybrid indexes" `Quick test_articles_hybrid;
+        ] );
+      ("runner", [ Alcotest.test_case "samples" `Quick test_runner_samples ]);
+      ( "ycsb",
+        [
+          Alcotest.test_case "all workloads x key types" `Quick test_ycsb_all_workloads;
+          Alcotest.test_case "hybrid memory shape" `Quick test_ycsb_hybrid_memory_shape;
+          Alcotest.test_case "secondary mode" `Quick test_ycsb_secondary;
+        ] );
+    ]
