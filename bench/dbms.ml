@@ -161,6 +161,81 @@ let fig9 () =
         index_kinds)
     benchmarks
 
+(* --- Fault injection: anti-caching under an unreliable cold store --- *)
+
+(* Replays the Fig 9 anti-caching workload twice per benchmark — once on a
+   reliable simulated disk, once under a seeded fault schedule (transient
+   fetch failures, at-rest corruption, latency spikes) — and reports the
+   throughput degradation, the retry/loss counters, and the post-run
+   recovery + integrity check (DESIGN.md §8). *)
+
+let fault_schedule =
+  {
+    Hi_util.Fault.transient_fetch_p = 0.10;
+    corrupt_block_p = 0.005;
+    latency_spike_p = 0.02;
+    latency_spike_s = 0.005;
+  }
+
+let faults () =
+  section "Fault injection: anti-caching workloads on an unreliable cold store";
+  Printf.printf "schedule: transient %.0f%%, corrupt %.1f%%, spike %.0f%% x %.0f ms (seed 42)\n"
+    (100.0 *. fault_schedule.Hi_util.Fault.transient_fetch_p)
+    (100.0 *. fault_schedule.Hi_util.Fault.corrupt_block_p)
+    (100.0 *. fault_schedule.Hi_util.Fault.latency_spike_p)
+    (1000.0 *. fault_schedule.Hi_util.Fault.latency_spike_s);
+  List.iter
+    (fun benchmark ->
+      (* same threshold recipe as fig9: eviction starts mid-run *)
+      let probe = Engine.create () in
+      let probe_txn = load benchmark probe in
+      for _ = 1 to 2 * txns_for benchmark do
+        probe_txn probe
+      done;
+      let threshold = Engine.total_in_memory (Engine.memory_breakdown probe) * 6 / 10 in
+      let num = 2 * txns_for benchmark in
+      let run_one fault =
+        let config =
+          {
+            Engine.default_config with
+            index_kind = Engine.Hybrid_config;
+            eviction_threshold_bytes = Some threshold;
+            evictable_tables = evictable_for benchmark;
+            anticache = { Anticache.default_config with fault };
+          }
+        in
+        let engine = Engine.create ~config () in
+        let txn = load benchmark engine in
+        let r = Runner.run engine ~transaction:(fun e -> txn e) ~num_txns:num () in
+        (engine, r)
+      in
+      Printf.printf "\n[%s] eviction threshold %.1f MB, %d transactions (Hybrid indexes)\n" benchmark
+        (mb threshold) num;
+      let _, base = run_one None in
+      let engine, faulted = run_one (Some fault_schedule) in
+      let s = Engine.fault_stats engine in
+      let stats = Engine.stats engine in
+      Printf.printf "  reliable disk : %8.1f Ktxn/s\n" (base.Runner.tps /. 1000.0);
+      Printf.printf "  faulted disk  : %8.1f Ktxn/s  (%.1f%% degradation)\n"
+        (faulted.Runner.tps /. 1000.0)
+        (100.0 *. (1.0 -. (faulted.Runner.tps /. base.Runner.tps)));
+      Printf.printf
+        "  faults: %d transient (%d retries), %d corrupt, %d spikes | %d blocks lost, %d txns \
+         failed on lost blocks\n"
+        s.Anticache.transient_faults s.Anticache.retries s.Anticache.corrupt_blocks
+        s.Anticache.latency_spikes s.Anticache.lost_blocks stats.Engine.lost_block_aborts;
+      let r = Engine.recover engine in
+      Printf.printf "  recovery: %d tables, %d live + %d evicted rows reindexed, %d rows dropped \
+                     with %d dead blocks\n"
+        r.Engine.tables_recovered r.Engine.recovered_live r.Engine.recovered_evicted
+        r.Engine.dropped_rows r.Engine.dropped_blocks;
+      match Engine.verify_integrity engine with
+      | [] -> Printf.printf "  integrity: OK\n"
+      | vs ->
+        Printf.printf "  integrity: %d VIOLATIONS\n" (List.length vs);
+        List.iter (fun v -> Printf.printf "    %s\n" v) vs)
+    benchmarks
+
 (* --- Table 4: index-type survey (documentation table) --- *)
 
 let table4 () =

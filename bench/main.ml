@@ -22,6 +22,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig7", Micro.fig7);
     ("fig8", Dbms.fig8);
     ("fig9", Dbms.fig9);
+    ("faults", Dbms.faults);
     ("fig11", Micro.fig11);
     ("fig12", Micro.fig12);
     ("fig13", Micro.fig13);
@@ -32,7 +33,7 @@ let experiments : (string * (unit -> unit)) list =
   ]
 
 let all_order =
-  [ "table4"; "table2"; "fig5"; "fig6"; "fig7"; "fig11"; "fig12"; "fig13"; "ext-merge"; "ablation"; "appendixA"; "table1"; "fig8"; "table3"; "fig9" ]
+  [ "table4"; "table2"; "fig5"; "fig6"; "fig7"; "fig11"; "fig12"; "fig13"; "ext-merge"; "ablation"; "appendixA"; "table1"; "fig8"; "table3"; "fig9"; "faults" ]
 
 let usage () =
   Printf.printf "usage: %s [--scale F] [%s|all]...\n" Sys.argv.(0)

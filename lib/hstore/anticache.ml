@@ -6,8 +6,15 @@
    restarts.  Index keys for evicted tuples stay in memory, exactly as in
    H-Store.
 
-   The "disk" is a block store with a per-fetch latency penalty standing in
-   for the paper's 7200 RPM SATA drive (DESIGN.md §3). *)
+   The "disk" is a byte-oriented block store: blocks are serialized to a
+   binary payload guarded by a CRC-32 checksum, and every fetch pays a
+   latency penalty standing in for the paper's 7200 RPM SATA drive
+   (DESIGN.md §3).  Unlike the paper's perfectly reliable device, this
+   store has a fault model (DESIGN.md §8): fetches can fail transiently
+   (retried with exponential backoff), payloads can be corrupted at rest
+   (detected by the checksum and surfaced as a typed [Corrupt] error), and
+   fetches can suffer latency spikes.  Faults are injected deterministically
+   through {!Hi_util.Fault}. *)
 
 type block = {
   block_table : string;
@@ -15,53 +22,314 @@ type block = {
   block_bytes : int;
 }
 
-type t = {
-  mutable blocks : (int, block) Hashtbl.t;
-  mutable next_block : int;
-  mutable disk_bytes : int;
-  mutable evictions : int;
-  mutable fetches : int;
-  fetch_penalty_s : float; (* simulated latency per block fetch *)
+(* --- typed fetch errors --- *)
+
+type error_kind =
+  | Transient (* attempt failed but the block is intact; retryable *)
+  | Corrupt (* checksum mismatch: the block is permanently lost *)
+  | Missing (* no such block in the store *)
+
+let error_kind_name = function Transient -> "transient" | Corrupt -> "corrupt" | Missing -> "missing"
+
+exception Fetch_failed of { block : int; error : error_kind; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Fetch_failed { block; error; attempts } ->
+      Some
+        (Printf.sprintf "Anticache.Fetch_failed(block %d, %s, %d attempts)" block
+           (error_kind_name error) attempts)
+    | _ -> None)
+
+(* --- binary block codec ---
+
+   Payload layout (all integers big-endian):
+     u16 table-name length | table-name bytes
+     i64 modelled block bytes
+     u32 row count
+     per row: i64 rowid | u16 column count
+       per column: u8 tag | Int -> i64 | Float -> i64 bits
+                          | Str -> u32 length, bytes | Null -> nothing *)
+
+let add_u16 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let add_u32 buf n =
+  add_u16 buf ((n lsr 16) land 0xFFFF);
+  add_u16 buf (n land 0xFFFF)
+
+let add_i64 buf n = Buffer.add_int64_be buf (Int64.of_int n)
+
+let encode_block ~table ~rows ~bytes =
+  let buf = Buffer.create 1024 in
+  add_u16 buf (String.length table);
+  Buffer.add_string buf table;
+  add_i64 buf bytes;
+  add_u32 buf (Array.length rows);
+  Array.iter
+    (fun (rowid, vals) ->
+      add_i64 buf rowid;
+      add_u16 buf (Array.length vals);
+      Array.iter
+        (fun v ->
+          match (v : Value.t) with
+          | Int x ->
+            Buffer.add_char buf '\000';
+            add_i64 buf x
+          | Float f ->
+            Buffer.add_char buf '\001';
+            Buffer.add_int64_be buf (Int64.bits_of_float f)
+          | Str s ->
+            Buffer.add_char buf '\002';
+            add_u32 buf (String.length s);
+            Buffer.add_string buf s
+          | Null -> Buffer.add_char buf '\003')
+        vals)
+    rows;
+  Buffer.to_bytes buf
+
+exception Decode_error
+
+let decode_block payload =
+  let s = Bytes.unsafe_to_string payload in
+  let pos = ref 0 in
+  let need n = if !pos + n > String.length s then raise Decode_error in
+  let u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let hi = u8 () in
+    (hi lsl 8) lor u8 ()
+  in
+  let u32 () =
+    let hi = u16 () in
+    (hi lsl 16) lor u16 ()
+  in
+  let i64 () =
+    need 8;
+    let v = String.get_int64_be s !pos in
+    pos := !pos + 8;
+    v
+  in
+  let str n =
+    need n;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let table = str (u16 ()) in
+  let bytes = Int64.to_int (i64 ()) in
+  let nrows = u32 () in
+  if nrows > String.length s then raise Decode_error;
+  let rows =
+    Array.init nrows (fun _ ->
+        let rowid = Int64.to_int (i64 ()) in
+        let ncols = u16 () in
+        let vals =
+          Array.init ncols (fun _ ->
+              match u8 () with
+              | 0 -> Value.Int (Int64.to_int (i64 ()))
+              | 1 -> Value.Float (Int64.float_of_bits (i64 ()))
+              | 2 -> Value.Str (str (u32 ()))
+              | 3 -> Value.Null
+              | _ -> raise Decode_error)
+        in
+        (rowid, vals))
+  in
+  if !pos <> String.length s then raise Decode_error;
+  { block_table = table; block_rows = rows; block_bytes = bytes }
+
+(* --- block store --- *)
+
+type stored = { payload : Bytes.t; crc : int32; stored_table : string; stored_bytes : int }
+
+type config = {
+  fetch_penalty_s : float; (* simulated device latency per fetch attempt *)
+  max_retries : int; (* extra attempts after a transient failure *)
+  backoff_base_s : float; (* first retry delay; doubles per retry *)
+  fault : Hi_util.Fault.config option; (* fault schedule; [None] = reliable device *)
+  fault_seed : int;
 }
 
-let create ?(fetch_penalty_s = 0.0005) () =
+let default_config =
+  { fetch_penalty_s = 0.0005; max_retries = 4; backoff_base_s = 0.0002; fault = None; fault_seed = 42 }
+
+type stats = {
+  evictions : int;
+  fetches : int;
+  transient_faults : int; (* transient failures observed on fetch attempts *)
+  retries : int; (* retry attempts performed after transient failures *)
+  corrupt_blocks : int; (* checksum mismatches detected *)
+  lost_blocks : int; (* blocks permanently unrecoverable (corrupt or missing) *)
+  latency_spikes : int; (* injected latency spikes paid *)
+}
+
+type t = {
+  store : (int, stored) Hashtbl.t;
+  mutable next_block : int;
+  mutable disk_bytes : int; (* modelled tuple bytes, as accounted by Fig 9 *)
+  mutable physical_bytes : int; (* serialized payload bytes actually stored *)
+  mutable evictions : int;
+  mutable fetches : int;
+  mutable transient_faults : int;
+  mutable retries : int;
+  mutable corrupt_blocks : int;
+  mutable lost_blocks : int;
+  mutable latency_spikes : int;
+  config : config;
+  fault : Hi_util.Fault.t option;
+  sleep : float -> unit;
+}
+
+let create ?(config = default_config) ?(sleep = Unix.sleepf) () =
   {
-    blocks = Hashtbl.create 256;
+    store = Hashtbl.create 256;
     next_block = 0;
     disk_bytes = 0;
+    physical_bytes = 0;
     evictions = 0;
     fetches = 0;
-    fetch_penalty_s;
+    transient_faults = 0;
+    retries = 0;
+    corrupt_blocks = 0;
+    lost_blocks = 0;
+    latency_spikes = 0;
+    config;
+    fault = Option.map (fun fc -> Hi_util.Fault.create ~config:fc config.fault_seed) config.fault;
+    sleep;
   }
 
 let write_block t ~table ~rows ~bytes =
   let id = t.next_block in
   t.next_block <- id + 1;
-  Hashtbl.replace t.blocks id { block_table = table; block_rows = rows; block_bytes = bytes };
+  let payload = encode_block ~table ~rows ~bytes in
+  let crc = Hi_util.Crc32.bytes payload in
+  (* At-rest corruption is injected after the checksum is computed, so the
+     flip is caught on the next fetch — exactly like real bit rot. *)
+  (match t.fault with
+  | Some f when Hi_util.Fault.corrupt_write f ->
+    let off = Hi_util.Fault.corruption_offset f (Bytes.length payload) in
+    Bytes.set payload off (Char.chr (Char.code (Bytes.get payload off) lxor 0xFF))
+  | _ -> ());
+  Hashtbl.replace t.store id { payload; crc; stored_table = table; stored_bytes = bytes };
   t.disk_bytes <- t.disk_bytes + bytes;
+  t.physical_bytes <- t.physical_bytes + Bytes.length payload;
   t.evictions <- t.evictions + 1;
   id
 
-(* Spin for the simulated device latency: a blocking fetch, like the
-   paper's blocking eviction/uneviction path. *)
-let simulate_latency seconds =
-  if seconds > 0.0 then begin
-    let t0 = Unix.gettimeofday () in
-    while Unix.gettimeofday () -. t0 < seconds do
-      ()
-    done
-  end
+let remove_stored t id (s : stored) =
+  Hashtbl.remove t.store id;
+  t.disk_bytes <- t.disk_bytes - s.stored_bytes;
+  t.physical_bytes <- t.physical_bytes - Bytes.length s.payload
 
+(* Simulated device latency: a blocking fetch, like the paper's blocking
+   eviction/uneviction path.  [sleep] is injectable so tests run without
+   wall-clock stalls. *)
+let pay_latency t =
+  let spike =
+    match t.fault with
+    | Some f ->
+      let s = Hi_util.Fault.latency_spike f in
+      if s > 0.0 then t.latency_spikes <- t.latency_spikes + 1;
+      s
+    | None -> 0.0
+  in
+  let total = t.config.fetch_penalty_s +. spike in
+  if total > 0.0 then t.sleep total
+
+let verified_decode (s : stored) =
+  if Hi_util.Crc32.bytes s.payload <> s.crc then None
+  else match decode_block s.payload with b -> Some b | exception Decode_error -> None
+
+(* Destructive fetch with bounded retry: transient failures back off
+   exponentially and retry up to [max_retries] times; a checksum mismatch
+   is permanent — the block is dropped from the store, counted in
+   [lost_blocks], and surfaced as [Corrupt]. *)
 let fetch_block t id =
-  match Hashtbl.find_opt t.blocks id with
-  | None -> invalid_arg (Printf.sprintf "Anticache.fetch_block: unknown block %d" id)
-  | Some b ->
-    simulate_latency t.fetch_penalty_s;
-    t.fetches <- t.fetches + 1;
-    Hashtbl.remove t.blocks id;
-    t.disk_bytes <- t.disk_bytes - b.block_bytes;
-    b
+  match Hashtbl.find_opt t.store id with
+  | None -> raise (Fetch_failed { block = id; error = Missing; attempts = 0 })
+  | Some s ->
+    let rec attempt n =
+      pay_latency t;
+      let transient = match t.fault with Some f -> Hi_util.Fault.transient_fetch f | None -> false in
+      if transient then begin
+        t.transient_faults <- t.transient_faults + 1;
+        if n >= t.config.max_retries then
+          raise (Fetch_failed { block = id; error = Transient; attempts = n + 1 })
+        else begin
+          t.retries <- t.retries + 1;
+          let backoff = t.config.backoff_base_s *. (2.0 ** float_of_int n) in
+          if backoff > 0.0 then t.sleep backoff;
+          attempt (n + 1)
+        end
+      end
+      else
+        match verified_decode s with
+        | Some b ->
+          t.fetches <- t.fetches + 1;
+          remove_stored t id s;
+          b
+        | None ->
+          t.corrupt_blocks <- t.corrupt_blocks + 1;
+          t.lost_blocks <- t.lost_blocks + 1;
+          remove_stored t id s;
+          raise (Fetch_failed { block = id; error = Corrupt; attempts = n + 1 })
+    in
+    attempt 0
+
+(* Non-destructive verified read, used by the offline recovery scan: pays
+   no latency and sees no transient faults, but a checksum mismatch still
+   drops the block and counts it lost. *)
+let read_block t id =
+  match Hashtbl.find_opt t.store id with
+  | None -> Error Missing
+  | Some s -> (
+    match verified_decode s with
+    | Some b -> Ok b
+    | None ->
+      t.corrupt_blocks <- t.corrupt_blocks + 1;
+      t.lost_blocks <- t.lost_blocks + 1;
+      remove_stored t id s;
+      Error Corrupt)
+
+let drop_block t id =
+  match Hashtbl.find_opt t.store id with
+  | None -> ()
+  | Some s ->
+    remove_stored t id s;
+    t.lost_blocks <- t.lost_blocks + 1
+
+let mem_block t id = Hashtbl.mem t.store id
+let block_ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.store [])
+
+(* Test hook: flip one payload byte of a stored block in place, simulating
+   targeted at-rest corruption without a fault schedule. *)
+let corrupt_block_for_test t id =
+  match Hashtbl.find_opt t.store id with
+  | None -> invalid_arg (Printf.sprintf "Anticache.corrupt_block_for_test: unknown block %d" id)
+  | Some s ->
+    let off = Bytes.length s.payload / 2 in
+    Bytes.set s.payload off (Char.chr (Char.code (Bytes.get s.payload off) lxor 0xFF))
 
 let disk_bytes t = t.disk_bytes
+let physical_bytes t = t.physical_bytes
 let eviction_count t = t.evictions
 let fetch_count t = t.fetches
+let lost_blocks t = t.lost_blocks
+
+let stats t =
+  {
+    evictions = t.evictions;
+    fetches = t.fetches;
+    transient_faults = t.transient_faults;
+    retries = t.retries;
+    corrupt_blocks = t.corrupt_blocks;
+    lost_blocks = t.lost_blocks;
+    latency_spikes = t.latency_spikes;
+  }
+
+let fault_counters t = Option.map Hi_util.Fault.counters t.fault

@@ -1,29 +1,100 @@
 (** Anti-caching block store (paper §7.1; DeBrabant et al., VLDB '13).
 
-    Cold tuples are packed into blocks and written to a simulated disk; a
-    per-fetch latency penalty stands in for the paper's SATA drive
-    (DESIGN.md §3).  Index keys of evicted tuples stay in memory — only
-    the tuple bytes move. *)
+    Cold tuples are packed into blocks, serialized to a checksummed binary
+    payload, and written to a simulated disk; a per-fetch latency penalty
+    stands in for the paper's SATA drive (DESIGN.md §3).  Index keys of
+    evicted tuples stay in memory — only the tuple bytes move.
+
+    Unlike the paper's perfectly reliable device, the store has a fault
+    model (DESIGN.md §8): transient fetch failures are retried with
+    exponential backoff; at-rest corruption is detected by a per-block
+    CRC-32 and surfaced as a typed {!Corrupt} error; latency spikes extend
+    individual fetches.  Faults are injected deterministically via
+    {!Hi_util.Fault}. *)
 
 type block = {
   block_table : string;
   block_rows : (int * Value.t array) array;  (** (rowid, values) pairs *)
-  block_bytes : int;
+  block_bytes : int;  (** modelled tuple bytes (accounting) *)
+}
+
+(** Why a fetch failed. *)
+type error_kind =
+  | Transient  (** attempt failed but the block is intact; retryable *)
+  | Corrupt  (** checksum mismatch: the block is permanently lost *)
+  | Missing  (** no such block in the store *)
+
+val error_kind_name : error_kind -> string
+
+exception Fetch_failed of { block : int; error : error_kind; attempts : int }
+(** Raised by {!fetch_block} when a block cannot be delivered: [Transient]
+    after retries are exhausted, [Corrupt]/[Missing] immediately. *)
+
+type config = {
+  fetch_penalty_s : float;  (** simulated device latency per fetch attempt *)
+  max_retries : int;  (** extra attempts after a transient failure *)
+  backoff_base_s : float;  (** first retry delay; doubles per retry *)
+  fault : Hi_util.Fault.config option;  (** fault schedule; [None] = reliable device *)
+  fault_seed : int;
+}
+
+val default_config : config
+(** 0.5 ms fetch penalty, 4 retries, 0.2 ms base backoff, no faults. *)
+
+(** Cumulative counters, including the fault/retry accounting exported
+    through [Engine.stats]. *)
+type stats = {
+  evictions : int;
+  fetches : int;
+  transient_faults : int;  (** transient failures observed on fetch attempts *)
+  retries : int;  (** retry attempts performed after transient failures *)
+  corrupt_blocks : int;  (** checksum mismatches detected *)
+  lost_blocks : int;  (** blocks permanently unrecoverable *)
+  latency_spikes : int;  (** injected latency spikes paid *)
 }
 
 type t
 
-val create : ?fetch_penalty_s:float -> unit -> t
-(** [fetch_penalty_s] is the simulated device latency per block fetch
-    (default 0.5 ms). *)
+val create : ?config:config -> ?sleep:(float -> unit) -> unit -> t
+(** [sleep] (default [Unix.sleepf]) pays latency penalties and backoff
+    delays; inject [fun _ -> ()] in tests to run without wall-clock
+    stalls. *)
 
 val write_block : t -> table:string -> rows:(int * Value.t array) array -> bytes:int -> int
-(** Evict a block; returns its id. *)
+(** Serialize and checksum a block of evicted rows; returns its id. *)
 
 val fetch_block : t -> int -> block
-(** Blocking fetch: pays the latency penalty, removes the block from disk.
-    @raise Invalid_argument on unknown ids. *)
+(** Blocking destructive fetch: pays the latency penalty per attempt,
+    retries transient faults with exponential backoff, verifies the
+    checksum, and removes the block from the store on success.  A corrupt
+    block is dropped and counted in [lost_blocks].
+    @raise Fetch_failed when the block cannot be delivered. *)
+
+val read_block : t -> int -> (block, error_kind) result
+(** Non-destructive verified read for the offline recovery scan: no
+    latency, no transient faults.  A checksum mismatch drops the block and
+    counts it lost. *)
+
+val drop_block : t -> int -> unit
+(** Give up on a block: remove it and count it in [lost_blocks]. *)
+
+val mem_block : t -> int -> bool
+val block_ids : t -> int list
+
+val corrupt_block_for_test : t -> int -> unit
+(** Flip one payload byte of a stored block (targeted at-rest corruption
+    for tests).  @raise Invalid_argument on unknown ids. *)
 
 val disk_bytes : t -> int
+(** Modelled tuple bytes on disk (Fig 9 accounting). *)
+
+val physical_bytes : t -> int
+(** Serialized payload bytes actually stored. *)
+
 val eviction_count : t -> int
 val fetch_count : t -> int
+val lost_blocks : t -> int
+val stats : t -> stats
+
+val fault_counters : t -> Hi_util.Fault.counters option
+(** Injection counts of the attached fault schedule, when one is set. *)

@@ -28,6 +28,7 @@ type config = {
   eviction_threshold_bytes : int option; (* anti-caching when set *)
   evictable_tables : string list;
   eviction_block_rows : int;
+  anticache : Anticache.config; (* block-store latency/retry/fault policy *)
 }
 
 let default_config =
@@ -37,12 +38,14 @@ let default_config =
     eviction_threshold_bytes = None;
     evictable_tables = [];
     eviction_block_rows = 256;
+    anticache = Anticache.default_config;
   }
 
 type stats = {
   mutable committed : int;
   mutable user_aborts : int;
   mutable evicted_restarts : int;
+  mutable lost_block_aborts : int; (* transactions failed on unrecoverable blocks *)
 }
 
 type t = {
@@ -56,16 +59,16 @@ type t = {
   stats : stats;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?sleep () =
   {
     config;
     tables = Hashtbl.create 16;
     table_order = Hi_util.Vec.create "";
     clock = ref 0;
-    anticache = Anticache.create ();
+    anticache = Anticache.create ~config:config.anticache ?sleep ();
     txns_since_eviction_check = 0;
     undo = [];
-    stats = { committed = 0; user_aborts = 0; evicted_restarts = 0 };
+    stats = { committed = 0; user_aborts = 0; evicted_restarts = 0; lost_block_aborts = 0 };
   }
 
 (* Build one index instance per the engine configuration.  Unique indexes
@@ -224,6 +227,22 @@ let maybe_evict t =
 
 let max_restarts = 32
 
+type txn_error =
+  | Txn_aborted of string (* user abort via {!Abort} *)
+  | Txn_restart_limit of int (* eviction restarts exhausted *)
+  | Txn_block_unavailable of { table : string; block : int; attempts : int }
+      (* transient fetch failures exhausted the retry budget; retryable *)
+  | Txn_block_lost of { table : string; block : int; cause : Anticache.error_kind }
+      (* block permanently unrecoverable; its rows were dropped *)
+
+let txn_error_to_string = function
+  | Txn_aborted reason -> "aborted: " ^ reason
+  | Txn_restart_limit n -> Printf.sprintf "too many eviction restarts (%d)" n
+  | Txn_block_unavailable { table; block; attempts } ->
+    Printf.sprintf "block %d of %s unavailable after %d attempts" block table attempts
+  | Txn_block_lost { table; block; cause } ->
+    Printf.sprintf "block %d of %s lost (%s)" block table (Anticache.error_kind_name cause)
+
 let run t f =
   let rec attempt tries =
     t.undo <- [];
@@ -233,20 +252,81 @@ let run t f =
       t.stats.committed <- t.stats.committed + 1;
       maybe_evict t;
       Ok result
-    | exception Table.Evicted_access { table = tname; block } ->
+    | exception Table.Evicted_access { table = tname; block } -> (
       rollback t;
-      Table.unevict_block (table t tname) t.anticache block;
-      t.stats.evicted_restarts <- t.stats.evicted_restarts + 1;
-      if tries <= 0 then Error "too many eviction restarts" else attempt (tries - 1)
+      match Table.unevict_block (table t tname) t.anticache block with
+      | () ->
+        t.stats.evicted_restarts <- t.stats.evicted_restarts + 1;
+        if tries <= 0 then Error (Txn_restart_limit max_restarts) else attempt (tries - 1)
+      | exception Anticache.Fetch_failed { block; error = Transient; attempts } ->
+        (* the block is intact on disk; the transaction fails but a later
+           retry may succeed once the device recovers *)
+        Error (Txn_block_unavailable { table = tname; block; attempts })
+      | exception Anticache.Fetch_failed { block; error = (Corrupt | Missing) as cause; _ } ->
+        (* graceful degradation: purge the dead block's tombstones and
+           index keys so the rest of the data keeps serving, and fail just
+           this transaction with a typed error *)
+        ignore (Table.drop_evicted_block (table t tname) block);
+        t.stats.lost_block_aborts <- t.stats.lost_block_aborts + 1;
+        Error (Txn_block_lost { table = tname; block; cause }))
     | exception Abort reason ->
       rollback t;
       t.stats.user_aborts <- t.stats.user_aborts + 1;
-      Error reason
+      Error (Txn_aborted reason)
+    | exception e ->
+      (* catch-all: no exception may leave a half-mutated partition with a
+         stale undo log behind *)
+      rollback t;
+      raise e
   in
   attempt max_restarts
 
 (* Force all pending index merges (end-of-benchmark measurement aid). *)
 let flush_indexes t = Hashtbl.iter (fun _ tbl -> Table.flush_indexes tbl) t.tables
 
+(* --- recovery & integrity (DESIGN.md §8) --- *)
+
+type recovery_report = {
+  tables_recovered : int;
+  recovered_live : int;
+  recovered_evicted : int;
+  dropped_rows : int;
+  dropped_blocks : int;
+}
+
+(* Restart/repair entry point: discard any in-flight transaction, then
+   rebuild every table's indexes from the tuple store plus the verified
+   on-disk blocks (Table.recover), dropping tombstones over unreadable
+   blocks. *)
+let recover t =
+  t.undo <- [];
+  List.fold_left
+    (fun acc tbl ->
+      let r = Table.recover tbl t.anticache in
+      {
+        tables_recovered = acc.tables_recovered + 1;
+        recovered_live = acc.recovered_live + r.Table.recovered_live;
+        recovered_evicted = acc.recovered_evicted + r.Table.recovered_evicted;
+        dropped_rows = acc.dropped_rows + r.Table.dropped_rows;
+        dropped_blocks = acc.dropped_blocks + r.Table.dropped_blocks;
+      })
+    {
+      tables_recovered = 0;
+      recovered_live = 0;
+      recovered_evicted = 0;
+      dropped_rows = 0;
+      dropped_blocks = 0;
+    }
+    (tables_in_order t)
+
+(* Check every table's invariants: counters vs. slots, live rows reachable
+   through their primary key, no dangling index entries, tombstones over
+   existing blocks, and the hybrid dual-stage invariants.  Pending merges
+   are flushed first so the dual-stage checks are meaningful. *)
+let verify_integrity t =
+  flush_indexes t;
+  List.concat_map (fun tbl -> Table.verify tbl t.anticache) (tables_in_order t)
+
 let stats t = t.stats
 let anticache t = t.anticache
+let fault_stats t = Anticache.stats t.anticache

@@ -5,7 +5,15 @@
     anti-caching.  Transactions are OCaml functions over the engine; every
     mutation logs an undo closure, so aborts (and accesses to evicted
     tuples, which abort, fetch and restart) roll the partition back
-    exactly. *)
+    exactly.  No exception can leave a half-mutated partition: unexpected
+    exceptions roll back before re-raising.
+
+    The anti-cache block store underneath has a fault model (DESIGN.md
+    §8): transient fetch failures are retried with backoff inside the
+    store; unrecoverable blocks degrade gracefully — the touching
+    transaction fails with a typed {!txn_error}, the dead block's rows are
+    dropped, and the engine keeps serving the remaining data.  {!recover}
+    and {!verify_integrity} provide the restart/repair path. *)
 
 exception Abort of string
 (** Raise inside a transaction to abort it; {!run} returns the reason. *)
@@ -21,6 +29,7 @@ type config = {
   eviction_threshold_bytes : int option;  (** anti-caching when set *)
   evictable_tables : string list;
   eviction_block_rows : int;
+  anticache : Anticache.config;  (** block-store latency/retry/fault policy *)
 }
 
 val default_config : config
@@ -29,11 +38,14 @@ type stats = {
   mutable committed : int;
   mutable user_aborts : int;
   mutable evicted_restarts : int;
+  mutable lost_block_aborts : int;  (** transactions failed on unrecoverable blocks *)
 }
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?sleep:(float -> unit) -> unit -> t
+(** [sleep] is forwarded to the anti-cache block store (see
+    {!Anticache.create}); inject [fun _ -> ()] in tests. *)
 
 val create_table : t -> Schema.t -> Table.t
 (** @raise Invalid_argument on duplicate table names. *)
@@ -52,11 +64,26 @@ val update : t -> Table.t -> int -> (int * Value.t) list -> unit
 val delete : t -> Table.t -> int -> unit
 val read : t -> Table.t -> int -> Value.t array
 
-val run : t -> (t -> 'a) -> ('a, string) result
+(** Why a transaction failed. *)
+type txn_error =
+  | Txn_aborted of string  (** user abort via {!Abort} *)
+  | Txn_restart_limit of int  (** eviction restarts exhausted *)
+  | Txn_block_unavailable of { table : string; block : int; attempts : int }
+      (** transient fetch failures exhausted the retry budget; the block is
+          intact, so retrying the transaction later may succeed *)
+  | Txn_block_lost of { table : string; block : int; cause : Anticache.error_kind }
+      (** the block was permanently unrecoverable (corrupt or missing); its
+          rows were dropped and the engine keeps serving the rest *)
+
+val txn_error_to_string : txn_error -> string
+
+val run : t -> (t -> 'a) -> ('a, txn_error) result
 (** Execute a transaction: commits on normal return; rolls back and
     reports on {!Abort}; on {!Table.Evicted_access} rolls back, fetches
-    the block and restarts.  After a commit the anti-caching eviction
-    manager may run. *)
+    the block and restarts.  Unrecoverable block fetches fail the
+    transaction with a typed error after purging the dead block's rows.
+    Any other exception rolls back and re-raises.  After a commit the
+    anti-caching eviction manager may run. *)
 
 (** {1 Accounting} *)
 
@@ -73,8 +100,34 @@ val memory_breakdown : t -> memory_breakdown
 val flush_indexes : t -> unit
 (** Force all pending hybrid-index merges (measurement aid). *)
 
+(** {1 Recovery & integrity (DESIGN.md §8)} *)
+
+type recovery_report = {
+  tables_recovered : int;
+  recovered_live : int;  (** live rows whose index entries were rebuilt *)
+  recovered_evicted : int;  (** tombstones re-pointed from verified blocks *)
+  dropped_rows : int;  (** rows lost to unreadable blocks *)
+  dropped_blocks : int;  (** blocks found corrupt or missing *)
+}
+
+val recover : t -> recovery_report
+(** Restart/repair entry point: discard any in-flight transaction and
+    rebuild every table's indexes, free lists and tombstone state from the
+    tuple store plus the verified (checksummed) on-disk blocks.  Rows in
+    unreadable blocks are dropped and counted. *)
+
+val verify_integrity : t -> string list
+(** Integrity check over every table and index: counter consistency, live
+    rows reachable through their primary key, no dangling index entries,
+    tombstones only over blocks the store still holds, and the hybrid
+    dual-stage invariants.  Flushes pending merges first.  Returns
+    human-readable violations; [] means consistent. *)
+
 val stats : t -> stats
 val anticache : t -> Anticache.t
+
+val fault_stats : t -> Anticache.stats
+(** Retry/fault counters of the underlying block store. *)
 
 val make_index : config -> unique:bool -> Table.packed_index
 (** The index factory the engine hands to tables (exposed for tests). *)

@@ -25,21 +25,25 @@ type t = {
   schema : Schema.t;
   slots : slot Vec.t;
   free : int Vec.t;
-  pk : index;
-  secondary : index list;
+  mutable pk : index; (* mutable so {!recover} can rebuild from scratch *)
+  mutable secondary : index list;
+  make_index : unique:bool -> packed_index; (* kept for index reconstruction *)
   clock : int ref; (* engine-wide access clock for LRU eviction *)
   mutable live_rows : int;
   mutable evicted_rows : int;
 }
 
+let build_index make_index (def : Schema.index_def) =
+  { def; packed = make_index ~unique:def.idx_unique }
+
 let create ?(clock = ref 0) ~make_index (schema : Schema.t) =
-  let build (def : Schema.index_def) = { def; packed = make_index ~unique:def.idx_unique } in
   {
     schema;
     slots = Vec.create Free;
     free = Vec.create 0;
-    pk = build schema.primary_key;
-    secondary = List.map build schema.secondary;
+    pk = build_index make_index schema.primary_key;
+    secondary = List.map (build_index make_index) schema.secondary;
+    make_index;
     clock;
     live_rows = 0;
     evicted_rows = 0;
@@ -210,6 +214,8 @@ let evict_rows t (ac : Anticache.t) rowids =
   end
 
 let unevict_block t (ac : Anticache.t) block =
+  (* The fetch happens before any table mutation, so a raised
+     {!Anticache.Fetch_failed} leaves the table untouched. *)
   let b = Anticache.fetch_block ac block in
   Array.iter
     (fun (rowid, vals) ->
@@ -220,6 +226,148 @@ let unevict_block t (ac : Anticache.t) block =
         t.evicted_rows <- t.evicted_rows - 1
       | Live _ | Free -> ())
     b.Anticache.block_rows
+
+(* --- fault tolerance: lost blocks, recovery, integrity (DESIGN.md §8) --- *)
+
+(* Remove every index entry pointing at a rowid in [dead]. *)
+let purge_rowids_from_indexes t dead =
+  let purge ix =
+    let (Packed ((module I), i)) = ix.packed in
+    let hits = ref [] in
+    I.iter_sorted i (fun k vs ->
+        Array.iter (fun v -> if Hashtbl.mem dead v then hits := (k, v) :: !hits) vs);
+    List.iter (fun (k, v) -> ignore (I.delete_value i k v)) !hits
+  in
+  purge t.pk;
+  List.iter purge t.secondary
+
+(* Graceful degradation when a block is unrecoverable: free its tombstone
+   slots and drop their index keys, so later transactions see clean misses
+   instead of re-raising on the same dead block.  Returns the number of
+   rows lost. *)
+let drop_evicted_block t block =
+  let dead = Hashtbl.create 16 in
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Evicted_slot b when b = block ->
+      Hashtbl.replace dead rowid ();
+      Vec.set t.slots rowid Free;
+      Vec.push t.free rowid;
+      t.evicted_rows <- t.evicted_rows - 1
+    | Live _ | Evicted_slot _ | Free -> ()
+  done;
+  if Hashtbl.length dead > 0 then purge_rowids_from_indexes t dead;
+  Hashtbl.length dead
+
+type recovery = {
+  recovered_live : int; (* live rows whose index entries were rebuilt *)
+  recovered_evicted : int; (* tombstones re-pointed from verified blocks *)
+  dropped_rows : int; (* rows lost to unreadable blocks *)
+  dropped_blocks : int; (* blocks found corrupt or missing *)
+}
+
+(* Crash-recovery entry point: rebuild every index from scratch out of the
+   live rows plus the rows of every verified (checksummed) on-disk block of
+   this table, exactly as an H-Store restart reconstructs its indexes from
+   the tuple store.  Tombstones whose block is corrupt or missing are
+   dropped and counted.  The free list is rebuilt as well. *)
+let recover t (ac : Anticache.t) =
+  (* verified rows of this table's readable blocks: block -> rowid -> vals *)
+  let block_rows : (int, (int, Value.t array) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  let bad_blocks = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      match Anticache.read_block ac id with
+      | Ok b when b.Anticache.block_table = name t ->
+        let m = Hashtbl.create (Array.length b.Anticache.block_rows) in
+        Array.iter (fun (rowid, vals) -> Hashtbl.replace m rowid vals) b.Anticache.block_rows;
+        Hashtbl.replace block_rows id m
+      | Ok _ -> () (* another table's block *)
+      | Error _ -> Hashtbl.replace bad_blocks id ())
+    (Anticache.block_ids ac);
+  (* fresh indexes *)
+  t.pk <- build_index t.make_index t.schema.Schema.primary_key;
+  t.secondary <- List.map (build_index t.make_index) t.schema.Schema.secondary;
+  Vec.clear t.free;
+  t.live_rows <- 0;
+  t.evicted_rows <- 0;
+  let recovered_live = ref 0 and recovered_evicted = ref 0 and dropped = ref 0 in
+  let index_row rowid vals =
+    ignore (idx_insert_unique t.pk (Schema.key_of_row t.schema t.pk.def vals) rowid);
+    List.iter (fun ix -> idx_insert ix (Schema.key_of_row t.schema ix.def vals) rowid) t.secondary
+  in
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Live row ->
+      index_row rowid row.vals;
+      t.live_rows <- t.live_rows + 1;
+      incr recovered_live
+    | Evicted_slot block -> (
+      match
+        Option.bind (Hashtbl.find_opt block_rows block) (fun m -> Hashtbl.find_opt m rowid)
+      with
+      | Some vals ->
+        (* index keys of evicted tuples stay in memory (paper §7.1) *)
+        index_row rowid vals;
+        t.evicted_rows <- t.evicted_rows + 1;
+        incr recovered_evicted
+      | None ->
+        Hashtbl.replace bad_blocks block ();
+        Vec.set t.slots rowid Free;
+        Vec.push t.free rowid;
+        incr dropped)
+    | Free -> Vec.push t.free rowid
+  done;
+  {
+    recovered_live = !recovered_live;
+    recovered_evicted = !recovered_evicted;
+    dropped_rows = !dropped;
+    dropped_blocks = Hashtbl.length bad_blocks;
+  }
+
+(* Integrity check over the table and its indexes (DESIGN.md §8): returns
+   human-readable violations, [] when consistent.  Walks slots directly so
+   the scan neither bumps access clocks nor trips {!Evicted_access}. *)
+let verify t (ac : Anticache.t) =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := (name t ^ ": " ^ s) :: !violations) fmt in
+  let live = ref 0 and evicted = ref 0 in
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Live row ->
+      incr live;
+      (* every live row must be reachable through its primary key *)
+      let key = Schema.key_of_row t.schema t.pk.def row.vals in
+      if idx_find t.pk key <> Some rowid then bad "live row %d unreachable via primary key" rowid
+    | Evicted_slot block ->
+      incr evicted;
+      (* tombstones must reference blocks the store still holds *)
+      if not (Anticache.mem_block ac block) then
+        bad "tombstone for row %d references dead block %d" rowid block
+    | Free -> ()
+  done;
+  if !live <> t.live_rows then bad "live_rows counter %d, actual %d" t.live_rows !live;
+  if !evicted <> t.evicted_rows then bad "evicted_rows counter %d, actual %d" t.evicted_rows !evicted;
+  (* every index entry must point at an existing (live or evicted) slot,
+     and unique indexes must hold one value per key *)
+  let check_index what ix =
+    let (Packed ((module I), i)) = ix.packed in
+    I.iter_sorted i (fun _k vs ->
+        if ix.def.Schema.idx_unique && Array.length vs > 1 then
+          bad "%s %s holds %d values for one key" what ix.def.Schema.idx_name (Array.length vs);
+        Array.iter
+          (fun v ->
+            let dangling =
+              v < 0 || v >= Vec.length t.slots
+              || match Vec.get t.slots v with Free -> true | Live _ | Evicted_slot _ -> false
+            in
+            if dangling then bad "%s %s entry points at dead rowid %d" what ix.def.Schema.idx_name v)
+          vs);
+    List.iter (fun v -> bad "index %s: %s" ix.def.Schema.idx_name v) (I.check_invariants i)
+  in
+  check_index "primary index" t.pk;
+  List.iter (check_index "secondary index") t.secondary;
+  List.rev !violations
 
 (* --- accounting --- *)
 

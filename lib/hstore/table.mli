@@ -72,7 +72,35 @@ val evict_rows : t -> Anticache.t -> int list -> int option
     returns the block id (or [None] when nothing was evictable). *)
 
 val unevict_block : t -> Anticache.t -> int -> unit
-(** Fetch a block back and reinstate its tuples. *)
+(** Fetch a block back and reinstate its tuples.  The fetch happens before
+    any table mutation, so a raised {!Anticache.Fetch_failed} leaves the
+    table untouched. *)
+
+(** {1 Fault tolerance (DESIGN.md §8)} *)
+
+val drop_evicted_block : t -> int -> int
+(** Give up on an unrecoverable block: free its tombstone slots and remove
+    their index keys, so later transactions see clean misses.  Returns the
+    number of rows lost. *)
+
+type recovery = {
+  recovered_live : int;  (** live rows whose index entries were rebuilt *)
+  recovered_evicted : int;  (** tombstones re-pointed from verified blocks *)
+  dropped_rows : int;  (** rows lost to unreadable blocks *)
+  dropped_blocks : int;  (** blocks found corrupt or missing *)
+}
+
+val recover : t -> Anticache.t -> recovery
+(** Crash-recovery: rebuild all indexes, counters and the free list from
+    the live rows plus this table's verified (checksummed) on-disk blocks;
+    tombstones over unreadable blocks are dropped and counted. *)
+
+val verify : t -> Anticache.t -> string list
+(** Integrity check: counter consistency, live rows reachable through the
+    primary key, no dangling index entries, tombstones only over blocks
+    the store still holds, plus each index's
+    {!Hybrid_index.Index_sig.INDEX.check_invariants}.  Returns
+    human-readable violations; [] means consistent. *)
 
 (** {1 Accounting} *)
 

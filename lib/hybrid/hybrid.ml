@@ -95,6 +95,13 @@ module type S = sig
   val merge_log : t -> (int * float) list
   (** One entry per merge, oldest first: (static-stage bytes before the
       merge, merge duration in seconds) — the Fig 6 series. *)
+
+  val check_invariants : t -> string list
+  (** Dual-stage invariant check, [] when consistent.  Meaningful after a
+      {!force_merge}: every tombstone must shadow a static-resident key,
+      and (primary indexes) no key may be live in both stages — between
+      merges a primary-key delete+reinsert legitimately leaves a stale,
+      logically-dead static entry behind, which the next merge collects. *)
 end
 
 module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
@@ -398,6 +405,19 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     rebuild_bloom t
 
   let merge_log t = List.rev t.merge_log
+
+  let check_invariants t =
+    let violations = ref [] in
+    Hashtbl.iter
+      (fun k () ->
+        if not (S.mem t.stat k) then
+          violations := Printf.sprintf "tombstone over non-static key %S" k :: !violations)
+      t.tombstones;
+    if t.config.kind = Primary then
+      D.iter_sorted t.dyn (fun k _ ->
+          if (not (tombstoned t k)) && S.mem t.stat k then
+            violations := Printf.sprintf "primary key %S live in both stages" k :: !violations);
+    List.rev !violations
 
   let stats t =
     {

@@ -30,6 +30,11 @@ module type INDEX = sig
   val flush : t -> unit
   (** Force pending migrations (a merge for hybrid indexes; no-op for plain
       structures). *)
+
+  val check_invariants : t -> string list
+  (** Structural self-check, [] when consistent.  For hybrid indexes this
+      verifies the dual-stage invariants (see {!Hybrid.S.check_invariants});
+      plain structures have nothing to check. *)
 end
 
 type index = (module INDEX)
@@ -46,6 +51,7 @@ module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
     end
 
   let flush _ = ()
+  let check_invariants _ = []
 end
 
 (** Instantiate a hybrid index with a fixed configuration as {!INDEX}. *)
@@ -75,4 +81,5 @@ module Of_hybrid
   let clear = H.clear
   let memory_bytes = H.memory_bytes
   let flush = H.force_merge
+  let check_invariants = H.check_invariants
 end

@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.  Guards every
+   anti-caching block against at-rest corruption: the checksum is computed
+   when a block is written and re-verified on every fetch, so a flipped
+   byte on the simulated cold store surfaces as a typed [Corrupt] error
+   instead of silently reinstating garbage tuples. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then invalid_arg "Crc32.update: range";
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string s = update 0l s 0 (String.length s)
+let bytes b = string (Bytes.unsafe_to_string b)

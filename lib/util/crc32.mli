@@ -1,0 +1,15 @@
+(** CRC-32 checksum (IEEE 802.3 polynomial, reflected).
+
+    Used by the anti-caching block store to detect at-rest corruption of
+    evicted blocks: checksums are computed on write and re-verified on
+    every fetch. *)
+
+val string : string -> int32
+(** Checksum of a whole string.  [string "123456789" = 0xCBF43926l]. *)
+
+val bytes : bytes -> int32
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] over [len] bytes of [s] starting
+    at [pos], so checksums can be computed incrementally.
+    @raise Invalid_argument when the range is out of bounds. *)

@@ -1,0 +1,74 @@
+(* Deterministic fault injection for the storage path.
+
+   A [Fault.t] is a seeded decision source (driven by {!Xorshift}) that the
+   anti-caching block store consults on every write and fetch.  Three fault
+   classes model what a real cold store exhibits:
+
+   - transient fetch failures (a read that fails now but succeeds on retry,
+     like an I/O timeout);
+   - permanent block corruption (a byte flipped at rest, detected later by
+     the block checksum);
+   - latency spikes (a fetch that takes much longer than the device's
+     nominal latency).
+
+   All decisions flow from one integer seed, so a fault schedule replays
+   identically across runs — tests assert exact outcomes and benchmarks
+   compare configurations under the same schedule. *)
+
+type config = {
+  transient_fetch_p : float; (* per-fetch-attempt probability of a transient failure *)
+  corrupt_block_p : float; (* per-write probability the stored block is corrupted *)
+  latency_spike_p : float; (* per-fetch probability of a latency spike *)
+  latency_spike_s : float; (* duration of an injected spike, seconds *)
+}
+
+let no_faults =
+  { transient_fetch_p = 0.0; corrupt_block_p = 0.0; latency_spike_p = 0.0; latency_spike_s = 0.0 }
+
+type t = {
+  config : config;
+  rng : Xorshift.t;
+  mutable transient_injected : int;
+  mutable corruptions_injected : int;
+  mutable spikes_injected : int;
+}
+
+let create ?(config = no_faults) seed = {
+  config;
+  rng = Xorshift.create seed;
+  transient_injected = 0;
+  corruptions_injected = 0;
+  spikes_injected = 0;
+}
+
+let roll t p = p > 0.0 && Xorshift.float01 t.rng < p
+
+let transient_fetch t =
+  let hit = roll t t.config.transient_fetch_p in
+  if hit then t.transient_injected <- t.transient_injected + 1;
+  hit
+
+let corrupt_write t =
+  let hit = roll t t.config.corrupt_block_p in
+  if hit then t.corruptions_injected <- t.corruptions_injected + 1;
+  hit
+
+(* Extra seconds of latency to add to this fetch (0.0 most of the time). *)
+let latency_spike t =
+  if roll t t.config.latency_spike_p then begin
+    t.spikes_injected <- t.spikes_injected + 1;
+    t.config.latency_spike_s
+  end
+  else 0.0
+
+(* Position used to pick which byte of a block's payload gets flipped. *)
+let corruption_offset t len = if len <= 0 then 0 else Xorshift.int t.rng len
+
+type counters = { transient_injected : int; corruptions_injected : int; spikes_injected : int }
+
+let counters (t : t) =
+  {
+    transient_injected = t.transient_injected;
+    corruptions_injected = t.corruptions_injected;
+    spikes_injected = t.spikes_injected;
+  }

@@ -1,0 +1,40 @@
+(** Deterministic fault injection for the storage path.
+
+    A seeded decision source (driven by {!Xorshift}) consulted by the
+    anti-caching block store on every write and fetch.  Models transient
+    fetch failures, permanent at-rest block corruption, and latency
+    spikes.  All decisions derive from one integer seed, so a fault
+    schedule replays identically across runs. *)
+
+type config = {
+  transient_fetch_p : float;  (** per-fetch-attempt probability of a transient failure *)
+  corrupt_block_p : float;  (** per-write probability the stored block is corrupted *)
+  latency_spike_p : float;  (** per-fetch probability of a latency spike *)
+  latency_spike_s : float;  (** duration of an injected spike, seconds *)
+}
+
+val no_faults : config
+(** All probabilities zero. *)
+
+type t
+
+val create : ?config:config -> int -> t
+(** [create ~config seed] — decisions are a pure function of [seed] and
+    the call sequence. *)
+
+val transient_fetch : t -> bool
+(** Should this fetch attempt fail transiently? *)
+
+val corrupt_write : t -> bool
+(** Should this block be corrupted at rest? *)
+
+val latency_spike : t -> float
+(** Extra seconds of latency for this fetch ([0.0] most of the time). *)
+
+val corruption_offset : t -> int -> int
+(** [corruption_offset t len] picks the payload byte to flip. *)
+
+(** Injection counts, for reporting faults injected vs. faults survived. *)
+type counters = { transient_injected : int; corruptions_injected : int; spikes_injected : int }
+
+val counters : t -> counters

@@ -22,7 +22,7 @@ val post_article : state -> Hi_hstore.Engine.t -> unit
 val post_comment : state -> Hi_hstore.Engine.t -> unit
 val update_rating : state -> Hi_hstore.Engine.t -> unit
 
-val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+val transaction : state -> Hi_hstore.Engine.t -> (unit, Hi_hstore.Engine.txn_error) result
 (** 50 % article reads, 10 % user pages, 28 % comments, 2 % submissions,
     10 % rating updates. *)
 

@@ -16,7 +16,7 @@ val setup : ?scale:scale -> Hi_hstore.Engine.t -> state
 (** Create the nine tables and load warehouses, districts, customers,
     items, stock and one initial order per customer. *)
 
-val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+val transaction : state -> Hi_hstore.Engine.t -> (unit, Hi_hstore.Engine.txn_error) result
 (** Execute one transaction drawn from the standard mix. *)
 
 (** Individual stored procedures (run them via {!Hi_hstore.Engine.run}). *)

@@ -16,7 +16,7 @@ val vote : state -> Hi_hstore.Engine.t -> unit
     per-phone limit (raising {!Hi_hstore.Engine.Abort} beyond it), records
     the vote and bumps the total. *)
 
-val transaction : state -> Hi_hstore.Engine.t -> (unit, string) result
+val transaction : state -> Hi_hstore.Engine.t -> (unit, Hi_hstore.Engine.txn_error) result
 
 val check_consistency : Hi_hstore.Engine.t -> bool
 (** Sum of contestant totals = number of vote rows. *)

@@ -1,0 +1,418 @@
+(* Fault-injection and crash-recovery tests for the anti-caching storage
+   path (DESIGN.md §8): checksummed block store, transient-fault retry,
+   graceful degradation on corrupt/missing blocks, the abort-and-restart
+   protocol, and index reconstruction via Engine.recover.
+
+   Every test is deterministic: fault schedules are seeded through
+   Hi_util.Fault and all sleeps are injected as no-ops, so the suite runs
+   without wall-clock stalls. *)
+
+open Hi_hstore
+open Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let no_sleep _ = ()
+
+(* Block-store config for tests: no latency, no backoff delay. *)
+let ac_config ?fault ?(max_retries = 4) () =
+  { Anticache.default_config with fetch_penalty_s = 0.0; backoff_base_s = 0.0; max_retries; fault }
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", TInt); ("owner", TStr 16); ("balance", TInt) ]
+    ~pk:[ "id" ]
+    ~secondary:[ ("accounts_owner_idx", [ "owner"; "id" ], false) ]
+    ()
+
+let engine_config ?fault ?(threshold = 40_000) () =
+  {
+    Engine.default_config with
+    eviction_threshold_bytes = Some threshold;
+    evictable_tables = [ "accounts" ];
+    eviction_block_rows = 64;
+    anticache = ac_config ?fault ();
+  }
+
+(* Insert [n] accounts, one transaction each so the eviction manager runs. *)
+let fill engine tbl n =
+  for i = 1 to n do
+    ignore
+      (Engine.run engine (fun e ->
+           ignore (Engine.insert e tbl [| Int i; Str (Printf.sprintf "owner%d" (i mod 10)); Int i |])))
+  done
+
+let assert_clean engine =
+  match Engine.verify_integrity engine with
+  | [] -> ()
+  | vs -> Alcotest.failf "integrity violations: %s" (String.concat "; " vs)
+
+(* --- block store --- *)
+
+let test_block_roundtrip () =
+  let ac = Anticache.create ~config:(ac_config ()) ~sleep:no_sleep () in
+  let rows =
+    [| (3, [| Int 42; Str "hello"; Float 2.5; Null |]); (9, [| Int (-7); Str ""; Float nan; Int max_int |]) |]
+  in
+  let id = Anticache.write_block ac ~table:"t" ~rows ~bytes:128 in
+  check_int "modelled disk bytes" 128 (Anticache.disk_bytes ac);
+  check "physical bytes tracked" true (Anticache.physical_bytes ac > 0);
+  let b = Anticache.fetch_block ac id in
+  check "table name survives" true (b.Anticache.block_table = "t");
+  check_int "modelled bytes survive" 128 b.Anticache.block_bytes;
+  check_int "row count" 2 (Array.length b.Anticache.block_rows);
+  let rowid0, vals0 = b.Anticache.block_rows.(0) in
+  check_int "rowid" 3 rowid0;
+  check "int value" true (vals0.(0) = Int 42);
+  check "str value" true (vals0.(1) = Str "hello");
+  check "float value" true (vals0.(2) = Float 2.5);
+  check "null value" true (vals0.(3) = Null);
+  let _, vals1 = b.Anticache.block_rows.(1) in
+  check "nan roundtrips" true (match vals1.(2) with Float f -> Float.is_nan f | _ -> false);
+  check "max_int roundtrips" true (vals1.(3) = Int max_int);
+  check_int "disk empty after fetch" 0 (Anticache.disk_bytes ac);
+  check_int "physical empty after fetch" 0 (Anticache.physical_bytes ac)
+
+let test_corrupt_block_detected () =
+  let ac = Anticache.create ~config:(ac_config ()) ~sleep:no_sleep () in
+  let id = Anticache.write_block ac ~table:"t" ~rows:[| (1, [| Int 1 |]) |] ~bytes:32 in
+  Anticache.corrupt_block_for_test ac id;
+  (match Anticache.fetch_block ac id with
+  | _ -> Alcotest.fail "corrupt block delivered"
+  | exception Anticache.Fetch_failed { error = Anticache.Corrupt; block; _ } ->
+    check_int "failing block id" id block);
+  let s = Anticache.stats ac in
+  check_int "corruption counted" 1 s.Anticache.corrupt_blocks;
+  check_int "block counted lost" 1 s.Anticache.lost_blocks;
+  check "block dropped from store" false (Anticache.mem_block ac id);
+  check_int "disk accounting released" 0 (Anticache.disk_bytes ac)
+
+let test_transient_faults_retried () =
+  (* 30% of fetch attempts fail transiently; with 4 retries every block
+     still comes back, and the retry counter records the recoveries *)
+  let fault = { Hi_util.Fault.no_faults with transient_fetch_p = 0.3 } in
+  let ac = Anticache.create ~config:(ac_config ~fault ()) ~sleep:no_sleep () in
+  let ids =
+    List.init 50 (fun i -> (i, Anticache.write_block ac ~table:"t" ~rows:[| (i, [| Int i |]) |] ~bytes:16))
+  in
+  List.iter
+    (fun (i, id) ->
+      let b = Anticache.fetch_block ac id in
+      check "payload intact" true (snd b.Anticache.block_rows.(0) = [| Int i |]))
+    ids;
+  let s = Anticache.stats ac in
+  check "transient faults observed" true (s.Anticache.transient_faults > 0);
+  check "retries performed" true (s.Anticache.retries > 0);
+  check_int "all fetches delivered" 50 s.Anticache.fetches;
+  check_int "zero blocks lost" 0 s.Anticache.lost_blocks
+
+let test_retry_budget_exhausted () =
+  (* a device that always fails: the fetch gives up after 1 + max_retries
+     attempts, and the block stays intact on disk *)
+  let fault = { Hi_util.Fault.no_faults with transient_fetch_p = 1.0 } in
+  let ac = Anticache.create ~config:(ac_config ~fault ~max_retries:2 ()) ~sleep:no_sleep () in
+  let id = Anticache.write_block ac ~table:"t" ~rows:[| (1, [| Int 1 |]) |] ~bytes:16 in
+  (match Anticache.fetch_block ac id with
+  | _ -> Alcotest.fail "fetch should fail"
+  | exception Anticache.Fetch_failed { error = Anticache.Transient; attempts; _ } ->
+    check_int "attempts = 1 + max_retries" 3 attempts);
+  check "block still on disk" true (Anticache.mem_block ac id);
+  check_int "not counted lost" 0 (Anticache.stats ac).Anticache.lost_blocks
+
+let test_backoff_is_exponential () =
+  let fault = { Hi_util.Fault.no_faults with transient_fetch_p = 1.0 } in
+  let config =
+    { (ac_config ~fault ~max_retries:3 ()) with backoff_base_s = 0.1; fetch_penalty_s = 0.0 }
+  in
+  let sleeps = ref [] in
+  let ac = Anticache.create ~config ~sleep:(fun s -> sleeps := s :: !sleeps) () in
+  let id = Anticache.write_block ac ~table:"t" ~rows:[| (1, [| Int 1 |]) |] ~bytes:16 in
+  (try ignore (Anticache.fetch_block ac id) with Anticache.Fetch_failed _ -> ());
+  (* zero-penalty fetches sleep only for backoff: 0.1, 0.2, 0.4 *)
+  Alcotest.(check (list (float 1e-9))) "doubling backoff" [ 0.1; 0.2; 0.4 ] (List.rev !sleeps)
+
+let test_latency_spikes_paid () =
+  let fault = { Hi_util.Fault.no_faults with latency_spike_p = 1.0; latency_spike_s = 0.05 } in
+  let config = { (ac_config ~fault ()) with fetch_penalty_s = 0.001 } in
+  let sleeps = ref [] in
+  let ac = Anticache.create ~config ~sleep:(fun s -> sleeps := s :: !sleeps) () in
+  let id = Anticache.write_block ac ~table:"t" ~rows:[| (1, [| Int 1 |]) |] ~bytes:16 in
+  ignore (Anticache.fetch_block ac id);
+  Alcotest.(check (list (float 1e-9))) "penalty + spike" [ 0.051 ] !sleeps;
+  check_int "spike counted" 1 (Anticache.stats ac).Anticache.latency_spikes
+
+(* --- engine under injected faults (acceptance scenarios) --- *)
+
+(* Read account [i] through a transaction; distinguishes every outcome. *)
+let read_account engine tbl i =
+  Engine.run engine (fun e ->
+      match Table.find_by_pk tbl [ Int i ] with
+      | Some rowid -> Some (as_int (Engine.read e tbl rowid).(2))
+      | None -> None)
+
+let test_workload_survives_transient_faults () =
+  (* every block fetch has a 20% transient failure rate; the workload must
+     complete with zero data loss *)
+  let fault = { Hi_util.Fault.no_faults with transient_fetch_p = 0.2 } in
+  let engine = Engine.create ~config:(engine_config ~fault ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 2_000;
+  check "rows evicted" true (Table.evicted_rows tbl > 0);
+  let rec read_retrying i budget =
+    match read_account engine tbl i with
+    | Ok v -> v
+    | Error (Engine.Txn_block_unavailable _) when budget > 0 ->
+      (* retryable by contract: the block is intact on disk *)
+      read_retrying i (budget - 1)
+    | Error e -> Alcotest.failf "row %d: %s" i (Engine.txn_error_to_string e)
+  in
+  for i = 1 to 2_000 do
+    check "correct value, zero data loss" true (read_retrying i 10 = Some i)
+  done;
+  let s = Engine.fault_stats engine in
+  check "transient faults hit" true (s.Anticache.transient_faults > 0);
+  check "retries absorbed them" true (s.Anticache.retries > 0);
+  check_int "no blocks lost" 0 s.Anticache.lost_blocks;
+  check_int "no lost-block aborts" 0 (Engine.stats engine).Engine.lost_block_aborts;
+  assert_clean engine
+
+let test_corrupt_block_degrades_gracefully () =
+  let engine = Engine.create ~config:(engine_config ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 2_000;
+  check "rows evicted" true (Table.evicted_rows tbl > 0);
+  (* corrupt one on-disk block at rest *)
+  let ac = Engine.anticache engine in
+  let victim = List.hd (Anticache.block_ids ac) in
+  let victim_rows =
+    match Anticache.read_block ac victim with
+    | Ok b -> Array.length b.Anticache.block_rows
+    | Error _ -> Alcotest.fail "victim block unreadable before corruption"
+  in
+  Anticache.corrupt_block_for_test ac victim;
+  let lost_errors = ref 0 and misses = ref 0 and hits = ref 0 in
+  for i = 1 to 2_000 do
+    match read_account engine tbl i with
+    | Ok (Some v) ->
+      incr hits;
+      check_int "served value is correct" i v
+    | Ok None -> incr misses (* row purged with the dead block *)
+    | Error (Engine.Txn_block_lost { cause = Anticache.Corrupt; block; _ }) ->
+      incr lost_errors;
+      check_int "typed error names the corrupt block" victim block
+    | Error e -> Alcotest.failf "row %d: %s" i (Engine.txn_error_to_string e)
+  done;
+  (* exactly one transaction hit the corruption; its block's rows were
+     dropped, everything else kept serving *)
+  check_int "one typed corruption error" 1 !lost_errors;
+  check "dead rows surfaced as misses" true (!misses > 0);
+  check "engine kept serving the rest" true (!hits > 0);
+  check_int "every row accounted for" 2_000 (!hits + !misses + !lost_errors);
+  (* the aborted probe plus every miss = exactly the dead block's rows *)
+  check_int "lost rows match the dropped block" victim_rows (!misses + 1);
+  let s = Engine.fault_stats engine in
+  check_int "checksum mismatch counted" 1 s.Anticache.corrupt_blocks;
+  check_int "block counted in lost_blocks" 1 s.Anticache.lost_blocks;
+  check_int "abort counted" 1 (Engine.stats engine).Engine.lost_block_aborts;
+  assert_clean engine
+
+let test_missing_block_degrades_gracefully () =
+  let engine = Engine.create ~config:(engine_config ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 2_000;
+  let ac = Engine.anticache engine in
+  let victim = List.hd (Anticache.block_ids ac) in
+  (* the cold store silently lost a block *)
+  Anticache.drop_block ac victim;
+  let lost_errors = ref 0 in
+  for i = 1 to 2_000 do
+    match read_account engine tbl i with
+    | Ok _ -> ()
+    | Error (Engine.Txn_block_lost { cause = Anticache.Missing; _ }) -> incr lost_errors
+    | Error e -> Alcotest.failf "row %d: %s" i (Engine.txn_error_to_string e)
+  done;
+  check_int "one typed missing-block error" 1 !lost_errors;
+  assert_clean engine
+
+let test_recover_after_corruption () =
+  let engine = Engine.create ~config:(engine_config ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 2_000;
+  let ac = Engine.anticache engine in
+  let victim = List.hd (Anticache.block_ids ac) in
+  Anticache.corrupt_block_for_test ac victim;
+  (* offline repair instead of waiting for a transaction to trip over it *)
+  let r = Engine.recover engine in
+  check_int "one table recovered" 1 r.Engine.tables_recovered;
+  check_int "one block dropped" 1 r.Engine.dropped_blocks;
+  check "dropped rows counted" true (r.Engine.dropped_rows > 0);
+  check "live rows rebuilt" true (r.Engine.recovered_live > 0);
+  check "evicted tombstones rebuilt" true (r.Engine.recovered_evicted > 0);
+  check_int "row accounting consistent" 2_000
+    (r.Engine.recovered_live + r.Engine.recovered_evicted + r.Engine.dropped_rows);
+  assert_clean engine;
+  (* the surviving data — live and evicted — still serves correctly *)
+  let served = ref 0 in
+  for i = 1 to 2_000 do
+    match read_account engine tbl i with
+    | Ok (Some v) ->
+      incr served;
+      check_int "value correct after recovery" i v
+    | Ok None -> () (* dropped with the corrupt block *)
+    | Error e -> Alcotest.failf "row %d after recovery: %s" i (Engine.txn_error_to_string e)
+  done;
+  check_int "survivors = total - dropped" (2_000 - r.Engine.dropped_rows) !served;
+  check_int "no further lost-block aborts" 0 (Engine.stats engine).Engine.lost_block_aborts
+
+let test_recover_rebuilds_secondary_indexes () =
+  let engine = Engine.create ~config:(engine_config ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 2_000;
+  check "rows evicted" true (Table.evicted_rows tbl > 0);
+  let r = Engine.recover engine in
+  check_int "nothing dropped on a healthy store" 0 r.Engine.dropped_rows;
+  assert_clean engine;
+  (* secondary index rebuilt over live + evicted rows: owner3 owns
+     ids 3, 13, ..., 1993 *)
+  let rowids =
+    Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:10_000
+  in
+  check_int "secondary entries rebuilt" 200 (List.length rowids);
+  for i = 1 to 2_000 do
+    check "pk entry rebuilt" true (Table.find_by_pk tbl [ Int i ] <> None)
+  done
+
+(* --- abort-and-restart protocol --- *)
+
+let test_restart_limit_exhausted () =
+  let engine = Engine.create ~config:(engine_config ~threshold:1_000_000 ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 10;
+  let rowid = match Table.find_by_pk tbl [ Int 1 ] with Some r -> r | None -> assert false in
+  (* a pathological transaction that re-evicts the row it is about to
+     read: every attempt trips Evicted_access until the budget runs out *)
+  let r =
+    Engine.run engine (fun e ->
+        ignore (Table.evict_rows tbl (Engine.anticache e) [ rowid ]);
+        ignore (Engine.read e tbl rowid))
+  in
+  check "restart limit surfaced" true (r = Error (Engine.Txn_restart_limit 32));
+  check_int "every restart counted" 33 (Engine.stats engine).Engine.evicted_restarts;
+  (* the final uneviction left the row live and the table consistent *)
+  check_int "row back in memory" 10 (Table.live_rows tbl);
+  assert_clean engine
+
+let test_user_abort_interleaved_undo () =
+  let engine = Engine.create ~config:(engine_config ~threshold:1_000_000 ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 5;
+  let rowid2 = match Table.find_by_pk tbl [ Int 2 ] with Some r -> r | None -> assert false in
+  let rowid3 = match Table.find_by_pk tbl [ Int 3 ] with Some r -> r | None -> assert false in
+  (* interleave insert/update/delete, including an update of a row
+     inserted in the same transaction, then abort: undo must unwind in
+     exact reverse order *)
+  let r =
+    Engine.run engine (fun e ->
+        let fresh = Engine.insert e tbl [| Int 100; Str "new"; Int 1 |] in
+        Engine.update e tbl rowid2 [ (2, Int 0) ];
+        Engine.delete e tbl rowid3;
+        ignore (Engine.insert e tbl [| Int 3; Str "recycled"; Int 77 |]);
+        Engine.update e tbl fresh [ (2, Int 2) ];
+        Engine.delete e tbl fresh;
+        raise (Engine.Abort "interleaved"))
+  in
+  check "aborted" true (r = Error (Engine.Txn_aborted "interleaved"));
+  check_int "row count restored" 5 (Table.row_count tbl);
+  check "inserted row rolled back" true (Table.find_by_pk tbl [ Int 100 ] = None);
+  (match Table.find_by_pk tbl [ Int 2 ] with
+  | Some r2 -> check_int "update rolled back" 2 (as_int (Table.read tbl r2).(2))
+  | None -> Alcotest.fail "row 2 missing");
+  (match Table.find_by_pk tbl [ Int 3 ] with
+  | Some r3 ->
+    check_int "delete rolled back to original" 3 (as_int (Table.read tbl r3).(2));
+    check "original owner restored" true (as_str (Table.read tbl r3).(1) = "owner3")
+  | None -> Alcotest.fail "row 3 missing");
+  assert_clean engine
+
+let test_eviction_fires_between_transactions () =
+  let engine = Engine.create ~config:(engine_config ~threshold:20_000 ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  (* one big transaction: the eviction manager must not run mid-txn even
+     though the threshold is crossed many times over *)
+  let r =
+    Engine.run engine (fun e ->
+        for i = 1 to 2_000 do
+          ignore (Engine.insert e tbl [| Int i; Str "owner"; Int i |])
+        done;
+        Table.evicted_rows tbl)
+  in
+  check "no eviction inside the transaction" true (r = Ok 0);
+  (* subsequent small transactions cross the eviction-check interval and
+     let the manager catch up *)
+  for i = 2_001 to 2_200 do
+    ignore
+      (Engine.run engine (fun e -> ignore (Engine.insert e tbl [| Int i; Str "owner"; Int i |])))
+  done;
+  check "eviction fired between transactions" true (Table.evicted_rows tbl > 0);
+  assert_clean engine
+
+let test_unexpected_exception_rolls_back () =
+  let engine = Engine.create ~config:(engine_config ~threshold:1_000_000 ()) ~sleep:no_sleep () in
+  let tbl = Engine.create_table engine accounts_schema in
+  fill engine tbl 5;
+  let rowid1 = match Table.find_by_pk tbl [ Int 1 ] with Some r -> r | None -> assert false in
+  (* an exception the engine does not model must still roll back — no
+     partial mutations, no stale undo log *)
+  (match
+     Engine.run engine (fun e ->
+         ignore (Engine.insert e tbl [| Int 100; Str "dirty"; Int 1 |]);
+         Engine.update e tbl rowid1 [ (2, Int 0) ];
+         failwith "unmodelled crash")
+   with
+  | _ -> Alcotest.fail "exception should propagate"
+  | exception Failure msg -> check "original exception preserved" true (msg = "unmodelled crash"));
+  check "partial insert rolled back" true (Table.find_by_pk tbl [ Int 100 ] = None);
+  check_int "partial update rolled back" 1 (as_int (Table.read tbl rowid1).(2));
+  (* the undo log is clean: the next transaction commits normally *)
+  let r = Engine.run engine (fun e -> ignore (Engine.insert e tbl [| Int 200; Str "ok"; Int 1 |])) in
+  check "engine still serves transactions" true (r = Ok ());
+  check_int "exactly the committed rows present" 6 (Table.row_count tbl);
+  assert_clean engine
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "blockstore",
+        [
+          Alcotest.test_case "serialized roundtrip" `Quick test_block_roundtrip;
+          Alcotest.test_case "checksum detects corruption" `Quick test_corrupt_block_detected;
+          Alcotest.test_case "transient faults retried" `Quick test_transient_faults_retried;
+          Alcotest.test_case "retry budget exhausted" `Quick test_retry_budget_exhausted;
+          Alcotest.test_case "exponential backoff" `Quick test_backoff_is_exponential;
+          Alcotest.test_case "latency spikes paid" `Quick test_latency_spikes_paid;
+        ] );
+      ( "engine-faults",
+        [
+          Alcotest.test_case "workload survives transient faults" `Quick
+            test_workload_survives_transient_faults;
+          Alcotest.test_case "corrupt block degrades gracefully" `Quick
+            test_corrupt_block_degrades_gracefully;
+          Alcotest.test_case "missing block degrades gracefully" `Quick
+            test_missing_block_degrades_gracefully;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover after corruption" `Quick test_recover_after_corruption;
+          Alcotest.test_case "recover rebuilds indexes" `Quick test_recover_rebuilds_secondary_indexes;
+        ] );
+      ( "abort-restart",
+        [
+          Alcotest.test_case "restart limit exhausted" `Quick test_restart_limit_exhausted;
+          Alcotest.test_case "interleaved undo ordering" `Quick test_user_abort_interleaved_undo;
+          Alcotest.test_case "eviction fires between transactions" `Quick
+            test_eviction_fires_between_transactions;
+          Alcotest.test_case "unexpected exception rolls back" `Quick
+            test_unexpected_exception_rolls_back;
+        ] );
+    ]

@@ -141,7 +141,7 @@ let test_txn_abort_rolls_back_insert () =
         ignore (Engine.insert e tbl [| Int 100; Str "new"; Int 1 |]);
         raise (Engine.Abort "nope"))
   in
-  check "aborted" true (r = Error "nope");
+  check "aborted" true (r = Error (Engine.Txn_aborted "nope"));
   check "insert rolled back" true (Table.find_by_pk tbl [ Int 100 ] = None);
   check_int "aborts counted" 1 (Engine.stats engine).Engine.user_aborts
 
@@ -157,7 +157,7 @@ let test_txn_abort_rolls_back_update_and_delete () =
         | None -> assert false);
         raise (Engine.Abort "rollback"))
   in
-  check "aborted" true (r = Error "rollback");
+  check "aborted" true (r = Error (Engine.Txn_aborted "rollback"));
   check_int "update rolled back" 100 (as_int (Table.read tbl rowid1).(2));
   check "delete rolled back" true (Table.find_by_pk tbl [ Int 2 ] <> None);
   check_int "row count restored" 5 (Table.row_count tbl)

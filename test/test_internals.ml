@@ -168,12 +168,13 @@ let test_compress_corrupt_stream () =
      with Invalid_argument _ -> true)
 
 let test_anticache_unknown_block () =
-  let ac = Hi_hstore.Anticache.create () in
+  let open Hi_hstore in
+  let ac = Anticache.create () in
   check "unknown block rejected" true
     (try
-       ignore (Hi_hstore.Anticache.fetch_block ac 42);
+       ignore (Anticache.fetch_block ac 42);
        false
-     with Invalid_argument _ -> true)
+     with Anticache.Fetch_failed { error = Anticache.Missing; _ } -> true)
 
 let test_schema_errors () =
   let open Hi_hstore in

@@ -8,6 +8,68 @@ let check_string = Alcotest.(check string)
 
 (* --- Xorshift --- *)
 
+(* --- Crc32 --- *)
+
+let test_crc32_vectors () =
+  (* standard IEEE check values *)
+  Alcotest.(check int32) "check string" 0xCBF43926l (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "");
+  Alcotest.(check int32) "single byte" 0xD202EF8Dl (Crc32.string "\x00")
+
+let test_crc32_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let split = 17 in
+  let partial = Crc32.update 0l s 0 split in
+  (* incremental update over the two halves must equal the one-shot digest *)
+  Alcotest.(check int32) "incremental = one-shot"
+    (Crc32.string s)
+    (Crc32.update partial s split (String.length s - split))
+
+let test_crc32_detects_flips () =
+  let rng = Xorshift.create 99 in
+  for _ = 1 to 200 do
+    let len = 1 + Xorshift.int rng 256 in
+    let b = Bytes.init len (fun _ -> Char.chr (Xorshift.int rng 256)) in
+    let crc = Crc32.bytes b in
+    let off = Xorshift.int rng len in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl Xorshift.int rng 8)));
+    check "single-bit flip detected" true (Crc32.bytes b <> crc)
+  done
+
+(* --- Fault --- *)
+
+let test_fault_deterministic () =
+  let config =
+    { Fault.transient_fetch_p = 0.3; corrupt_block_p = 0.1; latency_spike_p = 0.2; latency_spike_s = 0.01 }
+  in
+  let a = Fault.create ~config 11 and b = Fault.create ~config 11 in
+  for _ = 1 to 1_000 do
+    check "same transient decisions" true (Fault.transient_fetch a = Fault.transient_fetch b);
+    check "same corruption decisions" true (Fault.corrupt_write a = Fault.corrupt_write b);
+    check "same spike decisions" true (Fault.latency_spike a = Fault.latency_spike b)
+  done;
+  check "counters agree" true (Fault.counters a = Fault.counters b)
+
+let test_fault_rates () =
+  let config = { Fault.no_faults with transient_fetch_p = 0.25 } in
+  let f = Fault.create ~config 5 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Fault.transient_fetch f then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check (Printf.sprintf "rate %.3f near 0.25" rate) true (rate > 0.22 && rate < 0.28);
+  check_int "counter matches" !hits (Fault.counters f).Fault.transient_injected
+
+let test_fault_disabled () =
+  let f = Fault.create 1 in
+  for _ = 1 to 1_000 do
+    check "no transient" false (Fault.transient_fetch f);
+    check "no corruption" false (Fault.corrupt_write f);
+    check "no spike" true (Fault.latency_spike f = 0.0)
+  done
+
 let test_rng_deterministic () =
   let a = Xorshift.create 7 and b = Xorshift.create 7 in
   for _ = 1 to 100 do
@@ -315,6 +377,18 @@ let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 let () =
   Alcotest.run "hi_util"
     [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+          Alcotest.test_case "detects bit flips" `Quick test_crc32_detects_flips;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fault_deterministic;
+          Alcotest.test_case "rates" `Quick test_fault_rates;
+          Alcotest.test_case "disabled by default" `Quick test_fault_disabled;
+        ] );
       ( "xorshift",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
