@@ -485,3 +485,67 @@ let node_occupancy t =
   in
   (match t.root with None -> () | Some node -> walk node);
   if !slots = 0 then 0.0 else float_of_int !used /. float_of_int !slots
+
+(* --- structural self-check (differential-testing harness support) ---
+
+   Checks child-count/layout consistency, sorted child bytes in L4/L16,
+   L48 index-slot injectivity, path-compression invariants (no collapsible
+   one-child chain without a terminal), leaf reachability (every leaf key
+   extends the byte path used to reach it), and entry accounting. *)
+let check_structure t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n_entries = ref 0 in
+  let check_leaf l path ~terminal =
+    if Array.length l.lvalues = 0 then err "leaf %S has empty value array" l.lkey;
+    n_entries := !n_entries + Array.length l.lvalues;
+    if terminal then begin
+      if l.lkey <> path then err "terminal leaf key %S <> node path %S" l.lkey path
+    end
+    else begin
+      let plen = String.length path in
+      if String.length l.lkey < plen || String.sub l.lkey 0 plen <> path then
+        err "leaf key %S unreachable via byte path %S" l.lkey path
+    end
+  in
+  let rec walk node path =
+    match node with
+    | Leaf l -> check_leaf l path ~terminal:false
+    | Inner n ->
+      let path = path ^ n.prefix in
+      (match n.term with Some l -> check_leaf l path ~terminal:true | None -> ());
+      let live =
+        match n.layout with
+        | L4 (keys, _) | L16 (keys, _) ->
+          let cap = match n.layout with L4 _ -> 4 | _ -> 16 in
+          if n.count > cap then err "count %d exceeds layout capacity %d" n.count cap;
+          for i = 0 to min n.count cap - 2 do
+            if keys.(i) >= keys.(i + 1) then
+              err "child bytes not strictly sorted at %S: %C >= %C" path keys.(i) keys.(i + 1)
+          done;
+          min n.count cap
+        | L48 (index, _) ->
+          let seen = Array.make 48 false in
+          let live = ref 0 in
+          Array.iteri
+            (fun c slot ->
+              if slot >= 0 then begin
+                if slot >= 48 then err "L48 slot %d out of range for byte %d" slot c
+                else if seen.(slot) then err "L48 slot %d aliased (byte %d)" slot c
+                else seen.(slot) <- true;
+                incr live
+              end)
+            index;
+          !live
+        | L256 children ->
+          Array.fold_left (fun acc ch -> match ch with Some _ -> acc + 1 | None -> acc) 0 children
+      in
+      if live <> n.count then err "node at %S: count %d <> live children %d" path n.count live;
+      if n.count = 0 && n.term = None then err "node at %S has no children and no terminal" path;
+      if n.count = 0 && n.term <> None then err "uncollapsed terminal-only node at %S" path;
+      if n.count = 1 && n.term = None then err "uncollapsed one-child chain at %S" path;
+      iter_children n (fun c ch -> walk ch (path ^ String.make 1 c))
+  in
+  (match t.root with None -> () | Some node -> walk node "");
+  if !n_entries <> t.entries then err "entry counter %d <> actual %d" t.entries !n_entries;
+  List.rev !errs

@@ -36,3 +36,8 @@ val memory_bytes : t -> int
 val node_occupancy : t -> float
 (** Average child-slot fill across inner nodes (~0.51 for random 64-bit
     keys, §4.2). *)
+
+val check_structure : t -> string list
+(** Structural invariant self-check: child-count/layout consistency,
+    sorted child bytes, path-compression invariants, leaf reachability,
+    entry accounting.  [] when consistent. *)

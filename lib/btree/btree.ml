@@ -331,3 +331,79 @@ let leaf_occupancy t =
   float_of_int !used /. float_of_int !slots
 
 let node_counts t = (t.inners, t.leaves)
+
+(* --- structural self-check (differential-testing harness support) ---
+
+   Checks the invariants that survive this tree's lazy deletion policy:
+   per-node key ordering, separator bounds (inclusive on both sides, since
+   duplicate keys may straddle a separator), fill upper bounds, counter
+   accounting, and agreement between the leaf chain and the in-order leaf
+   sequence.  Minimum-fill is deliberately not checked: deletes never
+   rebalance. *)
+let check_structure t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let leaves_seen = ref [] in
+  let n_leaves = ref 0 and n_inners = ref 0 and n_entries = ref 0 in
+  let rec walk node lo hi =
+    match node with
+    | Leaf l ->
+      incr n_leaves;
+      leaves_seen := l :: !leaves_seen;
+      n_entries := !n_entries + l.ln;
+      if l.ln < 0 || l.ln > leaf_capacity then
+        err "leaf fill %d outside [0,%d]" l.ln leaf_capacity;
+      for i = 0 to l.ln - 2 do
+        if String.compare l.lkeys.(i) l.lkeys.(i + 1) > 0 then
+          err "leaf keys unsorted: %S > %S" l.lkeys.(i) l.lkeys.(i + 1)
+      done;
+      if l.ln > 0 then begin
+        (match lo with
+        | Some b when String.compare l.lkeys.(0) b < 0 ->
+          err "leaf key %S below separator %S" l.lkeys.(0) b
+        | _ -> ());
+        match hi with
+        | Some b when String.compare l.lkeys.(l.ln - 1) b > 0 ->
+          err "leaf key %S above separator %S" l.lkeys.(l.ln - 1) b
+        | _ -> ()
+      end
+    | Inner n ->
+      incr n_inners;
+      if n.ik < 1 || n.ik > max_inner_keys then
+        err "inner key count %d outside [1,%d]" n.ik max_inner_keys;
+      for i = 0 to n.ik - 2 do
+        if String.compare n.ikeys.(i) n.ikeys.(i + 1) > 0 then
+          err "inner separators unsorted: %S > %S" n.ikeys.(i) n.ikeys.(i + 1)
+      done;
+      for i = 0 to n.ik do
+        let lo' = if i = 0 then lo else Some n.ikeys.(i - 1) in
+        let hi' = if i = n.ik then hi else Some n.ikeys.(i) in
+        walk n.children.(i) lo' hi'
+      done
+  in
+  walk t.root None None;
+  if !n_leaves <> t.leaves then err "leaf counter %d <> actual %d" t.leaves !n_leaves;
+  if !n_inners <> t.inners then err "inner counter %d <> actual %d" t.inners !n_inners;
+  if !n_entries <> t.entries then err "entry counter %d <> actual %d" t.entries !n_entries;
+  let inorder = List.rev !leaves_seen in
+  let rec chain l acc =
+    match l.next with None -> List.rev (l :: acc) | Some nxt -> chain nxt (l :: acc)
+  in
+  let chained = chain (leftmost_leaf t) [] in
+  if List.length chained <> List.length inorder then
+    err "leaf chain length %d <> in-order leaf count %d" (List.length chained)
+      (List.length inorder)
+  else if not (List.for_all2 ( == ) chained inorder) then
+    err "leaf chain disagrees with in-order leaf sequence";
+  let last = ref None in
+  List.iter
+    (fun l ->
+      if l.ln > 0 then begin
+        (match !last with
+        | Some k when String.compare k l.lkeys.(0) > 0 ->
+          err "leaf chain key order broken across leaves: %S > %S" k l.lkeys.(0)
+        | _ -> ());
+        last := Some l.lkeys.(l.ln - 1)
+      end)
+    chained;
+  List.rev !errs

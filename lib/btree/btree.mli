@@ -56,3 +56,8 @@ val node_counts : t -> int * int
 
 val leaf_capacity : int
 (** Slots per leaf (32 with 512-byte nodes). *)
+
+val check_structure : t -> string list
+(** Structural invariant self-check: node key ordering, separator bounds,
+    fill upper bounds, leaf-chain/tree-order agreement, counter
+    accounting.  [] when consistent. *)

@@ -213,8 +213,12 @@ let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~delete
     | Index_intf.Concat -> Some (k, Array.append old_vs new_vs)
   in
   let cmp (a, _) (b, _) = String.compare a b in
-  let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
-  build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+  (* [deleted] applies to pre-existing static entries only; the batch
+     always survives (a deleted key may since have been reinserted) *)
+  let keep =
+    Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq (to_entries t)))
+  in
+  build (Inplace_merge.merge_resolve ~cmp ~resolve keep batch)
 
 (* Modelled layout: block heads (key slots), per-key 1-byte lcp + suffix
    bytes + 2-byte offset, values inline or offset-indexed. *)

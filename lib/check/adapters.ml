@@ -1,0 +1,199 @@
+(* Adapters presenting every remaining structure through Index_sig.INDEX so
+   the Runner can drive it.
+
+   Of_static is deliberately brutal: every mutation goes through S.merge
+   with a tiny batch, so a property run over a static structure exercises
+   its merge path (Replace and Concat resolution, tombstone filtering,
+   no-loss/no-duplication) once per operation instead of once per hybrid
+   merge epoch. *)
+
+open Hi_index
+
+let drop_first v vs =
+  let removed = ref false in
+  List.filter
+    (fun x ->
+      if (not !removed) && x = v then begin
+        removed := true;
+        false
+      end
+      else true)
+    vs
+
+(* Static sortedness / accounting self-check shared by the static adapter
+   (the "compact-variant sortedness" invariant). *)
+let static_check (type s) (module S : Index_intf.STATIC with type t = s) (s : s) =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let prev = ref None in
+  let keys = ref 0 and entries = ref 0 in
+  S.iter_sorted s (fun k vs ->
+      incr keys;
+      entries := !entries + Array.length vs;
+      if Array.length vs = 0 then add "key %S has empty value group" k;
+      (match !prev with
+      | Some p when String.compare p k >= 0 -> add "keys not strictly sorted: %S then %S" p k
+      | _ -> ());
+      prev := Some k);
+  if !keys <> S.key_count s then add "key_count %d <> iterated keys %d" (S.key_count s) !keys;
+  if !entries <> S.entry_count s then
+    add "entry_count %d <> iterated entries %d" (S.entry_count s) !entries;
+  List.rev !errs
+
+module Of_static
+    (S : Index_intf.STATIC)
+    (M : sig
+      val mode : Index_intf.merge_mode
+    end) : Hybrid_index.Index_sig.INDEX = struct
+  type t = { mutable s : S.t }
+
+  let mode_tag = match M.mode with Index_intf.Replace -> "replace" | Index_intf.Concat -> "concat"
+  let name = "static-" ^ S.name ^ "-" ^ mode_tag
+  let create () = { s = S.empty }
+  let no_deletes _ = false
+  let insert t k v = t.s <- S.merge t.s [| (k, [| v |]) |] ~mode:M.mode ~deleted:no_deletes
+
+  let insert_unique t k v =
+    if S.mem t.s k then false
+    else begin
+      t.s <- S.merge t.s [| (k, [| v |]) |] ~mode:Index_intf.Replace ~deleted:no_deletes;
+      true
+    end
+
+  let mem t k = S.mem t.s k
+  let find t k = S.find t.s k
+  let find_all t k = S.find_all t.s k
+  let update t k v = S.update t.s k v
+  let drop_key t k = t.s <- S.merge t.s [||] ~mode:M.mode ~deleted:(String.equal k)
+
+  let delete t k =
+    if S.mem t.s k then begin
+      drop_key t k;
+      true
+    end
+    else false
+
+  let delete_value t k v =
+    let vs = S.find_all t.s k in
+    if List.mem v vs then begin
+      (match drop_first v vs with
+      | [] -> drop_key t k
+      | vs' ->
+        t.s <- S.merge t.s [| (k, Array.of_list vs') |] ~mode:Index_intf.Replace ~deleted:no_deletes);
+      true
+    end
+    else false
+
+  let scan_from t k n = S.scan_from t.s k n
+  let iter_sorted t f = S.iter_sorted t.s f
+  let entry_count t = S.entry_count t.s
+  let clear t = t.s <- S.empty
+  let memory_bytes t = S.memory_bytes t.s
+  let flush _ = ()
+  let check_invariants t = static_check (module S) t.s
+end
+
+(* The equality-only hash index (Appendix A): primary-style semantics, no
+   ordered operations. *)
+module Of_hash : Hybrid_index.Index_sig.INDEX = struct
+  type t = Hash_index.t
+
+  let name = "hash"
+  let create = Hash_index.create
+  let insert = Hash_index.insert (* replaces on duplicate key *)
+
+  let insert_unique t k v =
+    if Hash_index.mem t k then false
+    else begin
+      Hash_index.insert t k v;
+      true
+    end
+
+  let mem = Hash_index.mem
+  let find = Hash_index.find
+  let find_all t k = match Hash_index.find t k with Some v -> [ v ] | None -> []
+
+  let update t k v =
+    if Hash_index.mem t k then begin
+      Hash_index.insert t k v;
+      true
+    end
+    else false
+
+  let delete = Hash_index.delete
+
+  let delete_value t k v =
+    if Hash_index.find t k = Some v then Hash_index.delete t k else false
+
+  let scan_from _ _ _ = []
+  let iter_sorted _ _ = ()
+  let entry_count = Hash_index.entry_count
+  let clear = Hash_index.clear
+  let memory_bytes = Hash_index.memory_bytes
+  let flush _ = ()
+
+  let check_invariants t =
+    (* the table grows at 70% occupancy, so the live load factor must
+       never exceed it *)
+    if Hash_index.entry_count t > 0 && Hash_index.load_factor t > 0.7 then
+      [ Printf.sprintf "load factor %.3f above grow threshold" (Hash_index.load_factor t) ]
+    else []
+end
+
+(* The incremental-merge hybrid exposes a subset of INDEX (no delete_value,
+   no ordered grouped iteration); the missing pieces are synthesized or
+   stubbed, and the Runner only drives it with Unique-profile sequences. *)
+module type INCREMENTAL = sig
+  type t
+
+  val name : string
+  val create : ?config:Hybrid_index.Incremental.config -> unit -> t
+  val insert : t -> string -> int -> unit
+  val insert_unique : t -> string -> int -> bool
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+  val entry_count : t -> int
+  val memory_bytes : t -> int
+  val force_merge : t -> unit
+end
+
+module Of_incremental
+    (H : INCREMENTAL)
+    (C : sig
+      val config : Hybrid_index.Incremental.config
+    end) : Hybrid_index.Index_sig.INDEX = struct
+  type t = H.t
+
+  let name = H.name
+  let create () = H.create ~config:C.config ()
+  let insert = H.insert
+  let insert_unique = H.insert_unique
+  let mem = H.mem
+  let find = H.find
+  let find_all = H.find_all
+  let update = H.update
+  let delete = H.delete
+  let delete_value _ _ _ = false (* not exposed; Unique sequences never emit it *)
+  let scan_from = H.scan_from
+
+  let iter_sorted t f =
+    (* grouped ordered iteration synthesized from the flat scan *)
+    let rec go = function
+      | [] -> ()
+      | (k, v) :: rest ->
+        let same, rest' = List.partition (fun (k', _) -> k' = k) rest in
+        f k (Array.of_list (v :: List.map snd same));
+        go rest'
+    in
+    go (H.scan_from t "" max_int)
+
+  let entry_count = H.entry_count
+  let clear _ = invalid_arg "Of_incremental.clear: not supported"
+  let memory_bytes = H.memory_bytes
+  let flush = H.force_merge
+  let check_invariants _ = []
+end

@@ -1,0 +1,252 @@
+(* Fault-interleaved differential mode: drive the H-Store engine through
+   random transactions (insert batches, updates, deletes, reads, user
+   aborts) under a seeded Hi_util.Fault schedule, against a trivially
+   simple id -> balance oracle.
+
+   Divergence policy mirrors the engine's graceful-degradation contract
+   (DESIGN.md §8): a served value must ALWAYS equal the oracle's; a miss on
+   an oracle-known id is tolerated only under a lossy fault schedule
+   (corrupt_block_p > 0), in which case the oracle is lazily reconciled and
+   the drop counted.  Transient-only schedules must lose nothing.  The run
+   finishes with Engine.recover, a verify_integrity sweep, and a full
+   oracle agreement pass. *)
+
+open Hi_hstore
+open Hi_util
+
+type outcome = {
+  committed : int;
+  user_aborts : int;
+  unavailable_errors : int; (* retry budget exhausted; block intact *)
+  lost_errors : int; (* typed permanent-loss failures *)
+  reconciled_drops : int; (* oracle rows conceded to lost blocks *)
+  transient_faults : int;
+  recovery : Engine.recovery_report;
+  survivors : int; (* oracle rows still served after recovery *)
+  violations : string list;
+}
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", Value.TInt); ("owner", Value.TStr 16); ("balance", Value.TInt) ]
+    ~pk:[ "id" ]
+    ~secondary:[ ("accounts_owner_idx", [ "owner"; "id" ], false) ]
+    ()
+
+let engine_config ~index_kind ~fault ~seed ~threshold =
+  {
+    Engine.index_kind;
+    merge_ratio = 2;
+    eviction_threshold_bytes = Some threshold;
+    evictable_tables = [ "accounts" ];
+    eviction_block_rows = 32;
+    anticache =
+      {
+        Anticache.fetch_penalty_s = 0.0;
+        backoff_base_s = 0.0;
+        max_retries = 4;
+        fault = (if fault = Fault.no_faults then None else Some fault);
+        fault_seed = seed;
+      };
+  }
+
+let run ?(n = 800) ?(threshold = 30_000) ?(index_kind = Engine.Hybrid_config)
+    ~seed ~fault () =
+  let rng = Xorshift.create seed in
+  let lossy = fault.Fault.corrupt_block_p > 0.0 in
+  let engine =
+    Engine.create ~config:(engine_config ~index_kind ~fault ~seed ~threshold) ~sleep:(fun _ -> ()) ()
+  in
+  let tbl = Engine.create_table engine accounts_schema in
+  let oracle : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  let ids = ref [||] and n_ids = ref 0 in
+  let remember id =
+    if !n_ids = Array.length !ids then begin
+      let bigger = Array.make (max 64 (2 * !n_ids)) 0 in
+      Array.blit !ids 0 bigger 0 !n_ids;
+      ids := bigger
+    end;
+    !ids.(!n_ids) <- id;
+    incr n_ids
+  in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let committed = ref 0
+  and user_aborts = ref 0
+  and unavailable = ref 0
+  and lost = ref 0
+  and drops = ref 0 in
+  let next_id = ref 0 in
+  let pick_id () = if !n_ids = 0 then 0 else !ids.(Xorshift.int rng !n_ids) in
+  (* a miss on an id the oracle still holds: data loss, tolerable only
+     under a lossy schedule *)
+  let reconcile_miss what id =
+    if Hashtbl.mem oracle id then begin
+      if lossy then begin
+        Hashtbl.remove oracle id;
+        incr drops
+      end
+      else violate "%s: id %d lost without a lossy fault schedule" what id
+    end
+  in
+  (* run a transaction, absorbing bounded transient-unavailability retries *)
+  let rec attempt budget txn =
+    match Engine.run engine txn with
+    | Error (Engine.Txn_block_unavailable _) when budget > 0 -> attempt (budget - 1) txn
+    | r -> r
+  in
+  let exec step =
+    ignore step;
+    let r = Xorshift.float01 rng in
+    if r < 0.35 || !n_ids = 0 then begin
+      (* insert a small batch in one transaction *)
+      let batch = 1 + Xorshift.int rng 4 in
+      let fresh = List.init batch (fun j -> (!next_id + j, Xorshift.int rng 1_000)) in
+      next_id := !next_id + batch;
+      match
+        attempt 8 (fun e ->
+            List.iter
+              (fun (id, bal) ->
+                ignore
+                  (Engine.insert e tbl
+                     [| Value.Int id; Value.Str (Printf.sprintf "owner%d" (id mod 7)); Value.Int bal |]))
+              fresh)
+      with
+      | Ok () ->
+        incr committed;
+        List.iter
+          (fun (id, bal) ->
+            Hashtbl.replace oracle id bal;
+            remember id)
+          fresh
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error (Engine.Txn_block_lost _) -> incr lost
+      | Error e -> violate "insert batch failed: %s" (Engine.txn_error_to_string e)
+    end
+    else if r < 0.50 then begin
+      (* update a balance *)
+      let id = pick_id () and bal = Xorshift.int rng 1_000 in
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid ->
+              Engine.update e tbl rowid [ (2, Value.Int bal) ];
+              true
+            | None -> false)
+      with
+      | Ok true ->
+        incr committed;
+        if Hashtbl.mem oracle id then Hashtbl.replace oracle id bal
+        else violate "update: engine holds id %d the oracle deleted" id
+      | Ok false -> reconcile_miss "update" id
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error (Engine.Txn_block_lost _) -> incr lost
+      | Error e -> violate "update failed: %s" (Engine.txn_error_to_string e)
+    end
+    else if r < 0.58 then begin
+      (* delete *)
+      let id = pick_id () in
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid ->
+              Engine.delete e tbl rowid;
+              true
+            | None -> false)
+      with
+      | Ok true ->
+        incr committed;
+        if not (Hashtbl.mem oracle id) then
+          violate "delete: engine held id %d the oracle deleted" id;
+        Hashtbl.remove oracle id
+      | Ok false -> reconcile_miss "delete" id
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error (Engine.Txn_block_lost _) -> incr lost
+      | Error e -> violate "delete failed: %s" (Engine.txn_error_to_string e)
+    end
+    else if r < 0.63 then begin
+      (* update then user-abort: the undo log must erase every trace *)
+      let id = pick_id () in
+      match
+        Engine.run engine (fun e ->
+            (match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid -> Engine.update e tbl rowid [ (2, Value.Int (-1)) ]
+            | None -> ());
+            raise (Engine.Abort "property"))
+      with
+      | Error (Engine.Txn_aborted _) -> incr user_aborts
+      | Ok () -> violate "aborted transaction committed"
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error (Engine.Txn_block_lost _) -> incr lost
+      | Error e -> violate "abort transaction failed oddly: %s" (Engine.txn_error_to_string e)
+    end
+    else begin
+      (* read and compare *)
+      let id = pick_id () in
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid -> Some (Value.as_int (Engine.read e tbl rowid).(2))
+            | None -> None)
+      with
+      | Ok (Some v) -> (
+        match Hashtbl.find_opt oracle id with
+        | Some want when want = v -> ()
+        | Some want -> violate "read id %d: engine %d, oracle %d" id v want
+        | None -> violate "read id %d: engine serves a row the oracle deleted" id)
+      | Ok None -> reconcile_miss "read" id
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error (Engine.Txn_block_lost _) -> incr lost
+      | Error e -> violate "read failed: %s" (Engine.txn_error_to_string e)
+    end
+  in
+  for step = 1 to n do
+    exec step;
+    (* periodic mid-run integrity check (forces pending hybrid merges) *)
+    if step mod 197 = 0 then
+      match Engine.verify_integrity engine with
+      | [] -> ()
+      | vs -> violate "mid-run integrity (step %d): %s" step (String.concat "; " vs)
+  done;
+  (* crash-recovery epilogue: rebuild from the tuple store + verified
+     blocks, then demand full oracle agreement on what survived *)
+  let recovery = Engine.recover engine in
+  (match Engine.verify_integrity engine with
+  | [] -> ()
+  | vs -> violate "post-recovery integrity: %s" (String.concat "; " vs));
+  if (not lossy) && recovery.Engine.dropped_rows > 0 then
+    violate "recovery dropped %d rows without a lossy fault schedule" recovery.Engine.dropped_rows;
+  let survivors = ref 0 in
+  Hashtbl.iter
+    (fun id want ->
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid -> Some (Value.as_int (Engine.read e tbl rowid).(2))
+            | None -> None)
+      with
+      | Ok (Some v) ->
+        incr survivors;
+        if v <> want then violate "post-recovery read id %d: engine %d, oracle %d" id v want
+      | Ok None ->
+        if lossy then incr drops
+        else violate "post-recovery: id %d lost without a lossy fault schedule" id
+      | Error (Engine.Txn_block_lost _) when lossy ->
+        (* corruption faults keep firing after recovery; a freshly-lost
+           block is a loss to record, not a divergence *)
+        incr drops
+      | Error (Engine.Txn_block_unavailable _) -> incr unavailable
+      | Error e -> violate "post-recovery read id %d: %s" id (Engine.txn_error_to_string e))
+    oracle;
+  let transient_faults = (Engine.fault_stats engine).Anticache.transient_faults in
+  {
+    committed = !committed;
+    user_aborts = !user_aborts;
+    unavailable_errors = !unavailable;
+    lost_errors = !lost;
+    reconciled_drops = !drops;
+    transient_faults;
+    recovery;
+    survivors = !survivors;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,132 @@
+(* Weighted random command generation for the differential harness.
+
+   Operations reference keys by index into a fixed, sorted key universe, so
+   a sequence is reproducible from (seed, key_type) alone and the shrinker
+   can delete operations without invalidating later ones.
+
+   The universe mixes Key_codec-generated keys with adversarial shapes:
+   the empty key, shared-prefix extension chains (which stress ART path
+   compression and Masstree slice boundaries), prefix truncations, and a
+   doubled-length key.  Sequences interleave adversarial patterns: sorted
+   ascending runs, duplicate-overwrite bursts, delete-then-reinsert pairs,
+   and empty/full-range scans. *)
+
+open Hi_util
+
+type op =
+  | Insert of int * int (* key index, value *)
+  | Insert_unique of int * int
+  | Update of int * int
+  | Delete of int
+  | Delete_value of int * int
+  | Find of int
+  | Find_all of int
+  | Mem of int
+  | Scan of int * int (* key index, max entries *)
+  | Scan_all
+  | Flush
+
+(* Unique = primary-index semantics (insert_unique/update/delete);
+   Dup = secondary-index semantics (blind insert/delete_value; no update,
+   whose "replace the first value" is representation-dependent when value
+   lists split across stages). *)
+type profile = Unique | Dup
+
+let universe ?(size = 56) kt ~seed =
+  let base = Array.to_list (Key_codec.generate_keys ~seed kt size) in
+  let adversarial =
+    base
+    |> List.filteri (fun i _ -> i < 6)
+    |> List.concat_map (fun k ->
+           let truncated =
+             if String.length k > 1 then [ String.sub k 0 (String.length k - 1) ] else []
+           in
+           (k ^ "\000") :: (k ^ "a") :: (k ^ "ab") :: truncated)
+  in
+  let long = match base with k :: _ -> [ k ^ k ^ k ] | [] -> [] in
+  let all = ("" :: base) @ adversarial @ long in
+  let all = List.sort_uniq String.compare all in
+  Array.of_list all
+
+let sequence rng ~profile ~nkeys ~scans ~flushes ~n =
+  let ops = ref [] and count = ref 0 in
+  let push op =
+    ops := op :: !ops;
+    incr count
+  in
+  let ki () = Xorshift.int rng nkeys in
+  let v () = Xorshift.int rng 8 in
+  let ins k = match profile with Dup -> Insert (k, v ()) | Unique -> Insert_unique (k, v ()) in
+  while !count < n do
+    let r = Xorshift.float01 rng in
+    if r < 0.06 then begin
+      (* sorted ascending run (the universe is sorted, so consecutive
+         indexes are consecutive keys) *)
+      let start = ki () and len = 2 + Xorshift.int rng 10 in
+      for j = 0 to len - 1 do
+        push (ins ((start + j) mod nkeys))
+      done
+    end
+    else if r < 0.12 then begin
+      (* duplicate-overwrite burst on one key *)
+      let k = ki () in
+      push (ins k);
+      for _ = 1 to 1 + Xorshift.int rng 3 do
+        match profile with
+        | Dup -> push (Insert (k, v ()))
+        | Unique -> push (Update (k, v ()))
+      done
+    end
+    else if r < 0.18 then begin
+      let k = ki () in
+      push (Delete k);
+      push (ins k)
+    end
+    else if scans && r < 0.23 then begin
+      match Xorshift.int rng 4 with
+      | 0 -> push Scan_all
+      | 1 -> push (Scan (nkeys - 1, 1 + Xorshift.int rng 4)) (* at/past the top: near-empty *)
+      | 2 -> push (Scan (ki (), 0))
+      | _ -> push (Scan (ki (), 1 + Xorshift.int rng 40))
+    end
+    else begin
+      let r2 = Xorshift.float01 rng in
+      match profile with
+      | Dup ->
+        if r2 < 0.30 then push (Insert (ki (), v ()))
+        else if r2 < 0.40 then push (Delete (ki ()))
+        else if r2 < 0.50 then push (Delete_value (ki (), v ()))
+        else if r2 < 0.64 then push (Find (ki ()))
+        else if r2 < 0.76 then push (Find_all (ki ()))
+        else if r2 < 0.84 then push (Mem (ki ()))
+        else if scans && r2 < 0.92 then push (Scan (ki (), 1 + Xorshift.int rng 20))
+        else if flushes && r2 < 0.96 then push Flush
+        else push (Find (ki ()))
+      | Unique ->
+        if r2 < 0.28 then push (Insert_unique (ki (), v ()))
+        else if r2 < 0.42 then push (Update (ki (), v ()))
+        else if r2 < 0.54 then push (Delete (ki ()))
+        else if r2 < 0.68 then push (Find (ki ()))
+        else if r2 < 0.76 then push (Find_all (ki ()))
+        else if r2 < 0.84 then push (Mem (ki ()))
+        else if scans && r2 < 0.92 then push (Scan (ki (), 1 + Xorshift.int rng 20))
+        else if flushes && r2 < 0.96 then push Flush
+        else push (Find (ki ()))
+    end
+  done;
+  Array.of_list (List.rev !ops)
+
+let pp_op ~universe op =
+  let k i = Printf.sprintf "%S" universe.(i) in
+  match op with
+  | Insert (i, v) -> Printf.sprintf "insert %s %d" (k i) v
+  | Insert_unique (i, v) -> Printf.sprintf "insert_unique %s %d" (k i) v
+  | Update (i, v) -> Printf.sprintf "update %s %d" (k i) v
+  | Delete i -> Printf.sprintf "delete %s" (k i)
+  | Delete_value (i, v) -> Printf.sprintf "delete_value %s %d" (k i) v
+  | Find i -> Printf.sprintf "find %s" (k i)
+  | Find_all i -> Printf.sprintf "find_all %s" (k i)
+  | Mem i -> Printf.sprintf "mem %s" (k i)
+  | Scan (i, n) -> Printf.sprintf "scan_from %s %d" (k i) n
+  | Scan_all -> "scan_all"
+  | Flush -> "flush"

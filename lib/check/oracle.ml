@@ -1,18 +1,26 @@
-(* Reference index: a Map-based oracle implementing the DYNAMIC semantics.
-   Property tests run random operation sequences against a real structure
-   and this model and compare observations. *)
+(* Trivially-correct reference model for the differential harness: a sorted
+   Map from key to value list (insertion order).  Deliberately independent
+   of every index implementation under test, including Index_ref — the
+   oracle must share no code with the structures it judges. *)
 
 module M = Map.Make (String)
 
 type t = { mutable map : int list M.t }
 
-let name = "reference"
 let create () = { map = M.empty }
+let clear t = t.map <- M.empty
+let mem t k = M.mem k t.map
 
 let insert t k v =
   t.map <- M.update k (function None -> Some [ v ] | Some vs -> Some (vs @ [ v ])) t.map
 
-let mem t k = M.mem k t.map
+let insert_unique t k v =
+  if M.mem k t.map then false
+  else begin
+    t.map <- M.add k [ v ] t.map;
+    true
+  end
+
 let find t k = match M.find_opt k t.map with Some (v :: _) -> Some v | _ -> None
 let find_all t k = match M.find_opt k t.map with Some vs -> vs | None -> []
 
@@ -46,32 +54,28 @@ let delete_value t k v =
     end
     else false
 
-let scan_from t k n =
-  let _, eq, above = M.split k t.map in
-  let seq =
-    match eq with
-    | None -> M.to_seq above
-    | Some vs -> Seq.cons (k, vs) (M.to_seq above)
-  in
+(* All (key, values) groups with key >= probe, ascending. *)
+let groups_from t probe =
+  M.fold
+    (fun k vs acc -> if String.compare k probe >= 0 then (k, vs) :: acc else acc)
+    t.map []
+  |> List.rev
+
+(* Flat (key, value) scan semantics of DYNAMIC.scan_from. *)
+let scan_from t probe n =
   let out = ref [] and taken = ref 0 in
-  Seq.iter
-    (fun (key, vs) ->
+  List.iter
+    (fun (k, vs) ->
       List.iter
         (fun v ->
           if !taken < n then begin
-            out := (key, v) :: !out;
+            out := (k, v) :: !out;
             incr taken
           end)
         vs)
-    seq;
+    (groups_from t probe);
   List.rev !out
 
-let iter_sorted t f = M.iter (fun k vs -> f k (Array.of_list vs)) t.map
+let dump t = M.bindings t.map
 let entry_count t = M.fold (fun _ vs acc -> acc + List.length vs) t.map 0
-let clear t = t.map <- M.empty
-let memory_bytes _ = 0
-
-(* The Map is correct by construction; only the value-list shape needs a
-   check (no key may map to an empty list). *)
-let check_structure t =
-  M.fold (fun k vs acc -> if vs = [] then Printf.sprintf "key %S maps to []" k :: acc else acc) t.map []
+let key_count t = M.cardinal t.map

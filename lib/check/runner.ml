@@ -1,0 +1,268 @@
+(* Differential runner: executes one Gen.op sequence against an INDEX
+   implementation and the Oracle simultaneously, diffing every observable
+   result, running structural invariant checks, and comparing full dumps at
+   bulk checkpoints.  On divergence the sequence is shrunk greedily to a
+   minimal counterexample.
+
+   Two comparison modes handle the one place where correct implementations
+   may legitimately differ: [Exact] demands identical results everywhere;
+   [Multiset] (for secondary-style hybrid indexes, whose per-key value
+   lists can split and reorder across the dynamic/static stages) compares
+   per-key value multisets and lets [find] return any live value. *)
+
+type cmp = Exact | Multiset
+
+type caps = {
+  scans : bool; (* scan_from / iter_sorted are meaningful *)
+  invariants_anytime : bool; (* check_invariants holds between flushes *)
+  physical_count : bool; (* entry_count may include logically-dead entries *)
+}
+
+let plain_caps = { scans = true; invariants_anytime = true; physical_count = false }
+
+type failure = { step : int; detail : string }
+
+exception Diverged of failure
+
+let pp_entries l =
+  "[" ^ String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "(%S,%d)" k v) l) ^ "]"
+
+let pp_groups l =
+  "["
+  ^ String.concat "; "
+      (List.map
+         (fun (k, vs) ->
+           Printf.sprintf "(%S,[%s])" k (String.concat "," (List.map string_of_int vs)))
+         l)
+  ^ "]"
+
+let pp_opt = function None -> "None" | Some v -> Printf.sprintf "Some %d" v
+let pp_ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+(* got must be a sub-multiset of want *)
+let sub_multiset got want =
+  let rec remove v = function
+    | [] -> None
+    | x :: rest -> if x = v then Some rest else Option.map (fun r -> x :: r) (remove v rest)
+  in
+  let rec go got want =
+    match got with
+    | [] -> true
+    | v :: rest -> ( match remove v want with None -> false | Some want' -> go rest want')
+  in
+  go got want
+
+let same_multiset a b = List.length a = List.length b && sub_multiset a b
+
+(* Flat scan results under multiset semantics: keys must be the consecutive
+   oracle groups from the probe; every fully-emitted group must match as a
+   multiset; the final (possibly truncated) group must be a sub-multiset. *)
+let check_scan_multiset step probe n oracle got =
+  let fail step fmt = Printf.ksprintf (fun s -> raise (Diverged { step; detail = s })) fmt in
+  let want_groups = Oracle.groups_from oracle probe in
+  let total = List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 want_groups in
+  let expect_len = min n total in
+  if List.length got <> expect_len then
+    fail step "scan %S %d: %d entries, oracle has %d" probe n (List.length got) expect_len;
+  let rec group = function
+    | [] -> []
+    | (k, v) :: rest ->
+      let same, rest' = List.partition (fun (k', _) -> k' = k) rest in
+      (* scan output must keep equal keys adjacent; partition across the
+         whole tail would hide an interleaving, so check adjacency first *)
+      let adjacent =
+        let rec leading = function
+          | (k', _) :: tl when k' = k -> leading tl
+          | tl -> tl
+        in
+        List.for_all (fun (k', _) -> k' <> k) (leading rest)
+      in
+      if not adjacent then fail step "scan %S %d: key %S not contiguous in output" probe n k;
+      (k, v :: List.map snd same) :: group rest'
+  in
+  let rec walk got want =
+    match (got, want) with
+    | [], _ -> ()
+    | (k, vs) :: grest, (wk, wvs) :: wrest ->
+      if k <> wk then fail step "scan %S %d: got key %S where oracle has %S" probe n k wk;
+      if grest = [] then begin
+        if not (sub_multiset vs wvs) then
+          fail step "scan %S %d: key %S values %s not within oracle %s" probe n k (pp_ints vs)
+            (pp_ints wvs)
+      end
+      else if not (same_multiset vs wvs) then
+        fail step "scan %S %d: key %S values %s <> oracle %s" probe n k (pp_ints vs) (pp_ints wvs)
+      else walk grest wrest
+    | (k, _) :: _, [] -> fail step "scan %S %d: unexpected key %S past oracle end" probe n k
+  in
+  walk (group got) want_groups
+
+let run (module I : Hybrid_index.Index_sig.INDEX) ~cmp ~caps ~universe
+    ?(checkpoint_every = 64) (ops : Gen.op array) : failure option =
+  let t = I.create () in
+  let o = Oracle.create () in
+  let fail step fmt = Printf.ksprintf (fun s -> raise (Diverged { step; detail = s })) fmt in
+  let key i = universe.(i) in
+  let check_bool step what got want =
+    if got <> want then fail step "%s: got %b, oracle %b" what got want
+  in
+  let invariants step =
+    match I.check_invariants t with
+    | [] -> ()
+    | vs -> fail step "invariants violated: %s" (String.concat "; " vs)
+  in
+  let checkpoint step =
+    if caps.scans then begin
+      let got = ref [] in
+      I.iter_sorted t (fun k vs -> got := (k, Array.to_list vs) :: !got);
+      let got = List.rev !got in
+      let want = Oracle.dump o in
+      let norm =
+        match cmp with
+        | Exact -> fun l -> l
+        | Multiset -> List.map (fun (k, vs) -> (k, List.sort compare vs))
+      in
+      if norm got <> norm want then
+        fail step "checkpoint dump mismatch:\n    index:  %s\n    oracle: %s" (pp_groups got)
+          (pp_groups want)
+    end
+    else begin
+      (* no ordered iteration: fall back to per-key point probes *)
+      List.iter
+        (fun (k, vs) ->
+          let got = I.find_all t k in
+          if List.sort compare got <> List.sort compare vs then
+            fail step "checkpoint find_all %S: %s <> oracle %s" k (pp_ints got) (pp_ints vs))
+        (Oracle.dump o)
+    end;
+    if (not caps.physical_count) && I.entry_count t <> Oracle.entry_count o then
+      fail step "entry_count %d <> oracle %d" (I.entry_count t) (Oracle.entry_count o);
+    if caps.invariants_anytime then invariants step
+  in
+  let exec step op =
+    match op with
+    | Gen.Insert (i, v) ->
+      I.insert t (key i) v;
+      Oracle.insert o (key i) v
+    | Gen.Insert_unique (i, v) ->
+      check_bool step "insert_unique" (I.insert_unique t (key i) v) (Oracle.insert_unique o (key i) v)
+    | Gen.Update (i, v) ->
+      check_bool step "update" (I.update t (key i) v) (Oracle.update o (key i) v)
+    | Gen.Delete i -> check_bool step "delete" (I.delete t (key i)) (Oracle.delete o (key i))
+    | Gen.Delete_value (i, v) ->
+      check_bool step "delete_value" (I.delete_value t (key i) v) (Oracle.delete_value o (key i) v)
+    | Gen.Mem i -> check_bool step "mem" (I.mem t (key i)) (Oracle.mem o (key i))
+    | Gen.Find i -> (
+      let got = I.find t (key i) in
+      match cmp with
+      | Exact ->
+        let want = Oracle.find o (key i) in
+        if got <> want then fail step "find %S: %s, oracle %s" (key i) (pp_opt got) (pp_opt want)
+      | Multiset -> (
+        let live = Oracle.find_all o (key i) in
+        match got with
+        | None -> if live <> [] then fail step "find %S: None, oracle has %s" (key i) (pp_ints live)
+        | Some v ->
+          if not (List.mem v live) then
+            fail step "find %S: Some %d not among oracle %s" (key i) v (pp_ints live)))
+    | Gen.Find_all i ->
+      let got = I.find_all t (key i) in
+      let want = Oracle.find_all o (key i) in
+      let eq = match cmp with Exact -> got = want | Multiset -> same_multiset got want in
+      if not eq then fail step "find_all %S: %s <> oracle %s" (key i) (pp_ints got) (pp_ints want)
+    | Gen.Scan (i, n) ->
+      if caps.scans then begin
+        let got = I.scan_from t (key i) n in
+        match cmp with
+        | Exact ->
+          let want = Oracle.scan_from o (key i) n in
+          if got <> want then
+            fail step "scan_from %S %d:\n    index:  %s\n    oracle: %s" (key i) n
+              (pp_entries got) (pp_entries want)
+        | Multiset -> check_scan_multiset step (key i) n o got
+      end
+    | Gen.Scan_all ->
+      if caps.scans then begin
+        let n = Oracle.entry_count o + 1 in
+        let got = I.scan_from t "" n in
+        match cmp with
+        | Exact ->
+          let want = Oracle.scan_from o "" n in
+          if got <> want then
+            fail step "full scan:\n    index:  %s\n    oracle: %s" (pp_entries got)
+              (pp_entries want)
+        | Multiset -> check_scan_multiset step "" n o got
+      end
+    | Gen.Flush ->
+      I.flush t;
+      (* hybrid dual-stage invariants are only guaranteed right after a
+         merge; flush points are where they must hold for everyone *)
+      invariants step
+  in
+  try
+    Array.iteri
+      (fun step op ->
+        exec step op;
+        if (step + 1) mod checkpoint_every = 0 then checkpoint step)
+      ops;
+    let final = Array.length ops - 1 in
+    I.flush t;
+    invariants final;
+    checkpoint final;
+    None
+  with Diverged f -> Some f
+
+(* Greedy delta-debugging: repeatedly delete the largest window whose
+   removal keeps the sequence failing (any failure qualifies), restarting
+   after every success, until no single-op deletion helps.  Shrink runs
+   diff after every op (checkpoint_every = 1) to fail as early as
+   possible. *)
+let shrink (module I : Hybrid_index.Index_sig.INDEX) ~cmp ~caps ~universe ops failure0 =
+  let try_run ops = run (module I) ~cmp ~caps ~universe ~checkpoint_every:1 ops in
+  let best = ref (ops, failure0) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let ops, _ = !best in
+    let n = Array.length ops in
+    let size = ref (max 1 (n / 2)) in
+    while !size >= 1 && not !improved do
+      let i = ref 0 in
+      while (!i + !size <= n) && not !improved do
+        let cand =
+          Array.append (Array.sub ops 0 !i) (Array.sub ops (!i + !size) (n - !i - !size))
+        in
+        (match try_run cand with
+        | Some f ->
+          best := (cand, f);
+          improved := true
+        | None -> ());
+        i := !i + max 1 !size
+      done;
+      size := !size / 2
+    done
+  done;
+  !best
+
+let report ~name ~seed ~universe (ops, f) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s diverged from the oracle (seed %d, %d-op counterexample):\n" name seed
+       (Array.length ops));
+  Array.iteri
+    (fun i op -> Buffer.add_string b (Printf.sprintf "  %2d. %s\n" (i + 1) (Gen.pp_op ~universe op)))
+    ops;
+  Buffer.add_string b (Printf.sprintf "  divergence at op %d: %s\n" (f.step + 1) f.detail);
+  Buffer.add_string b
+    (Printf.sprintf "  reproduce: HI_CHECK_SEED=%d dune exec test/test_props.exe" seed);
+  Buffer.contents b
+
+(* One harness case: run, and on divergence shrink and return the printed
+   counterexample (None = passed). *)
+let run_case (module I : Hybrid_index.Index_sig.INDEX) ~name ~seed ~cmp ~caps ~universe
+    ?checkpoint_every ops =
+  match run (module I) ~cmp ~caps ~universe ?checkpoint_every ops with
+  | None -> None
+  | Some f ->
+    let minimal = shrink (module I) ~cmp ~caps ~universe ops f in
+    Some (report ~name ~seed ~universe minimal)

@@ -186,7 +186,10 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     Array.of_list (List.rev !out)
 
   (* Partition for merge-cold: migrate the oldest-accessed half, keep the
-     most recently accessed keys in the dynamic stage. *)
+     most recently accessed keys in the dynamic stage.  A primary key whose
+     stale copy sits in the static stage must merge regardless of heat:
+     keeping it in the dynamic stage would leave the stale static entry
+     uncollected (and the key live in both stages) after the merge. *)
   let split_cold t entries =
     let n = Array.length entries in
     let last_access k = match Hashtbl.find_opt t.access k with Some x -> x | None -> 0 in
@@ -194,9 +197,13 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     let sorted_ages = Array.copy ages in
     Array.sort compare sorted_ages;
     let threshold = sorted_ages.(n / 2) in
+    let shadows_static k =
+      t.config.kind = Primary && (not (tombstoned t k)) && S.mem t.stat k
+    in
     let cold = ref [] and hot = ref [] in
     Array.iteri
-      (fun i e -> if ages.(i) <= threshold then cold := e :: !cold else hot := e :: !hot)
+      (fun i ((k, _) as e) ->
+        if ages.(i) <= threshold || shadows_static k then cold := e :: !cold else hot := e :: !hot)
       entries;
     (Array.of_list (List.rev !cold), List.rev !hot)
 
@@ -251,22 +258,25 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     touch t key;
     maybe_merge t
 
-  (* Primary-index insert with the two-stage uniqueness check (§6.4). *)
+  (* Primary-index insert with the two-stage uniqueness check (§6.4).
+     A tombstone on [key] is deliberately kept: it must keep masking the
+     stale static-stage values until the next merge collects them — the
+     reinserted entry lives in the dynamic stage and survives the merge on
+     its own. *)
   let insert_unique t key value =
     let exists =
       (if maybe_in_dynamic t key then D.mem t.dyn key else false) || static_find t key <> None
     in
     if exists then false
     else begin
-      Hashtbl.remove t.tombstones key;
       dynamic_insert t key value;
       true
     end
 
-  (* Secondary-index insert: no uniqueness requirement. *)
-  let insert t key value =
-    Hashtbl.remove t.tombstones key;
-    dynamic_insert t key value
+  (* Secondary-index insert: no uniqueness requirement.  Tombstones are
+     kept for the same reason as in [insert_unique]; dropping one here
+     would resurrect the dead static-stage values of this key. *)
+  let insert t key value = dynamic_insert t key value
 
   let update t key value =
     touch t key;
@@ -324,9 +334,16 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
   let scan_from t key n =
     touch t key;
     let dyn_list = D.scan_from t.dyn key n in
-    let extra = Hashtbl.length t.tombstones in
+    (* over-fetch exactly as many entries as the tombstones mask — a single
+       tombstoned secondary key can hide a whole value list — saturating
+       instead of overflowing for scan-everything callers passing
+       [max_int] *)
+    let extra =
+      Hashtbl.fold (fun k () acc -> acc + List.length (S.find_all t.stat k)) t.tombstones 0
+    in
+    let stat_n = if n > max_int - extra then max_int else n + extra in
     let stat_list =
-      List.filter (fun (k, _) -> not (tombstoned t k)) (S.scan_from t.stat key (n + extra))
+      List.filter (fun (k, _) -> not (tombstoned t k)) (S.scan_from t.stat key stat_n)
     in
     let rec merge_take ds ss acc remaining =
       if remaining = 0 then List.rev acc
@@ -408,15 +425,37 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
 
   let check_invariants t =
     let violations = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
     Hashtbl.iter
-      (fun k () ->
-        if not (S.mem t.stat k) then
-          violations := Printf.sprintf "tombstone over non-static key %S" k :: !violations)
+      (fun k () -> if not (S.mem t.stat k) then add "tombstone over non-static key %S" k)
       t.tombstones;
     if t.config.kind = Primary then
       D.iter_sorted t.dyn (fun k _ ->
           if (not (tombstoned t k)) && S.mem t.stat k then
-            violations := Printf.sprintf "primary key %S live in both stages" k :: !violations);
+            add "primary key %S live in both stages" k);
+    (* the Bloom filter must never give a false negative for a
+       dynamic-stage key, or point lookups would skip live entries *)
+    if t.config.use_bloom then
+      D.iter_sorted t.dyn (fun k _ ->
+          if not (Bloom.mem t.bloom k) then add "bloom false negative on dynamic key %S" k);
+    (* the static stage must hold strictly-sorted keys with non-empty,
+       correctly-counted value groups *)
+    let prev = ref None in
+    let keys = ref 0 and entries = ref 0 in
+    S.iter_sorted t.stat (fun k vs ->
+        incr keys;
+        entries := !entries + Array.length vs;
+        if Array.length vs = 0 then add "static key %S has empty value group" k;
+        (match !prev with
+        | Some p when String.compare p k >= 0 -> add "static keys not strictly sorted: %S then %S" p k
+        | _ -> ());
+        prev := Some k);
+    if !keys <> S.key_count t.stat then
+      add "static key_count %d <> iterated keys %d" (S.key_count t.stat) !keys;
+    if !entries <> S.entry_count t.stat then
+      add "static entry_count %d <> iterated entries %d" (S.entry_count t.stat) !entries;
+    (* dynamic-stage structural self-check *)
+    List.iter (fun v -> add "dynamic: %s" v) (D.check_structure t.dyn);
     List.rev !violations
 
   let stats t =

@@ -68,6 +68,12 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     mutable rest : (string * int array) Seq.t; (* remaining old static entries *)
     mutable rest_head : (string * int array) option;
     out : (string * int array) Vec.t;
+    dead : (string, unit) Hashtbl.t;
+        (* tombstones from before the freeze: they mask (and collect) old
+           static-stage copies only — a key deleted and then reinserted
+           before the merge began carries its live copy in [frozen], which
+           these must not touch.  [t.tombstones] holds only deletes issued
+           while this merge is active; those mask frozen and static both. *)
   }
 
   type t = {
@@ -100,6 +106,12 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     }
 
   let tombstoned t key = Hashtbl.mem t.tombstones key
+
+  (* Is the static-stage copy of [key] logically dead?  Either tombstone
+     generation masks it. *)
+  let static_dead t key =
+    tombstoned t key
+    || (match t.merging with Some ms -> Hashtbl.mem ms.dead key | None -> false)
 
   (* --- frozen-run lookups --- *)
 
@@ -155,7 +167,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
         end
       | None, Some (k, vs) ->
         consume_rest ms;
-        if not (tombstoned t k) then begin
+        if not (tombstoned t k || Hashtbl.mem ms.dead k) then begin
           Vec.push ms.out (k, vs);
           incr emitted
         end
@@ -163,7 +175,11 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
         let c = String.compare fk sk in
         if c <= 0 then begin
           ms.fi <- ms.fi + 1;
-          let vs = if c = 0 then resolve_values t svs fvs else fvs in
+          (* a pre-freeze tombstone kills only the static-side values of
+             the key, never the frozen (reinserted) ones *)
+          let vs =
+            if c = 0 && not (Hashtbl.mem ms.dead fk) then resolve_values t svs fvs else fvs
+          in
           if c = 0 then consume_rest ms;
           if not (tombstoned t fk) then begin
             Vec.push ms.out (fk, vs);
@@ -172,7 +188,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
         end
         else begin
           consume_rest ms;
-          if not (tombstoned t sk) then begin
+          if not (tombstoned t sk || Hashtbl.mem ms.dead sk) then begin
             Vec.push ms.out (sk, svs);
             incr emitted
           end
@@ -212,8 +228,13 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     let frozen = collect_dynamic t in
     D.clear t.dyn;
     rebuild_bloom t;
+    (* split the tombstone generations: everything issued so far applies
+       to the old static stage only (see [merge_state.dead]) *)
+    let dead = Hashtbl.copy t.tombstones in
+    Hashtbl.reset t.tombstones;
     t.merging <-
-      Some { frozen; fi = 0; rest = S.to_seq t.stat; rest_head = None; out = Vec.create ("", [||]) };
+      Some
+        { frozen; fi = 0; rest = S.to_seq t.stat; rest_head = None; out = Vec.create ("", [||]); dead };
     t.merges_started <- t.merges_started + 1
 
   let logical_static_count t =
@@ -237,7 +258,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
 
   let maybe_in_dynamic t key = (not t.config.use_bloom) || Bloom.mem t.bloom key
 
-  let static_find t key = if tombstoned t key then None else S.find t.stat key
+  let static_find t key = if static_dead t key then None else S.find t.stat key
 
   let find t key =
     tick t;
@@ -255,7 +276,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     tick t;
     let dyn_vs = if maybe_in_dynamic t key then D.find_all t.dyn key else [] in
     let frozen_vs = match frozen_find t key with Some vs -> Array.to_list vs | None -> [] in
-    let stat_vs = if tombstoned t key then [] else S.find_all t.stat key in
+    let stat_vs = if static_dead t key then [] else S.find_all t.stat key in
     match t.config.kind with
     | Hybrid.Primary -> (
       match (dyn_vs, frozen_vs) with
@@ -279,14 +300,15 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     in
     if exists then false
     else begin
-      Hashtbl.remove t.tombstones key;
+      (* a tombstone on [key] is kept: it must keep masking the dead
+         frozen/static copies until the merge drops them — the reinserted
+         entry lives in the (new) dynamic stage and is never filtered *)
       dynamic_insert t key value;
       true
     end
 
   let insert t key value =
     tick t;
-    Hashtbl.remove t.tombstones key;
     dynamic_insert t key value
 
   let update t key value =
@@ -318,7 +340,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     let in_later =
       (not (tombstoned t key))
       && ((match t.merging with Some ms -> frozen_index ms key <> None | None -> false)
-         || S.mem t.stat key)
+         || (S.mem t.stat key && not (static_dead t key)))
     in
     if in_later then Hashtbl.replace t.tombstones key ();
     in_dyn || in_later
@@ -351,10 +373,21 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
 
   let scan_from t key n =
     tick t;
-    let extra = Hashtbl.length t.tombstones in
+    (* over-fetch exactly as many entries as the tombstones mask — a single
+       tombstoned secondary key can hide a whole value list — saturating
+       instead of overflowing for scan-everything callers passing
+       [max_int] *)
+    let masked k acc = acc + List.length (S.find_all t.stat k) in
+    let extra =
+      Hashtbl.fold (fun k () acc -> masked k acc) t.tombstones 0
+      + (match t.merging with
+        | Some ms -> Hashtbl.fold (fun k () acc -> masked k acc) ms.dead 0
+        | None -> 0)
+    in
     let dyn_l = D.scan_from t.dyn key n in
     let fro_l = frozen_scan t key n in
-    let sta_l = List.filter (fun (k, _) -> not (tombstoned t k)) (S.scan_from t.stat key (n + extra)) in
+    let sta_n = if n > max_int - extra then max_int else n + extra in
+    let sta_l = List.filter (fun (k, _) -> not (static_dead t k)) (S.scan_from t.stat key sta_n) in
     (* three-way merge with primary-key overwrite priority dyn > frozen > static *)
     let rec merge3 a b c acc remaining =
       if remaining = 0 then List.rev acc

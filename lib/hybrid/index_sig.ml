@@ -51,7 +51,7 @@ module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
     end
 
   let flush _ = ()
-  let check_invariants _ = []
+  let check_invariants = D.check_structure
 end
 
 (** Instantiate a hybrid index with a fixed configuration as {!INDEX}. *)

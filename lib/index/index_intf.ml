@@ -59,6 +59,11 @@ module type DYNAMIC = sig
 
   val memory_bytes : t -> int
   (** Modelled C-layout footprint (see {!Hi_util.Mem_model}). *)
+
+  val check_structure : t -> string list
+  (** Structural invariant self-check: key ordering, node fill bounds,
+      link consistency, entry accounting.  Returns one human-readable
+      message per violation, [] when the structure is consistent. *)
 end
 
 (** Read-only static-stage structure produced by the D-to-S rules (paper
@@ -89,8 +94,11 @@ module type STATIC = sig
 
   val merge : t -> entries -> mode:merge_mode -> deleted:(string -> bool) -> t
   (** Migrate a sorted dynamic-stage batch into a new static structure.
-      Keys satisfying [deleted] are dropped (tombstone collection, paper
-      §3); duplicates resolve per [mode]. *)
+      Pre-existing static entries whose key satisfies [deleted] are dropped
+      (tombstone collection, paper §3); batch entries always survive, since
+      a tombstoned key may have been reinserted after its delete and the
+      batch then carries the only live copy.  Duplicates resolve per
+      [mode]. *)
 
   val memory_bytes : t -> int
 end

@@ -197,9 +197,13 @@ let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~delete
     | Index_intf.Concat -> Some (k, Array.append old_vs new_vs)
   in
   let cmp (a, _) (b, _) = String.compare a b in
-  let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
-  let survivors = Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)) in
-  build survivors
+  (* [deleted] collects tombstones over pre-existing static entries only;
+     batch entries always survive (a deleted key may since have been
+     reinserted into the batch) *)
+  let keep =
+    Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq (to_entries t)))
+  in
+  build (Inplace_merge.merge_resolve ~cmp ~resolve keep batch)
 
 (* Memory accounting hooks: wrappers add their own structural constants. *)
 

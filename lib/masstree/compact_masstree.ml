@@ -343,14 +343,17 @@ let rec merge_cnode node (batch : (string * int array) array) lo hi mode =
   end
 
 let merge t (batch : Index_intf.entries) ~(mode : Index_intf.merge_mode) ~deleted =
-  let has_deletions =
-    Array.exists (fun (k, _) -> deleted k) (to_entries t) || Array.exists (fun (k, _) -> deleted k) batch
-  in
+  (* [deleted] applies to pre-existing static entries only; the batch
+     always survives (a deleted key may since have been reinserted) *)
+  let old_entries = to_entries t in
+  let has_deletions = Array.exists (fun (k, _) -> deleted k) old_entries in
   if has_deletions then begin
     let cmp (a, _) (b, _) = String.compare a b in
     let resolve (k, ov) (_, nv) = Some (k, resolve_values mode ov nv) in
-    let merged = Inplace_merge.merge_resolve ~cmp ~resolve (to_entries t) batch in
-    build (Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq merged)))
+    let keep =
+      Array.of_seq (Seq.filter (fun (k, _) -> not (deleted k)) (Array.to_seq old_entries))
+    in
+    build (Inplace_merge.merge_resolve ~cmp ~resolve keep batch)
   end
   else
     match t.mroot with

@@ -278,3 +278,42 @@ let rec layer_memory layer =
   !bytes
 
 let memory_bytes t = layer_memory t.root
+
+(* --- structural self-check (differential-testing harness support) ---
+
+   Checks per-layer (slice, len) ordering, link/len consistency (Term only
+   for len <= 8, Suf/Sub only for len = 9), non-empty cells and suffixes,
+   eager collapse of empty sub-layers, and entry accounting. *)
+let check_structure t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n_entries = ref 0 in
+  let rec walk layer path depth =
+    if depth > 0 && Layer_tree.size layer = 0 then err "empty sub-layer under %S" path;
+    let prev = ref None in
+    Layer_tree.iter layer (fun s len link ->
+        (match !prev with
+        | Some (ps, plen) ->
+          let c = Int64.unsigned_compare ps s in
+          if c > 0 || (c = 0 && plen >= len) then
+            err "layer entries unsorted under %S: (%Lx,%d) before (%Lx,%d)" path ps plen s len
+        | None -> ());
+        prev := Some (s, len);
+        if len < 0 || len > 9 then err "slice length %d outside [0,9] under %S" len path;
+        match link with
+        | Term c ->
+          if len > 8 then err "Term link with slice length 9 under %S" path;
+          if Array.length c.vals = 0 then err "empty Term cell under %S" path;
+          n_entries := !n_entries + Array.length c.vals
+        | Suf sfx ->
+          if len <> 9 then err "Suf link with slice length %d under %S" len path;
+          if String.length sfx.skey = 0 then err "empty suffix under %S" path;
+          if Array.length sfx.scell.vals = 0 then err "empty Suf cell under %S" path;
+          n_entries := !n_entries + Array.length sfx.scell.vals
+        | Sub sub ->
+          if len <> 9 then err "Sub link with slice length %d under %S" len path;
+          walk sub (path ^ slice_bytes s 8) (depth + 1))
+  in
+  walk t.root "" 0;
+  if !n_entries <> t.entries then err "entry counter %d <> actual %d" t.entries !n_entries;
+  List.rev !errs

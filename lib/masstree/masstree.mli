@@ -36,3 +36,8 @@ val slice_of : string -> int -> int64 * int
 
 val slice_bytes : int64 -> int -> string
 (** First [len] bytes of a slice (exposed for tests). *)
+
+val check_structure : t -> string list
+(** Structural invariant self-check: per-layer slice ordering, link/len
+    consistency, non-empty cells, no empty sub-layers, entry accounting.
+    [] when consistent. *)

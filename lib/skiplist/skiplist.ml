@@ -315,3 +315,68 @@ let page_occupancy t =
   if !slots = 0 then 0.0 else float_of_int !used /. float_of_int !slots
 
 let page_count t = t.pages
+
+(* --- structural self-check (differential-testing harness support) ---
+
+   Checks page ordering and fill, counter accounting, and tower ("level
+   monotonicity") consistency: the level-l list must be an order-preserving
+   subsequence of the level-(l-1) list, and every chained page must be
+   non-empty (empty pages are unlinked eagerly). *)
+let check_structure t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let level_chain level =
+    let rec go p acc =
+      if Array.length p.forward <= level then begin
+        err "page in level-%d chain has height %d" level (Array.length p.forward);
+        List.rev acc
+      end
+      else
+        match p.forward.(level) with
+        | None -> List.rev acc
+        | Some nxt -> go nxt (nxt :: acc)
+    in
+    go t.head []
+  in
+  let base = level_chain 0 in
+  let n_pages = List.length base in
+  if n_pages <> t.pages then err "page counter %d <> chained pages %d" t.pages n_pages;
+  let n_entries = List.fold_left (fun acc p -> acc + p.pn) 0 base in
+  if n_entries <> t.entries then err "entry counter %d <> chained entries %d" t.entries n_entries;
+  let last = ref None in
+  List.iter
+    (fun p ->
+      if p.pn < 1 || p.pn > page_capacity then err "page fill %d outside [1,%d]" p.pn page_capacity;
+      for i = 0 to p.pn - 2 do
+        if String.compare p.pkeys.(i) p.pkeys.(i + 1) > 0 then
+          err "page keys unsorted: %S > %S" p.pkeys.(i) p.pkeys.(i + 1)
+      done;
+      if p.pn > 0 then begin
+        (match !last with
+        | Some k when String.compare k p.pkeys.(0) > 0 ->
+          err "page chain key order broken: %S > %S" k p.pkeys.(0)
+        | _ -> ());
+        last := Some p.pkeys.(p.pn - 1)
+      end)
+    base;
+  if Array.length t.head.forward <> max_height then
+    err "head sentinel height %d <> %d" (Array.length t.head.forward) max_height;
+  let lower = ref base in
+  (try
+     for level = 1 to max_height - 1 do
+       let chain = level_chain level in
+       (* subsequence check against the level below, by identity *)
+       let rec subseq upper lower =
+         match (upper, lower) with
+         | [], _ -> true
+         | _ :: _, [] -> false
+         | u :: us, l :: ls -> if u == l then subseq us ls else subseq upper ls
+       in
+       if not (subseq chain !lower) then begin
+         err "level-%d list is not a subsequence of level-%d" level (level - 1);
+         raise Exit
+       end;
+       lower := chain
+     done
+   with Exit -> ());
+  List.rev !errs

@@ -30,3 +30,8 @@ val page_occupancy : t -> float
 
 val page_count : t -> int
 val page_capacity : int
+
+val check_structure : t -> string list
+(** Structural invariant self-check: page ordering and fill, tower
+    level-monotonicity (each level list is a subsequence of the one
+    below), counter accounting.  [] when consistent. *)

@@ -1,0 +1,14 @@
+(* Helpers shared by every test executable in this directory; the dune
+   (tests) stanza links the non-entry modules into each test binary. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let pair_list = Alcotest.(list (pair string int))
+
+(* Register QCheck property tests as alcotest cases. *)
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* Entries batch for STATIC.build / merge from an assoc list. *)
+let entries_of_list l =
+  Array.of_list (List.map (fun (k, vs) -> (k, Array.of_list vs)) (List.sort compare l))

@@ -10,8 +10,7 @@
 open Hi_hstore
 open Value
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Common
 
 let no_sleep _ = ()
 

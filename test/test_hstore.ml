@@ -4,8 +4,7 @@
 open Hi_hstore
 open Value
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Common
 
 (* --- value encoding --- *)
 
@@ -315,8 +314,6 @@ let test_txn_stress () =
       | Some rowid -> check_int (Printf.sprintf "value of %d" id) v (as_int (Table.read tbl rowid).(2))
       | None -> Alcotest.failf "missing row %d" id)
     model
-
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
   Alcotest.run "hstore"

@@ -5,9 +5,7 @@
 open Hi_util
 open Hybrid_index
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let pair_list = Alcotest.(list (pair string int))
+open Common
 
 let small_config =
   (* tiny merge floor so tests exercise merges without bulk data *)
@@ -282,6 +280,68 @@ let test_secondary_merge_concatenates () =
   H.force_merge t;
   Alcotest.(check (list int)) "merged value list" [ 1; 2 ] (List.sort compare (H.find_all t "k"))
 
+(* --- pinned regressions distilled by the hi_check shrinker (seed 876183),
+   see test_props.ml and DESIGN.md §9 --- *)
+
+let test_secondary_reinsert_after_delete () =
+  (* [insert k; merge; delete k; insert k]: the tombstone must keep
+     masking the dead static value without hiding the reinserted copy,
+     and the next merge must keep the batch copy while collecting the
+     stale one *)
+  let t = H.create ~config:secondary_config () in
+  H.insert t "k" 4;
+  H.force_merge t;
+  check "delete static values" true (H.delete t "k");
+  H.insert t "k" 2;
+  Alcotest.(check (list int)) "only the reinserted value" [ 2 ] (H.find_all t "k");
+  Alcotest.(check pair_list) "scan agrees" [ ("k", 2) ] (H.scan_from t "" 10);
+  H.force_merge t;
+  Alcotest.(check (list int)) "survives tombstone collection" [ 2 ] (H.find_all t "k");
+  check_int "stale static copy collected" 1 (H.static_entry_count t)
+
+let test_secondary_scan_masked_multivalue () =
+  (* a tombstoned key masking several static values must not make scans
+     under-fetch: the static over-fetch allowance counts masked values,
+     not masked keys *)
+  let t = H.create ~config:secondary_config () in
+  for v = 1 to 6 do
+    H.insert t "a" v
+  done;
+  H.insert t "b" 10;
+  H.insert t "c" 11;
+  H.force_merge t;
+  check "delete all of a" true (H.delete t "a");
+  Alcotest.(check pair_list) "scan fills its budget past the masked key" [ ("b", 10); ("c", 11) ]
+    (H.scan_from t "" 2)
+
+let test_scan_max_int_with_tombstone () =
+  (* n + over-fetch allowance must saturate, not wrap, for n = max_int *)
+  let t = H.create ~config:small_config () in
+  ignore (H.insert_unique t "a" 1);
+  ignore (H.insert_unique t "b" 2);
+  H.force_merge t;
+  check "delete" true (H.delete t "a");
+  Alcotest.(check pair_list) "unbounded scan with a tombstone" [ ("b", 2) ] (H.scan_from t "" max_int)
+
+let test_merge_cold_collects_overwritten_key () =
+  (* under Merge_cold a key overwritten in the dynamic stage must be merged
+     even while hot, else the stale static copy is never collected *)
+  let config = { small_config with strategy = Hybrid.Merge_cold } in
+  let t = H.create ~config () in
+  for i = 0 to 23 do
+    ignore (H.insert_unique t (Key_codec.encode_int i) i)
+  done;
+  H.force_merge t;
+  check "update merged key" true (H.update t (Key_codec.encode_int 3) 99);
+  (* keep the overwrite hot so access recency alone would retain it *)
+  for _ = 1 to 50 do
+    ignore (H.find t (Key_codec.encode_int 3))
+  done;
+  H.force_merge t;
+  Alcotest.(check (option int)) "new value served" (Some 99) (H.find t (Key_codec.encode_int 3));
+  Alcotest.(check (list string)) "invariants clean" [] (H.check_invariants t);
+  check_int "exactly one copy of the key" 24 (H.entry_count t)
+
 (* --- model-based end-to-end check: hybrid behaves like one big map --- *)
 
 let test_hybrid_model () =
@@ -339,6 +399,15 @@ let () =
           Alcotest.test_case "update in place in static" `Quick test_secondary_update_in_place;
           Alcotest.test_case "delete value from static" `Quick test_secondary_delete_value_static;
           Alcotest.test_case "merge concatenates" `Quick test_secondary_merge_concatenates;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "reinsert after delete" `Quick test_secondary_reinsert_after_delete;
+          Alcotest.test_case "scan past masked multi-value key" `Quick
+            test_secondary_scan_masked_multivalue;
+          Alcotest.test_case "scan max_int with tombstone" `Quick test_scan_max_int_with_tombstone;
+          Alcotest.test_case "merge-cold collects overwritten key" `Quick
+            test_merge_cold_collects_overwritten_key;
         ] );
       ("model", [ Alcotest.test_case "hybrid behaves like a map" `Slow test_hybrid_model ]);
     ]

@@ -5,8 +5,7 @@
 open Hi_util
 open Hybrid_index
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Common
 
 let small_config = { Incremental.default_config with min_merge_size = 64; step = 16 }
 
@@ -209,6 +208,35 @@ let test_secondary_concat () =
   H.force_merge t;
   Alcotest.(check (list int)) "merged concatenation" [ 1; 2 ] (List.sort compare (H.find_all t "k"))
 
+(* --- pinned regressions distilled by the hi_check shrinker (seed 876183),
+   see test_props.ml and DESIGN.md §9 --- *)
+
+let test_reinsert_after_delete_survives_merge () =
+  (* [insert k; merge; delete k; insert k; merge]: the tombstone snapshot
+     taken at merge start must kill only the stale static value — never the
+     reinserted copy frozen into the same merge run *)
+  let module H = Incremental.Incremental_btree in
+  let t = H.create ~config:small_config () in
+  ignore (H.insert_unique t "k" 1);
+  H.force_merge t;
+  check "delete static" true (H.delete t "k");
+  check "reinsert accepted" true (H.insert_unique t "k" 3);
+  H.force_merge t;
+  Alcotest.(check (option int)) "reinserted value survives the merge" (Some 3) (H.find t "k");
+  Alcotest.(check pair_list) "scan agrees" [ ("k", 3) ] (H.scan_from t "" 10);
+  check_int "stale copy collected" 1 (H.entry_count t)
+
+let test_scan_max_int_with_tombstone () =
+  (* n + over-fetch allowance must saturate, not wrap, for n = max_int *)
+  let module H = Incremental.Incremental_btree in
+  let t = H.create ~config:small_config () in
+  ignore (H.insert_unique t "a" 1);
+  ignore (H.insert_unique t "b" 2);
+  H.force_merge t;
+  check "delete" true (H.delete t "a");
+  Alcotest.(check pair_list) "unbounded scan with a tombstone" [ ("b", 2) ]
+    (H.scan_from t "" max_int)
+
 let () =
   Alcotest.run "incremental"
     [
@@ -217,4 +245,10 @@ let () =
       ("incremental-masstree", IM.suite);
       ("incremental-art", IA.suite);
       ("secondary", [ Alcotest.test_case "concat across stages" `Quick test_secondary_concat ]);
+      ( "regressions",
+        [
+          Alcotest.test_case "reinsert after delete survives merge" `Quick
+            test_reinsert_after_delete_survives_merge;
+          Alcotest.test_case "scan max_int with tombstone" `Quick test_scan_max_int_with_tombstone;
+        ] );
     ]

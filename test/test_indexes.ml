@@ -5,10 +5,8 @@
 open Hi_index
 open Hi_util
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Common
 
-let pair_list = Alcotest.(list (pair string int))
 
 (* --- generic conformance suite --- *)
 

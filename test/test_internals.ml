@@ -5,8 +5,7 @@
 open Hi_util
 open Hi_index
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Common
 
 (* --- Layer_tree (Masstree's per-trie-node B+tree) --- *)
 

@@ -7,12 +7,7 @@
 open Hi_index
 open Hi_util
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let pair_list = Alcotest.(list (pair string int))
-
-let entries_of_list l =
-  Array.of_list (List.map (fun (k, vs) -> (k, Array.of_list vs)) (List.sort compare l))
+open Common
 
 let keys_to_entries keys = Array.map (fun (i, k) -> (k, [| i |])) (Array.mapi (fun i k -> (i, k)) keys)
 
@@ -121,6 +116,25 @@ module Static_suite (S : Index_intf.STATIC) = struct
     check "survivors present" true (S.mem s "a" && S.mem s "c" && S.mem s "d");
     check_int "key count" 3 (S.key_count s)
 
+  let test_merge_deleted_batch_survives () =
+    (* regression (hi_check seed 876183): [deleted] applies only to the
+       pre-existing static entries — a tombstoned key reinserted into the
+       batch carries the only live copy and must survive the merge *)
+    let s = S.build (entries_of_list [ ("k", [ 1 ]); ("x", [ 7 ]) ]) in
+    let s =
+      S.merge s (entries_of_list [ ("k", [ 3 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun k -> k = "k")
+    in
+    Alcotest.(check (list int)) "batch copy survives its own tombstone" [ 3 ] (S.find_all s "k");
+    Alcotest.(check (list int)) "bystander untouched" [ 7 ] (S.find_all s "x");
+    check_int "key count" 2 (S.key_count s);
+    (* same under Concat: the stale static values go, the batch values stay *)
+    let c = S.build (entries_of_list [ ("k", [ 1; 2 ]) ]) in
+    let c =
+      S.merge c (entries_of_list [ ("k", [ 8; 9 ]) ]) ~mode:Index_intf.Concat ~deleted:(fun k -> k = "k")
+    in
+    Alcotest.(check (list int)) "concat keeps only batch values" [ 8; 9 ]
+      (List.sort compare (S.find_all c "k"))
+
   let test_merge_into_empty () =
     let s = S.merge S.empty (entries_of_list [ ("a", [ 1 ]) ]) ~mode:Index_intf.Replace ~deleted:(fun _ -> false) in
     Alcotest.(check (option int)) "merge into empty" (Some 1) (S.find s "a")
@@ -196,6 +210,7 @@ module Static_suite (S : Index_intf.STATIC) = struct
       Alcotest.test_case (name ^ " merge replace") `Quick test_merge_replace;
       Alcotest.test_case (name ^ " merge concat") `Quick test_merge_concat;
       Alcotest.test_case (name ^ " merge tombstones") `Quick test_merge_tombstones;
+      Alcotest.test_case (name ^ " merge deleted batch survives") `Quick test_merge_deleted_batch_survives;
       Alcotest.test_case (name ^ " merge into empty") `Quick test_merge_into_empty;
       Alcotest.test_case (name ^ " merge model") `Quick test_merge_model;
       Alcotest.test_case (name ^ " merge model long keys") `Quick test_merge_model_long_keys;

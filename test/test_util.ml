@@ -1,10 +1,7 @@
 (* Unit and property tests for the hi_util library. *)
 
 open Hi_util
-
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_string = Alcotest.(check string)
+open Common
 
 (* --- Xorshift --- *)
 
@@ -215,6 +212,59 @@ let test_generate_keys_distinct () =
       check_int (Key_codec.key_type_name kt ^ " keys distinct") 5_000 (Hashtbl.length tbl))
     Key_codec.all_key_types
 
+let test_codec_order_10k () =
+  (* 10,000 seeded random u64 pairs: byte order must equal unsigned
+     integer order in every case, not just QCheck's sample *)
+  let rng = Xorshift.create 0xC0DEC in
+  for _ = 1 to 10_000 do
+    let a = Xorshift.next_u64 rng and b = Xorshift.next_u64 rng in
+    let ci = compare (Int64.unsigned_compare a b) 0 in
+    let cs = compare (String.compare (Key_codec.encode_u64 a) (Key_codec.encode_u64 b)) 0 in
+    if ci <> cs then Alcotest.failf "order broken for %Lu / %Lu" a b
+  done
+
+let test_email_pairs_10k () =
+  (* The address embeds the id as a zero-padded 8-digit run just before
+     '@', after a hash-derived stem: ids roundtrip, distinct ids never
+     collide, and addresses sharing a stem sort in id order. *)
+  let id_of e =
+    let at = String.index e '@' in
+    int_of_string (String.sub e (at - 8) 8)
+  in
+  let prefix e =
+    let at = String.index e '@' in
+    String.sub e 0 (at - 8)
+  in
+  let rng = Xorshift.create 0xE7A11 in
+  for _ = 1 to 10_000 do
+    let i = Xorshift.int rng 100_000_000 and j = Xorshift.int rng 100_000_000 in
+    let ei = Key_codec.email_of_id i and ej = Key_codec.email_of_id j in
+    check_int "id embedded verbatim" i (id_of ei);
+    if i <> j && ei = ej then Alcotest.failf "ids %d and %d collide on %s" i j ei;
+    if i <> j && prefix ei = prefix ej then begin
+      let want = compare (compare i j) 0 in
+      let got = compare (String.compare ei ej) 0 in
+      if want <> got then Alcotest.failf "same-stem emails out of id order: %s / %s" ei ej
+    end
+  done;
+  (* random pairs rarely share a stem, so force coverage: bucket a dense id
+     range by stem and demand each bucket sorts identically by id and by
+     address bytes *)
+  let buckets = Hashtbl.create 64 in
+  for id = 0 to 3_999 do
+    let e = Key_codec.email_of_id id in
+    let p = prefix e in
+    let tail = try Hashtbl.find buckets p with Not_found -> [] in
+    Hashtbl.replace buckets p ((id, e) :: tail)
+  done;
+  check "stems actually collide" true (Hashtbl.length buckets < 4_000);
+  Hashtbl.iter
+    (fun _ group ->
+      let by_id = List.sort compare group in
+      let by_email = List.sort (fun (_, a) (_, b) -> String.compare a b) group in
+      if by_id <> by_email then Alcotest.fail "same-stem email order diverges from id order")
+    buckets
+
 let test_email_avg_length () =
   let keys = Key_codec.generate_keys Key_codec.Email 2_000 in
   let total = Array.fold_left (fun acc k -> acc + String.length k) 0 keys in
@@ -256,6 +306,38 @@ let test_merge_resolve_drop () =
   let merged = Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ _ -> None) a b in
   Alcotest.(check (array int)) "dropped equal keys" [| 1; 3; 5 |] merged
 
+let test_merge_zero_length () =
+  let e : int array = [||] in
+  let chk name want got = Alcotest.(check (array int)) name want got in
+  chk "merge both empty" [||] (Inplace_merge.merge ~cmp:compare e e);
+  chk "merge empty left" [| 1; 2 |] (Inplace_merge.merge ~cmp:compare e [| 1; 2 |]);
+  chk "merge empty right" [| 1; 2 |] (Inplace_merge.merge ~cmp:compare [| 1; 2 |] e);
+  chk "extend with empty" [| 3 |] (Inplace_merge.extend ~cmp:compare [| 3 |] e);
+  chk "extend onto empty" [| 3 |] (Inplace_merge.extend ~cmp:compare e [| 3 |]);
+  chk "resolve both empty" [||]
+    (Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ n -> Some n) e e);
+  chk "resolve empty left" [| 7 |]
+    (Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ n -> Some n) e [| 7 |]);
+  chk "resolve empty right" [| 7 |]
+    (Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ n -> Some n) [| 7 |] e)
+
+let test_merge_overlapping_duplicates () =
+  (* runs of equal elements on both sides: merge keeps every copy, stably *)
+  let a = [| 1; 1; 1; 2; 2; 3 |] and b = [| 1; 1; 2; 3; 3; 3 |] in
+  let merged = Inplace_merge.merge ~cmp:compare a b in
+  Alcotest.(check (array int)) "all duplicates kept"
+    [| 1; 1; 1; 1; 1; 2; 2; 2; 3; 3; 3; 3 |] merged;
+  Alcotest.(check (array int)) "extend agrees" merged (Inplace_merge.extend ~cmp:compare a b);
+  (* overlapping keys through merge_resolve hit [resolve] exactly once per
+     collision, old element first *)
+  let a = [| 10; 20; 30; 40; 50 |] and b = [| 20; 30; 40 |] in
+  let sum o n = Some (o + n) in
+  Alcotest.(check (array int)) "each collision resolved once" [| 10; 40; 60; 80; 50 |]
+    (Inplace_merge.merge_resolve ~cmp:compare ~resolve:sum a b);
+  (* fully-overlapping inputs with a dropping resolver vanish entirely *)
+  Alcotest.(check (array int)) "total overlap, all dropped" [||]
+    (Inplace_merge.merge_resolve ~cmp:compare ~resolve:(fun _ _ -> None) b b)
+
 let test_inplace_rotation () =
   let arr = [| 5; 6; 7; 1; 2; 3; 4 |] in
   Inplace_merge.inplace ~cmp:compare arr 3;
@@ -294,6 +376,20 @@ let test_cache_hit_rate () =
   ignore (Clock_cache.find c 1);
   ignore (Clock_cache.find c 2);
   check "hit rate 0.5" true (abs_float (Clock_cache.hit_rate c -. 0.5) < 1e-9)
+
+let test_cache_capacity_one () =
+  (* a single slot degenerates clock eviction to direct replacement: the
+     second-chance bit cannot save the sole resident *)
+  let c = Clock_cache.create 1 in
+  Clock_cache.put c 1 "a";
+  Alcotest.(check (option string)) "present" (Some "a") (Clock_cache.find c 1);
+  Clock_cache.put c 2 "b";
+  Alcotest.(check (option string)) "evicted" None (Clock_cache.find c 1);
+  Alcotest.(check (option string)) "replacement present" (Some "b") (Clock_cache.find c 2);
+  ignore (Clock_cache.find c 2);
+  Clock_cache.put c 3 "c";
+  Alcotest.(check (option string)) "referenced resident still evicted" None (Clock_cache.find c 2);
+  Alcotest.(check (option string)) "newest present" (Some "c") (Clock_cache.find c 3)
 
 (* --- Compress --- *)
 
@@ -372,8 +468,6 @@ let test_op_counter () =
   check_int "derefs" 1 d.pointer_derefs;
   check_int "cache lines" 2 (Op_counter.cache_lines_touched d)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
-
 let () =
   Alcotest.run "hi_util"
     [
@@ -417,10 +511,14 @@ let () =
         :: Alcotest.test_case "email deterministic" `Quick test_email_deterministic
         :: Alcotest.test_case "distinct keys" `Quick test_generate_keys_distinct
         :: Alcotest.test_case "email length" `Quick test_email_avg_length
+        :: Alcotest.test_case "u64 order, 10k pairs" `Quick test_codec_order_10k
+        :: Alcotest.test_case "email pairs, 10k" `Quick test_email_pairs_10k
         :: qsuite [ test_codec_order_preserving ] );
       ( "inplace_merge",
         Alcotest.test_case "resolve drop" `Quick test_merge_resolve_drop
         :: Alcotest.test_case "rotation merge" `Quick test_inplace_rotation
+        :: Alcotest.test_case "zero-length inputs" `Quick test_merge_zero_length
+        :: Alcotest.test_case "overlapping duplicates" `Quick test_merge_overlapping_duplicates
         :: qsuite [ test_merge_model; test_extend_model; test_merge_resolve_replaces ] );
       ( "clock_cache",
         [
@@ -428,6 +526,7 @@ let () =
           Alcotest.test_case "eviction" `Quick test_cache_eviction;
           Alcotest.test_case "second chance" `Quick test_cache_second_chance;
           Alcotest.test_case "hit rate" `Quick test_cache_hit_rate;
+          Alcotest.test_case "capacity one" `Quick test_cache_capacity_one;
         ] );
       ( "compress",
         Alcotest.test_case "roundtrip basic" `Quick test_compress_roundtrip_basic

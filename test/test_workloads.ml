@@ -6,7 +6,7 @@
 open Hi_hstore
 open Hi_workloads
 
-let check = Alcotest.(check bool)
+open Common
 
 let tiny_tpcc = { Tpcc.warehouses = 2; items = 200; customers_per_district = 30 }
 let tiny_voter = { Voter.default_scale with phone_numbers = 500 }
