@@ -61,3 +61,14 @@ let zipf_probes keys nops seed =
   Array.init nops (fun _ -> keys.(Zipf.next z))
 
 let hybrid_with ?(structure = "btree") config : Index_sig.index = Instances.hybrid_index ~config structure
+
+(* The hybrid functor instance itself (not the erased Index_sig.index),
+   for experiments that read [Hybrid.stats] — merge counts, measured
+   Bloom FPR. *)
+let hybrid_module structure =
+  match structure with
+  | "btree" -> (module Instances.Hybrid_btree : Hybrid.S)
+  | "masstree" -> (module Instances.Hybrid_masstree)
+  | "skiplist" -> (module Instances.Hybrid_skiplist)
+  | "art" -> (module Instances.Hybrid_art)
+  | s -> invalid_arg ("unknown structure " ^ s)

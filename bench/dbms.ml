@@ -61,6 +61,15 @@ let table1 () =
       done;
       let m = Engine.memory_breakdown engine in
       let total = Engine.total_in_memory m in
+      Results.record
+        ~config:[ ("benchmark", Results.str benchmark); ("index", Results.str "B+tree") ]
+        ~metrics:
+          [
+            ("tuple_bytes", Results.int m.Engine.tuple_bytes);
+            ("pk_index_bytes", Results.int m.Engine.pk_index_bytes);
+            ("secondary_index_bytes", Results.int m.Engine.secondary_index_bytes);
+            ("total_bytes", Results.int total);
+          ];
       Printf.printf "%-10s | %7.1f%% %11.1f%% %13.1f%% | %10.1f\n" benchmark
         (pct m.Engine.tuple_bytes total)
         (pct m.Engine.pk_index_bytes total)
@@ -80,6 +89,20 @@ let table3 () =
       let txn = load "tpcc" engine in
       let r = Runner.run engine ~transaction:(fun e -> txn e) ~num_txns:(txns_for "tpcc") () in
       let ms p = Hi_util.Histogram.percentile r.Runner.latency p *. 1000.0 in
+      Results.record
+        ~config:
+          [
+            ("benchmark", Results.str "tpcc");
+            ("index", Results.str (Engine.index_kind_name kind));
+            ("txns", Results.int r.Runner.txns);
+          ]
+        ~metrics:
+          [
+            ("p50_ms", Results.num (ms 50.0));
+            ("p99_ms", Results.num (ms 99.0));
+            ("max_ms", Results.num (ms 100.0));
+            ("tps", Results.num r.Runner.tps);
+          ];
       Printf.printf "%-20s | %10.3f %10.3f %10.3f\n" (Engine.index_kind_name kind) (ms 50.0)
         (ms 99.0) (ms 100.0))
     index_kinds
@@ -102,6 +125,22 @@ let fig8 () =
           let m = r.Runner.memory in
           let index_bytes = m.Engine.pk_index_bytes + m.Engine.secondary_index_bytes in
           let total = Engine.total_in_memory m in
+          Results.record
+            ~config:
+              [
+                ("benchmark", Results.str benchmark);
+                ("index", Results.str (Engine.index_kind_name kind));
+                ("txns", Results.int r.Runner.txns);
+              ]
+            ~metrics:
+              [
+                ("tps", Results.num r.Runner.tps);
+                ("tuple_bytes", Results.int m.Engine.tuple_bytes);
+                ("index_bytes", Results.int index_bytes);
+                ("total_bytes", Results.int total);
+                ("committed", Results.int r.Runner.committed);
+                ("user_aborts", Results.int r.Runner.user_aborts);
+              ];
           Printf.printf "%-20s | %12.1f | %10.1f %10.1f %10.1f | %7.1f%%\n"
             (Engine.index_kind_name kind) (r.Runner.tps /. 1000.0) (mb m.Engine.tuple_bytes)
             (mb index_bytes) (mb total) (pct index_bytes total))
@@ -142,6 +181,22 @@ let fig9 () =
           let r =
             Runner.run engine ~transaction:(fun e -> txn e) ~num_txns:num ~sample_every:(num / 8) ()
           in
+          Results.record
+            ~config:
+              [
+                ("benchmark", Results.str benchmark);
+                ("index", Results.str (Engine.index_kind_name kind));
+                ("txns", Results.int num);
+                ("eviction_threshold_bytes", Results.int threshold);
+              ]
+            ~metrics:
+              [
+                ("tps", Results.num r.Runner.tps);
+                ("evictions", Results.int (Anticache.eviction_count (Engine.anticache engine)));
+                ("block_fetches", Results.int (Anticache.fetch_count (Engine.anticache engine)));
+                ("evicted_restarts", Results.int r.Runner.evicted_restarts);
+                ("disk_bytes", Results.int r.Runner.memory.Engine.anticache_disk_bytes);
+              ];
           Printf.printf "  %s: %.1f Ktxn/s overall, %d evictions, %d block fetches, %d restarts\n"
             (Engine.index_kind_name kind) (r.Runner.tps /. 1000.0)
             (Anticache.eviction_count (Engine.anticache engine))
@@ -229,11 +284,37 @@ let faults () =
                      with %d dead blocks\n"
         r.Engine.tables_recovered r.Engine.recovered_live r.Engine.recovered_evicted
         r.Engine.dropped_rows r.Engine.dropped_blocks;
-      match Engine.verify_integrity engine with
-      | [] -> Printf.printf "  integrity: OK\n"
-      | vs ->
-        Printf.printf "  integrity: %d VIOLATIONS\n" (List.length vs);
-        List.iter (fun v -> Printf.printf "    %s\n" v) vs)
+      let violations =
+        match Engine.verify_integrity engine with
+        | [] ->
+          Printf.printf "  integrity: OK\n";
+          0
+        | vs ->
+          Printf.printf "  integrity: %d VIOLATIONS\n" (List.length vs);
+          List.iter (fun v -> Printf.printf "    %s\n" v) vs;
+          List.length vs
+      in
+      Results.record
+        ~config:
+          [
+            ("benchmark", Results.str benchmark);
+            ("index", Results.str "Hybrid");
+            ("txns", Results.int num);
+            ("eviction_threshold_bytes", Results.int threshold);
+          ]
+        ~metrics:
+          [
+            ("base_tps", Results.num base.Runner.tps);
+            ("faulted_tps", Results.num faulted.Runner.tps);
+            ("transient_faults", Results.int s.Anticache.transient_faults);
+            ("retries", Results.int s.Anticache.retries);
+            ("corrupt_blocks", Results.int s.Anticache.corrupt_blocks);
+            ("latency_spikes", Results.int s.Anticache.latency_spikes);
+            ("lost_blocks", Results.int s.Anticache.lost_blocks);
+            ("lost_block_aborts", Results.int stats.Engine.lost_block_aborts);
+            ("dropped_rows", Results.int r.Engine.dropped_rows);
+            ("integrity_violations", Results.int violations);
+          ])
     benchmarks
 
 (* --- Table 4: index-type survey (documentation table) --- *)

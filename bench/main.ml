@@ -1,6 +1,6 @@
 (* Benchmark harness entry point.
 
-   Usage:  bench/main.exe [--scale F] [experiment ...]
+   Usage:  bench/main.exe [--scale F] [--out FILE] [experiment ...]
 
    Experiments (one per table/figure of the paper — see DESIGN.md §4):
      table1 table2 table3 table4
@@ -9,7 +9,11 @@
      all             (everything except bechamel; the default)
 
    --scale multiplies every dataset/operation count (default 1.0 runs a
-   laptop-scale configuration in a few minutes). *)
+   laptop-scale configuration in a few minutes).
+
+   Besides the text tables on stdout, every experiment records structured
+   rows that are written as JSON to --out (default BENCH_results.json in
+   the working directory) — see DESIGN.md §10 for the schema. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -36,16 +40,20 @@ let all_order =
   [ "table4"; "table2"; "fig5"; "fig6"; "fig7"; "fig11"; "fig12"; "fig13"; "ext-merge"; "ablation"; "appendixA"; "table1"; "fig8"; "table3"; "fig9"; "faults" ]
 
 let usage () =
-  Printf.printf "usage: %s [--scale F] [%s|all]...\n" Sys.argv.(0)
+  Printf.printf "usage: %s [--scale F] [--out FILE] [%s|all]...\n" Sys.argv.(0)
     (String.concat "|" (List.map fst experiments));
   exit 1
 
 let () =
+  let out = ref "BENCH_results.json" in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--scale" :: v :: rest ->
       (try Common.scale := float_of_string v with _ -> usage ());
+      parse acc rest
+    | "--out" :: v :: rest ->
+      out := v;
       parse acc rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->
@@ -59,7 +67,10 @@ let () =
     (fun name ->
       let f = List.assoc name experiments in
       let t1 = Unix.gettimeofday () in
+      Results.set_experiment name;
       f ();
       Printf.printf "\n[%s completed in %.1f s]\n%!" name (Unix.gettimeofday () -. t1))
     selected;
-  Printf.printf "\nTotal: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal: %.1f s\n" (Unix.gettimeofday () -. t0);
+  Results.write !out;
+  Printf.printf "Wrote %d result rows to %s\n" (Results.count ()) !out

@@ -41,6 +41,21 @@ let fig5 () =
           let probes = zipf_probes keys q 99 in
           let d_tput, d_mem = read_throughput_dynamic (dynamic_of structure) keys probes in
           let s_tput, s_mem = read_throughput_static (static_of structure) keys probes in
+          Results.record
+            ~config:
+              [
+                ("structure", Results.str structure);
+                ("key_type", Results.str (Key_codec.key_type_name kt));
+                ("keys", Results.int n);
+                ("ops", Results.int q);
+              ]
+            ~metrics:
+              [
+                ("dynamic_mops", Results.num d_tput);
+                ("dynamic_memory_bytes", Results.int d_mem);
+                ("static_mops", Results.num s_tput);
+                ("static_memory_bytes", Results.int s_mem);
+              ];
           Printf.printf "%-12s %-10s | %10.2f %10.1f | %10.2f %10.1f | %9.0f%%\n" structure
             (Key_codec.key_type_name kt) d_tput (mb d_mem) s_tput (mb s_mem)
             (100.0 *. float_of_int s_mem /. float_of_int (max 1 d_mem)))
@@ -54,6 +69,19 @@ let fig5 () =
       let probes = zipf_probes keys q 99 in
       let z_tput, z_mem = read_throughput_static (static_of "compressed-btree") keys probes in
       let f_tput, f_mem = read_throughput_static (static_of "frontcoded-btree") keys probes in
+      List.iter
+        (fun (structure, tput, mem) ->
+          Results.record
+            ~config:
+              [
+                ("structure", Results.str structure);
+                ("key_type", Results.str (Key_codec.key_type_name kt));
+                ("keys", Results.int n);
+                ("ops", Results.int q);
+              ]
+            ~metrics:
+              [ ("static_mops", Results.num tput); ("static_memory_bytes", Results.int mem) ])
+        [ ("compressed-btree", z_tput, z_mem); ("frontcoded-btree", f_tput, f_mem) ];
       Printf.printf "%-12s %-10s | %10s %10s | %10.2f %10.1f |\n" "z-btree"
         (Key_codec.key_type_name kt) "" "" z_tput (mb z_mem);
       Printf.printf "%-12s %-10s | %10s %10s | %10.2f %10.1f |\n" "fc-btree"
@@ -80,8 +108,63 @@ let table2 () =
       let s0 = Op_counter.snapshot () in
       Array.iter (fun k -> ignore (D.find t k)) probes;
       let d = Op_counter.diff s0 (Op_counter.snapshot ()) in
+      Results.record
+        ~config:
+          [
+            ("structure", Results.str structure);
+            ("index", Results.str "original");
+            ("keys", Results.int n);
+            ("ops", Results.int q);
+          ]
+        ~metrics:
+          [
+            ("instructions_model", Results.int (Op_counter.instructions d));
+            ("key_comparisons", Results.int d.Op_counter.key_comparisons);
+            ("pointer_derefs", Results.int d.Op_counter.pointer_derefs);
+            ("cache_lines", Results.int (Op_counter.cache_lines_touched d));
+          ];
       Printf.printf "%-10s | %14d %14d %14d %14d\n" structure (Op_counter.instructions d)
         d.Op_counter.key_comparisons d.Op_counter.pointer_derefs (Op_counter.cache_lines_touched d))
+    structures;
+  (* The same load through each structure's hybrid index, with merge and
+     Bloom filter behaviour from the new stats/metrics plumbing.  A small
+     [min_merge_size] makes merges happen even at smoke-test scales. *)
+  hr ();
+  Printf.printf "Hybrid variants: insert %d keys then run the %d probes\n" n q;
+  Printf.printf "%-10s | %12s %12s %10s %8s %10s\n" "structure" "insert Mops" "find Mops" "MB"
+    "merges" "bloom FPR";
+  List.iter
+    (fun structure ->
+      let module H = (val hybrid_module structure) in
+      let t =
+        H.create ~config:{ Hybrid.default_config with min_merge_size = scaled 25_600 } ()
+      in
+      let (), ins_secs =
+        time (fun () -> Array.iteri (fun i k -> ignore (H.insert_unique t k i)) keys)
+      in
+      let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (H.find t k)) probes) in
+      let st = H.stats t in
+      let mem = H.memory_bytes t in
+      Results.record
+        ~config:
+          [
+            ("structure", Results.str structure);
+            ("index", Results.str "hybrid");
+            ("keys", Results.int n);
+            ("ops", Results.int q);
+          ]
+        ~metrics:
+          [
+            ("insert_mops", Results.num (mops n ins_secs));
+            ("find_mops", Results.num (mops q read_secs));
+            ("memory_bytes", Results.int mem);
+            ("merges", Results.int st.Hybrid.merges);
+            ("merge_entries_moved", Results.int st.Hybrid.merge_entries_moved);
+            ("bloom_measured_fpr", Results.num st.Hybrid.bloom_measured_fpr);
+            ("bloom_negative_skips", Results.int st.Hybrid.bloom_negative_skips);
+          ];
+      Printf.printf "%-10s | %12.2f %12.2f %10.1f %8d %10.4f\n" structure (mops n ins_secs)
+        (mops q read_secs) (mb mem) st.Hybrid.merges st.Hybrid.bloom_measured_fpr)
     structures
 
 (* --- Fig 6: merge overhead --- *)
@@ -109,7 +192,23 @@ let fig6 () =
             (fun (static_bytes, secs) ->
               Printf.printf "%-10s | %12.1f %12.2f\n" (Key_codec.key_type_name kt) (mb static_bytes)
                 (secs *. 1000.0))
-            (H.merge_log t))
+            (H.merge_log t);
+          let st = H.stats t in
+          Results.record
+            ~config:
+              [
+                ("structure", Results.str structure);
+                ("key_type", Results.str (Key_codec.key_type_name kt));
+                ("keys", Results.int n);
+              ]
+            ~metrics:
+              [
+                ("merges", Results.int st.Hybrid.merges);
+                ("total_merge_seconds", Results.num st.Hybrid.total_merge_seconds);
+                ("last_merge_seconds", Results.num st.Hybrid.last_merge_seconds);
+                ("merge_entries_moved", Results.int st.Hybrid.merge_entries_moved);
+                ("merge_bytes_moved", Results.int st.Hybrid.merge_bytes_moved);
+              ])
         Key_codec.all_key_types)
     structures
 
@@ -137,6 +236,22 @@ let fig7 () =
               let spec = ycsb_spec workload kt n ops in
               let orig = run_cell (List.assoc structure Instances.original_indexes) spec in
               let hyb = run_cell (hybrid_with ~structure Hybrid.default_config) spec in
+              Results.record
+                ~config:
+                  [
+                    ("structure", Results.str structure);
+                    ("key_type", Results.str (Key_codec.key_type_name kt));
+                    ("workload", Results.str (Hi_ycsb.Ycsb.workload_name workload));
+                    ("keys", Results.int n);
+                    ("ops", Results.int ops);
+                  ]
+                ~metrics:
+                  [
+                    ("orig_mops", Results.num orig.Hi_ycsb.Ycsb.run_mops);
+                    ("hybrid_mops", Results.num hyb.Hi_ycsb.Ycsb.run_mops);
+                    ("orig_memory_bytes", Results.int orig.Hi_ycsb.Ycsb.memory_bytes);
+                    ("hybrid_memory_bytes", Results.int hyb.Hi_ycsb.Ycsb.memory_bytes);
+                  ];
               Printf.printf "%-10s | %-12s | %12.2f %12.2f | %12.1f %12.1f\n"
                 (Key_codec.key_type_name kt)
                 (Hi_ycsb.Ycsb.workload_name workload)
@@ -188,6 +303,13 @@ let fig11 () =
       done;
       let probes = zipf_probes (Array.sub keys 0 n) ops 5 in
       let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+      Results.record
+        ~config:[ ("merge_ratio", Results.int ratio); ("keys", Results.int n); ("ops", Results.int ops) ]
+        ~metrics:
+          [
+            ("insert_mops", Results.num (mops n ins_secs));
+            ("read_mops", Results.num (mops ops read_secs));
+          ];
       Printf.printf "%-8d | %14.2f %14.2f\n" ratio (mops n ins_secs) (mops ops read_secs))
     [ 1; 5; 10; 20; 40; 60; 80; 100 ]
 
@@ -224,6 +346,15 @@ let fig12 () =
         (fun workload ->
           let spec = ycsb_spec workload Key_codec.Rand_int n ops in
           let r = run_cell (hybrid_with ~structure config) spec in
+          Results.record
+            ~config:
+              [
+                ("variant", Results.str label);
+                ("workload", Results.str (Hi_ycsb.Ycsb.workload_name workload));
+                ("keys", Results.int n);
+                ("ops", Results.int ops);
+              ]
+            ~metrics:[ ("mops", Results.num r.Hi_ycsb.Ycsb.run_mops) ];
           Printf.printf " %12.2f" r.Hi_ycsb.Ycsb.run_mops)
         Hi_ycsb.Ycsb.all_workloads;
       print_newline ())
@@ -246,6 +377,19 @@ let fig13 () =
       in
       let orig = Hi_ycsb.Ycsb.run ~primary:false (module Instances.Btree_index) spec in
       let hyb = Hi_ycsb.Ycsb.run ~primary:false (hybrid_with secondary_config) spec in
+      Results.record
+        ~config:
+          [
+            ("workload", Results.str (Hi_ycsb.Ycsb.workload_name workload));
+            ("kind", Results.str "secondary");
+            ("keys", Results.int n);
+            ("ops", Results.int ops);
+          ]
+        ~metrics:
+          [
+            ("btree_mops", Results.num orig.Hi_ycsb.Ycsb.run_mops);
+            ("hybrid_mops", Results.num hyb.Hi_ycsb.Ycsb.run_mops);
+          ];
       Printf.printf "%-12s | %12.2f %12.2f\n"
         (Hi_ycsb.Ycsb.workload_name workload)
         orig.Hi_ycsb.Ycsb.run_mops hyb.Hi_ycsb.Ycsb.run_mops)
@@ -257,6 +401,18 @@ let fig13 () =
       let spec = { (ycsb_spec Hi_ycsb.Ycsb.Insert_only kt n 0) with values_per_key = 10 } in
       let orig = Hi_ycsb.Ycsb.run ~primary:false (module Instances.Btree_index) spec in
       let hyb = Hi_ycsb.Ycsb.run ~primary:false (hybrid_with secondary_config) spec in
+      Results.record
+        ~config:
+          [
+            ("key_type", Results.str (Key_codec.key_type_name kt));
+            ("kind", Results.str "secondary");
+            ("keys", Results.int n);
+          ]
+        ~metrics:
+          [
+            ("btree_memory_bytes", Results.int orig.Hi_ycsb.Ycsb.memory_bytes);
+            ("hybrid_memory_bytes", Results.int hyb.Hi_ycsb.Ycsb.memory_bytes);
+          ];
       Printf.printf "%-12s | %12.1f %12.1f\n" (Key_codec.key_type_name kt)
         (mb orig.Hi_ycsb.Ycsb.memory_bytes) (mb hyb.Hi_ycsb.Ycsb.memory_bytes))
     Key_codec.all_key_types
@@ -276,6 +432,14 @@ let ext_merge () =
         Histogram.record h (Unix.gettimeofday () -. t0))
       keys;
     let us p = Histogram.percentile h p *. 1e6 in
+    Results.record
+      ~config:[ ("variant", Results.str label); ("keys", Results.int n) ]
+      ~metrics:
+        [
+          ("p50_us", Results.num (us 50.0));
+          ("p99_us", Results.num (us 99.0));
+          ("max_us", Results.num (us 100.0));
+        ];
     Printf.printf "%-22s | %10.2f %10.2f %12.2f\n" label (us 50.0) (us 99.0) (us 100.0)
   in
   Printf.printf "%d inserts, merge ratio 10\n" n;
@@ -304,6 +468,14 @@ let ablation () =
     let (), ins_secs = time (fun () -> Array.iteri (fun i k -> ignore (I.insert_unique t k i)) keys) in
     let probes = zipf_probes keys ops 5 in
     let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+    Results.record
+      ~config:[ ("variant", Results.str label); ("keys", Results.int n); ("ops", Results.int ops) ]
+      ~metrics:
+        [
+          ("insert_mops", Results.num (mops n ins_secs));
+          ("read_mops", Results.num (mops ops read_secs));
+          ("memory_bytes", Results.int (I.memory_bytes t));
+        ];
     Printf.printf "%-34s | %12.2f %12.2f | %10.1f\n" label (mops n ins_secs) (mops ops read_secs)
       (mb (I.memory_bytes t))
   in
@@ -322,6 +494,20 @@ let ablation () =
     let (), ins_secs = time (fun () -> Array.iteri (fun i k -> ignore (I.insert_unique t k i)) keys) in
     let probes = zipf_probes keys ops 5 in
     let (), read_secs = time (fun () -> Array.iter (fun k -> ignore (I.find t k)) probes) in
+    Results.record
+      ~config:
+        [
+          ("variant", Results.str label);
+          ("key_type", Results.str "email");
+          ("keys", Results.int n);
+          ("ops", Results.int ops);
+        ]
+      ~metrics:
+        [
+          ("insert_mops", Results.num (mops n ins_secs));
+          ("read_mops", Results.num (mops ops read_secs));
+          ("memory_bytes", Results.int (I.memory_bytes t));
+        ];
     Printf.printf "%-34s | %12.2f %12.2f | %10.1f\n" label (mops n ins_secs) (mops ops read_secs)
       (mb (I.memory_bytes t))
   in
@@ -345,11 +531,21 @@ let appendix_a () =
   let t = Hash_index.create () in
   Array.iteri (fun i k -> Hash_index.insert t k i) keys;
   let (), secs = time (fun () -> Array.iter (fun k -> ignore (Hash_index.find t k)) probes) in
+  Results.record
+    ~config:[ ("structure", Results.str "hash"); ("keys", Results.int n); ("ops", Results.int q) ]
+    ~metrics:
+      [
+        ("find_mops", Results.num (mops q secs));
+        ("memory_bytes", Results.int (Hash_index.memory_bytes t));
+      ];
   Printf.printf "%-10s | %12.2f %12.1f | %s\n" "hash" (mops q secs) (mb (Hash_index.memory_bytes t))
     "unsupported";
   List.iter
     (fun structure ->
       let tput, mem = read_throughput_dynamic (dynamic_of structure) keys probes in
+      Results.record
+        ~config:[ ("structure", Results.str structure); ("keys", Results.int n); ("ops", Results.int q) ]
+        ~metrics:[ ("find_mops", Results.num tput); ("memory_bytes", Results.int mem) ];
       Printf.printf "%-10s | %12.2f %12.1f | %s\n" structure tput (mb mem) "yes")
     structures;
   print_endline

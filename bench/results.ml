@@ -1,0 +1,45 @@
+(* Structured benchmark output: experiments record one row per measured
+   configuration and the harness writes them all to BENCH_results.json
+   (alongside the human-readable tables on stdout).
+
+   Row schema (DESIGN.md §10):
+     { "experiment": "<name>",
+       "config":     { ...what was run... },
+       "metrics":    { ...what was measured... } }
+
+   [config] identifies the cell (structure, key type, workload, txn
+   counts); [metrics] holds the numbers (Mops, bytes, merge counts,
+   measured Bloom FPR, abort breakdowns). *)
+
+module Json = Hi_util.Json
+
+let rows : Json.t list ref = ref []
+
+(* Set by the harness before each experiment runs, so the experiment
+   functions themselves never need to know their registry name. *)
+let current_experiment = ref "adhoc"
+
+let set_experiment name = current_experiment := name
+
+let record ~config ~metrics =
+  rows :=
+    Json.Obj
+      [
+        ("experiment", Json.Str !current_experiment);
+        ("config", Json.Obj config);
+        ("metrics", Json.Obj metrics);
+      ]
+    :: !rows
+
+let count () = List.length !rows
+
+let write path =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (Json.List (List.rev !rows)));
+  output_char oc '\n';
+  close_out oc
+
+(* Shorthands so call sites stay one line per metric. *)
+let str s = Json.Str s
+let int n = Json.Int n
+let num f = Json.number f

@@ -8,7 +8,7 @@ open Cmdliner
 open Hi_hstore
 open Hi_workloads
 
-let run benchmark index_kind txns anticache_mb merge_ratio sample_every =
+let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json =
   let index_kind =
     match index_kind with
     | "btree" -> Engine.Btree_config
@@ -72,7 +72,15 @@ let run benchmark index_kind txns anticache_mb merge_ratio sample_every =
           (mb (Engine.total_in_memory s.Runner.memory))
           (mb s.Runner.memory.Engine.anticache_disk_bytes))
       r.Runner.samples
-  end
+  end;
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Hi_util.Metrics.dump ());
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote metrics snapshot to %s\n" path
 
 let benchmark =
   Arg.(value & opt string "tpcc" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark: tpcc, voter or articles.")
@@ -97,10 +105,19 @@ let merge_ratio =
 let sample_every =
   Arg.(value & opt int 0 & info [ "sample-every" ] ~docv:"N" ~doc:"Print a throughput/memory sample every N transactions.")
 
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:"Write a JSON snapshot of the process-wide metrics registry to $(docv) after the run.")
+
 let cmd =
   let doc = "run an OLTP benchmark on the hybrid-index main-memory engine" in
   Cmd.v
     (Cmd.info "hybrid_db" ~doc)
-    Term.(const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every)
+    Term.(
+      const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every
+      $ metrics_json)
 
 let () = exit (Cmd.eval cmd)

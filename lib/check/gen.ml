@@ -9,6 +9,7 @@
    compression and Masstree slice boundaries), prefix truncations, and a
    doubled-length key.  Sequences interleave adversarial patterns: sorted
    ascending runs, duplicate-overwrite bursts, delete-then-reinsert pairs,
+   delete-heavy bursts capped by an explicit flush (tombstone-only merges),
    and empty/full-range scans. *)
 
 open Hi_util
@@ -82,7 +83,16 @@ let sequence rng ~profile ~nkeys ~scans ~flushes ~n =
       push (Delete k);
       push (ins k)
     end
-    else if scans && r < 0.23 then begin
+    else if flushes && r < 0.22 then begin
+      (* delete-heavy burst capped by an explicit flush: drives merges whose
+         input is mostly (or only) tombstones, the Merge_cold empty-dynamic
+         path that once resurrected deleted static keys *)
+      for _ = 1 to 2 + Xorshift.int rng 8 do
+        push (Delete (ki ()))
+      done;
+      push Flush
+    end
+    else if scans && r < 0.27 then begin
       match Xorshift.int rng 4 with
       | 0 -> push Scan_all
       | 1 -> push (Scan (nkeys - 1, 1 + Xorshift.int rng 4)) (* at/past the top: near-empty *)

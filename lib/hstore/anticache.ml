@@ -145,6 +145,20 @@ let decode_block payload =
 
 (* --- block store --- *)
 
+(* Process-wide registry mirrors of the per-store counters (DESIGN.md
+   §10); every store instance aggregates into the same scope. *)
+module Metrics = Hi_util.Metrics
+
+let mscope = Metrics.scope "anticache"
+let m_evictions = Metrics.counter mscope "evictions"
+let m_fetches = Metrics.counter mscope "block_fetches"
+let m_transient = Metrics.counter mscope "transient_faults"
+let m_retries = Metrics.counter mscope "retries"
+let m_checksum_failures = Metrics.counter mscope "checksum_failures"
+let m_lost_blocks = Metrics.counter mscope "lost_blocks"
+let m_latency_spikes = Metrics.counter mscope "latency_spikes"
+let m_disk_bytes = Metrics.gauge mscope "disk_bytes"
+
 type stored = { payload : Bytes.t; crc : int32; stored_table : string; stored_bytes : int }
 
 type config = {
@@ -219,12 +233,15 @@ let write_block t ~table ~rows ~bytes =
   t.disk_bytes <- t.disk_bytes + bytes;
   t.physical_bytes <- t.physical_bytes + Bytes.length payload;
   t.evictions <- t.evictions + 1;
+  Metrics.incr m_evictions;
+  Metrics.set_int m_disk_bytes t.disk_bytes;
   id
 
 let remove_stored t id (s : stored) =
   Hashtbl.remove t.store id;
   t.disk_bytes <- t.disk_bytes - s.stored_bytes;
-  t.physical_bytes <- t.physical_bytes - Bytes.length s.payload
+  t.physical_bytes <- t.physical_bytes - Bytes.length s.payload;
+  Metrics.set_int m_disk_bytes t.disk_bytes
 
 (* Simulated device latency: a blocking fetch, like the paper's blocking
    eviction/uneviction path.  [sleep] is injectable so tests run without
@@ -234,7 +251,10 @@ let pay_latency t =
     match t.fault with
     | Some f ->
       let s = Hi_util.Fault.latency_spike f in
-      if s > 0.0 then t.latency_spikes <- t.latency_spikes + 1;
+      if s > 0.0 then begin
+        t.latency_spikes <- t.latency_spikes + 1;
+        Metrics.incr m_latency_spikes
+      end;
       s
     | None -> 0.0
   in
@@ -258,10 +278,12 @@ let fetch_block t id =
       let transient = match t.fault with Some f -> Hi_util.Fault.transient_fetch f | None -> false in
       if transient then begin
         t.transient_faults <- t.transient_faults + 1;
+        Metrics.incr m_transient;
         if n >= t.config.max_retries then
           raise (Fetch_failed { block = id; error = Transient; attempts = n + 1 })
         else begin
           t.retries <- t.retries + 1;
+          Metrics.incr m_retries;
           let backoff = t.config.backoff_base_s *. (2.0 ** float_of_int n) in
           if backoff > 0.0 then t.sleep backoff;
           attempt (n + 1)
@@ -271,11 +293,14 @@ let fetch_block t id =
         match verified_decode s with
         | Some b ->
           t.fetches <- t.fetches + 1;
+          Metrics.incr m_fetches;
           remove_stored t id s;
           b
         | None ->
           t.corrupt_blocks <- t.corrupt_blocks + 1;
           t.lost_blocks <- t.lost_blocks + 1;
+          Metrics.incr m_checksum_failures;
+          Metrics.incr m_lost_blocks;
           remove_stored t id s;
           raise (Fetch_failed { block = id; error = Corrupt; attempts = n + 1 })
     in
@@ -293,6 +318,8 @@ let read_block t id =
     | None ->
       t.corrupt_blocks <- t.corrupt_blocks + 1;
       t.lost_blocks <- t.lost_blocks + 1;
+      Metrics.incr m_checksum_failures;
+      Metrics.incr m_lost_blocks;
       remove_stored t id s;
       Error Corrupt)
 
@@ -301,7 +328,8 @@ let drop_block t id =
   | None -> ()
   | Some s ->
     remove_stored t id s;
-    t.lost_blocks <- t.lost_blocks + 1
+    t.lost_blocks <- t.lost_blocks + 1;
+    Metrics.incr m_lost_blocks
 
 let mem_block t id = Hashtbl.mem t.store id
 let block_ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.store [])

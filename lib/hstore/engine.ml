@@ -11,6 +11,18 @@
 
 open Hybrid_index
 
+(* Registry mirrors of [stats]; [txn_seconds] covers the whole
+   attempt/restart loop, so an eviction-restarted transaction shows up as
+   one (slow) sample. *)
+module Metrics = Hi_util.Metrics
+
+let mscope = Metrics.scope "engine"
+let m_committed = Metrics.counter mscope "committed"
+let m_user_aborts = Metrics.counter mscope "user_aborts"
+let m_evicted_restarts = Metrics.counter mscope "evicted_restarts"
+let m_lost_block_aborts = Metrics.counter mscope "lost_block_aborts"
+let m_txn_seconds = Metrics.histogram mscope "txn_seconds"
+
 exception Abort of string
 
 (* Which index implementation the engine builds for every table (Fig 8/9
@@ -250,6 +262,7 @@ let run t f =
     | result ->
       t.undo <- [];
       t.stats.committed <- t.stats.committed + 1;
+      Metrics.incr m_committed;
       maybe_evict t;
       Ok result
     | exception Table.Evicted_access { table = tname; block } -> (
@@ -257,6 +270,7 @@ let run t f =
       match Table.unevict_block (table t tname) t.anticache block with
       | () ->
         t.stats.evicted_restarts <- t.stats.evicted_restarts + 1;
+        Metrics.incr m_evicted_restarts;
         if tries <= 0 then Error (Txn_restart_limit max_restarts) else attempt (tries - 1)
       | exception Anticache.Fetch_failed { block; error = Transient; attempts } ->
         (* the block is intact on disk; the transaction fails but a later
@@ -268,10 +282,12 @@ let run t f =
            this transaction with a typed error *)
         ignore (Table.drop_evicted_block (table t tname) block);
         t.stats.lost_block_aborts <- t.stats.lost_block_aborts + 1;
+        Metrics.incr m_lost_block_aborts;
         Error (Txn_block_lost { table = tname; block; cause }))
     | exception Abort reason ->
       rollback t;
       t.stats.user_aborts <- t.stats.user_aborts + 1;
+      Metrics.incr m_user_aborts;
       Error (Txn_aborted reason)
     | exception e ->
       (* catch-all: no exception may leave a half-mutated partition with a
@@ -279,7 +295,7 @@ let run t f =
       rollback t;
       raise e
   in
-  attempt max_restarts
+  Metrics.time m_txn_seconds (fun () -> attempt max_restarts)
 
 (* Force all pending index merges (end-of-benchmark measurement aid). *)
 let flush_indexes t = Hashtbl.iter (fun _ tbl -> Table.flush_indexes tbl) t.tables

@@ -54,7 +54,13 @@ type stats = {
   merges : int;
   total_merge_seconds : float;
   last_merge_seconds : float;
+  merge_entries_moved : int; (* entries migrated into the static stage *)
+  merge_bytes_moved : int; (* key + value bytes those entries carried *)
   bloom_negative_skips : int; (* dynamic-stage searches avoided *)
+  bloom_checks : int; (* filter consultations *)
+  bloom_false_positives : int; (* positive answers the dynamic stage refuted *)
+  bloom_measured_fpr : float; (* false positives / (false positives + skips) *)
+  bloom_rebuilds : int; (* adaptive growths when the load outran capacity *)
 }
 
 (** Public operations of a hybrid index. *)
@@ -116,11 +122,34 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     mutable merges : int;
     mutable total_merge_seconds : float;
     mutable last_merge_seconds : float;
+    mutable merge_entries_moved : int;
+    mutable merge_bytes_moved : int;
     mutable bloom_negative_skips : int;
+    mutable bloom_checks : int;
+    mutable bloom_false_positives : int;
+    mutable bloom_rebuilds : int;
     mutable merge_log : (int * float) list; (* newest first internally *)
   }
 
   let name = "hybrid-" ^ D.name
+
+  (* Registry handles, shared by every instance of this instantiation:
+     counters aggregate across instances, per-stage gauges are
+     last-writer-wins (refreshed on merge and on [stats]). *)
+  let mscope = Metrics.scope ~labels:[ ("index", name) ] "hybrid"
+  let m_merges = Metrics.counter mscope "merges"
+  let m_merge_seconds = Metrics.histogram mscope "merge_seconds"
+  let m_merge_entries = Metrics.counter mscope "merge_entries_moved"
+  let m_merge_bytes = Metrics.counter mscope "merge_bytes_moved"
+  let m_bloom_checks = Metrics.counter mscope "bloom_checks"
+  let m_bloom_skips = Metrics.counter mscope "bloom_negative_skips"
+  let m_bloom_fp = Metrics.counter mscope "bloom_false_positives"
+  let m_bloom_rebuilds = Metrics.counter mscope "bloom_rebuilds"
+  let m_bloom_fpr = Metrics.gauge mscope "bloom_measured_fpr"
+  let m_dynamic_entries = Metrics.gauge mscope "dynamic_entries"
+  let m_static_entries = Metrics.gauge mscope "static_entries"
+  let m_dynamic_bytes = Metrics.gauge mscope "dynamic_bytes"
+  let m_static_bytes = Metrics.gauge mscope "static_bytes"
 
   let create ?(config = default_config) () =
     {
@@ -134,7 +163,12 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
       merges = 0;
       total_merge_seconds = 0.0;
       last_merge_seconds = 0.0;
+      merge_entries_moved = 0;
+      merge_bytes_moved = 0;
       bloom_negative_skips = 0;
+      bloom_checks = 0;
+      bloom_false_positives = 0;
+      bloom_rebuilds = 0;
       merge_log = [];
     }
 
@@ -146,7 +180,28 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
 
   (* Bloom-guided stage order for point operations (§3): negative filter
      answers skip the dynamic stage entirely. *)
-  let maybe_in_dynamic t key = (not t.config.use_bloom) || Bloom.mem t.bloom key
+  let maybe_in_dynamic t key =
+    if not t.config.use_bloom then true
+    else begin
+      t.bloom_checks <- t.bloom_checks + 1;
+      Metrics.incr m_bloom_checks;
+      if Bloom.mem t.bloom key then true
+      else begin
+        t.bloom_negative_skips <- t.bloom_negative_skips + 1;
+        Metrics.incr m_bloom_skips;
+        false
+      end
+    end
+
+  (* Called when the filter answered positive but the dynamic-stage probe
+     came up empty: a measured false positive (the filter never returns
+     false negatives, so positives refuted by the stage are the only error
+     class). *)
+  let note_bloom_fp t =
+    if t.config.use_bloom then begin
+      t.bloom_false_positives <- t.bloom_false_positives + 1;
+      Metrics.incr m_bloom_fp
+    end
 
   let static_find t key = if tombstoned t key then None else S.find t.stat key
   let static_find_all t key = if tombstoned t key then [] else S.find_all t.stat key
@@ -154,11 +209,12 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
   let find t key =
     touch t key;
     if maybe_in_dynamic t key then
-      match D.find t.dyn key with Some v -> Some v | None -> static_find t key
-    else begin
-      t.bloom_negative_skips <- t.bloom_negative_skips + 1;
-      static_find t key
-    end
+      match D.find t.dyn key with
+      | Some v -> Some v
+      | None ->
+        note_bloom_fp t;
+        static_find t key
+    else static_find t key
 
   let mem t key = find t key <> None
 
@@ -168,14 +224,24 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     | Primary -> (
       (* a primary key lives logically in one stage: dynamic wins *)
       if maybe_in_dynamic t key then
-        match D.find_all t.dyn key with [] -> static_find_all t key | vs -> vs
-      else begin
-        t.bloom_negative_skips <- t.bloom_negative_skips + 1;
-        static_find_all t key
-      end)
+        match D.find_all t.dyn key with
+        | [] ->
+          note_bloom_fp t;
+          static_find_all t key
+        | vs -> vs
+      else static_find_all t key)
     | Secondary ->
       (* value lists may be split across stages *)
-      let dyn_vs = if maybe_in_dynamic t key then D.find_all t.dyn key else [] in
+      let dyn_vs =
+        if maybe_in_dynamic t key then begin
+          match D.find_all t.dyn key with
+          | [] ->
+            note_bloom_fp t;
+            []
+          | vs -> vs
+        end
+        else []
+      in
       dyn_vs @ static_find_all t key
 
   (* --- merge (§5) --- *)
@@ -207,38 +273,96 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
       entries;
     (Array.of_list (List.rev !cold), List.rev !hot)
 
-  let rebuild_bloom t =
-    let expected = max t.config.min_merge_size (D.entry_count t.dyn * 2) in
+  let rebuild_bloom ?expected t =
+    let expected =
+      match expected with
+      | Some e -> e
+      | None -> max t.config.min_merge_size (D.entry_count t.dyn * 2)
+    in
     t.bloom <- Bloom.create ~fpr:t.config.bloom_fpr ~expected ();
     D.iter_sorted t.dyn (fun k _ -> Bloom.add t.bloom k)
 
+  (* A merge sizes the next filter for the (usually empty) dynamic stage,
+     but a Ratio trigger then lets the stage grow to ~static/ratio entries
+     before the next merge: once the load passes the sized capacity the
+     false-positive rate degrades toward 1 and every lookup pays both
+     stages.  Doubling on overflow keeps the measured rate within a small
+     factor of the configured one at amortized O(1) per insert. *)
+  let maybe_grow_bloom t =
+    if Bloom.count t.bloom > Bloom.capacity t.bloom then begin
+      rebuild_bloom ~expected:(2 * max (Bloom.count t.bloom) (Bloom.capacity t.bloom)) t;
+      t.bloom_rebuilds <- t.bloom_rebuilds + 1;
+      Metrics.incr m_bloom_rebuilds
+    end
+
+  let measured_fpr t =
+    let refuted = t.bloom_false_positives + t.bloom_negative_skips in
+    if refuted = 0 then 0.0 else float_of_int t.bloom_false_positives /. float_of_int refuted
+
+  let publish_gauges t =
+    Metrics.set_int m_dynamic_entries (D.entry_count t.dyn);
+    Metrics.set_int m_static_entries (S.entry_count t.stat);
+    Metrics.set_int m_dynamic_bytes (D.memory_bytes t.dyn);
+    Metrics.set_int m_static_bytes (S.memory_bytes t.stat);
+    if t.config.use_bloom then Metrics.set m_bloom_fpr (measured_fpr t)
+
+  let batch_entries b = Array.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 b
+
+  let batch_bytes b =
+    Array.fold_left (fun acc (k, vs) -> acc + String.length k + (8 * Array.length vs)) 0 b
+
+  (* Merge only when there is work — entries to migrate or tombstones to
+     collect — and always collect tombstones through [S.merge]: resetting
+     the tombstone table without the collecting merge would resurrect
+     deleted static-resident keys (a tombstone-only [force_merge] under
+     [Merge_cold] used to do exactly that). *)
   let do_merge t =
-    let static_bytes_before = S.memory_bytes t.stat in
-    let t0 = Unix.gettimeofday () in
     let entries = collect_dynamic_entries t in
-    let mode = match t.config.kind with Primary -> Index_intf.Replace | Secondary -> Index_intf.Concat in
-    let deleted key = Hashtbl.mem t.tombstones key in
-    (match t.config.strategy with
-    | Merge_all ->
-      t.stat <- S.merge t.stat entries ~mode ~deleted;
-      D.clear t.dyn;
-      Hashtbl.reset t.access
-    | Merge_cold ->
-      if Array.length entries = 0 then ()
-      else begin
-        let cold, hot = split_cold t entries in
-        t.stat <- S.merge t.stat cold ~mode ~deleted;
-        D.clear t.dyn;
-        Hashtbl.reset t.access;
-        List.iter (fun (k, vs) -> Array.iter (fun v -> D.insert t.dyn k v) vs) hot
-      end);
-    Hashtbl.reset t.tombstones;
-    rebuild_bloom t;
-    let dt = Unix.gettimeofday () -. t0 in
-    t.merges <- t.merges + 1;
-    t.total_merge_seconds <- t.total_merge_seconds +. dt;
-    t.last_merge_seconds <- dt;
-    t.merge_log <- (static_bytes_before, dt) :: t.merge_log
+    if Array.length entries > 0 || Hashtbl.length t.tombstones > 0 then begin
+      let static_bytes_before = S.memory_bytes t.stat in
+      let t0 = Unix.gettimeofday () in
+      let mode =
+        match t.config.kind with Primary -> Index_intf.Replace | Secondary -> Index_intf.Concat
+      in
+      let deleted key = Hashtbl.mem t.tombstones key in
+      let moved =
+        match t.config.strategy with
+        | Merge_all ->
+          t.stat <- S.merge t.stat entries ~mode ~deleted;
+          D.clear t.dyn;
+          Hashtbl.reset t.access;
+          entries
+        | Merge_cold ->
+          if Array.length entries = 0 then begin
+            (* tombstone-only merge: nothing to migrate or keep hot, but
+               the static stage must still drop the deleted keys *)
+            t.stat <- S.merge t.stat [||] ~mode ~deleted;
+            [||]
+          end
+          else begin
+            let cold, hot = split_cold t entries in
+            t.stat <- S.merge t.stat cold ~mode ~deleted;
+            D.clear t.dyn;
+            Hashtbl.reset t.access;
+            List.iter (fun (k, vs) -> Array.iter (fun v -> D.insert t.dyn k v) vs) hot;
+            cold
+          end
+      in
+      Hashtbl.reset t.tombstones;
+      rebuild_bloom t;
+      let dt = Unix.gettimeofday () -. t0 in
+      t.merges <- t.merges + 1;
+      t.total_merge_seconds <- t.total_merge_seconds +. dt;
+      t.last_merge_seconds <- dt;
+      t.merge_entries_moved <- t.merge_entries_moved + batch_entries moved;
+      t.merge_bytes_moved <- t.merge_bytes_moved + batch_bytes moved;
+      t.merge_log <- (static_bytes_before, dt) :: t.merge_log;
+      Metrics.incr m_merges;
+      Metrics.observe m_merge_seconds dt;
+      Metrics.add m_merge_entries (batch_entries moved);
+      Metrics.add m_merge_bytes (batch_bytes moved);
+      publish_gauges t
+    end
 
   let should_merge t =
     let d = D.entry_count t.dyn in
@@ -247,14 +371,16 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     | Constant c -> d >= c
 
   let maybe_merge t = if should_merge t then do_merge t
-
-  let force_merge t = if D.entry_count t.dyn > 0 || Hashtbl.length t.tombstones > 0 then do_merge t
+  let force_merge t = do_merge t
 
   (* --- writes --- *)
 
   let dynamic_insert t key value =
     D.insert t.dyn key value;
-    if t.config.use_bloom then Bloom.add t.bloom key;
+    if t.config.use_bloom then begin
+      Bloom.add t.bloom key;
+      maybe_grow_bloom t
+    end;
     touch t key;
     maybe_merge t
 
@@ -264,9 +390,14 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
      reinserted entry lives in the dynamic stage and survives the merge on
      its own. *)
   let insert_unique t key value =
-    let exists =
-      (if maybe_in_dynamic t key then D.mem t.dyn key else false) || static_find t key <> None
+    let in_dyn =
+      maybe_in_dynamic t key
+      &&
+      let hit = D.mem t.dyn key in
+      if not hit then note_bloom_fp t;
+      hit
     in
+    let exists = in_dyn || static_find t key <> None in
     if exists then false
     else begin
       dynamic_insert t key value;
@@ -297,7 +428,13 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
 
   let delete t key =
     touch t key;
-    let in_dyn = if maybe_in_dynamic t key then D.delete t.dyn key else false in
+    let in_dyn =
+      maybe_in_dynamic t key
+      &&
+      let hit = D.delete t.dyn key in
+      if not hit then note_bloom_fp t;
+      hit
+    in
     let in_static = (not (tombstoned t key)) && S.mem t.stat key in
     if in_static then Hashtbl.replace t.tombstones key ();
     in_dyn || in_static
@@ -459,10 +596,17 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     List.rev !violations
 
   let stats t =
+    publish_gauges t;
     {
       merges = t.merges;
       total_merge_seconds = t.total_merge_seconds;
       last_merge_seconds = t.last_merge_seconds;
+      merge_entries_moved = t.merge_entries_moved;
+      merge_bytes_moved = t.merge_bytes_moved;
       bloom_negative_skips = t.bloom_negative_skips;
+      bloom_checks = t.bloom_checks;
+      bloom_false_positives = t.bloom_false_positives;
+      bloom_measured_fpr = measured_fpr t;
+      bloom_rebuilds = t.bloom_rebuilds;
     }
 end

@@ -8,6 +8,7 @@ type t = {
   mutable bits : Bytes.t;
   mutable nbits : int;
   k : int;
+  capacity : int; (* the [expected] load the filter was sized for *)
   mutable count : int; (* keys added since last clear *)
 }
 
@@ -32,7 +33,7 @@ let hashes_for ~expected ~nbits =
 let create ?(fpr = 0.01) ~expected () =
   let nbits = bits_for ~expected ~fpr in
   let k = hashes_for ~expected ~nbits in
-  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; k; count = 0 }
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; k; capacity = max 1 expected; count = 0 }
 
 let set_bit t i =
   let byte = i lsr 3 and bit = i land 7 in
@@ -83,6 +84,7 @@ let clear t =
   t.count <- 0
 
 let count t = t.count
+let capacity t = t.capacity
 let nbits t = t.nbits
 let hash_count t = t.k
 let memory_bytes t = Bytes.length t.bits

@@ -22,6 +22,11 @@ val clear : t -> unit
 val count : t -> int
 (** Keys added since the last {!clear}. *)
 
+val capacity : t -> int
+(** The [expected] load the filter was sized for; beyond it the
+    false-positive rate degrades past the configured target, so callers
+    tracking {!count} can rebuild a bigger filter in time. *)
+
 val nbits : t -> int
 (** Number of bits in the filter. *)
 

@@ -1,0 +1,23 @@
+(** Minimal JSON value type and emitter (no parsing, no dependencies).
+
+    Used by {!Metrics} and the benchmark harness to write machine-readable
+    output such as [BENCH_results.json]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for human-diffable files. *)
+
+val number : float -> t
+(** [Float f], except nan and infinities become [Null] (JSON has no
+    literal for them). *)

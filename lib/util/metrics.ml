@@ -1,0 +1,179 @@
+(* Process-wide metrics registry: named counters, gauges and latency
+   histograms under labeled scopes, with a snapshot API and a JSON
+   emitter.
+
+   The registry exists so every layer of the stack — the hybrid index
+   (merge counts/durations/bytes-moved, Bloom filter hit rates), the
+   H-Store engine and its anti-cache block store (evictions, fetches,
+   retries, checksum failures, transaction latency) and the workload
+   runner (throughput windows, abort breakdown) — reports into one place
+   that benchmarks and the CLI can snapshot and serialize.
+
+   Handles are cheap mutable records resolved once (a Hashtbl lookup at
+   registration) and then updated with plain field writes, so counters are
+   safe to touch on hot paths.  Metrics with the same (scope, labels,
+   name) share a handle: several index instances of the same configuration
+   aggregate into one counter, which is what a process-wide registry
+   wants.  Gauges are last-writer-wins. *)
+
+type labels = (string * string) list
+
+type scope = { scope_name : string; labels : labels }
+
+let scope ?(labels = []) scope_name = { scope_name; labels = List.sort compare labels }
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = Histogram.t
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of histogram
+
+(* Registry key: scope name, sorted labels, metric name. *)
+type key = string * labels * string
+
+let registry : (key, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
+
+let register scope name make match_existing =
+  let key = (scope.scope_name, scope.labels, name) in
+  match Hashtbl.find_opt registry key with
+  | Some m -> (
+    match match_existing m with
+    | Some handle -> handle
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s/%s already registered as a %s" scope.scope_name name
+           (kind_name m)))
+  | None ->
+    let m, handle = make () in
+    Hashtbl.replace registry key m;
+    handle
+
+let counter scope name =
+  register scope name
+    (fun () ->
+      let c = { count = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge scope name =
+  register scope name
+    (fun () ->
+      let g = { value = 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram scope name =
+  register scope name
+    (fun () ->
+      let h = Histogram.create () in
+      (Hist h, h))
+    (function Hist h -> Some h | _ -> None)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+let set g v = g.value <- v
+let set_int g v = g.value <- float_of_int v
+let gauge_value g = g.value
+let observe h v = Histogram.record h v
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Histogram.record h (Unix.gettimeofday () -. t0);
+  r
+
+(* --- snapshot --- *)
+
+type hist_summary = { samples : int; mean : float; p50 : float; p99 : float; max : float }
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Hist_value of hist_summary
+
+type sample = { sample_scope : string; sample_labels : labels; name : string; value : value }
+
+let summarize h =
+  {
+    samples = Histogram.count h;
+    mean = Histogram.mean h;
+    p50 = Histogram.median h;
+    p99 = Histogram.percentile h 99.0;
+    max = Histogram.max_value h;
+  }
+
+let snapshot () =
+  let rows =
+    Hashtbl.fold
+      (fun (sample_scope, sample_labels, name) metric acc ->
+        let value =
+          match metric with
+          | Counter c -> Counter_value c.count
+          | Gauge g -> Gauge_value g.value
+          | Hist h -> Hist_value (summarize h)
+        in
+        { sample_scope; sample_labels; name; value } :: acc)
+      registry []
+  in
+  (* deterministic order for diffable output *)
+  List.sort
+    (fun a b ->
+      compare
+        (a.sample_scope, a.sample_labels, a.name)
+        (b.sample_scope, b.sample_labels, b.name))
+    rows
+
+let value_to_json = function
+  | Counter_value n -> Json.Int n
+  | Gauge_value v -> Json.number v
+  | Hist_value h ->
+    Json.Obj
+      [
+        ("samples", Json.Int h.samples);
+        ("mean", Json.number h.mean);
+        ("p50", Json.number h.p50);
+        ("p99", Json.number h.p99);
+        ("max", Json.number h.max);
+      ]
+
+let sample_to_json s =
+  Json.Obj
+    ([ ("scope", Json.Str s.sample_scope) ]
+    @ (if s.sample_labels = [] then []
+       else [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.sample_labels)) ])
+    @ [ ("name", Json.Str s.name); ("value", value_to_json s.value) ])
+
+let to_json samples = Json.List (List.map sample_to_json samples)
+
+let dump () = Json.to_string_pretty (to_json (snapshot ()))
+
+(* Zero every registered metric in place.  Handles stay valid — they are
+   held at module level by instrumented code (the hybrid functor, the
+   engine), so dropping entries would silently orphan them.  Meant for
+   test isolation and between-run hygiene. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Hist h -> Histogram.clear h)
+    registry
+
+(* Find a registered counter/gauge value by path, mostly for tests and
+   assertions over instrumented code. *)
+let find_counter scope name =
+  match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
+  | Some (Counter c) -> Some c.count
+  | _ -> None
+
+let find_gauge scope name =
+  match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
+  | Some (Gauge g) -> Some g.value
+  | _ -> None

@@ -1,0 +1,68 @@
+(** Process-wide metrics registry: counters, gauges and latency histograms
+    under labeled scopes, with a snapshot API and a JSON emitter.
+
+    Handles are resolved once and updated with plain field writes, so they
+    are safe on hot paths.  Metrics with the same (scope, labels, name)
+    share a handle and aggregate; gauges are last-writer-wins.  See
+    DESIGN.md §10 for the metric name catalogue. *)
+
+type labels = (string * string) list
+
+type scope
+
+val scope : ?labels:labels -> string -> scope
+(** [scope ~labels name] names a subsystem; labels distinguish instances
+    (e.g. [("index", "hybrid-btree")]).  Label order is normalized. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : scope -> string -> counter
+(** Get or create a monotonic counter.
+    @raise Invalid_argument if the name is registered with another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : scope -> string -> gauge
+val set : gauge -> float -> unit
+val set_int : gauge -> int -> unit
+val gauge_value : gauge -> float
+
+type histogram = Histogram.t
+
+val histogram : scope -> string -> histogram
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run a thunk, recording its wall-clock duration in seconds. *)
+
+(** {1 Snapshot} *)
+
+type hist_summary = { samples : int; mean : float; p50 : float; p99 : float; max : float }
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Hist_value of hist_summary
+
+type sample = { sample_scope : string; sample_labels : labels; name : string; value : value }
+
+val snapshot : unit -> sample list
+(** Every registered metric, sorted by (scope, labels, name). *)
+
+val to_json : sample list -> Json.t
+
+val dump : unit -> string
+(** [to_string_pretty (to_json (snapshot ()))]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place (test/bench isolation).
+    Handles stay valid. *)
+
+val find_counter : scope -> string -> int option
+val find_gauge : scope -> string -> float option

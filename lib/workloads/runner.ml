@@ -22,7 +22,12 @@ type result = {
   committed : int;
   user_aborts : int;
   evicted_restarts : int;
+  lost_block_aborts : int;
 }
+
+let mscope = Metrics.scope "runner"
+let m_tps = Metrics.gauge mscope "tps"
+let m_window_tps = Metrics.histogram mscope "window_tps"
 
 (* Run [num_txns] transactions; [transaction] returns a result we ignore
    beyond abort accounting (the engine tracks commits/aborts itself). *)
@@ -30,6 +35,14 @@ let run (engine : Engine.t) ~transaction ~num_txns ?(warmup = 0) ?(sample_every 
   for _ = 1 to warmup do
     ignore (transaction engine)
   done;
+  (* [Engine.stats] returns the engine's live mutable record, so snapshot
+     the counts now and report deltas: warmup transactions must not
+     inflate [committed]/abort totals relative to [txns]. *)
+  let s0 = Engine.stats engine in
+  let committed0 = s0.Engine.committed in
+  let user_aborts0 = s0.Engine.user_aborts in
+  let evicted_restarts0 = s0.Engine.evicted_restarts in
+  let lost_block_aborts0 = s0.Engine.lost_block_aborts in
   let latency = Histogram.create () in
   let samples = ref [] in
   let window_start = ref (Unix.gettimeofday ()) in
@@ -42,19 +55,23 @@ let run (engine : Engine.t) ~transaction ~num_txns ?(warmup = 0) ?(sample_every 
       let now = Unix.gettimeofday () in
       let window_tps = float_of_int sample_every /. (now -. !window_start) in
       window_start := now;
+      Metrics.observe m_window_tps window_tps;
       samples := { at_txn = i; window_tps; memory = Engine.memory_breakdown engine } :: !samples
     end
   done;
   let seconds = Unix.gettimeofday () -. t0 in
+  let tps = float_of_int num_txns /. seconds in
+  Metrics.set m_tps tps;
   let stats = Engine.stats engine in
   {
     txns = num_txns;
     seconds;
-    tps = float_of_int num_txns /. seconds;
+    tps;
     latency;
     memory = Engine.memory_breakdown engine;
     samples = List.rev !samples;
-    committed = stats.Engine.committed;
-    user_aborts = stats.Engine.user_aborts;
-    evicted_restarts = stats.Engine.evicted_restarts;
+    committed = stats.Engine.committed - committed0;
+    user_aborts = stats.Engine.user_aborts - user_aborts0;
+    evicted_restarts = stats.Engine.evicted_restarts - evicted_restarts0;
+    lost_block_aborts = stats.Engine.lost_block_aborts - lost_block_aborts0;
   }

@@ -19,6 +19,7 @@ type result = {
   committed : int;
   user_aborts : int;
   evicted_restarts : int;
+  lost_block_aborts : int;
 }
 
 val run :
@@ -31,4 +32,6 @@ val run :
   result
 (** Run [num_txns] transactions ([warmup] extra unmeasured ones first);
     with [sample_every] > 0 a throughput/memory sample is taken every that
-    many transactions. *)
+    many transactions.  Commit/abort counts are deltas over the measured
+    transactions only — warmup work is excluded, so
+    [committed + user_aborts + failed = txns]. *)

@@ -342,6 +342,62 @@ let test_merge_cold_collects_overwritten_key () =
   Alcotest.(check (list string)) "invariants clean" [] (H.check_invariants t);
   check_int "exactly one copy of the key" 24 (H.entry_count t)
 
+let test_merge_cold_tombstone_only_merge () =
+  (* delete a static-resident key, then force a merge while the dynamic
+     stage is empty under Merge_cold: the tombstone must be collected
+     through the static merge, not silently dropped — dropping it
+     resurrected the deleted key *)
+  let config = { small_config with strategy = Hybrid.Merge_cold } in
+  let t = H.create ~config () in
+  for i = 0 to 7 do
+    ignore (H.insert_unique t (Key_codec.encode_int i) i)
+  done;
+  (* merge-cold keeps hot keys behind, so merge until the stage drains *)
+  while H.dynamic_entry_count t > 0 do
+    H.force_merge t
+  done;
+  check_int "all keys static" 8 (H.static_entry_count t);
+  check "delete static key" true (H.delete t (Key_codec.encode_int 3));
+  check_int "dynamic stage empty" 0 (H.dynamic_entry_count t);
+  let merges_before = (H.stats t).merges in
+  H.force_merge t;
+  (* a tombstone-only merge did real work, so it is recorded *)
+  check "tombstone-only merge recorded" true ((H.stats t).merges > merges_before);
+  Alcotest.(check (option int)) "deleted key stays gone" None (H.find t (Key_codec.encode_int 3));
+  check "mem agrees" false (H.mem t (Key_codec.encode_int 3));
+  Alcotest.(check (list string)) "invariants clean" [] (H.check_invariants t);
+  check_int "tombstoned key physically removed" 7 (H.static_entry_count t);
+  (* a force_merge with no work at all must not count as a merge *)
+  let merges_before = (H.stats t).merges in
+  H.force_merge t;
+  check_int "no-op force_merge not recorded" merges_before (H.stats t).merges
+
+let test_bloom_fpr_stays_bounded () =
+  (* at merge time the bloom filter is rebuilt sized for an empty dynamic
+     stage (min_merge_size keys); under Ratio 10 the stage then grows to
+     ~static/10 entries and the undersized filter used to saturate,
+     driving the measured false-positive rate towards 1.  The filter must
+     grow with the stage, keeping the measured FPR near the configured
+     target. *)
+  let config =
+    { Hybrid.default_config with trigger = Hybrid.Ratio 10; min_merge_size = 64; bloom_fpr = 0.01 }
+  in
+  let t = H.create ~config () in
+  for i = 0 to 21_999 do
+    ignore (H.insert_unique t (Key_codec.encode_int i) i)
+  done;
+  (* probe absent keys: every bloom-positive that the dynamic stage then
+     refutes is a measured false positive *)
+  for i = 0 to 1_999 do
+    ignore (H.find t (Key_codec.encode_int (100_000 + i)))
+  done;
+  let s = H.stats t in
+  check "bloom rebuilt as the stage outgrew it" true (s.bloom_rebuilds > 0);
+  check
+    (Printf.sprintf "measured FPR %.4f within 2x the configured 0.01" s.bloom_measured_fpr)
+    true
+    (s.bloom_measured_fpr <= 0.02)
+
 (* --- model-based end-to-end check: hybrid behaves like one big map --- *)
 
 let test_hybrid_model () =
@@ -408,6 +464,10 @@ let () =
           Alcotest.test_case "scan max_int with tombstone" `Quick test_scan_max_int_with_tombstone;
           Alcotest.test_case "merge-cold collects overwritten key" `Quick
             test_merge_cold_collects_overwritten_key;
+          Alcotest.test_case "merge-cold tombstone-only merge" `Quick
+            test_merge_cold_tombstone_only_merge;
+          Alcotest.test_case "bloom FPR stays bounded past merge sizing" `Quick
+            test_bloom_fpr_stays_bounded;
         ] );
       ("model", [ Alcotest.test_case "hybrid behaves like a map" `Slow test_hybrid_model ]);
     ]

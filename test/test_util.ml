@@ -184,6 +184,98 @@ let test_bloom_sizing () =
   check "larger expectation, more bits" true (Bloom.nbits large > Bloom.nbits small);
   check "k >= 1" true (Bloom.hash_count small >= 1)
 
+let test_bloom_capacity () =
+  let b = Bloom.create ~expected:100 () in
+  check_int "capacity = expected" 100 (Bloom.capacity b);
+  for i = 0 to 149 do
+    Bloom.add b (string_of_int i)
+  done;
+  (* count can exceed capacity — that's the overload signal callers use *)
+  check "count past capacity" true (Bloom.count b > Bloom.capacity b);
+  check_int "capacity unchanged by load" 100 (Bloom.capacity b)
+
+(* --- Json --- *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "control chars and quotes"
+    {|{"k":"a\"b\\c\n\t\u0001"}|}
+    (Json.to_string (Json.Obj [ ("k", Json.Str "a\"b\\c\n\t\001") ]));
+  Alcotest.(check string) "empty containers" {|[{},[]]|}
+    (Json.to_string (Json.List [ Json.Obj []; Json.List [] ]))
+
+let test_json_numbers () =
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+  Alcotest.(check string) "float roundtrip" "0.1" (Json.to_string (Json.Float 0.1));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.number nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.number infinity));
+  Alcotest.(check string) "negative" "-3.5" (Json.to_string (Json.Float (-3.5)))
+
+let test_json_pretty () =
+  Alcotest.(check string) "pretty object"
+    "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+    (Json.to_string_pretty
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]))
+
+(* --- Metrics --- *)
+
+let test_metrics_counters () =
+  Metrics.reset ();
+  let s = Metrics.scope ~labels:[ ("x", "1") ] "test_metrics" in
+  let c = Metrics.counter s "ops" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter value" 5 (Metrics.counter_value c);
+  (* same (scope, labels, name) resolves to the same handle *)
+  let c2 = Metrics.counter s "ops" in
+  Metrics.incr c2;
+  check_int "aggregated" 6 (Metrics.counter_value c);
+  Alcotest.(check (option int)) "find_counter" (Some 6) (Metrics.find_counter s "ops")
+
+let test_metrics_kind_mismatch () =
+  let s = Metrics.scope "test_metrics_kinds" in
+  ignore (Metrics.counter s "c");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics: test_metrics_kinds/c already registered as a counter")
+    (fun () -> ignore (Metrics.gauge s "c"))
+
+let test_metrics_snapshot_and_reset () =
+  Metrics.reset ();
+  let s = Metrics.scope "test_metrics_snap" in
+  let c = Metrics.counter s "b_count" in
+  let g = Metrics.gauge s "a_level" in
+  let h = Metrics.histogram s "c_lat" in
+  Metrics.add c 3;
+  Metrics.set g 1.5;
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.75;
+  let mine =
+    List.filter (fun r -> r.Metrics.sample_scope = "test_metrics_snap") (Metrics.snapshot ())
+  in
+  Alcotest.(check (list string)) "sorted by name" [ "a_level"; "b_count"; "c_lat" ]
+    (List.map (fun r -> r.Metrics.name) mine);
+  (match List.map (fun r -> r.Metrics.value) mine with
+  | [ Metrics.Gauge_value v; Metrics.Counter_value n; Metrics.Hist_value hs ] ->
+    check "gauge" true (v = 1.5);
+    check_int "counter" 3 n;
+    check_int "hist samples" 2 hs.Metrics.samples;
+    check "hist mean" true (abs_float (hs.Metrics.mean -. 0.5) < 1e-9)
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  (* the snapshot serializes *)
+  check "dump is json" true (String.length (Metrics.dump ()) > 2);
+  (* reset zeroes in place: existing handles stay usable *)
+  Metrics.reset ();
+  check_int "counter zeroed" 0 (Metrics.counter_value c);
+  check "gauge zeroed" true (Metrics.gauge_value g = 0.0);
+  Metrics.incr c;
+  check_int "handle still live after reset" 1 (Metrics.counter_value c)
+
+let test_metrics_time () =
+  let s = Metrics.scope "test_metrics_time" in
+  let h = Metrics.histogram s "lat" in
+  let r = Metrics.time h (fun () -> 7 * 6) in
+  check_int "thunk result" 42 r;
+  check "sample recorded" true (Histogram.count h = 1)
+
 (* --- Key_codec --- *)
 
 let test_codec_roundtrip () =
@@ -505,6 +597,20 @@ let () =
           Alcotest.test_case "false positive rate" `Quick test_bloom_fpr;
           Alcotest.test_case "clear" `Quick test_bloom_clear;
           Alcotest.test_case "sizing" `Quick test_bloom_sizing;
+          Alcotest.test_case "capacity" `Quick test_bloom_capacity;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "pretty printing" `Quick test_json_pretty;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters aggregate" `Quick test_metrics_counters;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_metrics_kind_mismatch;
+          Alcotest.test_case "snapshot and reset" `Quick test_metrics_snapshot_and_reset;
+          Alcotest.test_case "time" `Quick test_metrics_time;
         ] );
       ( "key_codec",
         Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip

@@ -140,6 +140,27 @@ let test_runner_samples () =
   check "p50 <= p99" true
     (Hi_util.Histogram.median r.Runner.latency <= Hi_util.Histogram.percentile r.Runner.latency 99.0)
 
+let test_runner_excludes_warmup () =
+  (* warmup transactions run against the same engine, so the runner must
+     report commit/abort deltas over the measured window only — totals
+     used to include warmup work and break committed+aborts = txns *)
+  let engine = engine_with Engine.Btree_config in
+  let n = ref 0 in
+  let transaction e =
+    (* every 5th transaction aborts deterministically, in warmup and
+       measurement alike *)
+    incr n;
+    Engine.run e (fun _ -> if !n mod 5 = 0 then raise (Engine.Abort "every 5th") else ())
+  in
+  let r = Runner.run engine ~transaction ~num_txns:400 ~warmup:150 () in
+  check_int "txns reported" 400 r.Runner.txns;
+  check_int "committed + aborts = txns" 400 (r.Runner.committed + r.Runner.user_aborts);
+  check "aborts happened in the window" true (r.Runner.user_aborts > 0);
+  check_int "no lost blocks without anti-caching" 0 r.Runner.lost_block_aborts;
+  (* the engine's own totals still include warmup, as they should *)
+  check_int "engine totals include warmup" 550
+    ((Engine.stats engine).Engine.committed + (Engine.stats engine).Engine.user_aborts)
+
 (* --- YCSB driver --- *)
 
 let tiny_spec workload key_type =
@@ -199,7 +220,11 @@ let () =
           Alcotest.test_case "run + consistency" `Quick test_articles;
           Alcotest.test_case "hybrid indexes" `Quick test_articles_hybrid;
         ] );
-      ("runner", [ Alcotest.test_case "samples" `Quick test_runner_samples ]);
+      ( "runner",
+        [
+          Alcotest.test_case "samples" `Quick test_runner_samples;
+          Alcotest.test_case "warmup excluded from totals" `Quick test_runner_excludes_warmup;
+        ] );
       ( "ycsb",
         [
           Alcotest.test_case "all workloads x key types" `Quick test_ycsb_all_workloads;
