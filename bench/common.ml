@@ -30,6 +30,10 @@ let scale = ref 1.0
 
 let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
 
+(* --partitions: how many domain-backed partitions the scaling experiment
+   spreads the sharded workloads over (DESIGN.md §11). *)
+let partitions = ref 1
+
 let structures = [ "btree"; "masstree"; "skiplist"; "art" ]
 
 let dynamic_of = function

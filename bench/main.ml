@@ -1,12 +1,13 @@
 (* Benchmark harness entry point.
 
-   Usage:  bench/main.exe [--scale F] [--out FILE] [experiment ...]
+   Usage:  bench/main.exe [--scale F] [--out FILE] [--partitions N] [experiment ...]
 
    Experiments (one per table/figure of the paper — see DESIGN.md §4):
      table1 table2 table3 table4
      fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13
+     scaling         (domain-per-partition throughput at --partitions N)
      bechamel        (OLS microbenchmarks of the core operations)
-     all             (everything except bechamel; the default)
+     all             (everything except bechamel and scaling; the default)
 
    --scale multiplies every dataset/operation count (default 1.0 runs a
    laptop-scale configuration in a few minutes).
@@ -33,6 +34,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ext-merge", Micro.ext_merge);
     ("ablation", Micro.ablation);
     ("appendixA", Micro.appendix_a);
+    ("scaling", Shard_bench.scaling);
     ("bechamel", Bechamel_suite.run);
   ]
 
@@ -40,7 +42,7 @@ let all_order =
   [ "table4"; "table2"; "fig5"; "fig6"; "fig7"; "fig11"; "fig12"; "fig13"; "ext-merge"; "ablation"; "appendixA"; "table1"; "fig8"; "table3"; "fig9"; "faults" ]
 
 let usage () =
-  Printf.printf "usage: %s [--scale F] [--out FILE] [%s|all]...\n" Sys.argv.(0)
+  Printf.printf "usage: %s [--scale F] [--out FILE] [--partitions N] [%s|all]...\n" Sys.argv.(0)
     (String.concat "|" (List.map fst experiments));
   exit 1
 
@@ -54,6 +56,9 @@ let () =
       parse acc rest
     | "--out" :: v :: rest ->
       out := v;
+      parse acc rest
+    | "--partitions" :: v :: rest ->
+      (try Common.partitions := max 1 (int_of_string v) with _ -> usage ());
       parse acc rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->

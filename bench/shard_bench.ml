@@ -1,0 +1,129 @@
+(* Partition-scaling experiment (DESIGN.md §11): run Voter and TPC-C
+   through the sharded runtime at 1 partition and at --partitions N, and
+   record aggregate plus per-partition rows so CI can assert that adding
+   domains adds committed throughput.
+
+   Each configuration gets a fresh router (domains spawned per run, joined
+   before the row is recorded), so the numbers are isolated runs, not a
+   warm/cold comparison. *)
+
+open Hi_shard
+open Common
+
+(* Floors keep the smoke configuration (--scale 0.01) large enough that
+   domain spawn cost doesn't swamp the measurement. *)
+let txns_for = function
+  | "voter" -> max 20_000 (scaled 200_000)
+  | "tpcc" -> max 4_000 (scaled 40_000)
+  | _ -> scaled 20_000
+
+let voter_scale () =
+  { Hi_workloads.Voter.default_scale with phone_numbers = max 10_000 (scaled 50_000) }
+
+let tpcc_scale ~partitions =
+  {
+    Hi_workloads.Tpcc.warehouses = max 4 partitions;
+    items = max 100 (scaled 2_000);
+    customers_per_district = max 10 (scaled 100);
+  }
+
+type instance = {
+  next : int -> Shard_workload.spec;
+  router : Router.t;
+  consistent : unit -> bool;
+  stop : unit -> unit;
+}
+
+let make_instance workload ~partitions ~seed =
+  match workload with
+  | "voter" ->
+    let w =
+      Shard_workload.Voter_shard.create ~scale:(voter_scale ()) ~seed ~partitions ()
+    in
+    {
+      next = Shard_workload.Voter_shard.next w;
+      router = Shard_workload.Voter_shard.router w;
+      consistent = (fun () -> Shard_workload.Voter_shard.check_consistency w);
+      stop = (fun () -> Shard_workload.Voter_shard.stop w);
+    }
+  | "tpcc" ->
+    let w =
+      Shard_workload.Tpcc_shard.create ~scale:(tpcc_scale ~partitions) ~seed ~partitions ()
+    in
+    {
+      next = Shard_workload.Tpcc_shard.next w;
+      router = Shard_workload.Tpcc_shard.router w;
+      consistent = (fun () -> Shard_workload.Tpcc_shard.check_consistency w);
+      stop = (fun () -> Shard_workload.Tpcc_shard.stop w);
+    }
+  | w -> invalid_arg ("unknown sharded workload " ^ w)
+
+let run_one workload ~partitions =
+  let txns = txns_for workload in
+  let inst = make_instance workload ~partitions ~seed:31 in
+  let stats = Shard_runner.run ~router:inst.router ~next:inst.next ~num_txns:txns () in
+  let consistent = inst.consistent () in
+  inst.stop ();
+  (stats, consistent)
+
+let record_rows workload ~partitions (stats : Shard_runner.stats) ~consistent =
+  Results.(
+    record
+      ~config:
+        [
+          ("workload", str workload);
+          ("partitions", int partitions);
+          ("txns", int stats.total);
+          ("row", str "aggregate");
+        ]
+      ~metrics:
+        [
+          ("tps", num stats.tps);
+          ("committed", int stats.committed);
+          ("aborted", int stats.aborted);
+          ("multi_partition_txns", int stats.multi);
+          ("multi_partition_aborts", int stats.multi_aborted);
+          ("mean_latency_us", num (stats.mean_latency_s *. 1.0e6));
+          ("p99_latency_us", num (stats.p99_latency_s *. 1.0e6));
+          ("elapsed_s", num stats.elapsed_s);
+          ("consistent", str (if consistent then "true" else "false"));
+        ]);
+  List.iter
+    (fun (p : Shard_runner.per_partition) ->
+      Results.(
+        record
+          ~config:
+            [
+              ("workload", str workload);
+              ("partitions", int partitions);
+              ("partition", int p.pid);
+              ("row", str "per_partition");
+            ]
+          ~metrics:
+            [
+              ("committed", int p.committed);
+              ("aborted", int p.aborted);
+              ("queue_peak", int p.queue_peak);
+            ]))
+    stats.per_partition
+
+let scaling () =
+  let n = max 1 !Common.partitions in
+  let parts_list = if n = 1 then [ 1 ] else [ 1; n ] in
+  section
+    (Printf.sprintf "Partition scaling: domain-per-partition runtime at %s partitions"
+       (String.concat "/" (List.map string_of_int parts_list)));
+  Printf.printf "%-9s | %4s | %10s %10s %8s %8s | %10s %10s | %s\n" "workload" "P" "committed"
+    "aborted" "multi" "mp-abort" "tps" "p99 us" "consistent";
+  hr ();
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun partitions ->
+          let stats, consistent = run_one workload ~partitions in
+          record_rows workload ~partitions stats ~consistent;
+          Printf.printf "%-9s | %4d | %10d %10d %8d %8d | %10.0f %10.1f | %b\n%!" workload
+            partitions stats.committed stats.aborted stats.multi stats.multi_aborted stats.tps
+            (stats.p99_latency_s *. 1.0e6) consistent)
+        parts_list)
+    [ "voter"; "tpcc" ]

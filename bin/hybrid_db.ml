@@ -2,13 +2,56 @@
    command line.
 
      dune exec bin/hybrid_db.exe -- --benchmark tpcc --index hybrid --txns 20000
-     dune exec bin/hybrid_db.exe -- --benchmark voter --anticache-mb 2 *)
+     dune exec bin/hybrid_db.exe -- --benchmark voter --anticache-mb 2
+     dune exec bin/hybrid_db.exe -- --benchmark voter --partitions 4 *)
 
 open Cmdliner
 open Hi_hstore
 open Hi_workloads
 
-let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json =
+(* --partitions > 1: the domain-per-partition runtime (DESIGN.md §11). *)
+let run_sharded benchmark config txns partitions =
+  let module SW = Hi_shard.Shard_workload in
+  let next, router, consistent, stop =
+    match benchmark with
+    | "voter" ->
+      let w = SW.Voter_shard.create ~config ~partitions () in
+      ( SW.Voter_shard.next w,
+        SW.Voter_shard.router w,
+        (fun () -> SW.Voter_shard.check_consistency w),
+        fun () -> SW.Voter_shard.stop w )
+    | "tpcc" ->
+      let w = SW.Tpcc_shard.create ~config ~partitions () in
+      ( SW.Tpcc_shard.next w,
+        SW.Tpcc_shard.router w,
+        (fun () -> SW.Tpcc_shard.check_consistency w),
+        fun () -> SW.Tpcc_shard.stop w )
+    | "articles" ->
+      let w = SW.Articles_shard.create ~config ~partitions () in
+      ( SW.Articles_shard.next w,
+        SW.Articles_shard.router w,
+        (fun () -> SW.Articles_shard.check_comment_counts w),
+        fun () -> SW.Articles_shard.stop w )
+    | other -> failwith ("unknown benchmark: " ^ other)
+  in
+  Printf.printf "running %d transactions over %d partitions ...\n%!" txns partitions;
+  let stats = Hi_shard.Shard_runner.run ~router ~next ~num_txns:txns () in
+  Printf.printf
+    "\nthroughput: %.1f txn/s (%d committed, %d aborted, %d multi-partition, %d mp aborts)\n"
+    stats.Hi_shard.Shard_runner.tps stats.committed stats.aborted stats.multi stats.multi_aborted;
+  Printf.printf "latency: mean %.3f ms, p99 %.3f ms\n" (1000.0 *. stats.mean_latency_s)
+    (1000.0 *. stats.p99_latency_s);
+  Printf.printf "%-10s %12s %12s %12s\n" "partition" "committed" "aborted" "queue peak";
+  List.iter
+    (fun (p : Hi_shard.Shard_runner.per_partition) ->
+      Printf.printf "%-10d %12d %12d %12d\n" p.pid p.committed p.aborted p.queue_peak)
+    stats.per_partition;
+  let ok = consistent () in
+  Printf.printf "consistency check: %s\n" (if ok then "ok" else "FAILED");
+  stop ();
+  if not ok then exit 1
+
+let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json partitions =
   let index_kind =
     match index_kind with
     | "btree" -> Engine.Btree_config
@@ -32,6 +75,21 @@ let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_
       evictable_tables = (if anticache_mb = None then [] else evictable);
     }
   in
+  let dump_metrics () =
+    match metrics_json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Hi_util.Metrics.dump ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote metrics snapshot to %s\n" path
+  in
+  if partitions > 1 then begin
+    run_sharded benchmark config txns partitions;
+    dump_metrics ()
+  end
+  else begin
   let engine = Engine.create ~config () in
   Printf.printf "loading %s ...\n%!" benchmark;
   let transaction =
@@ -73,14 +131,8 @@ let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_
           (mb s.Runner.memory.Engine.anticache_disk_bytes))
       r.Runner.samples
   end;
-  match metrics_json with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    output_string oc (Hi_util.Metrics.dump ());
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "\nwrote metrics snapshot to %s\n" path
+  dump_metrics ()
+  end
 
 let benchmark =
   Arg.(value & opt string "tpcc" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark: tpcc, voter or articles.")
@@ -112,12 +164,21 @@ let metrics_json =
     & info [ "metrics-json" ] ~docv:"PATH"
         ~doc:"Write a JSON snapshot of the process-wide metrics registry to $(docv) after the run.")
 
+let partitions =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "p"; "partitions" ] ~docv:"N"
+        ~doc:
+          "Run the benchmark over $(docv) domain-backed partitions (the sharded runtime, \
+           DESIGN.md §11); 1 keeps the single-partition engine.")
+
 let cmd =
   let doc = "run an OLTP benchmark on the hybrid-index main-memory engine" in
   Cmd.v
     (Cmd.info "hybrid_db" ~doc)
     Term.(
       const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every
-      $ metrics_json)
+      $ metrics_json $ partitions)
 
 let () = exit (Cmd.eval cmd)

@@ -90,6 +90,7 @@ module Of_static
   let clear t = t.s <- S.empty
   let memory_bytes t = S.memory_bytes t.s
   let flush _ = ()
+  let merge_pending _ = false
   let check_invariants t = static_check (module S) t.s
 end
 
@@ -131,6 +132,7 @@ module Of_hash : Hybrid_index.Index_sig.INDEX = struct
   let clear = Hash_index.clear
   let memory_bytes = Hash_index.memory_bytes
   let flush _ = ()
+  let merge_pending _ = false
 
   let check_invariants t =
     (* the table grows at 70% occupancy, so the live load factor must
@@ -195,5 +197,6 @@ module Of_incremental
   let clear _ = invalid_arg "Of_incremental.clear: not supported"
   let memory_bytes = H.memory_bytes
   let flush = H.force_merge
+  let merge_pending _ = false
   let check_invariants _ = []
 end

@@ -48,6 +48,7 @@ let engine_config ~index_kind ~fault ~seed ~threshold =
         fault = (if fault = Fault.no_faults then None else Some fault);
         fault_seed = seed;
       };
+    inline_merge = true;
   }
 
 let run ?(n = 800) ?(threshold = 30_000) ?(index_kind = Engine.Hybrid_config)

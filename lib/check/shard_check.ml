@@ -1,0 +1,318 @@
+(* Differential model check of the sharded runtime (DESIGN.md §11).
+
+   Drives a Router in Sequential mode — every partition inline on one
+   domain, with a seeded RNG choosing the order in which multi-partition
+   participants prepare — through random account operations striped over
+   partitions by [id mod n], against a plain Hashtbl oracle.
+
+   The properties checked:
+   - served values always equal the oracle's (per-op and in a final sweep);
+   - multi-partition transactions are all-or-nothing: after an aborted
+     transfer or spray, every participant partition is byte-identical to
+     its pre-transaction state (verified by re-reading the touched ids);
+   - no rows exist outside the oracle (row-count agreement per partition).
+
+   Ops are plain data so a failing sequence can be shrunk by removal and
+   pinned as a regression. *)
+
+open Hi_hstore
+open Hi_util
+open Hi_shard
+
+type op =
+  | Insert of int * int  (* id, balance *)
+  | Update of int * int  (* id, new balance *)
+  | Delete of int
+  | Read of int
+  | Transfer of int * int * int  (* from id, to id, amount *)
+  | Spray of int list * int  (* multi-partition insert batch, base balance *)
+
+let pp_op = function
+  | Insert (id, b) -> Printf.sprintf "Insert(%d,%d)" id b
+  | Update (id, b) -> Printf.sprintf "Update(%d,%d)" id b
+  | Delete id -> Printf.sprintf "Delete %d" id
+  | Read id -> Printf.sprintf "Read %d" id
+  | Transfer (a, b, amt) -> Printf.sprintf "Transfer(%d->%d,%d)" a b amt
+  | Spray (ids, b) ->
+    Printf.sprintf "Spray([%s],%d)" (String.concat ";" (List.map string_of_int ids)) b
+
+let pp_ops ops = String.concat " " (List.map pp_op ops)
+
+type outcome = {
+  committed : int;
+  aborted : int;
+  multi : int;
+  violations : string list;
+}
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", Value.TInt); ("balance", Value.TInt) ]
+    ~pk:[ "id" ] ()
+
+(* --- generator: ops are data, independent of execution --- *)
+
+let gen_ops ~seed ~n ~universe ~partitions =
+  let rng = Xorshift.create seed in
+  let fresh = ref 0 in
+  let next_fresh () =
+    incr fresh;
+    universe + !fresh
+  in
+  let known () = Xorshift.int rng universe in
+  List.init n (fun _ ->
+      let r = Xorshift.float01 rng in
+      if r < 0.30 then Insert (known (), Xorshift.int rng 500)
+      else if r < 0.42 then Update (known (), Xorshift.int rng 500)
+      else if r < 0.50 then Delete (known ())
+      else if r < 0.62 then Read (known ())
+      else if r < 0.90 then Transfer (known (), known (), 1 + Xorshift.int rng 200)
+      else begin
+        (* ids spanning several partitions, mixing fresh and (possibly
+           colliding) known ids so some sprays must abort partway *)
+        let k = 2 + Xorshift.int rng (max 2 partitions) in
+        let ids =
+          List.init k (fun _ ->
+              if Xorshift.float01 rng < 0.7 then next_fresh () else known ())
+        in
+        Spray (List.sort_uniq compare ids, Xorshift.int rng 500)
+      end)
+
+(* --- executor --- *)
+
+let run_ops ~partitions ~seed ops =
+  let router =
+    Router.create
+      ~mode:(Router.Sequential (Xorshift.create (seed lxor 0x5DEECE6)))
+      ~partitions
+      ~init:(fun _ engine -> ignore (Engine.create_table engine accounts_schema))
+      ()
+  in
+  let table p =
+    let engine = List.nth (Router.engines router) p in
+    Engine.table engine "accounts"
+  in
+  let tables = Array.init partitions table in
+  let part id = id mod partitions in
+  let oracle : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let committed = ref 0 and aborted = ref 0 and multi = ref 0 in
+  (* partition-local bodies, built per op *)
+  let insert_body id bal engine =
+    let tbl = tables.(part id) in
+    if Table.find_by_pk tbl [ Value.Int id ] <> None then
+      raise (Engine.Abort "duplicate id");
+    ignore (Engine.insert engine tbl [| Value.Int id; Value.Int bal |])
+  in
+  let debit_body id amt engine =
+    let tbl = tables.(part id) in
+    match Table.find_by_pk tbl [ Value.Int id ] with
+    | None -> raise (Engine.Abort "debit: no such account")
+    | Some rowid ->
+      let bal = match (Table.read tbl rowid).(1) with Value.Int b -> b | _ -> 0 in
+      if bal < amt then raise (Engine.Abort "debit: insufficient");
+      Engine.update engine tbl rowid [ (1, Value.Int (bal - amt)) ]
+  in
+  let credit_body id amt engine =
+    let tbl = tables.(part id) in
+    match Table.find_by_pk tbl [ Value.Int id ] with
+    | None -> raise (Engine.Abort "credit: no such account")
+    | Some rowid ->
+      let bal = match (Table.read tbl rowid).(1) with Value.Int b -> b | _ -> 0 in
+      Engine.update engine tbl rowid [ (1, Value.Int (bal + amt)) ]
+  in
+  let engine_balance id =
+    let tbl = tables.(part id) in
+    match Table.find_by_pk tbl [ Value.Int id ] with
+    | None -> None
+    | Some rowid -> (
+      match (Table.read tbl rowid).(1) with Value.Int b -> Some b | _ -> None)
+  in
+  (* after an op that must not have taken effect, each touched id must
+     still match the oracle *)
+  let check_untouched what ids =
+    List.iter
+      (fun id ->
+        let got = engine_balance id and want = Hashtbl.find_opt oracle id in
+        if got <> want then
+          violate "%s: id %d diverged after abort (engine %s, oracle %s)" what id
+            (match got with None -> "absent" | Some b -> string_of_int b)
+            (match want with None -> "absent" | Some b -> string_of_int b))
+      (List.sort_uniq compare ids)
+  in
+  let record name expect_commit ids result =
+    match (result, expect_commit) with
+    | Ok (), true -> incr committed
+    | Error _, false ->
+      incr aborted;
+      check_untouched name ids
+    | Ok (), false -> violate "%s committed but the oracle expected an abort" name
+    | Error e, true ->
+      violate "%s aborted (%s) but the oracle expected a commit" name
+        (Engine.txn_error_to_string e)
+  in
+  let exec op =
+    match op with
+    | Insert (id, bal) ->
+      let expect = not (Hashtbl.mem oracle id) in
+      let r = Router.single router ~partition:(part id) (insert_body id bal) in
+      record "insert" expect [ id ] r;
+      if expect && r = Ok () then Hashtbl.replace oracle id bal
+    | Update (id, bal) ->
+      let expect = Hashtbl.mem oracle id in
+      let r =
+        Router.single router ~partition:(part id) (fun engine ->
+            let tbl = tables.(part id) in
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | None -> raise (Engine.Abort "update: no such account")
+            | Some rowid -> Engine.update engine tbl rowid [ (1, Value.Int bal) ])
+      in
+      record "update" expect [ id ] r;
+      if expect && r = Ok () then Hashtbl.replace oracle id bal
+    | Delete id ->
+      let expect = Hashtbl.mem oracle id in
+      let r =
+        Router.single router ~partition:(part id) (fun engine ->
+            let tbl = tables.(part id) in
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | None -> raise (Engine.Abort "delete: no such account")
+            | Some rowid -> Engine.delete engine tbl rowid)
+      in
+      record "delete" expect [ id ] r;
+      if expect && r = Ok () then Hashtbl.remove oracle id
+    | Read id -> (
+      let got = engine_balance id and want = Hashtbl.find_opt oracle id in
+      match (got, want) with
+      | Some g, Some w when g <> w -> violate "read %d: engine %d, oracle %d" id g w
+      | Some g, None -> violate "read %d: engine serves deleted row (%d)" id g
+      | None, Some w -> violate "read %d: engine lost row (oracle %d)" id w
+      | _ -> ())
+    | Transfer (a, b, amt) ->
+      let expect =
+        a <> b
+        && (match Hashtbl.find_opt oracle a with Some bal -> bal >= amt | None -> false)
+        && Hashtbl.mem oracle b
+      in
+      let r =
+        if a = b then Error (Engine.Txn_aborted "self transfer")
+        else if part a = part b then
+          Router.single router ~partition:(part a) (fun engine ->
+              debit_body a amt engine;
+              credit_body b amt engine)
+        else begin
+          incr multi;
+          Router.multi router
+            [
+              { Router.part = part a; body = debit_body a amt };
+              { Router.part = part b; body = credit_body b amt };
+            ]
+        end
+      in
+      record "transfer" expect [ a; b ] r;
+      if expect && r = Ok () then begin
+        Hashtbl.replace oracle a (Hashtbl.find oracle a - amt);
+        Hashtbl.replace oracle b (Hashtbl.find oracle b + amt)
+      end
+    | Spray (ids, bal) ->
+      let expect = List.for_all (fun id -> not (Hashtbl.mem oracle id)) ids in
+      let by_part = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          let p = part id in
+          Hashtbl.replace by_part p (id :: (Option.value ~default:[] (Hashtbl.find_opt by_part p))))
+        ids;
+      let participants =
+        Hashtbl.fold
+          (fun p ids acc ->
+            { Router.part = p; body = (fun e -> List.iter (fun id -> insert_body id bal e) ids) }
+            :: acc)
+          by_part []
+      in
+      let r =
+        match participants with
+        | [ { Router.part = p; body } ] -> Router.single router ~partition:p body
+        | ps ->
+          incr multi;
+          Router.multi router ps
+      in
+      record "spray" expect ids r;
+      if expect && r = Ok () then List.iter (fun id -> Hashtbl.replace oracle id bal) ids
+  in
+  List.iter exec ops;
+  (* final sweep: full agreement both ways *)
+  Hashtbl.iter
+    (fun id want ->
+      match engine_balance id with
+      | Some got when got = want -> ()
+      | Some got -> violate "final: id %d engine %d, oracle %d" id got want
+      | None -> violate "final: id %d missing (oracle %d)" id want)
+    oracle;
+  let engine_rows =
+    Array.fold_left (fun acc tbl -> acc + Table.live_rows tbl) 0 tables
+  in
+  if engine_rows <> Hashtbl.length oracle then
+    violate "final: %d rows in engines, %d in oracle" engine_rows (Hashtbl.length oracle);
+  Router.stop router;
+  {
+    committed = !committed;
+    aborted = !aborted;
+    multi = !multi;
+    violations = List.rev !violations;
+  }
+
+(* --- shrinking: greedy removal to a 1-minimal failing sequence --- *)
+
+let shrink ~partitions ~seed ops =
+  let fails ops = (run_ops ~partitions ~seed ops).violations <> [] in
+  let rec pass ops =
+    let n = List.length ops in
+    let rec try_remove i =
+      if i >= n then ops
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) ops in
+        if fails candidate then pass candidate else try_remove (i + 1)
+    in
+    try_remove 0
+  in
+  if fails ops then pass ops else ops
+
+let run ?(n = 1200) ?(universe = 400) ?(partitions = 3) ~seed () =
+  let ops = gen_ops ~seed ~n ~universe ~partitions in
+  let o = run_ops ~partitions ~seed ops in
+  if o.violations <> [] then begin
+    let small = shrink ~partitions ~seed ops in
+    let o' = run_ops ~partitions ~seed small in
+    {
+      o' with
+      violations =
+        Printf.sprintf "shrunk to %d ops: %s" (List.length small) (pp_ops small)
+        :: o'.violations;
+    }
+  end
+  else o
+
+(* Pinned regression: the minimal shapes that catch a coordinator that
+   commits participants independently (partial multi-partition commit).
+   With [id mod 2] striping on two partitions: even ids on 0, odd on 1. *)
+let regression_ops =
+  [
+    Insert (2, 100);
+    Insert (3, 100);
+    (* both sides missing: must abort and change nothing *)
+    Transfer (4, 5, 10);
+    (* second participant hits a duplicate: first participant's inserts
+       must roll back on its own partition *)
+    Spray ([ 4; 5; 2 ], 50);
+    Read 4;
+    Read 5;
+    Read 2;
+    (* insufficient funds: debit side aborts before the credit side runs *)
+    Transfer (2, 3, 150);
+    (* and a clean cross-partition commit *)
+    Transfer (2, 3, 60);
+    Read 2;
+    Read 3;
+  ]
+
+let regression ~seed () = run_ops ~partitions:2 ~seed regression_ops

@@ -41,6 +41,10 @@ type config = {
   evictable_tables : string list;
   eviction_block_rows : int;
   anticache : Anticache.config; (* block-store latency/retry/fault policy *)
+  inline_merge : bool;
+      (* when false, hybrid indexes never merge inside a transaction; the
+         owner (a partition domain) polls [merge_pending] and calls
+         [run_pending_merges] between transactions (DESIGN.md §11) *)
 }
 
 let default_config =
@@ -51,6 +55,7 @@ let default_config =
     evictable_tables = [];
     eviction_block_rows = 256;
     anticache = Anticache.default_config;
+    inline_merge = true;
   }
 
 type stats = {
@@ -68,6 +73,7 @@ type t = {
   anticache : Anticache.t;
   mutable txns_since_eviction_check : int;
   mutable undo : (unit -> unit) list;
+  mutable in_prepared : bool; (* a prepared sub-transaction awaits its verdict *)
   stats : stats;
 }
 
@@ -80,6 +86,7 @@ let create ?(config = default_config) ?sleep () =
     anticache = Anticache.create ~config:config.anticache ?sleep ();
     txns_since_eviction_check = 0;
     undo = [];
+    in_prepared = false;
     stats = { committed = 0; user_aborts = 0; evicted_restarts = 0; lost_block_aborts = 0 };
   }
 
@@ -88,7 +95,12 @@ let create ?(config = default_config) ?sleep () =
    (in-place static updates, concatenating merges — paper §3). *)
 let make_index config ~unique : Table.packed_index =
   let hybrid_config kind =
-    { Hybrid.default_config with kind; trigger = Hybrid.Ratio config.merge_ratio }
+    {
+      Hybrid.default_config with
+      kind;
+      trigger = Hybrid.Ratio config.merge_ratio;
+      defer_merge = not config.inline_merge;
+    }
   in
   let kind = if unique then Hybrid.Primary else Hybrid.Secondary in
   match config.index_kind with
@@ -255,16 +267,14 @@ let txn_error_to_string = function
   | Txn_block_lost { table; block; cause } ->
     Printf.sprintf "block %d of %s lost (%s)" block table (Anticache.error_kind_name cause)
 
-let run t f =
+(* Shared attempt/restart loop of [run] and [prepare].  [on_success] decides
+   what a normal return means: [run] commits on the spot; [prepare] keeps
+   the undo log pending until the coordinator's verdict. *)
+let attempt_loop t f ~on_success =
   let rec attempt tries =
     t.undo <- [];
     match f t with
-    | result ->
-      t.undo <- [];
-      t.stats.committed <- t.stats.committed + 1;
-      Metrics.incr m_committed;
-      maybe_evict t;
-      Ok result
+    | result -> Ok (on_success result)
     | exception Table.Evicted_access { table = tname; block } -> (
       rollback t;
       match Table.unevict_block (table t tname) t.anticache block with
@@ -297,6 +307,53 @@ let run t f =
   in
   Metrics.time m_txn_seconds (fun () -> attempt max_restarts)
 
+let run t f =
+  if t.in_prepared then invalid_arg "Engine.run: a prepared transaction is pending";
+  attempt_loop t f ~on_success:(fun result ->
+      t.undo <- [];
+      t.stats.committed <- t.stats.committed + 1;
+      Metrics.incr m_committed;
+      maybe_evict t;
+      result)
+
+(* --- two-phase execution for cross-partition transactions (DESIGN.md §11)
+
+   [prepare] executes the sub-transaction body with the same
+   abort/restart protocol as [run] but, on normal return, leaves the undo
+   log in place and defers the commit bookkeeping: the partition stays
+   locked in the prepared state (no [run]/[prepare] may interleave) until
+   the coordinator calls [commit_prepared] or [abort_prepared] once every
+   participant has reported.  Because each partition executes serially on
+   its own domain, the prepared window never blocks other partitions —
+   only later work on this one. *)
+
+let prepare t f =
+  if t.in_prepared then invalid_arg "Engine.prepare: a prepared transaction is pending";
+  let result = attempt_loop t f ~on_success:(fun result -> result) in
+  (match result with Ok _ -> t.in_prepared <- true | Error _ -> ());
+  result
+
+let commit_prepared t =
+  if not t.in_prepared then invalid_arg "Engine.commit_prepared: nothing prepared";
+  t.in_prepared <- false;
+  t.undo <- [];
+  t.stats.committed <- t.stats.committed + 1;
+  Metrics.incr m_committed;
+  maybe_evict t
+
+let abort_prepared t =
+  if not t.in_prepared then invalid_arg "Engine.abort_prepared: nothing prepared";
+  t.in_prepared <- false;
+  rollback t
+
+(* --- deferred merge scheduling (DESIGN.md §11) --- *)
+
+let merge_pending t =
+  Hashtbl.fold (fun _ tbl acc -> acc || Table.merge_pending tbl) t.tables false
+
+let run_pending_merges t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.run_pending_merges tbl) t.tables 0
+
 (* Force all pending index merges (end-of-benchmark measurement aid). *)
 let flush_indexes t = Hashtbl.iter (fun _ tbl -> Table.flush_indexes tbl) t.tables
 
@@ -316,6 +373,7 @@ type recovery_report = {
    blocks. *)
 let recover t =
   t.undo <- [];
+  t.in_prepared <- false;
   List.fold_left
     (fun acc tbl ->
       let r = Table.recover tbl t.anticache in

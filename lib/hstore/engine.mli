@@ -30,6 +30,10 @@ type config = {
   evictable_tables : string list;
   eviction_block_rows : int;
   anticache : Anticache.config;  (** block-store latency/retry/fault policy *)
+  inline_merge : bool;
+      (** when [false], hybrid indexes never merge inside a transaction;
+          the owner polls {!merge_pending} and calls
+          {!run_pending_merges} between transactions (DESIGN.md §11) *)
 }
 
 val default_config : config
@@ -83,7 +87,38 @@ val run : t -> (t -> 'a) -> ('a, txn_error) result
     the block and restarts.  Unrecoverable block fetches fail the
     transaction with a typed error after purging the dead block's rows.
     Any other exception rolls back and re-raises.  After a commit the
-    anti-caching eviction manager may run. *)
+    anti-caching eviction manager may run.
+    @raise Invalid_argument while a prepared transaction is pending. *)
+
+(** {1 Two-phase execution (cross-partition transactions, DESIGN.md §11)} *)
+
+val prepare : t -> (t -> 'a) -> ('a, txn_error) result
+(** Execute a sub-transaction body with {!run}'s abort/restart protocol
+    but, on success, leave its undo log pending: the engine refuses
+    further {!run}/{!prepare} calls until the coordinator decides.
+    [Error _] means the sub-transaction already rolled back and no verdict
+    is owed.
+    @raise Invalid_argument while another prepared transaction is pending. *)
+
+val commit_prepared : t -> unit
+(** Make the pending prepared transaction durable: drop its undo log,
+    count the commit, and let the eviction manager run.
+    @raise Invalid_argument if nothing is prepared. *)
+
+val abort_prepared : t -> unit
+(** Roll the pending prepared transaction back (coordinator-initiated
+    abort; not counted as a user abort).
+    @raise Invalid_argument if nothing is prepared. *)
+
+(** {1 Deferred merge scheduling (DESIGN.md §11)} *)
+
+val merge_pending : t -> bool
+(** True when some index's merge trigger has fired.  Meaningful with
+    [inline_merge = false], where nothing else will run the merge. *)
+
+val run_pending_merges : t -> int
+(** Run exactly the merges whose trigger has fired; returns how many ran.
+    Call between transactions (the partition domain's idle work). *)
 
 (** {1 Accounting} *)
 

@@ -62,6 +62,7 @@ let idx_delete_value { packed = Packed ((module I), i); _ } key rowid = ignore (
 let idx_scan { packed = Packed ((module I), i); _ } key n = I.scan_from i key n
 let idx_memory { packed = Packed ((module I), i); _ } = I.memory_bytes i
 let idx_flush { packed = Packed ((module I), i); _ } = I.flush i
+let idx_merge_pending { packed = Packed ((module I), i); _ } = I.merge_pending i
 
 let index_named t iname =
   if t.pk.def.Schema.idx_name = iname then t.pk
@@ -381,6 +382,23 @@ let secondary_index_memory_bytes t = List.fold_left (fun acc ix -> acc + idx_mem
 let flush_indexes t =
   idx_flush t.pk;
   List.iter idx_flush t.secondary
+
+let merge_pending t = idx_merge_pending t.pk || List.exists idx_merge_pending t.secondary
+
+(* Flush only the indexes whose merge trigger has fired; returns how many
+   merges ran.  This is the unit of work the partition domain's background
+   scheduler performs between transactions (DESIGN.md §11). *)
+let run_pending_merges t =
+  let ran = ref 0 in
+  let step ix =
+    if idx_merge_pending ix then begin
+      idx_flush ix;
+      incr ran
+    end
+  in
+  step t.pk;
+  List.iter step t.secondary;
+  !ran
 let live_rows t = t.live_rows
 let evicted_rows t = t.evicted_rows
 

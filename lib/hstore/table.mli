@@ -113,3 +113,11 @@ val secondary_index_memory_bytes : t -> int
 
 val flush_indexes : t -> unit
 (** Force pending hybrid-index merges. *)
+
+val merge_pending : t -> bool
+(** True when at least one index's merge trigger has fired. *)
+
+val run_pending_merges : t -> int
+(** Flush only the indexes whose merge trigger has fired; returns the
+    number of merges run.  Background-merge work unit for partitions
+    running with deferred merges (DESIGN.md §11). *)

@@ -38,6 +38,10 @@ type config = {
   use_bloom : bool;
   bloom_fpr : float;
   min_merge_size : int; (* floor below which the ratio trigger stays quiet *)
+  defer_merge : bool;
+      (* when set, writes never merge inline; the owner polls
+         [merge_pending] and calls [force_merge] off the critical path
+         (the partition domain's background scheduler, DESIGN.md §11) *)
 }
 
 let default_config =
@@ -48,6 +52,7 @@ let default_config =
     use_bloom = true;
     bloom_fpr = 0.01;
     min_merge_size = 4096;
+    defer_merge = false;
   }
 
 type stats = {
@@ -86,6 +91,11 @@ module type S = sig
   val iter_sorted : t -> (string -> int array -> unit) -> unit
 
   val force_merge : t -> unit
+
+  val merge_pending : t -> bool
+  (* True when the configured trigger says a merge is due.  With
+     [defer_merge] set, this is how the owning domain's scheduler decides
+     to call [force_merge]. *)
   (** Run the merge immediately regardless of the trigger. *)
 
   val entry_count : t -> int
@@ -370,7 +380,8 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     | Ratio r -> d >= t.config.min_merge_size && d * r >= S.entry_count t.stat
     | Constant c -> d >= c
 
-  let maybe_merge t = if should_merge t then do_merge t
+  let merge_pending = should_merge
+  let maybe_merge t = if (not t.config.defer_merge) && should_merge t then do_merge t
   let force_merge t = do_merge t
 
   (* --- writes --- *)

@@ -31,6 +31,11 @@ module type INDEX = sig
   (** Force pending migrations (a merge for hybrid indexes; no-op for plain
       structures). *)
 
+  val merge_pending : t -> bool
+  (** True when a background migration is due ([false] for plain
+      structures).  Lets an owner running with deferred merges poll and
+      [flush] off the transaction critical path. *)
+
   val check_invariants : t -> string list
   (** Structural self-check, [] when consistent.  For hybrid indexes this
       verifies the dual-stage invariants (see {!Hybrid.S.check_invariants});
@@ -51,6 +56,7 @@ module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
     end
 
   let flush _ = ()
+  let merge_pending _ = false
   let check_invariants = D.check_structure
 end
 
@@ -81,5 +87,6 @@ module Of_hybrid
   let clear = H.clear
   let memory_bytes = H.memory_bytes
   let flush = H.force_merge
+  let merge_pending = H.merge_pending
   let check_invariants = H.check_invariants
 end

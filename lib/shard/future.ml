@@ -1,0 +1,34 @@
+(* A write-once cell with blocking read: how the router and runner get
+   results back from partition domains.  [fill]/[await] synchronize
+   through a mutex, so the value's construction happens-before its
+   observation on the awaiting domain. *)
+
+type 'a t = { lock : Mutex.t; filled : Condition.t; mutable value : 'a option }
+
+let create () = { lock = Mutex.create (); filled = Condition.create (); value = None }
+
+let fill t v =
+  Mutex.lock t.lock;
+  (match t.value with
+  | Some _ ->
+    Mutex.unlock t.lock;
+    invalid_arg "Future.fill: already filled"
+  | None ->
+    t.value <- Some v;
+    Condition.broadcast t.filled;
+    Mutex.unlock t.lock)
+
+let await t =
+  Mutex.lock t.lock;
+  while t.value = None do
+    Condition.wait t.filled t.lock
+  done;
+  let v = Option.get t.value in
+  Mutex.unlock t.lock;
+  v
+
+let poll t =
+  Mutex.lock t.lock;
+  let v = t.value in
+  Mutex.unlock t.lock;
+  v

@@ -1,0 +1,14 @@
+(** A write-once cell with blocking read, for returning results across
+    domains (DESIGN.md §11).  Filling happens-before awaiting. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** @raise Invalid_argument on a second fill. *)
+
+val await : 'a t -> 'a
+(** Block until filled. *)
+
+val poll : 'a t -> 'a option

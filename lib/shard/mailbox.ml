@@ -1,0 +1,53 @@
+(* A mutex/condition FIFO queue: the inbox of a partition domain
+   (DESIGN.md §11).  Producers (the router, the workload runner) push
+   jobs; the single consumer (the partition's domain) pops them in order.
+
+   Closing is graceful: [close] refuses further pushes but lets the
+   consumer drain everything already enqueued; [pop] returns [None] only
+   once the mailbox is both closed and empty, which is the consumer's
+   shutdown signal. *)
+
+exception Closed
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { lock = Mutex.create (); nonempty = Condition.create (); items = Queue.create (); closed = false }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      Queue.push x t.items;
+      Condition.signal t.nonempty)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let try_pop t =
+  with_lock t (fun () -> if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let is_closed t = with_lock t (fun () -> t.closed)

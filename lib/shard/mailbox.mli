@@ -1,0 +1,26 @@
+(** A mutex/condition FIFO queue — the inbox of a partition domain
+    (DESIGN.md §11).  Multi-producer, any-consumer; jobs are delivered in
+    push order.  Closing refuses further pushes but lets consumers drain
+    what is already enqueued. *)
+
+type 'a t
+
+exception Closed
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** @raise Closed after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available; [None] once the mailbox is closed
+    {e and} drained (the consumer's shutdown signal). *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking pop; [None] when currently empty. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all blocked consumers. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool

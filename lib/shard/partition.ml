@@ -1,0 +1,117 @@
+(* One H-Store partition (DESIGN.md §11): an Engine plus its hybrid
+   indexes, owned by a dedicated domain that drains a mailbox of jobs and
+   executes them serially — the shared-nothing concurrency model of the
+   paper's target system.  Nothing else ever touches the engine, so the
+   engine itself needs no locks.
+
+   The same type also runs unstarted, with jobs executed inline on the
+   caller's domain: that is the deterministic single-domain mode the
+   differential check harness schedules by hand.
+
+   Background merges: partition engines are configured with
+   [inline_merge = false] by the router, so hybrid-index merges never run
+   inside a transaction.  The domain loop runs them instead — every
+   [merge_check_period] jobs under sustained load, and whenever the
+   mailbox runs empty (the idle path), keeping the merge off the
+   transaction critical path. *)
+
+open Hi_hstore
+
+type job = Engine.t -> unit
+
+type t = {
+  pid : int;
+  engine : Engine.t;
+  jobs : job Mailbox.t;
+  mutable domain : unit Domain.t option;
+  mutable failure : exn option; (* first job exception, re-raised at [stop] *)
+  m_jobs : Hi_util.Metrics.counter;
+  m_bg_merges : Hi_util.Metrics.counter;
+}
+
+let create ?(config = Engine.default_config) ?sleep ~id () =
+  let scope = Hi_util.Metrics.scope ~labels:[ ("partition", string_of_int id) ] "shard.partition" in
+  {
+    pid = id;
+    engine = Engine.create ~config ?sleep ();
+    jobs = Mailbox.create ();
+    domain = None;
+    failure = None;
+    m_jobs = Hi_util.Metrics.counter scope "jobs";
+    m_bg_merges = Hi_util.Metrics.counter scope "background_merges";
+  }
+
+let id t = t.pid
+let engine t = t.engine
+let started t = t.domain <> None
+let queue_length t = Mailbox.length t.jobs
+
+(* How many jobs may run between background-merge checks under sustained
+   load.  Small enough that a hot dynamic stage cannot grow far past its
+   trigger, large enough that the check is off the per-transaction path. *)
+let merge_check_period = 64
+
+let drain_merges t =
+  let n = Engine.run_pending_merges t.engine in
+  if n > 0 then Hi_util.Metrics.add t.m_bg_merges n
+
+let loop t =
+  let since_check = ref 0 in
+  let run_job job =
+    (try job t.engine
+     with e -> if t.failure = None then t.failure <- Some e);
+    Hi_util.Metrics.incr t.m_jobs;
+    incr since_check;
+    if !since_check >= merge_check_period then begin
+      since_check := 0;
+      drain_merges t
+    end
+  in
+  let rec go () =
+    match Mailbox.try_pop t.jobs with
+    | Some job ->
+      run_job job;
+      go ()
+    | None -> (
+      (* the queue ran dry: merge off the critical path, then block *)
+      drain_merges t;
+      match Mailbox.pop t.jobs with
+      | Some job ->
+        run_job job;
+        go ()
+      | None -> drain_merges t (* closed and drained *))
+  in
+  go ()
+
+let start t =
+  if started t then invalid_arg "Partition.start: already started";
+  t.domain <- Some (Domain.spawn (fun () -> loop t))
+
+(* Enqueue a raw job.  Unstarted partitions execute inline: the caller's
+   domain is the partition's domain (sequential mode). *)
+let post t job =
+  match t.domain with
+  | Some _ -> Mailbox.push t.jobs job
+  | None ->
+    job t.engine;
+    Hi_util.Metrics.incr t.m_jobs
+
+let run_async t f =
+  let fut = Future.create () in
+  post t (fun engine -> Future.fill fut (Engine.run engine f));
+  fut
+
+let run t f = Future.await (run_async t f)
+
+let stop t =
+  Mailbox.close t.jobs;
+  (match t.domain with
+  | Some d ->
+    Domain.join d;
+    t.domain <- None
+  | None -> ());
+  match t.failure with
+  | Some e ->
+    t.failure <- None;
+    raise e
+  | None -> ()

@@ -1,0 +1,46 @@
+(** One H-Store partition (DESIGN.md §11): an {!Hi_hstore.Engine.t} owned
+    by a dedicated domain that executes mailbox jobs serially.  Until
+    {!start}, jobs run inline on the caller's domain — the deterministic
+    single-domain mode of the check harness.
+
+    The owning domain also runs deferred hybrid-index merges: every few
+    jobs under load and whenever its mailbox runs dry, so merges stay off
+    the transaction critical path. *)
+
+open Hi_hstore
+
+type t
+
+type job = Engine.t -> unit
+
+val create : ?config:Engine.config -> ?sleep:(float -> unit) -> id:int -> unit -> t
+(** The engine is created here; load tables through {!engine} before
+    {!start}. *)
+
+val id : t -> int
+val engine : t -> Engine.t
+(** Direct engine access — only safe before {!start}, after {!stop}, or
+    from jobs running on the partition's own domain. *)
+
+val started : t -> bool
+val queue_length : t -> int
+
+val start : t -> unit
+(** Spawn the partition's domain.  @raise Invalid_argument if started. *)
+
+val post : t -> job -> unit
+(** Enqueue a raw job (executed inline when not started).
+    @raise Mailbox.Closed after {!stop}. *)
+
+val run_async : t -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result Future.t
+(** Submit one transaction ({!Hi_hstore.Engine.run} on the partition). *)
+
+val run : t -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result
+(** [run_async] + await. *)
+
+val stop : t -> unit
+(** Close the mailbox, drain the remaining jobs, join the domain.
+    Re-raises the first exception a job leaked, if any. *)
+
+val merge_check_period : int
+(** Jobs between background-merge checks under sustained load. *)

@@ -1,0 +1,218 @@
+(* The partitioned runtime's front door (DESIGN.md §11): owns the
+   partitions, maps partition keys to them, executes single-partition
+   transactions on the owner's domain (the fast path), and coordinates
+   multi-partition transactions with a prepare/commit protocol so they
+   commit on every participant or on none.
+
+   Concurrency model, after H-Store: each partition executes serially on
+   its own domain; a single global coordinator lock serializes
+   multi-partition transactions, so overlapping participant sets can never
+   deadlock and no per-partition locking is needed.  Single-partition
+   transactions keep flowing on non-participant partitions while a
+   multi-partition transaction is in flight.
+
+   Two modes:
+   - [Parallel]: every partition on its own domain (production).
+   - [Sequential rng]: no domains; everything executes inline on the
+     caller's domain, and the rng picks the order in which participants
+     of a multi-partition transaction prepare.  This is the deterministic
+     scheduler the differential check harness drives: seeded interleavings
+     of cross-partition sub-transactions with reproducible results. *)
+
+open Hi_hstore
+
+type mode = Parallel | Sequential of Hi_util.Xorshift.t
+
+type t = {
+  partitions : Partition.t array;
+  mode : mode;
+  mp_lock : Mutex.t; (* serializes multi-partition coordinators *)
+  m_single : Hi_util.Metrics.counter;
+  m_multi : Hi_util.Metrics.counter;
+  m_multi_aborts : Hi_util.Metrics.counter;
+}
+
+let scope = Hi_util.Metrics.scope "shard.router"
+
+let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ~partitions ~init () =
+  if partitions <= 0 then invalid_arg "Router.create: need at least one partition";
+  (* parallel partitions defer hybrid merges to their domain's background
+     scheduler; sequential mode keeps the caller's configuration *)
+  let pconfig =
+    match mode with Parallel -> { config with Engine.inline_merge = false } | Sequential _ -> config
+  in
+  let parts =
+    Array.init partitions (fun id ->
+        let p = Partition.create ~config:pconfig ?sleep ~id () in
+        init id (Partition.engine p);
+        p)
+  in
+  (match mode with
+  | Parallel -> Array.iter Partition.start parts
+  | Sequential _ -> ());
+  {
+    partitions = parts;
+    mode;
+    mp_lock = Mutex.create ();
+    m_single = Hi_util.Metrics.counter scope "single_partition_txns";
+    m_multi = Hi_util.Metrics.counter scope "multi_partition_txns";
+    m_multi_aborts = Hi_util.Metrics.counter scope "multi_partition_aborts";
+  }
+
+let num_partitions t = Array.length t.partitions
+let partition t i = t.partitions.(i)
+let mode t = t.mode
+
+(* --- key routing --- *)
+
+(* Jump consistent hash (Lamping & Veach, 2014): maps a 64-bit key to one
+   of [buckets] with the resize-stability property the router needs —
+   growing from n to n+1 partitions moves only ~1/(n+1) of the keys, and
+   none of them between pre-existing buckets. *)
+let jump_hash key buckets =
+  if buckets <= 0 then invalid_arg "jump_hash: no buckets";
+  let k = ref key in
+  let b = ref (-1) in
+  let j = ref 0 in
+  while !j < buckets do
+    b := !j;
+    k := Int64.add (Int64.mul !k 2862933555777941757L) 1L;
+    let denom = Int64.to_float (Int64.shift_right_logical !k 33) +. 1.0 in
+    j := int_of_float (float_of_int (!b + 1) *. (2147483648.0 /. denom))
+  done;
+  !b
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* splitmix64 finalizer: integer partition keys are often sequential ids,
+   which jump_hash alone would not spread. *)
+let mix64 x =
+  let open Int64 in
+  let z = ref (mul x 0x9E3779B97F4A7C15L) in
+  z := mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L;
+  z := mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL;
+  logxor !z (shift_right_logical !z 31)
+
+let route_key t s = jump_hash (fnv1a64 s) (num_partitions t)
+let route_int t i = jump_hash (mix64 (Int64.of_int i)) (num_partitions t)
+
+(* --- single-partition fast path --- *)
+
+let single t ~partition:i f =
+  Hi_util.Metrics.incr t.m_single;
+  Partition.run t.partitions.(i) f
+
+let single_async t ~partition:i f =
+  Hi_util.Metrics.incr t.m_single;
+  Partition.run_async t.partitions.(i) f
+
+(* --- multi-partition coordinator --- *)
+
+type participant = { part : int; body : Engine.t -> unit }
+
+type verdict = Commit | Abort_all
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Hi_util.Xorshift.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Sequential mode: prepare the participants inline in a seeded order; on
+   first failure abort what is prepared, otherwise commit everything.
+   Deterministic given the rng state — the check harness's scheduler. *)
+let multi_sequential t rng participants =
+  let order = Array.of_list participants in
+  shuffle rng order;
+  let prepared = ref [] in
+  let failure = ref None in
+  Array.iter
+    (fun { part; body } ->
+      if !failure = None then begin
+        let engine = Partition.engine t.partitions.(part) in
+        match Engine.prepare engine body with
+        | Ok () -> prepared := engine :: !prepared
+        | Error e -> failure := Some e
+      end)
+    order;
+  match !failure with
+  | None ->
+    List.iter Engine.commit_prepared !prepared;
+    Ok ()
+  | Some e ->
+    List.iter Engine.abort_prepared !prepared;
+    Error e
+
+(* Parallel mode: each participant partition runs one job that prepares,
+   reports, then blocks until the coordinator's verdict and applies it.
+   Blocking the participant domain is exactly the H-Store protocol — the
+   partition must not run other work while it holds prepared state — and
+   is deadlock-free because the coordinator (which holds mp_lock) is the
+   only thing those domains wait on, and it never waits on itself. *)
+let multi_parallel t participants =
+  Mutex.lock t.mp_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mp_lock)
+    (fun () ->
+      let entries =
+        List.map
+          (fun { part; body } ->
+            let prepared = Future.create () in
+            let verdict = Future.create () in
+            let finished = Future.create () in
+            Partition.post t.partitions.(part) (fun engine ->
+                let r = Engine.prepare engine body in
+                Future.fill prepared r;
+                (match r with
+                | Ok () -> (
+                  match Future.await verdict with
+                  | Commit -> Engine.commit_prepared engine
+                  | Abort_all -> Engine.abort_prepared engine)
+                | Error _ -> () (* already rolled back; no verdict owed *));
+                Future.fill finished ());
+            (prepared, verdict, finished))
+          participants
+      in
+      let results = List.map (fun (p, _, _) -> Future.await p) entries in
+      let failure = List.find_map (function Error e -> Some e | Ok () -> None) results in
+      let v = match failure with None -> Commit | Some _ -> Abort_all in
+      List.iter2
+        (fun (_, verdict, _) r -> match r with Ok () -> Future.fill verdict v | Error _ -> ())
+        entries results;
+      List.iter (fun (_, _, finished) -> Future.await finished) entries;
+      match failure with None -> Ok () | Some e -> Error e)
+
+(* Execute a multi-partition transaction: all participants commit or none
+   do.  Participants must name distinct partitions.  A single participant
+   degenerates to the fast path. *)
+let multi t participants =
+  match participants with
+  | [] -> invalid_arg "Router.multi: no participants"
+  | [ { part; body } ] -> single t ~partition:part body
+  | _ ->
+    let parts = List.map (fun p -> p.part) participants in
+    if List.length (List.sort_uniq compare parts) <> List.length parts then
+      invalid_arg "Router.multi: duplicate participant partitions";
+    Hi_util.Metrics.incr t.m_multi;
+    let r =
+      match t.mode with
+      | Sequential rng -> multi_sequential t rng participants
+      | Parallel -> multi_parallel t participants
+    in
+    (match r with Error _ -> Hi_util.Metrics.incr t.m_multi_aborts | Ok () -> ());
+    r
+
+let stop t = Array.iter Partition.stop t.partitions
+
+let engines t = Array.to_list (Array.map Partition.engine t.partitions)
+
+(* Total committed/aborted across partitions (each engine counts its own). *)
+let total_committed t =
+  Array.fold_left (fun acc p -> acc + (Engine.stats (Partition.engine p)).Engine.committed) 0 t.partitions

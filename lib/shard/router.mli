@@ -1,0 +1,65 @@
+(** Partition router and cross-partition coordinator (DESIGN.md §11).
+
+    Owns [n] partitions, maps partition keys to them (jump consistent
+    hashing, stable across resizes), executes single-partition
+    transactions on the owner's domain and coordinates multi-partition
+    transactions so they commit everywhere or nowhere.  A single global
+    coordinator lock serializes multi-partition transactions (H-Store
+    style), which rules out distributed deadlock by construction. *)
+
+open Hi_hstore
+
+(** [Parallel] spawns a domain per partition.  [Sequential rng] runs
+    everything inline on the caller's domain, with [rng] choosing the
+    order in which multi-partition participants prepare — the
+    deterministic scheduler of the differential check harness. *)
+type mode = Parallel | Sequential of Hi_util.Xorshift.t
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?config:Engine.config ->
+  ?sleep:(float -> unit) ->
+  partitions:int ->
+  init:(int -> Engine.t -> unit) ->
+  unit ->
+  t
+(** [init i engine] loads partition [i]'s slice before any domain starts.
+    In [Parallel] mode partition engines are reconfigured with
+    [inline_merge = false]: merges run on the partition domain's
+    background scheduler instead of inside transactions. *)
+
+val num_partitions : t -> int
+val partition : t -> int -> Partition.t
+val mode : t -> mode
+val engines : t -> Engine.t list
+
+(** {1 Key routing} *)
+
+val jump_hash : int64 -> int -> int
+(** Jump consistent hash (Lamping & Veach): growing [n] → [n+1] buckets
+    moves only ~1/(n+1) of keys, none between pre-existing buckets. *)
+
+val route_key : t -> string -> int
+val route_int : t -> int -> int
+
+(** {1 Execution} *)
+
+val single : t -> partition:int -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result
+(** Fast path: one transaction on one partition. *)
+
+val single_async : t -> partition:int -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result Future.t
+
+type participant = { part : int; body : Engine.t -> unit }
+
+val multi : t -> participant list -> (unit, Engine.txn_error) result
+(** Multi-partition transaction: every participant prepares; they all
+    commit only if every prepare succeeded, otherwise every prepared one
+    rolls back and the first error is returned.  Participants must name
+    distinct partitions; a single participant degenerates to {!single}. *)
+
+val total_committed : t -> int
+
+val stop : t -> unit
+(** Drain and join every partition. *)

@@ -1,0 +1,127 @@
+(* Drive a sharded workload through a Router and report per-partition and
+   aggregate results (DESIGN.md §11).
+
+   Single-partition transactions are submitted in batches (default 32 per
+   mailbox job) so messaging overhead is amortized over many short
+   transactions — Voter's transactions are a few microseconds, and posting
+   them one-by-one would make the mailbox the bottleneck.  Multi-partition
+   transactions run through the coordinator inline.
+
+   Despite parallel execution, each partition's observable history is
+   deterministic: the (single) generator thread is the only producer, so
+   every mailbox receives the same job sequence on every run with the same
+   seed — domain timing affects only the interleaving *between*
+   partitions, which shared-nothing execution makes irrelevant.
+
+   Counters are partition-local (each is touched only by its partition's
+   domain) and read after the in-flight window drains, with the join/await
+   providing the happens-before edge. *)
+
+open Hi_util
+open Hi_hstore
+
+type per_partition = {
+  pid : int;
+  committed : int;
+  aborted : int;
+  queue_peak : int;
+}
+
+type stats = {
+  total : int; (* transactions dispatched *)
+  committed : int;
+  aborted : int;
+  multi : int; (* multi-partition transactions dispatched *)
+  multi_aborted : int;
+  elapsed_s : float;
+  tps : float; (* committed transactions per second *)
+  mean_latency_s : float;
+  p99_latency_s : float;
+  per_partition : per_partition list;
+}
+
+let default_batch = 32
+
+let run ?(batch = default_batch) ?(max_inflight_batches = 8) ~router
+    ~(next : int -> Shard_workload.spec) ~num_txns () =
+  let n = Router.num_partitions router in
+  let ok = Array.make n 0 in
+  let ab = Array.make n 0 in
+  let queue_peak = Array.make n 0 in
+  let lat = Array.init n (fun _ -> Histogram.create ()) in
+  let mok = ref 0 and mab = ref 0 and multi = ref 0 in
+  let coord_lat = Histogram.create () in
+  let inflight = Queue.create () in
+  let flush p pending =
+    match pending with
+    | [] -> ()
+    | bodies ->
+      let bodies = List.rev bodies in
+      let fut = Future.create () in
+      let part = Router.partition router p in
+      queue_peak.(p) <- max queue_peak.(p) (Partition.queue_length part);
+      Partition.post part (fun engine ->
+          List.iter
+            (fun body ->
+              let t0 = Unix.gettimeofday () in
+              (match Engine.run engine body with
+              | Ok () -> ok.(p) <- ok.(p) + 1
+              | Error _ -> ab.(p) <- ab.(p) + 1);
+              Histogram.record lat.(p) (Unix.gettimeofday () -. t0))
+            bodies;
+          Future.fill fut ());
+      Queue.push fut inflight;
+      (* bounded in-flight window: keeps the generator from racing
+         unboundedly ahead of slow partitions *)
+      while Queue.length inflight > max_inflight_batches * n do
+        Future.await (Queue.pop inflight)
+      done
+  in
+  let pending = Array.make n [] in
+  let pending_n = Array.make n 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to num_txns - 1 do
+    let p = i mod n in
+    match next p with
+    | Shard_workload.Single (q, body) ->
+      pending.(q) <- body :: pending.(q);
+      pending_n.(q) <- pending_n.(q) + 1;
+      if pending_n.(q) >= batch then begin
+        flush q pending.(q);
+        pending.(q) <- [];
+        pending_n.(q) <- 0
+      end
+    | Shard_workload.Multi participants ->
+      incr multi;
+      let c0 = Unix.gettimeofday () in
+      (match Router.multi router participants with
+      | Ok () -> incr mok
+      | Error _ -> incr mab);
+      Histogram.record coord_lat (Unix.gettimeofday () -. c0)
+  done;
+  for p = 0 to n - 1 do
+    flush p pending.(p);
+    pending.(p) <- []
+  done;
+  Queue.iter Future.await inflight;
+  Queue.clear inflight;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let all = Histogram.create () in
+  Array.iter (fun h -> Histogram.merge_into ~into:all h) lat;
+  Histogram.merge_into ~into:all coord_lat;
+  let committed = Array.fold_left ( + ) !mok ok in
+  let aborted = Array.fold_left ( + ) !mab ab in
+  {
+    total = num_txns;
+    committed;
+    aborted;
+    multi = !multi;
+    multi_aborted = !mab;
+    elapsed_s;
+    tps = (if elapsed_s > 0.0 then float_of_int committed /. elapsed_s else 0.0);
+    mean_latency_s = Histogram.mean all;
+    p99_latency_s = Histogram.percentile all 99.0;
+    per_partition =
+      List.init n (fun p ->
+          { pid = p; committed = ok.(p); aborted = ab.(p); queue_peak = queue_peak.(p) });
+  }

@@ -1,0 +1,37 @@
+(** Drives a sharded workload through a {!Router} (DESIGN.md §11).
+
+    Single-partition transactions are batched onto their owner's mailbox
+    (amortizing messaging overhead); multi-partition transactions run
+    through the coordinator inline.  A bounded in-flight window keeps the
+    generator from racing unboundedly ahead of slow partitions. *)
+
+type per_partition = {
+  pid : int;
+  committed : int;
+  aborted : int;
+  queue_peak : int;  (** deepest mailbox backlog observed at post time *)
+}
+
+type stats = {
+  total : int;
+  committed : int;
+  aborted : int;
+  multi : int;
+  multi_aborted : int;
+  elapsed_s : float;
+  tps : float;
+  mean_latency_s : float;
+  p99_latency_s : float;
+  per_partition : per_partition list;
+}
+
+val default_batch : int
+
+val run :
+  ?batch:int ->
+  ?max_inflight_batches:int ->
+  router:Router.t ->
+  next:(int -> Shard_workload.spec) ->
+  num_txns:int ->
+  unit ->
+  stats

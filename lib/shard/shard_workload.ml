@@ -1,0 +1,314 @@
+(* Sharded versions of the three paper workloads (DESIGN.md §11).
+
+   The common shape: generation is pulled out of the transaction bodies so
+   the coordinator can (a) learn every participant partition before
+   dispatching and (b) keep one deterministic generator stream per
+   partition — partition p's stream depends only on the base seed and p,
+   never on cross-partition timing, so a run at any parallelism is
+   reproducible.
+
+   Data placement follows each workload's natural partition key:
+   - Voter: phone number, striped (phone mod n); contestants replicated.
+     Every vote is single-partition.
+   - TPC-C: warehouse id, striped ((w - 1) mod n); items replicated.
+     New-order lines supplied by a remote warehouse and payments through a
+     remote customer become multi-partition transactions (~10 % / 15 %,
+     per spec).
+   - Articles: article id, striped ((a - 1) mod n); users replicated.
+     User-page reads fan out to every partition.
+
+   Each [next] returns a dispatch spec: [Single (partition, body)] or
+   [Multi participants] — consumed by {!Shard_runner}. *)
+
+open Hi_util
+open Hi_hstore
+open Hi_workloads
+
+type spec =
+  | Single of int * (Engine.t -> unit)
+  | Multi of Router.participant list
+
+(* Per-partition generator seeds: distinct, deterministic in (seed, p). *)
+let gen_seed base p = base + (0x2545F49 * (p + 1))
+
+(* --- Voter --- *)
+
+module Voter_shard = struct
+  type t = { router : Router.t; scale : Voter.scale; gens : Xorshift.t array }
+
+  let create ?(mode = Router.Parallel) ?(config = Engine.default_config) ?sleep
+      ?(scale = Voter.default_scale) ?(seed = 42) ~partitions () =
+    let router =
+      Router.create ~mode ~config ?sleep ~partitions
+        ~init:(fun _ engine -> ignore (Voter.setup ~scale engine))
+        ()
+    in
+    { router; scale; gens = Array.init partitions (fun p -> Xorshift.create (gen_seed seed p)) }
+
+  let router t = t.router
+
+  (* partition p owns phones p, p+n, p+2n, ... *)
+  let owned_phones t p =
+    let n = Router.num_partitions t.router in
+    (t.scale.Voter.phone_numbers - p + n - 1) / n
+
+  let next t p =
+    let n = Router.num_partitions t.router in
+    let g = t.gens.(p) in
+    let phone = p + (n * Xorshift.int g (owned_phones t p)) in
+    let contestant = 1 + Xorshift.int g t.scale.Voter.contestants in
+    Single (p, Voter.vote_as ~vote_limit:t.scale.Voter.vote_limit ~phone ~contestant)
+
+  let check_consistency t = List.for_all Voter.check_consistency (Router.engines t.router)
+  let stop t = Router.stop t.router
+end
+
+(* --- TPC-C --- *)
+
+module Tpcc_shard = struct
+  type t = {
+    router : Router.t;
+    scale : Tpcc.scale;
+    rngs : Xorshift.t array; (* per-partition mix/placement draws *)
+    gens : Tpcc.state array; (* per-partition NURand/name generator states *)
+    execs : Tpcc.state array; (* per-partition executor states (history ids) *)
+  }
+
+  let partition_of_warehouse ~partitions w = (w - 1) mod partitions
+
+  let owned_warehouses ~partitions ~warehouses p =
+    List.filter (fun w -> partition_of_warehouse ~partitions w = p) (List.init warehouses (fun i -> i + 1))
+
+  let create ?(mode = Router.Parallel) ?(config = Engine.default_config) ?sleep
+      ?(scale = Tpcc.default_scale) ?(seed = 42) ~partitions () =
+    if scale.Tpcc.warehouses < partitions then
+      invalid_arg "Tpcc_shard.create: need at least one warehouse per partition";
+    let execs = Array.make partitions None in
+    let router =
+      Router.create ~mode ~config ?sleep ~partitions
+        ~init:(fun p engine ->
+          let warehouses = owned_warehouses ~partitions ~warehouses:scale.Tpcc.warehouses p in
+          execs.(p) <- Some (Tpcc.setup_partition ~scale ~seed:(7 + p) ~warehouses engine))
+        ()
+    in
+    {
+      router;
+      scale;
+      rngs = Array.init partitions (fun p -> Xorshift.create (gen_seed seed p));
+      gens = Array.init partitions (fun p -> Tpcc.make_state ~seed:(gen_seed (seed + 1) p) scale);
+      execs = Array.map Option.get execs;
+    }
+
+  let router t = t.router
+
+  let home_warehouse t p =
+    let n = Router.num_partitions t.router in
+    let owned = (t.scale.Tpcc.warehouses - p + n - 1) / n in
+    p + 1 + (n * Xorshift.int t.rngs.(p) owned)
+
+  (* uniform warehouse other than [w]; [w] itself when there is only one *)
+  let other_warehouse t p w =
+    if t.scale.Tpcc.warehouses <= 1 then w
+    else begin
+      let x = 1 + Xorshift.int t.rngs.(p) (t.scale.Tpcc.warehouses - 1) in
+      if x >= w then x + 1 else x
+    end
+
+  let new_order t p =
+    let n = Router.num_partitions t.router in
+    let rng = t.rngs.(p) in
+    let gst = t.gens.(p) in
+    let w = home_warehouse t p in
+    let d = Tpcc.pick_district gst in
+    let c = Tpcc.pick_customer gst in
+    (* ~1 % of lines are supplied by a remote warehouse (TPC-C §2.4.1.5) *)
+    let supply () = if Xorshift.int rng 100 = 0 then other_warehouse t p w else w in
+    let lines = Tpcc.gen_order_lines gst ~supply in
+    let part_of w' = partition_of_warehouse ~partitions:n w' in
+    let remote_parts =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun l ->
+             let q = part_of l.Tpcc.li_supply_w in
+             if q = p then None else Some q)
+           lines)
+    in
+    if remote_parts = [] then Single (p, Tpcc.new_order_with ~w ~d ~c ~lines ~local:(fun _ -> true))
+    else
+      Multi
+        ({ Router.part = p; body = (fun e -> Tpcc.new_order_with e ~w ~d ~c ~lines ~local:(fun w' -> part_of w' = p)) }
+        :: List.map
+             (fun q ->
+               let qlines = List.filter (fun l -> part_of l.Tpcc.li_supply_w = q) lines in
+               { Router.part = q; body = (fun e -> Tpcc.remote_stock_updates e ~lines:qlines) })
+             remote_parts)
+
+  let payment t p =
+    let n = Router.num_partitions t.router in
+    let rng = t.rngs.(p) in
+    let gst = t.gens.(p) in
+    let w = home_warehouse t p in
+    let d = Tpcc.pick_district gst in
+    let amount = 1.0 +. (Xorshift.float01 rng *. 4_999.0) in
+    (* 15 % of payments are through a customer of a remote warehouse
+       (TPC-C §2.5.1.2) *)
+    let c_w = if Xorshift.int rng 100 < 15 then other_warehouse t p w else w in
+    let c_d = Tpcc.pick_district gst in
+    let sel = Tpcc.pick_customer_sel gst in
+    let q = partition_of_warehouse ~partitions:n c_w in
+    if q = p then
+      Single
+        ( p,
+          fun e ->
+            Tpcc.payment_home e ~w ~d ~amount;
+            Tpcc.payment_customer t.execs.(p) e ~c_w ~c_d ~sel ~amount ~h_w:w ~h_d:d )
+    else
+      Multi
+        [
+          { Router.part = p; body = (fun e -> Tpcc.payment_home e ~w ~d ~amount) };
+          {
+            Router.part = q;
+            body = (fun e -> Tpcc.payment_customer t.execs.(q) e ~c_w ~c_d ~sel ~amount ~h_w:w ~h_d:d);
+          };
+        ]
+
+  (* standard 45/43/4/4/4 mix, drawn per partition *)
+  let next t p =
+    let rng = t.rngs.(p) in
+    let gst = t.gens.(p) in
+    let r = Xorshift.int rng 100 in
+    if r < 45 then new_order t p
+    else if r < 88 then payment t p
+    else if r < 92 then begin
+      let w = home_warehouse t p in
+      let d = Tpcc.pick_district gst in
+      let sel = Tpcc.pick_customer_sel gst in
+      Single (p, fun e -> Tpcc.order_status_with e ~w ~d ~sel)
+    end
+    else if r < 96 then begin
+      let w = home_warehouse t p in
+      let carrier = 1 + Xorshift.int rng 10 in
+      Single (p, fun e -> Tpcc.delivery_with e ~w ~carrier)
+    end
+    else begin
+      let w = home_warehouse t p in
+      let d = Tpcc.pick_district gst in
+      let threshold = 10 + Xorshift.int rng 11 in
+      Single (p, fun e -> Tpcc.stock_level_with e ~w ~d ~threshold)
+    end
+
+  let check_consistency t = List.for_all Tpcc.check_ytd_consistency (Router.engines t.router)
+  let stop t = Router.stop t.router
+end
+
+(* --- Articles --- *)
+
+module Articles_shard = struct
+  type t = {
+    router : Router.t;
+    scale : Articles.scale;
+    gens : Xorshift.t array;
+    (* partition p owns article ids p+1+n*k; [articles.(p)] is the count of
+       owned articles (so the next owned id is p+1+n*articles.(p)), and
+       likewise for comment ids *)
+    articles : int array;
+    comments : int array;
+  }
+
+  let owned_initial ~partitions ~total p = (total - p + partitions - 1) / partitions
+
+  let create ?(mode = Router.Parallel) ?(config = Engine.default_config) ?sleep
+      ?(scale = Articles.default_scale) ?(seed = 42) ~partitions () =
+    let router =
+      Router.create ~mode ~config ?sleep ~partitions
+        ~init:(fun p engine ->
+          ignore (Articles.setup_partition ~scale ~partition:(p, partitions) engine))
+        ()
+    in
+    let initial field = Array.init partitions (fun p -> owned_initial ~partitions ~total:field p) in
+    {
+      router;
+      scale;
+      gens = Array.init partitions (fun p -> Xorshift.create (gen_seed seed p));
+      articles = initial scale.Articles.initial_articles;
+      comments = initial (scale.Articles.initial_articles * scale.Articles.comments_per_article);
+    }
+
+  let router t = t.router
+
+  let rand_text rng n =
+    String.init ((n / 2) + Xorshift.int rng (n / 2)) (fun _ -> Char.chr (97 + Xorshift.int rng 26))
+
+  (* a uniformly-drawn article owned by partition p *)
+  let owned_article t p =
+    let n = Router.num_partitions t.router in
+    p + 1 + (n * Xorshift.int t.gens.(p) (max 1 t.articles.(p)))
+
+  let next t p =
+    let n = Router.num_partitions t.router in
+    let g = t.gens.(p) in
+    let r = Xorshift.int g 100 in
+    if r < 50 then begin
+      let a = owned_article t p in
+      Single (p, fun e -> Articles.get_article_by_id e a)
+    end
+    else if r < 60 then begin
+      (* user pages span partitions: fan the read out to all of them *)
+      let u = 1 + Xorshift.int g t.scale.Articles.users in
+      if n = 1 then Single (p, fun e -> Articles.get_articles_of_user e u)
+      else
+        Multi
+          (List.init n (fun q ->
+               { Router.part = q; body = (fun e -> Articles.get_articles_of_user e u) }))
+    end
+    else if r < 88 then begin
+      let a = owned_article t p in
+      let u = 1 + Xorshift.int g t.scale.Articles.users in
+      let text = rand_text g 120 in
+      let c_id = p + 1 + (n * t.comments.(p)) in
+      t.comments.(p) <- t.comments.(p) + 1;
+      Single (p, fun e -> Articles.post_comment_as e ~c_id ~a ~u ~text)
+    end
+    else if r < 90 then begin
+      let u = 1 + Xorshift.int g t.scale.Articles.users in
+      let title = rand_text g 60 in
+      let text = rand_text g 200 in
+      let a_id = p + 1 + (n * t.articles.(p)) in
+      t.articles.(p) <- t.articles.(p) + 1;
+      Single (p, fun e -> Articles.post_article_row e ~a_id ~u ~title ~text)
+    end
+    else begin
+      let a = owned_article t p in
+      Single (p, fun e -> Articles.update_rating_by_id e a)
+    end
+
+  (* a_num_comments equals the actual comment rows, per partition over the
+     initially-loaded articles *)
+  let check_comment_counts t =
+    let open Hi_hstore.Value in
+    let n = Router.num_partitions t.router in
+    let declared_col = Hi_hstore.Schema.column Articles.articles_schema "a_num_comments" in
+    let ok = ref true in
+    for p = 0 to n - 1 do
+      let engine = Partition.engine (Router.partition t.router p) in
+      let articles = Engine.table engine "articles" in
+      let comments = Engine.table engine "comments" in
+      let owned = owned_initial ~partitions:n ~total:t.scale.Articles.initial_articles p in
+      for k = 0 to owned - 1 do
+        let a = p + 1 + (n * k) in
+        match Table.find_by_pk articles [ Int a ] with
+        | None -> ok := false
+        | Some rowid ->
+          let declared = as_int (Table.read articles rowid).(declared_col) in
+          let actual =
+            List.length
+              (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ]
+                 ~limit:10_000)
+          in
+          if declared <> actual then ok := false
+      done
+    done;
+    !ok
+
+  let stop t = Router.stop t.router
+end

@@ -1,0 +1,79 @@
+(** Sharded versions of the paper's three workloads (DESIGN.md §11).
+
+    Generation is separated from execution: each partition has its own
+    deterministic generator stream (a function of the base seed and the
+    partition id only), and [next t p] returns a dispatch spec naming
+    every participant partition up front. *)
+
+open Hi_hstore
+open Hi_workloads
+
+type spec =
+  | Single of int * (Engine.t -> unit)  (** fast path: one partition *)
+  | Multi of Router.participant list  (** coordinated cross-partition txn *)
+
+(** Voter partitioned by phone number (phone mod n); contestants
+    replicated.  Every vote is single-partition. *)
+module Voter_shard : sig
+  type t
+
+  val create :
+    ?mode:Router.mode ->
+    ?config:Engine.config ->
+    ?sleep:(float -> unit) ->
+    ?scale:Voter.scale ->
+    ?seed:int ->
+    partitions:int ->
+    unit ->
+    t
+
+  val router : t -> Router.t
+  val next : t -> int -> spec
+  val check_consistency : t -> bool
+  val stop : t -> unit
+end
+
+(** TPC-C partitioned by warehouse ((w-1) mod n); items replicated.
+    Remote-supplied new-order lines (~1 % per line) and remote-customer
+    payments (15 %) become multi-partition transactions. *)
+module Tpcc_shard : sig
+  type t
+
+  val create :
+    ?mode:Router.mode ->
+    ?config:Engine.config ->
+    ?sleep:(float -> unit) ->
+    ?scale:Tpcc.scale ->
+    ?seed:int ->
+    partitions:int ->
+    unit ->
+    t
+  (** @raise Invalid_argument with fewer warehouses than partitions. *)
+
+  val router : t -> Router.t
+  val partition_of_warehouse : partitions:int -> int -> int
+  val next : t -> int -> spec
+  val check_consistency : t -> bool
+  val stop : t -> unit
+end
+
+(** Articles partitioned by article id ((a-1) mod n); users replicated.
+    User-page reads fan out to every partition. *)
+module Articles_shard : sig
+  type t
+
+  val create :
+    ?mode:Router.mode ->
+    ?config:Engine.config ->
+    ?sleep:(float -> unit) ->
+    ?scale:Articles.scale ->
+    ?seed:int ->
+    partitions:int ->
+    unit ->
+    t
+
+  val router : t -> Router.t
+  val next : t -> int -> spec
+  val check_comment_counts : t -> bool
+  val stop : t -> unit
+end

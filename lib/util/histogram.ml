@@ -44,6 +44,12 @@ let mean t =
     !sum /. float_of_int n
   end
 
+let iter f t = Vec.iter f t.samples
+
+(* Used to combine per-partition recorders after their domains have been
+   joined; neither histogram may be touched concurrently. *)
+let merge_into ~into t = Vec.iter (fun x -> record into x) t.samples
+
 let clear t =
   Vec.clear t.samples;
   t.sorted <- true

@@ -14,4 +14,12 @@ val percentile : t -> float -> float
 val median : t -> float
 val max_value : t -> float
 val mean : t -> float
+
+val iter : (float -> unit) -> t -> unit
+(** Visit every recorded sample in insertion order. *)
+
+val merge_into : into:t -> t -> unit
+(** Append all of [t]'s samples to [into] (combining per-partition
+    recorders after their domains are joined). *)
+
 val clear : t -> unit

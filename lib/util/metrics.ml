@@ -9,12 +9,19 @@
    runner (throughput windows, abort breakdown) — reports into one place
    that benchmarks and the CLI can snapshot and serialize.
 
-   Handles are cheap mutable records resolved once (a Hashtbl lookup at
-   registration) and then updated with plain field writes, so counters are
+   Handles are cheap records resolved once (a Hashtbl lookup at
+   registration) and then updated without re-resolving, so counters are
    safe to touch on hot paths.  Metrics with the same (scope, labels,
    name) share a handle: several index instances of the same configuration
    aggregate into one counter, which is what a process-wide registry
-   wants.  Gauges are last-writer-wins. *)
+   wants.  Gauges are last-writer-wins.
+
+   Domain safety: partitions of the sharded runtime (DESIGN.md §11) touch
+   shared handles from several domains at once, so registry mutation is
+   serialized by a mutex, counter/gauge cells are atomics, and histogram
+   recording takes a per-histogram lock (observations are rare relative
+   to counter bumps: merge durations, throughput windows, transaction
+   latencies). *)
 
 type labels = (string * string) list
 
@@ -22,10 +29,10 @@ type scope = { scope_name : string; labels : labels }
 
 let scope ?(labels = []) scope_name = { scope_name; labels = List.sort compare labels }
 
-type counter = { mutable count : int }
-type gauge = { mutable value : float }
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
-type histogram = Histogram.t
+type histogram = { hist : Histogram.t; hlock : Mutex.t }
 
 type metric =
   | Counter of counter
@@ -37,56 +44,75 @@ type key = string * labels * string
 
 let registry : (key, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Guards [registry] itself; individual handles synchronize on their own
+   (atomics, per-histogram locks). *)
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
 
 let register scope name make match_existing =
   let key = (scope.scope_name, scope.labels, name) in
-  match Hashtbl.find_opt registry key with
-  | Some m -> (
-    match match_existing m with
-    | Some handle -> handle
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %s/%s already registered as a %s" scope.scope_name name
-           (kind_name m)))
-  | None ->
-    let m, handle = make () in
-    Hashtbl.replace registry key m;
-    handle
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some m -> (
+        match match_existing m with
+        | Some handle -> handle
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s/%s already registered as a %s" scope.scope_name name
+               (kind_name m)))
+      | None ->
+        let m, handle = make () in
+        Hashtbl.replace registry key m;
+        handle)
 
 let counter scope name =
   register scope name
     (fun () ->
-      let c = { count = 0 } in
+      let c = Atomic.make 0 in
       (Counter c, c))
     (function Counter c -> Some c | _ -> None)
 
 let gauge scope name =
   register scope name
     (fun () ->
-      let g = { value = 0.0 } in
+      let g = Atomic.make 0.0 in
       (Gauge g, g))
     (function Gauge g -> Some g | _ -> None)
 
 let histogram scope name =
   register scope name
     (fun () ->
-      let h = Histogram.create () in
+      let h = { hist = Histogram.create (); hlock = Mutex.create () } in
       (Hist h, h))
     (function Hist h -> Some h | _ -> None)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
-let set g v = g.value <- v
-let set_int g v = g.value <- float_of_int v
-let gauge_value g = g.value
-let observe h v = Histogram.record h v
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
+let set g v = Atomic.set g v
+let set_int g v = Atomic.set g (float_of_int v)
+let gauge_value g = Atomic.get g
+
+let observe h v =
+  Mutex.lock h.hlock;
+  Histogram.record h.hist v;
+  Mutex.unlock h.hlock
+
+let histogram_count h =
+  Mutex.lock h.hlock;
+  let n = Histogram.count h.hist in
+  Mutex.unlock h.hlock;
+  n
 
 let time h f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Histogram.record h (Unix.gettimeofday () -. t0);
+  observe h (Unix.gettimeofday () -. t0);
   r
 
 (* --- snapshot --- *)
@@ -101,26 +127,35 @@ type value =
 type sample = { sample_scope : string; sample_labels : labels; name : string; value : value }
 
 let summarize h =
-  {
-    samples = Histogram.count h;
-    mean = Histogram.mean h;
-    p50 = Histogram.median h;
-    p99 = Histogram.percentile h 99.0;
-    max = Histogram.max_value h;
-  }
+  Mutex.lock h.hlock;
+  let s =
+    {
+      samples = Histogram.count h.hist;
+      mean = Histogram.mean h.hist;
+      p50 = Histogram.median h.hist;
+      p99 = Histogram.percentile h.hist 99.0;
+      max = Histogram.max_value h.hist;
+    }
+  in
+  Mutex.unlock h.hlock;
+  s
 
 let snapshot () =
   let rows =
-    Hashtbl.fold
-      (fun (sample_scope, sample_labels, name) metric acc ->
+    with_registry (fun () ->
+        Hashtbl.fold (fun key metric acc -> (key, metric) :: acc) registry [])
+  in
+  let rows =
+    List.map
+      (fun ((sample_scope, sample_labels, name), metric) ->
         let value =
           match metric with
-          | Counter c -> Counter_value c.count
-          | Gauge g -> Gauge_value g.value
+          | Counter c -> Counter_value (Atomic.get c)
+          | Gauge g -> Gauge_value (Atomic.get g)
           | Hist h -> Hist_value (summarize h)
         in
-        { sample_scope; sample_labels; name; value } :: acc)
-      registry []
+        { sample_scope; sample_labels; name; value })
+      rows
   in
   (* deterministic order for diffable output *)
   List.sort
@@ -159,21 +194,27 @@ let dump () = Json.to_string_pretty (to_json (snapshot ()))
    engine), so dropping entries would silently orphan them.  Meant for
    test isolation and between-run hygiene. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ -> function
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.0
-      | Hist h -> Histogram.clear h)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Hist h ->
+            Mutex.lock h.hlock;
+            Histogram.clear h.hist;
+            Mutex.unlock h.hlock)
+        registry)
 
 (* Find a registered counter/gauge value by path, mostly for tests and
    assertions over instrumented code. *)
 let find_counter scope name =
-  match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
-  | Some (Counter c) -> Some c.count
-  | _ -> None
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
+      | Some (Counter c) -> Some (Atomic.get c)
+      | _ -> None)
 
 let find_gauge scope name =
-  match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
-  | Some (Gauge g) -> Some g.value
-  | _ -> None
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry (scope.scope_name, scope.labels, name) with
+      | Some (Gauge g) -> Some (Atomic.get g)
+      | _ -> None)

@@ -1,10 +1,15 @@
 (** Process-wide metrics registry: counters, gauges and latency histograms
     under labeled scopes, with a snapshot API and a JSON emitter.
 
-    Handles are resolved once and updated with plain field writes, so they
+    Handles are resolved once and updated without re-resolving, so they
     are safe on hot paths.  Metrics with the same (scope, labels, name)
     share a handle and aggregate; gauges are last-writer-wins.  See
-    DESIGN.md §10 for the metric name catalogue. *)
+    DESIGN.md §10 for the metric name catalogue.
+
+    The registry is domain-safe (DESIGN.md §11): registry mutation is
+    mutex-guarded, counters and gauges are atomic cells, and histogram
+    recording takes a per-histogram lock, so parallel partitions touching
+    shared handles neither lose nor corrupt counts. *)
 
 type labels = (string * string) list
 
@@ -33,10 +38,13 @@ val set : gauge -> float -> unit
 val set_int : gauge -> int -> unit
 val gauge_value : gauge -> float
 
-type histogram = Histogram.t
+type histogram
 
 val histogram : scope -> string -> histogram
 val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+(** Number of samples recorded so far. *)
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** Run a thunk, recording its wall-clock duration in seconds. *)

@@ -6,7 +6,13 @@
    and pointer dereferences track memory-hierarchy traffic (each is a fresh
    cache line touched in the C layout), key comparisons track instruction
    count.  Table 2's conclusion is about the *relative* ranking of the four
-   structures, which these proxies preserve. *)
+   structures, which these proxies preserve.
+
+   The counters are domain-local (one set per domain, via Domain.DLS), so
+   each partition of the sharded runtime profiles exactly the traversals
+   its own domain performed: parallel partitions neither race nor bleed
+   counts into each other, and single-domain measurement runs behave as
+   before. *)
 
 type snapshot = {
   node_visits : int;
@@ -14,25 +20,38 @@ type snapshot = {
   pointer_derefs : int;
 }
 
-let node_visits = ref 0
-let key_comparisons = ref 0
-let pointer_derefs = ref 0
+type counters = {
+  mutable nv : int;
+  mutable kc : int;
+  mutable pd : int;
+}
 
-let visit () = incr node_visits
-let compare_keys n = key_comparisons := !key_comparisons + n
-let deref () = incr pointer_derefs
+let key : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { nv = 0; kc = 0; pd = 0 })
+
+let local () = Domain.DLS.get key
+
+let visit () =
+  let c = local () in
+  c.nv <- c.nv + 1
+
+let compare_keys n =
+  let c = local () in
+  c.kc <- c.kc + n
+
+let deref () =
+  let c = local () in
+  c.pd <- c.pd + 1
 
 let reset () =
-  node_visits := 0;
-  key_comparisons := 0;
-  pointer_derefs := 0
+  let c = local () in
+  c.nv <- 0;
+  c.kc <- 0;
+  c.pd <- 0
 
 let snapshot () =
-  {
-    node_visits = !node_visits;
-    key_comparisons = !key_comparisons;
-    pointer_derefs = !pointer_derefs;
-  }
+  let c = local () in
+  { node_visits = c.nv; key_comparisons = c.kc; pointer_derefs = c.pd }
 
 let diff a b =
   {

@@ -3,7 +3,9 @@
     Indexes increment logical counters (node visits, key comparisons,
     pointer dereferences) during traversal; {!instructions} and
     {!cache_lines_touched} model the hardware metrics.  The counters are
-    global and single-threaded, like the paper's measurement runs. *)
+    domain-local: each partition domain of the sharded runtime profiles
+    only its own traversals, and {!reset}/{!snapshot} operate on the
+    calling domain's set. *)
 
 type snapshot = {
   node_visits : int;

@@ -46,7 +46,12 @@ let col schema n = Schema.column schema n
 
 let rand_text rng n = String.init (n / 2 + Xorshift.int rng (n / 2)) (fun _ -> Char.chr (97 + Xorshift.int rng 26))
 
-let setup ?(scale = default_scale) (engine : Engine.t) =
+(* Per-partition loader (DESIGN.md §11): users are replicated on every
+   partition; partition [p] of [n] owns the articles with
+   (a_id - 1) mod n = p, plus their comments.  [setup] is the
+   single-partition special case (0 of 1). *)
+let setup_partition ?(scale = default_scale) ?(partition = (0, 1)) (engine : Engine.t) =
+  let p, n = partition in
   List.iter (fun s -> ignore (Engine.create_table engine s)) [ users_schema; articles_schema; comments_schema ];
   let rng = Xorshift.create 23 in
   let users = Engine.table engine "users" in
@@ -61,25 +66,37 @@ let setup ?(scale = default_scale) (engine : Engine.t) =
   for _ = 1 to scale.initial_articles do
     st.next_article <- st.next_article + 1;
     let a = st.next_article in
-    ignore
-      (Table.insert articles
-         [| Int a; Int (1 + Xorshift.int rng scale.users); Str (rand_text rng 60);
-            Str (rand_text rng 200); Int scale.comments_per_article; Int 0 |]);
+    (* every partition draws the same stream so the data is identical to a
+       single-partition load restricted to its slice *)
+    let author = 1 + Xorshift.int rng scale.users in
+    let title = rand_text rng 60 in
+    let text = rand_text rng 200 in
+    let owned = (a - 1) mod n = p in
+    if owned then
+      ignore
+        (Table.insert articles
+           [| Int a; Int author; Str title; Str text; Int scale.comments_per_article; Int 0 |]);
     for _ = 1 to scale.comments_per_article do
       st.next_comment <- st.next_comment + 1;
-      ignore
-        (Table.insert comments
-           [| Int st.next_comment; Int a; Int (1 + Xorshift.int rng scale.users); Str (rand_text rng 120) |])
+      let commenter = 1 + Xorshift.int rng scale.users in
+      let ctext = rand_text rng 120 in
+      if owned then
+        ignore (Table.insert comments [| Int st.next_comment; Int a; Int commenter; Str ctext |])
     done
   done;
   st
 
+let setup ?scale engine = setup_partition ?scale engine
+
 (* --- stored procedures --- *)
 
-let get_article st engine =
+(* Parameterized bodies (DESIGN.md §11): the sharded runtime draws ids and
+   text on the coordinator and routes each body to the article's
+   partition; the single-engine procedures below delegate to them. *)
+
+let get_article_by_id engine a =
   let articles = Engine.table engine "articles" in
   let comments = Engine.table engine "comments" in
-  let a = 1 + Xorshift.int st.rng st.next_article in
   match Table.find_by_pk articles [ Int a ] with
   | None -> raise (Engine.Abort "missing article")
   | Some a_rowid ->
@@ -88,46 +105,55 @@ let get_article st engine =
       (fun c_rowid -> ignore (Engine.read engine comments c_rowid))
       (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ] ~limit:50)
 
-let get_articles_by_user st engine =
+let get_article st engine = get_article_by_id engine (1 + Xorshift.int st.rng st.next_article)
+
+let get_articles_of_user engine u =
   let articles = Engine.table engine "articles" in
-  let u = 1 + Xorshift.int st.rng st.scale.users in
   List.iter
     (fun a_rowid -> ignore (Engine.read engine articles a_rowid))
     (Table.scan_index_prefix_eq articles "articles_user_idx" ~prefix:[ Int u ] ~limit:20)
 
-let post_article st engine =
-  let articles = Engine.table engine "articles" in
-  st.next_article <- st.next_article + 1;
-  ignore
-    (Engine.insert engine articles
-       [| Int st.next_article; Int (1 + Xorshift.int st.rng st.scale.users);
-          Str (rand_text st.rng 60); Str (rand_text st.rng 200); Int 0; Int 0 |])
+let get_articles_by_user st engine =
+  get_articles_of_user engine (1 + Xorshift.int st.rng st.scale.users)
 
-let post_comment st engine =
+let post_article_row engine ~a_id ~u ~title ~text =
+  let articles = Engine.table engine "articles" in
+  ignore (Engine.insert engine articles [| Int a_id; Int u; Str title; Str text; Int 0; Int 0 |])
+
+let post_article st engine =
+  st.next_article <- st.next_article + 1;
+  post_article_row engine ~a_id:st.next_article
+    ~u:(1 + Xorshift.int st.rng st.scale.users)
+    ~title:(rand_text st.rng 60) ~text:(rand_text st.rng 200)
+
+let post_comment_as engine ~c_id ~a ~u ~text =
   let articles = Engine.table engine "articles" in
   let comments = Engine.table engine "comments" in
-  let a = 1 + Xorshift.int st.rng st.next_article in
   match Table.find_by_pk articles [ Int a ] with
   | None -> raise (Engine.Abort "missing article")
   | Some a_rowid ->
-    st.next_comment <- st.next_comment + 1;
-    ignore
-      (Engine.insert engine comments
-         [| Int st.next_comment; Int a; Int (1 + Xorshift.int st.rng st.scale.users);
-            Str (rand_text st.rng 120) |]);
+    ignore (Engine.insert engine comments [| Int c_id; Int a; Int u; Str text |]);
     let a_row = Engine.read engine articles a_rowid in
     Engine.update engine articles a_rowid
       [ (col articles_schema "a_num_comments", Int (as_int a_row.(col articles_schema "a_num_comments") + 1)) ]
 
-let update_rating st engine =
-  let articles = Engine.table engine "articles" in
+let post_comment st engine =
   let a = 1 + Xorshift.int st.rng st.next_article in
+  st.next_comment <- st.next_comment + 1;
+  post_comment_as engine ~c_id:st.next_comment ~a
+    ~u:(1 + Xorshift.int st.rng st.scale.users)
+    ~text:(rand_text st.rng 120)
+
+let update_rating_by_id engine a =
+  let articles = Engine.table engine "articles" in
   match Table.find_by_pk articles [ Int a ] with
   | None -> raise (Engine.Abort "missing article")
   | Some a_rowid ->
     let a_row = Engine.read engine articles a_rowid in
     Engine.update engine articles a_rowid
       [ (col articles_schema "a_rating", Int (as_int a_row.(col articles_schema "a_rating") + 1)) ]
+
+let update_rating st engine = update_rating_by_id engine (1 + Xorshift.int st.rng st.next_article)
 
 (* Read-intensive mix: 50 % article reads, 10 % user-page reads,
    28 % comments, 2 % submissions, 10 % rating updates. *)

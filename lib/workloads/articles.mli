@@ -16,6 +16,12 @@ type state = {
 val name : string
 val setup : ?scale:scale -> Hi_hstore.Engine.t -> state
 
+val setup_partition : ?scale:scale -> ?partition:int * int -> Hi_hstore.Engine.t -> state
+(** [setup_partition ~partition:(p, n)] loads partition [p] of [n]'s slice
+    (DESIGN.md §11): all users, but only the articles with
+    [(a_id - 1) mod n = p] and their comments.  Default [(0, 1)] is a full
+    load. *)
+
 val get_article : state -> Hi_hstore.Engine.t -> unit
 val get_articles_by_user : state -> Hi_hstore.Engine.t -> unit
 val post_article : state -> Hi_hstore.Engine.t -> unit
@@ -28,6 +34,16 @@ val transaction : state -> Hi_hstore.Engine.t -> (unit, Hi_hstore.Engine.txn_err
 
 val check_comment_counts : Hi_hstore.Engine.t -> int -> bool
 (** [a_num_comments] equals the actual comment rows for articles 1..n. *)
+
+(** {1 Sharded building blocks (DESIGN.md §11)}
+
+    Bodies with ids and text pre-drawn, routed by article id. *)
+
+val get_article_by_id : Hi_hstore.Engine.t -> int -> unit
+val get_articles_of_user : Hi_hstore.Engine.t -> int -> unit
+val post_article_row : Hi_hstore.Engine.t -> a_id:int -> u:int -> title:string -> text:string -> unit
+val post_comment_as : Hi_hstore.Engine.t -> c_id:int -> a:int -> u:int -> text:string -> unit
+val update_rating_by_id : Hi_hstore.Engine.t -> int -> unit
 
 val users_schema : Hi_hstore.Schema.t
 val articles_schema : Hi_hstore.Schema.t

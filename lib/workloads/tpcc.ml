@@ -132,10 +132,16 @@ let rand_str rng n =
 
 (* --- load --- *)
 
-let setup ?(scale = default_scale) (engine : Engine.t) =
+let make_state ?(seed = 7) scale =
+  { scale; rng = Xorshift.create seed; next_history_id = 0; last_names = Array.init 1000 last_name }
+
+(* Load items plus the given warehouses only — the per-partition loader of
+   the sharded runtime (DESIGN.md §11): items are replicated read-only on
+   every partition, warehouses are partitioned. *)
+let setup_partition ?(scale = default_scale) ?seed ~warehouses:warehouse_ids (engine : Engine.t) =
   List.iter (fun s -> ignore (Engine.create_table engine s)) all_schemas;
-  let rng = Xorshift.create 7 in
-  let st = { scale; rng; next_history_id = 0; last_names = Array.init 1000 last_name } in
+  let st = make_state ?seed scale in
+  let rng = st.rng in
   let warehouse = Engine.table engine "warehouse" in
   let district = Engine.table engine "district" in
   let customer = Engine.table engine "customer" in
@@ -146,7 +152,7 @@ let setup ?(scale = default_scale) (engine : Engine.t) =
       (Table.insert item
          [| Int i; Int (Xorshift.int rng 10_000); Str (rand_str rng 24); Float (1.0 +. Xorshift.float01 rng *. 99.0); Str (rand_str rng 50) |])
   done;
-  for w = 1 to scale.warehouses do
+  List.iter (fun w ->
     ignore
       (Table.insert warehouse
          [| Int w; Str (rand_str rng 10); Str (rand_str rng 20); Str (rand_str rng 20);
@@ -197,9 +203,12 @@ let setup ?(scale = default_scale) (engine : Engine.t) =
         if o >= scale.customers_per_district * 7 / 10 then
           ignore (Table.insert neworder [| Int w; Int d; Int o |])
       done
-    done
-  done;
+    done)
+    warehouse_ids;
   st
+
+let setup ?(scale = default_scale) (engine : Engine.t) =
+  setup_partition ~scale ~warehouses:(List.init scale.warehouses (fun i -> i + 1)) engine
 
 (* --- stored procedures --- *)
 
@@ -210,13 +219,22 @@ let pick_item st = nurand st.rng 8191 1 st.scale.items
 
 let col schema n = Schema.column schema n
 
-(* Customer lookup: 60 % by last name (via the secondary index, taking the
-   middle match), 40 % by id — as in the TPC-C spec. *)
-let lookup_customer st engine w d =
-  let customer = Engine.table engine "customer" in
+(* Customer selection is split from the lookup so the sharded runtime can
+   draw the selector on the coordinator and resolve it on the customer's
+   partition: 60 % by last name (via the secondary index, taking the middle
+   match), 40 % by id — as in the TPC-C spec. *)
+type customer_sel = By_id of int | By_name of string
+
+let pick_customer_sel st =
   if Xorshift.int st.rng 100 < 60 then begin
     let coverage = min 1000 st.scale.customers_per_district in
-    let lname = st.last_names.(nurand st.rng 255 0 (coverage - 1)) in
+    By_name st.last_names.(nurand st.rng 255 0 (coverage - 1))
+  end
+  else By_id (pick_customer st)
+
+let lookup_customer_sel engine w d = function
+  | By_name lname -> (
+    let customer = Engine.table engine "customer" in
     let rowids =
       Table.scan_index_prefix_eq customer "customer_name_idx" ~prefix:[ Int w; Int d; Str lname ]
         ~limit:100
@@ -225,22 +243,61 @@ let lookup_customer st engine w d =
     | [] -> None
     | _ ->
       let arr = Array.of_list rowids in
-      Some arr.(Array.length arr / 2)
-  end
-  else
-    Table.find_by_pk customer [ Int w; Int d; Int (pick_customer st) ]
+      Some arr.(Array.length arr / 2))
+  | By_id c -> Table.find_by_pk (Engine.table engine "customer") [ Int w; Int d; Int c ]
 
-let new_order st engine =
-  let w = pick_warehouse st in
-  let d = pick_district st in
-  let c = pick_customer st in
+(* Pre-drawn order lines: generation is separated from execution so the
+   sharded coordinator knows every supplying warehouse — and hence every
+   participant partition — before dispatching. *)
+type line_spec = { li_item : int; li_supply_w : int; li_qty : int }
+
+(* Draw the order lines for one new-order: 5..15 lines, NURand items, and
+   the spec's 1 % invalid-item abort on the last line.  [supply] picks the
+   supplying warehouse per line (always the home warehouse in the
+   single-partition workload; ~1 % remote per line in the sharded one). *)
+let gen_order_lines st ~supply =
+  let ol_cnt = 5 + Xorshift.int st.rng 11 in
+  let invalid = Xorshift.int st.rng 100 = 0 in
+  List.init ol_cnt (fun i ->
+      let ol = i + 1 in
+      let li_item = if invalid && ol = ol_cnt then st.scale.items + 1 else pick_item st in
+      let li_supply_w = supply () in
+      { li_item; li_supply_w; li_qty = 1 + Xorshift.int st.rng 10 })
+
+(* Decrement stock for one order line; [remote] additionally bumps
+   s_remote_cnt (TPC-C §2.4.2.2). *)
+let stock_update engine ~supply_w ~i_id ~qty ~remote =
+  let stock = Engine.table engine "stock" in
+  let s_rowid =
+    match Table.find_by_pk stock [ Int supply_w; Int i_id ] with
+    | Some r -> r
+    | None -> raise (Engine.Abort "missing stock")
+  in
+  let s_row = Engine.read engine stock s_rowid in
+  let q = as_int s_row.(col stock_schema "s_quantity") in
+  let new_q = if q - qty >= 10 then q - qty else q - qty + 91 in
+  Engine.update engine stock s_rowid
+    ([
+       (col stock_schema "s_quantity", Int new_q);
+       (col stock_schema "s_ytd", Int (as_int s_row.(col stock_schema "s_ytd") + qty));
+       (col stock_schema "s_order_cnt", Int (as_int s_row.(col stock_schema "s_order_cnt") + 1));
+     ]
+    @
+    if remote then
+      [ (col stock_schema "s_remote_cnt", Int (as_int s_row.(col stock_schema "s_remote_cnt") + 1)) ]
+    else [])
+
+(* Home-partition body of new-order: district bump, order/new-order/
+   order-line inserts, and stock updates for the lines whose supplying
+   warehouse passes [local].  Remote lines' stock lives on other
+   partitions and is updated there via {!remote_stock_updates}. *)
+let new_order_with engine ~w ~d ~c ~lines ~local =
   let district = Engine.table engine "district" in
   let customer = Engine.table engine "customer" in
   let orders = Engine.table engine "orders" in
   let neworder = Engine.table engine "new_order" in
   let orderline = Engine.table engine "order_line" in
   let item = Engine.table engine "item" in
-  let stock = Engine.table engine "stock" in
   let d_rowid =
     match Table.find_by_pk district [ Int w; Int d ] with
     | Some r -> r
@@ -252,47 +309,47 @@ let new_order st engine =
   (match Table.find_by_pk customer [ Int w; Int d; Int c ] with
   | Some r -> ignore (Engine.read engine customer r)
   | None -> raise (Engine.Abort "missing customer"));
-  let ol_cnt = 5 + Xorshift.int st.rng 11 in
-  ignore (Engine.insert engine orders [| Int w; Int d; Int o_id; Int c; Int 0; Int 0; Int ol_cnt; Int 1 |]);
+  let ol_cnt = List.length lines in
+  let all_local = List.for_all (fun l -> l.li_supply_w = w) lines in
+  ignore
+    (Engine.insert engine orders
+       [| Int w; Int d; Int o_id; Int c; Int 0; Int 0; Int ol_cnt; Int (if all_local then 1 else 0) |]);
   ignore (Engine.insert engine neworder [| Int w; Int d; Int o_id |]);
-  (* 1 % of new-order transactions abort on an invalid item, per spec *)
-  let invalid = Xorshift.int st.rng 100 = 0 in
-  for ol = 1 to ol_cnt do
-    let i_id = if invalid && ol = ol_cnt then st.scale.items + 1 else pick_item st in
-    match Table.find_by_pk item [ Int i_id ] with
-    | None -> raise (Engine.Abort "invalid item")
-    | Some i_rowid ->
-      let i_row = Engine.read engine item i_rowid in
-      let price = as_float i_row.(col item_schema "i_price") in
-      let s_rowid =
-        match Table.find_by_pk stock [ Int w; Int i_id ] with
-        | Some r -> r
-        | None -> raise (Engine.Abort "missing stock")
-      in
-      let s_row = Engine.read engine stock s_rowid in
-      let qty = as_int s_row.(col stock_schema "s_quantity") in
-      let order_qty = 1 + Xorshift.int st.rng 10 in
-      let new_qty = if qty - order_qty >= 10 then qty - order_qty else qty - order_qty + 91 in
-      Engine.update engine stock s_rowid
-        [
-          (col stock_schema "s_quantity", Int new_qty);
-          (col stock_schema "s_ytd", Int (as_int s_row.(col stock_schema "s_ytd") + order_qty));
-          (col stock_schema "s_order_cnt", Int (as_int s_row.(col stock_schema "s_order_cnt") + 1));
-        ];
-      ignore
-        (Engine.insert engine orderline
-           [| Int w; Int d; Int o_id; Int ol; Int i_id; Int w; Int 0; Int order_qty;
-              Float (float_of_int order_qty *. price); Str "distinfo................" |])
-  done
+  List.iteri
+    (fun i l ->
+      let ol = i + 1 in
+      match Table.find_by_pk item [ Int l.li_item ] with
+      | None -> raise (Engine.Abort "invalid item")
+      | Some i_rowid ->
+        let i_row = Engine.read engine item i_rowid in
+        let price = as_float i_row.(col item_schema "i_price") in
+        if local l.li_supply_w then
+          stock_update engine ~supply_w:l.li_supply_w ~i_id:l.li_item ~qty:l.li_qty
+            ~remote:(l.li_supply_w <> w);
+        ignore
+          (Engine.insert engine orderline
+             [| Int w; Int d; Int o_id; Int ol; Int l.li_item; Int l.li_supply_w; Int 0;
+                Int l.li_qty; Float (float_of_int l.li_qty *. price); Str "distinfo................" |]))
+    lines
 
-let payment st engine =
+(* Remote-participant body of a distributed new-order: the stock updates
+   for the lines this partition supplies. *)
+let remote_stock_updates engine ~lines =
+  List.iter
+    (fun l -> stock_update engine ~supply_w:l.li_supply_w ~i_id:l.li_item ~qty:l.li_qty ~remote:true)
+    lines
+
+let new_order st engine =
   let w = pick_warehouse st in
   let d = pick_district st in
-  let amount = 1.0 +. (Xorshift.float01 st.rng *. 4_999.0) in
+  let c = pick_customer st in
+  let lines = gen_order_lines st ~supply:(fun () -> w) in
+  new_order_with engine ~w ~d ~c ~lines ~local:(fun _ -> true)
+
+(* Home-partition body of payment: warehouse and district YTD bumps. *)
+let payment_home engine ~w ~d ~amount =
   let warehouse = Engine.table engine "warehouse" in
   let district = Engine.table engine "district" in
-  let customer = Engine.table engine "customer" in
-  let history = Engine.table engine "history" in
   let w_rowid =
     match Table.find_by_pk warehouse [ Int w ] with
     | Some r -> r
@@ -308,8 +365,17 @@ let payment st engine =
   in
   let d_row = Engine.read engine district d_rowid in
   Engine.update engine district d_rowid
-    [ (col district_schema "d_ytd", Float (as_float d_row.(col district_schema "d_ytd") +. amount)) ];
-  match lookup_customer st engine w d with
+    [ (col district_schema "d_ytd", Float (as_float d_row.(col district_schema "d_ytd") +. amount)) ]
+
+(* Customer-partition body of payment: balance/ytd/count update plus the
+   history row.  [st] is the executing partition's state (its history-id
+   counter is only ever touched from that partition's domain); (h_w, h_d)
+   identify the paying warehouse/district, which differ from (c_w, c_d) in
+   the spec's 15 % remote-customer case. *)
+let payment_customer st engine ~c_w ~c_d ~sel ~amount ~h_w ~h_d =
+  let customer = Engine.table engine "customer" in
+  let history = Engine.table engine "history" in
+  match lookup_customer_sel engine c_w c_d sel with
   | None -> raise (Engine.Abort "customer not found")
   | Some c_rowid ->
     let c_row = Engine.read engine customer c_rowid in
@@ -324,16 +390,22 @@ let payment st engine =
     st.next_history_id <- st.next_history_id + 1;
     ignore
       (Engine.insert engine history
-         [| Int st.next_history_id; Int c_id; Int d; Int w; Int d; Int w; Int 0; Float amount;
-            Str "historydata" |])
+         [| Int st.next_history_id; Int c_id; Int c_d; Int c_w; Int h_d; Int h_w; Int 0;
+            Float amount; Str "historydata" |])
 
-let order_status st engine =
+let payment st engine =
   let w = pick_warehouse st in
   let d = pick_district st in
+  let amount = 1.0 +. (Xorshift.float01 st.rng *. 4_999.0) in
+  payment_home engine ~w ~d ~amount;
+  let sel = pick_customer_sel st in
+  payment_customer st engine ~c_w:w ~c_d:d ~sel ~amount ~h_w:w ~h_d:d
+
+let order_status_with engine ~w ~d ~sel =
   let customer = Engine.table engine "customer" in
   let orders = Engine.table engine "orders" in
   let orderline = Engine.table engine "order_line" in
-  match lookup_customer st engine w d with
+  match lookup_customer_sel engine w d sel with
   | None -> raise (Engine.Abort "customer not found")
   | Some c_rowid ->
     let c_row = Engine.read engine customer c_rowid in
@@ -355,9 +427,12 @@ let order_status st engine =
         | None -> ()
       done)
 
-let delivery st engine =
+let order_status st engine =
   let w = pick_warehouse st in
-  let carrier = 1 + Xorshift.int st.rng 10 in
+  let d = pick_district st in
+  order_status_with engine ~w ~d ~sel:(pick_customer_sel st)
+
+let delivery_with engine ~w ~carrier =
   let neworder = Engine.table engine "new_order" in
   let orders = Engine.table engine "orders" in
   let orderline = Engine.table engine "order_line" in
@@ -398,10 +473,11 @@ let delivery st engine =
             ]))
   done
 
-let stock_level st engine =
+let delivery st engine =
   let w = pick_warehouse st in
-  let d = pick_district st in
-  let threshold = 10 + Xorshift.int st.rng 11 in
+  delivery_with engine ~w ~carrier:(1 + Xorshift.int st.rng 10)
+
+let stock_level_with engine ~w ~d ~threshold =
   let district = Engine.table engine "district" in
   let orderline = Engine.table engine "order_line" in
   let stock = Engine.table engine "stock" in
@@ -429,6 +505,11 @@ let stock_level st engine =
            ~limit:20)
     done;
     ignore !low
+
+let stock_level st engine =
+  let w = pick_warehouse st in
+  let d = pick_district st in
+  stock_level_with engine ~w ~d ~threshold:(10 + Xorshift.int st.rng 11)
 
 (* --- mix (45/43/4/4/4) --- *)
 

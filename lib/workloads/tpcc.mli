@@ -30,6 +30,58 @@ val stock_level : state -> Hi_hstore.Engine.t -> unit
 val check_ytd_consistency : Hi_hstore.Engine.t -> bool
 (** TPC-C consistency condition 1: W_YTD = sum of the warehouse's D_YTD. *)
 
+(** {1 Sharded building blocks (DESIGN.md §11)}
+
+    Generation is separated from execution so the sharded runtime can draw
+    a transaction's parameters on the coordinator (learning every
+    participant partition up front) and run pure bodies on the partitions
+    that own the data. *)
+
+val make_state : ?seed:int -> scale -> state
+(** Generator state without loading anything (per-partition seeds). *)
+
+val setup_partition :
+  ?scale:scale -> ?seed:int -> warehouses:int list -> Hi_hstore.Engine.t -> state
+(** Create the nine tables and load items (replicated) plus only the given
+    warehouses — one partition's slice of the database. *)
+
+(** How payment/order-status picks its customer: drawn up front (60 % by
+    last name, 40 % by id, per spec). *)
+type customer_sel = By_id of int | By_name of string
+
+val pick_customer_sel : state -> customer_sel
+val pick_district : state -> int
+val pick_customer : state -> int
+
+(** One pre-drawn order line of a new-order. *)
+type line_spec = { li_item : int; li_supply_w : int; li_qty : int }
+
+val gen_order_lines : state -> supply:(unit -> int) -> line_spec list
+(** 5..15 lines with NURand items and the spec's 1 % invalid-item abort;
+    [supply] picks each line's supplying warehouse. *)
+
+val new_order_with :
+  Hi_hstore.Engine.t -> w:int -> d:int -> c:int -> lines:line_spec list -> local:(int -> bool) -> unit
+(** Home body: district bump, order/new-order/order-line inserts, stock
+    updates for the lines whose supplying warehouse passes [local]. *)
+
+val remote_stock_updates : Hi_hstore.Engine.t -> lines:line_spec list -> unit
+(** Remote-participant body: stock updates for the lines this partition
+    supplies (bumps s_remote_cnt). *)
+
+val payment_home : Hi_hstore.Engine.t -> w:int -> d:int -> amount:float -> unit
+
+val payment_customer :
+  state ->
+  Hi_hstore.Engine.t ->
+  c_w:int -> c_d:int -> sel:customer_sel -> amount:float -> h_w:int -> h_d:int -> unit
+(** Customer-partition body: balance update + history row.  [state] must be
+    the executing partition's (its history-id counter is touched). *)
+
+val order_status_with : Hi_hstore.Engine.t -> w:int -> d:int -> sel:customer_sel -> unit
+val delivery_with : Hi_hstore.Engine.t -> w:int -> carrier:int -> unit
+val stock_level_with : Hi_hstore.Engine.t -> w:int -> d:int -> threshold:int -> unit
+
 (** Schemas (exposed for tests and tooling). *)
 
 val warehouse_schema : Hi_hstore.Schema.t

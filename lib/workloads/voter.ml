@@ -41,26 +41,33 @@ let setup ?(scale = default_scale) (engine : Engine.t) =
 let col schema n = Schema.column schema n
 
 
-(* The vote stored procedure: validate contestant, enforce the per-phone
-   limit, record the vote and bump the contestant's total. *)
-let vote st engine =
+(* The vote stored procedure body with the caller and choice fixed:
+   validate contestant, enforce the per-phone limit, record the vote and
+   bump the contestant's total.  Parameterized so the sharded runtime
+   (DESIGN.md §11) can generate (phone, contestant) on the coordinator and
+   execute on the phone's partition; {!vote} draws them from the workload
+   RNG for the single-partition path. *)
+let vote_as ~vote_limit ~phone ~contestant engine =
   let contestants = Engine.table engine "contestants" in
   let votes = Engine.table engine "votes" in
-  let phone = Xorshift.int st.rng st.scale.phone_numbers in
-  let contestant = 1 + Xorshift.int st.rng st.scale.contestants in
   let c_rowid =
     match Table.find_by_pk contestants [ Int contestant ] with
     | Some r -> r
     | None -> raise (Engine.Abort "unknown contestant")
   in
   let prior =
-    List.length (Table.scan_index_prefix_eq votes "votes_pk" ~prefix:[ Int phone ] ~limit:st.scale.vote_limit)
+    List.length (Table.scan_index_prefix_eq votes "votes_pk" ~prefix:[ Int phone ] ~limit:vote_limit)
   in
-  if prior >= st.scale.vote_limit then raise (Engine.Abort "vote limit reached");
+  if prior >= vote_limit then raise (Engine.Abort "vote limit reached");
   ignore (Engine.insert engine votes [| Int phone; Int (prior + 1); Str "ca"; Int contestant |]);
   let c_row = Engine.read engine contestants c_rowid in
   Engine.update engine contestants c_rowid
     [ (col contestants_schema "num_votes", Int (as_int c_row.(col contestants_schema "num_votes") + 1)) ]
+
+let vote st engine =
+  let phone = Xorshift.int st.rng st.scale.phone_numbers in
+  let contestant = 1 + Xorshift.int st.rng st.scale.contestants in
+  vote_as ~vote_limit:st.scale.vote_limit ~phone ~contestant engine
 
 let transaction st engine = Engine.run engine (vote st)
 

@@ -16,6 +16,11 @@ val vote : state -> Hi_hstore.Engine.t -> unit
     per-phone limit (raising {!Hi_hstore.Engine.Abort} beyond it), records
     the vote and bumps the total. *)
 
+val vote_as : vote_limit:int -> phone:int -> contestant:int -> Hi_hstore.Engine.t -> unit
+(** {!vote} with the caller and choice fixed, for the sharded runtime
+    (DESIGN.md §11): generation happens on the coordinator, execution on
+    the phone's partition. *)
+
 val transaction : state -> Hi_hstore.Engine.t -> (unit, Hi_hstore.Engine.txn_error) result
 
 val check_consistency : Hi_hstore.Engine.t -> bool

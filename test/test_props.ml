@@ -94,6 +94,7 @@ let hybrid_config ~kind ~strategy ~trigger =
     use_bloom = true;
     bloom_fpr = 0.01;
     min_merge_size = 16;
+    defer_merge = false;
   }
 
 let hybrid_cases =

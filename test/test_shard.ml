@@ -1,0 +1,459 @@
+(* Tests for the partitioned runtime (hi_shard, DESIGN.md §11): mailbox
+   and future primitives, jump-consistent routing, partition lifecycle,
+   two-phase engine primitives, cross-partition atomicity, the sharded
+   workloads, and the Sequential-mode differential harness. *)
+
+open Hi_hstore
+open Hi_util
+open Hi_workloads
+open Hi_shard
+open Common
+
+(* --- mailbox --- *)
+
+let test_mailbox_fifo () =
+  let mb = Mailbox.create () in
+  for i = 0 to 99 do
+    Mailbox.push mb i
+  done;
+  check_int "length" 100 (Mailbox.length mb);
+  for i = 0 to 99 do
+    match Mailbox.try_pop mb with
+    | Some j -> check_int "fifo order" i j
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  check "empty" true (Mailbox.try_pop mb = None)
+
+let test_mailbox_close_drains () =
+  let mb = Mailbox.create () in
+  Mailbox.push mb 1;
+  Mailbox.push mb 2;
+  Mailbox.close mb;
+  check "closed" true (Mailbox.is_closed mb);
+  check "push refused" true
+    (match Mailbox.push mb 3 with exception Mailbox.Closed -> true | () -> false);
+  check "drains 1" true (Mailbox.pop mb = Some 1);
+  check "drains 2" true (Mailbox.pop mb = Some 2);
+  check "then None" true (Mailbox.pop mb = None);
+  check "still None" true (Mailbox.pop mb = None)
+
+let test_mailbox_cross_domain () =
+  let mb = Mailbox.create () in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Mailbox.push mb i
+        done;
+        Mailbox.close mb)
+  in
+  let sum = ref 0 and count = ref 0 and in_order = ref true in
+  let last = ref 0 in
+  let rec drain () =
+    match Mailbox.pop mb with
+    | Some i ->
+      if i <= !last then in_order := false;
+      last := i;
+      sum := !sum + i;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  check_int "all delivered" n !count;
+  check_int "no duplicates or losses" (n * (n + 1) / 2) !sum;
+  check "delivery in push order" true !in_order
+
+(* --- future --- *)
+
+let test_future_basic () =
+  let f = Future.create () in
+  check "poll empty" true (Future.poll f = None);
+  Future.fill f 42;
+  check "poll filled" true (Future.poll f = Some 42);
+  check_int "await" 42 (Future.await f);
+  check "double fill refused" true
+    (match Future.fill f 0 with exception Invalid_argument _ -> true | () -> false)
+
+let test_future_cross_domain () =
+  let f = Future.create () in
+  let d = Domain.spawn (fun () -> Future.fill f "done") in
+  check_string "await across domains" "done" (Future.await f);
+  Domain.join d
+
+(* --- routing --- *)
+
+let test_jump_hash_stability () =
+  (* growing n -> n+1 buckets moves keys only INTO the new bucket *)
+  let moved = ref 0 and total = ref 0 in
+  for k = 1 to 2_000 do
+    let key = Int64.of_int (k * 2_654_435_761) in
+    for n = 1 to 8 do
+      let a = Router.jump_hash key n and b = Router.jump_hash key (n + 1) in
+      incr total;
+      if a <> b then begin
+        incr moved;
+        check_int "moved key lands in the new bucket" n b
+      end
+    done
+  done;
+  check "some keys moved" true (!moved > 0);
+  check "only ~1/(n+1) of keys moved" true (!moved < !total / 3)
+
+let test_route_balance () =
+  let n = 4 in
+  let router =
+    Router.create ~mode:(Router.Sequential (Xorshift.create 1)) ~partitions:n
+      ~init:(fun _ _ -> ())
+      ()
+  in
+  let counts = Array.make n 0 in
+  for i = 0 to 9_999 do
+    let p = Router.route_key router (Printf.sprintf "key-%d" i) in
+    counts.(p) <- counts.(p) + 1
+  done;
+  Array.iter
+    (fun c -> check "string keys balanced within 20%" true (abs (c - 2_500) < 500))
+    counts;
+  let icounts = Array.make n 0 in
+  for i = 0 to 9_999 do
+    let p = Router.route_int router i in
+    icounts.(p) <- icounts.(p) + 1
+  done;
+  Array.iter
+    (fun c -> check "int keys balanced within 20%" true (abs (c - 2_500) < 500))
+    icounts;
+  (* determinism *)
+  check_int "route_key deterministic" (Router.route_key router "abc")
+    (Router.route_key router "abc");
+  Router.stop router
+
+(* --- partition lifecycle --- *)
+
+let counter_schema =
+  Schema.make ~name:"c" ~columns:[ ("id", Value.TInt); ("v", Value.TInt) ] ~pk:[ "id" ] ()
+
+let test_partition_lifecycle () =
+  let part = Partition.create ~id:0 () in
+  let tbl = Engine.create_table (Partition.engine part) counter_schema in
+  (* inline mode before start *)
+  check "unstarted" true (not (Partition.started part));
+  (match Partition.run part (fun e -> ignore (Engine.insert e tbl [| Value.Int 1; Value.Int 0 |])) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "inline insert: %s" (Engine.txn_error_to_string e));
+  Partition.start part;
+  check "started" true (Partition.started part);
+  for _ = 1 to 100 do
+    match
+      Partition.run part (fun e ->
+          match Table.find_by_pk tbl [ Value.Int 1 ] with
+          | Some rowid ->
+            let v = match (Table.read tbl rowid).(1) with Value.Int v -> v | _ -> 0 in
+            Engine.update e tbl rowid [ (1, Value.Int (v + 1)) ]
+          | None -> raise (Engine.Abort "missing"))
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "update: %s" (Engine.txn_error_to_string e)
+  done;
+  Partition.stop part;
+  (match Table.find_by_pk tbl [ Value.Int 1 ] with
+  | Some rowid -> check "all 100 increments applied serially" true
+      ((Table.read tbl rowid).(1) = Value.Int 100)
+  | None -> Alcotest.fail "row vanished")
+
+exception Boom
+
+let test_partition_job_failure_surfaces () =
+  let part = Partition.create ~id:7 () in
+  Partition.start part;
+  Partition.post part (fun _ -> raise Boom);
+  check "leaked job exception re-raised at stop" true
+    (match Partition.stop part with exception Boom -> true | () -> false)
+
+(* --- engine two-phase primitives --- *)
+
+let test_prepare_commit_abort () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine counter_schema in
+  (match Engine.prepare engine (fun e -> ignore (Engine.insert e tbl [| Value.Int 1; Value.Int 5 |])) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "prepare: %s" (Engine.txn_error_to_string e));
+  check "run refused while prepared" true
+    (match Engine.run engine (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Engine.commit_prepared engine;
+  check "prepared effect kept" true (Table.find_by_pk tbl [ Value.Int 1 ] <> None);
+  (match Engine.prepare engine (fun e -> ignore (Engine.insert e tbl [| Value.Int 2; Value.Int 6 |])) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "prepare 2: %s" (Engine.txn_error_to_string e));
+  Engine.abort_prepared engine;
+  check "aborted prepare rolled back" true (Table.find_by_pk tbl [ Value.Int 2 ] = None);
+  check "first row still there" true (Table.find_by_pk tbl [ Value.Int 1 ] <> None);
+  (* a failed prepare leaves nothing pending *)
+  (match Engine.prepare engine (fun _ -> raise (Engine.Abort "no")) with
+  | Ok () -> Alcotest.fail "prepare should have aborted"
+  | Error _ -> ());
+  match Engine.run engine (fun _ -> ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "run after failed prepare: %s" (Engine.txn_error_to_string e)
+
+let test_deferred_merge () =
+  let config =
+    { Engine.default_config with index_kind = Engine.Hybrid_config; merge_ratio = 2; inline_merge = false }
+  in
+  let engine = Engine.create ~config () in
+  let tbl = Engine.create_table engine counter_schema in
+  let r =
+    Engine.run engine (fun e ->
+        (* past the hybrid trigger's min_merge_size floor (4096) *)
+        for i = 1 to 5_000 do
+          ignore (Engine.insert e tbl [| Value.Int i; Value.Int i |])
+        done)
+  in
+  check "bulk insert ok" true (r = Ok ());
+  check "merge deferred, not inline" true (Engine.merge_pending engine);
+  let ran = Engine.run_pending_merges engine in
+  check "a merge ran" true (ran > 0);
+  check "nothing left pending" true (not (Engine.merge_pending engine));
+  (* data survives the background merge *)
+  check "row findable after merge" true (Table.find_by_pk tbl [ Value.Int 1_500 ] <> None)
+
+(* --- cross-partition atomicity (Parallel mode: real domains) --- *)
+
+let balance router ~partition id =
+  match
+    Router.single router ~partition (fun engine ->
+        let tbl = Engine.table engine "c" in
+        match Table.find_by_pk tbl [ Value.Int id ] with
+        | Some rowid -> (
+          match (Table.read tbl rowid).(1) with Value.Int v -> Some v | _ -> None)
+        | None -> None)
+  with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "balance read: %s" (Engine.txn_error_to_string e)
+
+let test_multi_partition_atomicity () =
+  let router =
+    Router.create ~partitions:2
+      ~init:(fun i engine ->
+        let tbl = Engine.create_table engine counter_schema in
+        ignore (Table.insert tbl [| Value.Int i; Value.Int 100 |]))
+      ()
+  in
+  let update_by id delta engine =
+    let tbl = Engine.table engine "c" in
+    match Table.find_by_pk tbl [ Value.Int id ] with
+    | Some rowid ->
+      let v = match (Table.read tbl rowid).(1) with Value.Int v -> v | _ -> 0 in
+      if v + delta < 0 then raise (Engine.Abort "insufficient");
+      Engine.update engine tbl rowid [ (1, Value.Int (v + delta)) ]
+    | None -> raise (Engine.Abort "missing")
+  in
+  (* commit case: both sides apply *)
+  (match
+     Router.multi router
+       [
+         { Router.part = 0; body = update_by 0 (-30) };
+         { Router.part = 1; body = update_by 1 30 };
+       ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "multi commit: %s" (Engine.txn_error_to_string e));
+  check "debit applied" true (balance router ~partition:0 0 = Some 70);
+  check "credit applied" true (balance router ~partition:1 1 = Some 130);
+  (* abort case: participant 1 fails, participant 0 must roll back *)
+  (match
+     Router.multi router
+       [
+         { Router.part = 0; body = update_by 0 (-50) };
+         { Router.part = 1; body = update_by 99 1 (* no such account *) };
+       ]
+   with
+  | Ok () -> Alcotest.fail "multi should have aborted"
+  | Error _ -> ());
+  check "prepared debit rolled back" true (balance router ~partition:0 0 = Some 70);
+  check "other side untouched" true (balance router ~partition:1 1 = Some 130);
+  (* partitions stay live for follow-up transactions *)
+  (match
+     Router.multi router
+       [
+         { Router.part = 0; body = update_by 0 (-70) };
+         { Router.part = 1; body = update_by 1 70 };
+       ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "multi after abort: %s" (Engine.txn_error_to_string e));
+  check "second transfer applied" true (balance router ~partition:1 1 = Some 200);
+  check "committed counted" true (Router.total_committed router >= 2);
+  Router.stop router
+
+let test_multi_rejects_bad_participants () =
+  let router =
+    Router.create ~mode:(Router.Sequential (Xorshift.create 3)) ~partitions:2
+      ~init:(fun _ engine -> ignore (Engine.create_table engine counter_schema))
+      ()
+  in
+  check "empty participant list refused" true
+    (match Router.multi router [] with exception Invalid_argument _ -> true | _ -> false);
+  check "duplicate partitions refused" true
+    (match
+       Router.multi router
+         [ { Router.part = 0; body = ignore }; { Router.part = 0; body = ignore } ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Router.stop router
+
+(* --- sharded workloads (Parallel smoke + consistency) --- *)
+
+let run_workload next router n =
+  Shard_runner.run ~batch:16 ~router ~next ~num_txns:n ()
+
+let test_voter_shard () =
+  let scale = { Voter.default_scale with phone_numbers = 2_000 } in
+  let w = Shard_workload.Voter_shard.create ~scale ~seed:11 ~partitions:2 () in
+  let stats =
+    run_workload (Shard_workload.Voter_shard.next w) (Shard_workload.Voter_shard.router w) 600
+  in
+  check "most votes commit" true (stats.Shard_runner.committed > 400);
+  check_int "accounted for" stats.Shard_runner.total
+    (stats.Shard_runner.committed + stats.Shard_runner.aborted);
+  check_int "per-partition rows" 2 (List.length stats.Shard_runner.per_partition);
+  check "votes consistent across partitions" true
+    (Shard_workload.Voter_shard.check_consistency w);
+  Shard_workload.Voter_shard.stop w
+
+let test_tpcc_shard () =
+  let scale = { Tpcc.warehouses = 2; items = 200; customers_per_district = 8 } in
+  let w = Shard_workload.Tpcc_shard.create ~scale ~seed:12 ~partitions:2 () in
+  let stats =
+    run_workload (Shard_workload.Tpcc_shard.next w) (Shard_workload.Tpcc_shard.router w) 300
+  in
+  check "most txns commit" true (stats.Shard_runner.committed > 200);
+  check "cross-partition txns happened" true (stats.Shard_runner.multi > 0);
+  check "ytd consistency holds on every partition" true
+    (Shard_workload.Tpcc_shard.check_consistency w);
+  Shard_workload.Tpcc_shard.stop w
+
+let test_tpcc_shard_rejects_thin_scale () =
+  check "fewer warehouses than partitions refused" true
+    (match
+       Shard_workload.Tpcc_shard.create
+         ~scale:{ Tpcc.warehouses = 2; items = 50; customers_per_district = 3 }
+         ~partitions:4 ()
+     with
+    | exception Invalid_argument _ -> true
+    | w ->
+      Shard_workload.Tpcc_shard.stop w;
+      false)
+
+let test_articles_shard () =
+  let scale = { Articles.users = 200; initial_articles = 100; comments_per_article = 2 } in
+  let w = Shard_workload.Articles_shard.create ~scale ~seed:13 ~partitions:2 () in
+  let stats =
+    run_workload (Shard_workload.Articles_shard.next w) (Shard_workload.Articles_shard.router w) 300
+  in
+  check "most txns commit" true (stats.Shard_runner.committed > 200);
+  check "comment counts match comment rows" true
+    (Shard_workload.Articles_shard.check_comment_counts w);
+  Shard_workload.Articles_shard.stop w
+
+let test_partition_of_warehouse_stable () =
+  (* placement is a pure function of (partitions, warehouse) *)
+  for w = 1 to 16 do
+    check_int "stable" (Shard_workload.Tpcc_shard.partition_of_warehouse ~partitions:4 w)
+      ((w - 1) mod 4)
+  done
+
+let test_sequential_determinism () =
+  let run_once () =
+    let scale = { Voter.default_scale with phone_numbers = 1_000 } in
+    let w =
+      Shard_workload.Voter_shard.create
+        ~mode:(Router.Sequential (Xorshift.create 99))
+        ~scale ~seed:21 ~partitions:3 ()
+    in
+    let stats =
+      run_workload (Shard_workload.Voter_shard.next w) (Shard_workload.Voter_shard.router w) 400
+    in
+    Shard_workload.Voter_shard.stop w;
+    ( stats.Shard_runner.committed,
+      stats.Shard_runner.aborted,
+      List.map
+        (fun p -> (p.Shard_runner.pid, p.Shard_runner.committed, p.Shard_runner.aborted))
+        stats.Shard_runner.per_partition )
+  in
+  let a = run_once () and b = run_once () in
+  check "same seed, same outcome" true (a = b)
+
+(* --- differential harness (Sequential mode vs oracle) --- *)
+
+let test_shard_check_seeds () =
+  List.iter
+    (fun seed ->
+      let o = Hi_check.Shard_check.run ~n:1_200 ~partitions:3 ~seed () in
+      if o.Hi_check.Shard_check.violations <> [] then
+        Alcotest.failf "seed %d: %s" seed (String.concat "\n  " o.Hi_check.Shard_check.violations);
+      check "work happened" true (o.Hi_check.Shard_check.committed > 200);
+      check "cross-partition schedules exercised" true (o.Hi_check.Shard_check.multi > 50))
+    [ 1; 2; 3 ]
+
+let test_shard_check_regression () =
+  let o = Hi_check.Shard_check.regression ~seed:5 () in
+  if o.Hi_check.Shard_check.violations <> [] then
+    Alcotest.failf "pinned regression: %s" (String.concat "\n  " o.Hi_check.Shard_check.violations);
+  check_int "commits" 3 o.Hi_check.Shard_check.committed;
+  check_int "aborts" 3 o.Hi_check.Shard_check.aborted;
+  check_int "multi-partition txns" 4 o.Hi_check.Shard_check.multi
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "close drains then signals" `Quick test_mailbox_close_drains;
+          Alcotest.test_case "cross-domain delivery" `Quick test_mailbox_cross_domain;
+        ] );
+      ( "future",
+        [
+          Alcotest.test_case "fill/await/poll" `Quick test_future_basic;
+          Alcotest.test_case "cross-domain await" `Quick test_future_cross_domain;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "jump hash stable across resizes" `Quick test_jump_hash_stability;
+          Alcotest.test_case "balance and determinism" `Quick test_route_balance;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "lifecycle and serial execution" `Quick test_partition_lifecycle;
+          Alcotest.test_case "job failure surfaces at stop" `Quick test_partition_job_failure_surfaces;
+        ] );
+      ( "two-phase",
+        [
+          Alcotest.test_case "prepare/commit/abort" `Quick test_prepare_commit_abort;
+          Alcotest.test_case "deferred merges run off the critical path" `Quick test_deferred_merge;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "multi-partition atomicity" `Quick test_multi_partition_atomicity;
+          Alcotest.test_case "participant validation" `Quick test_multi_rejects_bad_participants;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "voter sharded" `Quick test_voter_shard;
+          Alcotest.test_case "tpcc sharded" `Quick test_tpcc_shard;
+          Alcotest.test_case "tpcc thin scale refused" `Quick test_tpcc_shard_rejects_thin_scale;
+          Alcotest.test_case "articles sharded" `Quick test_articles_shard;
+          Alcotest.test_case "warehouse placement stable" `Quick test_partition_of_warehouse_stable;
+          Alcotest.test_case "sequential mode deterministic" `Quick test_sequential_determinism;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "1200-op sequences vs oracle" `Quick test_shard_check_seeds;
+          Alcotest.test_case "pinned regression" `Quick test_shard_check_regression;
+        ] );
+    ]

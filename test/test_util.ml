@@ -274,7 +274,7 @@ let test_metrics_time () =
   let h = Metrics.histogram s "lat" in
   let r = Metrics.time h (fun () -> 7 * 6) in
   check_int "thunk result" 42 r;
-  check "sample recorded" true (Histogram.count h = 1)
+  check "sample recorded" true (Metrics.histogram_count h = 1)
 
 (* --- Key_codec --- *)
 
