@@ -6,6 +6,7 @@
      table1 table2 table3 table4
      fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13
      scaling         (domain-per-partition throughput at --partitions N)
+     netbench        (wire-protocol server loadgen over loopback TCP)
      bechamel        (OLS microbenchmarks of the core operations)
      all             (everything except bechamel and scaling; the default)
 
@@ -35,6 +36,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ablation", Micro.ablation);
     ("appendixA", Micro.appendix_a);
     ("scaling", Shard_bench.scaling);
+    ("netbench", Net_bench.netbench);
     ("bechamel", Bechamel_suite.run);
   ]
 

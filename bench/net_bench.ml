@@ -1,0 +1,160 @@
+(* Network loadgen over the wire-protocol server (DESIGN.md §12): drive a
+   loopback hi_server with pipelining clients and record client-observed
+   throughput and latency.
+
+   Each (workload, window) cell gets a fresh Db + Server so cells are
+   isolated runs; [clients] threads then each keep up to [window] requests
+   in flight (window 1 is the classic synchronous client, window 8 rides
+   the server's per-connection batching).  The interesting comparison is
+   window 1 vs window 8 at fixed everything-else: pipelining must at least
+   recover the per-request round-trip cost — CI asserts pipelined
+   throughput >= synchronous throughput, summed across workloads (the
+   2PC-bound kv-mixed cell barely moves; kv-point provides the margin).
+
+   Latency is closed-loop completion latency: tickets are awaited in send
+   order, so at window > 1 a sample includes queueing behind the window's
+   older requests — the client-experienced number, not the server-side
+   service time (the "server" metrics scope has those). *)
+
+open Hi_util
+open Hi_server
+
+let ops_per_client () = max 2_000 (Common.scaled 20_000)
+let key_space = 50_000
+
+let key rng = Key_codec.encode_u64 (Int64.of_int (Xorshift.int rng key_space))
+
+type workload = { wname : string; gen : Xorshift.t -> Db.request }
+
+(* single-partition point ops only: every request takes the router's fast
+   path through the per-connection window *)
+let kv_point =
+  {
+    wname = "kv-point";
+    gen =
+      (fun rng ->
+        if Xorshift.int rng 10 < 6 then Db.Put (key rng, Db.Int (Xorshift.int rng 1_000))
+        else Db.Get (key rng));
+  }
+
+(* transaction-heavy with scans: most requests fan out (2PC or merge), so
+   the inline path and the window path interleave on one connection *)
+let kv_mixed =
+  {
+    wname = "kv-mixed";
+    gen =
+      (fun rng ->
+        let r = Xorshift.int rng 10 in
+        if r < 7 then
+          Db.Txn
+            (List.init 4 (fun _ -> (key rng, Some (Db.Int (Xorshift.int rng 1_000)))))
+        else if r < 9 then Db.Get (key rng)
+        else Db.Scan_from (key rng, 16));
+  }
+
+let workloads = [ kv_point; kv_mixed ]
+
+let preload ~port =
+  let c = Client.connect ~port () in
+  let rng = Xorshift.create 7 in
+  let tickets = ref [] in
+  for _ = 1 to 2_000 do
+    tickets := Client.send c (Db.Put (key rng, Db.Int 0)) :: !tickets;
+    if List.length !tickets >= 32 then begin
+      List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+      tickets := []
+    end
+  done;
+  List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+  Client.close c
+
+let client_thread ~port ~window ~ops ~seed ~gen ~failures ~hist =
+  Thread.create
+    (fun () ->
+      let c = Client.connect ~port () in
+      let rng = Xorshift.create seed in
+      let outstanding = Queue.create () in
+      let await_oldest () =
+        let tk, t0 = Queue.pop outstanding in
+        let resp = Client.await tk in
+        Histogram.record hist (Unix.gettimeofday () -. t0);
+        match resp with Db.Failed _ -> incr failures | _ -> ()
+      in
+      for _ = 1 to ops do
+        if Queue.length outstanding >= window then await_oldest ();
+        Queue.push (Client.send c (gen rng), Unix.gettimeofday ()) outstanding
+      done;
+      while not (Queue.is_empty outstanding) do
+        await_oldest ()
+      done;
+      Client.close c)
+    ()
+
+let run_cell ~workload ~partitions ~clients ~window =
+  let db = Db.create ~partitions () in
+  let server = Server.start ~db () in
+  let port = Server.port server in
+  preload ~port;
+  let errs0 = Server.protocol_errors server in
+  let ops = ops_per_client () in
+  let failures = List.init clients (fun _ -> ref 0) in
+  let hists = List.init clients (fun _ -> Histogram.create ()) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.mapi
+      (fun i (fail, hist) ->
+        client_thread ~port ~window ~ops ~seed:(101 + i) ~gen:workload.gen ~failures:fail
+          ~hist)
+      (List.combine failures hists)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let protocol_errors = Server.protocol_errors server - errs0 in
+  Server.stop server;
+  Db.close db;
+  let total = ops * clients in
+  let tps = if elapsed > 0.0 then float_of_int total /. elapsed else 0.0 in
+  let failed = List.fold_left (fun acc r -> acc + !r) 0 failures in
+  let all = Histogram.create () in
+  List.iter (fun h -> Histogram.merge_into ~into:all h) hists;
+  Printf.printf "%-10s %8d %8d %8d %12.0f %10.3f %10.3f %6d %6d\n%!" workload.wname clients
+    window total tps
+    (1000.0 *. Histogram.mean all)
+    (1000.0 *. Histogram.percentile all 99.0)
+    failed protocol_errors;
+  Results.(
+    record
+      ~config:
+        [
+          ("workload", str workload.wname);
+          ("partitions", int partitions);
+          ("clients", int clients);
+          ("window", int window);
+          ("ops", int total);
+        ]
+      ~metrics:
+        [
+          ("tps", num tps);
+          ("elapsed_s", num elapsed);
+          ("mean_latency_ms", num (1000.0 *. Histogram.mean all));
+          ("p99_latency_ms", num (1000.0 *. Histogram.percentile all 99.0));
+          ("failed", int failed);
+          ("protocol_errors", int protocol_errors);
+        ])
+
+(* The netbench experiment: loopback server, >=2 clients, >=2 partitions,
+   synchronous vs pipelined windows (the CI server-smoke job asserts
+   nonzero throughput, zero protocol errors, and summed pipelined >=
+   summed synchronous throughput). *)
+let netbench () =
+  let partitions = max 2 !Common.partitions in
+  let clients = 2 in
+  Common.section
+    (Printf.sprintf "netbench: wire-protocol loadgen (%d partitions, %d clients)" partitions
+       clients);
+  Printf.printf "%-10s %8s %8s %8s %12s %10s %10s %6s %6s\n" "workload" "clients" "window"
+    "ops" "tps" "mean ms" "p99 ms" "fail" "perr";
+  List.iter
+    (fun workload ->
+      List.iter (fun window -> run_cell ~workload ~partitions ~clients ~window) [ 1; 8 ])
+    workloads

@@ -1,13 +1,27 @@
-(* hybrid_db: run one OLTP benchmark on the H-Store-style engine from the
-   command line.
+(* hybrid_db: the command-line shell of the system — run OLTP benchmarks,
+   serve the wire protocol, or talk to a running server, all over the same
+   Db facade (DESIGN.md §12).
 
-     dune exec bin/hybrid_db.exe -- --benchmark tpcc --index hybrid --txns 20000
-     dune exec bin/hybrid_db.exe -- --benchmark voter --anticache-mb 2
-     dune exec bin/hybrid_db.exe -- --benchmark voter --partitions 4 *)
+     dune exec bin/hybrid_db.exe -- bench --benchmark tpcc --index hybrid
+     dune exec bin/hybrid_db.exe -- serve --partitions 4 --port 7501
+     dune exec bin/hybrid_db.exe -- client --port 7501 put u64:42 hello
+     dune exec bin/hybrid_db.exe -- client --port 7501 scan u64:0 10
+
+   Invoking without a subcommand runs `bench` (the historical CLI), so
+   existing `--benchmark ...` invocations keep working. *)
 
 open Cmdliner
 open Hi_hstore
 open Hi_workloads
+open Hi_server
+
+let parse_index_kind = function
+  | "btree" -> Engine.Btree_config
+  | "hybrid" -> Engine.Hybrid_config
+  | "hybrid-compressed" -> Engine.Hybrid_compressed_config
+  | other -> failwith ("unknown index kind: " ^ other)
+
+(* --- bench: the original benchmark runner --- *)
 
 (* --partitions > 1: the domain-per-partition runtime (DESIGN.md §11). *)
 let run_sharded benchmark config txns partitions =
@@ -52,13 +66,7 @@ let run_sharded benchmark config txns partitions =
   if not ok then exit 1
 
 let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json partitions =
-  let index_kind =
-    match index_kind with
-    | "btree" -> Engine.Btree_config
-    | "hybrid" -> Engine.Hybrid_config
-    | "hybrid-compressed" -> Engine.Hybrid_compressed_config
-    | other -> failwith ("unknown index kind: " ^ other)
-  in
+  let index_kind = parse_index_kind index_kind in
   let evictable =
     match benchmark with
     | "tpcc" -> [ "history"; "order_line"; "orders" ]
@@ -173,12 +181,103 @@ let partitions =
           "Run the benchmark over $(docv) domain-backed partitions (the sharded runtime, \
            DESIGN.md §11); 1 keeps the single-partition engine.")
 
-let cmd =
+let bench_term =
+  Term.(
+    const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every
+    $ metrics_json $ partitions)
+
+let bench_cmd =
   let doc = "run an OLTP benchmark on the hybrid-index main-memory engine" in
-  Cmd.v
-    (Cmd.info "hybrid_db" ~doc)
+  Cmd.v (Cmd.info "bench" ~doc) bench_term
+
+(* --- serve: the wire-protocol server --- *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect.")
+
+let port_arg default doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve host port server_partitions index_kind merge_ratio =
+  let config = { Engine.default_config with index_kind = parse_index_kind index_kind; merge_ratio } in
+  let db = Db.create ~config ~partitions:server_partitions () in
+  let server = Server.start ~host ~port ~db () in
+  Printf.printf "hybrid_db: serving wire protocol v%d on %s:%d (%d partitions, %s indexes)\n%!"
+    Wire.version host (Server.port server) server_partitions
+    (Engine.index_kind_name config.Engine.index_kind);
+  let shutdown _ =
+    prerr_endline "shutting down ...";
+    Server.stop server;
+    Db.close db;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  while true do
+    Unix.sleep 3600
+  done
+
+let serve_partitions =
+  Arg.(
+    value & opt int 2
+    & info [ "p"; "partitions" ] ~docv:"N" ~doc:"Domain-backed partitions to serve.")
+
+let serve_cmd =
+  let doc = "serve the key/value wire protocol over TCP" in
+  Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every
-      $ metrics_json $ partitions)
+      const serve $ host_arg
+      $ port_arg 7501 "Port to listen on (0 picks a free port)."
+      $ serve_partitions $ index_kind $ merge_ratio)
+
+(* --- client: one-shot operations against a running server --- *)
+
+(* Keys on the command line: `u64:42` and `email:7` build the repo's
+   order-preserving encodings; anything else is the literal bytes. *)
+let parse_key s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "u64" ->
+    Hi_util.Key_codec.encode_u64 (Int64.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "email" ->
+    Hi_util.Key_codec.email_of_id (int_of_string (String.sub s (i + 1) (String.length s - i - 1)))
+  | _ -> s
+
+let parse_value s =
+  if s = "null" then Db.Null
+  else
+    match int_of_string_opt s with
+    | Some n -> Db.Int n
+    | None -> (
+      match float_of_string_opt s with Some f -> Db.Float f | None -> Db.Str s)
+
+let client host port args =
+  let req =
+    match args with
+    | [ "get"; k ] -> Db.Get (parse_key k)
+    | [ "put"; k; v ] -> Db.Put (parse_key k, parse_value v)
+    | [ "del"; k ] | [ "delete"; k ] -> Db.Delete (parse_key k)
+    | [ "scan"; probe; n ] -> Db.Scan_from (parse_key probe, int_of_string n)
+    | _ ->
+      failwith "expected one of: get KEY | put KEY VALUE | del KEY | scan PROBE COUNT"
+  in
+  let c = Client.connect ~host ~port () in
+  let resp = Client.call c req in
+  Client.close c;
+  print_endline (Db.response_to_string resp);
+  match resp with Db.Failed _ -> exit 1 | _ -> ()
+
+let client_args =
+  Arg.(value & pos_all string [] & info [] ~docv:"OP" ~doc:"Operation and its arguments.")
+
+let client_cmd =
+  let doc = "run one operation against a hybrid_db server" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client $ host_arg $ port_arg 7501 "Server port to connect to." $ client_args)
+
+let cmd =
+  let doc = "hybrid-index main-memory OLTP database" in
+  Cmd.group ~default:bench_term
+    (Cmd.info "hybrid_db" ~doc)
+    [ bench_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -97,7 +97,7 @@ let check_scan_multiset step probe n oracle got =
   in
   walk (group got) want_groups
 
-let run (module I : Hybrid_index.Index_sig.INDEX) ~cmp ~caps ~universe
+let run (module I : Hi_index.Index_intf.INDEX) ~cmp ~caps ~universe
     ?(checkpoint_every = 64) (ops : Gen.op array) : failure option =
   let t = I.create () in
   let o = Oracle.create () in
@@ -217,7 +217,7 @@ let run (module I : Hybrid_index.Index_sig.INDEX) ~cmp ~caps ~universe
    after every success, until no single-op deletion helps.  Shrink runs
    diff after every op (checkpoint_every = 1) to fail as early as
    possible. *)
-let shrink (module I : Hybrid_index.Index_sig.INDEX) ~cmp ~caps ~universe ops failure0 =
+let shrink (module I : Hi_index.Index_intf.INDEX) ~cmp ~caps ~universe ops failure0 =
   let try_run ops = run (module I) ~cmp ~caps ~universe ~checkpoint_every:1 ops in
   let best = ref (ops, failure0) in
   let improved = ref true in
@@ -259,7 +259,7 @@ let report ~name ~seed ~universe (ops, f) =
 
 (* One harness case: run, and on divergence shrink and return the printed
    counterexample (None = passed). *)
-let run_case (module I : Hybrid_index.Index_sig.INDEX) ~name ~seed ~cmp ~caps ~universe
+let run_case (module I : Hi_index.Index_intf.INDEX) ~name ~seed ~cmp ~caps ~universe
     ?checkpoint_every ops =
   match run (module I) ~cmp ~caps ~universe ?checkpoint_every ops with
   | None -> None

@@ -1,0 +1,164 @@
+(* Generators and fuzzing helpers for the wire protocol (DESIGN.md §12).
+
+   Requests and responses are generated from a Xorshift seed, so every
+   property failure reproduces from one integer.  Generated messages stay
+   inside the protocol's validity envelope (key/value/count limits,
+   non-NaN floats — NaN breaks the structural-equality oracle), because
+   the roundtrip property is about the codec, not about validation;
+   out-of-envelope bytes are covered by the corruption fuzzer, which
+   mutates well-formed frames and asserts the decoder answers with an
+   error rather than a wrong message or an exception. *)
+
+open Hi_util
+open Hi_server
+
+(* -- generators ---------------------------------------------------------- *)
+
+let gen_bytes rng maxlen =
+  let n = Xorshift.int rng (maxlen + 1) in
+  String.init n (fun _ -> Char.chr (Xorshift.int rng 256))
+
+let gen_key rng =
+  match Xorshift.int rng 4 with
+  | 0 -> Key_codec.encode_u64 (Xorshift.next_u64 rng)
+  | 1 -> Key_codec.email_of_id (Xorshift.int rng 100_000)
+  | 2 -> "k" ^ gen_bytes rng 16 (* arbitrary bytes, non-empty *)
+  | _ -> String.make (1 + Xorshift.int rng Db.max_key_len) 'x'
+
+let gen_float rng =
+  match Xorshift.int rng 8 with
+  | 0 -> 0.0
+  | 1 -> -0.0
+  | 2 -> infinity
+  | 3 -> neg_infinity
+  | 4 -> epsilon_float
+  | 5 -> max_float
+  | _ -> (Xorshift.float01 rng -. 0.5) *. 1e12
+
+let gen_value rng : Db.value =
+  match Xorshift.int rng 8 with
+  | 0 -> Null
+  | 1 | 2 ->
+    let magnitude = Xorshift.next_int rng asr Xorshift.int rng 62 in
+    Int (if Xorshift.bool rng then -magnitude else magnitude)
+  | 3 | 4 -> Float (gen_float rng)
+  | _ -> Str (gen_bytes rng Db.max_value_len)
+
+let gen_request rng : Db.request =
+  match Xorshift.int rng 5 with
+  | 0 -> Get (gen_key rng)
+  | 1 -> Put (gen_key rng, gen_value rng)
+  | 2 -> Delete (gen_key rng)
+  | 3 -> Scan_from (gen_bytes rng Db.max_key_len, Xorshift.int rng (Db.max_scan + 1))
+  | _ ->
+    let n = 1 + Xorshift.int rng 8 in
+    Txn
+      (List.init n (fun _ ->
+           let k = gen_key rng in
+           if Xorshift.bool rng then (k, Some (gen_value rng)) else (k, None)))
+
+let gen_error rng : Db.error =
+  match Xorshift.int rng 6 with
+  | 0 -> Bad_request (gen_bytes rng 40)
+  | 1 -> Aborted (gen_bytes rng 40)
+  | 2 -> Restart_limit (Xorshift.int rng 100)
+  | 3 ->
+    Block_unavailable
+      { table = gen_bytes rng 20; block = Xorshift.int rng 10_000; attempts = Xorshift.int rng 10 }
+  | 4 ->
+    Block_lost
+      { table = gen_bytes rng 20; block = Xorshift.int rng 10_000; cause = gen_bytes rng 10 }
+  | _ -> Disconnected (gen_bytes rng 40)
+
+let gen_response rng : Db.response =
+  match Xorshift.int rng 5 with
+  | 0 -> Value (if Xorshift.bool rng then Some (gen_value rng) else None)
+  | 1 -> Done (Xorshift.bool rng)
+  | 2 | 3 ->
+    let n = Xorshift.int rng 20 in
+    Entries (List.init n (fun _ -> (gen_key rng, gen_value rng)))
+  | _ -> Failed (gen_error rng)
+
+let gen_msg rng =
+  if Xorshift.bool rng then Wire.Request (gen_request rng) else Wire.Response (gen_response rng)
+
+let gen_id rng = Xorshift.int rng 0x10000000
+
+(* -- properties ---------------------------------------------------------- *)
+
+let encode ~id = function
+  | Wire.Request req -> Wire.encode_request ~id req
+  | Wire.Response resp -> Wire.encode_response ~id resp
+
+(* encode |> decode is the identity on (id, msg); errors become [Error]. *)
+let roundtrip ~id msg =
+  let frame = encode ~id msg in
+  match Wire.decode_frame frame ~pos:0 with
+  | Ok (id', msg', consumed) ->
+    if id' <> id then Error (Printf.sprintf "id %d decoded as %d" id id')
+    else if consumed <> String.length frame then
+      Error
+        (Printf.sprintf "consumed %d of a %d-byte frame" consumed (String.length frame))
+    else if msg' <> msg then Error "decoded message differs"
+    else Ok ()
+  | Error e -> Error (Wire.error_to_string e)
+
+(* Every proper prefix of a frame must decode to [Need_more], and the
+   reported byte count must be consistent: prefix + need >= frame once the
+   length field is visible. *)
+let prefix_safe ~id msg =
+  let frame = encode ~id msg in
+  let total = String.length frame in
+  let rec check cut =
+    if cut >= total then Ok ()
+    else
+      match Wire.decode_frame (String.sub frame 0 cut) ~pos:0 with
+      | Error (Wire.Need_more n) ->
+        if cut >= 4 && cut + n <> total then
+          Error (Printf.sprintf "prefix %d/%d reported need %d" cut total n)
+        else check (cut + 1)
+      | Ok _ -> Error (Printf.sprintf "prefix %d/%d decoded" cut total)
+      | Error e -> Error (Printf.sprintf "prefix %d/%d: %s" cut total (Wire.error_to_string e))
+  in
+  check 0
+
+(* Flip one byte anywhere in the frame: the decoder must answer with an
+   error or a *complete different frame* — never raise, never read past
+   the end.  (A flip in the length field can legitimately yield Need_more;
+   a flip that hits both a value byte and its CRC cannot happen with a
+   single-byte flip, so CRC catches every payload mutation.) *)
+let corrupt_safe rng ~id msg =
+  let frame = encode ~id msg in
+  let pos = Xorshift.int rng (String.length frame) in
+  let delta = 1 + Xorshift.int rng 255 in
+  let mutated =
+    String.mapi
+      (fun i c -> if i = pos then Char.chr ((Char.code c + delta) land 0xff) else c)
+      frame
+  in
+  match Wire.decode_frame mutated ~pos:0 with
+  | Error _ -> Ok ()
+  | Ok (_, _, consumed) ->
+    (* only a length-field flip that still frames a CRC-valid payload could
+       land here, and a single flipped byte cannot keep the CRC valid *)
+    Error (Printf.sprintf "corrupt frame (byte %d +%d) decoded, consumed %d" pos delta consumed)
+
+(* -- workload generation for the differential test ----------------------- *)
+
+(* A request stream over a small key universe, so gets/deletes/scans hit
+   keys that puts actually wrote; every request is valid. *)
+let gen_session rng ~n =
+  let universe = Array.init 48 (fun i -> Key_codec.email_of_id (i * 7)) in
+  let key () = universe.(Xorshift.int rng (Array.length universe)) in
+  List.init n (fun _ : Db.request ->
+      match Xorshift.int rng 10 with
+      | 0 | 1 | 2 -> Put (key (), gen_value rng)
+      | 3 | 4 -> Get (key ())
+      | 5 -> Delete (key ())
+      | 6 -> Scan_from ("", 1 + Xorshift.int rng 30)
+      | 7 -> Scan_from (key (), 1 + Xorshift.int rng 10)
+      | _ ->
+        let k = 1 + Xorshift.int rng 6 in
+        Txn
+          (List.init k (fun _ ->
+               if Xorshift.int rng 4 = 0 then (key (), None) else (key (), Some (gen_value rng)))))

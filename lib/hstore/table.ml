@@ -1,5 +1,5 @@
 (* In-memory table: row storage plus a primary index and any number of
-   secondary indexes behind the uniform {!Hybrid_index.Index_sig.INDEX}
+   secondary indexes behind the uniform {!Hi_index.Index_intf.INDEX}
    interface, so the whole DBMS switches between B+tree, Hybrid and
    Hybrid-Compressed indexes by configuration (paper §7).
 
@@ -8,7 +8,6 @@
    anti-caching tombstone holding the id of the on-disk block. *)
 
 open Hi_util
-open Hybrid_index
 
 exception Evicted_access of { table : string; block : int }
 exception Duplicate_key of string
@@ -17,7 +16,7 @@ type row = { mutable vals : Value.t array; mutable last_access : int }
 
 type slot = Live of row | Evicted_slot of int | Free
 
-type packed_index = Packed : (module Index_sig.INDEX with type t = 'i) * 'i -> packed_index
+type packed_index = Packed : (module Hi_index.Index_intf.INDEX with type t = 'i) * 'i -> packed_index
 
 type index = { def : Schema.index_def; packed : packed_index }
 

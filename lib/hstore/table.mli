@@ -1,5 +1,5 @@
 (** In-memory table: row storage plus a primary index and secondary
-    indexes behind the uniform {!Hybrid_index.Index_sig.INDEX} interface,
+    indexes behind the uniform {!Hi_index.Index_intf.INDEX} interface,
     so the DBMS switches index implementations by configuration (§7).
 
     Rows are referenced by dense integer rowids — the "tuple pointers"
@@ -14,7 +14,7 @@ exception Duplicate_key of string
 (** Raised by {!insert} on a primary-key violation. *)
 
 type packed_index =
-  | Packed : (module Hybrid_index.Index_sig.INDEX with type t = 'i) * 'i -> packed_index
+  | Packed : (module Hi_index.Index_intf.INDEX with type t = 'i) * 'i -> packed_index
       (** An index implementation paired with an instance of it. *)
 
 type t
@@ -99,7 +99,7 @@ val verify : t -> Anticache.t -> string list
 (** Integrity check: counter consistency, live rows reachable through the
     primary key, no dangling index entries, tombstones only over blocks
     the store still holds, plus each index's
-    {!Hybrid_index.Index_sig.INDEX.check_invariants}.  Returns
+    {!Hi_index.Index_intf.INDEX.check_invariants}.  Returns
     human-readable violations; [] means consistent. *)
 
 (** {1 Accounting} *)

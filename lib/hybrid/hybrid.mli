@@ -1,0 +1,103 @@
+(** Hybrid index — the dual-stage architecture of paper §3 (Fig 1).
+
+    All writes go to a small write-optimized dynamic stage; the bulk of
+    the entries live in a compact read-only static stage.  A Bloom filter
+    over the dynamic-stage keys lets most point queries search a single
+    stage.  When the merge trigger fires, dynamic-stage entries migrate
+    into the static stage in one sorted batch (§5). *)
+
+type kind = Primary | Secondary
+
+(** §5.2: what to merge. *)
+type merge_strategy =
+  | Merge_all  (** dynamic stage is a write buffer: migrate everything *)
+  | Merge_cold  (** dynamic stage is a write-back cache: keep the hottest half *)
+
+(** §5.2: when to merge. *)
+type merge_trigger =
+  | Ratio of int  (** merge when dynamic * ratio >= static (default, ratio 10) *)
+  | Constant of int  (** merge when dynamic size reaches a constant *)
+
+type config = {
+  kind : kind;
+  strategy : merge_strategy;
+  trigger : merge_trigger;
+  use_bloom : bool;
+  bloom_fpr : float;
+  min_merge_size : int;  (** floor below which the ratio trigger stays quiet *)
+  defer_merge : bool;
+      (** when set, writes never merge inline; the owner polls
+          [merge_pending] and calls [force_merge] off the critical path
+          (the partition domain's background scheduler, DESIGN.md §11) *)
+}
+
+val default_config : config
+
+type stats = {
+  merges : int;
+  total_merge_seconds : float;
+  last_merge_seconds : float;
+  merge_entries_moved : int;  (** entries migrated into the static stage *)
+  merge_bytes_moved : int;  (** key + value bytes those entries carried *)
+  bloom_negative_skips : int;  (** dynamic-stage searches avoided *)
+  bloom_checks : int;  (** filter consultations *)
+  bloom_false_positives : int;  (** positive answers the dynamic stage refuted *)
+  bloom_measured_fpr : float;  (** false positives / (false positives + skips) *)
+  bloom_rebuilds : int;  (** adaptive growths when the load outran capacity *)
+}
+
+(** Public operations of a hybrid index. *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?config:config -> unit -> t
+
+  val insert : t -> string -> int -> unit
+  (** Secondary-style blind insert into the dynamic stage. *)
+
+  val insert_unique : t -> string -> int -> bool
+  (** Primary-style insert with the two-stage uniqueness check (§3). *)
+
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val delete_value : t -> string -> int -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+  val iter_sorted : t -> (string -> int array -> unit) -> unit
+
+  val force_merge : t -> unit
+  (** Run the merge immediately regardless of the trigger. *)
+
+  val merge_pending : t -> bool
+  (** True when the configured trigger says a merge is due.  With
+      [defer_merge] set, this is how the owning domain's scheduler decides
+      to call [force_merge]. *)
+
+  val entry_count : t -> int
+  val dynamic_entry_count : t -> int
+  val static_entry_count : t -> int
+  val memory_bytes : t -> int
+  val dynamic_memory_bytes : t -> int
+  val static_memory_bytes : t -> int
+  val bloom_memory_bytes : t -> int
+  val clear : t -> unit
+  val stats : t -> stats
+
+  val merge_log : t -> (int * float) list
+  (** One entry per merge, oldest first: (static-stage bytes before the
+      merge, merge duration in seconds) — the Fig 6 series. *)
+
+  val check_invariants : t -> string list
+  (** Dual-stage invariant check, [] when consistent.  Meaningful after a
+      {!force_merge}: every tombstone must shadow a static-resident key,
+      and (primary indexes) no key may be live in both stages — between
+      merges a primary-key delete+reinsert legitimately leaves a stale,
+      logically-dead static entry behind, which the next merge collects. *)
+end
+
+(** Apply the dual-stage transformation to a (dynamic, static) structure
+    pair. *)
+module Make (D : Hi_index.Index_intf.DYNAMIC) (S : Hi_index.Index_intf.STATIC) : S

@@ -61,6 +61,33 @@ type stats = {
   total_merge_seconds : float;
 }
 
+(* Public operations (see the interface): a subset of Hybrid.S — no
+   delete_value, no grouped ordered iteration, no clear. *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?config:config -> unit -> t
+
+  val insert : t -> string -> int -> unit
+  val insert_unique : t -> string -> int -> bool
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+
+  val drain : t -> unit
+  val force_merge : t -> unit
+  val merging : t -> bool
+
+  val entry_count : t -> int
+  val dynamic_entry_count : t -> int
+  val memory_bytes : t -> int
+  val stats : t -> stats
+end
+
 module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
   type merge_state = {
     frozen : Index_intf.entries;

@@ -1,0 +1,82 @@
+(** Incremental (non-blocking-style) merge — the first item of the paper's
+    future work (§9).
+
+    The blocking merge of §5 pauses all queries for a time linear in the
+    static-stage size (the MAX-latency blowup of Table 3).  This variant
+    bounds the work any single operation performs: when the trigger fires
+    the dynamic stage is snapshotted into a sorted frozen run and emptied,
+    and every subsequent operation advances the merge by at most
+    [config.step] entries until the new static stage is swapped in.
+    Merge-cold is not supported (the frozen run is immutable by design).
+
+    In a single-threaded runtime "non-blocking" means bounded pauses; a
+    concurrent version would do the same steps on a background thread. *)
+
+(** A static stage that also exposes a lazy entry cursor. *)
+module type STATIC_SEQ = sig
+  include Hi_index.Index_intf.STATIC
+
+  val to_seq : t -> (string * int array) Seq.t
+end
+
+type config = {
+  trigger : Hybrid.merge_trigger;
+  kind : Hybrid.kind;
+  use_bloom : bool;
+  bloom_fpr : float;
+  min_merge_size : int;
+  step : int;  (** max entries emitted per operation while a merge is active *)
+}
+
+val default_config : config
+
+type stats = {
+  merges_started : int;
+  merges_completed : int;
+  max_entries_per_op : int;  (** peak merge work performed by one operation *)
+  total_merge_seconds : float;
+}
+
+(** Public operations of an incremental-merge hybrid index.  A subset of
+    {!Hybrid.S}: no [delete_value], no grouped ordered iteration, no
+    [clear] (see [Hi_check.Adapters.Of_incremental] for the synthesized
+    pieces). *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?config:config -> unit -> t
+
+  val insert : t -> string -> int -> unit
+  val insert_unique : t -> string -> int -> bool
+  val mem : t -> string -> bool
+  val find : t -> string -> int option
+  val find_all : t -> string -> int list
+  val update : t -> string -> int -> bool
+  val delete : t -> string -> bool
+  val scan_from : t -> string -> int -> (string * int) list
+
+  val drain : t -> unit
+  (** Run any active merge to completion (e.g. before a measurement). *)
+
+  val force_merge : t -> unit
+  (** {!drain}, then start and drain one more merge if there is pending
+      dynamic-stage data or tombstones. *)
+
+  val merging : t -> bool
+  (** True while a merge is in flight. *)
+
+  val entry_count : t -> int
+  val dynamic_entry_count : t -> int
+  val memory_bytes : t -> int
+  val stats : t -> stats
+end
+
+module Make (D : Hi_index.Index_intf.DYNAMIC) (S : STATIC_SEQ) : S
+
+(** The four instantiations evaluated by the latency experiments. *)
+
+module Incremental_btree : S
+module Incremental_skiplist : S
+module Incremental_masstree : S
+module Incremental_art : S

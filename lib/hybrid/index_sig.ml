@@ -1,46 +1,13 @@
-(** A uniform first-class-module interface over plain dynamic indexes and
-    hybrid indexes, so benchmarks and the DBMS engine can swap index
-    implementations freely (paper §6.4 compares each hybrid index against
-    its original structure through exactly this kind of common API). *)
+(** Re-export of the canonical uniform index interface plus the adapters
+    that package plain and hybrid structures behind it.
 
-module type INDEX = sig
-  type t
+    The module type itself lives in {!Hi_index.Index_intf.INDEX} — the one
+    canonical home of the index signatures — so the DBMS engine, the
+    benchmarks and the check harness all program against the same
+    definition; this module keeps the historical [Index_sig.INDEX] path
+    working and holds the functors that need the hybrid machinery. *)
 
-  val name : string
-  val create : unit -> t
-
-  val insert : t -> string -> int -> unit
-  (** Blind (secondary-style) insert. *)
-
-  val insert_unique : t -> string -> int -> bool
-  (** Primary-style insert: [false] if the key already exists. *)
-
-  val mem : t -> string -> bool
-  val find : t -> string -> int option
-  val find_all : t -> string -> int list
-  val update : t -> string -> int -> bool
-  val delete : t -> string -> bool
-  val delete_value : t -> string -> int -> bool
-  val scan_from : t -> string -> int -> (string * int) list
-  val iter_sorted : t -> (string -> int array -> unit) -> unit
-  val entry_count : t -> int
-  val clear : t -> unit
-  val memory_bytes : t -> int
-
-  val flush : t -> unit
-  (** Force pending migrations (a merge for hybrid indexes; no-op for plain
-      structures). *)
-
-  val merge_pending : t -> bool
-  (** True when a background migration is due ([false] for plain
-      structures).  Lets an owner running with deferred merges poll and
-      [flush] off the transaction critical path. *)
-
-  val check_invariants : t -> string list
-  (** Structural self-check, [] when consistent.  For hybrid indexes this
-      verifies the dual-stage invariants (see {!Hybrid.S.check_invariants});
-      plain structures have nothing to check. *)
-end
+module type INDEX = Hi_index.Index_intf.INDEX
 
 type index = (module INDEX)
 

@@ -1,0 +1,30 @@
+(** The five hybrid indexes evaluated in the paper (§6): DST applied to
+    B+tree, Masstree, Skip List and ART, plus the Hybrid-Compressed B+tree
+    whose static stage also applies the Compression rule. *)
+
+module Hybrid_btree : Hybrid.S
+module Hybrid_compressed_btree : Hybrid.S
+
+(** Future-work (§9) variant: front-coded static stage — between Compact
+    and Compressed on the space/performance curve. *)
+module Hybrid_frontcoded_btree : Hybrid.S
+
+module Hybrid_skiplist : Hybrid.S
+module Hybrid_masstree : Hybrid.S
+module Hybrid_art : Hybrid.S
+
+(** {!Hi_index.Index_intf.INDEX} packages of the four original
+    structures. *)
+
+module Btree_index : Index_sig.INDEX
+module Skiplist_index : Index_sig.INDEX
+module Masstree_index : Index_sig.INDEX
+module Art_index : Index_sig.INDEX
+
+val original_indexes : (string * Index_sig.index) list
+
+val hybrid_index : ?config:Hybrid.config -> string -> Index_sig.index
+(** Hybrid {!Hi_index.Index_intf.INDEX} package for a given configuration:
+    one of ["btree"], ["compressed-btree"], ["frontcoded-btree"],
+    ["masstree"], ["skiplist"], ["art"].
+    @raise Invalid_argument on an unknown structure name. *)

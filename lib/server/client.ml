@@ -1,0 +1,123 @@
+(* Pipelining wire-protocol client (DESIGN.md §12).
+
+   One writer lock serializes frame writes; a reader thread owns the
+   socket's receive side and fills per-request futures by id.  State
+   transitions are one-way (Open -> Failed/Closed) under [lock]; once
+   failed, every outstanding future and every later [send] resolves to
+   [Failed (Disconnected _)] — transport trouble is an answer, not an
+   exception, so pipelined callers can keep their submit/await structure. *)
+
+module Future = Hi_shard.Future
+
+type state = Open | Failed of string | Closed
+
+type t = {
+  fd : Unix.file_descr;
+  pending : (int, Db.response Future.t) Hashtbl.t;
+  lock : Mutex.t;  (* guards pending, state, next_id *)
+  wlock : Mutex.t;  (* serializes frame writes *)
+  mutable state : state;
+  mutable next_id : int;
+  mutable reader : Thread.t option;
+}
+
+type ticket = Db.response Future.t
+
+let fail_all t reason =
+  Mutex.lock t.lock;
+  (match t.state with
+  | Open -> t.state <- Failed reason
+  | Failed _ | Closed -> ());
+  let stranded = Hashtbl.fold (fun _ fut acc -> fut :: acc) t.pending [] in
+  Hashtbl.reset t.pending;
+  Mutex.unlock t.lock;
+  List.iter
+    (fun fut -> Future.fill fut (Db.Failed (Db.Disconnected reason)))
+    stranded
+
+let reader_loop t =
+  let rd = Wire.reader t.fd in
+  let rec loop () =
+    match Wire.try_msg rd with
+    | `Msg (id, Wire.Response resp) ->
+      Mutex.lock t.lock;
+      let fut = Hashtbl.find_opt t.pending id in
+      Hashtbl.remove t.pending id;
+      Mutex.unlock t.lock;
+      (match fut with Some fut -> Future.fill fut resp | None -> ());
+      loop ()
+    | `Msg (_, Wire.Request _) -> fail_all t "server sent a request frame"
+    | `Error e -> fail_all t (Wire.error_to_string e)
+    | `Nothing -> (
+      match Wire.refill rd with
+      | 0 -> fail_all t "connection closed"
+      | _ -> loop ()
+      | exception Unix.Unix_error (e, _, _) -> fail_all t (Unix.error_message e))
+  in
+  loop ()
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let t =
+    {
+      fd;
+      pending = Hashtbl.create 64;
+      lock = Mutex.create ();
+      wlock = Mutex.create ();
+      state = Open;
+      next_id = 0;
+      reader = None;
+    }
+  in
+  t.reader <- Some (Thread.create (fun () -> reader_loop t) ());
+  t
+
+let send t req =
+  Mutex.lock t.lock;
+  match t.state with
+  | (Failed _ | Closed) as st ->
+    let reason = match st with Failed r -> r | _ -> "client closed" in
+    Mutex.unlock t.lock;
+    let fut = Future.create () in
+    Future.fill fut (Db.Failed (Db.Disconnected reason));
+    fut
+  | Open ->
+    let id = t.next_id in
+    t.next_id <- (t.next_id + 1) land 0xffffffff;
+    let fut = Future.create () in
+    Hashtbl.replace t.pending id fut;
+    Mutex.unlock t.lock;
+    let frame = Wire.encode_request ~id req in
+    Mutex.lock t.wlock;
+    (match Wire.write_frame t.fd frame with
+    | _ -> Mutex.unlock t.wlock
+    | exception Unix.Unix_error (e, _, _) ->
+      Mutex.unlock t.wlock;
+      (* fills this request's future too: it is in [pending] *)
+      fail_all t (Unix.error_message e));
+    fut
+
+let await = Future.await
+let call t req = await (send t req)
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.pending in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  let prev = t.state in
+  if prev <> Closed then t.state <- Closed;
+  Mutex.unlock t.lock;
+  if prev <> Closed then begin
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.reader;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end

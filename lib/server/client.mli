@@ -1,0 +1,31 @@
+(** Pipelining TCP client for the {!Wire} protocol (DESIGN.md §12).
+
+    {!send} assigns a request id, writes the frame and returns a ticket
+    immediately; a background reader thread matches response frames to
+    tickets by id, so many requests ride the connection concurrently and
+    complete in whatever order the server finishes them.  {!call} is the
+    synchronous convenience ([send] then [await]).
+
+    The client never raises on transport failure after connecting: when
+    the connection drops or the server sends bytes that do not decode,
+    every outstanding and future ticket resolves to
+    [Failed (Disconnected _)]. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** @raise Unix.Unix_error when the TCP connect itself fails. *)
+
+type ticket
+
+val send : t -> Db.request -> ticket
+val await : ticket -> Db.response
+
+val call : t -> Db.request -> Db.response
+
+val pending : t -> int
+(** Requests sent whose responses have not yet arrived. *)
+
+val close : t -> unit
+(** Shut the connection down and join the reader thread; outstanding
+    tickets resolve to [Failed (Disconnected _)].  Idempotent. *)

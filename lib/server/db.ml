@@ -1,0 +1,340 @@
+(* The stable client-facing API: a typed KV request/response surface over
+   the partitioned engine (DESIGN.md §12).
+
+   Each partition holds one [kv] table; a client key lives on the
+   partition [Router.route_key] picks, in a row [key, vtag, vint, vfloat,
+   vstr] (the tag selects which payload column is live, since rows are
+   fixed-arity).  Point ops are single-partition transactions on the
+   owner; Txn groups its writes by owner and goes through the 2PC
+   coordinator when more than one partition is touched; Scan_from fans
+   out to every partition asynchronously and merges the sorted slices.
+
+   The PK column is a fixed-width string, and index keys NUL-pad to that
+   width — so two keys differing only in trailing '\000' bytes collide in
+   the index.  Rows store the exact key: reads compare it before
+   answering (a padding twin is a miss, not a wrong hit), and a Put whose
+   padded key collides with a different exact key aborts rather than
+   overwrite. *)
+
+open Hi_hstore
+module Router = Hi_shard.Router
+
+type value = Value.t = Int of int | Float of float | Str of string | Null
+
+let max_key_len = 128
+let max_value_len = 256
+let max_scan = 1024
+let max_txn_ops = 1024
+
+type request =
+  | Get of string
+  | Put of string * value
+  | Delete of string
+  | Scan_from of string * int
+  | Txn of (string * value option) list
+
+type error =
+  | Bad_request of string
+  | Aborted of string
+  | Restart_limit of int
+  | Block_unavailable of { table : string; block : int; attempts : int }
+  | Block_lost of { table : string; block : int; cause : string }
+  | Disconnected of string
+
+type response =
+  | Value of value option
+  | Done of bool
+  | Entries of (string * value) list
+  | Failed of error
+
+let error_to_string = function
+  | Bad_request m -> Printf.sprintf "bad request: %s" m
+  | Aborted m -> Printf.sprintf "aborted: %s" m
+  | Restart_limit n -> Printf.sprintf "restart limit (%d) exhausted" n
+  | Block_unavailable { table; block; attempts } ->
+    Printf.sprintf "block %d of %s unavailable after %d attempts" block table attempts
+  | Block_lost { table; block; cause } ->
+    Printf.sprintf "block %d of %s lost (%s)" block table cause
+  | Disconnected m -> Printf.sprintf "disconnected: %s" m
+
+let value_to_string = function
+  | Value.Null -> "null"
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Str s -> Printf.sprintf "%S" s
+
+let response_to_string = function
+  | Value None -> "(not found)"
+  | Value (Some v) -> value_to_string v
+  | Done b -> if b then "done" else "done (no-op)"
+  | Entries es ->
+    String.concat "\n"
+      (List.map (fun (k, v) -> Printf.sprintf "%S\t%s" k (value_to_string v)) es)
+  | Failed e -> "error: " ^ error_to_string e
+
+let error_of_txn = function
+  | Engine.Txn_aborted m -> Aborted m
+  | Engine.Txn_restart_limit n -> Restart_limit n
+  | Engine.Txn_block_unavailable { table; block; attempts } ->
+    Block_unavailable { table; block; attempts }
+  | Engine.Txn_block_lost { table; block; cause } ->
+    Block_lost { table; block; cause = Anticache.error_kind_name cause }
+
+(* -- storage mapping ----------------------------------------------------- *)
+
+let kv_schema =
+  Schema.make ~name:"kv"
+    ~columns:
+      [
+        ("key", Value.TStr max_key_len);
+        ("vtag", Value.TInt);
+        ("vint", Value.TInt);
+        ("vfloat", Value.TFloat);
+        ("vstr", Value.TStr max_value_len);
+      ]
+    ~pk:[ "key" ] ()
+
+let cols_of_value v =
+  match v with
+  | Value.Null -> [ (1, Value.Int 0) ]
+  | Value.Int n -> [ (1, Value.Int 1); (2, Value.Int n) ]
+  | Value.Float f -> [ (1, Value.Int 2); (3, Value.Float f) ]
+  | Value.Str s -> [ (1, Value.Int 3); (4, Value.Str s) ]
+
+let row_of_kv k v =
+  let row = [| Value.Str k; Value.Int 0; Value.Int 0; Value.Float 0.0; Value.Str "" |] in
+  List.iter (fun (i, c) -> row.(i) <- c) (cols_of_value v);
+  row
+
+let kv_of_row row =
+  match Value.as_int row.(1) with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (Value.as_int row.(2))
+  | 2 -> Value.Float (Value.as_float row.(3))
+  | _ -> Value.Str (Value.as_str row.(4))
+
+type t = { router : Router.t; tables : Table.t array }
+
+let create ?(mode = Router.Parallel) ?config ?sleep ~partitions () =
+  if partitions <= 0 then invalid_arg "Db.create: partitions must be positive";
+  let tables = Array.make partitions None in
+  let router =
+    Router.create ~mode ?config ?sleep ~partitions
+      ~init:(fun i engine -> tables.(i) <- Some (Engine.create_table engine kv_schema))
+      ()
+  in
+  let tables =
+    Array.map (function Some t -> t | None -> assert false) tables
+  in
+  { router; tables }
+
+let router t = t.router
+let num_partitions t = Array.length t.tables
+let route t key = Router.route_key t.router key
+let close t = Router.stop t.router
+
+(* -- validation ---------------------------------------------------------- *)
+
+let check_key k =
+  let n = String.length k in
+  if n = 0 then Some "empty key"
+  else if n > max_key_len then
+    Some (Printf.sprintf "key is %d bytes; max is %d" n max_key_len)
+  else None
+
+let check_value = function
+  | Value.Str s when String.length s > max_value_len ->
+    Some (Printf.sprintf "string value is %d bytes; max is %d" (String.length s) max_value_len)
+  | _ -> None
+
+let validate req =
+  let ( let* ) o f = match o with Some _ as e -> e | None -> f () in
+  match req with
+  | Get k | Delete k -> check_key k
+  | Put (k, v) ->
+    let* () = check_key k in
+    check_value v
+  | Scan_from (k, n) ->
+    if String.length k > max_key_len then
+      Some (Printf.sprintf "probe is %d bytes; max is %d" (String.length k) max_key_len)
+    else if n < 0 then Some "negative scan count"
+    else None
+  | Txn ops ->
+    if ops = [] then Some "empty transaction"
+    else if List.length ops > max_txn_ops then
+      Some (Printf.sprintf "transaction has more than %d operations" max_txn_ops)
+    else
+      List.fold_left
+        (fun acc (k, vo) ->
+          let* () = acc in
+          let* () = check_key k in
+          match vo with Some v -> check_value v | None -> None)
+        None ops
+
+(* -- transaction bodies (run on the owner partition's domain) ------------ *)
+
+(* The PK index answers in padded-key space; confirm the exact key before
+   trusting a hit, so a padding twin reads as a miss. *)
+let find_exact engine tbl k =
+  match Table.find_by_pk tbl [ Value.Str k ] with
+  | None -> None
+  | Some rowid ->
+    let row = Engine.read engine tbl rowid in
+    if String.equal (Value.as_str row.(0)) k then Some (rowid, row) else None
+
+let apply_put engine tbl k v =
+  match find_exact engine tbl k with
+  | Some (rowid, _) ->
+    Engine.update engine tbl rowid (cols_of_value v);
+    false
+  | None -> (
+    try
+      ignore (Engine.insert engine tbl (row_of_kv k v));
+      true
+    with Table.Duplicate_key _ ->
+      (* same padded key, different exact key *)
+      raise (Engine.Abort (Printf.sprintf "key %S collides with a NUL-padding twin" k)))
+
+let apply_delete engine tbl k =
+  match find_exact engine tbl k with
+  | Some (rowid, _) ->
+    Engine.delete engine tbl rowid;
+    true
+  | None -> false
+
+let get_body tbl k engine =
+  Value (Option.map (fun (_, row) -> kv_of_row row) (find_exact engine tbl k))
+
+let put_body tbl k v engine = Done (apply_put engine tbl k v)
+let delete_body tbl k engine = Done (apply_delete engine tbl k)
+
+let scan_body tbl probe n engine =
+  let rowids = Table.scan_index tbl "kv_pk" ~prefix:[ Value.Str probe ] ~limit:n in
+  List.map
+    (fun rowid ->
+      let row = Engine.read engine tbl rowid in
+      (Value.as_str row.(0), kv_of_row row))
+    rowids
+
+(* -- planning and execution ---------------------------------------------- *)
+
+type plan =
+  | Single of int * (Engine.t -> response)
+  | Inline
+  | Invalid of response
+
+let plan t req =
+  match validate req with
+  | Some msg -> Invalid (Failed (Bad_request msg))
+  | None -> (
+    match req with
+    | Get k ->
+      let p = route t k in
+      Single (p, get_body t.tables.(p) k)
+    | Put (k, v) ->
+      let p = route t k in
+      Single (p, put_body t.tables.(p) k v)
+    | Delete k ->
+      let p = route t k in
+      Single (p, delete_body t.tables.(p) k)
+    | Scan_from _ | Txn _ -> Inline)
+
+let scan_exec t probe n =
+  let n = min n max_scan in
+  if n = 0 then Entries []
+  else
+    let futs =
+      Array.init (num_partitions t) (fun p ->
+          Router.single_async t.router ~partition:p (scan_body t.tables.(p) probe n))
+    in
+    let slices = Array.map Hi_shard.Future.await futs in
+    let err =
+      Array.fold_left
+        (fun acc r -> match (acc, r) with None, Error e -> Some e | _ -> acc)
+        None slices
+    in
+    match err with
+    | Some e -> Failed (error_of_txn e)
+    | None ->
+      let all =
+        Array.to_list slices
+        |> List.concat_map (function Ok es -> es | Error _ -> [])
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Entries (List.filteri (fun i _ -> i < n) all)
+
+let txn_exec t ops =
+  let groups = Array.make (num_partitions t) [] in
+  List.iter (fun ((k, _) as op) -> let p = route t k in groups.(p) <- op :: groups.(p)) ops;
+  let participants =
+    List.concat
+      (List.init (num_partitions t) (fun p ->
+           match groups.(p) with
+           | [] -> []
+           | rev_ops ->
+             let ops = List.rev rev_ops in
+             let tbl = t.tables.(p) in
+             [
+               {
+                 Router.part = p;
+                 body =
+                   (fun engine ->
+                     List.iter
+                       (fun (k, vo) ->
+                         match vo with
+                         | Some v -> ignore (apply_put engine tbl k v)
+                         | None -> ignore (apply_delete engine tbl k))
+                       ops);
+               };
+             ]))
+  in
+  match Router.multi t.router participants with
+  | Ok () -> Done true
+  | Error e -> Failed (error_of_txn e)
+
+let exec t req =
+  match plan t req with
+  | Invalid resp -> resp
+  | Single (p, body) -> (
+    match Router.single t.router ~partition:p body with
+    | Ok resp -> resp
+    | Error e -> Failed (error_of_txn e))
+  | Inline -> (
+    match req with
+    | Scan_from (probe, n) -> scan_exec t probe n
+    | Txn ops -> txn_exec t ops
+    | Get _ | Put _ | Delete _ -> assert false)
+
+(* -- typed wrappers ------------------------------------------------------ *)
+
+let wrong_shape = Error (Aborted "unexpected response shape")
+
+let get t k =
+  match exec t (Get k) with
+  | Value v -> Ok v
+  | Failed e -> Error e
+  | Done _ | Entries _ -> wrong_shape
+
+let put t k v =
+  match exec t (Put (k, v)) with
+  | Done b -> Ok b
+  | Failed e -> Error e
+  | Value _ | Entries _ -> wrong_shape
+
+let delete t k =
+  match exec t (Delete k) with
+  | Done b -> Ok b
+  | Failed e -> Error e
+  | Value _ | Entries _ -> wrong_shape
+
+let scan_from t probe n =
+  match exec t (Scan_from (probe, n)) with
+  | Entries es -> Ok es
+  | Failed e -> Error e
+  | Value _ | Done _ -> wrong_shape
+
+let txn t ops =
+  match exec t (Txn ops) with
+  | Done _ -> Ok ()
+  | Failed e -> Error e
+  | Value _ | Entries _ -> wrong_shape

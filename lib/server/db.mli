@@ -1,0 +1,113 @@
+(** The stable client-facing API of the system (DESIGN.md §12).
+
+    A typed, versioned key/value request/response surface over the
+    partitioned engine: point reads and writes route to their owner
+    partition (the {!Hi_shard.Router} fast path), multi-key transactions
+    go through the 2PC coordinator, and range scans fan out to every
+    partition and merge.  The same [request]/[response] types are served
+    by two transports — in-process ({!exec} on a {!t}) and TCP
+    ({!Server}/{!Client} speaking the {!Wire} protocol) — which the
+    differential test holds byte-identical.
+
+    Keys are arbitrary byte strings (1–{!max_key_len} bytes; typically
+    order-preserving encodings from {!Hi_util.Key_codec}).  Under the
+    hood each partition stores rows in a [kv] table whose primary-key
+    column is a fixed-width string: index keys are NUL-padded to that
+    width, so two keys that differ only in trailing [\000] bytes collide
+    (the second {!request.Put} aborts).  Scans order keys by the padded
+    encoding, i.e. plain lexicographic order for same-family keys. *)
+
+open Hi_hstore
+
+type value = Value.t = Int of int | Float of float | Str of string | Null
+
+val max_key_len : int  (** 128 bytes *)
+
+val max_value_len : int  (** longest [Str] payload, 256 bytes *)
+
+val max_scan : int  (** per-scan result cap, 1024 entries *)
+
+val max_txn_ops : int  (** operations per transaction, 1024 *)
+
+(** Protocol-versioned request surface.  In {!request.Txn}, each element
+    is a write: [(key, Some v)] puts, [(key, None)] deletes; the ops are
+    applied in order, atomically across every partition they touch. *)
+type request =
+  | Get of string
+  | Put of string * value
+  | Delete of string
+  | Scan_from of string * int  (** up to [n] entries with key >= probe *)
+  | Txn of (string * value option) list
+
+(** Why a request failed.  The middle four mirror
+    {!Hi_hstore.Engine.txn_error}; [Bad_request] is a validation reject
+    and [Disconnected] a transport-level client-side failure. *)
+type error =
+  | Bad_request of string
+  | Aborted of string
+  | Restart_limit of int
+  | Block_unavailable of { table : string; block : int; attempts : int }
+  | Block_lost of { table : string; block : int; cause : string }
+  | Disconnected of string
+
+type response =
+  | Value of value option  (** {!request.Get} *)
+  | Done of bool
+      (** {!request.Put}: the key was new; {!request.Delete}: the key
+          existed; {!request.Txn}: always [true] *)
+  | Entries of (string * value) list  (** {!request.Scan_from}, ascending *)
+  | Failed of error
+
+val error_to_string : error -> string
+val response_to_string : response -> string
+
+val error_of_txn : Engine.txn_error -> error
+
+(** {1 The in-process transport} *)
+
+type t
+
+val create :
+  ?mode:Hi_shard.Router.mode ->
+  ?config:Engine.config ->
+  ?sleep:(float -> unit) ->
+  partitions:int ->
+  unit ->
+  t
+(** Build a database: a router over [partitions] engines, each holding
+    one [kv] table.  [Parallel] mode (the default) runs a domain per
+    partition. *)
+
+val router : t -> Hi_shard.Router.t
+val num_partitions : t -> int
+
+val route : t -> string -> int
+(** Owner partition of a key. *)
+
+val exec : t -> request -> response
+(** Execute any request: validation, routing, 2PC and scan fan-out
+    included.  Never raises. *)
+
+val close : t -> unit
+(** Drain and join every partition. *)
+
+(** {1 Typed convenience wrappers over {!exec}} *)
+
+val get : t -> string -> (value option, error) result
+val put : t -> string -> value -> (bool, error) result
+val delete : t -> string -> (bool, error) result
+val scan_from : t -> string -> int -> ((string * value) list, error) result
+val txn : t -> (string * value option) list -> (unit, error) result
+
+(** {1 Execution planning (used by the wire-protocol server)} *)
+
+(** How a request executes, so the server can batch the single-partition
+    fast path through a {!Hi_shard.Shard_runner.Window} while running
+    fan-out work inline. *)
+type plan =
+  | Single of int * (Engine.t -> response)
+      (** run the body inside one transaction on that partition *)
+  | Inline  (** {!request.Scan_from}/{!request.Txn}: use {!exec} *)
+  | Invalid of response  (** validation reject: respond without executing *)
+
+val plan : t -> request -> plan

@@ -1,0 +1,259 @@
+(* Pipelined wire-protocol server over the shard router (DESIGN.md §12).
+
+   Threading: the accept loop owns a domain; every connection gets a
+   reader thread (decode + dispatch) and a writer thread (serialize +
+   send), both on the accept domain — they only parse and shuffle bytes,
+   all engine work runs on the partition domains.  The reader feeds
+   single-partition requests through a per-connection Shard_runner.Window
+   (one producer per window, as required), with completion callbacks on
+   partition domains pushing responses into the writer's mailbox, which
+   serializes writes without a lock.  Responses are matched to requests
+   by id, never by order.
+
+   Backpressure is a counting semaphore: the reader acquires per request,
+   the writer releases per response.  At the cap the reader stops reading
+   the socket, TCP fills, and the client blocks — bounded memory per
+   connection by construction.
+
+   Order: before running a scan or multi-partition transaction inline,
+   the reader flushes its window.  Partition mailboxes are FIFO, so
+   everything this connection already submitted lands before the fan-out
+   bodies — per-connection program order without draining. *)
+
+open Hi_util
+module Shard_runner = Hi_shard.Shard_runner
+module Mailbox = Hi_shard.Mailbox
+
+type handles = {
+  connections_total : Metrics.counter;
+  active_connections : Metrics.gauge;
+  frames_in : Metrics.counter;
+  frames_out : Metrics.counter;
+  bytes_in : Metrics.counter;
+  bytes_out : Metrics.counter;
+  protocol_errors : Metrics.counter;
+  lat_get : Metrics.histogram;
+  lat_put : Metrics.histogram;
+  lat_delete : Metrics.histogram;
+  lat_scan : Metrics.histogram;
+  lat_txn : Metrics.histogram;
+}
+
+let handles () =
+  let s = Metrics.scope "server" in
+  {
+    connections_total = Metrics.counter s "connections_total";
+    active_connections = Metrics.gauge s "active_connections";
+    frames_in = Metrics.counter s "frames_in";
+    frames_out = Metrics.counter s "frames_out";
+    bytes_in = Metrics.counter s "bytes_in";
+    bytes_out = Metrics.counter s "bytes_out";
+    protocol_errors = Metrics.counter s "protocol_errors";
+    lat_get = Metrics.histogram s "latency_get";
+    lat_put = Metrics.histogram s "latency_put";
+    lat_delete = Metrics.histogram s "latency_delete";
+    lat_scan = Metrics.histogram s "latency_scan";
+    lat_txn = Metrics.histogram s "latency_txn";
+  }
+
+type conn = { cfd : Unix.file_descr; mutable closed : bool }
+
+type t = {
+  db : Db.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  batch : int;
+  max_inflight : int;
+  m : handles;
+  lock : Mutex.t;
+  mutable conns : (conn * Thread.t) list;
+  mutable active : int;
+  stopping : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let finish_conn t conn =
+  Mutex.lock t.lock;
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.cfd with Unix.Unix_error _ -> ());
+    t.active <- t.active - 1;
+    Metrics.set_int t.m.active_connections t.active
+  end;
+  Mutex.unlock t.lock
+
+let hist_for m (req : Db.request) =
+  match req with
+  | Get _ -> m.lat_get
+  | Put _ -> m.lat_put
+  | Delete _ -> m.lat_delete
+  | Scan_from _ -> m.lat_scan
+  | Txn _ -> m.lat_txn
+
+let handle_conn t conn =
+  let fd = conn.cfd in
+  let rd = Wire.reader fd in
+  let writer_q : (int * Db.response) Mailbox.t = Mailbox.create () in
+  let sem = Semaphore.Counting.make t.max_inflight in
+  (* once a write fails the socket is dead; keep draining so every
+     acquired semaphore token is still released *)
+  let broken = ref false in
+  let writer () =
+    (* coalesce: drain whatever responses are queued into one write, so a
+       pipelined burst costs one syscall instead of one per response —
+       this is where pipelining beats the synchronous client *)
+    let buf = Buffer.create 4096 in
+    let rec loop () =
+      match Mailbox.pop writer_q with
+      | None -> ()
+      | Some first ->
+        Buffer.clear buf;
+        let count = ref 0 in
+        let add (id, resp) =
+          Buffer.add_string buf (Wire.encode_response ~id resp);
+          incr count
+        in
+        add first;
+        let rec drain () =
+          if Buffer.length buf < 65536 then
+            match Mailbox.try_pop writer_q with
+            | Some item ->
+              add item;
+              drain ()
+            | None -> ()
+        in
+        drain ();
+        (if not !broken then
+           try
+             let n = Wire.write_frame fd (Buffer.contents buf) in
+             Metrics.add t.m.frames_out !count;
+             Metrics.add t.m.bytes_out n
+           with Unix.Unix_error _ -> broken := true);
+        for _ = 1 to !count do
+          Semaphore.Counting.release sem
+        done;
+        loop ()
+    in
+    loop ()
+  in
+  let writer_t = Thread.create writer () in
+  let window =
+    Shard_runner.Window.create ~batch:t.batch ~router:(Db.router t.db) ()
+  in
+  let respond id resp =
+    try Mailbox.push writer_q (id, resp) with Mailbox.Closed -> ()
+  in
+  let handle id msg =
+    match msg with
+    | Wire.Response _ ->
+      Metrics.incr t.m.protocol_errors;
+      false
+    | Wire.Request req ->
+      Metrics.incr t.m.frames_in;
+      Semaphore.Counting.acquire sem;
+      (match Db.plan t.db req with
+      | Db.Invalid resp -> respond id resp
+      | Db.Single (partition, body) ->
+        let cell = ref (Db.Failed (Db.Aborted "transaction body did not run")) in
+        let hist = hist_for t.m req in
+        Shard_runner.Window.submit window ~partition
+          ~body:(fun engine -> cell := body engine)
+          ~on_done:(fun r dt ->
+            Metrics.observe hist dt;
+            match r with
+            | Ok () -> respond id !cell
+            | Error e -> respond id (Db.Failed (Db.error_of_txn e)))
+      | Db.Inline ->
+        Shard_runner.Window.flush window;
+        respond id (Metrics.time (hist_for t.m req) (fun () -> Db.exec t.db req)));
+      true
+  in
+  let rec loop () =
+    match Wire.try_msg rd with
+    | `Msg (id, msg) -> if handle id msg then loop ()
+    | `Error _ -> Metrics.incr t.m.protocol_errors
+    | `Nothing ->
+      (* nothing decodable is buffered: ship partial batches before the
+         socket read can block *)
+      Shard_runner.Window.flush window;
+      let n = try Wire.refill rd with Unix.Unix_error _ -> 0 in
+      Metrics.add t.m.bytes_in n;
+      if n > 0 then loop ()
+  in
+  loop ();
+  Shard_runner.Window.drain window;
+  Mailbox.close writer_q;
+  Thread.join writer_t;
+  finish_conn t conn
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Metrics.incr t.m.connections_total;
+      let conn = { cfd = fd; closed = false } in
+      let th = Thread.create (fun () -> handle_conn t conn) () in
+      Mutex.lock t.lock;
+      t.conns <- (conn, th) :: t.conns;
+      t.active <- t.active + 1;
+      Metrics.set_int t.m.active_connections t.active;
+      Mutex.unlock t.lock;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> loop ()
+    | exception Unix.Unix_error _ -> if not (Atomic.get t.stopping) then raise Exit
+  in
+  (try loop () with Exit -> ());
+  (* joining this domain waits for every connection thread it spawned, so
+     wake them all before returning — nobody else can: no new connections
+     are added once the accept loop is done *)
+  Mutex.lock t.lock;
+  List.iter
+    (fun (conn, _) ->
+      if not conn.closed then
+        try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    t.conns;
+  Mutex.unlock t.lock
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(batch = Shard_runner.default_batch)
+    ?(max_inflight = 64) ~db () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      db;
+      listen_fd;
+      port;
+      batch;
+      max_inflight;
+      m = handles ();
+      lock = Mutex.create ();
+      conns = [];
+      active = 0;
+      stopping = Atomic.make false;
+      accept_domain = None;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t = t.port
+let db t = t.db
+
+let protocol_errors t = Metrics.counter_value t.m.protocol_errors
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* on Linux, shutdown on a listening socket wakes the blocked accept *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.accept_domain;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    List.iter (fun (_, th) -> Thread.join th) t.conns
+  end

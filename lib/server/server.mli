@@ -1,0 +1,49 @@
+(** TCP transport of the {!Db} API: a pipelined wire-protocol server over
+    the shard router (DESIGN.md §12).
+
+    The accept loop runs on its own domain; each connection gets a reader
+    thread and a writer thread.  The reader decodes {!Wire} frames and
+    feeds single-partition requests through a per-connection
+    {!Hi_shard.Shard_runner.Window} (batched onto the owner partitions'
+    mailboxes, bounded in flight), so a client pipelining requests keeps
+    every partition busy; responses complete out of order and carry the
+    request id they answer.  Scans and multi-partition transactions drain
+    the window first — per-connection program order is preserved — then
+    run inline.  A counting semaphore caps in-flight requests per
+    connection ([max_inflight]): the reader stops pulling bytes off the
+    socket until responses drain, which is TCP backpressure onto the
+    client.
+
+    A malformed frame (bad CRC, bad version, unparseable payload) or a
+    response opcode arriving at the server counts a protocol error and
+    closes the connection — the stream can no longer be trusted.
+
+    Metrics live under the ["server"] scope: [connections_total],
+    [active_connections], [frames_in]/[frames_out],
+    [bytes_in]/[bytes_out], [protocol_errors] and per-op latency
+    histograms [latency_get/put/delete/scan/txn]. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?batch:int ->
+  ?max_inflight:int ->
+  db:Db.t ->
+  unit ->
+  t
+(** Bind, listen and start accepting.  [port] defaults to [0] (the
+    kernel picks; read it back with {!port}), [host] to loopback,
+    [batch] to {!Hi_shard.Shard_runner.default_batch}, [max_inflight] to
+    [64] requests per connection. *)
+
+val port : t -> int
+val db : t -> Db.t
+
+val protocol_errors : t -> int
+(** Malformed or out-of-place frames seen so far (process-wide). *)
+
+val stop : t -> unit
+(** Stop accepting, shut every connection down and join all of their
+    threads.  Idempotent.  The underlying {!Db} stays open. *)

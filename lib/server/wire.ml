@@ -1,0 +1,367 @@
+(* Binary wire protocol: length-prefixed, CRC-32-checksummed frames with
+   a protocol-version byte and request ids (DESIGN.md §12).
+
+   frame   = u32 BE payload-length | payload | u32 BE CRC-32(payload)
+   payload = version u8 | opcode u8 | request-id u32 BE | body
+
+   The CRC is verified before the payload is parsed, and parsing is
+   strict: unknown opcodes/tags, truncated bodies and trailing bytes are
+   all [Bad_payload].  [decode_frame] trusts the declared length only
+   after bounding it by [max_payload], so a corrupted length field can't
+   make the reader buffer unboundedly or desynchronize past one frame. *)
+
+open Hi_util
+
+let version = 1
+let max_payload = 1 lsl 20
+
+type msg = Request of Db.request | Response of Db.response
+
+type error =
+  | Need_more of int
+  | Bad_version of int
+  | Bad_crc
+  | Bad_payload of string
+  | Frame_too_large of int
+
+let error_to_string = function
+  | Need_more n -> Printf.sprintf "need %d more bytes" n
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_crc -> "frame checksum mismatch"
+  | Bad_payload m -> Printf.sprintf "malformed payload: %s" m
+  | Frame_too_large n -> Printf.sprintf "declared payload of %d bytes exceeds limit" n
+
+(* -- opcodes and tags ---------------------------------------------------- *)
+
+let op_get = 0x01
+let op_put = 0x02
+let op_delete = 0x03
+let op_scan = 0x04
+let op_txn = 0x05
+let op_value = 0x81
+let op_done = 0x82
+let op_entries = 0x83
+let op_failed = 0x84
+
+(* -- encoding ------------------------------------------------------------ *)
+
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let put_str16 b s =
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let put_str32 b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_value b v =
+  match (v : Db.value) with
+  | Null -> Buffer.add_uint8 b 0
+  | Int n ->
+    Buffer.add_uint8 b 1;
+    Buffer.add_int64_be b (Int64.of_int n)
+  | Float f ->
+    Buffer.add_uint8 b 2;
+    Buffer.add_int64_be b (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_uint8 b 3;
+    put_str32 b s
+
+let put_request b (req : Db.request) =
+  match req with
+  | Get k ->
+    Buffer.add_uint8 b op_get;
+    fun () -> put_str16 b k
+  | Put (k, v) ->
+    Buffer.add_uint8 b op_put;
+    fun () ->
+      put_str16 b k;
+      put_value b v
+  | Delete k ->
+    Buffer.add_uint8 b op_delete;
+    fun () -> put_str16 b k
+  | Scan_from (k, n) ->
+    Buffer.add_uint8 b op_scan;
+    fun () ->
+      put_str16 b k;
+      put_u32 b n
+  | Txn ops ->
+    Buffer.add_uint8 b op_txn;
+    fun () ->
+      Buffer.add_uint16_be b (List.length ops);
+      List.iter
+        (fun (k, vo) ->
+          match vo with
+          | Some v ->
+            Buffer.add_uint8 b 1;
+            put_str16 b k;
+            put_value b v
+          | None ->
+            Buffer.add_uint8 b 2;
+            put_str16 b k)
+        ops
+
+let put_error b (e : Db.error) =
+  match e with
+  | Bad_request m ->
+    Buffer.add_uint8 b 1;
+    put_str32 b m
+  | Aborted m ->
+    Buffer.add_uint8 b 2;
+    put_str32 b m
+  | Restart_limit n ->
+    Buffer.add_uint8 b 3;
+    put_u32 b n
+  | Block_unavailable { table; block; attempts } ->
+    Buffer.add_uint8 b 4;
+    put_str16 b table;
+    put_u32 b block;
+    put_u32 b attempts
+  | Block_lost { table; block; cause } ->
+    Buffer.add_uint8 b 5;
+    put_str16 b table;
+    put_u32 b block;
+    put_str16 b cause
+  | Disconnected m ->
+    Buffer.add_uint8 b 6;
+    put_str32 b m
+
+let put_response b (resp : Db.response) =
+  match resp with
+  | Value vo ->
+    Buffer.add_uint8 b op_value;
+    fun () -> (
+      match vo with
+      | None -> Buffer.add_uint8 b 0
+      | Some v ->
+        Buffer.add_uint8 b 1;
+        put_value b v)
+  | Done ok ->
+    Buffer.add_uint8 b op_done;
+    fun () -> Buffer.add_uint8 b (if ok then 1 else 0)
+  | Entries es ->
+    Buffer.add_uint8 b op_entries;
+    fun () ->
+      put_u32 b (List.length es);
+      List.iter
+        (fun (k, v) ->
+          put_str16 b k;
+          put_value b v)
+        es
+  | Failed e ->
+    Buffer.add_uint8 b op_failed;
+    fun () -> put_error b e
+
+let frame ~id put_msg =
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b version;
+  let put_body = put_msg b in
+  put_u32 b (id land 0xffffffff);
+  put_body ();
+  let payload = Buffer.contents b in
+  let out = Buffer.create (String.length payload + 8) in
+  put_u32 out (String.length payload);
+  Buffer.add_string out payload;
+  Buffer.add_int32_be out (Crc32.string payload);
+  Buffer.contents out
+
+let encode_request ~id req = frame ~id (fun b -> put_request b req)
+let encode_response ~id resp = frame ~id (fun b -> put_response b resp)
+
+(* -- decoding ------------------------------------------------------------ *)
+
+exception Fail of string
+exception Fail_version of int
+
+type cur = { s : string; mutable pos : int; limit : int }
+
+let need c n = if c.pos + n > c.limit then raise (Fail "truncated body")
+
+let u8 c =
+  need c 1;
+  let v = String.get_uint8 c.s c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = String.get_uint16_be c.s c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c =
+  need c 8;
+  let v = String.get_int64_be c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let str16 c =
+  let n = u16 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let str32 c =
+  let n = u32 c in
+  if n > max_payload then raise (Fail "oversized string length");
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_value c : Db.value =
+  match u8 c with
+  | 0 -> Null
+  | 1 -> Int (Int64.to_int (i64 c))
+  | 2 -> Float (Int64.float_of_bits (i64 c))
+  | 3 -> Str (str32 c)
+  | t -> raise (Fail (Printf.sprintf "unknown value tag %d" t))
+
+let get_error c : Db.error =
+  match u8 c with
+  | 1 -> Bad_request (str32 c)
+  | 2 -> Aborted (str32 c)
+  | 3 -> Restart_limit (u32 c)
+  | 4 ->
+    let table = str16 c in
+    let block = u32 c in
+    let attempts = u32 c in
+    Block_unavailable { table; block; attempts }
+  | 5 ->
+    let table = str16 c in
+    let block = u32 c in
+    let cause = str16 c in
+    Block_lost { table; block; cause }
+  | 6 -> Disconnected (str32 c)
+  | t -> raise (Fail (Printf.sprintf "unknown error tag %d" t))
+
+let get_msg c =
+  let v = u8 c in
+  if v <> version then raise (Fail_version v);
+  let opcode = u8 c in
+  let id = u32 c in
+  let msg =
+    if opcode = op_get then Request (Get (str16 c))
+    else if opcode = op_put then
+      let k = str16 c in
+      Request (Put (k, get_value c))
+    else if opcode = op_delete then Request (Delete (str16 c))
+    else if opcode = op_scan then
+      let k = str16 c in
+      Request (Scan_from (k, u32 c))
+    else if opcode = op_txn then
+      let n = u16 c in
+      Request
+        (Txn
+           (List.init n (fun _ ->
+                match u8 c with
+                | 1 ->
+                  let k = str16 c in
+                  (k, Some (get_value c))
+                | 2 -> (str16 c, None)
+                | t -> raise (Fail (Printf.sprintf "unknown txn op kind %d" t)))))
+    else if opcode = op_value then
+      Response
+        (Value
+           (match u8 c with
+           | 0 -> None
+           | 1 -> Some (get_value c)
+           | t -> raise (Fail (Printf.sprintf "unknown option tag %d" t))))
+    else if opcode = op_done then
+      Response
+        (Done
+           (match u8 c with
+           | 0 -> false
+           | 1 -> true
+           | t -> raise (Fail (Printf.sprintf "unknown bool %d" t))))
+    else if opcode = op_entries then
+      let n = u32 c in
+      if n > max_payload then raise (Fail "oversized entry count");
+      Response
+        (Entries
+           (List.init n (fun _ ->
+                let k = str16 c in
+                (k, get_value c))))
+    else if opcode = op_failed then Response (Failed (get_error c))
+    else raise (Fail (Printf.sprintf "unknown opcode 0x%02x" opcode))
+  in
+  if c.pos <> c.limit then raise (Fail "trailing bytes in payload");
+  (id, msg)
+
+let decode_frame buf ~pos =
+  let avail = String.length buf - pos in
+  if avail < 4 then Error (Need_more (4 - avail))
+  else
+    let len = Int32.to_int (String.get_int32_be buf pos) land 0xffffffff in
+    if len > max_payload then Error (Frame_too_large len)
+    else if avail < 4 + len + 4 then Error (Need_more ((4 + len + 4) - avail))
+    else
+      let stored = String.get_int32_be buf (pos + 4 + len) in
+      if Crc32.update 0l buf (pos + 4) len <> stored then Error Bad_crc
+      else
+        let c = { s = buf; pos = pos + 4; limit = pos + 4 + len } in
+        match get_msg c with
+        | id, msg -> Ok (id, msg, (pos + 4 + len + 4) - pos)
+        | exception Fail m -> Error (Bad_payload m)
+        | exception Fail_version v -> Error (Bad_version v)
+
+(* -- buffered socket IO -------------------------------------------------- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable off : int;  (* consumed prefix *)
+  mutable len : int;  (* valid bytes *)
+}
+
+let reader fd = { fd; buf = Bytes.create 65536; off = 0; len = 0 }
+
+let try_msg r =
+  let s = Bytes.sub_string r.buf r.off (r.len - r.off) in
+  match decode_frame s ~pos:0 with
+  | Ok (id, msg, consumed) ->
+    r.off <- r.off + consumed;
+    if r.off = r.len then (
+      r.off <- 0;
+      r.len <- 0);
+    `Msg (id, msg)
+  | Error (Need_more _) -> `Nothing
+  | Error e -> `Error e
+
+let refill r =
+  if r.off > 0 then (
+    Bytes.blit r.buf r.off r.buf 0 (r.len - r.off);
+    r.len <- r.len - r.off;
+    r.off <- 0);
+  if r.len = Bytes.length r.buf then begin
+    let bigger = Bytes.create (2 * Bytes.length r.buf) in
+    Bytes.blit r.buf 0 bigger 0 r.len;
+    r.buf <- bigger
+  end;
+  let rec read_once () =
+    match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  let n = read_once () in
+  r.len <- r.len + n;
+  n
+
+let write_frame fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write_substring fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  len

@@ -1,0 +1,75 @@
+(** The binary wire protocol of the TCP transport (DESIGN.md §12).
+
+    Every message travels in one frame:
+
+    {v
+      u32 BE payload length | payload | u32 BE CRC-32 (IEEE) of payload
+    v}
+
+    and every payload opens with a protocol-version byte ({!version}),
+    an opcode byte and a u32 BE request id, followed by the opcode's
+    body.  Request opcodes are [0x01]–[0x05] (Get, Put, Delete,
+    Scan_from, Txn); response opcodes are the request range with the
+    high bit set, [0x81]–[0x84] (Value, Done, Entries, Failed).  Ints
+    ride as 8-byte big-endian two's complement, floats as their IEEE-754
+    bits, strings as a u16 or u32 BE length followed by the bytes.
+
+    Decoding is strict: a frame with an unknown version, a CRC mismatch,
+    an unknown opcode/tag, a declared length past {!max_payload} or a
+    body that does not parse exactly to the payload's end is an {!error},
+    not a guess.  {!decode_frame} never raises and never reads past the
+    declared frame, so a corrupted length cannot desynchronize the
+    stream beyond the one frame it lies about. *)
+
+val version : int
+(** Protocol version byte, currently [1]. *)
+
+val max_payload : int
+(** Largest accepted payload (1 MiB); {!decode_frame} rejects bigger
+    declared lengths without buffering them. *)
+
+type msg = Request of Db.request | Response of Db.response
+
+(** Why bytes failed to decode.  [Need_more n] is not a protocol error:
+    at least [n] more bytes are required before the frame can be
+    judged. *)
+type error =
+  | Need_more of int
+  | Bad_version of int
+  | Bad_crc
+  | Bad_payload of string
+  | Frame_too_large of int
+
+val error_to_string : error -> string
+
+val encode_request : id:int -> Db.request -> string
+(** A complete frame carrying the request under id [id land 0xffffffff]. *)
+
+val encode_response : id:int -> Db.response -> string
+
+val decode_frame : string -> pos:int -> (int * msg * int, error) result
+(** [decode_frame buf ~pos] parses one frame starting at [pos],
+    returning [(id, msg, next_pos)]. *)
+
+(** {1 Buffered socket IO}
+
+    A thin reader over a file descriptor, split so callers can drain
+    already-buffered frames before deciding to block: the server flushes
+    its batching window exactly when {!try_msg} says nothing more is
+    decodable. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val try_msg : reader -> [ `Msg of int * msg | `Nothing | `Error of error ]
+(** Decode one frame from buffered bytes only; [`Nothing] means an
+    incomplete frame is (possibly) pending and {!refill} must run. *)
+
+val refill : reader -> int
+(** Blocking read appending to the buffer; returns the byte count, [0]
+    at EOF. *)
+
+val write_frame : Unix.file_descr -> string -> int
+(** Write the whole frame (looping over short writes); returns its
+    length. *)

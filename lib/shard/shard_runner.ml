@@ -1,24 +1,103 @@
-(* Drive a sharded workload through a Router and report per-partition and
-   aggregate results (DESIGN.md §11).
+(* Drive transactions through a Router with per-partition batching and a
+   bounded in-flight window (DESIGN.md §11).
 
-   Single-partition transactions are submitted in batches (default 32 per
-   mailbox job) so messaging overhead is amortized over many short
-   transactions — Voter's transactions are a few microseconds, and posting
-   them one-by-one would make the mailbox the bottleneck.  Multi-partition
-   transactions run through the coordinator inline.
+   [Window] is the reusable core: single-partition transactions are
+   submitted in batches (default 32 per mailbox job) so messaging overhead
+   is amortized over many short transactions — Voter's transactions are a
+   few microseconds, and posting them one-by-one would make the mailbox
+   the bottleneck.  A bounded in-flight window keeps producers from racing
+   unboundedly ahead of slow partitions.  [run] layers workload dispatch
+   and reporting on top; the wire-protocol server (DESIGN.md §12) feeds
+   each connection's pipelined requests through its own [Window] over the
+   shared router.
 
    Despite parallel execution, each partition's observable history is
-   deterministic: the (single) generator thread is the only producer, so
+   deterministic per producer: a window has a single producer thread, so
    every mailbox receives the same job sequence on every run with the same
    seed — domain timing affects only the interleaving *between*
    partitions, which shared-nothing execution makes irrelevant.
 
-   Counters are partition-local (each is touched only by its partition's
-   domain) and read after the in-flight window drains, with the join/await
-   providing the happens-before edge. *)
+   Counters in [run] are partition-local (each is touched only by its
+   partition's domain via [on_done]) and read after the window drains,
+   with the join/await providing the happens-before edge. *)
 
 open Hi_util
 open Hi_hstore
+
+let default_batch = 32
+
+module Window = struct
+  type entry = {
+    body : Engine.t -> unit;
+    on_done : (unit, Engine.txn_error) result -> float -> unit;
+  }
+
+  type t = {
+    router : Router.t;
+    batch : int;
+    max_inflight_batches : int;
+    pending : entry list array; (* newest first *)
+    pending_n : int array;
+    inflight : unit Future.t Queue.t;
+    queue_peak : int array;
+  }
+
+  let create ?(batch = default_batch) ?(max_inflight_batches = 8) ~router () =
+    if batch <= 0 then invalid_arg "Window.create: batch must be positive";
+    let n = Router.num_partitions router in
+    {
+      router;
+      batch;
+      max_inflight_batches;
+      pending = Array.make n [];
+      pending_n = Array.make n 0;
+      inflight = Queue.create ();
+      queue_peak = Array.make n 0;
+    }
+
+  let flush_partition t p =
+    match t.pending.(p) with
+    | [] -> ()
+    | entries ->
+      let entries = List.rev entries in
+      t.pending.(p) <- [];
+      t.pending_n.(p) <- 0;
+      let fut = Future.create () in
+      let part = Router.partition t.router p in
+      t.queue_peak.(p) <- max t.queue_peak.(p) (Partition.queue_length part);
+      Partition.post part (fun engine ->
+          List.iter
+            (fun { body; on_done } ->
+              let t0 = Unix.gettimeofday () in
+              let r = Engine.run engine body in
+              on_done r (Unix.gettimeofday () -. t0))
+            entries;
+          Future.fill fut ());
+      Queue.push fut t.inflight;
+      (* bounded in-flight window: keeps the producer from racing
+         unboundedly ahead of slow partitions *)
+      let cap = t.max_inflight_batches * Router.num_partitions t.router in
+      while Queue.length t.inflight > cap do
+        Future.await (Queue.pop t.inflight)
+      done
+
+  let submit t ~partition ~body ~on_done =
+    t.pending.(partition) <- { body; on_done } :: t.pending.(partition);
+    t.pending_n.(partition) <- t.pending_n.(partition) + 1;
+    if t.pending_n.(partition) >= t.batch then flush_partition t partition
+
+  let flush t =
+    for p = 0 to Array.length t.pending - 1 do
+      flush_partition t p
+    done
+
+  let drain t =
+    flush t;
+    Queue.iter Future.await t.inflight;
+    Queue.clear t.inflight
+
+  let queue_peak t ~partition = t.queue_peak.(partition)
+end
 
 type per_partition = {
   pid : int;
@@ -40,57 +119,24 @@ type stats = {
   per_partition : per_partition list;
 }
 
-let default_batch = 32
-
 let run ?(batch = default_batch) ?(max_inflight_batches = 8) ~router
     ~(next : int -> Shard_workload.spec) ~num_txns () =
   let n = Router.num_partitions router in
   let ok = Array.make n 0 in
   let ab = Array.make n 0 in
-  let queue_peak = Array.make n 0 in
   let lat = Array.init n (fun _ -> Histogram.create ()) in
   let mok = ref 0 and mab = ref 0 and multi = ref 0 in
   let coord_lat = Histogram.create () in
-  let inflight = Queue.create () in
-  let flush p pending =
-    match pending with
-    | [] -> ()
-    | bodies ->
-      let bodies = List.rev bodies in
-      let fut = Future.create () in
-      let part = Router.partition router p in
-      queue_peak.(p) <- max queue_peak.(p) (Partition.queue_length part);
-      Partition.post part (fun engine ->
-          List.iter
-            (fun body ->
-              let t0 = Unix.gettimeofday () in
-              (match Engine.run engine body with
-              | Ok () -> ok.(p) <- ok.(p) + 1
-              | Error _ -> ab.(p) <- ab.(p) + 1);
-              Histogram.record lat.(p) (Unix.gettimeofday () -. t0))
-            bodies;
-          Future.fill fut ());
-      Queue.push fut inflight;
-      (* bounded in-flight window: keeps the generator from racing
-         unboundedly ahead of slow partitions *)
-      while Queue.length inflight > max_inflight_batches * n do
-        Future.await (Queue.pop inflight)
-      done
-  in
-  let pending = Array.make n [] in
-  let pending_n = Array.make n 0 in
+  let window = Window.create ~batch ~max_inflight_batches ~router () in
   let t0 = Unix.gettimeofday () in
   for i = 0 to num_txns - 1 do
     let p = i mod n in
     match next p with
     | Shard_workload.Single (q, body) ->
-      pending.(q) <- body :: pending.(q);
-      pending_n.(q) <- pending_n.(q) + 1;
-      if pending_n.(q) >= batch then begin
-        flush q pending.(q);
-        pending.(q) <- [];
-        pending_n.(q) <- 0
-      end
+      Window.submit window ~partition:q ~body
+        ~on_done:(fun r dt ->
+          (match r with Ok () -> ok.(q) <- ok.(q) + 1 | Error _ -> ab.(q) <- ab.(q) + 1);
+          Histogram.record lat.(q) dt)
     | Shard_workload.Multi participants ->
       incr multi;
       let c0 = Unix.gettimeofday () in
@@ -99,12 +145,7 @@ let run ?(batch = default_batch) ?(max_inflight_batches = 8) ~router
       | Error _ -> incr mab);
       Histogram.record coord_lat (Unix.gettimeofday () -. c0)
   done;
-  for p = 0 to n - 1 do
-    flush p pending.(p);
-    pending.(p) <- []
-  done;
-  Queue.iter Future.await inflight;
-  Queue.clear inflight;
+  Window.drain window;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let all = Histogram.create () in
   Array.iter (fun h -> Histogram.merge_into ~into:all h) lat;
@@ -123,5 +164,10 @@ let run ?(batch = default_batch) ?(max_inflight_batches = 8) ~router
     p99_latency_s = Histogram.percentile all 99.0;
     per_partition =
       List.init n (fun p ->
-          { pid = p; committed = ok.(p); aborted = ab.(p); queue_peak = queue_peak.(p) });
+          {
+            pid = p;
+            committed = ok.(p);
+            aborted = ab.(p);
+            queue_peak = Window.queue_peak window ~partition:p;
+          });
   }

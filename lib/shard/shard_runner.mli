@@ -1,9 +1,47 @@
-(** Drives a sharded workload through a {!Router} (DESIGN.md §11).
+(** Drives transactions through a {!Router} with per-partition batching
+    and a bounded in-flight window (DESIGN.md §11).
 
-    Single-partition transactions are batched onto their owner's mailbox
-    (amortizing messaging overhead); multi-partition transactions run
-    through the coordinator inline.  A bounded in-flight window keeps the
-    generator from racing unboundedly ahead of slow partitions. *)
+    {!Window} is the reusable core: single-partition transactions are
+    batched onto their owner's mailbox (amortizing messaging overhead) and
+    a bounded in-flight window keeps the producer from racing unboundedly
+    ahead of slow partitions.  {!run} layers workload dispatch on top;
+    the wire-protocol server (DESIGN.md §12) feeds each connection's
+    pipelined requests through its own per-connection window. *)
+
+val default_batch : int
+
+(** Per-partition batching with a bounded in-flight window.  Not
+    thread-safe: one producer thread per window (completion callbacks run
+    on partition domains). *)
+module Window : sig
+  type t
+
+  val create :
+    ?batch:int -> ?max_inflight_batches:int -> router:Router.t -> unit -> t
+
+  val submit :
+    t ->
+    partition:int ->
+    body:(Hi_hstore.Engine.t -> unit) ->
+    on_done:((unit, Hi_hstore.Engine.txn_error) result -> float -> unit) ->
+    unit
+  (** Enqueue one transaction for [partition].  When the partition's
+      pending batch reaches [batch], the batch is posted to its mailbox as
+      one job that runs each body under {!Hi_hstore.Engine.run} and calls
+      [on_done result elapsed_seconds] on the partition's domain.  Blocks
+      when more than [max_inflight_batches * partitions] batches are in
+      flight. *)
+
+  val flush : t -> unit
+  (** Post every pending partial batch. *)
+
+  val drain : t -> unit
+  (** {!flush}, then await every in-flight batch: on return all submitted
+      transactions have executed and their [on_done] callbacks run. *)
+
+  val queue_peak : t -> partition:int -> int
+  (** Deepest mailbox backlog observed at post time. *)
+end
 
 type per_partition = {
   pid : int;
@@ -25,8 +63,6 @@ type stats = {
   per_partition : per_partition list;
 }
 
-val default_batch : int
-
 val run :
   ?batch:int ->
   ?max_inflight_batches:int ->
@@ -35,3 +71,5 @@ val run :
   num_txns:int ->
   unit ->
   stats
+(** Single-partition specs flow through a {!Window}; multi-partition specs
+    run through the coordinator inline. *)

@@ -14,7 +14,6 @@
    integers, and ~30-byte emails.  Values are 64-bit "tuple pointers". *)
 
 open Hi_util
-open Hybrid_index
 
 type workload = Insert_only | Read_only | Read_write | Scan_insert
 
@@ -67,7 +66,7 @@ let generate_keys spec = Key_codec.generate_keys ~seed:spec.seed spec.key_type (
 
 (* Run the workload against any index behind the uniform interface.
    [primary] selects unique-insert semantics (and values_per_key = 1). *)
-let run ?(primary = true) (module I : Index_sig.INDEX) spec =
+let run ?(primary = true) (module I : Hi_index.Index_intf.INDEX) spec =
   let keys = generate_keys spec in
   let t = I.create () in
   (* --- initialization phase (the insert-only workload) --- *)

@@ -1,0 +1,366 @@
+(* Tests for the stable Db API and the wire-protocol transport (DESIGN.md
+   §12): codec pins and fuzz properties, Db semantics over the router
+   (validation, padding twins, scans, 2PC transactions), the loopback TCP
+   server/client pair with pipelining and per-connection ordering, and the
+   differential property that the TCP path answers byte-identically to the
+   in-process path. *)
+
+open Hi_util
+open Hi_shard
+open Hi_server
+open Hi_check
+open Common
+
+let seq_mode seed = Router.Sequential (Xorshift.create seed)
+
+let mk_db ?(partitions = 2) ?mode () = Db.create ?mode ~partitions ()
+
+let with_db ?partitions ?mode f =
+  let db = mk_db ?partitions ?mode () in
+  Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+
+let with_server ?partitions f =
+  with_db ?partitions (fun db ->
+      let server = Server.start ~db () in
+      Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f db server))
+
+let with_client server f =
+  let c = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let check_resp msg expected actual =
+  check_string msg (Db.response_to_string expected) (Db.response_to_string actual);
+  check msg true (expected = actual)
+
+(* --- wire codec: pinned layout --- *)
+
+let test_wire_pinned_layout () =
+  (* Get "k" under id 7: version 1, opcode 0x01, id u32, key as u16 len +
+     bytes.  The payload bytes are pinned here; the CRC field is checked
+     against the CRC module, which test_fault pins against the standard
+     check value. *)
+  let payload = "\x01\x01\x00\x00\x00\x07\x00\x01k" in
+  let b = Buffer.create 32 in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Crc32.string payload);
+  check_string "Get frame" (Buffer.contents b) (Wire.encode_request ~id:7 (Db.Get "k"));
+  (* Done true under id 0x01020304: opcode 0x82, bool byte *)
+  let payload = "\x01\x82\x01\x02\x03\x04\x01" in
+  let b = Buffer.create 32 in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Crc32.string payload);
+  check_string "Done frame" (Buffer.contents b)
+    (Wire.encode_response ~id:0x01020304 (Db.Done true));
+  (* Put with an Int value: i64 BE payload *)
+  let payload = "\x01\x02\x00\x00\x00\x00\x00\x01k\x01\x00\x00\x00\x00\x00\x00\x01\x00" in
+  let frame = Wire.encode_request ~id:0 (Db.Put ("k", Db.Int 256)) in
+  check_string "Put payload" payload (String.sub frame 4 (String.length payload))
+
+let test_wire_pinned_rejects () =
+  let frame = Wire.encode_request ~id:3 (Db.Get "key") in
+  (* corrupt one payload byte: CRC must catch it *)
+  let corrupt =
+    String.mapi (fun i c -> if i = 6 then Char.chr (Char.code c lxor 0x40) else c) frame
+  in
+  check "bad crc" true (Wire.decode_frame corrupt ~pos:0 = Error Wire.Bad_crc);
+  (* version byte is payload byte 0: re-frame with a bumped version *)
+  let payload = "\x02\x01\x00\x00\x00\x03\x00\x03key" in
+  let b = Buffer.create 32 in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Crc32.string payload);
+  check "bad version" true
+    (Wire.decode_frame (Buffer.contents b) ~pos:0 = Error (Wire.Bad_version 2));
+  (* a declared length beyond the cap is rejected before buffering *)
+  let b = Buffer.create 8 in
+  Buffer.add_int32_be b (Int32.of_int (Wire.max_payload + 1));
+  check "too large" true
+    (Wire.decode_frame (Buffer.contents b) ~pos:0
+    = Error (Wire.Frame_too_large (Wire.max_payload + 1)));
+  (* truncation reports how many bytes are still owed *)
+  check "empty needs header" true (Wire.decode_frame "" ~pos:0 = Error (Wire.Need_more 4));
+  let cut = String.sub frame 0 (String.length frame - 3) in
+  check "cut frame needs 3" true (Wire.decode_frame cut ~pos:0 = Error (Wire.Need_more 3))
+
+let test_wire_roundtrip () =
+  for seed = 1 to 400 do
+    let rng = Xorshift.create seed in
+    let id = Wire_check.gen_id rng in
+    let msg = Wire_check.gen_msg rng in
+    match Wire_check.roundtrip ~id msg with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_wire_prefixes () =
+  for seed = 1 to 60 do
+    let rng = Xorshift.create seed in
+    let id = Wire_check.gen_id rng in
+    let msg = Wire_check.gen_msg rng in
+    match Wire_check.prefix_safe ~id msg with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_wire_corruption () =
+  for seed = 1 to 400 do
+    let rng = Xorshift.create seed in
+    let id = Wire_check.gen_id rng in
+    let msg = Wire_check.gen_msg rng in
+    match Wire_check.corrupt_safe rng ~id msg with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_wire_stream () =
+  (* several frames in one buffer decode in sequence from moving [pos] *)
+  let msgs =
+    [
+      (1, Wire.Request (Db.Get "a"));
+      (2, Wire.Response (Db.Value (Some (Db.Str "v"))));
+      (3, Wire.Request (Db.Txn [ ("k", Some (Db.Int 1)); ("l", None) ]));
+    ]
+  in
+  let buf = String.concat "" (List.map (fun (id, m) -> Wire_check.encode ~id m) msgs) in
+  let pos = ref 0 in
+  List.iter
+    (fun (id, m) ->
+      match Wire.decode_frame buf ~pos:!pos with
+      | Ok (id', m', consumed) ->
+        check_int "stream id" id id';
+        check "stream msg" true (m = m');
+        pos := !pos + consumed
+      | Error e -> Alcotest.fail (Wire.error_to_string e))
+    msgs;
+  check_int "stream consumed" (String.length buf) !pos
+
+(* --- Db semantics (in-process transport) --- *)
+
+let test_db_crud () =
+  with_db ~mode:(seq_mode 11) (fun db ->
+      check "put new" true (Db.put db "alpha" (Db.Int 1) = Ok true);
+      check "put overwrite" true (Db.put db "alpha" (Db.Str "two") = Ok false);
+      check "get" true (Db.get db "alpha" = Ok (Some (Db.Str "two")));
+      check "get miss" true (Db.get db "beta" = Ok None);
+      check "delete" true (Db.delete db "alpha" = Ok true);
+      check "delete miss" true (Db.delete db "alpha" = Ok false);
+      check "get after delete" true (Db.get db "alpha" = Ok None);
+      (* all four value shapes survive a put/get cycle *)
+      List.iter
+        (fun v ->
+          ignore (Db.put db "v" v);
+          check "value roundtrip" true (Db.get db "v" = Ok (Some v)))
+        [ Db.Null; Db.Int (-42); Db.Float 2.5; Db.Str "payload" ])
+
+let test_db_validation () =
+  with_db ~mode:(seq_mode 12) (fun db ->
+      let is_bad = function Error (Db.Bad_request _) -> true | _ -> false in
+      check "empty key" true (is_bad (Db.get db ""));
+      check "long key" true (is_bad (Db.put db (String.make 129 'k') Db.Null));
+      check "long value" true (is_bad (Db.put db "k" (Db.Str (String.make 257 'v'))));
+      check "negative scan" true (is_bad (Db.scan_from db "" (-1)));
+      check "empty txn" true (is_bad (Db.txn db []));
+      check "long probe" true (is_bad (Db.scan_from db (String.make 129 'p') 1)))
+
+let test_db_padding_twins () =
+  (* "k" and "k\000" share a padded index key; the row stores the exact
+     key, so the twin reads as a miss and a twin put aborts instead of
+     overwriting. *)
+  with_db ~partitions:1 ~mode:(seq_mode 13) (fun db ->
+      check "put k" true (Db.put db "k" (Db.Int 1) = Ok true);
+      check "twin get misses" true (Db.get db "k\000" = Ok None);
+      check "twin delete misses" true (Db.delete db "k\000" = Ok false);
+      (match Db.put db "k\000" (Db.Int 2) with
+      | Error (Db.Aborted _) -> ()
+      | r -> Alcotest.failf "twin put: %s" (Db.response_to_string
+            (match r with Ok b -> Db.Done b | Error e -> Db.Failed e)));
+      check "original intact" true (Db.get db "k" = Ok (Some (Db.Int 1))))
+
+let test_db_scan () =
+  with_db ~partitions:3 ~mode:(seq_mode 14) (fun db ->
+      let keys = List.init 40 (fun i -> Key_codec.encode_u64 (Int64.of_int (i * 3))) in
+      List.iter (fun k -> ignore (Db.put db k (Db.Str k))) keys;
+      (* full scan merges every partition's slice in key order *)
+      (match Db.scan_from db "" Db.max_scan with
+      | Ok entries ->
+        check "scan count" true (List.length entries = 40);
+        check "scan sorted" true
+          (List.map fst entries = List.sort String.compare keys);
+        check "scan values ride along" true
+          (List.for_all (fun (k, v) -> v = Db.Str k) entries)
+      | Error e -> Alcotest.fail (Db.error_to_string e));
+      (* probe starts mid-range, limit truncates after the global merge *)
+      let probe = Key_codec.encode_u64 60L in
+      match Db.scan_from db probe 5 with
+      | Ok entries ->
+        check_int "limited scan" 5 (List.length entries);
+        check_string "scan from probe" probe (fst (List.hd entries))
+      | Error e -> Alcotest.fail (Db.error_to_string e))
+
+let test_db_txn () =
+  with_db ~partitions:3 ~mode:(seq_mode 15) (fun db ->
+      (* pick keys known to live on distinct partitions *)
+      let all = List.init 64 (fun i -> Key_codec.email_of_id i) in
+      let on p = List.find (fun k -> Db.route db k = p) all in
+      let a = on 0 and b = on 1 and c = on 2 in
+      check "multi-partition txn" true
+        (Db.txn db [ (a, Some (Db.Int 1)); (b, Some (Db.Int 2)); (c, Some (Db.Int 3)) ]
+        = Ok ());
+      check "txn visible a" true (Db.get db a = Ok (Some (Db.Int 1)));
+      check "txn visible c" true (Db.get db c = Ok (Some (Db.Int 3)));
+      (* later ops in one txn see earlier ones: put then delete nets out *)
+      check "put+delete txn" true (Db.txn db [ (a, Some (Db.Int 9)); (a, None) ] = Ok ());
+      check "netted out" true (Db.get db a = Ok None);
+      (* an aborting op (padding twin) rolls the whole txn back everywhere *)
+      ignore (Db.put db b (Db.Int 2));
+      let twin = a ^ "\000" in
+      if Db.route db twin = Db.route db a then begin
+        ignore (Db.put db a (Db.Int 1));
+        (match Db.txn db [ (b, Some (Db.Int 99)); (twin, Some (Db.Int 0)) ] with
+        | Error (Db.Aborted _) -> ()
+        | _ -> Alcotest.fail "twin txn should abort");
+        check "txn rolled back" true (Db.get db b = Ok (Some (Db.Int 2)))
+      end)
+
+(* --- TCP transport --- *)
+
+let test_server_sync_calls () =
+  with_server (fun _db server ->
+      with_client server (fun c ->
+          check_resp "put" (Db.Done true) (Client.call c (Db.Put ("k1", Db.Str "v1")));
+          check_resp "get" (Db.Value (Some (Db.Str "v1"))) (Client.call c (Db.Get "k1"));
+          check_resp "get miss" (Db.Value None) (Client.call c (Db.Get "nope"));
+          check_resp "bad request" (Db.Failed (Db.Bad_request "empty key"))
+            (Client.call c (Db.Get ""));
+          check_resp "delete" (Db.Done true) (Client.call c (Db.Delete "k1"));
+          check_resp "txn" (Db.Done true)
+            (Client.call c (Db.Txn [ ("a", Some (Db.Int 1)); ("b", Some (Db.Int 2)) ]));
+          match Client.call c (Db.Scan_from ("", 10)) with
+          | Db.Entries [ ("a", Db.Int 1); ("b", Db.Int 2) ] -> ()
+          | r -> Alcotest.failf "scan: %s" (Db.response_to_string r)))
+
+let test_server_pipelining () =
+  with_server (fun _db server ->
+      with_client server (fun c ->
+          let n = 300 in
+          let tickets =
+            List.init n (fun i ->
+                Client.send c (Db.Put (Key_codec.encode_u64 (Int64.of_int i), Db.Int i)))
+          in
+          (* a pipelined read after pipelined writes observes them all:
+             per-connection program order survives batching *)
+          let scan = Client.send c (Db.Scan_from ("", Db.max_scan)) in
+          List.iteri
+            (fun i tk -> check_resp (Printf.sprintf "put %d" i) (Db.Done true) (Client.await tk))
+            tickets;
+          (match Client.await scan with
+          | Db.Entries entries -> check_int "scan sees all writes" n (List.length entries)
+          | r -> Alcotest.failf "scan: %s" (Db.response_to_string r));
+          check_int "nothing pending" 0 (Client.pending c)))
+
+let test_server_two_clients () =
+  with_server (fun _db server ->
+      with_client server (fun c1 ->
+          with_client server (fun c2 ->
+              let worker c tag =
+                Thread.create
+                  (fun () ->
+                    for i = 0 to 99 do
+                      let k = Printf.sprintf "%s-%d" tag i in
+                      match Client.call c (Db.Put (k, Db.Int i)) with
+                      | Db.Done true -> ()
+                      | r -> Alcotest.failf "%s: %s" k (Db.response_to_string r)
+                    done)
+                  ()
+              in
+              let t1 = worker c1 "one" and t2 = worker c2 "two" in
+              Thread.join t1;
+              Thread.join t2;
+              match Client.call c1 (Db.Scan_from ("", Db.max_scan)) with
+              | Db.Entries entries -> check_int "both clients' writes" 200 (List.length entries)
+              | r -> Alcotest.failf "scan: %s" (Db.response_to_string r))))
+
+let test_server_rejects_garbage () =
+  with_server (fun _db server ->
+      let before = Server.protocol_errors server in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+      let garbage = "\x00\x00\x00\x04garbage-with-no-valid-crc" in
+      ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+      (* server counts the protocol error and closes: read sees EOF *)
+      let buf = Bytes.create 64 in
+      let n = try Unix.read fd buf 0 64 with Unix.Unix_error _ -> 0 in
+      Unix.close fd;
+      check_int "closed without a response" 0 n;
+      check "protocol error counted" true (Server.protocol_errors server > before);
+      (* the server survives: a well-behaved client still works *)
+      with_client server (fun c ->
+          check_resp "still serving" (Db.Done true) (Client.call c (Db.Put ("k", Db.Null)))))
+
+let test_client_disconnect () =
+  with_server (fun _db server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      check_resp "works" (Db.Done true) (Client.call c (Db.Put ("k", Db.Null)));
+      Server.stop server;
+      (* outstanding and future requests resolve to Disconnected, no raise *)
+      let r = Client.call c (Db.Get "k") in
+      (match r with
+      | Db.Failed (Db.Disconnected _) -> ()
+      | _ -> Alcotest.failf "after stop: %s" (Db.response_to_string r));
+      Client.close c)
+
+(* --- differential: TCP path vs in-process path, byte-identical --- *)
+
+let test_differential_tcp_vs_inprocess () =
+  for seed = 1 to 5 do
+    let requests = Wire_check.gen_session (Xorshift.create (1000 + seed)) ~n:200 in
+    let in_proc =
+      with_db ~partitions:2 ~mode:(seq_mode seed) (fun db ->
+          List.map (fun req -> Db.exec db req) requests)
+    in
+    let over_tcp =
+      with_server ~partitions:2 (fun _db server ->
+          with_client server (fun c -> List.map (fun req -> Client.call c req) requests))
+    in
+    List.iteri
+      (fun i (a, b) ->
+        if Wire.encode_response ~id:0 a <> Wire.encode_response ~id:0 b then
+          Alcotest.failf "seed %d, request %d: in-process %s, tcp %s" seed i
+            (Db.response_to_string a) (Db.response_to_string b))
+      (List.combine in_proc over_tcp)
+  done
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "pinned layout" `Quick test_wire_pinned_layout;
+          Alcotest.test_case "pinned rejects" `Quick test_wire_pinned_rejects;
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "prefixes need more" `Quick test_wire_prefixes;
+          Alcotest.test_case "corruption rejected" `Quick test_wire_corruption;
+          Alcotest.test_case "frame stream" `Quick test_wire_stream;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "crud" `Quick test_db_crud;
+          Alcotest.test_case "validation" `Quick test_db_validation;
+          Alcotest.test_case "padding twins" `Quick test_db_padding_twins;
+          Alcotest.test_case "scan" `Quick test_db_scan;
+          Alcotest.test_case "txn" `Quick test_db_txn;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "sync calls" `Quick test_server_sync_calls;
+          Alcotest.test_case "pipelining" `Quick test_server_pipelining;
+          Alcotest.test_case "two clients" `Quick test_server_two_clients;
+          Alcotest.test_case "rejects garbage" `Quick test_server_rejects_garbage;
+          Alcotest.test_case "client disconnect" `Quick test_client_disconnect;
+          Alcotest.test_case "differential vs in-process" `Quick
+            test_differential_tcp_vs_inprocess;
+        ] );
+    ]
