@@ -226,7 +226,8 @@ let fig9 () =
 
 let fault_schedule =
   {
-    Hi_util.Fault.transient_fetch_p = 0.10;
+    Hi_util.Fault.no_faults with
+    transient_fetch_p = 0.10;
     corrupt_block_p = 0.005;
     latency_spike_p = 0.02;
     latency_spike_s = 0.005;

@@ -1,0 +1,235 @@
+(* Durability experiment (DESIGN.md §13).
+
+   Two questions, two scenarios:
+
+   - "put_pipelined": what does durability cost?  The same pipelined
+     put stream (the server's Window fast path) runs against an
+     in-memory database and against one with a write-ahead log, where
+     every acknowledgment waits for the group-commit fsync.  Group
+     commit is the whole game here: with a window of requests in
+     flight, one fsync amortizes over the batch that accumulated while
+     the previous fsync ran.
+
+   - "kill_restart": does an acknowledgment actually mean durable?  A
+     real `hybrid_db serve --wal-dir` subprocess takes a pipelined put
+     burst over TCP and is SIGKILLed mid-burst with a window of writes
+     still in flight.  Every response received before the kill is an
+     acknowledged write; reopening the wal directory must recover every
+     single one ("lost" must be 0).  In-flight unacknowledged writes
+     may land either way — that is the contract. *)
+
+open Hi_server
+module Shard_runner = Hi_shard.Shard_runner
+open Common
+
+let key i = Printf.sprintf "dur%07d" i
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hi_bench_%s_%d_%d" name (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* -- scenario 1: durable vs in-memory pipelined put throughput ----------- *)
+
+let put_pipelined ?wal_dir ~partitions ~n () =
+  let db = Db.create ?wal_dir ~partitions () in
+  let window = Shard_runner.Window.create ~router:(Db.router db) () in
+  let failures = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    match Db.plan db (Db.Put (key i, Db.Int i)) with
+    | Db.Single (partition, body) ->
+      Shard_runner.Window.submit window ~partition
+        ~body:(fun engine -> ignore (body engine))
+        ~on_done:(fun r _dt ->
+          match r with Ok () -> () | Error _ -> Atomic.incr failures)
+    | Db.Inline | Db.Invalid _ -> assert false
+  done;
+  Shard_runner.Window.drain window;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* acknowledged means readable (and, with a wal, durable) *)
+  let sampled_ok = Db.get db (key (n - 1)) = Ok (Some (Db.Int (n - 1))) in
+  Db.close db;
+  let tps = if elapsed > 0.0 then float_of_int n /. elapsed else 0.0 in
+  (tps, elapsed, Atomic.get failures, sampled_ok)
+
+let throughput () =
+  let partitions = max 2 !Common.partitions in
+  let n = max 5_000 (scaled 100_000) in
+  section
+    (Printf.sprintf "Durability: pipelined put throughput, %d puts over %d partitions" n
+       partitions);
+  Printf.printf "%-16s | %12s %10s %8s\n" "mode" "tps" "elapsed s" "failed";
+  hr ();
+  let run label wal_dir =
+    let tps, elapsed, failed, ok = put_pipelined ?wal_dir ~partitions ~n () in
+    Printf.printf "%-16s | %12.0f %10.3f %8d%s\n%!" label tps elapsed failed
+      (if ok then "" else "  (SAMPLE READBACK FAILED)");
+    (tps, elapsed, failed, ok)
+  in
+  let mem_tps, mem_el, mem_fail, mem_ok = run "in-memory" None in
+  let wal_tps, wal_el, wal_fail, wal_ok =
+    run "wal+group-commit" (Some (fresh_dir "tput"))
+  in
+  Printf.printf "durable throughput is %.2fx in-memory\n%!"
+    (if mem_tps > 0.0 then wal_tps /. mem_tps else 0.0);
+  let row mode tps elapsed failed ok extra =
+    Results.(
+      record
+        ~config:
+          [
+            ("scenario", str "put_pipelined");
+            ("mode", str mode);
+            ("partitions", int partitions);
+            ("puts", int n);
+          ]
+        ~metrics:
+          ([
+             ("tps", num tps);
+             ("elapsed_s", num elapsed);
+             ("failed", int failed);
+             ("sample_readback_ok", str (if ok then "true" else "false"));
+           ]
+          @ extra))
+  in
+  row "in_memory" mem_tps mem_el mem_fail mem_ok [];
+  row "wal_group_commit" wal_tps wal_el wal_fail wal_ok
+    [ ("slowdown_vs_memory", Results.num (if wal_tps > 0.0 then mem_tps /. wal_tps else 0.0)) ]
+
+(* -- scenario 2: SIGKILL a real server mid-burst, recover, count losses --- *)
+
+let server_exe () =
+  match Sys.getenv_opt "HYBRID_DB_EXE" with
+  | Some p -> p
+  | None -> Filename.concat (Sys.getcwd ()) "_build/default/bin/hybrid_db.exe"
+
+(* The serve banner: "... serving wire protocol v1 on 127.0.0.1:PORT (...". *)
+let parse_port line =
+  match String.index_opt line '(' with
+  | None -> None
+  | Some paren -> (
+    match String.rindex_from_opt line paren ':' with
+    | None -> None
+    | Some colon ->
+      int_of_string_opt (String.trim (String.sub line (colon + 1) (paren - colon - 1))))
+
+let spawn_server ~exe ~wal_dir ~partitions =
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "serve"; "--port"; "0"; "--partitions"; string_of_int partitions; "--wal-dir";
+        wal_dir;
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let rec await_banner () =
+    match input_line ic with
+    | line -> (
+      match parse_port line with
+      | Some p when String.length line > 0 -> p
+      | _ -> await_banner ())
+    | exception End_of_file ->
+      ignore (Unix.waitpid [] pid);
+      failwith "durability: server exited before printing its banner"
+  in
+  let port = await_banner () in
+  (pid, port, ic)
+
+let kill_restart () =
+  let partitions = max 2 !Common.partitions in
+  let target = max 500 (scaled 20_000) in
+  let inflight_window = 64 in
+  section
+    (Printf.sprintf
+       "Durability: SIGKILL mid-burst after %d acknowledged writes, then recover" target);
+  let exe = server_exe () in
+  if not (Sys.file_exists exe) then
+    failwith
+      (Printf.sprintf "durability: server binary %s not built (set HYBRID_DB_EXE)" exe);
+  let wal_dir = fresh_dir "kill" in
+  let pid, port, ic = spawn_server ~exe ~wal_dir ~partitions in
+  Printf.printf "server pid %d on port %d, wal %s\n%!" pid port wal_dir;
+  let c = Client.connect ~port () in
+  let inflight = Queue.create () in
+  let acked = ref [] in
+  let n_acked = ref 0 in
+  let next = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (try
+     while !n_acked < target do
+       while Queue.length inflight < inflight_window do
+         let i = !next in
+         incr next;
+         Queue.push (i, Client.send c (Db.Put (key i, Db.Int i))) inflight
+       done;
+       let i, ticket = Queue.pop inflight in
+       match Client.await ticket with
+       | Db.Done _ ->
+         acked := i :: !acked;
+         incr n_acked
+       | Db.Failed e -> failwith ("put failed before the kill: " ^ Db.error_to_string e)
+       | _ -> failwith "unexpected response shape"
+     done
+   with e ->
+     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+     raise e);
+  let burst_s = Unix.gettimeofday () -. t0 in
+  (* the kill lands with a full window of unacknowledged writes in flight *)
+  let in_flight_at_kill = Queue.length inflight in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Client.close c;
+  close_in_noerr ic;
+  Printf.printf "killed with %d acks in %.2f s (%d writes in flight)\n%!" !n_acked burst_s
+    in_flight_at_kill;
+  let db = Db.create ~wal_dir ~partitions () in
+  let recovery =
+    match Db.recovery db with
+    | Some r -> r
+    | None -> failwith "durability: recovery report missing"
+  in
+  let lost =
+    List.filter (fun i -> Db.get db (key i) <> Ok (Some (Db.Int i))) !acked
+  in
+  Db.close db;
+  Printf.printf
+    "recovered %d txns in %.3f s (%d torn tails truncated); %d/%d acknowledged writes \
+     present, %d LOST\n\
+     %!"
+    recovery.Hi_shard.Router.replayed_txns recovery.duration_s recovery.torn_tails
+    (!n_acked - List.length lost)
+    !n_acked (List.length lost);
+  Results.(
+    record
+      ~config:
+        [
+          ("scenario", str "kill_restart");
+          ("partitions", int partitions);
+          ("acked_target", int target);
+          ("inflight_window", int inflight_window);
+        ]
+      ~metrics:
+        [
+          ("acked", int !n_acked);
+          ("lost", int (List.length lost));
+          ("in_flight_at_kill", int in_flight_at_kill);
+          ("acked_tps", num (if burst_s > 0.0 then float_of_int !n_acked /. burst_s else 0.0));
+          ("replayed_txns", int recovery.Hi_shard.Router.replayed_txns);
+          ("torn_tails", int recovery.torn_tails);
+          ("recovery_s", num recovery.duration_s);
+        ]);
+  if lost <> [] then failwith "durability: acknowledged writes were lost"
+
+let durability () =
+  throughput ();
+  kill_restart ()

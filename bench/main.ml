@@ -7,6 +7,7 @@
      fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13
      scaling         (domain-per-partition throughput at --partitions N)
      netbench        (wire-protocol server loadgen over loopback TCP)
+     durability      (WAL group-commit cost + SIGKILL/recover verification)
      bechamel        (OLS microbenchmarks of the core operations)
      all             (everything except bechamel and scaling; the default)
 
@@ -37,6 +38,7 @@ let experiments : (string * (unit -> unit)) list =
     ("appendixA", Micro.appendix_a);
     ("scaling", Shard_bench.scaling);
     ("netbench", Net_bench.netbench);
+    ("durability", Durability.durability);
     ("bechamel", Bechamel_suite.run);
   ]
 

@@ -197,17 +197,38 @@ let host_arg =
 
 let port_arg default doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
 
-let serve host port server_partitions index_kind merge_ratio =
+let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_mb metrics_json =
   let config = { Engine.default_config with index_kind = parse_index_kind index_kind; merge_ratio } in
-  let db = Db.create ~config ~partitions:server_partitions () in
+  let checkpoint_bytes = Option.map (fun mb -> mb * 1024 * 1024) checkpoint_mb in
+  let db = Db.create ~config ?wal_dir ?checkpoint_bytes ~partitions:server_partitions () in
+  (match Db.recovery db with
+  | None -> ()
+  | Some r ->
+    Printf.printf
+      "hybrid_db: recovered %d txns in %.3f s (%d checkpoints, %d undecided prepares skipped, \
+       %d torn tails truncated)\n\
+       %!"
+      r.Hi_shard.Router.replayed_txns r.duration_s r.checkpoints_loaded r.skipped_undecided
+      r.torn_tails);
   let server = Server.start ~host ~port ~db () in
-  Printf.printf "hybrid_db: serving wire protocol v%d on %s:%d (%d partitions, %s indexes)\n%!"
+  Printf.printf "hybrid_db: serving wire protocol v%d on %s:%d (%d partitions, %s indexes%s)\n%!"
     Wire.version host (Server.port server) server_partitions
-    (Engine.index_kind_name config.Engine.index_kind);
+    (Engine.index_kind_name config.Engine.index_kind)
+    (match wal_dir with None -> "" | Some d -> Printf.sprintf ", wal %s" d);
+  let dump_metrics () =
+    match metrics_json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Hi_util.Metrics.dump ());
+      output_char oc '\n';
+      close_out oc
+  in
   let shutdown _ =
     prerr_endline "shutting down ...";
     Server.stop server;
     Db.close db;
+    dump_metrics ();
     exit 0
   in
   Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
@@ -221,13 +242,31 @@ let serve_partitions =
     value & opt int 2
     & info [ "p"; "partitions" ] ~docv:"N" ~doc:"Domain-backed partitions to serve.")
 
+let wal_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable durability (DESIGN.md §13): per-partition write-ahead logs and checkpoints in \
+           $(docv).  Acknowledged writes survive crashes; restarting with the same $(docv) and \
+           partition count replays them.")
+
+let checkpoint_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-mb" ] ~docv:"MB"
+        ~doc:"Auto-checkpoint a partition once its log exceeds $(docv) MiB (default 64).")
+
 let serve_cmd =
   let doc = "serve the key/value wire protocol over TCP" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ host_arg
       $ port_arg 7501 "Port to listen on (0 picks a free port)."
-      $ serve_partitions $ index_kind $ merge_ratio)
+      $ serve_partitions $ index_kind $ merge_ratio $ wal_dir_arg $ checkpoint_mb_arg
+      $ metrics_json)
 
 (* --- client: one-shot operations against a running server --- *)
 

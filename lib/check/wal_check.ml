@@ -1,0 +1,269 @@
+(* Generators and properties for the write-ahead log (DESIGN.md §13).
+
+   Everything reproduces from one Xorshift seed.  Three layers:
+
+   - codec: random {!Hi_hstore.Redo} records roundtrip through
+     encode/decode, and strict decode rejects trailing bytes.
+   - file: logs written through {!Hi_wal.Wal} survive re-reading; a
+     byte-level truncation (the torn-tail crash model) yields exactly the
+     whole records before the cut; a single flipped byte drops exactly
+     the frame it lands in and everything after — never a wrong record,
+     never an exception.
+   - crash-point differential: a random transaction history (puts,
+     deletes, multi-op transactions, user aborts) runs on an engine with
+     a WAL attached while a sorted-map oracle tracks every committed
+     state; then EVERY record-boundary prefix of the log replays into a
+     fresh engine and must land exactly on the oracle's state at that
+     commit point.  This is the recovery invariant: a crash between any
+     two group commits loses nothing but the unacknowledged tail. *)
+
+open Hi_util
+open Hi_hstore
+module Wal = Hi_wal.Wal
+
+(* NaN-safe structural equality (bit-exact float roundtrip is the codec's
+   job; [compare] treats NaN as equal to itself where [=] does not). *)
+let eq a b = compare a b = 0
+
+(* -- codec generators ----------------------------------------------------- *)
+
+let gen_bytes rng maxlen =
+  let n = Xorshift.int rng (maxlen + 1) in
+  String.init n (fun _ -> Char.chr (Xorshift.int rng 256))
+
+let gen_value rng : Value.t =
+  match Xorshift.int rng 8 with
+  | 0 -> Null
+  | 1 | 2 -> Int (Xorshift.next_int rng asr Xorshift.int rng 62)
+  | 3 -> Float ((Xorshift.float01 rng -. 0.5) *. 1e12)
+  | 4 -> Float (Int64.float_of_bits (Xorshift.next_u64 rng)) (* any bits, NaNs included *)
+  | _ -> Str (gen_bytes rng 48)
+
+let gen_op rng : Redo.op =
+  let table = "t" ^ gen_bytes rng 12 in
+  if Xorshift.bool rng then
+    Put { table; row = Array.init (Xorshift.int rng 8) (fun _ -> gen_value rng) }
+  else Del { table; pk = List.init (Xorshift.int rng 4) (fun _ -> gen_value rng) }
+
+let gen_record rng : Redo.record =
+  let ops () = List.init (Xorshift.int rng 6) (fun _ -> gen_op rng) in
+  match Xorshift.int rng 4 with
+  | 0 | 1 -> Commit (ops ())
+  | 2 -> Prepare { txn = Xorshift.int rng 1_000_000; ops = ops () }
+  | _ -> Decide { txn = Xorshift.int rng 1_000_000 }
+
+(* encode |> decode is the identity; appending a byte must be rejected
+   (strict framing is what keeps mis-framed torn tails from decoding). *)
+let record_roundtrip rng =
+  let r = gen_record rng in
+  let enc = Redo.encode r in
+  match Redo.decode enc with
+  | Error m -> Error ("decode failed: " ^ m)
+  | Ok r' when not (eq r r') -> Error "decoded record differs"
+  | Ok _ -> (
+    match Redo.decode (enc ^ "\x00") with
+    | Ok _ -> Error "trailing byte accepted"
+    | Error _ -> if enc = "" then Error "empty encoding" else Ok ())
+
+(* -- file-level properties ------------------------------------------------ *)
+
+let gen_payloads rng =
+  let n = 1 + Xorshift.int rng 20 in
+  List.init n (fun _ -> gen_bytes rng 200)
+
+let write_log path payloads =
+  (try Sys.remove path with Sys_error _ -> ());
+  let w = Wal.create path in
+  List.iter (Wal.append w) payloads;
+  ignore (Wal.sync w);
+  Wal.close w
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Frame boundaries (cumulative byte offsets) of a payload list. *)
+let boundaries payloads =
+  List.rev
+    (List.fold_left (fun acc p -> (List.hd acc + String.length p + 8) :: acc) [ 0 ] payloads)
+
+let rec prefix k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: prefix (k - 1) rest
+
+(* Append-then-read is the identity, and reopening for append preserves
+   earlier records across batches. *)
+let file_roundtrip ~dir rng =
+  let path = Filename.concat dir (Printf.sprintf "rt%d.log" (Xorshift.int rng 1_000_000)) in
+  let a = gen_payloads rng and b = gen_payloads rng in
+  write_log path a;
+  let w = Wal.create path in
+  (* second batch through a reopened writer *)
+  List.iter (Wal.append w) b;
+  ignore (Wal.sync w);
+  Wal.close w;
+  let records, tail = Wal.read path in
+  if tail <> Wal.Clean then Error ("unexpected tail: " ^ Wal.tail_to_string tail)
+  else if not (eq records (a @ b)) then
+    Error (Printf.sprintf "read %d records, wrote %d" (List.length records) (List.length (a @ b)))
+  else Ok ()
+
+(* Cut the file at an arbitrary byte (the torn-write crash model): the
+   reader must surface exactly the whole records before the cut, and
+   report the tail torn unless the cut fell on a frame boundary. *)
+let truncated_tail ~dir rng =
+  let path = Filename.concat dir (Printf.sprintf "tt%d.log" (Xorshift.int rng 1_000_000)) in
+  let payloads = gen_payloads rng in
+  write_log path payloads;
+  let bytes = read_file path in
+  let size = String.length bytes in
+  let cut = Xorshift.int rng (size + 1) in
+  write_file path (String.sub bytes 0 cut);
+  let bounds = boundaries payloads in
+  let keep = List.length (List.filter (fun b -> b <= cut && b > 0) bounds) in
+  let records, tail = Wal.read path in
+  let want = prefix keep payloads in
+  if not (eq records want) then
+    Error (Printf.sprintf "cut %d/%d: read %d records, want %d" cut size (List.length records) keep)
+  else
+    let on_boundary = List.mem cut bounds in
+    match tail with
+    | Wal.Clean when on_boundary -> Ok ()
+    | Wal.Torn { dropped_bytes } when (not on_boundary) && dropped_bytes > 0 -> Ok ()
+    | t -> Error (Printf.sprintf "cut %d/%d: tail %s" cut size (Wal.tail_to_string t))
+
+(* Flip one byte anywhere: the CRC (or the bounded length check) must
+   drop exactly the frame the flip lands in and everything after it —
+   corruption truncates to a valid prefix, it never fabricates data. *)
+let corrupt_byte ~dir rng =
+  let path = Filename.concat dir (Printf.sprintf "cb%d.log" (Xorshift.int rng 1_000_000)) in
+  let payloads = gen_payloads rng in
+  write_log path payloads;
+  let bytes = read_file path in
+  let pos = Xorshift.int rng (String.length bytes) in
+  let delta = 1 + Xorshift.int rng 255 in
+  write_file path
+    (String.mapi
+       (fun i c -> if i = pos then Char.chr ((Char.code c + delta) land 0xff) else c)
+       bytes);
+  (* index of the frame containing the flipped byte *)
+  let keep = List.length (List.filter (fun b -> b <= pos && b > 0) (boundaries payloads)) in
+  let records, tail = Wal.read path in
+  if not (eq records (prefix keep payloads)) then
+    Error
+      (Printf.sprintf "flip at %d (+%d): read %d records, want %d" pos delta
+         (List.length records) keep)
+  else
+    match tail with
+    | Wal.Torn _ -> Ok ()
+    | Wal.Clean -> Error (Printf.sprintf "flip at %d (+%d): tail reads clean" pos delta)
+
+(* -- crash-point differential --------------------------------------------- *)
+
+module M = Map.Make (String)
+
+let kv_schema =
+  Schema.make ~name:"kv" ~columns:[ ("k", Value.TStr 16); ("v", Value.TInt) ] ~pk:[ "k" ] ()
+
+let fresh_engine () =
+  let engine = Engine.create () in
+  ignore (Engine.create_table engine kv_schema);
+  engine
+
+let apply_put engine tbl k v =
+  match Table.find_by_pk tbl [ Value.Str k ] with
+  | Some rowid -> Engine.update engine tbl rowid [ (1, Value.Int v) ]
+  | None -> ignore (Engine.insert engine tbl [| Value.Str k; Value.Int v |])
+
+let apply_del engine tbl k =
+  match Table.find_by_pk tbl [ Value.Str k ] with
+  | Some rowid -> Engine.delete engine tbl rowid
+  | None -> ()
+
+let dump tbl =
+  let acc = ref [] in
+  Table.iter_live tbl (fun _ row -> acc := (Value.as_str row.(0), Value.as_int row.(1)) :: !acc);
+  List.sort compare !acc
+
+(* Run a random committed/aborted transaction history against an engine
+   with a WAL, tracking the oracle state at every commit; then replay
+   every record-boundary prefix of the log into a fresh engine and
+   compare.  One record per transaction, so prefix [k] of the log must
+   equal the oracle after the [k]-th commit — the crash-recovery
+   invariant for a crash between any two group commits. *)
+let crash_points ~dir rng =
+  let path = Filename.concat dir (Printf.sprintf "cp%d.log" (Xorshift.int rng 1_000_000)) in
+  (try Sys.remove path with Sys_error _ -> ());
+  let engine = fresh_engine () in
+  let tbl = Engine.table engine "kv" in
+  let wal = Wal.create path in
+  Engine.attach_wal engine wal;
+  let key () = Printf.sprintf "k%02d" (Xorshift.int rng 12) in
+  let oracle = ref M.empty in
+  let snapshots = ref [ !oracle ] in
+  (* newest first; index from the end = #commits *)
+  let n_txns = 30 + Xorshift.int rng 40 in
+  for _ = 1 to n_txns do
+    let ops =
+      List.init
+        (1 + Xorshift.int rng 3)
+        (fun _ ->
+          let k = key () in
+          if Xorshift.int rng 4 = 0 then (k, None) else (k, Some (Xorshift.int rng 1000)))
+    in
+    let abort = Xorshift.int rng 6 = 0 in
+    let r =
+      Engine.run engine (fun e ->
+          List.iter
+            (fun (k, vo) ->
+              match vo with Some v -> apply_put e tbl k v | None -> apply_del e tbl k)
+            ops;
+          if abort then raise (Engine.Abort "crash-point generator"))
+    in
+    let synced = Engine.sync_wal engine in
+    (match r with
+    | Ok () ->
+      oracle :=
+        List.fold_left
+          (fun m (k, vo) -> match vo with Some v -> M.add k v m | None -> M.remove k m)
+          !oracle ops
+    | Error _ -> ());
+    if synced = 1 then snapshots := !oracle :: !snapshots
+    else if synced <> 0 then failwith "crash_points: more than one record per transaction"
+  done;
+  Wal.close wal;
+  let records, tail = Wal.read path in
+  let snaps = Array.of_list (List.rev !snapshots) in
+  if tail <> Wal.Clean then Error ("log tail not clean: " ^ Wal.tail_to_string tail)
+  else if List.length records <> Array.length snaps - 1 then
+    Error
+      (Printf.sprintf "%d records but %d commit points" (List.length records)
+         (Array.length snaps - 1))
+  else begin
+    let failure = ref None in
+    for k = 0 to List.length records do
+      if !failure = None then begin
+        let replica = fresh_engine () in
+        let report = Engine.replay replica ~decided:(fun _ -> false) (prefix k records) in
+        let got = dump (Engine.table replica "kv") in
+        let want = M.bindings snaps.(k) in
+        if report.Engine.malformed > 0 then
+          failure := Some (Printf.sprintf "prefix %d: %d malformed" k report.Engine.malformed)
+        else if not (eq got want) then
+          failure :=
+            Some
+              (Printf.sprintf "prefix %d: replica has %d rows, oracle %d" k (List.length got)
+                 (List.length want))
+      end
+    done;
+    match !failure with Some m -> Error m | None -> Ok ()
+  end

@@ -65,6 +65,8 @@ type stats = {
   mutable lost_block_aborts : int; (* transactions failed on unrecoverable blocks *)
 }
 
+module Wal = Hi_wal.Wal
+
 type t = {
   config : config;
   tables : (string, Table.t) Hashtbl.t;
@@ -74,6 +76,12 @@ type t = {
   mutable txns_since_eviction_check : int;
   mutable undo : (unit -> unit) list;
   mutable in_prepared : bool; (* a prepared sub-transaction awaits its verdict *)
+  mutable redo : Redo.op list; (* current transaction's writes, newest first *)
+  mutable prepared_ops : Redo.op list option;
+      (* redo of a transaction prepared without a 2PC log id: not yet
+         logged, written as a Commit record by [commit_prepared] *)
+  mutable wal : Wal.t option;
+  mutable acks : (unit -> unit) list; (* deferred until the next [sync_wal] *)
   stats : stats;
 }
 
@@ -87,6 +95,10 @@ let create ?(config = default_config) ?sleep () =
     txns_since_eviction_check = 0;
     undo = [];
     in_prepared = false;
+    redo = [];
+    prepared_ops = None;
+    wal = None;
+    acks = [];
     stats = { committed = 0; user_aborts = 0; evicted_restarts = 0; lost_block_aborts = 0 };
   }
 
@@ -130,28 +142,81 @@ let table t name =
 let tables_in_order t =
   List.map (fun n -> table t n) (Array.to_list (Hi_util.Vec.to_array t.table_order))
 
-(* --- transactional table operations (undo-logged) --- *)
+(* --- transactional table operations (undo- and redo-logged) ---
+
+   Redo is captured as values, not rowids (see redo.ml): a [Put] is the
+   full post-image, a [Del] the primary-key values, so replay does not
+   depend on rowid allocation, which aborted transactions perturb. *)
 
 let push_undo t f = t.undo <- f :: t.undo
+
+let pk_values tbl row =
+  List.map (fun c -> row.(c)) (Table.schema tbl).Schema.primary_key.Schema.idx_cols
 
 let insert t tbl vals =
   let rowid = Table.insert tbl vals in
   push_undo t (fun () -> ignore (Table.delete tbl rowid));
+  t.redo <- Redo.Put { table = Table.name tbl; row = Array.copy vals } :: t.redo;
   rowid
 
 let update t tbl rowid updates =
   let old = Table.update tbl rowid updates in
-  push_undo t (fun () -> Table.restore tbl rowid old)
+  push_undo t (fun () -> Table.restore tbl rowid old);
+  let post = Array.copy old in
+  List.iter (fun (c, v) -> post.(c) <- v) updates;
+  t.redo <- Redo.Put { table = Table.name tbl; row = post } :: t.redo
 
 let delete t tbl rowid =
   let old = Table.delete tbl rowid in
-  push_undo t (fun () -> ignore (Table.insert tbl old))
+  push_undo t (fun () -> ignore (Table.insert tbl old));
+  t.redo <- Redo.Del { table = Table.name tbl; pk = pk_values tbl old } :: t.redo
 
 let read _t tbl rowid = Table.read tbl rowid
 
 let rollback t =
   List.iter (fun f -> f ()) t.undo;
-  t.undo <- []
+  t.undo <- [];
+  t.redo <- []
+
+(* --- write-ahead logging (DESIGN.md §13) ---
+
+   The engine only buffers: [run]/[commit_prepared] append one Commit
+   record per committed transaction and acknowledgments queue in [acks];
+   the owner (a partition domain) calls [sync_wal] at its batching
+   boundaries so one fsync covers the whole group.  Without a WAL
+   attached everything is a no-op and acks fire immediately. *)
+
+let attach_wal t w = t.wal <- Some w
+let wal t = t.wal
+
+(* Run [k] once everything committed so far is durable: immediately when
+   there is no WAL or nothing is waiting on a sync, else at the end of
+   the next [sync_wal]. *)
+let on_durable t k =
+  match t.wal with
+  | None -> k ()
+  | Some w -> if Wal.pending w = 0 && t.acks = [] then k () else t.acks <- k :: t.acks
+
+let pending_acks t = List.length t.acks
+
+(* Group commit barrier.  The deferred acks run even when the sync fails
+   (clients get an answer either way); the exception still propagates so
+   the owner records the partition failure. *)
+let sync_wal t =
+  match t.wal with
+  | None -> 0
+  | Some w ->
+    let acks = List.rev t.acks in
+    t.acks <- [];
+    Fun.protect ~finally:(fun () -> List.iter (fun k -> k ()) acks) (fun () -> Wal.sync w)
+
+(* Append the current transaction's redo as one Commit record — one
+   record per transaction, so a torn tail can never replay half of one. *)
+let log_commit t =
+  (match t.wal with
+  | Some w when t.redo <> [] -> Wal.append w (Redo.encode (Redo.Commit (List.rev t.redo)))
+  | _ -> ());
+  t.redo <- []
 
 (* --- memory accounting (Table 1, Fig 8/9 breakdowns) --- *)
 
@@ -273,6 +338,7 @@ let txn_error_to_string = function
 let attempt_loop t f ~on_success =
   let rec attempt tries =
     t.undo <- [];
+    t.redo <- [];
     match f t with
     | result -> Ok (on_success result)
     | exception Table.Evicted_access { table = tname; block } -> (
@@ -311,6 +377,7 @@ let run t f =
   if t.in_prepared then invalid_arg "Engine.run: a prepared transaction is pending";
   attempt_loop t f ~on_success:(fun result ->
       t.undo <- [];
+      log_commit t;
       t.stats.committed <- t.stats.committed + 1;
       Metrics.incr m_committed;
       maybe_evict t;
@@ -327,16 +394,42 @@ let run t f =
    its own domain, the prepared window never blocks other partitions —
    only later work on this one. *)
 
-let prepare t f =
+let prepare ?log_id t f =
   if t.in_prepared then invalid_arg "Engine.prepare: a prepared transaction is pending";
   let result = attempt_loop t f ~on_success:(fun result -> result) in
-  (match result with Ok _ -> t.in_prepared <- true | Error _ -> ());
+  (match result with
+  | Ok _ -> (
+    t.in_prepared <- true;
+    let ops = List.rev t.redo in
+    t.redo <- [];
+    t.prepared_ops <- None;
+    match (t.wal, log_id) with
+    | Some w, Some txn when ops <> [] -> (
+      (* 2PC prepare phase: this participant's redo must be durable
+         before it may vote yes — the coordinator's Decide record, not
+         ours, is the commit point, so recovery needs the Prepare on disk
+         whenever a Decide exists (presumed abort). *)
+      Wal.append w (Redo.encode (Redo.Prepare { txn; ops }));
+      try ignore (sync_wal t)
+      with e ->
+        (* durability not achieved: withdraw the prepare so the verdict
+           owed to the coordinator becomes a plain failure *)
+        t.in_prepared <- false;
+        rollback t;
+        raise e)
+    | Some _, None -> t.prepared_ops <- Some ops (* logged at commit as a Commit record *)
+    | _ -> ())
+  | Error _ -> t.redo <- []);
   result
 
 let commit_prepared t =
   if not t.in_prepared then invalid_arg "Engine.commit_prepared: nothing prepared";
   t.in_prepared <- false;
   t.undo <- [];
+  (match (t.wal, t.prepared_ops) with
+  | Some w, Some ops when ops <> [] -> Wal.append w (Redo.encode (Redo.Commit ops))
+  | _ -> ());
+  t.prepared_ops <- None;
   t.stats.committed <- t.stats.committed + 1;
   Metrics.incr m_committed;
   maybe_evict t
@@ -344,6 +437,7 @@ let commit_prepared t =
 let abort_prepared t =
   if not t.in_prepared then invalid_arg "Engine.abort_prepared: nothing prepared";
   t.in_prepared <- false;
+  t.prepared_ops <- None;
   rollback t
 
 (* --- deferred merge scheduling (DESIGN.md §11) --- *)
@@ -373,7 +467,9 @@ type recovery_report = {
    blocks. *)
 let recover t =
   t.undo <- [];
+  t.redo <- [];
   t.in_prepared <- false;
+  t.prepared_ops <- None;
   List.fold_left
     (fun acc tbl ->
       let r = Table.recover tbl t.anticache in
@@ -400,6 +496,75 @@ let recover t =
 let verify_integrity t =
   flush_indexes t;
   List.concat_map (fun tbl -> Table.verify tbl t.anticache) (tables_in_order t)
+
+(* --- WAL replay & checkpointing (DESIGN.md §13) --- *)
+
+(* Apply one redo op by primary key.  Put replaces the whole row
+   (delete + insert keeps every index consistent even when the post-image
+   changes indexed columns); Del of a missing key is a no-op.  Both are
+   idempotent, so replaying a log over state that already contains a
+   prefix of it — the checkpoint-then-truncate crash window — converges. *)
+let apply_op t = function
+  | Redo.Put { table = tname; row } -> (
+    let tbl = table t tname in
+    (match Table.find_by_pk tbl (pk_values tbl row) with
+    | Some rowid -> ignore (Table.delete tbl rowid)
+    | None -> ());
+    ignore (Table.insert tbl row))
+  | Redo.Del { table = tname; pk } -> (
+    let tbl = table t tname in
+    match Table.find_by_pk tbl pk with
+    | Some rowid -> ignore (Table.delete tbl rowid)
+    | None -> ())
+
+type replay_report = {
+  replayed : int; (* transactions applied *)
+  skipped_undecided : int; (* Prepare records with no commit decision *)
+  malformed : int; (* CRC-valid frames that failed to decode *)
+  max_txn : int; (* largest 2PC id seen; -1 when none *)
+}
+
+(* Replay CRC-verified records (checkpoint first, then the log) into the
+   tables.  [decided] is the coordinator's decision set: a Prepare is
+   applied only when its transaction has a durable Decide — presumed
+   abort otherwise.  Decide records never appear in partition logs, but
+   skipping them keeps replay total over any record stream. *)
+let replay t ~decided records =
+  let report = { replayed = 0; skipped_undecided = 0; malformed = 0; max_txn = -1 } in
+  List.fold_left
+    (fun acc payload ->
+      match Redo.decode payload with
+      | Ok (Redo.Commit ops) ->
+        List.iter (apply_op t) ops;
+        { acc with replayed = acc.replayed + 1 }
+      | Ok (Redo.Prepare { txn; ops }) ->
+        let acc = { acc with max_txn = max acc.max_txn txn } in
+        if decided txn then begin
+          List.iter (apply_op t) ops;
+          { acc with replayed = acc.replayed + 1 }
+        end
+        else { acc with skipped_undecided = acc.skipped_undecided + 1 }
+      | Ok (Redo.Decide { txn }) -> { acc with max_txn = max acc.max_txn txn }
+      | Error _ -> { acc with malformed = acc.malformed + 1 })
+    report records
+
+let has_evicted_rows t =
+  List.exists (fun tbl -> Table.evicted_rows tbl > 0) (tables_in_order t)
+
+(* Write a snapshot of every live row as replayable Commit records, one
+   row per record, atomically (tmp + fsync + rename).  The caller
+   truncates the log only after this returns; a crash in between merely
+   replays the log over the snapshot, which [apply_op] makes idempotent.
+   Callers must skip checkpointing while rows are evicted
+   ([has_evicted_rows]) — the snapshot enumerates live rows only. *)
+let write_checkpoint t ~path =
+  Wal.write_file_atomic ~path (fun emit ->
+      List.iter
+        (fun tbl ->
+          let tname = Table.name tbl in
+          Table.iter_live tbl (fun _rowid row ->
+              emit (Redo.encode (Redo.Commit [ Redo.Put { table = tname; row } ]))))
+        (tables_in_order t))
 
 let stats t = t.stats
 let anticache t = t.anticache

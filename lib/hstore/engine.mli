@@ -92,12 +92,19 @@ val run : t -> (t -> 'a) -> ('a, txn_error) result
 
 (** {1 Two-phase execution (cross-partition transactions, DESIGN.md §11)} *)
 
-val prepare : t -> (t -> 'a) -> ('a, txn_error) result
+val prepare : ?log_id:int -> t -> (t -> 'a) -> ('a, txn_error) result
 (** Execute a sub-transaction body with {!run}'s abort/restart protocol
     but, on success, leave its undo log pending: the engine refuses
     further {!run}/{!prepare} calls until the coordinator decides.
     [Error _] means the sub-transaction already rolled back and no verdict
     is owed.
+
+    With a WAL attached and [log_id] given (the 2PC transaction id), a
+    successful prepare writes a durable [Prepare] record {e before}
+    returning — the yes vote — so the coordinator's decision log is the
+    commit point (DESIGN.md §13).  If the sync fails, the prepare is
+    rolled back and the failure re-raised.  Without [log_id] the redo is
+    stashed and {!commit_prepared} logs it as an ordinary commit.
     @raise Invalid_argument while another prepared transaction is pending. *)
 
 val commit_prepared : t -> unit
@@ -109,6 +116,55 @@ val abort_prepared : t -> unit
 (** Roll the pending prepared transaction back (coordinator-initiated
     abort; not counted as a user abort).
     @raise Invalid_argument if nothing is prepared. *)
+
+(** {1 Durability: write-ahead logging (DESIGN.md §13)}
+
+    With a WAL attached, every committed transaction appends one logical
+    redo record (full post-image per [Put], primary-key values per
+    [Del]); the owner calls {!sync_wal} at its batching boundaries so one
+    fsync covers a whole group of transactions (group commit).
+    Acknowledgments registered with {!on_durable} are deferred until that
+    barrier.  Without a WAL all of this is free: acks fire immediately
+    and nothing is logged. *)
+
+val attach_wal : t -> Hi_wal.Wal.t -> unit
+val wal : t -> Hi_wal.Wal.t option
+
+val on_durable : t -> (unit -> unit) -> unit
+(** Run the callback once everything committed so far is durable:
+    immediately when no WAL is attached or nothing awaits a sync, else at
+    the end of the next {!sync_wal} (even a failed one — see below). *)
+
+val sync_wal : t -> int
+(** Group commit barrier: flush buffered records with one write + fsync
+    and release every {!on_durable} callback.  Returns how many records
+    became durable.  On {!Hi_wal.Wal.Io_error} the callbacks still run —
+    clients get their (now unreliable) answers rather than hanging — and
+    the exception propagates so the owner records the failure. *)
+
+val pending_acks : t -> int
+(** Callbacks waiting on the next {!sync_wal}. *)
+
+type replay_report = {
+  replayed : int;  (** transactions applied *)
+  skipped_undecided : int;  (** [Prepare] records with no commit decision *)
+  malformed : int;  (** CRC-valid frames that failed to decode *)
+  max_txn : int;  (** largest 2PC transaction id seen; [-1] when none *)
+}
+
+val replay : t -> decided:(int -> bool) -> string list -> replay_report
+(** Replay CRC-verified records (checkpoint records first, then the log)
+    into the tables.  [Commit] applies unconditionally; [Prepare] only
+    when [decided txn] — presumed abort.  Idempotent: replaying records
+    already reflected in the tables converges to the same state. *)
+
+val write_checkpoint : t -> path:string -> unit
+(** Atomically snapshot every live row as replayable records (tmp +
+    fsync + rename).  Truncate the log only after this returns.  Callers
+    must skip checkpointing while {!has_evicted_rows}: the snapshot
+    enumerates live rows only. *)
+
+val has_evicted_rows : t -> bool
 
 (** {1 Deferred merge scheduling (DESIGN.md §11)} *)
 

@@ -1,0 +1,179 @@
+(* Logical redo records for the write-ahead log (DESIGN.md §13).
+
+   The engine logs values, not rowids: a [Put] carries the full
+   post-image row and a [Del] the primary-key values, so replay is
+   insensitive to rowid allocation (aborted transactions perturb the free
+   list, so physical rowids are not reproducible from the committed
+   history alone) and re-applying a record over already-recovered state
+   is idempotent — replaying the whole log in order over any of its own
+   prefixes lands on the same final state, which is what makes the
+   checkpoint-then-truncate window crash-safe.
+
+   Record kinds:
+   - [Commit ops]: a single-partition transaction's writes; replay
+     applies it unconditionally.  One record per transaction, so a torn
+     tail can never surface half a transaction.
+   - [Prepare {txn; ops}]: one participant's share of a cross-partition
+     transaction, logged durably during the 2PC prepare phase.  Replay
+     applies it only if the coordinator's decision log holds
+     [Decide {txn}] — presumed abort otherwise.
+   - [Decide {txn}]: the coordinator's commit decision, written to the
+     router-owned decision log; the commit point of a cross-partition
+     transaction.
+
+   The byte format follows the Wire encoding discipline (strict decode,
+   typed tags, bounded counts); framing and checksums are the Wal
+   layer's job. *)
+
+exception Decode_error of string
+
+type op =
+  | Put of { table : string; row : Value.t array }
+  | Del of { table : string; pk : Value.t list }
+
+type record =
+  | Commit of op list
+  | Prepare of { txn : int; ops : op list }
+  | Decide of { txn : int }
+
+(* -- encoding ------------------------------------------------------------ *)
+
+let put_str16 b s =
+  if String.length s > 0xffff then invalid_arg "Redo: oversized string";
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let put_str32 b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+let put_value b (v : Value.t) =
+  match v with
+  | Null -> Buffer.add_uint8 b 0
+  | Int n ->
+    Buffer.add_uint8 b 1;
+    Buffer.add_int64_be b (Int64.of_int n)
+  | Float f ->
+    Buffer.add_uint8 b 2;
+    Buffer.add_int64_be b (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_uint8 b 3;
+    put_str32 b s
+
+let put_op b = function
+  | Put { table; row } ->
+    Buffer.add_uint8 b 1;
+    put_str16 b table;
+    Buffer.add_uint16_be b (Array.length row);
+    Array.iter (put_value b) row
+  | Del { table; pk } ->
+    Buffer.add_uint8 b 2;
+    put_str16 b table;
+    Buffer.add_uint16_be b (List.length pk);
+    List.iter (put_value b) pk
+
+let put_ops b ops =
+  Buffer.add_int32_be b (Int32.of_int (List.length ops));
+  List.iter (put_op b) ops
+
+let encode record =
+  let b = Buffer.create 128 in
+  (match record with
+  | Commit ops ->
+    Buffer.add_uint8 b 1;
+    put_ops b ops
+  | Prepare { txn; ops } ->
+    Buffer.add_uint8 b 2;
+    Buffer.add_int64_be b (Int64.of_int txn);
+    put_ops b ops
+  | Decide { txn } ->
+    Buffer.add_uint8 b 3;
+    Buffer.add_int64_be b (Int64.of_int txn));
+  Buffer.contents b
+
+(* -- decoding (strict: truncation, bad tags and trailing bytes all fail) - *)
+
+type cur = { s : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.s then raise (Decode_error "truncated record")
+
+let u8 c =
+  need c 1;
+  let v = String.get_uint8 c.s c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = String.get_uint16_be c.s c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c =
+  need c 8;
+  let v = String.get_int64_be c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let str16 c =
+  let n = u16 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let str32 c =
+  let n = u32 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_value c : Value.t =
+  match u8 c with
+  | 0 -> Null
+  | 1 -> Int (Int64.to_int (i64 c))
+  | 2 -> Float (Int64.float_of_bits (i64 c))
+  | 3 -> Str (str32 c)
+  | t -> raise (Decode_error (Printf.sprintf "unknown value tag %d" t))
+
+let get_op c =
+  match u8 c with
+  | 1 ->
+    let table = str16 c in
+    let n = u16 c in
+    Put { table; row = Array.init n (fun _ -> get_value c) }
+  | 2 ->
+    let table = str16 c in
+    let n = u16 c in
+    Del { table; pk = List.init n (fun _ -> get_value c) }
+  | t -> raise (Decode_error (Printf.sprintf "unknown op tag %d" t))
+
+let get_ops c =
+  let n = u32 c in
+  if n > 1 lsl 20 then raise (Decode_error "oversized op count");
+  List.init n (fun _ -> get_op c)
+
+let decode s =
+  let c = { s; pos = 0 } in
+  match
+    let r =
+      match u8 c with
+      | 1 -> Commit (get_ops c)
+      | 2 ->
+        let txn = Int64.to_int (i64 c) in
+        Prepare { txn; ops = get_ops c }
+      | 3 -> Decide { txn = Int64.to_int (i64 c) }
+      | t -> raise (Decode_error (Printf.sprintf "unknown record kind %d" t))
+    in
+    if c.pos <> String.length s then raise (Decode_error "trailing bytes");
+    r
+  with
+  | r -> Ok r
+  | exception Decode_error m -> Error m

@@ -1,0 +1,33 @@
+(** Logical redo records for the write-ahead log (DESIGN.md §13).
+
+    Value logging, not rowid logging: [Put] carries the full post-image
+    row, [Del] the primary-key values, so replay is independent of rowid
+    allocation and idempotent under re-application (the
+    checkpoint-then-truncate crash window relies on this).  Encoding
+    follows the Wire discipline: typed tags, strict decode, trailing
+    bytes rejected.  Framing and checksums live in {!Hi_wal.Wal}. *)
+
+exception Decode_error of string
+
+type op =
+  | Put of { table : string; row : Value.t array }
+      (** upsert: the committed post-image of one row *)
+  | Del of { table : string; pk : Value.t list }
+      (** delete by primary-key values *)
+
+type record =
+  | Commit of op list
+      (** one single-partition transaction; applied unconditionally *)
+  | Prepare of { txn : int; ops : op list }
+      (** one participant's share of cross-partition transaction [txn];
+          applied only when the decision log holds [Decide {txn}]
+          (presumed abort) *)
+  | Decide of { txn : int }
+      (** coordinator commit decision — the commit point of a
+          cross-partition transaction; lives in the router's decision
+          log *)
+
+val encode : record -> string
+
+val decode : string -> (record, string) result
+(** Strict inverse of {!encode}; never raises. *)

@@ -181,6 +181,15 @@ let scan_index_prefix_eq t iname ~prefix ~limit =
 
 (* --- anti-caching hooks --- *)
 
+(* Visit every live row without bumping the access clock: checkpoint
+   enumeration must not make everything look recently used. *)
+let iter_live t f =
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Live row -> f rowid row.vals
+    | Evicted_slot _ | Free -> ()
+  done
+
 (* Pick the [target] coldest live rows (smallest last_access). *)
 let coldest_rows t target =
   let acc = ref [] in

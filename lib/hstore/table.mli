@@ -62,6 +62,11 @@ val scan_index : t -> string -> prefix:Value.t list -> limit:int -> int list
 val scan_index_prefix_eq : t -> string -> prefix:Value.t list -> limit:int -> int list
 (** Rowids whose index key starts with exactly the prefix columns. *)
 
+val iter_live : t -> (int -> Value.t array -> unit) -> unit
+(** Visit every live row (rowid and values) without bumping the access
+    clock — checkpoint enumeration (DESIGN.md §13) must not disturb
+    eviction order.  Evicted tombstones and free slots are skipped. *)
+
 (** {1 Anti-caching hooks (paper §7.1)} *)
 
 val coldest_rows : t -> int -> int list

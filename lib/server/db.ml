@@ -115,11 +115,15 @@ let kv_of_row row =
 
 type t = { router : Router.t; tables : Table.t array }
 
-let create ?(mode = Router.Parallel) ?config ?sleep ~partitions () =
+let create ?(mode = Router.Parallel) ?config ?sleep ?wal_dir ?checkpoint_bytes ?wal_fault
+    ~partitions () =
   if partitions <= 0 then invalid_arg "Db.create: partitions must be positive";
+  let durability =
+    Option.map (fun dir -> Router.durability ?checkpoint_bytes ?fault:wal_fault dir) wal_dir
+  in
   let tables = Array.make partitions None in
   let router =
-    Router.create ~mode ?config ?sleep ~partitions
+    Router.create ~mode ?config ?sleep ?durability ~partitions
       ~init:(fun i engine -> tables.(i) <- Some (Engine.create_table engine kv_schema))
       ()
   in
@@ -132,6 +136,8 @@ let router t = t.router
 let num_partitions t = Array.length t.tables
 let route t key = Router.route_key t.router key
 let close t = Router.stop t.router
+let recovery t = Router.recovery t.router
+let checkpoint t = Router.checkpoint t.router
 
 (* -- validation ---------------------------------------------------------- *)
 

@@ -71,15 +71,32 @@ val create :
   ?mode:Hi_shard.Router.mode ->
   ?config:Engine.config ->
   ?sleep:(float -> unit) ->
+  ?wal_dir:string ->
+  ?checkpoint_bytes:int ->
+  ?wal_fault:Hi_util.Fault.t ->
   partitions:int ->
   unit ->
   t
 (** Build a database: a router over [partitions] engines, each holding
     one [kv] table.  [Parallel] mode (the default) runs a domain per
-    partition. *)
+    partition.
+
+    With [wal_dir] set, every acknowledged write is durable (DESIGN.md
+    §13): commits append to a per-partition write-ahead log and responses
+    wait for the group-commit fsync; startup replays whatever logs and
+    checkpoints the directory holds, so reopening the same [wal_dir]
+    (with the same [partitions] count) recovers every acknowledged write.
+    [checkpoint_bytes] caps per-partition log growth; [wal_fault] injects
+    disk faults for tests. *)
 
 val router : t -> Hi_shard.Router.t
 val num_partitions : t -> int
+
+val recovery : t -> Hi_shard.Router.recovery option
+(** What startup recovery replayed; [None] without [wal_dir]. *)
+
+val checkpoint : t -> int
+(** Snapshot and truncate the logs (see {!Hi_shard.Router.checkpoint}). *)
 
 val route : t -> string -> int
 (** Owner partition of a key. *)

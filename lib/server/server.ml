@@ -255,5 +255,9 @@ let stop t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     Option.iter Domain.join t.accept_domain;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    List.iter (fun (_, th) -> Thread.join th) t.conns
+    List.iter (fun (_, th) -> Thread.join th) t.conns;
+    (* every connection's window has drained; force one final
+       group-commit barrier so no acknowledged write is still buffered
+       when the server reports itself stopped (DESIGN.md §13) *)
+    Hi_shard.Router.sync_all (Db.router t.db)
   end

@@ -25,6 +25,9 @@ type t = {
   jobs : job Mailbox.t;
   mutable domain : unit Domain.t option;
   mutable failure : exn option; (* first job exception, re-raised at [stop] *)
+  mutable checkpoint_hook : (Engine.t -> unit) option;
+      (* installed by the router when durability is on; called at idle
+         points to cap WAL growth (DESIGN.md §13) *)
   m_jobs : Hi_util.Metrics.counter;
   m_bg_merges : Hi_util.Metrics.counter;
 }
@@ -37,6 +40,7 @@ let create ?(config = Engine.default_config) ?sleep ~id () =
     jobs = Mailbox.create ();
     domain = None;
     failure = None;
+    checkpoint_hook = None;
     m_jobs = Hi_util.Metrics.counter scope "jobs";
     m_bg_merges = Hi_util.Metrics.counter scope "background_merges";
   }
@@ -45,6 +49,15 @@ let id t = t.pid
 let engine t = t.engine
 let started t = t.domain <> None
 let queue_length t = Mailbox.length t.jobs
+
+let set_checkpoint_hook t hook =
+  if started t then invalid_arg "Partition.set_checkpoint_hook: already started";
+  t.checkpoint_hook <- Some hook
+
+(* Deferred durability acknowledgments a partition may hold before it is
+   forced to flush: bounds client latency under sustained load while
+   letting one fsync cover many transactions (group commit). *)
+let max_deferred_acks = 128
 
 (* How many jobs may run between background-merge checks under sustained
    load.  Small enough that a hot dynamic stage cannot grow far past its
@@ -55,12 +68,27 @@ let drain_merges t =
   let n = Engine.run_pending_merges t.engine in
   if n > 0 then Hi_util.Metrics.add t.m_bg_merges n
 
+(* Group commit barrier, failure-capturing: the engine releases its
+   deferred acks either way (clients must not hang), and the first sync
+   failure is re-raised at [stop] like any other job failure. *)
+let sync_wal t =
+  try ignore (Engine.sync_wal t.engine)
+  with e -> if t.failure = None then t.failure <- Some e
+
+let run_checkpoint_hook t =
+  match t.checkpoint_hook with
+  | None -> ()
+  | Some hook -> ( try hook t.engine with e -> if t.failure = None then t.failure <- Some e)
+
 let loop t =
   let since_check = ref 0 in
   let run_job job =
     (try job t.engine
      with e -> if t.failure = None then t.failure <- Some e);
     Hi_util.Metrics.incr t.m_jobs;
+    (* under sustained load, flush the group-commit batch before the
+       deferred-ack backlog makes client latency unbounded *)
+    if Engine.pending_acks t.engine >= max_deferred_acks then sync_wal t;
     incr since_check;
     if !since_check >= merge_check_period then begin
       since_check := 0;
@@ -73,13 +101,20 @@ let loop t =
       run_job job;
       go ()
     | None -> (
-      (* the queue ran dry: merge off the critical path, then block *)
+      (* the queue ran dry: merge and sync off the critical path — every
+         ack deferred by [Engine.on_durable] is released here, before the
+         domain can block with clients still waiting — then cap the WAL *)
       drain_merges t;
+      sync_wal t;
+      run_checkpoint_hook t;
       match Mailbox.pop t.jobs with
       | Some job ->
         run_job job;
         go ()
-      | None -> drain_merges t (* closed and drained *))
+      | None ->
+        (* closed and drained: leave nothing buffered behind *)
+        drain_merges t;
+        sync_wal t)
   in
   go ()
 
@@ -94,11 +129,18 @@ let post t job =
   | Some _ -> Mailbox.push t.jobs job
   | None ->
     job t.engine;
-    Hi_util.Metrics.incr t.m_jobs
+    Hi_util.Metrics.incr t.m_jobs;
+    (* inline mode has no idle point, so the barrier runs per job; group
+       commit still covers whatever the job batched *)
+    ignore (Engine.sync_wal t.engine)
 
 let run_async t f =
   let fut = Future.create () in
-  post t (fun engine -> Future.fill fut (Engine.run engine f));
+  post t (fun engine ->
+      let r = Engine.run engine f in
+      (* the caller's answer is the durability acknowledgment: defer it
+         to the partition's next group-commit barrier *)
+      Engine.on_durable engine (fun () -> Future.fill fut r));
   fut
 
 let run t f = Future.await (run_async t f)
@@ -110,6 +152,9 @@ let stop t =
     Domain.join d;
     t.domain <- None
   | None -> ());
+  (* defensive: the loop's exit path synced, but unstarted partitions and
+     post-join stragglers still need their barrier *)
+  sync_wal t;
   match t.failure with
   | Some e ->
     t.failure <- None;

@@ -25,6 +25,11 @@ val engine : t -> Engine.t
 val started : t -> bool
 val queue_length : t -> int
 
+val set_checkpoint_hook : t -> (Engine.t -> unit) -> unit
+(** Install the WAL-growth-capping hook (DESIGN.md §13), called on the
+    partition's own domain at idle points, after the group-commit
+    barrier.  @raise Invalid_argument once started. *)
+
 val start : t -> unit
 (** Spawn the partition's domain.  @raise Invalid_argument if started. *)
 
@@ -33,14 +38,19 @@ val post : t -> job -> unit
     @raise Mailbox.Closed after {!stop}. *)
 
 val run_async : t -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result Future.t
-(** Submit one transaction ({!Hi_hstore.Engine.run} on the partition). *)
+(** Submit one transaction ({!Hi_hstore.Engine.run} on the partition).
+    With a WAL attached, the future fills only once the commit is durable
+    (the partition's next group-commit barrier). *)
 
 val run : t -> (Engine.t -> 'a) -> ('a, Engine.txn_error) result
 (** [run_async] + await. *)
 
 val stop : t -> unit
-(** Close the mailbox, drain the remaining jobs, join the domain.
-    Re-raises the first exception a job leaked, if any. *)
+(** Close the mailbox, drain the remaining jobs, flush the WAL, join the
+    domain.  Re-raises the first exception a job leaked, if any. *)
 
 val merge_check_period : int
 (** Jobs between background-merge checks under sustained load. *)
+
+val max_deferred_acks : int
+(** Deferred durability acks a partition holds before forcing a flush. *)

@@ -20,13 +20,43 @@
      of cross-partition sub-transactions with reproducible results. *)
 
 open Hi_hstore
+module Wal = Hi_wal.Wal
 
 type mode = Parallel | Sequential of Hi_util.Xorshift.t
+
+(* Durability (DESIGN.md §13): one WAL per partition plus a router-owned
+   coordinator decision log for cross-partition transactions. *)
+type durability_config = {
+  wal_dir : string;
+  checkpoint_bytes : int; (* per-partition auto-checkpoint threshold *)
+  fault : Hi_util.Fault.t option; (* injected disk faults, for tests *)
+}
+
+let durability ?(checkpoint_bytes = 64 * 1024 * 1024) ?fault wal_dir =
+  { wal_dir; checkpoint_bytes; fault }
+
+type recovery = {
+  replayed_txns : int;
+  skipped_undecided : int; (* prepares whose 2PC txn was never decided *)
+  malformed : int;
+  torn_tails : int; (* logs truncated at a bad CRC (coord log included) *)
+  checkpoints_loaded : int;
+  decided_txns : int; (* commit decisions found in the coordinator log *)
+  duration_s : float;
+}
+
+type durable = {
+  dconfig : durability_config;
+  coord : Wal.t; (* decision log; written and truncated under mp_lock *)
+}
 
 type t = {
   partitions : Partition.t array;
   mode : mode;
   mp_lock : Mutex.t; (* serializes multi-partition coordinators *)
+  mutable next_txn : int; (* 2PC transaction ids; resumed past the logs at recovery *)
+  durable : durable option;
+  recovery : recovery option;
   m_single : Hi_util.Metrics.counter;
   m_multi : Hi_util.Metrics.counter;
   m_multi_aborts : Hi_util.Metrics.counter;
@@ -34,7 +64,90 @@ type t = {
 
 let scope = Hi_util.Metrics.scope "shard.router"
 
-let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ~partitions ~init () =
+(* --- durability file layout --- *)
+
+let partition_log_path dir i = Filename.concat dir (Printf.sprintf "p%d.log" i)
+let partition_ckpt_path dir i = Filename.concat dir (Printf.sprintf "p%d.ckpt" i)
+let coord_log_path dir = Filename.concat dir "coord.log"
+
+(* Cap a partition's log growth: snapshot and truncate once the durable
+   log exceeds the threshold.  Runs on the partition's own domain at idle
+   points, after its group-commit barrier (so nothing is buffered).
+   Never touches the coordinator log — other partitions' logs may still
+   hold Prepare records that need its decisions; only the global
+   [checkpoint] below may truncate it.  Skipped while rows are evicted:
+   the snapshot enumerates live rows only. *)
+let auto_checkpoint dc ~ckpt_path engine =
+  match Engine.wal engine with
+  | None -> ()
+  | Some w ->
+    if
+      Wal.bytes_on_disk w > dc.checkpoint_bytes
+      && Wal.pending w = 0
+      && not (Engine.has_evicted_rows engine)
+    then begin
+      Engine.write_checkpoint engine ~path:ckpt_path;
+      Wal.truncate w
+    end
+
+(* Recovery (restart path): read the coordinator log into the decided
+   set, then per partition replay checkpoint + log into the freshly
+   [init]-ed tables, applying Prepare records only when decided (presumed
+   abort).  [init] must be deterministic (schema + any static seed):
+   replay is an upsert stream, so re-running it under the same init
+   converges.  Returns the writers to attach plus a report. *)
+let recover_durable dc parts =
+  let t0 = Unix.gettimeofday () in
+  (try Unix.mkdir dc.wal_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let coord_records, coord_tail, coord = Wal.open_log ?fault:dc.fault (coord_log_path dc.wal_dir) in
+  let decided = Hashtbl.create 64 in
+  let max_txn = ref (-1) in
+  List.iter
+    (fun payload ->
+      match Redo.decode payload with
+      | Ok (Redo.Decide { txn }) ->
+        Hashtbl.replace decided txn ();
+        if txn > !max_txn then max_txn := txn
+      | Ok _ | Error _ -> () (* not a decision; ignore *))
+    coord_records;
+  let torn = ref (match coord_tail with Wal.Torn _ -> 1 | Wal.Clean -> 0) in
+  let replayed = ref 0 and skipped = ref 0 and malformed = ref 0 and ckpts = ref 0 in
+  let is_decided txn = Hashtbl.mem decided txn in
+  Array.iteri
+    (fun i p ->
+      let engine = Partition.engine p in
+      let ckpt_path = partition_ckpt_path dc.wal_dir i in
+      let ckpt_records, _ = Wal.read ckpt_path in
+      if ckpt_records <> [] then incr ckpts;
+      let log_records, tail, wal = Wal.open_log ?fault:dc.fault (partition_log_path dc.wal_dir i) in
+      (match tail with Wal.Torn _ -> incr torn | Wal.Clean -> ());
+      List.iter
+        (fun records ->
+          let r = Engine.replay engine ~decided:is_decided records in
+          replayed := !replayed + r.Engine.replayed;
+          skipped := !skipped + r.Engine.skipped_undecided;
+          malformed := !malformed + r.Engine.malformed;
+          if r.Engine.max_txn > !max_txn then max_txn := r.Engine.max_txn)
+        [ ckpt_records; log_records ];
+      Engine.attach_wal engine wal;
+      Partition.set_checkpoint_hook p (auto_checkpoint dc ~ckpt_path))
+    parts;
+  let duration_s = Unix.gettimeofday () -. t0 in
+  Wal.observe_recovery duration_s;
+  ( { dconfig = dc; coord },
+    {
+      replayed_txns = !replayed;
+      skipped_undecided = !skipped;
+      malformed = !malformed;
+      torn_tails = !torn;
+      checkpoints_loaded = !ckpts;
+      decided_txns = Hashtbl.length decided;
+      duration_s;
+    },
+    !max_txn + 1 )
+
+let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durability ~partitions
+    ~init () =
   if partitions <= 0 then invalid_arg "Router.create: need at least one partition";
   (* parallel partitions defer hybrid merges to their domain's background
      scheduler; sequential mode keeps the caller's configuration *)
@@ -47,6 +160,13 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ~partitio
         init id (Partition.engine p);
         p)
   in
+  let durable, recovery, next_txn =
+    match durability with
+    | None -> (None, None, 0)
+    | Some dc ->
+      let d, r, next = recover_durable dc parts in
+      (Some d, Some r, next)
+  in
   (match mode with
   | Parallel -> Array.iter Partition.start parts
   | Sequential _ -> ());
@@ -54,10 +174,16 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ~partitio
     partitions = parts;
     mode;
     mp_lock = Mutex.create ();
+    next_txn;
+    durable;
+    recovery;
     m_single = Hi_util.Metrics.counter scope "single_partition_txns";
     m_multi = Hi_util.Metrics.counter scope "multi_partition_txns";
     m_multi_aborts = Hi_util.Metrics.counter scope "multi_partition_aborts";
   }
+
+let recovery t = t.recovery
+let durable_enabled t = t.durable <> None
 
 let num_partitions t = Array.length t.partitions
 let partition t i = t.partitions.(i)
@@ -125,27 +251,58 @@ let shuffle rng a =
     a.(j) <- tmp
   done
 
+(* The commit point of a cross-partition transaction (DESIGN.md §13):
+   a durable Decide record in the coordinator log.  Participants already
+   hold durable Prepare records when this runs, so recovery commits
+   exactly the transactions whose decision survived — presumed abort for
+   the rest.  Raises on sync failure: the decision did not happen. *)
+let log_decide t txn =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    Wal.append d.coord (Redo.encode (Redo.Decide { txn }));
+    ignore (Wal.sync d.coord)
+
+let fresh_txn t =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  txn
+
 (* Sequential mode: prepare the participants inline in a seeded order; on
-   first failure abort what is prepared, otherwise commit everything.
-   Deterministic given the rng state — the check harness's scheduler. *)
+   first failure abort what is prepared, otherwise log the decision and
+   commit everything.  Deterministic given the rng state — the check
+   harness's scheduler. *)
 let multi_sequential t rng participants =
+  let txn = fresh_txn t in
   let order = Array.of_list participants in
   shuffle rng order;
   let prepared = ref [] in
   let failure = ref None in
-  Array.iter
-    (fun { part; body } ->
-      if !failure = None then begin
-        let engine = Partition.engine t.partitions.(part) in
-        match Engine.prepare engine body with
-        | Ok () -> prepared := engine :: !prepared
-        | Error e -> failure := Some e
-      end)
-    order;
+  (try
+     Array.iter
+       (fun { part; body } ->
+         if !failure = None then begin
+           let engine = Partition.engine t.partitions.(part) in
+           match Engine.prepare ~log_id:txn engine body with
+           | Ok () -> prepared := engine :: !prepared
+           | Error e -> failure := Some e
+         end)
+       order
+   with e ->
+     (* a prepare's durability barrier failed: it already rolled itself
+        back; abort the rest and surface the failure *)
+     List.iter Engine.abort_prepared !prepared;
+     raise e);
   match !failure with
-  | None ->
-    List.iter Engine.commit_prepared !prepared;
-    Ok ()
+  | None -> (
+    match log_decide t txn with
+    | () ->
+      List.iter Engine.commit_prepared !prepared;
+      Ok ()
+    | exception e ->
+      (* no durable decision — recovery would presume abort, so abort *)
+      List.iter Engine.abort_prepared !prepared;
+      raise e)
   | Some e ->
     List.iter Engine.abort_prepared !prepared;
     Error e
@@ -161,6 +318,7 @@ let multi_parallel t participants =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mp_lock)
     (fun () ->
+      let txn = fresh_txn t in
       let entries =
         List.map
           (fun { part; body } ->
@@ -168,26 +326,54 @@ let multi_parallel t participants =
             let verdict = Future.create () in
             let finished = Future.create () in
             Partition.post t.partitions.(part) (fun engine ->
-                let r = Engine.prepare engine body in
-                Future.fill prepared r;
-                (match r with
-                | Ok () -> (
-                  match Future.await verdict with
-                  | Commit -> Engine.commit_prepared engine
-                  | Abort_all -> Engine.abort_prepared engine)
-                | Error _ -> () (* already rolled back; no verdict owed *));
-                Future.fill finished ());
+                (* [finished] must fill on every path or the coordinator
+                   blocks forever; likewise [prepared] *)
+                Fun.protect
+                  ~finally:(fun () -> Future.fill finished ())
+                  (fun () ->
+                    let r =
+                      try Engine.prepare ~log_id:txn engine body
+                      with e ->
+                        (* the prepare's durability barrier failed and
+                           rolled itself back; report a vote of no and
+                           re-raise so the partition records the fault *)
+                        Future.fill prepared
+                          (Error (Engine.Txn_aborted ("prepare not durable: " ^ Printexc.to_string e)));
+                        raise e
+                    in
+                    Future.fill prepared r;
+                    match r with
+                    | Ok () -> (
+                      match Future.await verdict with
+                      | Commit -> Engine.commit_prepared engine
+                      | Abort_all -> Engine.abort_prepared engine)
+                    | Error _ -> () (* already rolled back; no verdict owed *)));
             (prepared, verdict, finished))
           participants
       in
       let results = List.map (fun (p, _, _) -> Future.await p) entries in
       let failure = List.find_map (function Error e -> Some e | Ok () -> None) results in
-      let v = match failure with None -> Commit | Some _ -> Abort_all in
+      (* every participant's Prepare is durable; the Decide below is the
+         commit point.  If its sync fails there is no durable decision —
+         recovery would presume abort — so the live run must abort too. *)
+      let decide_failure = ref None in
+      let v =
+        match failure with
+        | Some _ -> Abort_all
+        | None -> (
+          match log_decide t txn with
+          | () -> Commit
+          | exception e ->
+            decide_failure := Some e;
+            Abort_all)
+      in
       List.iter2
         (fun (_, verdict, _) r -> match r with Ok () -> Future.fill verdict v | Error _ -> ())
         entries results;
       List.iter (fun (_, _, finished) -> Future.await finished) entries;
-      match failure with None -> Ok () | Some e -> Error e)
+      match !decide_failure with
+      | Some e -> raise e
+      | None -> ( match failure with None -> Ok () | Some e -> Error e))
 
 (* Execute a multi-partition transaction: all participants commit or none
    do.  Participants must name distinct partitions.  A single participant
@@ -209,7 +395,86 @@ let multi t participants =
     (match r with Error _ -> Hi_util.Metrics.incr t.m_multi_aborts | Ok () -> ());
     r
 
-let stop t = Array.iter Partition.stop t.partitions
+(* Force a group-commit barrier on every partition and wait for it.
+   Callers that must not report success while acknowledged work could
+   still be buffered (server shutdown) use this as the final flush.  A
+   sync failure is recorded as a partition failure and re-raised at
+   [stop], like any job exception. *)
+let sync_all t =
+  match t.durable with
+  | None -> ()
+  | Some _ ->
+    let futs =
+      Array.map
+        (fun p ->
+          let fut = Future.create () in
+          (try
+             Partition.post p (fun engine ->
+                 Fun.protect
+                   ~finally:(fun () -> Future.fill fut ())
+                   (fun () -> ignore (Engine.sync_wal engine)))
+           with Mailbox.Closed -> Future.fill fut () (* already stopped, already flushed *));
+          fut)
+        t.partitions
+    in
+    Array.iter Future.await futs
+
+(* Global checkpoint: snapshot and truncate every partition's log, then —
+   only if every partition actually checkpointed — truncate the
+   coordinator decision log.  Holding mp_lock across the whole thing
+   guarantees no transaction is between its durable Prepare and its
+   Decide, and once all partition logs are truncated no surviving Prepare
+   can need a past decision; a partition that skips (rows evicted) keeps
+   its Prepares, so the decision log must survive too.  Returns how many
+   partitions checkpointed. *)
+let checkpoint t =
+  match t.durable with
+  | None -> 0
+  | Some d ->
+    Mutex.lock t.mp_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mp_lock)
+      (fun () ->
+        let futures =
+          Array.to_list
+            (Array.mapi
+               (fun i p ->
+                 let fut = Future.create () in
+                 Partition.post p (fun engine ->
+                     let r =
+                       try
+                         ignore (Engine.sync_wal engine);
+                         match Engine.wal engine with
+                         | Some w when not (Engine.has_evicted_rows engine) ->
+                           Engine.write_checkpoint engine
+                             ~path:(partition_ckpt_path d.dconfig.wal_dir i);
+                           Wal.truncate w;
+                           Ok true
+                         | Some _ | None -> Ok false
+                       with e -> Error e
+                     in
+                     Future.fill fut r);
+                 fut)
+               t.partitions)
+        in
+        let results = List.map Future.await futures in
+        (match List.find_map (function Error e -> Some e | Ok _ -> None) results with
+        | Some e -> raise e
+        | None -> ());
+        let done_n = List.length (List.filter (function Ok true -> true | _ -> false) results) in
+        if done_n = Array.length t.partitions then Wal.truncate d.coord;
+        done_n)
+
+let stop t =
+  Array.iter Partition.stop t.partitions;
+  (* partitions flushed at stop; release the file descriptors *)
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    Array.iter
+      (fun p -> match Engine.wal (Partition.engine p) with Some w -> Wal.close w | None -> ())
+      t.partitions;
+    Wal.close d.coord
 
 let engines t = Array.to_list (Array.map Partition.engine t.partitions)
 

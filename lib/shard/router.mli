@@ -15,12 +15,35 @@ open Hi_hstore
     deterministic scheduler of the differential check harness. *)
 type mode = Parallel | Sequential of Hi_util.Xorshift.t
 
+(** {1 Durability (DESIGN.md §13)} *)
+
+type durability_config = {
+  wal_dir : string;  (** holds [p<i>.log], [p<i>.ckpt] and [coord.log] *)
+  checkpoint_bytes : int;  (** per-partition auto-checkpoint threshold *)
+  fault : Hi_util.Fault.t option;  (** injected disk faults, for tests *)
+}
+
+val durability : ?checkpoint_bytes:int -> ?fault:Hi_util.Fault.t -> string -> durability_config
+(** [durability wal_dir] with a 64 MiB default checkpoint threshold. *)
+
+(** What startup recovery found and replayed. *)
+type recovery = {
+  replayed_txns : int;
+  skipped_undecided : int;  (** prepares whose 2PC txn was never decided *)
+  malformed : int;
+  torn_tails : int;  (** logs truncated at a bad CRC (coord log included) *)
+  checkpoints_loaded : int;
+  decided_txns : int;  (** commit decisions found in the coordinator log *)
+  duration_s : float;
+}
+
 type t
 
 val create :
   ?mode:mode ->
   ?config:Engine.config ->
   ?sleep:(float -> unit) ->
+  ?durability:durability_config ->
   partitions:int ->
   init:(int -> Engine.t -> unit) ->
   unit ->
@@ -28,7 +51,32 @@ val create :
 (** [init i engine] loads partition [i]'s slice before any domain starts.
     In [Parallel] mode partition engines are reconfigured with
     [inline_merge = false]: merges run on the partition domain's
-    background scheduler instead of inside transactions. *)
+    background scheduler instead of inside transactions.
+
+    With [durability] set, startup replays each partition's checkpoint
+    and log into the [init]-ed tables first (applying [Prepare] records
+    only when the coordinator log holds their decision — presumed abort),
+    truncates torn tails, attaches a WAL to every engine and installs the
+    auto-checkpoint hook.  [init] must then be deterministic (schema plus
+    any static seed): replay is an upsert stream over whatever [init]
+    built. *)
+
+val recovery : t -> recovery option
+(** What startup recovery replayed; [None] without [durability]. *)
+
+val durable_enabled : t -> bool
+
+val checkpoint : t -> int
+(** Snapshot and truncate every partition's log (skipping partitions with
+    evicted rows), then truncate the coordinator decision log if — and
+    only if — every partition checkpointed.  Serialized against
+    multi-partition transactions.  Returns the number of partitions
+    checkpointed; [0] without [durability]. *)
+
+val sync_all : t -> unit
+(** Force a group-commit barrier on every partition and wait for it —
+    the final flush before reporting a shutdown complete.  No-op without
+    [durability]. *)
 
 val num_partitions : t -> int
 val partition : t -> int -> Partition.t
@@ -57,9 +105,15 @@ val multi : t -> participant list -> (unit, Engine.txn_error) result
 (** Multi-partition transaction: every participant prepares; they all
     commit only if every prepare succeeded, otherwise every prepared one
     rolls back and the first error is returned.  Participants must name
-    distinct partitions; a single participant degenerates to {!single}. *)
+    distinct partitions; a single participant degenerates to {!single}.
+
+    With durability on, each participant's [Prepare] record is durable
+    before it votes yes, and the coordinator makes a [Decide] record
+    durable in its decision log {e before} any participant commits — the
+    commit point.  If the decision cannot be made durable, everyone
+    aborts and the I/O failure is re-raised. *)
 
 val total_committed : t -> int
 
 val stop : t -> unit
-(** Drain and join every partition. *)
+(** Drain, flush and join every partition; close the log files. *)

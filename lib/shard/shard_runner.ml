@@ -66,13 +66,20 @@ module Window = struct
       let part = Router.partition t.router p in
       t.queue_peak.(p) <- max t.queue_peak.(p) (Partition.queue_length part);
       Partition.post part (fun engine ->
-          List.iter
-            (fun { body; on_done } ->
-              let t0 = Unix.gettimeofday () in
-              let r = Engine.run engine body in
-              on_done r (Unix.gettimeofday () -. t0))
-            entries;
-          Future.fill fut ());
+          let results =
+            List.map
+              (fun { body; on_done } ->
+                let t0 = Unix.gettimeofday () in
+                let r = Engine.run engine body in
+                (on_done, r, Unix.gettimeofday () -. t0))
+              entries
+          in
+          (* the batch's completions are durability acknowledgments:
+             with a WAL attached they wait for the partition's next
+             group-commit barrier, so one fsync covers the whole batch *)
+          Engine.on_durable engine (fun () ->
+              List.iter (fun (on_done, r, dt) -> on_done r dt) results;
+              Future.fill fut ()));
       Queue.push fut t.inflight;
       (* bounded in-flight window: keeps the producer from racing
          unboundedly ahead of slow partitions *)

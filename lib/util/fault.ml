@@ -11,6 +11,16 @@
    - latency spikes (a fetch that takes much longer than the device's
      nominal latency).
 
+   The write-ahead log consults three more kinds that model what a crash
+   or a failing disk does to an append-only file (DESIGN.md §13):
+
+   - torn writes (a sync persists only a byte prefix of the batch, cut
+     mid-record — the classic torn tail);
+   - short writes (a sync persists only whole leading records; the file
+     stays well-formed but is missing acknowledged-batch suffixes);
+   - fsync failures (the data reached the page cache but the barrier
+     itself failed, so nothing in the batch may be trusted).
+
    All decisions flow from one integer seed, so a fault schedule replays
    identically across runs — tests assert exact outcomes and benchmarks
    compare configurations under the same schedule. *)
@@ -20,10 +30,21 @@ type config = {
   corrupt_block_p : float; (* per-write probability the stored block is corrupted *)
   latency_spike_p : float; (* per-fetch probability of a latency spike *)
   latency_spike_s : float; (* duration of an injected spike, seconds *)
+  torn_write_p : float; (* per-sync probability the batch is cut mid-record *)
+  short_write_p : float; (* per-sync probability trailing whole records are dropped *)
+  fsync_fail_p : float; (* per-sync probability the fsync barrier fails *)
 }
 
 let no_faults =
-  { transient_fetch_p = 0.0; corrupt_block_p = 0.0; latency_spike_p = 0.0; latency_spike_s = 0.0 }
+  {
+    transient_fetch_p = 0.0;
+    corrupt_block_p = 0.0;
+    latency_spike_p = 0.0;
+    latency_spike_s = 0.0;
+    torn_write_p = 0.0;
+    short_write_p = 0.0;
+    fsync_fail_p = 0.0;
+  }
 
 type t = {
   config : config;
@@ -31,6 +52,9 @@ type t = {
   mutable transient_injected : int;
   mutable corruptions_injected : int;
   mutable spikes_injected : int;
+  mutable torn_writes_injected : int;
+  mutable short_writes_injected : int;
+  mutable fsync_failures_injected : int;
 }
 
 let create ?(config = no_faults) seed = {
@@ -39,6 +63,9 @@ let create ?(config = no_faults) seed = {
   transient_injected = 0;
   corruptions_injected = 0;
   spikes_injected = 0;
+  torn_writes_injected = 0;
+  short_writes_injected = 0;
+  fsync_failures_injected = 0;
 }
 
 let roll t p = p > 0.0 && Xorshift.float01 t.rng < p
@@ -64,11 +91,41 @@ let latency_spike t =
 (* Position used to pick which byte of a block's payload gets flipped. *)
 let corruption_offset t len = if len <= 0 then 0 else Xorshift.int t.rng len
 
-type counters = { transient_injected : int; corruptions_injected : int; spikes_injected : int }
+(* --- disk faults (write-ahead log, DESIGN.md §13) --- *)
+
+let torn_write t =
+  let hit = roll t t.config.torn_write_p in
+  if hit then t.torn_writes_injected <- t.torn_writes_injected + 1;
+  hit
+
+let short_write t =
+  let hit = roll t t.config.short_write_p in
+  if hit then t.short_writes_injected <- t.short_writes_injected + 1;
+  hit
+
+let fsync_fail t =
+  let hit = roll t t.config.fsync_fail_p in
+  if hit then t.fsync_failures_injected <- t.fsync_failures_injected + 1;
+  hit
+
+(* Where a torn or short write cuts the batch. *)
+let cut_point t len = if len <= 0 then 0 else Xorshift.int t.rng len
+
+type counters = {
+  transient_injected : int;
+  corruptions_injected : int;
+  spikes_injected : int;
+  torn_writes_injected : int;
+  short_writes_injected : int;
+  fsync_failures_injected : int;
+}
 
 let counters (t : t) =
   {
     transient_injected = t.transient_injected;
     corruptions_injected = t.corruptions_injected;
     spikes_injected = t.spikes_injected;
+    torn_writes_injected = t.torn_writes_injected;
+    short_writes_injected = t.short_writes_injected;
+    fsync_failures_injected = t.fsync_failures_injected;
   }

@@ -1,16 +1,22 @@
 (** Deterministic fault injection for the storage path.
 
     A seeded decision source (driven by {!Xorshift}) consulted by the
-    anti-caching block store on every write and fetch.  Models transient
-    fetch failures, permanent at-rest block corruption, and latency
-    spikes.  All decisions derive from one integer seed, so a fault
-    schedule replays identically across runs. *)
+    anti-caching block store on every write and fetch, and by the
+    write-ahead log on every sync.  Models transient fetch failures,
+    permanent at-rest block corruption, latency spikes, and the disk
+    faults a crash inflicts on an append-only log: torn writes, short
+    writes and fsync failures (DESIGN.md §13).  All decisions derive from
+    one integer seed, so a fault schedule replays identically across
+    runs. *)
 
 type config = {
   transient_fetch_p : float;  (** per-fetch-attempt probability of a transient failure *)
   corrupt_block_p : float;  (** per-write probability the stored block is corrupted *)
   latency_spike_p : float;  (** per-fetch probability of a latency spike *)
   latency_spike_s : float;  (** duration of an injected spike, seconds *)
+  torn_write_p : float;  (** per-sync probability the batch is cut mid-record *)
+  short_write_p : float;  (** per-sync probability trailing whole records are dropped *)
+  fsync_fail_p : float;  (** per-sync probability the fsync barrier fails *)
 }
 
 val no_faults : config
@@ -34,7 +40,28 @@ val latency_spike : t -> float
 val corruption_offset : t -> int -> int
 (** [corruption_offset t len] picks the payload byte to flip. *)
 
+(** {1 Disk faults (write-ahead log, DESIGN.md §13)} *)
+
+val torn_write : t -> bool
+(** Should this sync persist only a mid-record byte prefix of the batch? *)
+
+val short_write : t -> bool
+(** Should this sync drop trailing whole records of the batch? *)
+
+val fsync_fail : t -> bool
+(** Should this sync's fsync barrier fail after the data is written? *)
+
+val cut_point : t -> int -> int
+(** [cut_point t len] picks where a torn or short write cuts the batch. *)
+
 (** Injection counts, for reporting faults injected vs. faults survived. *)
-type counters = { transient_injected : int; corruptions_injected : int; spikes_injected : int }
+type counters = {
+  transient_injected : int;
+  corruptions_injected : int;
+  spikes_injected : int;
+  torn_writes_injected : int;
+  short_writes_injected : int;
+  fsync_failures_injected : int;
+}
 
 val counters : t -> counters

@@ -1,0 +1,291 @@
+(* Append-only write-ahead log file: length-prefixed, CRC-32-checksummed
+   records with buffered appends and an explicit sync barrier
+   (DESIGN.md §13).
+
+   frame = u32 BE payload-length | payload | u32 BE CRC-32(payload)
+
+   The framing is the Wire discipline (DESIGN.md §12) applied to a file:
+   the CRC is verified before a record is surfaced, and a corrupted
+   length field is caught by the bounded [max_record] check or by the CRC
+   over the mis-framed span.  The reader stops at the first record that
+   does not check out — everything before it is the durable prefix,
+   everything after is a torn tail to be truncated, never a crash.
+
+   Group commit: [append] only buffers; [sync] writes the buffered batch
+   with one write(2) and one fsync(2).  Callers amortize the barrier by
+   appending every record of a batch of transactions before syncing once;
+   acknowledgments must wait for [sync] to return (the engine's
+   [on_durable] queue enforces this).
+
+   Fault injection ([create ~fault]) models what a crash or failing disk
+   does to the file: a torn write persists a mid-record byte prefix of
+   the batch, a short write persists only whole leading records, and an
+   fsync failure writes everything but the barrier fails.  All three
+   raise {!Io_error} so the caller knows durability was not achieved;
+   the damage on disk is deterministic from the fault seed. *)
+
+module Metrics = Hi_util.Metrics
+module Crc32 = Hi_util.Crc32
+module Fault = Hi_util.Fault
+
+exception Io_error of string
+
+(* A record big enough to trip this is a corrupted length field, not a
+   real record: the engine's transactions are bounded far below it. *)
+let max_record = 1 lsl 26
+
+let mscope = Metrics.scope "wal"
+let m_appends = Metrics.counter mscope "wal_appends"
+let m_fsyncs = Metrics.counter mscope "fsync_count"
+let m_bytes = Metrics.counter mscope "bytes_written"
+let m_sync_errors = Metrics.counter mscope "sync_errors"
+let m_batch = Metrics.histogram mscope "group_commit_batch"
+let m_recovery = Metrics.histogram mscope "recovery_replay_seconds"
+let m_torn_tails = Metrics.counter mscope "torn_tails_truncated"
+
+type tail = Clean | Torn of { dropped_bytes : int }
+
+let tail_to_string = function
+  | Clean -> "clean"
+  | Torn { dropped_bytes } -> Printf.sprintf "torn (%d bytes dropped)" dropped_bytes
+
+(* -- framing ------------------------------------------------------------- *)
+
+let frame_into buf record =
+  let len = String.length record in
+  Buffer.add_int32_be buf (Int32.of_int len);
+  Buffer.add_string buf record;
+  Buffer.add_int32_be buf (Crc32.string record)
+
+let framed_size record = String.length record + 8
+
+(* Scan [len] bytes of [data] for valid frames.  Returns the records of
+   the longest valid prefix (in order) and the byte length of that
+   prefix; anything past it is torn. *)
+let scan data len =
+  let records = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && len - !pos >= 8 do
+    let rlen = Int32.to_int (Bytes.get_int32_be data !pos) land 0xffffffff in
+    if rlen > max_record || !pos + 8 + rlen > len then ok := false
+    else
+      let payload = Bytes.sub_string data (!pos + 4) rlen in
+      let stored = Bytes.get_int32_be data (!pos + 4 + rlen) in
+      if Crc32.string payload <> stored then ok := false
+      else begin
+        records := payload :: !records;
+        pos := !pos + 8 + rlen
+      end
+  done;
+  (List.rev !records, !pos)
+
+(* -- reading ------------------------------------------------------------- *)
+
+let read_fd fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  let data = Bytes.create size in
+  let got = ref 0 in
+  (try
+     while !got < size do
+       match Unix.read fd data !got (size - !got) with
+       | 0 -> raise Exit
+       | n -> got := !got + n
+     done
+   with Exit -> ());
+  let records, valid = scan data !got in
+  let tail = if valid = !got then Clean else Torn { dropped_bytes = !got - valid } in
+  (records, valid, tail)
+
+let read path =
+  if not (Sys.file_exists path) then ([], Clean)
+  else begin
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let records, _, tail = read_fd fd in
+        (records, tail))
+  end
+
+(* -- writer -------------------------------------------------------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  buf : Buffer.t; (* framed, unsynced records *)
+  mutable pending : int; (* records in [buf] *)
+  mutable pending_sizes : int list; (* framed sizes, newest first (short-write cuts) *)
+  mutable synced_bytes : int; (* durable bytes on disk *)
+  mutable closed : bool;
+  fault : Fault.t option;
+}
+
+let wrap_unix f = try f () with Unix.Unix_error (e, op, _) -> raise (Io_error (op ^ ": " ^ Unix.error_message e))
+
+(* Open (creating if needed), truncate any torn tail so appends extend a
+   valid prefix, and position at the end.  Returns the surviving records
+   alongside the writer. *)
+let open_log ?fault path =
+  wrap_unix (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+      let records, valid, tail = read_fd fd in
+      (match tail with
+      | Torn _ ->
+        Metrics.incr m_torn_tails;
+        Unix.ftruncate fd valid
+      | Clean -> ());
+      ignore (Unix.lseek fd valid Unix.SEEK_SET);
+      ( records,
+        tail,
+        {
+          path;
+          fd;
+          buf = Buffer.create 4096;
+          pending = 0;
+          pending_sizes = [];
+          synced_bytes = valid;
+          closed = false;
+          fault;
+        } ))
+
+let create ?fault path =
+  let _, _, t = open_log ?fault path in
+  t
+
+let append t record =
+  if t.closed then invalid_arg "Wal.append: closed";
+  frame_into t.buf record;
+  t.pending <- t.pending + 1;
+  t.pending_sizes <- framed_size record :: t.pending_sizes;
+  Metrics.incr m_appends
+
+let pending t = t.pending
+let bytes_on_disk t = t.synced_bytes
+let path t = t.path
+
+let write_all fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    match Unix.write_substring fd s (pos + !written) (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Largest frame-boundary offset <= cut, so a short write drops whole
+   trailing records.  [sizes] is newest-first. *)
+let boundary_before sizes cut =
+  let rec go acc = function
+    | [] -> acc
+    | sz :: rest ->
+      let b = acc + sz in
+      if b <= cut then go b rest else acc
+  in
+  go 0 (List.rev sizes)
+
+(* Flush the buffered batch with one write and one fsync.  Returns how
+   many records became durable.  Under an injected disk fault the damage
+   is applied to the file and {!Io_error} is raised: the records were NOT
+   acknowledged durable. *)
+let sync t =
+  if t.closed then invalid_arg "Wal.sync: closed";
+  if t.pending = 0 then 0
+  else begin
+    let batch = Buffer.contents t.buf in
+    let len = String.length batch in
+    let count = t.pending in
+    let fail msg =
+      Buffer.clear t.buf;
+      t.pending <- 0;
+      t.pending_sizes <- [];
+      Metrics.incr m_sync_errors;
+      raise (Io_error msg)
+    in
+    (match t.fault with
+    | Some f when Fault.fsync_fail f ->
+      (* data reaches the page cache, the barrier fails: nothing in the
+         batch may be trusted (it may or may not survive a real crash —
+         deterministically, here it does) *)
+      wrap_unix (fun () -> write_all t.fd batch 0 len);
+      t.synced_bytes <- t.synced_bytes + len;
+      fail "fsync failed"
+    | Some f when Fault.torn_write f ->
+      let cut = Fault.cut_point f len in
+      wrap_unix (fun () -> write_all t.fd batch 0 cut);
+      t.synced_bytes <- t.synced_bytes + cut;
+      fail (Printf.sprintf "torn write (%d of %d bytes)" cut len)
+    | Some f when Fault.short_write f ->
+      let cut = boundary_before t.pending_sizes (Fault.cut_point f len) in
+      wrap_unix (fun () -> write_all t.fd batch 0 cut);
+      t.synced_bytes <- t.synced_bytes + cut;
+      fail (Printf.sprintf "short write (%d of %d bytes)" cut len)
+    | _ -> ());
+    wrap_unix (fun () ->
+        write_all t.fd batch 0 len;
+        Unix.fsync t.fd);
+    t.synced_bytes <- t.synced_bytes + len;
+    Buffer.clear t.buf;
+    t.pending <- 0;
+    t.pending_sizes <- [];
+    Metrics.incr m_fsyncs;
+    Metrics.add m_bytes len;
+    Metrics.observe m_batch (float_of_int count);
+    count
+  end
+
+(* Drop everything (post-checkpoint): the log's contents are now captured
+   by the checkpoint file, so restart replay must not see them again. *)
+let truncate t =
+  if t.closed then invalid_arg "Wal.truncate: closed";
+  Buffer.clear t.buf;
+  t.pending <- 0;
+  t.pending_sizes <- [];
+  wrap_unix (fun () ->
+      Unix.ftruncate t.fd 0;
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+      Unix.fsync t.fd);
+  t.synced_bytes <- 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+(* -- atomic snapshot files (checkpoints) --------------------------------- *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Write a framed-record file atomically: stream to [path ^ ".tmp"],
+   fsync, rename over [path], fsync the directory.  A crash leaves either
+   the old file or the new one, never a half-written snapshot. *)
+let write_file_atomic ~path emit =
+  wrap_unix (fun () ->
+      let tmp = path ^ ".tmp" in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let buf = Buffer.create 65536 in
+          let flush () =
+            if Buffer.length buf > 0 then begin
+              write_all fd (Buffer.contents buf) 0 (Buffer.length buf);
+              Buffer.clear buf
+            end
+          in
+          emit (fun record ->
+              frame_into buf record;
+              if Buffer.length buf >= 1 lsl 20 then flush ());
+          flush ();
+          Unix.fsync fd);
+      Unix.rename tmp path;
+      fsync_dir (Filename.dirname path))
+
+(* -- recovery instrumentation -------------------------------------------- *)
+
+let observe_recovery seconds = Metrics.observe m_recovery seconds

@@ -1,0 +1,72 @@
+(** Append-only write-ahead log file (DESIGN.md §13): length-prefixed,
+    CRC-32-checksummed records, buffered appends, and an explicit group
+    commit barrier.
+
+    [frame = u32 BE len | payload | u32 BE CRC-32(payload)] — the Wire
+    framing discipline applied to a file.  {!append} buffers; {!sync}
+    makes everything appended so far durable with one write and one
+    fsync.  Readers surface only records whose CRC checks out and stop at
+    the first that does not: a torn tail truncates to the last valid
+    prefix instead of crashing recovery.
+
+    Injected disk faults ({!Hi_util.Fault}: torn write, short write,
+    fsync failure) damage the file deterministically and raise
+    {!Io_error}, so tests can prove recovery degrades gracefully. *)
+
+exception Io_error of string
+
+val max_record : int
+(** Upper bound on one record's payload; larger declared lengths are
+    treated as corruption. *)
+
+(** What the reader found after the last valid record. *)
+type tail = Clean | Torn of { dropped_bytes : int }
+
+val tail_to_string : tail -> string
+
+val read : string -> string list * tail
+(** [read path] scans the file (missing file = empty log) and returns the
+    records of the longest valid prefix, in append order.  Never raises
+    on corrupt contents. *)
+
+type t
+
+val create : ?fault:Hi_util.Fault.t -> string -> t
+(** Open for appending, creating the file if needed and truncating any
+    torn tail first.  @raise Io_error on filesystem errors. *)
+
+val open_log : ?fault:Hi_util.Fault.t -> string -> string list * tail * t
+(** {!create}, but also return the surviving records (recovery replay)
+    and whether a torn tail was truncated. *)
+
+val append : t -> string -> unit
+(** Buffer one record.  Not durable until {!sync} returns. *)
+
+val sync : t -> int
+(** Group commit barrier: write the buffered batch (one write, one
+    fsync) and return how many records became durable; [0] when nothing
+    was pending (no fsync issued).  Under an injected disk fault the
+    deterministic damage is applied and {!Io_error} is raised — the batch
+    was NOT acknowledged durable. *)
+
+val pending : t -> int
+(** Records appended but not yet synced. *)
+
+val bytes_on_disk : t -> int
+(** Durable log size (checkpoint trigger input). *)
+
+val path : t -> string
+
+val truncate : t -> unit
+(** Drop the log (post-checkpoint): ftruncate to zero and fsync. *)
+
+val close : t -> unit
+
+val write_file_atomic : path:string -> ((string -> unit) -> unit) -> unit
+(** [write_file_atomic ~path emit] streams framed records into
+    [path ^ ".tmp"], fsyncs, renames over [path] and fsyncs the
+    directory — a crash leaves the old snapshot or the new one, never a
+    half-written file.  [emit append] calls [append] once per record. *)
+
+val observe_recovery : float -> unit
+(** Record a recovery replay duration in the wal metrics scope. *)

@@ -37,13 +37,21 @@ let test_crc32_detects_flips () =
 
 let test_fault_deterministic () =
   let config =
-    { Fault.transient_fetch_p = 0.3; corrupt_block_p = 0.1; latency_spike_p = 0.2; latency_spike_s = 0.01 }
+    {
+      Fault.no_faults with
+      transient_fetch_p = 0.3;
+      corrupt_block_p = 0.1;
+      latency_spike_p = 0.2;
+      latency_spike_s = 0.01;
+      torn_write_p = 0.1;
+    }
   in
   let a = Fault.create ~config 11 and b = Fault.create ~config 11 in
   for _ = 1 to 1_000 do
     check "same transient decisions" true (Fault.transient_fetch a = Fault.transient_fetch b);
     check "same corruption decisions" true (Fault.corrupt_write a = Fault.corrupt_write b);
-    check "same spike decisions" true (Fault.latency_spike a = Fault.latency_spike b)
+    check "same spike decisions" true (Fault.latency_spike a = Fault.latency_spike b);
+    check "same torn-write decisions" true (Fault.torn_write a = Fault.torn_write b)
   done;
   check "counters agree" true (Fault.counters a = Fault.counters b)
 

@@ -1,0 +1,391 @@
+(* Durability tests (DESIGN.md §13): the WAL codec and file layer, disk
+   faults, group-commit ack deferral, and end-to-end recovery — clean
+   restarts, crash images (a copied wal directory, the on-disk state an
+   instant kill would leave), torn tails, and 2PC atomicity across
+   partition logs. *)
+
+open Common
+open Hi_util
+open Hi_hstore
+open Hi_check
+module Wal = Hi_wal.Wal
+module Router = Hi_shard.Router
+module Db = Hi_server.Db
+
+let seed = 0x5EED_DA7A
+
+(* -- scratch directories and crash images -------------------------------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hi_wal_%s_%d_%d" name (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* Byte-copy a wal directory: the on-disk state a crash at this instant
+   would leave behind (plus, possibly, an in-flight torn tail — which
+   recovery must tolerate either way). *)
+let crash_image src name =
+  let dst = fresh_dir name in
+  Array.iter
+    (fun f ->
+      let s = Wal_check.read_file (Filename.concat src f) in
+      Wal_check.write_file (Filename.concat dst f) s)
+    (Sys.readdir src);
+  dst
+
+(* -- seeded properties ---------------------------------------------------- *)
+
+let prop_iters = 40
+
+let run_prop name prop () =
+  for iter = 0 to prop_iters - 1 do
+    let s = seed + (7919 * iter) in
+    let rng = Xorshift.create s in
+    match prop rng with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Printf.sprintf "%s (seed %d): %s" name s m)
+  done
+
+let dir_prop name prop () =
+  let dir = fresh_dir name in
+  run_prop name (fun rng -> prop ~dir rng) ()
+
+(* -- disk faults ---------------------------------------------------------- *)
+
+let payloads = [ "alpha"; "beta"; "gamma delta"; ""; "epsilon" ]
+
+let test_fsync_failure () =
+  let dir = fresh_dir "fsync" in
+  let path = Filename.concat dir "wal.log" in
+  let fault = Fault.create ~config:{ Fault.no_faults with fsync_fail_p = 1.0 } 7 in
+  let w = Wal.create ~fault path in
+  List.iter (Wal.append w) payloads;
+  (match Wal.sync w with
+  | _ -> Alcotest.fail "fsync fault did not raise"
+  | exception Wal.Io_error _ -> ());
+  Wal.close w;
+  (* deterministically, the data reached the file — but the barrier
+     failed, so the writer was told durability was NOT achieved *)
+  let records, tail = Wal.read path in
+  check "fsync-fail batch readable" true (records = payloads && tail = Wal.Clean);
+  check "fault counted" true ((Fault.counters fault).Fault.fsync_failures_injected >= 1)
+
+let test_torn_write () =
+  let dir = fresh_dir "torn" in
+  let path = Filename.concat dir "wal.log" in
+  let fault = Fault.create ~config:{ Fault.no_faults with torn_write_p = 1.0 } 11 in
+  let w = Wal.create ~fault path in
+  List.iter (Wal.append w) payloads;
+  (match Wal.sync w with
+  | _ -> Alcotest.fail "torn-write fault did not raise"
+  | exception Wal.Io_error _ -> ());
+  Wal.close w;
+  (* a byte-level prefix of the batch is on disk; the reader must
+     surface only whole valid records *)
+  let records, _ = Wal.read path in
+  check "torn write leaves a record prefix" true
+    (List.length records <= List.length payloads
+    && records = Wal_check.prefix (List.length records) payloads);
+  (* reopening truncates the torn tail and appending works again *)
+  let survivors, _, w2 = Wal.open_log path in
+  check "open_log agrees with read" true (survivors = records);
+  Wal.append w2 "recovered";
+  check_int "clean resync" 1 (Wal.sync w2);
+  Wal.close w2;
+  let records2, tail2 = Wal.read path in
+  check "append after truncation" true
+    (tail2 = Wal.Clean && records2 = survivors @ [ "recovered" ])
+
+let test_short_write () =
+  let dir = fresh_dir "short" in
+  let path = Filename.concat dir "wal.log" in
+  let fault = Fault.create ~config:{ Fault.no_faults with short_write_p = 1.0 } 13 in
+  let w = Wal.create ~fault path in
+  List.iter (Wal.append w) payloads;
+  (match Wal.sync w with
+  | _ -> Alcotest.fail "short-write fault did not raise"
+  | exception Wal.Io_error _ -> ());
+  Wal.close w;
+  (* short writes cut at record boundaries: the file is a clean prefix *)
+  let records, tail = Wal.read path in
+  check "short write leaves whole records" true
+    (tail = Wal.Clean && records = Wal_check.prefix (List.length records) payloads)
+
+(* -- engine: group commit and ack deferral -------------------------------- *)
+
+let engine_with_wal dir =
+  let engine = Wal_check.fresh_engine () in
+  let wal = Wal.create (Filename.concat dir "engine.log") in
+  Engine.attach_wal engine wal;
+  engine
+
+let put engine k v =
+  Engine.run engine (fun e -> Wal_check.apply_put e (Engine.table engine "kv") k v)
+
+let test_ack_deferral () =
+  let dir = fresh_dir "ack" in
+  let engine = engine_with_wal dir in
+  let fired = ref 0 in
+  (match put engine "a" 1 with Ok () -> () | Error _ -> Alcotest.fail "put failed");
+  Engine.on_durable engine (fun () -> incr fired);
+  check_int "ack deferred until the barrier" 0 !fired;
+  check_int "one pending ack" 1 (Engine.pending_acks engine);
+  check_int "one record in the batch" 1 (Engine.sync_wal engine);
+  check_int "ack released by sync" 1 !fired;
+  (* nothing unsynced: acks fire immediately (read-only fast path) *)
+  Engine.on_durable engine (fun () -> incr fired);
+  check_int "immediate ack when durable" 2 !fired
+
+let test_group_commit_batch () =
+  let dir = fresh_dir "group" in
+  let engine = engine_with_wal dir in
+  List.iter
+    (fun (k, v) -> match put engine k v with Ok () -> () | Error _ -> Alcotest.fail "put")
+    [ ("a", 1); ("b", 2); ("c", 3) ];
+  (* aborted transactions must not log *)
+  (match
+     Engine.run engine (fun e ->
+         Wal_check.apply_put e (Engine.table engine "kv") "d" 4;
+         raise (Engine.Abort "nope"))
+   with
+  | Ok () -> Alcotest.fail "abort committed"
+  | Error _ -> ());
+  check_int "three commits, one barrier" 3 (Engine.sync_wal engine);
+  (* replay into a fresh engine: aborted write absent *)
+  let records, _ = Wal.read (Filename.concat dir "engine.log") in
+  let replica = Wal_check.fresh_engine () in
+  ignore (Engine.replay replica ~decided:(fun _ -> false) records);
+  check "replay state" true
+    (Wal_check.dump (Engine.table replica "kv") = [ ("a", 1); ("b", 2); ("c", 3) ])
+
+(* -- Db end-to-end recovery ----------------------------------------------- *)
+
+let not_failed = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Db.error_to_string e)
+
+let test_db_clean_restart () =
+  let wal_dir = fresh_dir "db_clean" in
+  let db = Db.create ~wal_dir ~partitions:2 () in
+  for i = 0 to 29 do
+    ignore (not_failed (Db.put db (Printf.sprintf "key%03d" i) (Db.Int i)))
+  done;
+  ignore (not_failed (Db.put db "pi" (Db.Float 3.14)));
+  ignore (not_failed (Db.put db "name" (Db.Str "hybrid")));
+  ignore (not_failed (Db.delete db "key007"));
+  Db.close db;
+  let db2 = Db.create ~wal_dir ~partitions:2 () in
+  (match Db.recovery db2 with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r -> check "recovery replayed txns" true (r.Router.replayed_txns >= 30));
+  for i = 0 to 29 do
+    let want = if i = 7 then None else Some (Db.Int i) in
+    check "recovered value" true (not_failed (Db.get db2 (Printf.sprintf "key%03d" i)) = want)
+  done;
+  check "recovered float" true (not_failed (Db.get db2 "pi") = Some (Db.Float 3.14));
+  check "recovered string" true (not_failed (Db.get db2 "name") = Some (Db.Str "hybrid"));
+  (* writes keep working and surviving a second restart *)
+  ignore (not_failed (Db.put db2 "after" (Db.Int 99)));
+  Db.close db2;
+  let db3 = Db.create ~wal_dir ~partitions:2 () in
+  check "second-generation write" true (not_failed (Db.get db3 "after") = Some (Db.Int 99));
+  Db.close db3
+
+let test_db_crash_image () =
+  let wal_dir = fresh_dir "db_crash" in
+  let db = Db.create ~wal_dir ~partitions:2 () in
+  for i = 0 to 49 do
+    ignore (not_failed (Db.put db (Printf.sprintf "acked%03d" i) (Db.Int i)))
+  done;
+  (* every put above was acknowledged, so it must already be durable:
+     a byte-copy of the wal directory is the crash image an instant
+     SIGKILL would leave *)
+  let image = crash_image wal_dir "db_crash_img" in
+  let db2 = Db.create ~wal_dir:image ~partitions:2 () in
+  for i = 0 to 49 do
+    check "acked write survived the crash" true
+      (not_failed (Db.get db2 (Printf.sprintf "acked%03d" i)) = Some (Db.Int i))
+  done;
+  Db.close db2;
+  Db.close db
+
+let test_db_checkpoint () =
+  let wal_dir = fresh_dir "db_ckpt" in
+  let db = Db.create ~wal_dir ~partitions:2 () in
+  for i = 0 to 39 do
+    ignore (not_failed (Db.put db (Printf.sprintf "ck%03d" i) (Db.Int i)))
+  done;
+  ignore (not_failed (Db.delete db "ck013"));
+  check_int "both partitions checkpointed" 2 (Db.checkpoint db);
+  (* post-checkpoint writes land in the (now truncated) logs *)
+  ignore (not_failed (Db.put db "post" (Db.Str "ckpt")));
+  Db.close db;
+  let db2 = Db.create ~wal_dir ~partitions:2 () in
+  (match Db.recovery db2 with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r -> check_int "checkpoints loaded" 2 r.Router.checkpoints_loaded);
+  for i = 0 to 39 do
+    let want = if i = 13 then None else Some (Db.Int i) in
+    check "checkpointed value" true (not_failed (Db.get db2 (Printf.sprintf "ck%03d" i)) = want)
+  done;
+  check "post-checkpoint write" true (not_failed (Db.get db2 "post") = Some (Db.Str "ckpt"));
+  Db.close db2
+
+let test_db_torn_tail () =
+  let wal_dir = fresh_dir "db_torn" in
+  let db = Db.create ~wal_dir ~partitions:2 () in
+  for i = 0 to 19 do
+    ignore (not_failed (Db.put db (Printf.sprintf "tt%03d" i) (Db.Int i)))
+  done;
+  Db.close db;
+  (* simulate a crash mid-append: garbage bytes on one log's tail *)
+  let p0 = Filename.concat wal_dir "p0.log" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 p0 in
+  output_string oc "\x00\x00\x01\x00half-a-record";
+  close_out oc;
+  let db2 = Db.create ~wal_dir ~partitions:2 () in
+  (match Db.recovery db2 with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r -> check "torn tail truncated" true (r.Router.torn_tails >= 1));
+  for i = 0 to 19 do
+    check "data before the tear intact" true
+      (not_failed (Db.get db2 (Printf.sprintf "tt%03d" i)) = Some (Db.Int i))
+  done;
+  Db.close db2
+
+let test_wal_metrics_surfaced () =
+  let dump = Hi_util.Metrics.dump () in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun m -> check ("metrics registry has " ^ m) true (contains dump m))
+    [ "wal_appends"; "fsync_count"; "group_commit_batch"; "recovery_replay_seconds" ]
+
+(* -- 2PC durability across partition logs --------------------------------- *)
+
+let kv_router wal_dir =
+  Router.create ~durability:(Router.durability wal_dir) ~partitions:2
+    ~init:(fun _ engine -> ignore (Engine.create_table engine Wal_check.kv_schema))
+    ()
+
+let lookup router p k =
+  match
+    Router.single router ~partition:p (fun engine ->
+        let tbl = Engine.table engine "kv" in
+        match Table.find_by_pk tbl [ Value.Str k ] with
+        | Some rowid -> Some (Value.as_int (Engine.read engine tbl rowid).(1))
+        | None -> None)
+  with
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Engine.txn_error_to_string e)
+
+let participant p k v : Router.participant =
+  {
+    Router.part = p;
+    body = (fun engine -> Wal_check.apply_put engine (Engine.table engine "kv") k v);
+  }
+
+let test_2pc_commit_durable () =
+  let wal_dir = fresh_dir "twopc_commit" in
+  let router = kv_router wal_dir in
+  (match Router.multi router [ participant 0 "left" 1; participant 1 "right" 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Engine.txn_error_to_string e));
+  (* the coordinator acknowledged: both sides must survive a crash NOW,
+     before any further sync — the Prepare records and the Decide are
+     already durable by protocol *)
+  let image = crash_image wal_dir "twopc_commit_img" in
+  let replica = kv_router image in
+  check "left side recovered" true (lookup replica 0 "left" = Some 1);
+  check "right side recovered" true (lookup replica 1 "right" = Some 2);
+  Router.stop replica;
+  Router.stop router
+
+let test_2pc_abort_not_resurrected () =
+  let wal_dir = fresh_dir "twopc_abort" in
+  let router = kv_router wal_dir in
+  let aborting : Router.participant =
+    {
+      Router.part = 1;
+      body =
+        (fun engine ->
+          Wal_check.apply_put engine (Engine.table engine "kv") "doomed" 9;
+          raise (Engine.Abort "2pc abort test"));
+    }
+  in
+  (match Router.multi router [ participant 0 "ghost" 1; aborting ] with
+  | Ok () -> Alcotest.fail "aborting 2PC transaction committed"
+  | Error _ -> ());
+  check "live abort rolled back" true (lookup router 0 "ghost" = None);
+  (* partition 0's log may hold a durable Prepare for the aborted txn;
+     with no Decide in the coordinator log, recovery must presume abort
+     — the write must NOT come back from the dead *)
+  let image = crash_image wal_dir "twopc_abort_img" in
+  let replica = kv_router image in
+  check "aborted prepare not resurrected" true (lookup replica 0 "ghost" = None);
+  check "aborting side absent" true (lookup replica 1 "doomed" = None);
+  (match Router.recovery replica with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r -> check "undecided prepare skipped" true (r.Router.skipped_undecided >= 1));
+  Router.stop replica;
+  (* committed transactions around the abort still recover *)
+  (match Router.multi router [ participant 0 "solid" 5; participant 1 "rock" 6 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Engine.txn_error_to_string e));
+  let image2 = crash_image wal_dir "twopc_abort_img2" in
+  let replica2 = kv_router image2 in
+  check "later commit recovered" true (lookup replica2 0 "solid" = Some 5);
+  check "later commit recovered (right)" true (lookup replica2 1 "rock" = Some 6);
+  Router.stop replica2;
+  Router.stop router
+
+(* -- suite ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        [ Alcotest.test_case "record roundtrip" `Quick (run_prop "roundtrip" Wal_check.record_roundtrip) ] );
+      ( "file",
+        [
+          Alcotest.test_case "file roundtrip" `Quick (dir_prop "file_roundtrip" Wal_check.file_roundtrip);
+          Alcotest.test_case "truncated tail" `Quick (dir_prop "truncated_tail" Wal_check.truncated_tail);
+          Alcotest.test_case "corrupt byte" `Quick (dir_prop "corrupt_byte" Wal_check.corrupt_byte);
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fsync failure" `Quick test_fsync_failure;
+          Alcotest.test_case "torn write" `Quick test_torn_write;
+          Alcotest.test_case "short write" `Quick test_short_write;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ack deferral" `Quick test_ack_deferral;
+          Alcotest.test_case "group commit batch" `Quick test_group_commit_batch;
+          Alcotest.test_case "crash-point differential" `Quick
+            (dir_prop "crash_points" Wal_check.crash_points);
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "clean restart" `Quick test_db_clean_restart;
+          Alcotest.test_case "crash image" `Quick test_db_crash_image;
+          Alcotest.test_case "checkpoint" `Quick test_db_checkpoint;
+          Alcotest.test_case "torn tail" `Quick test_db_torn_tail;
+          Alcotest.test_case "metrics surfaced" `Quick test_wal_metrics_surfaced;
+        ] );
+      ( "twopc",
+        [
+          Alcotest.test_case "commit durable" `Quick test_2pc_commit_durable;
+          Alcotest.test_case "abort not resurrected" `Quick test_2pc_abort_not_resurrected;
+        ] );
+    ]
