@@ -5,7 +5,12 @@
    Experiments (one per table/figure of the paper — see DESIGN.md §4):
      table1 table2 table3 table4
      fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13
-     scaling         (domain-per-partition throughput at --partitions N)
+     scaling         (domain-per-partition throughput at --partitions N,
+                      plus the multi_partition_mix axis: concurrent
+                      transfer clients at 0/10/20% cross-partition 2PC,
+                      recorded per mix — the ordered per-partition lock
+                      protocol of DESIGN.md §14 is what lets the mixed
+                      rows scale past one coordinator)
      netbench        (wire-protocol server loadgen over loopback TCP)
      durability      (WAL group-commit cost + SIGKILL/recover verification)
      bechamel        (OLS microbenchmarks of the core operations)

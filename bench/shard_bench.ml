@@ -107,6 +107,149 @@ let record_rows workload ~partitions (stats : Shard_runner.stats) ~consistent =
             ]))
     stats.per_partition
 
+(* --- multi_partition_mix axis: concurrent transfer clients ---------------
+
+   Bank accounts striped [id mod partitions]; several client domains run
+   transfers concurrently, a [mix] fraction of them cross-partition
+   through the 2PC coordinator.  Before the ordered per-partition lock
+   protocol (DESIGN.md §14) every cross-partition transfer serialized on
+   one global coordinator lock; with it, coordinators with disjoint
+   participant sets overlap — so on a multicore host committed tps at
+   --partitions N must beat 1 partition even at 10–20% mix (CI asserts
+   exactly that).  Clients issue transfers synchronously, one at a time,
+   so the concurrency measured is the router's, not a pipelining
+   artifact. *)
+
+let transfer_clients = 4
+let transfer_txns () = max 8_000 (scaled 80_000)
+let transfer_accounts ~partitions = partitions * max 2_000 (scaled 8_000)
+
+let transfer_schema =
+  Hi_hstore.Schema.make ~name:"accounts"
+    ~columns:[ ("id", Hi_hstore.Value.TInt); ("balance", Hi_hstore.Value.TInt) ]
+    ~pk:[ "id" ] ()
+
+let transfer_mix_run ~partitions ~mix =
+  let module E = Hi_hstore.Engine in
+  let module T = Hi_hstore.Table in
+  let module V = Hi_hstore.Value in
+  let universe = transfer_accounts ~partitions in
+  let router =
+    Router.create ~partitions
+      ~init:(fun p engine ->
+        let tbl = E.create_table engine transfer_schema in
+        let id = ref p in
+        while !id < universe do
+          ignore (T.insert tbl [| V.Int !id; V.Int 1_000 |]);
+          id := !id + partitions
+        done)
+      ()
+  in
+  let body id delta engine =
+    let tbl = E.table engine "accounts" in
+    match T.find_by_pk tbl [ V.Int id ] with
+    | None -> raise (E.Abort "missing account")
+    | Some rowid ->
+      let bal = match (T.read tbl rowid).(1) with V.Int b -> b | _ -> 0 in
+      if bal + delta < 0 then raise (E.Abort "insufficient");
+      E.update engine tbl rowid [ (1, V.Int (bal + delta)) ]
+  in
+  let per_client = transfer_txns () / transfer_clients in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init transfer_clients (fun c ->
+        Domain.spawn (fun () ->
+            let rng = Hi_util.Xorshift.create (0xBEEF + (31 * c)) in
+            let ok = ref 0 and ab = ref 0 and mp = ref 0 in
+            for _ = 1 to per_client do
+              let a = Hi_util.Xorshift.int rng universe in
+              let cross = partitions > 1 && Hi_util.Xorshift.float01 rng < mix in
+              let rec pick () =
+                let b = Hi_util.Xorshift.int rng universe in
+                let same_part = b mod partitions = a mod partitions in
+                if (if cross then same_part else b = a || not same_part) then pick () else b
+              in
+              let b = pick () in
+              let r =
+                if cross then begin
+                  incr mp;
+                  Router.multi router
+                    [
+                      { Router.part = a mod partitions; body = body a (-1) };
+                      { Router.part = b mod partitions; body = body b 1 };
+                    ]
+                end
+                else
+                  Router.single router ~partition:(a mod partitions) (fun engine ->
+                      body a (-1) engine;
+                      body b 1 engine)
+              in
+              match r with Ok () -> incr ok | Error _ -> incr ab
+            done;
+            (!ok, !ab, !mp)))
+  in
+  let results = List.map Domain.join domains in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* conservation: transfers only move balance, so the total is fixed no
+     matter how coordinators interleaved — the bench's consistency check *)
+  let total =
+    List.fold_left
+      (fun acc p ->
+        match
+          Router.single router ~partition:p (fun engine ->
+              let tbl = E.table engine "accounts" in
+              let sum = ref 0 in
+              T.iter_live tbl (fun _ row ->
+                  match row.(1) with V.Int b -> sum := !sum + b | _ -> ());
+              !sum)
+        with
+        | Ok s -> acc + s
+        | Error _ -> acc)
+      0
+      (List.init partitions Fun.id)
+  in
+  let consistent = total = universe * 1_000 in
+  Router.stop router;
+  let committed = List.fold_left (fun acc (ok, _, _) -> acc + ok) 0 results in
+  let aborted = List.fold_left (fun acc (_, ab, _) -> acc + ab) 0 results in
+  let multi = List.fold_left (fun acc (_, _, mp) -> acc + mp) 0 results in
+  (committed, aborted, multi, elapsed_s, consistent)
+
+let transfer_mixes ~parts_list =
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun partitions ->
+          let committed, aborted, multi, elapsed_s, consistent =
+            transfer_mix_run ~partitions ~mix
+          in
+          let tps = if elapsed_s > 0.0 then float_of_int committed /. elapsed_s else 0.0 in
+          let mix_pct = int_of_float (mix *. 100.0) in
+          Results.(
+            record
+              ~config:
+                [
+                  ("workload", str "transfer");
+                  ("partitions", int partitions);
+                  ("multi_partition_mix", int mix_pct);
+                  ("clients", int transfer_clients);
+                  ("txns", int (transfer_txns ()));
+                  ("row", str "aggregate");
+                ]
+              ~metrics:
+                [
+                  ("tps", num tps);
+                  ("committed", int committed);
+                  ("aborted", int aborted);
+                  ("multi_partition_txns", int multi);
+                  ("elapsed_s", num elapsed_s);
+                  ("consistent", str (if consistent then "true" else "false"));
+                ]);
+          Printf.printf "%-9s | %4d | %5d%% | %10d %10d %8d | %10.0f | %b\n%!" "transfer"
+            partitions mix_pct committed aborted multi tps consistent)
+        parts_list)
+    [ 0.0; 0.10; 0.20 ]
+
 let scaling () =
   let n = max 1 !Common.partitions in
   let parts_list = if n = 1 then [ 1 ] else [ 1; n ] in
@@ -126,4 +269,11 @@ let scaling () =
             partitions stats.committed stats.aborted stats.multi stats.multi_aborted stats.tps
             (stats.p99_latency_s *. 1.0e6) consistent)
         parts_list)
-    [ "voter"; "tpcc" ]
+    [ "voter"; "tpcc" ];
+  section
+    (Printf.sprintf
+       "Cross-partition mix: %d concurrent transfer clients, 0/10/20%% through 2PC" transfer_clients);
+  Printf.printf "%-9s | %4s | %6s | %10s %10s %8s | %10s | %s\n" "workload" "P" "mix" "committed"
+    "aborted" "multi" "tps" "consistent";
+  hr ();
+  transfer_mixes ~parts_list

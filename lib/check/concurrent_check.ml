@@ -1,0 +1,622 @@
+(* Concurrent stress/differential check of the live Parallel router
+   (DESIGN.md §14).
+
+   Where [Shard_check] drives the Sequential deterministic scheduler,
+   this harness attacks the path production traffic actually takes: many
+   client domains firing overlapping cross-partition transfers and
+   sprays at a router whose coordinators run concurrently under the
+   ordered per-partition lock protocol.  Exact per-op differential
+   checking is impossible under real concurrency (interleavings are not
+   observable), so the harness checks global invariants instead:
+
+   - value conservation: transfers only move balance between seeded
+     accounts, so their total is constant no matter how transfers
+     interleave or abort.  A partial cross-partition commit (debit
+     without credit) breaks the sum.
+   - all-or-nothing sprays: each spray inserts client-private fresh ids
+     across several partitions.  Clean sprays must commit and leave every
+     row; poisoned sprays (one id collides with a seeded account) must
+     abort and leave none.  Per-op expectations stay deterministic even
+     under concurrency because seeded accounts are never deleted.
+   - no negative balances, no rows from aborted sprays, and (in the
+     crash variant) no acknowledged spray lost after SIGKILL + recovery.
+   - deadlock-freedom: a watchdog deadline over the whole schedule; if
+     the clients do not finish in time, the schedule is reported as a
+     suspected deadlock (with its seed) rather than hanging the suite.
+
+   Schedules are seeded data (a pure function of the seed), so a failing
+   seed reproduces the same op streams; [run] retries a violating
+   schedule with fewer clients / fewer ops first and reports the
+   smallest configuration that still fails, Runner-style. *)
+
+open Hi_hstore
+open Hi_util
+open Hi_shard
+
+type cop =
+  | CTransfer of int * int * int  (* from id, to id, amount *)
+  | CSpray of { ids : int list; poison : int option; bal : int }
+      (* insert [ids] (client-private fresh) plus, when poisoned, one
+         colliding seeded id — which forces a full multi-partition abort *)
+  | CRead of int
+
+type config = {
+  partitions : int;
+  clients : int;
+  ops_per_client : int;
+  accounts_per_partition : int;
+  initial_balance : int;
+  hot_accounts : int; (* transfers bias into this many ids: forced overlap *)
+  timeout_s : float; (* watchdog deadline for the whole schedule *)
+  fresh_salt : int; (* offsets spray-id ranges; the crash child bumps it per round *)
+}
+
+let default_config =
+  {
+    partitions = 3;
+    clients = 4;
+    ops_per_client = 120;
+    accounts_per_partition = 40;
+    initial_balance = 1_000;
+    hot_accounts = 8;
+    timeout_s = 60.0;
+    fresh_salt = 0;
+  }
+
+type outcome = {
+  committed : int;
+  aborted : int;
+  multi : int; (* cross-partition transactions dispatched *)
+  violations : string list;
+}
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", Value.TInt); ("balance", Value.TInt) ]
+    ~pk:[ "id" ] ()
+
+let universe cfg = cfg.partitions * cfg.accounts_per_partition
+let part cfg id = id mod cfg.partitions
+
+(* Client-private fresh-id ranges keep spray id sets disjoint across
+   clients, ops and crash-child rounds, so presence/absence of a sprayed
+   row is attributable to exactly one spray. *)
+let fresh_base cfg client =
+  universe cfg + 1_000_000 + (((cfg.fresh_salt * 64) + client) * 1_000_000)
+
+(* --- schedule generation: pure function of (cfg, seed) --- *)
+
+let gen_client_ops cfg ~seed ~client =
+  let rng = Xorshift.create (seed lxor (0x9E3779B9 * (client + 1))) in
+  let u = universe cfg in
+  let hot () = Xorshift.int rng (max 1 cfg.hot_accounts) in
+  let any () = Xorshift.int rng u in
+  let acct () = if Xorshift.float01 rng < 0.5 then hot () else any () in
+  let fresh = ref 0 in
+  let next_fresh () =
+    incr fresh;
+    fresh_base cfg client + !fresh
+  in
+  List.init cfg.ops_per_client (fun _ ->
+      let r = Xorshift.float01 rng in
+      if r < 0.55 then CTransfer (acct (), acct (), 1 + Xorshift.int rng 40)
+      else if r < 0.70 then CRead (any ())
+      else begin
+        (* ids spanning several partitions; ~1/3 poisoned with a seeded id
+           so the multi-partition abort path runs under contention *)
+        let k = 2 + Xorshift.int rng (max 2 cfg.partitions) in
+        let ids = List.init k (fun _ -> next_fresh ()) in
+        let poison = if Xorshift.float01 rng < 0.33 then Some (acct ()) else None in
+        CSpray { ids; poison; bal = 1 + Xorshift.int rng 100 }
+      end)
+
+(* --- per-partition transaction bodies --- *)
+
+let balance_of tbl id =
+  match Table.find_by_pk tbl [ Value.Int id ] with
+  | None -> None
+  | Some rowid -> (
+    match (Table.read tbl rowid).(1) with Value.Int b -> Some b | _ -> None)
+
+let debit_body id amt engine =
+  let tbl = Engine.table engine "accounts" in
+  match Table.find_by_pk tbl [ Value.Int id ] with
+  | None -> raise (Engine.Abort "debit: no such account")
+  | Some rowid ->
+    let bal = match (Table.read tbl rowid).(1) with Value.Int b -> b | _ -> 0 in
+    if bal < amt then raise (Engine.Abort "debit: insufficient");
+    Engine.update engine tbl rowid [ (1, Value.Int (bal - amt)) ]
+
+let credit_body id amt engine =
+  let tbl = Engine.table engine "accounts" in
+  match Table.find_by_pk tbl [ Value.Int id ] with
+  | None -> raise (Engine.Abort "credit: no such account")
+  | Some rowid ->
+    let bal = match (Table.read tbl rowid).(1) with Value.Int b -> b | _ -> 0 in
+    Engine.update engine tbl rowid [ (1, Value.Int (bal + amt)) ]
+
+let insert_body id bal engine =
+  let tbl = Engine.table engine "accounts" in
+  if Table.find_by_pk tbl [ Value.Int id ] <> None then raise (Engine.Abort "duplicate id");
+  ignore (Engine.insert engine tbl [| Value.Int id; Value.Int bal |])
+
+(* Dispatch one client op through the router.  Returns [Ok] / [Error] as
+   the router reported it; raises only on harness bugs. *)
+let exec_op cfg router op =
+  match op with
+  | CRead id ->
+    Router.single router ~partition:(part cfg id) (fun engine ->
+        ignore (balance_of (Engine.table engine "accounts") id))
+  | CTransfer (a, b, amt) ->
+    if a = b then Error (Engine.Txn_aborted "self transfer")
+    else if part cfg a = part cfg b then
+      Router.single router ~partition:(part cfg a) (fun engine ->
+          debit_body a amt engine;
+          credit_body b amt engine)
+    else
+      Router.multi router
+        [
+          { Router.part = part cfg a; body = debit_body a amt };
+          { Router.part = part cfg b; body = credit_body b amt };
+        ]
+  | CSpray { ids; poison; bal } ->
+    let all = match poison with None -> ids | Some p -> p :: ids in
+    let by_part = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        let p = part cfg id in
+        Hashtbl.replace by_part p (id :: Option.value ~default:[] (Hashtbl.find_opt by_part p)))
+      all;
+    let participants =
+      Hashtbl.fold
+        (fun p ids acc ->
+          { Router.part = p; body = (fun e -> List.iter (fun id -> insert_body id bal e) ids) }
+          :: acc)
+        by_part []
+    in
+    (match participants with
+    | [ { Router.part = p; body } ] -> Router.single router ~partition:p body
+    | ps -> Router.multi router ps)
+
+let is_multi cfg = function
+  | CTransfer (a, b, _) -> a <> b && part cfg a <> part cfg b
+  | CSpray { ids; poison; _ } ->
+    let all = match poison with None -> ids | Some p -> p :: ids in
+    List.length (List.sort_uniq compare (List.map (part cfg) all)) > 1
+  | CRead _ -> false
+
+(* --- execution against a live router --- *)
+
+type client_result = {
+  c_committed : int;
+  c_aborted : int;
+  c_multi : int;
+  c_sprays : (cop * bool) list; (* spray op, committed? *)
+  c_errors : string list; (* per-op expectation failures *)
+}
+
+let run_client cfg router ops ~on_acked =
+  let committed = ref 0 and aborted = ref 0 and multi = ref 0 in
+  let sprays = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun op ->
+      if is_multi cfg op then incr multi;
+      let r = exec_op cfg router op in
+      (match r with Ok () -> incr committed | Error _ -> incr aborted);
+      (match (op, r) with
+      | CSpray { poison = Some _; _ }, Ok () ->
+        errors := "poisoned spray committed (duplicate id accepted)" :: !errors
+      | CSpray { poison = None; _ }, Error e ->
+        errors :=
+          Printf.sprintf "clean spray aborted: %s" (Engine.txn_error_to_string e) :: !errors
+      | _ -> ());
+      match (op, r) with
+      | CSpray _, _ ->
+        sprays := (op, r = Ok ()) :: !sprays;
+        if r = Ok () then on_acked op
+      | _ -> ())
+    ops;
+  {
+    c_committed = !committed;
+    c_aborted = !aborted;
+    c_multi = !multi;
+    c_sprays = List.rev !sprays;
+    c_errors = List.rev !errors;
+  }
+
+(* Sum over seeded accounts and collect sprayed rows, inside each
+   partition's own domain (the only place its table may be touched while
+   the router is live). *)
+let sweep_partition cfg router p =
+  match
+    Router.single router ~partition:p (fun engine ->
+        let tbl = Engine.table engine "accounts" in
+        let seeded_sum = ref 0 and negatives = ref 0 in
+        let sprayed = ref [] in
+        Table.iter_live tbl (fun _ row ->
+            match (row.(0), row.(1)) with
+            | Value.Int id, Value.Int bal ->
+              if bal < 0 then incr negatives;
+              if id < universe cfg then seeded_sum := !seeded_sum + bal
+              else sprayed := (id, bal) :: !sprayed
+            | _ -> ());
+        (!seeded_sum, !negatives, !sprayed))
+  with
+  | Ok v -> v
+  | Error e -> failwith ("sweep failed: " ^ Engine.txn_error_to_string e)
+
+(* Check the global invariants over the swept state plus every client's
+   spray record.  Shared by the live run and the crash-recovery check. *)
+let check_invariants cfg ~seeded_sum ~negatives ~sprayed_rows ~sprays =
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let expected_total = universe cfg * cfg.initial_balance in
+  if seeded_sum <> expected_total then
+    violate "conservation broken: seeded accounts sum to %d, expected %d (partial commit?)"
+      seeded_sum expected_total;
+  if negatives > 0 then violate "%d accounts have negative balances" negatives;
+  let sprayed : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun (id, bal) -> Hashtbl.replace sprayed id bal) sprayed_rows;
+  let accounted = ref 0 in
+  List.iter
+    (fun (op, committed) ->
+      match op with
+      | CSpray { ids; poison; bal } ->
+        let present = List.filter (fun id -> Hashtbl.mem sprayed id) ids in
+        let n_present = List.length present and n = List.length ids in
+        if committed then begin
+          if n_present <> n then
+            violate "committed spray lost rows: %d of %d present" n_present n;
+          List.iter
+            (fun id ->
+              match Hashtbl.find_opt sprayed id with
+              | Some b when b <> bal -> violate "sprayed id %d has balance %d, wanted %d" id b bal
+              | _ -> ())
+            ids;
+          (match poison with
+          | Some _ -> () (* already flagged as a per-op violation by the client *)
+          | None -> ());
+          accounted := !accounted + n_present
+        end
+        else if n_present <> 0 then
+          violate "aborted spray left %d partial rows (ids %s): partial commit" n_present
+            (String.concat "," (List.map string_of_int present))
+      | _ -> ())
+    sprays;
+  (* no unaccounted fresh rows: every sprayed row must belong to a spray
+     the clients recorded as committed *)
+  if Hashtbl.length sprayed <> !accounted then
+    violate "%d sprayed rows exist but only %d belong to committed sprays"
+      (Hashtbl.length sprayed) !accounted;
+  List.rev !violations
+
+(* init must insert each partition's stripe of seeded accounts; it also
+   has to be deterministic for WAL recovery (replay upserts on top). *)
+let seed_accounts cfg p engine =
+  let tbl = Engine.create_table engine accounts_schema in
+  for id = 0 to universe cfg - 1 do
+    if part cfg id = p then ignore (Table.insert tbl [| Value.Int id; Value.Int cfg.initial_balance |])
+  done
+
+(* Run one seeded schedule against a live Parallel router.  Returns the
+   outcome; the router is created and stopped inside. *)
+let run_schedule ?durability cfg ~seed ~on_acked () =
+  let router =
+    Router.create ?durability ~partitions:cfg.partitions ~init:(seed_accounts cfg) ()
+  in
+  let ops = Array.init cfg.clients (fun c -> gen_client_ops cfg ~seed ~client:c) in
+  let finished = Atomic.make 0 in
+  let results = Array.make cfg.clients None in
+  let domains =
+    Array.init cfg.clients (fun c ->
+        Domain.spawn (fun () ->
+            let r = run_client cfg router ops.(c) ~on_acked in
+            results.(c) <- Some r;
+            Atomic.incr finished))
+  in
+  (* watchdog: a lock-protocol bug shows up as a hang, not a result.
+     Poll the finish counter against the deadline instead of joining
+     blindly so a deadlocked schedule fails with its seed. *)
+  let deadline = Unix.gettimeofday () +. cfg.timeout_s in
+  let rec wait () =
+    if Atomic.get finished = cfg.clients then `Done
+    else if Unix.gettimeofday () > deadline then `Hung
+    else begin
+      Unix.sleepf 0.002;
+      wait ()
+    end
+  in
+  match wait () with
+  | `Hung ->
+    (* do NOT stop the router or join: both would hang the suite.  The
+       leaked domains are the diagnostic cost of a failing schedule. *)
+    {
+      committed = 0;
+      aborted = 0;
+      multi = 0;
+      violations =
+        [
+          Printf.sprintf
+            "watchdog: schedule did not finish in %.0f s (suspected coordinator deadlock)"
+            cfg.timeout_s;
+        ];
+    }
+  | `Done ->
+    Array.iter Domain.join domains;
+    let clients = Array.to_list (Array.map (fun r -> Option.get r) results) in
+    let sweeps = List.init cfg.partitions (fun p -> sweep_partition cfg router p) in
+    let seeded_sum = List.fold_left (fun a (s, _, _) -> a + s) 0 sweeps in
+    let negatives = List.fold_left (fun a (_, n, _) -> a + n) 0 sweeps in
+    let sprayed_rows = List.concat_map (fun (_, _, r) -> r) sweeps in
+    let sprays = List.concat_map (fun c -> c.c_sprays) clients in
+    let per_op = List.concat_map (fun c -> c.c_errors) clients in
+    Router.stop router;
+    {
+      committed = List.fold_left (fun a c -> a + c.c_committed) 0 clients;
+      aborted = List.fold_left (fun a c -> a + c.c_aborted) 0 clients;
+      multi = List.fold_left (fun a c -> a + c.c_multi) 0 clients;
+      violations =
+        per_op @ check_invariants cfg ~seeded_sum ~negatives ~sprayed_rows ~sprays;
+    }
+
+(* --- shrinking: reduce the failing configuration, not the interleaving ---
+
+   Concurrent failures are schedule-shaped, not op-shaped: the
+   interleaving is the scheduler's, so removing single ops (Runner-style)
+   mostly destroys the race.  Instead shrink the *configuration* —
+   fewer clients, then fewer ops per client — re-running each candidate a
+   few times because a race needs luck to fire.  Deterministic
+   violations (watchdog deadlocks, conservation breaks from a logic bug)
+   shrink reliably; flaky ones keep the original config. *)
+
+let shrink_retries = 3
+
+let fails cfg ~seed =
+  let rec go n =
+    if n = 0 then false
+    else if (run_schedule cfg ~seed ~on_acked:(fun _ -> ()) ()).violations <> [] then true
+    else go (n - 1)
+  in
+  go shrink_retries
+
+let shrink cfg ~seed =
+  let candidates c =
+    (if c.clients > 2 then [ { c with clients = c.clients - 1 } ] else [])
+    @ (if c.ops_per_client > 10 then [ { c with ops_per_client = c.ops_per_client / 2 } ] else [])
+  in
+  let rec go c =
+    match List.find_opt (fun c' -> fails c' ~seed) (candidates c) with
+    | Some c' -> go c'
+    | None -> c
+  in
+  go cfg
+
+let describe cfg =
+  Printf.sprintf "partitions=%d clients=%d ops/client=%d" cfg.partitions cfg.clients
+    cfg.ops_per_client
+
+let run ?(cfg = default_config) ~seed () =
+  let o = run_schedule cfg ~seed ~on_acked:(fun _ -> ()) () in
+  if o.violations = [] then o
+  else begin
+    let small = shrink cfg ~seed in
+    let o' =
+      if small = cfg then o else run_schedule small ~seed ~on_acked:(fun _ -> ()) ()
+    in
+    let o' = if o'.violations = [] then o (* shrunk run got lucky; report the original *) else o' in
+    {
+      o' with
+      violations =
+        Printf.sprintf "seed %d, shrunk to %s (reproduce: HI_CONC_SEED=%d)" seed
+          (describe small) seed
+        :: o'.violations;
+    }
+  end
+
+(* --- crash variant: SIGKILL mid-schedule, recover, audit ----------------
+
+   The child is a re-exec of the current test binary (fork alone does not
+   mix with OCaml domains and tick threads): it runs a durable router
+   under the full concurrent schedule and appends one line per
+   *acknowledged* spray to an O_APPEND audit file (a single write(2) per
+   line: atomic, and visible to the parent through the shared page cache
+   even after SIGKILL).  The parent kills it mid-run, recovers the WAL
+   directory into a fresh router, and checks:
+   - every acknowledged clean spray is fully present (acked means durable);
+   - no spray — acked or not — is partially present (atomicity across
+     partition logs, presumed abort for undecided prepares);
+   - seeded-account conservation still holds (no partial transfer
+     commit survived recovery);
+   - poisoned sprays never surface.
+
+   Unacknowledged sprays may land either way; that is the contract. *)
+
+type crash_outcome = {
+  acked_sprays : int;
+  lost_sprays : int;
+  recovery : Router.recovery;
+  crash_violations : string list;
+}
+
+let write_line fd s = ignore (Unix.write_substring fd (s ^ "\n") 0 (String.length s + 1))
+
+let spray_key = function
+  | CSpray { ids; _ } -> String.concat "," (List.map string_of_int ids)
+  | _ -> invalid_arg "spray_key"
+
+let crash_child cfg ~seed ~wal_dir ~audit_path =
+  (* fresh process: build the durable router and hammer it until killed *)
+  let audit = Unix.openfile audit_path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+  let on_acked op =
+    match op with
+    | CSpray { poison = None; bal; _ } ->
+      write_line audit (Printf.sprintf "A %d %s" bal (spray_key op))
+    | _ -> ()
+  in
+  (* loop schedules forever (bumping seed and spray-id salt) so the kill
+     always lands mid-traffic no matter how fast the machine is *)
+  let k = ref 0 in
+  while true do
+    let cfg = { cfg with timeout_s = 300.0; fresh_salt = !k } in
+    ignore
+      (run_schedule ~durability:(Router.durability wal_dir) cfg ~seed:(seed + (1000 * !k))
+         ~on_acked ());
+    incr k
+  done
+
+(* Child-process entry: every binary that calls {!crash_run} must call
+   this first thing in [main]; it hijacks the process when the crash-run
+   parent re-execs it with the magic flag. *)
+let crash_child_flag = "--hi-conc-crash-child"
+
+let maybe_crash_child () =
+  match Array.to_list Sys.argv with
+  | _ :: flag :: dir :: rest when flag = crash_child_flag -> (
+    match List.filter_map int_of_string_opt rest with
+    | [ seed; partitions; clients; ops_per_client; accounts_per_partition; hot_accounts ] ->
+      let cfg =
+        {
+          default_config with
+          partitions;
+          clients;
+          ops_per_client;
+          accounts_per_partition;
+          hot_accounts;
+        }
+      in
+      crash_child cfg ~seed ~wal_dir:(Filename.concat dir "wal")
+        ~audit_path:(Filename.concat dir "audit.log")
+    | _ ->
+      prerr_endline "bad crash-child argv";
+      exit 2)
+  | _ -> ()
+
+let parse_audit path =
+  let ic = open_in path in
+  let acked = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' line with
+       | [ "A"; bal; ids ] ->
+         let ids = List.filter_map int_of_string_opt (String.split_on_char ',' ids) in
+         (match int_of_string_opt bal with
+         | Some b when ids <> [] -> acked := (ids, b) :: !acked
+         | _ -> ())
+       | _ -> () (* torn final line: the ack was not fully recorded; skip *)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acked
+
+let count_lines path =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+
+(* Re-exec this binary as the crash child, let it commit [min_acks]
+   sprays durably, SIGKILL it mid-traffic, then recover and audit.  The
+   calling binary must invoke {!maybe_crash_child} at the top of its
+   [main]. *)
+let crash_run ?(cfg = default_config) ?(min_acks = 30) ?(kill_timeout_s = 120.0) ~dir ~seed () =
+  let audit_path = Filename.concat dir "audit.log" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let exe = Sys.executable_name in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list
+         ([ exe; crash_child_flag; dir ]
+         @ List.map string_of_int
+             [
+               seed;
+               cfg.partitions;
+               cfg.clients;
+               cfg.ops_per_client;
+               cfg.accounts_per_partition;
+               cfg.hot_accounts;
+             ]))
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  (* wait for enough durable acks, then kill mid-traffic *)
+  let deadline = Unix.gettimeofday () +. kill_timeout_s in
+  let rec wait () =
+    if count_lines audit_path >= min_acks then ()
+    else begin
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _ -> failwith "concurrent_check: crash child exited before the kill");
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        failwith "concurrent_check: crash child produced too few acks before the deadline"
+      end;
+      Unix.sleepf 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  let wal_dir = Filename.concat dir "wal" in
+  let acked = parse_audit audit_path in
+  (* recover into a fresh router over the crash image *)
+  let router =
+    Router.create ~durability:(Router.durability wal_dir) ~partitions:cfg.partitions
+      ~init:(seed_accounts cfg) ()
+  in
+  let recovery =
+    match Router.recovery router with
+    | Some r -> r
+    | None -> failwith "concurrent_check: recovery report missing"
+  in
+  let sweeps = List.init cfg.partitions (fun p -> sweep_partition cfg router p) in
+  Router.stop router;
+  let seeded_sum = List.fold_left (fun a (s, _, _) -> a + s) 0 sweeps in
+  let negatives = List.fold_left (fun a (_, n, _) -> a + n) 0 sweeps in
+  let sprayed : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (_, _, rows) -> List.iter (fun (id, bal) -> Hashtbl.replace sprayed id bal) rows)
+    sweeps;
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let expected_total = universe cfg * cfg.initial_balance in
+  if seeded_sum <> expected_total then
+    violate "conservation broken after recovery: %d, expected %d (partial 2PC commit)"
+      seeded_sum expected_total;
+  if negatives > 0 then violate "%d negative balances after recovery" negatives;
+  let lost = ref 0 in
+  List.iter
+    (fun (ids, bal) ->
+      let present = List.filter (fun id -> Hashtbl.mem sprayed id) ids in
+      let n_present = List.length present and n = List.length ids in
+      if n_present <> n then begin
+        incr lost;
+        violate "acked spray lost after recovery: %d of %d rows present" n_present n
+      end
+      else
+        List.iter
+          (fun id ->
+            if Hashtbl.find_opt sprayed id <> Some bal then
+              violate "acked sprayed id %d has wrong balance after recovery" id)
+          ids)
+    acked;
+  (* atomicity for every fresh row: unacked sprays may have committed,
+     but any surviving fresh id must come with its whole sibling set.
+     Sibling sets are contiguous ranges from one client's fresh counter,
+     but we only know the acked ones — so check the weaker, still
+     load-bearing form: partial presence of an *acked* set is already
+     fatal above, and aborted-poison ids (seeded collisions) cannot
+     appear because seeded rows hold the pk slot. *)
+  { acked_sprays = List.length acked; lost_sprays = !lost; recovery; crash_violations = List.rev !violations }

@@ -78,6 +78,54 @@ let gen_ops ~seed ~n ~universe ~partitions =
         Spray (List.sort_uniq compare ids, Xorshift.int rng 500)
       end)
 
+(* Overlapping multi-partition schedules: bursts of cross-partition
+   transfers and sprays over a small hot id set spanning every
+   partition, with spray id sets deliberately reused so later sprays
+   collide with earlier ones mid-transaction.  This is the op-stream
+   shape the concurrent harness fires from many domains at once
+   (DESIGN.md §14); replayed here under the Sequential scheduler it
+   pins the same coordinator logic — shared keys, duplicate-collision
+   aborts on a non-first participant, abort-then-retry — against the
+   exact oracle. *)
+let gen_overlapping_ops ~seed ~n ~universe ~partitions =
+  let rng = Xorshift.create (seed lxor 0x0EE7_0EE7) in
+  let hot_n = max 2 (2 * partitions) in
+  let fresh = ref 0 in
+  let next_fresh () =
+    incr fresh;
+    universe + !fresh
+  in
+  (* pool of recently sprayed id sets, reused to force collisions *)
+  let recent : int list ref = ref [] in
+  let hot () = Xorshift.int rng hot_n in
+  let pick_id () =
+    match !recent with
+    | ids when ids <> [] && Xorshift.float01 rng < 0.4 ->
+      List.nth ids (Xorshift.int rng (List.length ids))
+    | _ -> hot ()
+  in
+  List.init n (fun _ ->
+      let r = Xorshift.float01 rng in
+      if r < 0.20 then Insert (hot (), Xorshift.int rng 500)
+      else if r < 0.30 then Delete (pick_id ())
+      else if r < 0.40 then Read (pick_id ())
+      else if r < 0.75 then
+        (* hot-on-hot transfers: consecutive coordinators share key sets *)
+        Transfer (pick_id (), pick_id (), 1 + Xorshift.int rng 120)
+      else begin
+        let k = 2 + Xorshift.int rng (max 2 partitions) in
+        let ids =
+          List.init k (fun _ ->
+              let r = Xorshift.float01 rng in
+              if r < 0.5 then next_fresh ()
+              else if r < 0.8 then pick_id ()
+              else hot ())
+        in
+        let ids = List.sort_uniq compare ids in
+        recent := ids @ (if List.length !recent > 32 then [] else !recent);
+        Spray (ids, Xorshift.int rng 500)
+      end)
+
 (* --- executor --- *)
 
 let run_ops ~partitions ~seed ops =
@@ -277,8 +325,7 @@ let shrink ~partitions ~seed ops =
   in
   if fails ops then pass ops else ops
 
-let run ?(n = 1200) ?(universe = 400) ?(partitions = 3) ~seed () =
-  let ops = gen_ops ~seed ~n ~universe ~partitions in
+let check_generated ~partitions ~seed ops =
   let o = run_ops ~partitions ~seed ops in
   if o.violations <> [] then begin
     let small = shrink ~partitions ~seed ops in
@@ -291,6 +338,13 @@ let run ?(n = 1200) ?(universe = 400) ?(partitions = 3) ~seed () =
     }
   end
   else o
+
+let run ?(n = 1200) ?(universe = 400) ?(partitions = 3) ~seed () =
+  check_generated ~partitions ~seed (gen_ops ~seed ~n ~universe ~partitions)
+
+(* Same differential check over the overlapping-schedule generator. *)
+let run_overlap ?(n = 1200) ?(universe = 400) ?(partitions = 3) ~seed () =
+  check_generated ~partitions ~seed (gen_overlapping_ops ~seed ~n ~universe ~partitions)
 
 (* Pinned regression: the minimal shapes that catch a coordinator that
    commits participants independently (partial multi-partition commit).
@@ -316,3 +370,36 @@ let regression_ops =
   ]
 
 let regression ~seed () = run_ops ~partitions:2 ~seed regression_ops
+
+(* Pinned overlapping-schedule regression, distilled from the shapes the
+   concurrent harness (Concurrent_check) fires from many domains: two
+   sprays sharing an id (the second must abort on the collision and roll
+   back its other participants), a transfer cycle over all three
+   partitions that conserves value, and a retry of the collided spray
+   after the blocker is deleted.  With [id mod 3] striping on three
+   partitions: 0,3,6.. on p0; 1,4,7.. on p1; 2,5,8.. on p2. *)
+let overlap_regression_ops =
+  [
+    (* first spray spans all three partitions and commits *)
+    Spray ([ 100; 101; 102 ], 40);
+    (* second spray shares 101 (p2's sibling set differs): must abort
+       everywhere, including participants that prepared cleanly *)
+    Spray ([ 101; 103; 105 ], 60);
+    Read 103;
+    Read 105;
+    (* transfer cycle over the sprayed rows: p1->p2->p0->p1 *)
+    Transfer (100, 101, 15);
+    Transfer (101, 102, 15);
+    Transfer (102, 100, 15);
+    Read 100;
+    Read 101;
+    Read 102;
+    (* unblock and retry the collided spray: now it must commit whole *)
+    Delete 101;
+    Spray ([ 101; 103; 105 ], 60);
+    Read 101;
+    Read 103;
+    Read 105;
+  ]
+
+let overlap_regression ~seed () = run_ops ~partitions:3 ~seed overlap_regression_ops

@@ -1,15 +1,20 @@
-(* The partitioned runtime's front door (DESIGN.md §11): owns the
+(* The partitioned runtime's front door (DESIGN.md §11, §14): owns the
    partitions, maps partition keys to them, executes single-partition
    transactions on the owner's domain (the fast path), and coordinates
    multi-partition transactions with a prepare/commit protocol so they
    commit on every participant or on none.
 
-   Concurrency model, after H-Store: each partition executes serially on
-   its own domain; a single global coordinator lock serializes
-   multi-partition transactions, so overlapping participant sets can never
-   deadlock and no per-partition locking is needed.  Single-partition
-   transactions keep flowing on non-participant partitions while a
-   multi-partition transaction is in flight.
+   Concurrency model, after H-Store with ordered per-partition locking
+   (DESIGN.md §14): each partition executes serially on its own domain; a
+   multi-partition coordinator acquires one coordinator lock per
+   participant partition, always in ascending partition-id order, before
+   posting any work.  Disjoint cross-partition transactions run
+   concurrently; overlapping ones serialize on their lowest shared
+   partition; and the ascending acquisition order makes hold-and-wait
+   cycles impossible, so the protocol is deadlock-free without any global
+   coordinator lock.  Single-partition transactions never touch the
+   coordinator locks — they keep flowing into every mailbox, ordered
+   behind whatever prepared window the partition currently holds.
 
    Two modes:
    - [Parallel]: every partition on its own domain (production).
@@ -17,7 +22,9 @@
      caller's domain, and the rng picks the order in which participants
      of a multi-partition transaction prepare.  This is the deterministic
      scheduler the differential check harness drives: seeded interleavings
-     of cross-partition sub-transactions with reproducible results. *)
+     of cross-partition sub-transactions with reproducible results.  The
+     locks are still taken (uncontended) so both modes exercise the same
+     acquisition path. *)
 
 open Hi_hstore
 module Wal = Hi_wal.Wal
@@ -47,19 +54,29 @@ type recovery = {
 
 type durable = {
   dconfig : durability_config;
-  coord : Wal.t; (* decision log; written and truncated under mp_lock *)
+  coord : Wal.t; (* decision log; its I/O serialized by coord_lock *)
+  coord_lock : Mutex.t;
+      (* narrow I/O lock: the Wal.t writer is not safe for concurrent
+         appends.  It guards only the append+sync of a Decide record (and
+         the truncate at global checkpoint), never the span of a
+         transaction — coordinators overlap everywhere else. *)
 }
 
 type t = {
   partitions : Partition.t array;
+  locks : Mutex.t array;
+      (* coordinator locks, one per partition, acquired in ascending
+         partition-id order only (DESIGN.md §14).  Held across a
+         multi-partition transaction's whole prepare/decide/apply span for
+         its participants; never taken by the single-partition path. *)
   mode : mode;
-  mp_lock : Mutex.t; (* serializes multi-partition coordinators *)
-  mutable next_txn : int; (* 2PC transaction ids; resumed past the logs at recovery *)
+  next_txn : int Atomic.t; (* 2PC transaction ids; resumed past the logs at recovery *)
   durable : durable option;
   recovery : recovery option;
   m_single : Hi_util.Metrics.counter;
   m_multi : Hi_util.Metrics.counter;
   m_multi_aborts : Hi_util.Metrics.counter;
+  m_lock_waits : Hi_util.Metrics.counter;
 }
 
 let scope = Hi_util.Metrics.scope "shard.router"
@@ -134,7 +151,7 @@ let recover_durable dc parts =
     parts;
   let duration_s = Unix.gettimeofday () -. t0 in
   Wal.observe_recovery duration_s;
-  ( { dconfig = dc; coord },
+  ( { dconfig = dc; coord; coord_lock = Mutex.create () },
     {
       replayed_txns = !replayed;
       skipped_undecided = !skipped;
@@ -172,14 +189,15 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
   | Sequential _ -> ());
   {
     partitions = parts;
+    locks = Array.init partitions (fun _ -> Mutex.create ());
     mode;
-    mp_lock = Mutex.create ();
-    next_txn;
+    next_txn = Atomic.make next_txn;
     durable;
     recovery;
     m_single = Hi_util.Metrics.counter scope "single_partition_txns";
     m_multi = Hi_util.Metrics.counter scope "multi_partition_txns";
     m_multi_aborts = Hi_util.Metrics.counter scope "multi_partition_aborts";
+    m_lock_waits = Hi_util.Metrics.counter scope "partition_lock_waits";
   }
 
 let recovery t = t.recovery
@@ -188,6 +206,28 @@ let durable_enabled t = t.durable <> None
 let num_partitions t = Array.length t.partitions
 let partition t i = t.partitions.(i)
 let mode t = t.mode
+
+(* --- ordered per-partition lock acquisition (DESIGN.md §14) --- *)
+
+(* Run [f] holding the coordinator locks of [parts], acquired in
+   ascending partition-id order.  Every coordinator-side critical section
+   (a multi-partition transaction, the global checkpoint) goes through
+   here: because every holder acquires along the same total order, a
+   waiter only ever waits on lower-ordered holders — no hold-and-wait
+   cycle can form, so no deadlock.  [parts] must be duplicate-free. *)
+let with_partition_locks t parts f =
+  let order = List.sort_uniq compare parts in
+  if List.length order <> List.length parts then
+    invalid_arg "Router.with_partition_locks: duplicate partitions";
+  List.iter
+    (fun p ->
+      if p < 0 || p >= num_partitions t then invalid_arg "Router.with_partition_locks: bad partition";
+      if not (Mutex.try_lock t.locks.(p)) then begin
+        Hi_util.Metrics.incr t.m_lock_waits;
+        Mutex.lock t.locks.(p)
+      end)
+    order;
+  Fun.protect ~finally:(fun () -> List.iter (fun p -> Mutex.unlock t.locks.(p)) order) f
 
 (* --- key routing --- *)
 
@@ -227,7 +267,7 @@ let mix64 x =
 let route_key t s = jump_hash (fnv1a64 s) (num_partitions t)
 let route_int t i = jump_hash (mix64 (Int64.of_int i)) (num_partitions t)
 
-(* --- single-partition fast path --- *)
+(* --- single-partition fast path (never touches the coordinator locks) --- *)
 
 let single t ~partition:i f =
   Hi_util.Metrics.incr t.m_single;
@@ -255,18 +295,21 @@ let shuffle rng a =
    a durable Decide record in the coordinator log.  Participants already
    hold durable Prepare records when this runs, so recovery commits
    exactly the transactions whose decision survived — presumed abort for
-   the rest.  Raises on sync failure: the decision did not happen. *)
+   the rest.  Concurrent coordinators serialize on the log's I/O lock for
+   just this append+fsync.  Raises on sync failure: the decision did not
+   happen. *)
 let log_decide t txn =
   match t.durable with
   | None -> ()
   | Some d ->
-    Wal.append d.coord (Redo.encode (Redo.Decide { txn }));
-    ignore (Wal.sync d.coord)
+    Mutex.lock d.coord_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock d.coord_lock)
+      (fun () ->
+        Wal.append d.coord (Redo.encode (Redo.Decide { txn }));
+        ignore (Wal.sync d.coord))
 
-let fresh_txn t =
-  let txn = t.next_txn in
-  t.next_txn <- txn + 1;
-  txn
+let fresh_txn t = Atomic.fetch_and_add t.next_txn 1
 
 (* Sequential mode: prepare the participants inline in a seeded order; on
    first failure abort what is prepared, otherwise log the decision and
@@ -310,74 +353,95 @@ let multi_sequential t rng participants =
 (* Parallel mode: each participant partition runs one job that prepares,
    reports, then blocks until the coordinator's verdict and applies it.
    Blocking the participant domain is exactly the H-Store protocol — the
-   partition must not run other work while it holds prepared state — and
-   is deadlock-free because the coordinator (which holds mp_lock) is the
-   only thing those domains wait on, and it never waits on itself. *)
+   partition must not run other work while it holds prepared state.
+
+   The caller already holds the coordinator locks of every participant
+   (ascending order), so no other coordinator can post to these
+   partitions until the verdict is applied.  Deadlock-freedom: a blocked
+   participant domain waits only on its own coordinator; its coordinator
+   waits only on its own participants' futures and (transitively, through
+   the ordered locks) on coordinators holding lower partition ids — a
+   relation with no cycles.
+
+   If posting fails partway (a partition was stopped mid-flight), every
+   already-posted participant gets an Abort_all verdict before the
+   failure propagates: stop never strands a prepared partition. *)
 let multi_parallel t participants =
-  Mutex.lock t.mp_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mp_lock)
-    (fun () ->
-      let txn = fresh_txn t in
-      let entries =
-        List.map
-          (fun { part; body } ->
-            let prepared = Future.create () in
-            let verdict = Future.create () in
-            let finished = Future.create () in
-            Partition.post t.partitions.(part) (fun engine ->
-                (* [finished] must fill on every path or the coordinator
-                   blocks forever; likewise [prepared] *)
-                Fun.protect
-                  ~finally:(fun () -> Future.fill finished ())
-                  (fun () ->
-                    let r =
-                      try Engine.prepare ~log_id:txn engine body
-                      with e ->
-                        (* the prepare's durability barrier failed and
-                           rolled itself back; report a vote of no and
-                           re-raise so the partition records the fault *)
-                        Future.fill prepared
-                          (Error (Engine.Txn_aborted ("prepare not durable: " ^ Printexc.to_string e)));
-                        raise e
-                    in
-                    Future.fill prepared r;
-                    match r with
-                    | Ok () -> (
-                      match Future.await verdict with
-                      | Commit -> Engine.commit_prepared engine
-                      | Abort_all -> Engine.abort_prepared engine)
-                    | Error _ -> () (* already rolled back; no verdict owed *)));
-            (prepared, verdict, finished))
-          participants
-      in
-      let results = List.map (fun (p, _, _) -> Future.await p) entries in
-      let failure = List.find_map (function Error e -> Some e | Ok () -> None) results in
-      (* every participant's Prepare is durable; the Decide below is the
-         commit point.  If its sync fails there is no durable decision —
-         recovery would presume abort — so the live run must abort too. *)
-      let decide_failure = ref None in
-      let v =
-        match failure with
-        | Some _ -> Abort_all
-        | None -> (
-          match log_decide t txn with
-          | () -> Commit
-          | exception e ->
-            decide_failure := Some e;
-            Abort_all)
-      in
-      List.iter2
-        (fun (_, verdict, _) r -> match r with Ok () -> Future.fill verdict v | Error _ -> ())
-        entries results;
-      List.iter (fun (_, _, finished) -> Future.await finished) entries;
-      match !decide_failure with
-      | Some e -> raise e
-      | None -> ( match failure with None -> Ok () | Some e -> Error e))
+  let txn = fresh_txn t in
+  let posted = ref [] in
+  let post_participant { part; body } =
+    let prepared = Future.create () in
+    let verdict = Future.create () in
+    let finished = Future.create () in
+    Partition.post t.partitions.(part) (fun engine ->
+        (* [finished] must fill on every path or the coordinator
+           blocks forever; likewise [prepared] *)
+        Fun.protect
+          ~finally:(fun () -> Future.fill finished ())
+          (fun () ->
+            let r =
+              try Engine.prepare ~log_id:txn engine body
+              with e ->
+                (* the prepare's durability barrier failed and
+                   rolled itself back; report a vote of no and
+                   re-raise so the partition records the fault *)
+                Future.fill prepared
+                  (Error (Engine.Txn_aborted ("prepare not durable: " ^ Printexc.to_string e)));
+                raise e
+            in
+            Future.fill prepared r;
+            match r with
+            | Ok () -> (
+              match Future.await verdict with
+              | Commit -> Engine.commit_prepared engine
+              | Abort_all -> Engine.abort_prepared engine)
+            | Error _ -> () (* already rolled back; no verdict owed *)));
+    posted := (prepared, verdict, finished) :: !posted
+  in
+  let abort_posted () =
+    (* unwind path (post raised Mailbox.Closed mid-flight): everyone
+       already posted must be released with an abort before the failure
+       surfaces, or their domains block forever on the verdict *)
+    List.iter
+      (fun (prepared, verdict, finished) ->
+        (match Future.await prepared with
+        | Ok () -> Future.fill verdict Abort_all
+        | Error _ -> ());
+        Future.await finished)
+      !posted
+  in
+  (try List.iter post_participant participants
+   with e ->
+     abort_posted ();
+     raise e);
+  let entries = List.rev !posted in
+  let results = List.map (fun (p, _, _) -> Future.await p) entries in
+  let failure = List.find_map (function Error e -> Some e | Ok () -> None) results in
+  (* every participant's Prepare is durable; the Decide below is the
+     commit point.  If its sync fails there is no durable decision —
+     recovery would presume abort — so the live run must abort too. *)
+  let decide_failure = ref None in
+  let v =
+    match failure with
+    | Some _ -> Abort_all
+    | None -> (
+      match log_decide t txn with
+      | () -> Commit
+      | exception e ->
+        decide_failure := Some e;
+        Abort_all)
+  in
+  List.iter2
+    (fun (_, verdict, _) r -> match r with Ok () -> Future.fill verdict v | Error _ -> ())
+    entries results;
+  List.iter (fun (_, _, finished) -> Future.await finished) entries;
+  match !decide_failure with
+  | Some e -> raise e
+  | None -> ( match failure with None -> Ok () | Some e -> Error e)
 
 (* Execute a multi-partition transaction: all participants commit or none
    do.  Participants must name distinct partitions.  A single participant
-   degenerates to the fast path. *)
+   degenerates to the fast path (no coordinator locks taken). *)
 let multi t participants =
   match participants with
   | [] -> invalid_arg "Router.multi: no participants"
@@ -388,9 +452,10 @@ let multi t participants =
       invalid_arg "Router.multi: duplicate participant partitions";
     Hi_util.Metrics.incr t.m_multi;
     let r =
-      match t.mode with
-      | Sequential rng -> multi_sequential t rng participants
-      | Parallel -> multi_parallel t participants
+      with_partition_locks t parts (fun () ->
+          match t.mode with
+          | Sequential rng -> multi_sequential t rng participants
+          | Parallel -> multi_parallel t participants)
     in
     (match r with Error _ -> Hi_util.Metrics.incr t.m_multi_aborts | Ok () -> ());
     r
@@ -421,19 +486,19 @@ let sync_all t =
 
 (* Global checkpoint: snapshot and truncate every partition's log, then —
    only if every partition actually checkpointed — truncate the
-   coordinator decision log.  Holding mp_lock across the whole thing
-   guarantees no transaction is between its durable Prepare and its
-   Decide, and once all partition logs are truncated no surviving Prepare
-   can need a past decision; a partition that skips (rows evicted) keeps
-   its Prepares, so the decision log must survive too.  Returns how many
-   partitions checkpointed. *)
+   coordinator decision log.  Holding every coordinator lock (acquired in
+   the same ascending order as any transaction) guarantees no transaction
+   is between its durable Prepare and its Decide, and once all partition
+   logs are truncated no surviving Prepare can need a past decision; a
+   partition that skips (rows evicted) keeps its Prepares, so the
+   decision log must survive too.  Returns how many partitions
+   checkpointed. *)
 let checkpoint t =
   match t.durable with
   | None -> 0
   | Some d ->
-    Mutex.lock t.mp_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.mp_lock)
+    with_partition_locks t
+      (List.init (num_partitions t) Fun.id)
       (fun () ->
         let futures =
           Array.to_list
@@ -462,7 +527,12 @@ let checkpoint t =
         | Some e -> raise e
         | None -> ());
         let done_n = List.length (List.filter (function Ok true -> true | _ -> false) results) in
-        if done_n = Array.length t.partitions then Wal.truncate d.coord;
+        if done_n = Array.length t.partitions then begin
+          Mutex.lock d.coord_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock d.coord_lock)
+            (fun () -> Wal.truncate d.coord)
+        end;
         done_n)
 
 let stop t =

@@ -1,11 +1,14 @@
-(** Partition router and cross-partition coordinator (DESIGN.md §11).
+(** Partition router and cross-partition coordinator (DESIGN.md §11, §14).
 
     Owns [n] partitions, maps partition keys to them (jump consistent
     hashing, stable across resizes), executes single-partition
     transactions on the owner's domain and coordinates multi-partition
-    transactions so they commit everywhere or nowhere.  A single global
-    coordinator lock serializes multi-partition transactions (H-Store
-    style), which rules out distributed deadlock by construction. *)
+    transactions so they commit everywhere or nowhere.  Coordinators
+    acquire per-partition locks in ascending partition-id order, so
+    disjoint multi-partition transactions run concurrently while
+    overlapping ones serialize on their lowest shared partition — and the
+    single total acquisition order rules out distributed deadlock by
+    construction (DESIGN.md §14).  There is no global coordinator lock. *)
 
 open Hi_hstore
 
@@ -70,8 +73,17 @@ val checkpoint : t -> int
 (** Snapshot and truncate every partition's log (skipping partitions with
     evicted rows), then truncate the coordinator decision log if — and
     only if — every partition checkpointed.  Serialized against
-    multi-partition transactions.  Returns the number of partitions
-    checkpointed; [0] without [durability]. *)
+    multi-partition transactions by acquiring {e every} partition's
+    coordinator lock in ascending order.  Returns the number of
+    partitions checkpointed; [0] without [durability]. *)
+
+val with_partition_locks : t -> int list -> (unit -> 'a) -> 'a
+(** [with_partition_locks t parts f] runs [f] holding the coordinator
+    locks of [parts], acquired in ascending partition-id order and
+    released afterwards — the ordered-acquisition primitive behind
+    {!multi} and {!checkpoint} (DESIGN.md §14).  Exposed for tests and
+    for callers that must quiesce coordinators over a partition subset.
+    @raise Invalid_argument on duplicate or out-of-range partitions. *)
 
 val sync_all : t -> unit
 (** Force a group-commit barrier on every partition and wait for it —
@@ -106,6 +118,11 @@ val multi : t -> participant list -> (unit, Engine.txn_error) result
     commit only if every prepare succeeded, otherwise every prepared one
     rolls back and the first error is returned.  Participants must name
     distinct partitions; a single participant degenerates to {!single}.
+    The coordinator holds its participants' per-partition locks (ascending
+    acquisition) for the transaction's whole span, so transactions with
+    disjoint participant sets run concurrently and overlapping ones are
+    deadlock-free (DESIGN.md §14).  Safe to call from many domains at
+    once.
 
     With durability on, each participant's [Prepare] record is durable
     before it votes yes, and the coordinator makes a [Decide] record

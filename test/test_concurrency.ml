@@ -1,0 +1,151 @@
+(* Concurrent stress tests for the lock-free-of-global-lock router
+   (DESIGN.md §14): many client domains firing overlapping
+   cross-partition transfers and sprays at a live Parallel router, with
+   global-invariant checking, watchdog deadlock detection and seeded
+   reproduction via Concurrent_check.
+
+   Seeds: HI_CONC_SEED overrides the fixed base seed (CI nightly passes
+   a time-based one); HI_CONC_SCHEDULES overrides how many seeded
+   schedules the main sweep runs (default 500). *)
+
+open Hi_check
+open Common
+
+let base_seed =
+  match Sys.getenv_opt "HI_CONC_SEED" with Some s -> int_of_string s | None -> 0xC0FFEE
+
+let schedules =
+  match Sys.getenv_opt "HI_CONC_SCHEDULES" with Some s -> int_of_string s | None -> 500
+
+(* The headline sweep: N seeded schedules against the live Parallel
+   router, each checked for conservation, spray atomicity, negative
+   balances and deadlock.  Any violation carries its reproducing seed. *)
+let test_schedules_green () =
+  let committed = ref 0 and aborted = ref 0 and multi = ref 0 in
+  for i = 0 to schedules - 1 do
+    let seed = base_seed + i in
+    let o = Concurrent_check.run ~seed () in
+    committed := !committed + o.committed;
+    aborted := !aborted + o.aborted;
+    multi := !multi + o.multi;
+    if o.violations <> [] then
+      Alcotest.failf "schedule %d violated invariants:\n  %s" seed
+        (String.concat "\n  " o.violations)
+  done;
+  check "committed some" true (!committed > 0);
+  check "aborted some (poison sprays, insufficient funds)" true (!aborted > 0);
+  check "dispatched cross-partition txns" true (!multi > 0)
+
+(* Schedules are pure functions of (cfg, seed): same seed reproduces the
+   same op streams, different clients get different streams. *)
+let test_generation_deterministic () =
+  let cfg = Concurrent_check.default_config in
+  let a = Concurrent_check.gen_client_ops cfg ~seed:base_seed ~client:0 in
+  let b = Concurrent_check.gen_client_ops cfg ~seed:base_seed ~client:0 in
+  let c = Concurrent_check.gen_client_ops cfg ~seed:base_seed ~client:1 in
+  check "same seed, same client: identical" true (a = b);
+  check "same seed, different client: distinct" true (a <> c)
+
+(* The generator must actually produce the adversarial mix the harness
+   claims: overlapping cross-partition ops and poisoned sprays. *)
+let test_generation_adversarial () =
+  let cfg = Concurrent_check.default_config in
+  let ops =
+    List.concat_map
+      (fun c -> Concurrent_check.gen_client_ops cfg ~seed:base_seed ~client:c)
+      (List.init cfg.clients Fun.id)
+  in
+  let multis = List.filter (Concurrent_check.is_multi cfg) ops in
+  let poisoned =
+    List.filter
+      (function Concurrent_check.CSpray { poison = Some _; _ } -> true | _ -> false)
+      ops
+  in
+  check "cross-partition ops present" true (List.length multis > 20);
+  check "poisoned sprays present" true (List.length poisoned > 5)
+
+(* A schedule that cannot finish in time must fail with its seed, not
+   hang the suite.  Force it with a zero deadline; the harness leaks the
+   still-running domains by design. *)
+let test_watchdog_reports_hang () =
+  let cfg = { Concurrent_check.default_config with timeout_s = 0.0 } in
+  let o = Concurrent_check.run_schedule cfg ~seed:base_seed ~on_acked:(fun _ -> ()) () in
+  check "watchdog fired" true
+    (List.exists
+       (fun v ->
+         String.length v >= 8 && String.sub v 0 8 = "watchdog")
+       o.violations)
+
+(* One durable schedule: the coordinator decision log and per-partition
+   WALs written under real concurrency, then recovered into a fresh
+   router that must still satisfy conservation.  (The SIGKILL-mid-2PC
+   variant lives in test_wal.ml.) *)
+let test_durable_schedule_recovers () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hi_conc_durable_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cfg = Concurrent_check.default_config in
+  let o =
+    Concurrent_check.run_schedule ~durability:(Hi_shard.Router.durability dir) cfg
+      ~seed:(base_seed + 31_337) ~on_acked:(fun _ -> ()) ()
+  in
+  if o.violations <> [] then
+    Alcotest.failf "durable schedule violated invariants:\n  %s"
+      (String.concat "\n  " o.violations);
+  (* recover the WAL directory into a fresh router and re-check *)
+  let router =
+    Hi_shard.Router.create ~durability:(Hi_shard.Router.durability dir)
+      ~partitions:cfg.partitions ~init:(Concurrent_check.seed_accounts cfg) ()
+  in
+  let sweeps =
+    List.init cfg.partitions (fun p -> Concurrent_check.sweep_partition cfg router p)
+  in
+  Hi_shard.Router.stop router;
+  let seeded_sum = List.fold_left (fun a (s, _, _) -> a + s) 0 sweeps in
+  let negatives = List.fold_left (fun a (_, n, _) -> a + n) 0 sweeps in
+  check_int "conservation after recovery"
+    (Concurrent_check.universe cfg * cfg.initial_balance)
+    seeded_sum;
+  check_int "no negative balances after recovery" 0 negatives
+
+(* Shrinking reduces a failing configuration and reports the seed.  A
+   zero deadline fails deterministically at every size, so the shrinker
+   must walk down to its floor (2 clients, 10 ops). *)
+let test_shrink_reports_minimal_config () =
+  let cfg = { Concurrent_check.default_config with timeout_s = 0.0 } in
+  let o = Concurrent_check.run ~cfg ~seed:base_seed () in
+  check "violation reported" true (o.violations <> []);
+  match o.violations with
+  | header :: _ ->
+    let contains_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    check "header names the seed" true
+      (contains_sub header (Printf.sprintf "HI_CONC_SEED=%d" base_seed));
+    check "header names shrunk config" true (contains_sub header "clients=2")
+  | [] -> Alcotest.fail "no violations"
+
+let () =
+  Concurrent_check.maybe_crash_child ();
+  Alcotest.run "concurrency"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "generation adversarial" `Quick test_generation_adversarial;
+          Alcotest.test_case "watchdog reports hangs" `Quick test_watchdog_reports_hang;
+          Alcotest.test_case "shrink reports minimal config" `Quick
+            test_shrink_reports_minimal_config;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d seeded schedules green" schedules)
+            `Quick test_schedules_green;
+          Alcotest.test_case "durable schedule recovers" `Quick test_durable_schedule_recovers;
+        ] );
+    ]

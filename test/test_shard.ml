@@ -306,6 +306,172 @@ let test_multi_rejects_bad_participants () =
     | _ -> false);
   Router.stop router
 
+(* --- ordered per-partition locking edge cases (DESIGN.md §14) --- *)
+
+(* Run [f] on its own domain but fail the test instead of hanging the
+   suite if it does not finish in [s] seconds — a leaked coordinator
+   lock shows up as exactly that hang. *)
+let with_deadline ~s f =
+  let finished = Atomic.make false in
+  let result = ref None in
+  let d =
+    Domain.spawn (fun () ->
+        result := Some (f ());
+        Atomic.set finished true)
+  in
+  let deadline = Unix.gettimeofday () +. s in
+  let rec wait () =
+    if Atomic.get finished then begin
+      Domain.join d;
+      Option.get !result
+    end
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "deadline exceeded: suspected leaked coordinator lock"
+    else begin
+      Unix.sleepf 0.002;
+      wait ()
+    end
+  in
+  wait ()
+
+let transfer_router () =
+  Router.create ~partitions:3
+    ~init:(fun i engine ->
+      let tbl = Engine.create_table engine counter_schema in
+      ignore (Table.insert tbl [| Value.Int i; Value.Int 100 |]))
+    ()
+
+let update_by id delta engine =
+  let tbl = Engine.table engine "c" in
+  match Table.find_by_pk tbl [ Value.Int id ] with
+  | Some rowid ->
+    let v = match (Table.read tbl rowid).(1) with Value.Int v -> v | _ -> 0 in
+    if v + delta < 0 then raise (Engine.Abort "insufficient");
+    Engine.update engine tbl rowid [ (1, Value.Int (v + delta)) ]
+  | None -> raise (Engine.Abort "missing")
+
+(* The single-partition fast path takes no coordinator locks: it must
+   keep flowing while every coordinator lock is held.  A coordinator,
+   by contrast, must block on a held participant lock and proceed the
+   moment it is released. *)
+let test_fast_path_bypasses_locks () =
+  let router = transfer_router () in
+  Router.with_partition_locks router [ 0; 1; 2 ] (fun () ->
+      check "single runs under held locks" true (balance router ~partition:0 0 = Some 100);
+      check "single writes under held locks" true
+        (Router.single router ~partition:1 (update_by 1 5) = Ok ()));
+  let started = Atomic.make false and finished = Atomic.make false in
+  let coordinator = ref None in
+  Router.with_partition_locks router [ 1 ] (fun () ->
+      coordinator :=
+        Some
+          (Domain.spawn (fun () ->
+               Atomic.set started true;
+               let r =
+                 Router.multi router
+                   [
+                     { Router.part = 0; body = update_by 0 (-10) };
+                     { Router.part = 1; body = update_by 1 10 };
+                   ]
+               in
+               Atomic.set finished true;
+               r));
+      while not (Atomic.get started) do
+        Unix.sleepf 0.001
+      done;
+      Unix.sleepf 0.02;
+      check "coordinator blocked on held participant lock" false (Atomic.get finished));
+  let r = Domain.join (Option.get !coordinator) in
+  check "coordinator completed after release" true (r = Ok ());
+  check "transfer applied" true (balance router ~partition:1 1 = Some 115);
+  Router.stop router
+
+let test_lock_acquisition_validation () =
+  let router = transfer_router () in
+  check "duplicate partitions refused" true
+    (match Router.with_partition_locks router [ 1; 1 ] (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  check "negative partition refused" true
+    (match Router.with_partition_locks router [ -1 ] (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  check "out-of-range partition refused" true
+    (match Router.with_partition_locks router [ 3 ] (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* same-partition-twice multi is refused before any lock is taken... *)
+  check "same-partition-twice multi refused" true
+    (match
+       Router.multi router
+         [ { Router.part = 2; body = ignore }; { Router.part = 2; body = ignore } ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* ...and leaks nothing: partition 2's lock is still acquirable *)
+  with_deadline ~s:10.0 (fun () -> Router.with_partition_locks router [ 2 ] (fun () -> ()));
+  Router.stop router
+
+(* A coordinator abort — participant failure or body exception — must
+   release every lock it held, or the next transaction over those
+   partitions hangs forever. *)
+let test_abort_releases_locks () =
+  let router = transfer_router () in
+  (match
+     Router.multi router
+       [
+         { Router.part = 0; body = update_by 0 (-10) };
+         { Router.part = 2; body = update_by 99 1 (* no such account: abort *) };
+       ]
+   with
+  | Ok () -> Alcotest.fail "multi should have aborted"
+  | Error _ -> ());
+  check "prepared side rolled back" true (balance router ~partition:0 0 = Some 100);
+  (* the same partitions must be immediately lockable and usable *)
+  with_deadline ~s:10.0 (fun () ->
+      Router.with_partition_locks router [ 0; 2 ] (fun () -> ()));
+  let r =
+    with_deadline ~s:10.0 (fun () ->
+        Router.multi router
+          [
+            { Router.part = 0; body = update_by 0 (-10) };
+            { Router.part = 2; body = update_by 2 10 };
+          ])
+  in
+  check "follow-up multi commits" true (r = Ok ());
+  check "follow-up applied" true (balance router ~partition:2 2 = Some 110);
+  Router.stop router
+
+(* Router.stop while a 2PC transaction is in flight: partition stop
+   drains queued jobs, so the transaction completes atomically and stop
+   joins cleanly afterwards — no stranded prepared partition, no hang. *)
+let test_stop_during_inflight_2pc () =
+  let router = transfer_router () in
+  let entered = Atomic.make false in
+  let coordinator =
+    Domain.spawn (fun () ->
+        Router.multi router
+          [
+            {
+              Router.part = 0;
+              body =
+                (fun engine ->
+                  Atomic.set entered true;
+                  (* hold the prepare long enough that stop overlaps it *)
+                  Unix.sleepf 0.05;
+                  update_by 0 (-25) engine);
+            };
+            { Router.part = 1; body = update_by 1 25 };
+          ])
+  in
+  while not (Atomic.get entered) do
+    Unix.sleepf 0.001
+  done;
+  (* the transaction is mid-prepare on partition 0's domain *)
+  with_deadline ~s:30.0 (fun () -> Router.stop router);
+  let r = Domain.join coordinator in
+  check "in-flight 2PC completed atomically under stop" true (r = Ok ())
+
 (* --- sharded workloads (Parallel smoke + consistency) --- *)
 
 let run_workload next router n =
@@ -408,6 +574,32 @@ let test_shard_check_regression () =
   check_int "aborts" 3 o.Hi_check.Shard_check.aborted;
   check_int "multi-partition txns" 4 o.Hi_check.Shard_check.multi
 
+(* Overlapping schedules: the concurrent harness's op-stream shape —
+   bursts of cross-partition transfers and sprays over shared key sets —
+   replayed under the deterministic Sequential scheduler against the
+   exact oracle. *)
+let test_shard_check_overlap_seeds () =
+  List.iter
+    (fun seed ->
+      let o = Hi_check.Shard_check.run_overlap ~n:1_200 ~universe:24 ~partitions:3 ~seed () in
+      if o.Hi_check.Shard_check.violations <> [] then
+        Alcotest.failf "overlap seed %d: %s" seed
+          (String.concat "\n  " o.Hi_check.Shard_check.violations);
+      check "work happened" true (o.Hi_check.Shard_check.committed > 100);
+      check "aborts exercised (collisions on shared keys)" true
+        (o.Hi_check.Shard_check.aborted > 50);
+      check "cross-partition schedules exercised" true (o.Hi_check.Shard_check.multi > 100))
+    [ 1; 2; 3 ]
+
+let test_shard_check_overlap_regression () =
+  let o = Hi_check.Shard_check.overlap_regression ~seed:5 () in
+  if o.Hi_check.Shard_check.violations <> [] then
+    Alcotest.failf "pinned overlap regression: %s"
+      (String.concat "\n  " o.Hi_check.Shard_check.violations);
+  check_int "commits" 6 o.Hi_check.Shard_check.committed;
+  check_int "aborts" 1 o.Hi_check.Shard_check.aborted;
+  check_int "multi-partition txns" 6 o.Hi_check.Shard_check.multi
+
 let () =
   Alcotest.run "shard"
     [
@@ -442,6 +634,13 @@ let () =
           Alcotest.test_case "multi-partition atomicity" `Quick test_multi_partition_atomicity;
           Alcotest.test_case "participant validation" `Quick test_multi_rejects_bad_participants;
         ] );
+      ( "lock-order",
+        [
+          Alcotest.test_case "fast path bypasses locking" `Quick test_fast_path_bypasses_locks;
+          Alcotest.test_case "acquisition validation" `Quick test_lock_acquisition_validation;
+          Alcotest.test_case "abort releases all locks" `Quick test_abort_releases_locks;
+          Alcotest.test_case "stop during in-flight 2PC" `Quick test_stop_during_inflight_2pc;
+        ] );
       ( "workloads",
         [
           Alcotest.test_case "voter sharded" `Quick test_voter_shard;
@@ -455,5 +654,9 @@ let () =
         [
           Alcotest.test_case "1200-op sequences vs oracle" `Quick test_shard_check_seeds;
           Alcotest.test_case "pinned regression" `Quick test_shard_check_regression;
+          Alcotest.test_case "overlapping schedules vs oracle" `Quick
+            test_shard_check_overlap_seeds;
+          Alcotest.test_case "pinned overlap regression" `Quick
+            test_shard_check_overlap_regression;
         ] );
     ]

@@ -349,9 +349,24 @@ let test_2pc_abort_not_resurrected () =
   Router.stop replica2;
   Router.stop router
 
+(* SIGKILL mid-2PC under real concurrency (DESIGN.md §14): re-exec this
+   binary as a crash child driving the concurrent harness against a
+   durable router, kill it mid-traffic once enough sprays are durably
+   acknowledged, recover the wal directory, and audit — every acked
+   spray fully present, no partial commit, seeded conservation intact. *)
+let test_2pc_sigkill_under_concurrency () =
+  let dir = fresh_dir "conc_crash" in
+  let o = Concurrent_check.crash_run ~dir ~seed () in
+  if o.crash_violations <> [] then
+    Alcotest.failf "crash audit failed:\n  %s" (String.concat "\n  " o.crash_violations);
+  check "sprays were acked before the kill" true (o.acked_sprays >= 30);
+  check_int "no acked spray lost" 0 o.lost_sprays;
+  check "recovery replayed work" true (o.recovery.replayed_txns > 0)
+
 (* -- suite ---------------------------------------------------------------- *)
 
 let () =
+  Concurrent_check.maybe_crash_child ();
   Alcotest.run "wal"
     [
       ( "codec",
@@ -387,5 +402,7 @@ let () =
         [
           Alcotest.test_case "commit durable" `Quick test_2pc_commit_durable;
           Alcotest.test_case "abort not resurrected" `Quick test_2pc_abort_not_resurrected;
+          Alcotest.test_case "sigkill under concurrency" `Quick
+            test_2pc_sigkill_under_concurrency;
         ] );
     ]
