@@ -13,6 +13,8 @@
                       rows scale past one coordinator)
      netbench        (wire-protocol server loadgen over loopback TCP)
      durability      (WAL group-commit cost + SIGKILL/recover verification)
+     replication     (semi-sync WAL streaming: SIGKILL the primary,
+                      audit every acknowledged write on the replica)
      bechamel        (OLS microbenchmarks of the core operations)
      all             (everything except bechamel and scaling; the default)
 
@@ -44,6 +46,7 @@ let experiments : (string * (unit -> unit)) list =
     ("scaling", Shard_bench.scaling);
     ("netbench", Net_bench.netbench);
     ("durability", Durability.durability);
+    ("replication", Replication.replication);
     ("bechamel", Bechamel_suite.run);
   ]
 

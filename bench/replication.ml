@@ -1,0 +1,155 @@
+(* Replication experiment (DESIGN.md §15).
+
+   Scenario "replica_failover": a real `hybrid_db serve --wal-dir
+   --sync-replicas 1` subprocess streams its WAL to an in-process
+   replica while a client drives a pipelined put burst over TCP.  With
+   semi-sync replication every acknowledgment means the write is both
+   fsynced on the primary and applied on the replica — so when the
+   primary is SIGKILLed mid-burst with a window of writes in flight,
+   the replica must be able to serve every acknowledged write
+   immediately, with no recovery step at all.  The row reports the
+   acknowledged throughput (the price of waiting for the replica), the
+   failover audit (lost must be 0), and that the replica keeps serving
+   reads while rejecting writes. *)
+
+open Hi_server
+open Common
+
+let key i = Printf.sprintf "rep%07d" i
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hi_bench_%s_%d_%d" name (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let spawn_primary ~exe ~wal_dir ~partitions =
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "serve"; "--port"; "0"; "--partitions"; string_of_int partitions; "--wal-dir";
+        wal_dir; "--sync-replicas"; "1";
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let rec await_banner () =
+    match input_line ic with
+    | line -> (
+      match Durability.parse_port line with
+      | Some p when String.length line > 0 -> p
+      | _ -> await_banner ())
+    | exception End_of_file ->
+      ignore (Unix.waitpid [] pid);
+      failwith "replication: primary exited before printing its banner"
+  in
+  let port = await_banner () in
+  (pid, port, ic)
+
+let replica_failover () =
+  let partitions = max 2 !Common.partitions in
+  let target = max 500 (scaled 10_000) in
+  let inflight_window = 64 in
+  section
+    (Printf.sprintf
+       "Replication: SIGKILL the semi-sync primary after %d acknowledged writes, read \
+        from the replica"
+       target);
+  let exe = Durability.server_exe () in
+  if not (Sys.file_exists exe) then
+    failwith
+      (Printf.sprintf "replication: server binary %s not built (set HYBRID_DB_EXE)" exe);
+  let wal_dir = fresh_dir "repl" in
+  let pid, port, ic = spawn_primary ~exe ~wal_dir ~partitions in
+  Printf.printf "primary pid %d on port %d, wal %s\n%!" pid port wal_dir;
+  let rdb = Db.create ~read_only:true ~partitions () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port ~db:rdb () in
+  let attach_deadline = Unix.gettimeofday () +. 30.0 in
+  while (not (Replica.connected replica)) && Unix.gettimeofday () < attach_deadline do
+    Thread.delay 0.01
+  done;
+  if not (Replica.connected replica) then failwith "replication: replica never attached";
+  let c = Client.connect ~port () in
+  let inflight = Queue.create () in
+  let acked = ref [] in
+  let n_acked = ref 0 in
+  let next = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (try
+     while !n_acked < target do
+       while Queue.length inflight < inflight_window do
+         let i = !next in
+         incr next;
+         Queue.push (i, Client.send c (Db.Put (key i, Db.Int i))) inflight
+       done;
+       let i, ticket = Queue.pop inflight in
+       match Client.await ticket with
+       | Db.Done _ ->
+         acked := i :: !acked;
+         incr n_acked
+       | Db.Failed e -> failwith ("put failed before the kill: " ^ Db.error_to_string e)
+       | _ -> failwith "unexpected response shape"
+     done
+   with e ->
+     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+     raise e);
+  let burst_s = Unix.gettimeofday () -. t0 in
+  let in_flight_at_kill = Queue.length inflight in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Client.close c;
+  close_in_noerr ic;
+  Printf.printf "killed with %d acks in %.2f s (%d writes in flight)\n%!" !n_acked burst_s
+    in_flight_at_kill;
+  (* no recovery: the replica serves immediately *)
+  let t1 = Unix.gettimeofday () in
+  let lost =
+    List.filter (fun i -> Db.get rdb (key i) <> Ok (Some (Db.Int i))) !acked
+  in
+  let audit_s = Unix.gettimeofday () -. t1 in
+  let scan_ok =
+    match Db.scan_from rdb "" Db.max_scan with Ok (_ :: _) -> true | _ -> false
+  in
+  let write_rejected = Db.put rdb "must-not-land" Db.Null = Error Db.Read_only in
+  Replica.stop replica;
+  Db.close rdb;
+  Printf.printf
+    "replica served %d/%d acknowledged writes, %d LOST (audited in %.3f s); scans %s, \
+     writes %s\n\
+     %!"
+    (!n_acked - List.length lost)
+    !n_acked (List.length lost) audit_s
+    (if scan_ok then "served" else "FAILED")
+    (if write_rejected then "rejected" else "NOT REJECTED");
+  Results.(
+    record
+      ~config:
+        [
+          ("scenario", str "replica_failover");
+          ("partitions", int partitions);
+          ("acked_target", int target);
+          ("inflight_window", int inflight_window);
+          ("sync_replicas", int 1);
+        ]
+      ~metrics:
+        [
+          ("acked", int !n_acked);
+          ("lost", int (List.length lost));
+          ("in_flight_at_kill", int in_flight_at_kill);
+          ("acked_tps", num (if burst_s > 0.0 then float_of_int !n_acked /. burst_s else 0.0));
+          ("audit_s", num audit_s);
+          ("replica_scan_ok", str (if scan_ok then "true" else "false"));
+          ("replica_write_rejected", str (if write_rejected then "true" else "false"));
+        ]);
+  if lost <> [] then failwith "replication: acknowledged writes were lost";
+  if not write_rejected then failwith "replication: replica accepted a write"
+
+let replication () = replica_failover ()

@@ -197,10 +197,35 @@ let host_arg =
 
 let port_arg default doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
 
-let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_mb metrics_json =
+let parse_replica_of s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && host <> "" -> (host, p)
+    | _ -> invalid_arg (Printf.sprintf "bad --replica-of %S (want HOST:PORT)" s))
+  | None -> invalid_arg (Printf.sprintf "bad --replica-of %S (want HOST:PORT)" s)
+
+let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_mb replica_of
+    sync_replicas metrics_json =
   let config = { Engine.default_config with index_kind = parse_index_kind index_kind; merge_ratio } in
   let checkpoint_bytes = Option.map (fun mb -> mb * 1024 * 1024) checkpoint_mb in
-  let db = Db.create ~config ?wal_dir ?checkpoint_bytes ~partitions:server_partitions () in
+  let primary = Option.map parse_replica_of replica_of in
+  if primary <> None && wal_dir <> None then
+    invalid_arg "--replica-of and --wal-dir are exclusive: a replica's state is the stream";
+  let replication =
+    if primary <> None then None
+    else if sync_replicas > 0 || wal_dir <> None then
+      Some (Hi_shard.Router.replication ~sync_replicas ())
+    else None
+  in
+  if sync_replicas > 0 && wal_dir = None then
+    invalid_arg "--sync-replicas needs --wal-dir (the streams are the WALs)";
+  let db =
+    Db.create ~config ?wal_dir ?checkpoint_bytes ?replication
+      ~read_only:(primary <> None) ~partitions:server_partitions ()
+  in
   (match Db.recovery db with
   | None -> ()
   | Some r ->
@@ -210,11 +235,19 @@ let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_
        %!"
       r.Hi_shard.Router.replayed_txns r.duration_s r.checkpoints_loaded r.skipped_undecided
       r.torn_tails);
+  let replica =
+    Option.map
+      (fun (phost, pport) -> Replica.start ~host:phost ~port:pport ~db ())
+      primary
+  in
   let server = Server.start ~host ~port ~db () in
-  Printf.printf "hybrid_db: serving wire protocol v%d on %s:%d (%d partitions, %s indexes%s)\n%!"
+  Printf.printf "hybrid_db: serving wire protocol v%d on %s:%d (%d partitions, %s indexes%s%s)\n%!"
     Wire.version host (Server.port server) server_partitions
     (Engine.index_kind_name config.Engine.index_kind)
-    (match wal_dir with None -> "" | Some d -> Printf.sprintf ", wal %s" d);
+    (match wal_dir with None -> "" | Some d -> Printf.sprintf ", wal %s" d)
+    (match primary with
+    | None -> if sync_replicas > 0 then Printf.sprintf ", semi-sync %d" sync_replicas else ""
+    | Some (h, p) -> Printf.sprintf ", read-only replica of %s:%d" h p);
   let dump_metrics () =
     match metrics_json with
     | None -> ()
@@ -226,6 +259,7 @@ let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_
   in
   let shutdown _ =
     prerr_endline "shutting down ...";
+    Option.iter Replica.stop replica;
     Server.stop server;
     Db.close db;
     dump_metrics ();
@@ -259,6 +293,25 @@ let checkpoint_mb_arg =
     & info [ "checkpoint-mb" ] ~docv:"MB"
         ~doc:"Auto-checkpoint a partition once its log exceeds $(docv) MiB (default 64).")
 
+let replica_of_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve as a read-only replica of the primary at $(docv) (DESIGN.md §15): stream its \
+           WAL, apply it locally, answer Get/Scan, and reject writes.  Exclusive with \
+           $(b,--wal-dir).")
+
+let sync_replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sync-replicas" ] ~docv:"N"
+        ~doc:
+          "Semi-synchronous replication: each group commit waits until $(docv) connected \
+           replicas have applied it (degrading to async after a deadline).  Needs \
+           $(b,--wal-dir).")
+
 let serve_cmd =
   let doc = "serve the key/value wire protocol over TCP" in
   Cmd.v (Cmd.info "serve" ~doc)
@@ -266,7 +319,7 @@ let serve_cmd =
       const serve $ host_arg
       $ port_arg 7501 "Port to listen on (0 picks a free port)."
       $ serve_partitions $ index_kind $ merge_ratio $ wal_dir_arg $ checkpoint_mb_arg
-      $ metrics_json)
+      $ replica_of_arg $ sync_replicas_arg $ metrics_json)
 
 (* --- client: one-shot operations against a running server --- *)
 

@@ -1,0 +1,280 @@
+(* Replication checks (DESIGN.md §15): differential convergence and the
+   kill-the-primary failover audit.
+
+   Differential: a primary (durable, replication tap installed, served
+   over loopback TCP) takes a seeded mixed workload through the
+   in-process API while a replica follows the stream — disconnected and
+   reconnected mid-stream on a schedule to exercise resume-from-LSN and
+   snapshot resync.  After the workload quiesces and the replica's
+   applied positions reach the primary's published positions, a full
+   scan on both sides must match entry-for-entry.  The oracle is the
+   primary itself: replication must converge to bit-identical visible
+   state, whatever mix of commits, 2PC transactions, deletes and
+   reconnects got it there.
+
+   Failover: the primary runs in a child process (re-exec of the current
+   binary, same pattern as {!Concurrent_check.crash_run}) with semi-sync
+   replication ([sync_replicas = 1]), so a client ack means the replica
+   applied the write.  The parent drives an acked pipelined burst, then
+   SIGKILLs the primary mid-traffic and audits the replica: every
+   acknowledged write must be readable there, scans must serve, and
+   writes must be rejected with [Read_only].  Any binary calling
+   {!failover_run} must call {!maybe_crash_child} first thing in its
+   main. *)
+
+open Hi_server
+module Router = Hi_shard.Router
+module Xorshift = Hi_util.Xorshift
+
+let fresh_dir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hi_repl_%s_%d_%d" name (Unix.getpid ()) (Random.bits ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* -- differential: primary vs replica convergence ------------------------ *)
+
+let positions_match primary replica =
+  match Router.repl_positions (Db.router primary) with
+  | None -> false
+  | Some pos -> pos = Replica.applied replica
+
+let await_convergence ?(timeout_s = 20.0) primary replica =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    match Replica.fatal replica with
+    | Some m -> Error ("replica fatal: " ^ m)
+    | None ->
+      if positions_match primary replica then Ok ()
+      else if Unix.gettimeofday () > deadline then
+        Error
+          (Printf.sprintf "no convergence in %.0f s: primary %s, replica %s" timeout_s
+             (match Router.repl_positions (Db.router primary) with
+             | Some pos ->
+               String.concat "," (List.map string_of_int (Array.to_list pos))
+             | None -> "-")
+             (String.concat ","
+                (List.map string_of_int (Array.to_list (Replica.applied replica)))))
+      else begin
+        Thread.delay 0.005;
+        wait ()
+      end
+  in
+  wait ()
+
+let compare_scans primary rdb =
+  let scan db =
+    match Db.scan_from db "" Db.max_scan with
+    | Ok entries -> Ok entries
+    | Error e -> Error (Db.error_to_string e)
+  in
+  match (scan primary, scan rdb) with
+  | Error e, _ -> Error ("primary scan: " ^ e)
+  | _, Error e -> Error ("replica scan: " ^ e)
+  | Ok a, Ok b ->
+    if List.length a <> List.length b then (
+      let keys l = List.map fst l in
+      let missing side xs ys =
+        match List.filter (fun k -> not (List.mem k ys)) xs with
+        | [] -> ""
+        | ks -> Printf.sprintf "; %s missing %s" side (String.concat " " (List.map (Printf.sprintf "%S") ks))
+      in
+      Error
+        (Printf.sprintf "primary holds %d entries, replica %d%s%s" (List.length a)
+           (List.length b)
+           (missing "replica" (keys a) (keys b))
+           (missing "primary" (keys b) (keys a))))
+    else (
+      match
+        List.find_opt (fun ((ka, va), (kb, vb)) -> ka <> kb || va <> vb) (List.combine a b)
+      with
+      | Some ((ka, _), (kb, _)) -> Error (Printf.sprintf "diverged at %S vs %S" ka kb)
+      | None -> Ok ())
+
+(* Run a seeded mixed workload against a replicated primary with a
+   replica tailing over real TCP, dropping the replica's connection
+   every [disconnect_every] requests (0 = never).  Returns an error
+   description on divergence. *)
+let run_differential ?(partitions = 3) ?(txns = 400) ?(disconnect_every = 0) ~seed () =
+  let dir = fresh_dir "diff" in
+  let primary =
+    Db.create ~wal_dir:(Filename.concat dir "wal")
+      ~replication:(Router.replication ()) ~partitions ()
+  in
+  let server = Server.start ~db:primary () in
+  let rdb = Db.create ~read_only:true ~partitions () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port:(Server.port server) ~db:rdb () in
+  let finish r =
+    Replica.stop replica;
+    Server.stop server;
+    Db.close rdb;
+    Db.close primary;
+    rm_rf dir;
+    r
+  in
+  let requests = Wire_check.gen_session (Xorshift.create seed) ~n:txns in
+  List.iteri
+    (fun i req ->
+      ignore (Db.exec primary req);
+      if disconnect_every > 0 && i mod disconnect_every = disconnect_every - 1 then
+        Replica.disconnect replica)
+    requests;
+  (* flush the group-commit buffers so every commit is published *)
+  Router.sync_all (Db.router primary);
+  match await_convergence primary replica with
+  | Error _ as e -> finish e
+  | Ok () -> finish (compare_scans primary rdb)
+
+(* -- failover: SIGKILL the primary, audit the replica -------------------- *)
+
+let crash_child_flag = "--hi-repl-crash-child"
+
+(* Generous semi-sync deadline: the audit asserts zero acknowledged
+   writes are lost, so the test must not degrade to async merely because
+   a loaded CI machine stalled the replica for a second. *)
+let child_ack_timeout_s = 30.0
+
+let crash_child ~dir ~partitions ~sync_replicas =
+  let db =
+    Db.create
+      ~wal_dir:(Filename.concat dir "wal")
+      ~replication:
+        (Router.replication ~sync_replicas ~ack_timeout_s:child_ack_timeout_s ())
+      ~partitions ()
+  in
+  let server = Server.start ~db () in
+  (* atomic port handoff: write + rename, the parent polls for [port] *)
+  let tmp = Filename.concat dir "port.tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%d\n" (Server.port server);
+  close_out oc;
+  Sys.rename tmp (Filename.concat dir "port");
+  while true do
+    Unix.sleep 3600
+  done
+
+(* Child-process entry: every binary that calls {!failover_run} must
+   call this first thing in [main]. *)
+let maybe_crash_child () =
+  match Array.to_list Sys.argv with
+  | _ :: flag :: dir :: rest when flag = crash_child_flag -> (
+    match List.filter_map int_of_string_opt rest with
+    | [ partitions; sync_replicas ] -> crash_child ~dir ~partitions ~sync_replicas
+    | _ ->
+      prerr_endline "bad repl crash-child argv";
+      exit 2)
+  | _ -> ()
+
+type failover_outcome = {
+  acked : int;  (** writes acknowledged before the kill *)
+  lost : int;  (** acknowledged writes the replica cannot serve *)
+  replica_entries : int;  (** entries a post-kill replica scan returned *)
+  write_rejected : bool;  (** a post-kill write failed with [Read_only] *)
+}
+
+let failover_key i = Printf.sprintf "rf%06d" i
+
+let failover_run ?(partitions = 2) ?(min_acks = 200) ?(timeout_s = 60.0) ~dir () =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let exe = Sys.executable_name in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; crash_child_flag; dir; string_of_int partitions; "1" |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let fail_dead fmt =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid);
+    failwith fmt
+  in
+  let port_path = Filename.concat dir "port" in
+  let rec await_port () =
+    if Sys.file_exists port_path then (
+      let ic = open_in port_path in
+      let p = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      p)
+    else if Unix.gettimeofday () > deadline then fail_dead "repl_check: primary never served"
+    else begin
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _ -> failwith "repl_check: primary exited before serving");
+      Thread.delay 0.01;
+      await_port ()
+    end
+  in
+  let port = await_port () in
+  let rdb = Db.create ~read_only:true ~partitions () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port ~db:rdb () in
+  let rec await_attached () =
+    if Replica.connected replica then ()
+    else if Unix.gettimeofday () > deadline then
+      fail_dead "repl_check: replica never attached"
+    else Thread.delay 0.01;
+    if not (Replica.connected replica) then await_attached ()
+  in
+  await_attached ();
+  (* acked pipelined burst: with sync_replicas = 1 every ack means the
+     replica already applied the write *)
+  let c = Client.connect ~port () in
+  let inflight = Queue.create () in
+  let acked = ref [] in
+  let n_acked = ref 0 in
+  let next = ref 0 in
+  (try
+     while !n_acked < min_acks do
+       while Queue.length inflight < 32 do
+         let i = !next in
+         incr next;
+         Queue.push (i, Client.send c (Db.Put (failover_key i, Db.Int i))) inflight
+       done;
+       let i, ticket = Queue.pop inflight in
+       match Client.await ticket with
+       | Db.Done _ ->
+         acked := i :: !acked;
+         incr n_acked
+       | Db.Failed e -> failwith ("put failed before the kill: " ^ Db.error_to_string e)
+       | _ -> failwith "unexpected response shape"
+     done
+   with e ->
+     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+     ignore (Unix.waitpid [] pid);
+     Replica.stop replica;
+     Db.close rdb;
+     raise e);
+  (* the kill lands with a window of unacknowledged writes still in flight *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Client.close c;
+  (* the replica is now the only copy: audit it *)
+  let lost =
+    List.filter (fun i -> Db.get rdb (failover_key i) <> Ok (Some (Db.Int i))) !acked
+  in
+  let replica_entries =
+    match Db.scan_from rdb "" Db.max_scan with
+    | Ok entries -> List.length entries
+    | Error e -> failwith ("replica scan after failover: " ^ Db.error_to_string e)
+  in
+  let write_rejected = Db.put rdb "should-not-land" Db.Null = Error Db.Read_only in
+  Replica.stop replica;
+  Db.close rdb;
+  {
+    acked = !n_acked;
+    lost = List.length lost;
+    replica_entries;
+    write_rejected;
+  }

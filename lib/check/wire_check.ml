@@ -58,7 +58,7 @@ let gen_request rng : Db.request =
            if Xorshift.bool rng then (k, Some (gen_value rng)) else (k, None)))
 
 let gen_error rng : Db.error =
-  match Xorshift.int rng 6 with
+  match Xorshift.int rng 7 with
   | 0 -> Bad_request (gen_bytes rng 40)
   | 1 -> Aborted (gen_bytes rng 40)
   | 2 -> Restart_limit (Xorshift.int rng 100)
@@ -68,7 +68,8 @@ let gen_error rng : Db.error =
   | 4 ->
     Block_lost
       { table = gen_bytes rng 20; block = Xorshift.int rng 10_000; cause = gen_bytes rng 10 }
-  | _ -> Disconnected (gen_bytes rng 40)
+  | 5 -> Disconnected (gen_bytes rng 40)
+  | _ -> Read_only
 
 let gen_response rng : Db.response =
   match Xorshift.int rng 5 with
@@ -79,16 +80,52 @@ let gen_response rng : Db.response =
     Entries (List.init n (fun _ -> (gen_key rng, gen_value rng)))
   | _ -> Failed (gen_error rng)
 
+(* LSNs on the wire may legitimately be [-1] (nothing applied yet). *)
+let gen_lsn rng = Xorshift.int rng 1_000_000 - 1
+
+let gen_repl_msg rng =
+  match Xorshift.int rng 5 with
+  | 0 ->
+    let n = Xorshift.int rng 9 in
+    Wire.Subscribe
+      {
+        stream_id = Xorshift.int rng 0x40000000;
+        applied = Array.init n (fun _ -> gen_lsn rng);
+      }
+  | 1 ->
+    Wire.Repl_hello
+      {
+        stream_id = Xorshift.int rng 0x40000000;
+        partitions = 1 + Xorshift.int rng 64;
+        resync = Xorshift.bool rng;
+      }
+  | 2 ->
+    let kind =
+      if Xorshift.bool rng then Wire.Log
+      else Wire.Snap { first = Xorshift.bool rng; last = Xorshift.bool rng }
+    in
+    let n = Xorshift.int rng 6 in
+    Wire.Repl_batch
+      {
+        stream = Xorshift.int rng 16;
+        lsn = Xorshift.int rng 1_000_000;
+        kind;
+        records = List.init n (fun _ -> gen_bytes rng 64);
+      }
+  | 3 -> Wire.Repl_ack { stream = Xorshift.int rng 16; lsn = gen_lsn rng }
+  | _ -> Wire.Repl_heartbeat
+
 let gen_msg rng =
-  if Xorshift.bool rng then Wire.Request (gen_request rng) else Wire.Response (gen_response rng)
+  match Xorshift.int rng 4 with
+  | 0 -> Wire.Request (gen_request rng)
+  | 1 | 2 -> Wire.Response (gen_response rng)
+  | _ -> gen_repl_msg rng
 
 let gen_id rng = Xorshift.int rng 0x10000000
 
 (* -- properties ---------------------------------------------------------- *)
 
-let encode ~id = function
-  | Wire.Request req -> Wire.encode_request ~id req
-  | Wire.Response resp -> Wire.encode_response ~id resp
+let encode ~id msg = Wire.encode_msg ~id msg
 
 (* encode |> decode is the identity on (id, msg); errors become [Error]. *)
 let roundtrip ~id msg =
@@ -142,6 +179,36 @@ let corrupt_safe rng ~id msg =
     (* only a length-field flip that still frames a CRC-valid payload could
        land here, and a single flipped byte cannot keep the CRC valid *)
     Error (Printf.sprintf "corrupt frame (byte %d +%d) decoded, consumed %d" pos delta consumed)
+
+(* Overwrite the declared length field with hostile values — negative,
+   overflowing 32 bits, just past the cap: the decoder must answer
+   [Frame_too_large] without raising and without wrapping a negative
+   length into a bogus byte count. *)
+let hostile_length_safe ~id msg =
+  let frame = encode ~id msg in
+  let with_len v =
+    let b = Bytes.of_string frame in
+    Bytes.set_int32_be b 0 v;
+    Bytes.to_string b
+  in
+  List.fold_left
+    (fun acc v ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+        match Wire.decode_frame (with_len v) ~pos:0 with
+        | Error (Wire.Frame_too_large _) -> Ok ()
+        | Error e -> Error (Printf.sprintf "length %ld: %s" v (Wire.error_to_string e))
+        | Ok _ -> Error (Printf.sprintf "length %ld decoded" v)
+        | exception e -> Error (Printf.sprintf "length %ld raised %s" v (Printexc.to_string e))))
+    (Ok ())
+    [
+      Int32.minus_one;
+      Int32.min_int;
+      Int32.of_int (-12345);
+      Int32.of_int (Wire.max_payload + 1);
+      Int32.max_int;
+    ]
 
 (* -- workload generation for the differential test ----------------------- *)
 

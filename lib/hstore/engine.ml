@@ -551,20 +551,37 @@ let replay t ~decided records =
 let has_evicted_rows t =
   List.exists (fun tbl -> Table.evicted_rows tbl > 0) (tables_in_order t)
 
-(* Write a snapshot of every live row as replayable Commit records, one
-   row per record, atomically (tmp + fsync + rename).  The caller
-   truncates the log only after this returns; a crash in between merely
-   replays the log over the snapshot, which [apply_op] makes idempotent.
-   Callers must skip checkpointing while rows are evicted
-   ([has_evicted_rows]) — the snapshot enumerates live rows only. *)
+(* Replica resync reset (DESIGN.md §15): drop every row so a full state
+   snapshot can replace the stale copy.  Must run on the owning domain
+   (a posted partition job), like any other mutation. *)
+let clear_tables t = List.iter Table.clear (tables_in_order t)
+
+(* Emit every row — live AND evicted — as a replayable Commit record,
+   one row per record.  Evicted rows are read non-destructively from
+   their anti-cache blocks ([Table.iter_evicted]), so checkpointing does
+   not disturb the hot/cold split; rows in unreadable blocks are already
+   lost and are simply absent from the snapshot.  Shared by checkpoints
+   and replication catch-up snapshots (DESIGN.md §15). *)
+let iter_snapshot_records t emit =
+  List.iter
+    (fun tbl ->
+      let tname = Table.name tbl in
+      let emit_row _rowid row = emit (Redo.encode (Redo.Commit [ Redo.Put { table = tname; row } ])) in
+      Table.iter_live tbl emit_row;
+      Table.iter_evicted tbl t.anticache emit_row)
+    (tables_in_order t)
+
+(* Write a snapshot of every row (live and evicted) as replayable Commit
+   records, atomically (tmp + fsync + rename).  The caller truncates the
+   log only after this returns; a crash in between merely replays the
+   log over the snapshot, which [apply_op] makes idempotent.  Recovery
+   restores checkpointed evicted rows as live rows — the eviction daemon
+   re-cools them — so the WAL stays bounded under anti-caching instead
+   of growing until the last tombstone thaws. *)
 let write_checkpoint t ~path =
-  Wal.write_file_atomic ~path (fun emit ->
-      List.iter
-        (fun tbl ->
-          let tname = Table.name tbl in
-          Table.iter_live tbl (fun _rowid row ->
-              emit (Redo.encode (Redo.Commit [ Redo.Put { table = tname; row } ]))))
-        (tables_in_order t))
+  Wal.write_file_atomic ~path (fun emit -> iter_snapshot_records t emit)
+
+let in_prepared t = t.in_prepared
 
 let stats t = t.stats
 let anticache t = t.anticache

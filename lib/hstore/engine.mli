@@ -159,12 +159,29 @@ val replay : t -> decided:(int -> bool) -> string list -> replay_report
     already reflected in the tables converges to the same state. *)
 
 val write_checkpoint : t -> path:string -> unit
-(** Atomically snapshot every live row as replayable records (tmp +
-    fsync + rename).  Truncate the log only after this returns.  Callers
-    must skip checkpointing while {!has_evicted_rows}: the snapshot
-    enumerates live rows only. *)
+(** Atomically snapshot every row — live and evicted — as replayable
+    records (tmp + fsync + rename).  Truncate the log only after this
+    returns.  Evicted rows are read non-destructively from their
+    anti-cache blocks, so checkpointing is safe (and the WAL stays
+    bounded) under eviction; recovery restores them as live rows. *)
+
+val iter_snapshot_records : t -> (string -> unit) -> unit
+(** Emit every row (live and evicted) as one encoded replayable
+    [Redo.Commit] record.  The enumeration {!write_checkpoint} writes,
+    exposed for replication catch-up snapshots (DESIGN.md §15). *)
 
 val has_evicted_rows : t -> bool
+
+val in_prepared : t -> bool
+(** A prepared sub-transaction awaits its 2PC verdict.  Its effects are
+    applied but uncommitted, so state snapshots ({!write_checkpoint},
+    {!iter_snapshot_records}) taken now would capture them — snapshot
+    callers running between transactions must skip (or retry after) the
+    prepared window. *)
+
+val clear_tables : t -> unit
+(** Drop every table's rows (replica resync reset, DESIGN.md §15).  Run
+    on the owning partition's domain like any other mutation. *)
 
 (** {1 Deferred merge scheduling (DESIGN.md §11)} *)
 

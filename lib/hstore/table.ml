@@ -190,6 +190,36 @@ let iter_live t f =
     | Evicted_slot _ | Free -> ()
   done
 
+(* Visit every evicted row by reading its block from the anti-cache
+   store.  [read_block] is the non-destructive verified read, so this
+   neither un-evicts tuples nor bumps access clocks; blocks that fail
+   verification are skipped (their rows degrade to lost-block misses,
+   same as {!recover}).  Each readable block is fetched once, whatever
+   its tombstone count. *)
+let iter_evicted t (ac : Anticache.t) f =
+  let blocks = Hashtbl.create 8 in
+  for rowid = 0 to Vec.length t.slots - 1 do
+    match Vec.get t.slots rowid with
+    | Evicted_slot block ->
+      let slots = try Hashtbl.find blocks block with Not_found -> [] in
+      Hashtbl.replace blocks block (rowid :: slots)
+    | Live _ | Free -> ()
+  done;
+  Hashtbl.iter
+    (fun block slots ->
+      match Anticache.read_block ac block with
+      | Ok b when b.Anticache.block_table = name t ->
+        let by_rowid = Hashtbl.create (Array.length b.Anticache.block_rows) in
+        Array.iter (fun (rowid, vals) -> Hashtbl.replace by_rowid rowid vals) b.Anticache.block_rows;
+        List.iter
+          (fun rowid ->
+            match Hashtbl.find_opt by_rowid rowid with
+            | Some vals -> f rowid vals
+            | None -> ())
+          slots
+      | Ok _ | Error _ -> ())
+    blocks
+
 (* Pick the [target] coldest live rows (smallest last_access). *)
 let coldest_rows t target =
   let acc = ref [] in
@@ -333,6 +363,19 @@ let recover t (ac : Anticache.t) =
     dropped_rows = !dropped;
     dropped_blocks = Hashtbl.length bad_blocks;
   }
+
+(* Drop every row and rebuild empty indexes — the replica's resync reset
+   (DESIGN.md §15): a full state snapshot replaces whatever the stale
+   copy held, so stale rows must not survive it.  Tombstones are dropped
+   too (their blocks become unreferenced); a replica never evicts, so in
+   practice this clears live rows only. *)
+let clear t =
+  t.pk <- build_index t.make_index t.schema.Schema.primary_key;
+  t.secondary <- List.map (build_index t.make_index) t.schema.Schema.secondary;
+  Vec.clear t.slots;
+  Vec.clear t.free;
+  t.live_rows <- 0;
+  t.evicted_rows <- 0
 
 (* Integrity check over the table and its indexes (DESIGN.md §8): returns
    human-readable violations, [] when consistent.  Walks slots directly so

@@ -67,6 +67,13 @@ val iter_live : t -> (int -> Value.t array -> unit) -> unit
     clock — checkpoint enumeration (DESIGN.md §13) must not disturb
     eviction order.  Evicted tombstones and free slots are skipped. *)
 
+val iter_evicted : t -> Anticache.t -> (int -> Value.t array -> unit) -> unit
+(** Visit every evicted row by non-destructively reading its anti-cache
+    block ({!Anticache.read_block}): tuples stay evicted, access clocks
+    are untouched, and rows of blocks that fail verification are skipped
+    (they are already lost — same degradation as {!recover}).  Used by
+    checkpoints so snapshots cover cold data (DESIGN.md §15). *)
+
 (** {1 Anti-caching hooks (paper §7.1)} *)
 
 val coldest_rows : t -> int -> int list
@@ -94,6 +101,11 @@ type recovery = {
   dropped_rows : int;  (** rows lost to unreadable blocks *)
   dropped_blocks : int;  (** blocks found corrupt or missing *)
 }
+
+val clear : t -> unit
+(** Drop every row (live and tombstoned) and rebuild empty indexes — the
+    replica's reset before applying a full state snapshot
+    (DESIGN.md §15). *)
 
 val recover : t -> Anticache.t -> recovery
 (** Crash-recovery: rebuild all indexes, counters and the free list from

@@ -47,6 +47,13 @@ let reader_loop t =
       (match fut with Some fut -> Future.fill fut resp | None -> ());
       loop ()
     | `Msg (_, Wire.Request _) -> fail_all t "server sent a request frame"
+    | `Msg
+        ( _,
+          ( Wire.Subscribe _ | Wire.Repl_hello _ | Wire.Repl_batch _ | Wire.Repl_ack _
+          | Wire.Repl_heartbeat ) ) ->
+      (* this client never subscribes; replication frames here mean the
+         peer is confused and the stream cannot be trusted *)
+      fail_all t "unexpected replication frame"
     | `Error e -> fail_all t (Wire.error_to_string e)
     | `Nothing -> (
       match Wire.refill rd with
@@ -57,6 +64,7 @@ let reader_loop t =
   loop ()
 
 let connect ?(host = "127.0.0.1") ~port () =
+  Wire.ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
    with e ->

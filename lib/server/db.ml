@@ -40,6 +40,7 @@ type error =
   | Block_unavailable of { table : string; block : int; attempts : int }
   | Block_lost of { table : string; block : int; cause : string }
   | Disconnected of string
+  | Read_only
 
 type response =
   | Value of value option
@@ -56,6 +57,7 @@ let error_to_string = function
   | Block_lost { table; block; cause } ->
     Printf.sprintf "block %d of %s lost (%s)" block table cause
   | Disconnected m -> Printf.sprintf "disconnected: %s" m
+  | Read_only -> "read-only replica"
 
 let value_to_string = function
   | Value.Null -> "null"
@@ -113,24 +115,24 @@ let kv_of_row row =
   | 2 -> Value.Float (Value.as_float row.(3))
   | _ -> Value.Str (Value.as_str row.(4))
 
-type t = { router : Router.t; tables : Table.t array }
+type t = { router : Router.t; tables : Table.t array; read_only : bool }
 
 let create ?(mode = Router.Parallel) ?config ?sleep ?wal_dir ?checkpoint_bytes ?wal_fault
-    ~partitions () =
+    ?replication ?(read_only = false) ~partitions () =
   if partitions <= 0 then invalid_arg "Db.create: partitions must be positive";
   let durability =
     Option.map (fun dir -> Router.durability ?checkpoint_bytes ?fault:wal_fault dir) wal_dir
   in
   let tables = Array.make partitions None in
   let router =
-    Router.create ~mode ?config ?sleep ?durability ~partitions
+    Router.create ~mode ?config ?sleep ?durability ?replication ~partitions
       ~init:(fun i engine -> tables.(i) <- Some (Engine.create_table engine kv_schema))
       ()
   in
   let tables =
     Array.map (function Some t -> t | None -> assert false) tables
   in
-  { router; tables }
+  { router; tables; read_only }
 
 let router t = t.router
 let num_partitions t = Array.length t.tables
@@ -232,6 +234,13 @@ type plan =
 let plan t req =
   match validate req with
   | Some msg -> Invalid (Failed (Bad_request msg))
+  | None when t.read_only -> (
+    match req with
+    | Put _ | Delete _ | Txn _ -> Invalid (Failed Read_only)
+    | Get k ->
+      let p = route t k in
+      Single (p, get_body t.tables.(p) k)
+    | Scan_from _ -> Inline)
   | None -> (
     match req with
     | Get k ->

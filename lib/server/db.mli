@@ -49,6 +49,7 @@ type error =
   | Block_unavailable of { table : string; block : int; attempts : int }
   | Block_lost of { table : string; block : int; cause : string }
   | Disconnected of string
+  | Read_only  (** write rejected by a read-only replica (DESIGN.md §15) *)
 
 type response =
   | Value of value option  (** {!request.Get} *)
@@ -74,6 +75,8 @@ val create :
   ?wal_dir:string ->
   ?checkpoint_bytes:int ->
   ?wal_fault:Hi_util.Fault.t ->
+  ?replication:Hi_shard.Router.repl_config ->
+  ?read_only:bool ->
   partitions:int ->
   unit ->
   t
@@ -87,7 +90,14 @@ val create :
     checkpoints the directory holds, so reopening the same [wal_dir]
     (with the same [partitions] count) recovers every acknowledged write.
     [checkpoint_bytes] caps per-partition log growth; [wal_fault] injects
-    disk faults for tests. *)
+    disk faults for tests.
+
+    [replication] (requires [wal_dir]) installs the streaming-replication
+    tap (DESIGN.md §15) so a {!Server} can feed followers; [read_only]
+    makes this node a replica surface — {!request.Put}, {!request.Delete}
+    and {!request.Txn} fail with {!error.Read_only} while reads and scans
+    serve normally (the {!Replica} applies the stream underneath through
+    the router, not through this API). *)
 
 val router : t -> Hi_shard.Router.t
 val num_partitions : t -> int

@@ -1,0 +1,300 @@
+(* Streaming-replication apply side (DESIGN.md §15).
+
+   A replica owns a read-only {!Db} and a driver thread that keeps one
+   connection to the primary: connect, send [Subscribe] with the last
+   applied LSN per stream, then apply whatever arrives.  The primary
+   answers with [Repl_hello] — [resync = false] resumes the tail from
+   our positions, [resync = true] means a full state snapshot follows
+   (fresh replica, a restarted primary, or positions that fell out of
+   the retention ring), so the replica clears every table first.
+
+   Application runs on the owning partition's domain ([Partition.post] +
+   a future), exactly like the primary's execution model: stream [i]
+   feeds partition [i], stream [partitions] is the coordinator decision
+   log.  [Commit] records apply directly; a [Prepare] applies only once
+   its transaction's [Decide] has been seen on the decision stream —
+   until then it is stashed, mirroring presumed abort.  Replay is
+   idempotent (upsert semantics), which absorbs the overlap between a
+   snapshot and records group-committed while it was being cut.
+
+   Acks are cumulative per stream and sent only after the records are
+   applied, so with [sync_replicas > 0] the primary's group commit
+   waits for application, not mere receipt — the zero-loss-failover
+   guarantee the netbench scenario exercises.
+
+   Any protocol inconsistency (LSN gap, foreign stream, decode error)
+   drops the connection; the reconnect resumes or resyncs as the
+   primary decides.  Reconnects back off exponentially (50 ms doubling
+   to 1 s, reset on a successful hello).  A partition-count mismatch is
+   fatal: it cannot heal by retrying. *)
+
+module Future = Hi_shard.Future
+module Router = Hi_shard.Router
+module Partition = Hi_shard.Partition
+module Engine = Hi_hstore.Engine
+module Redo = Hi_hstore.Redo
+module Metrics = Hi_util.Metrics
+
+let mscope = Metrics.scope "replica"
+let m_applied = Metrics.counter mscope "records_applied"
+let m_resyncs = Metrics.counter mscope "resyncs"
+let m_reconnects = Metrics.counter mscope "reconnects"
+
+let backoff_base_s = 0.05
+let backoff_cap_s = 1.0
+
+type t = {
+  db : Db.t;
+  host : string;
+  port : int;
+  lock : Mutex.t; (* guards fd, stream_id, applied, connected, fatal *)
+  mutable fd : Unix.file_descr option;
+  mutable stream_id : int; (* primary boot id; 0 = never attached *)
+  mutable applied : int array; (* per stream, -1 = nothing applied *)
+  mutable connected : bool; (* hello received on the live connection *)
+  mutable fatal : string option;
+  mutable stopping : bool;
+  mutable driver : Thread.t option;
+  decided : (int, unit) Hashtbl.t; (* 2PC decisions seen *)
+  stash : (int, (int * string) list) Hashtbl.t;
+      (* txn -> undecided Prepare records (stream, record), newest first *)
+}
+
+exception Drop of string
+
+let dbg fmt =
+  if Sys.getenv_opt "HI_REPL_DEBUG" <> None then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* -- applying records on partition domains ------------------------------- *)
+
+let on_partition t p f =
+  let fut = Future.create () in
+  Partition.post
+    (Router.partition (Db.router t.db) p)
+    (fun engine -> Future.fill fut (try Ok (f engine) with e -> Error e));
+  match Future.await fut with Ok v -> v | Error e -> raise e
+
+let reset t =
+  Metrics.incr m_resyncs;
+  for p = 0 to Db.num_partitions t.db - 1 do
+    on_partition t p Engine.clear_tables
+  done;
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.stash
+
+(* Partition stream: apply Commits and decided Prepares in arrival
+   order; stash undecided Prepares until the decision stream names
+   them.  The replica's decision is final by the time it applies, so
+   replay's [decided] predicate is constant. *)
+let apply_partition t p records =
+  let to_apply =
+    List.filter
+      (fun r ->
+        match Redo.decode r with
+        | Ok (Redo.Commit _) -> true
+        | Ok (Redo.Prepare { txn; _ }) ->
+          Hashtbl.mem t.decided txn
+          ||
+          (Hashtbl.replace t.stash txn
+             ((p, r) :: Option.value ~default:[] (Hashtbl.find_opt t.stash txn));
+           false)
+        | Ok (Redo.Decide _) | Error _ -> false)
+      records
+  in
+  if to_apply <> [] then
+    on_partition t p (fun engine ->
+        ignore (Engine.replay engine ~decided:(fun _ -> true) to_apply));
+  Metrics.add m_applied (List.length records)
+
+(* Decision stream: record the decision and flush any stashed Prepares
+   it unblocks, oldest first. *)
+let apply_coord t records =
+  List.iter
+    (fun r ->
+      match Redo.decode r with
+      | Ok (Redo.Decide { txn }) -> (
+        Hashtbl.replace t.decided txn ();
+        match Hashtbl.find_opt t.stash txn with
+        | Some entries ->
+          Hashtbl.remove t.stash txn;
+          List.iter
+            (fun (p, record) ->
+              on_partition t p (fun engine ->
+                  ignore (Engine.replay engine ~decided:(fun _ -> true) [ record ])))
+            (List.rev entries)
+        | None -> ())
+      | Ok _ | Error _ -> ())
+    records;
+  Metrics.add m_applied (List.length records)
+
+(* -- one connection's lifetime ------------------------------------------- *)
+
+let run_connection t fd =
+  let rd = Wire.reader fd in
+  let subscribe =
+    locked t (fun () ->
+        Wire.encode_msg ~id:0
+          (Wire.Subscribe { stream_id = t.stream_id; applied = Array.copy t.applied }))
+  in
+  ignore (Wire.write_frame fd subscribe);
+  let partitions = Db.num_partitions t.db in
+  let streams = partitions + 1 in
+  let ack stream lsn =
+    ignore (Wire.write_frame fd (Wire.encode_msg ~id:0 (Wire.Repl_ack { stream; lsn })))
+  in
+  let apply stream records =
+    if stream = partitions then apply_coord t records else apply_partition t stream records
+  in
+  let handle = function
+    | Wire.Repl_hello { stream_id; partitions = pp; resync } ->
+      if pp <> partitions then begin
+        locked t (fun () ->
+            t.fatal <-
+              Some (Printf.sprintf "primary has %d partitions, this replica %d" pp partitions));
+        raise (Drop "partition count mismatch")
+      end;
+      dbg "[replica] hello stream_id=%d resync=%b\n%!" stream_id resync;
+      if resync then begin
+        reset t;
+        locked t (fun () ->
+            t.stream_id <- stream_id;
+            t.applied <- Array.make streams (-1))
+      end;
+      locked t (fun () -> t.connected <- true)
+    | Wire.Repl_batch { stream; lsn; kind; records } -> (
+      if stream < 0 || stream >= streams then raise (Drop "stream out of range");
+      match kind with
+      | Wire.Log ->
+        dbg "[replica] log stream=%d lsn=%d n=%d applied=%d\n%!" stream lsn
+          (List.length records) t.applied.(stream);
+        if records <> [] then begin
+          let expect = t.applied.(stream) + 1 in
+          if lsn <> expect then
+            raise
+              (Drop (Printf.sprintf "stream %d: got lsn %d, expected %d" stream lsn expect));
+          apply stream records;
+          let last = lsn + List.length records - 1 in
+          locked t (fun () -> t.applied.(stream) <- last);
+          ack stream last
+        end
+      | Wire.Snap { first = _; last } ->
+        dbg "[replica] snap stream=%d lsn=%d n=%d last=%b\n%!" stream lsn
+          (List.length records) last;
+        apply stream records;
+        if last then begin
+          locked t (fun () -> t.applied.(stream) <- lsn);
+          ack stream lsn
+        end)
+    | Wire.Repl_heartbeat -> ()
+    | Wire.Response (Db.Failed e) -> raise (Drop (Db.error_to_string e))
+    | Wire.Response _ | Wire.Request _ | Wire.Subscribe _ | Wire.Repl_ack _ ->
+      raise (Drop "unexpected frame")
+  in
+  let rec loop () =
+    if not t.stopping then
+      match Wire.try_msg rd with
+      | `Msg (_, msg) ->
+        handle msg;
+        loop ()
+      | `Error e -> raise (Drop (Wire.error_to_string e))
+      | `Nothing -> (
+        match Wire.refill rd with
+        | 0 -> raise (Drop "connection closed")
+        | _ -> loop ())
+  in
+  loop ()
+
+(* -- driver --------------------------------------------------------------- *)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) -> raise (Drop (Printf.sprintf "cannot resolve %s" host)))
+
+let try_connect t =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | fd ->
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    locked t (fun () -> t.fd <- Some fd);
+    Some fd
+  | exception (Unix.Unix_error _ | Drop _) -> None
+
+let driver t =
+  let backoff = ref backoff_base_s in
+  while (not t.stopping) && Option.is_none (locked t (fun () -> t.fatal)) do
+    (match try_connect t with
+    | None -> ()
+    | Some fd ->
+      Metrics.incr m_reconnects;
+      (try run_connection t fd with Drop _ | Unix.Unix_error _ -> ());
+      let was_connected =
+        locked t (fun () ->
+            let w = t.connected in
+            t.connected <- false;
+            t.fd <- None;
+            w)
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if was_connected then backoff := backoff_base_s);
+    if not t.stopping then begin
+      Thread.delay !backoff;
+      backoff := Float.min backoff_cap_s (!backoff *. 2.0)
+    end
+  done
+
+(* -- lifecycle & observation --------------------------------------------- *)
+
+let start ~host ~port ~db () =
+  Wire.ignore_sigpipe ();
+  let t =
+    {
+      db;
+      host;
+      port;
+      lock = Mutex.create ();
+      fd = None;
+      stream_id = 0;
+      applied = Array.make (Db.num_partitions db + 1) (-1);
+      connected = false;
+      fatal = None;
+      stopping = false;
+      driver = None;
+      decided = Hashtbl.create 64;
+      stash = Hashtbl.create 16;
+    }
+  in
+  t.driver <- Some (Thread.create driver t);
+  t
+
+let db t = t.db
+let connected t = locked t (fun () -> t.connected)
+let stream_id t = locked t (fun () -> t.stream_id)
+let applied t = locked t (fun () -> Array.copy t.applied)
+let fatal t = locked t (fun () -> t.fatal)
+
+let disconnect t =
+  locked t (fun () ->
+      match t.fd with
+      | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      | None -> ())
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    disconnect t;
+    Option.iter Thread.join t.driver
+  end

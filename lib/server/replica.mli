@@ -1,0 +1,53 @@
+(** The apply side of streaming replication (DESIGN.md §15).
+
+    Feeds a read-only {!Db} from a primary's replication stream: a
+    driver thread connects, subscribes with the replica's last applied
+    LSN per stream, and applies arriving record batches on the owning
+    partitions' domains — [Commit] records directly, [Prepare] records
+    once the decision stream carries their [Decide] (presumed abort).
+    The primary either resumes the tail from our positions or, when it
+    cannot (fresh replica, restarted primary, retention ring outrun),
+    sends a full state snapshot, which the replica applies over cleared
+    tables.
+
+    Acks are sent after application, so a primary running semi-sync
+    ([sync_replicas > 0]) acknowledges its clients only once the write
+    is applied here — after a primary failure, every acknowledged write
+    is readable on the replica.
+
+    Lost connections reconnect with exponential backoff and resume
+    idempotently from the last applied LSN.  The replica keeps serving
+    reads throughout; writes are rejected by the read-only {!Db}
+    ({!Db.error.Read_only}). *)
+
+type t
+
+val start : host:string -> port:int -> db:Db.t -> unit -> t
+(** Start replicating from the primary at [host:port] into [db] — which
+    must be this replica's own {!Db} (created [~read_only:true], no
+    [wal_dir]); the replica applies through its router, bypassing the
+    read-only request surface.  Returns immediately; {!connected} turns
+    true once the primary accepts the subscription. *)
+
+val db : t -> Db.t
+
+val connected : t -> bool
+(** A hello has been received on the currently live connection. *)
+
+val stream_id : t -> int
+(** The primary boot last attached to; [0] before the first hello. *)
+
+val applied : t -> int array
+(** Last applied LSN per stream ([-1] = nothing); index [i] is
+    partition [i], the last index the coordinator decision log. *)
+
+val fatal : t -> string option
+(** Set when replication cannot proceed by retrying (partition-count
+    mismatch); the driver has given up. *)
+
+val disconnect : t -> unit
+(** Drop the current connection (test hook): the driver reconnects with
+    backoff and resumes from the last applied positions. *)
+
+val stop : t -> unit
+(** Stop the driver and join it.  The {!Db} stays open and readable. *)

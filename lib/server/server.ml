@@ -18,11 +18,27 @@
    Order: before running a scan or multi-partition transaction inline,
    the reader flushes its window.  Partition mailboxes are FIFO, so
    everything this connection already submitted lands before the fan-out
-   bodies — per-connection program order without draining. *)
+   bodies — per-connection program order without draining.
+
+   Replication (DESIGN.md §15): a connection sending [Subscribe] becomes
+   a follower of the router's {!Hi_wal.Repl_tap}.  The tap's push
+   callback encodes batches into pre-framed bytes on the publishing
+   partition's domain and enqueues them on this connection's writer
+   mailbox, interleaving with ordinary responses; replication frames do
+   not consume the request semaphore (their flow control is the tap's
+   semi-sync ack protocol, not per-request backpressure).  A follower
+   the tap cannot resume gets a full snapshot: one job per partition —
+   posted to the partition's own mailbox, so the enumeration and the
+   stream activation are atomic against that partition's commits — plus
+   the coordinator decision log under the coordinator lock. *)
 
 open Hi_util
 module Shard_runner = Hi_shard.Shard_runner
 module Mailbox = Hi_shard.Mailbox
+module Router = Hi_shard.Router
+module Partition = Hi_shard.Partition
+module Repl_tap = Hi_wal.Repl_tap
+module Engine = Hi_hstore.Engine
 
 type handles = {
   connections_total : Metrics.counter;
@@ -90,10 +106,15 @@ let hist_for m (req : Db.request) =
   | Scan_from _ -> m.lat_scan
   | Txn _ -> m.lat_txn
 
+(* What the writer thread sends: a response to a numbered request, or
+   pre-framed bytes (replication batches, hello, heartbeats).  Only
+   responses release the request semaphore. *)
+type out = Resp of int * Db.response | Frames of string
+
 let handle_conn t conn =
   let fd = conn.cfd in
   let rd = Wire.reader fd in
-  let writer_q : (int * Db.response) Mailbox.t = Mailbox.create () in
+  let writer_q : out Mailbox.t = Mailbox.create () in
   let sem = Semaphore.Counting.make t.max_inflight in
   (* once a write fails the socket is dead; keep draining so every
      acquired semaphore token is still released *)
@@ -108,10 +129,14 @@ let handle_conn t conn =
       | None -> ()
       | Some first ->
         Buffer.clear buf;
-        let count = ref 0 in
-        let add (id, resp) =
-          Buffer.add_string buf (Wire.encode_response ~id resp);
-          incr count
+        let count = ref 0 and resps = ref 0 in
+        let add item =
+          incr count;
+          match item with
+          | Resp (id, resp) ->
+            Buffer.add_string buf (Wire.encode_response ~id resp);
+            incr resps
+          | Frames s -> Buffer.add_string buf s
         in
         add first;
         let rec drain () =
@@ -129,7 +154,7 @@ let handle_conn t conn =
              Metrics.add t.m.frames_out !count;
              Metrics.add t.m.bytes_out n
            with Unix.Unix_error _ -> broken := true);
-        for _ = 1 to !count do
+        for _ = 1 to !resps do
           Semaphore.Counting.release sem
         done;
         loop ()
@@ -137,17 +162,120 @@ let handle_conn t conn =
     loop ()
   in
   let writer_t = Thread.create writer () in
+  let push_frames s =
+    match Mailbox.push writer_q (Frames s) with
+    | () -> true
+    | exception Mailbox.Closed -> false
+  in
+  (* replication follower state: at most one subscription per connection *)
+  let subscription = ref None in
+  let hb_thread = ref None in
+  let heartbeat () =
+    let frame = Wire.encode_msg ~id:0 Wire.Repl_heartbeat in
+    let rec loop () =
+      Thread.delay 0.5;
+      if push_frames frame then loop ()
+    in
+    loop ()
+  in
+  let snapshot_streams tap fid =
+    (* one job per partition: running on the partition's own domain makes
+       enumeration + activation atomic against its commits; idempotent
+       replay on the replica absorbs any records buffered but not yet
+       synced (they are already reflected in the state we snapshot) *)
+    let router = Db.router t.db in
+    let snap = Wire.Snap { first = true; last = true } in
+    for p = 0 to Db.num_partitions t.db - 1 do
+      let part = Router.partition router p in
+      let rec job engine =
+        if Engine.in_prepared engine then
+          (* a 2PC participant awaits its verdict: the tables hold
+             uncommitted effects, so retry behind the coordinator's
+             decide job instead of snapshotting them *)
+          try Partition.post part job with Mailbox.Closed -> ()
+        else
+          match Repl_tap.activate tap fid ~stream:p with
+          | None -> () (* the subscriber is already gone *)
+          | Some upto ->
+            let records = ref [] in
+            Engine.iter_snapshot_records engine (fun r -> records := r :: !records);
+            let frames =
+              Wire.encode_repl_batches ~stream:p ~lsn:upto ~kind:snap (List.rev !records)
+            in
+            ignore (push_frames (String.concat "" frames))
+      in
+      try Partition.post part job with Mailbox.Closed -> ()
+    done;
+    (* the decision stream snapshots under the coordinator lock, so no
+       Decide can publish between the log read and the activation *)
+    Router.repl_coord_snapshot router (fun records ->
+        let cs = Router.coord_stream router in
+        match Repl_tap.activate tap fid ~stream:cs with
+        | None -> ()
+        | Some upto ->
+          let frames = Wire.encode_repl_batches ~stream:cs ~lsn:upto ~kind:snap records in
+          ignore (push_frames (String.concat "" frames)))
+  in
+  let subscribe id stream_id applied =
+    match Router.repl_tap (Db.router t.db) with
+    | None ->
+      ignore
+        (push_frames
+           (Wire.encode_msg ~id
+              (Wire.Response (Db.Failed (Db.Bad_request "replication not enabled")))));
+      true
+    | Some _ when Option.is_some !subscription ->
+      Metrics.incr t.m.protocol_errors;
+      false
+    | Some tap ->
+      let push (b : Repl_tap.batch) =
+        match Wire.encode_repl_batches ~stream:b.stream ~lsn:b.lsn ~kind:Wire.Log b.records with
+        | frames -> push_frames (String.concat "" frames)
+        | exception Invalid_argument _ -> false (* oversized record: detach, don't crash *)
+      in
+      let fid = Repl_tap.subscribe tap ~sync:true ~push in
+      subscription := Some (tap, fid);
+      let hello ~resync =
+        ignore
+          (push_frames
+             (Wire.encode_msg ~id:0
+                (Wire.Repl_hello
+                   {
+                     stream_id = Repl_tap.stream_id tap;
+                     partitions = Db.num_partitions t.db;
+                     resync;
+                   })))
+      in
+      let applied =
+        if stream_id = Repl_tap.stream_id tap && Array.length applied = Repl_tap.streams tap
+        then Some applied
+        else None
+      in
+      let resumed = Repl_tap.attach tap fid ~applied ~hello in
+      if not resumed then snapshot_streams tap fid;
+      if !hb_thread = None then hb_thread := Some (Thread.create heartbeat ());
+      true
+  in
   let window =
     Shard_runner.Window.create ~batch:t.batch ~router:(Db.router t.db) ()
   in
   let respond id resp =
-    try Mailbox.push writer_q (id, resp) with Mailbox.Closed -> ()
+    try Mailbox.push writer_q (Resp (id, resp)) with Mailbox.Closed -> ()
   in
   let handle id msg =
     match msg with
-    | Wire.Response _ ->
+    | Wire.Response _ | Wire.Repl_hello _ | Wire.Repl_batch _ | Wire.Repl_heartbeat ->
       Metrics.incr t.m.protocol_errors;
       false
+    | Wire.Subscribe { stream_id; applied } -> subscribe id stream_id applied
+    | Wire.Repl_ack { stream; lsn } -> (
+      match !subscription with
+      | Some (tap, fid) when stream >= 0 && stream < Repl_tap.streams tap ->
+        Repl_tap.ack tap fid ~stream ~lsn;
+        true
+      | Some _ | None ->
+        Metrics.incr t.m.protocol_errors;
+        false)
     | Wire.Request req ->
       Metrics.incr t.m.frames_in;
       Semaphore.Counting.acquire sem;
@@ -181,8 +309,14 @@ let handle_conn t conn =
       if n > 0 then loop ()
   in
   loop ();
+  (* detach before draining: a follower with a closed socket must stop
+     counting toward the semi-sync quorum as soon as possible *)
+  (match !subscription with
+  | Some (tap, fid) -> Repl_tap.unsubscribe tap fid
+  | None -> ());
   Shard_runner.Window.drain window;
   Mailbox.close writer_q;
+  Option.iter Thread.join !hb_thread;
   Thread.join writer_t;
   finish_conn t conn
 
@@ -217,6 +351,7 @@ let accept_loop t =
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(batch = Shard_runner.default_batch)
     ?(max_inflight = 64) ~db () =
+  Wire.ignore_sigpipe ();
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));

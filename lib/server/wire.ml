@@ -15,7 +15,25 @@ open Hi_util
 let version = 1
 let max_payload = 1 lsl 20
 
-type msg = Request of Db.request | Response of Db.response
+(* Replication batch kinds (DESIGN.md §15): [Log] carries committed
+   records whose first LSN is the batch's [lsn]; [Snap] carries state
+   snapshot records representing the stream up to [lsn] ([first] marks
+   the first chunk of a stream's snapshot, [last] the chunk after which
+   the follower may ack [lsn] and expect [Log] batches from [lsn+1]). *)
+type repl_kind = Log | Snap of { first : bool; last : bool }
+
+type msg =
+  | Request of Db.request
+  | Response of Db.response
+  | Subscribe of { stream_id : int; applied : int array }
+      (* replica -> primary: resume streams from these positions;
+         [applied = [||]] (or a foreign stream_id) asks for a snapshot *)
+  | Repl_hello of { stream_id : int; partitions : int; resync : bool }
+      (* primary -> replica: stream identity and whether a full
+         snapshot follows (the replica must reset) *)
+  | Repl_batch of { stream : int; lsn : int; kind : repl_kind; records : string list }
+  | Repl_ack of { stream : int; lsn : int } (* replica -> primary: applied through lsn *)
+  | Repl_heartbeat (* primary -> replica: liveness while the stream is idle *)
 
 type error =
   | Need_more of int
@@ -38,10 +56,19 @@ let op_put = 0x02
 let op_delete = 0x03
 let op_scan = 0x04
 let op_txn = 0x05
+let op_subscribe = 0x06
+let op_repl_ack = 0x07
 let op_value = 0x81
 let op_done = 0x82
 let op_entries = 0x83
 let op_failed = 0x84
+let op_repl_hello = 0x85
+let op_repl_batch = 0x86
+let op_repl_heartbeat = 0x87
+
+(* Most partitions a Subscribe may name; far above any deployment, low
+   enough that a corrupt count cannot make the decoder allocate wildly. *)
+let max_streams = 4096
 
 (* -- encoding ------------------------------------------------------------ *)
 
@@ -126,6 +153,7 @@ let put_error b (e : Db.error) =
   | Disconnected m ->
     Buffer.add_uint8 b 6;
     put_str32 b m
+  | Read_only -> Buffer.add_uint8 b 7
 
 let put_response b (resp : Db.response) =
   match resp with
@@ -168,6 +196,95 @@ let frame ~id put_msg =
 
 let encode_request ~id req = frame ~id (fun b -> put_request b req)
 let encode_response ~id resp = frame ~id (fun b -> put_response b resp)
+
+(* -- replication frames (DESIGN.md §15) ---------------------------------- *)
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_kind b = function
+  | Log -> Buffer.add_uint8 b 0
+  | Snap { first; last } ->
+    Buffer.add_uint8 b 1;
+    Buffer.add_uint8 b ((if first then 1 else 0) lor if last then 2 else 0)
+
+let encode_msg ~id (m : msg) =
+  match m with
+  | Request req -> encode_request ~id req
+  | Response resp -> encode_response ~id resp
+  | Subscribe { stream_id; applied } ->
+    frame ~id (fun b ->
+        Buffer.add_uint8 b op_subscribe;
+        fun () ->
+          put_i64 b stream_id;
+          Buffer.add_uint16_be b (Array.length applied);
+          Array.iter (put_i64 b) applied)
+  | Repl_hello { stream_id; partitions; resync } ->
+    frame ~id (fun b ->
+        Buffer.add_uint8 b op_repl_hello;
+        fun () ->
+          put_i64 b stream_id;
+          Buffer.add_uint16_be b partitions;
+          Buffer.add_uint8 b (if resync then 1 else 0))
+  | Repl_batch { stream; lsn; kind; records } ->
+    frame ~id (fun b ->
+        Buffer.add_uint8 b op_repl_batch;
+        fun () ->
+          Buffer.add_uint16_be b stream;
+          put_i64 b lsn;
+          put_kind b kind;
+          put_u32 b (List.length records);
+          List.iter (put_str32 b) records)
+  | Repl_ack { stream; lsn } ->
+    frame ~id (fun b ->
+        Buffer.add_uint8 b op_repl_ack;
+        fun () ->
+          Buffer.add_uint16_be b stream;
+          put_i64 b lsn)
+  | Repl_heartbeat ->
+    frame ~id (fun b ->
+        Buffer.add_uint8 b op_repl_heartbeat;
+        fun () -> ())
+
+(* Encode a replication batch as one or more frames, each below
+   {!max_payload} — the [Frame_too_large] guard stays meaningful on the
+   replication path.  [Log] chunks advance the LSN record by record;
+   [Snap] chunks keep the snapshot's position and spread the
+   first/last markers over the split.
+   @raise Invalid_argument if a single record cannot fit one frame. *)
+let encode_repl_batches ~stream ~lsn ~kind records =
+  let budget = max_payload - 64 in
+  let frames = ref [] in
+  let emit ~lsn ~kind chunk = frames := encode_msg ~id:0 (Repl_batch { stream; lsn; kind; records = chunk }) :: !frames in
+  let kind_of ~first_chunk ~last_chunk =
+    match kind with
+    | Log -> Log
+    | Snap { first; last } -> Snap { first = first && first_chunk; last = last && last_chunk }
+  in
+  let rec go ~first_chunk ~next_lsn pending chunk chunk_n chunk_bytes =
+    match pending with
+    | [] ->
+      if chunk <> [] || first_chunk then
+        emit
+          ~lsn:(match kind with Log -> next_lsn - chunk_n | Snap _ -> lsn)
+          ~kind:(kind_of ~first_chunk ~last_chunk:true)
+          (List.rev chunk)
+    | r :: rest ->
+      let cost = String.length r + 4 in
+      if cost > budget then invalid_arg "Wire.encode_repl_batches: record exceeds max_payload";
+      if chunk_bytes + cost > budget && chunk <> [] then begin
+        emit
+          ~lsn:(match kind with Log -> next_lsn - chunk_n | Snap _ -> lsn)
+          ~kind:(kind_of ~first_chunk ~last_chunk:false)
+          (List.rev chunk);
+        go ~first_chunk:false ~next_lsn pending [] 0 0
+      end
+      else
+        go ~first_chunk
+          ~next_lsn:(match kind with Log -> next_lsn + 1 | Snap _ -> next_lsn)
+          rest (r :: chunk) (chunk_n + 1) (chunk_bytes + cost)
+  in
+  go ~first_chunk:true ~next_lsn:lsn records [] 0 0;
+  List.rev !frames
 
 (* -- decoding ------------------------------------------------------------ *)
 
@@ -241,6 +358,7 @@ let get_error c : Db.error =
     let cause = str16 c in
     Block_lost { table; block; cause }
   | 6 -> Disconnected (str32 c)
+  | 7 -> Read_only
   | t -> raise (Fail (Printf.sprintf "unknown error tag %d" t))
 
 let get_msg c =
@@ -291,6 +409,48 @@ let get_msg c =
                 let k = str16 c in
                 (k, get_value c))))
     else if opcode = op_failed then Response (Failed (get_error c))
+    else if opcode = op_subscribe then begin
+      let stream_id = Int64.to_int (i64 c) in
+      let n = u16 c in
+      if n > max_streams then raise (Fail "oversized stream count");
+      let applied = Array.make n 0 in
+      for i = 0 to n - 1 do
+        applied.(i) <- Int64.to_int (i64 c)
+      done;
+      Subscribe { stream_id; applied }
+    end
+    else if opcode = op_repl_hello then
+      let stream_id = Int64.to_int (i64 c) in
+      let partitions = u16 c in
+      Repl_hello
+        {
+          stream_id;
+          partitions;
+          resync =
+            (match u8 c with
+            | 0 -> false
+            | 1 -> true
+            | t -> raise (Fail (Printf.sprintf "unknown bool %d" t)));
+        }
+    else if opcode = op_repl_batch then
+      let stream = u16 c in
+      let lsn = Int64.to_int (i64 c) in
+      let kind =
+        match u8 c with
+        | 0 -> Log
+        | 1 ->
+          let flags = u8 c in
+          if flags land lnot 3 <> 0 then raise (Fail (Printf.sprintf "unknown snap flags %d" flags));
+          Snap { first = flags land 1 <> 0; last = flags land 2 <> 0 }
+        | t -> raise (Fail (Printf.sprintf "unknown batch kind %d" t))
+      in
+      let n = u32 c in
+      if n > max_payload then raise (Fail "oversized record count");
+      Repl_batch { stream; lsn; kind; records = List.init n (fun _ -> str32 c) }
+    else if opcode = op_repl_ack then
+      let stream = u16 c in
+      Repl_ack { stream; lsn = Int64.to_int (i64 c) }
+    else if opcode = op_repl_heartbeat then Repl_heartbeat
     else raise (Fail (Printf.sprintf "unknown opcode 0x%02x" opcode))
   in
   if c.pos <> c.limit then raise (Fail "trailing bytes in payload");
@@ -300,8 +460,11 @@ let decode_frame buf ~pos =
   let avail = String.length buf - pos in
   if avail < 4 then Error (Need_more (4 - avail))
   else
-    let len = Int32.to_int (String.get_int32_be buf pos) land 0xffffffff in
-    if len > max_payload then Error (Frame_too_large len)
+    (* the length field is signed on the wire: a negative declared length
+       is rejected explicitly (not wrapped to a huge positive), so it can
+       neither raise downstream nor turn into a bogus Need_more *)
+    let len = Int32.to_int (String.get_int32_be buf pos) in
+    if len < 0 || len > max_payload then Error (Frame_too_large len)
     else if avail < 4 + len + 4 then Error (Need_more ((4 + len + 4) - avail))
     else
       let stored = String.get_int32_be buf (pos + 4 + len) in
@@ -314,6 +477,15 @@ let decode_frame buf ~pos =
         | exception Fail_version v -> Error (Bad_version v)
 
 (* -- buffered socket IO -------------------------------------------------- *)
+
+(* A peer may vanish between frames; without this, the first write into
+   a half-closed socket kills the whole process instead of surfacing
+   EPIPE to the caller's error path.  OCaml's [Unix.write] has no
+   MSG_NOSIGNAL, so the disposition is per-process. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
 
 type reader = {
   fd : Unix.file_descr;

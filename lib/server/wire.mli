@@ -14,6 +14,11 @@
     ride as 8-byte big-endian two's complement, floats as their IEEE-754
     bits, strings as a u16 or u32 BE length followed by the bytes.
 
+    Replication (DESIGN.md §15) adds follower-to-primary opcodes [0x06]
+    (subscribe from applied LSNs) and [0x07] (cumulative ack) and
+    primary-to-follower opcodes [0x85] (hello), [0x86] (record batch)
+    and [0x87] (heartbeat).
+
     Decoding is strict: a frame with an unknown version, a CRC mismatch,
     an unknown opcode/tag, a declared length past {!max_payload} or a
     body that does not parse exactly to the payload's end is an {!error},
@@ -28,7 +33,34 @@ val max_payload : int
 (** Largest accepted payload (1 MiB); {!decode_frame} rejects bigger
     declared lengths without buffering them. *)
 
-type msg = Request of Db.request | Response of Db.response
+val max_streams : int
+(** Largest accepted replication stream count (partitions + coordinator)
+    in a [Subscribe]; a decoded count past this is a {!error}. *)
+
+(** How a {!msg.Repl_batch}'s records are meant to be applied. *)
+type repl_kind =
+  | Log  (** tail of the live log: records follow the previous LSN *)
+  | Snap of { first : bool; last : bool }
+      (** slice of a full-state snapshot; [first]/[last] mark the
+          stream's snapshot boundaries, and the batch's [lsn] is the
+          stream position the finished snapshot is equivalent to *)
+
+type msg =
+  | Request of Db.request
+  | Response of Db.response
+  | Subscribe of { stream_id : int; applied : int array }
+      (** replica → primary: attach to the replication feed, resuming
+          after [applied.(stream)] per stream when the primary's
+          [stream_id] matches and every gap is still retained *)
+  | Repl_hello of { stream_id : int; partitions : int; resync : bool }
+      (** primary → replica: feed accepted; [resync] means the applied
+          positions could not be honoured and a full snapshot follows *)
+  | Repl_batch of { stream : int; lsn : int; kind : repl_kind; records : string list }
+      (** committed redo records for one stream; [lsn] is the first
+          record's LSN for [Log], the equivalent position for [Snap] *)
+  | Repl_ack of { stream : int; lsn : int }
+      (** replica → primary: everything up to [lsn] applied (cumulative) *)
+  | Repl_heartbeat  (** primary → replica keep-alive *)
 
 (** Why bytes failed to decode.  [Need_more n] is not a protocol error:
     at least [n] more bytes are required before the frame can be
@@ -47,6 +79,20 @@ val encode_request : id:int -> Db.request -> string
 
 val encode_response : id:int -> Db.response -> string
 
+val encode_msg : id:int -> msg -> string
+(** A complete frame for any message, replication opcodes included. *)
+
+val encode_repl_batches :
+  stream:int -> lsn:int -> kind:repl_kind -> string list -> string list
+(** Encode records as one or more [Repl_batch] frames, each under
+    {!max_payload}.  [Log] chunks advance the LSN by the records consumed
+    so each frame is a self-contained tail segment; [Snap] chunks share
+    the equivalent position and spread the [first]/[last] markers over
+    the first and final chunk.  An empty record list still yields one
+    frame (an empty snapshot stream must deliver its markers).
+    @raise Invalid_argument if a single record exceeds the frame
+    budget. *)
+
 val decode_frame : string -> pos:int -> (int * msg * int, error) result
 (** [decode_frame buf ~pos] parses one frame starting at [pos],
     returning [(id, msg, next_pos)]. *)
@@ -57,6 +103,12 @@ val decode_frame : string -> pos:int -> (int * msg * int, error) result
     already-buffered frames before deciding to block: the server flushes
     its batching window exactly when {!try_msg} says nothing more is
     decodable. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set the process-wide SIGPIPE disposition to ignore, so a write into
+    a peer-closed socket raises [EPIPE] instead of killing the process.
+    Called by {!Server.start}, {!Client.connect} and {!Replica.start};
+    a no-op where the signal does not exist. *)
 
 type reader
 

@@ -42,6 +42,18 @@ type durability_config = {
 let durability ?(checkpoint_bytes = 64 * 1024 * 1024) ?fault wal_dir =
   { wal_dir; checkpoint_bytes; fault }
 
+(* Replication (DESIGN.md §15): stream every partition WAL plus the
+   coordinator decision log through a {!Hi_wal.Repl_tap}. *)
+type repl_config = {
+  sync_replicas : int; (* acks to await per group commit; 0 = async *)
+  retain_bytes : int; (* per-stream ring for gap replay on reconnect *)
+  ack_timeout_s : float; (* semi-sync degrade deadline *)
+}
+
+let replication ?(sync_replicas = 0) ?(retain_bytes = 4 * 1024 * 1024) ?(ack_timeout_s = 1.0) ()
+    =
+  { sync_replicas; retain_bytes; ack_timeout_s }
+
 type recovery = {
   replayed_txns : int;
   skipped_undecided : int; (* prepares whose 2PC txn was never decided *)
@@ -72,6 +84,7 @@ type t = {
   mode : mode;
   next_txn : int Atomic.t; (* 2PC transaction ids; resumed past the logs at recovery *)
   durable : durable option;
+  repl : Hi_wal.Repl_tap.t option;
   recovery : recovery option;
   m_single : Hi_util.Metrics.counter;
   m_multi : Hi_util.Metrics.counter;
@@ -92,16 +105,23 @@ let coord_log_path dir = Filename.concat dir "coord.log"
    points, after its group-commit barrier (so nothing is buffered).
    Never touches the coordinator log — other partitions' logs may still
    hold Prepare records that need its decisions; only the global
-   [checkpoint] below may truncate it.  Skipped while rows are evicted:
-   the snapshot enumerates live rows only. *)
+   [checkpoint] below may truncate it.  Snapshots cover evicted rows
+   (read non-destructively from their anti-cache blocks), so eviction no
+   longer blocks checkpointing — the bug that let the WAL grow without
+   bound under exactly the cold workloads anti-caching targets. *)
 let auto_checkpoint dc ~ckpt_path engine =
   match Engine.wal engine with
   | None -> ()
   | Some w ->
+    (* [in_prepared]: a 2PC participant awaits its verdict, so the tables
+       hold applied-but-uncommitted effects — a snapshot now could
+       resurrect an aborted transaction after a crash.  The window is
+       short (the coordinator decides promptly); the next idle point
+       retries. *)
     if
-      Wal.bytes_on_disk w > dc.checkpoint_bytes
+      (not (Engine.in_prepared engine))
+      && Wal.bytes_on_disk w > dc.checkpoint_bytes
       && Wal.pending w = 0
-      && not (Engine.has_evicted_rows engine)
     then begin
       Engine.write_checkpoint engine ~path:ckpt_path;
       Wal.truncate w
@@ -163,9 +183,11 @@ let recover_durable dc parts =
     },
     !max_txn + 1 )
 
-let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durability ~partitions
-    ~init () =
+let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durability ?replication
+    ~partitions ~init () =
   if partitions <= 0 then invalid_arg "Router.create: need at least one partition";
+  if replication <> None && durability = None then
+    invalid_arg "Router.create: replication requires durability (the streams are the WALs)";
   (* parallel partitions defer hybrid merges to their domain's background
      scheduler; sequential mode keeps the caller's configuration *)
   let pconfig =
@@ -184,6 +206,33 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
       let d, r, next = recover_durable dc parts in
       (Some d, Some r, next)
   in
+  (* Replication tap: stream i mirrors partition i's WAL, stream
+     [partitions] the coordinator decision log.  Installed before any
+     partition domain starts, so no durable batch can slip past it. *)
+  let repl =
+    match (durable, replication) with
+    | Some d, Some rc ->
+      let stream_id =
+        (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () lsl 40)) land max_int
+      in
+      let stream_id = if stream_id = 0 then 1 else stream_id in
+      let tap =
+        Hi_wal.Repl_tap.create ~streams:(partitions + 1) ~stream_id
+          ~retain_bytes:rc.retain_bytes ~sync_replicas:rc.sync_replicas
+          ~ack_timeout_s:rc.ack_timeout_s
+      in
+      Array.iteri
+        (fun i p ->
+          match Engine.wal (Partition.engine p) with
+          | Some w ->
+            Wal.set_tap w (Some (fun records -> Hi_wal.Repl_tap.publish tap ~stream:i records))
+          | None -> ())
+        parts;
+      Wal.set_tap d.coord
+        (Some (fun records -> Hi_wal.Repl_tap.publish tap ~stream:partitions records));
+      Some tap
+    | _ -> None
+  in
   (match mode with
   | Parallel -> Array.iter Partition.start parts
   | Sequential _ -> ());
@@ -193,6 +242,7 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
     mode;
     next_txn = Atomic.make next_txn;
     durable;
+    repl;
     recovery;
     m_single = Hi_util.Metrics.counter scope "single_partition_txns";
     m_multi = Hi_util.Metrics.counter scope "multi_partition_txns";
@@ -202,6 +252,29 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
 
 let recovery t = t.recovery
 let durable_enabled t = t.durable <> None
+
+(* --- replication plumbing (DESIGN.md §15) --- *)
+
+let repl_tap t = t.repl
+let coord_stream t = Array.length t.partitions
+
+let repl_positions t = Option.map Hi_wal.Repl_tap.positions t.repl
+
+(* Run [k] over the coordinator log's durable records while holding the
+   coordinator lock, so no Decide can publish between the read and
+   whatever [k] does with the tap (snapshot + {!Repl_tap.activate}).
+   The file read sees exactly the synced prefix — [log_decide] syncs
+   every append under this same lock. *)
+let repl_coord_snapshot t k =
+  match t.durable with
+  | None -> invalid_arg "Router.repl_coord_snapshot: no durability"
+  | Some d ->
+    Mutex.lock d.coord_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock d.coord_lock)
+      (fun () ->
+        let records, _ = Wal.read (coord_log_path d.dconfig.wal_dir) in
+        k records)
 
 let num_partitions t = Array.length t.partitions
 let partition t i = t.partitions.(i)
@@ -489,10 +562,9 @@ let sync_all t =
    coordinator decision log.  Holding every coordinator lock (acquired in
    the same ascending order as any transaction) guarantees no transaction
    is between its durable Prepare and its Decide, and once all partition
-   logs are truncated no surviving Prepare can need a past decision; a
-   partition that skips (rows evicted) keeps its Prepares, so the
-   decision log must survive too.  Returns how many partitions
-   checkpointed. *)
+   logs are truncated no surviving Prepare can need a past decision, so
+   the coordinator log can be truncated too.  Returns how many
+   partitions checkpointed. *)
 let checkpoint t =
   match t.durable with
   | None -> 0
@@ -510,12 +582,12 @@ let checkpoint t =
                        try
                          ignore (Engine.sync_wal engine);
                          match Engine.wal engine with
-                         | Some w when not (Engine.has_evicted_rows engine) ->
+                         | Some w ->
                            Engine.write_checkpoint engine
                              ~path:(partition_ckpt_path d.dconfig.wal_dir i);
                            Wal.truncate w;
                            Ok true
-                         | Some _ | None -> Ok false
+                         | None -> Ok false
                        with e -> Error e
                      in
                      Future.fill fut r);

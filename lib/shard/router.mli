@@ -29,6 +29,19 @@ type durability_config = {
 val durability : ?checkpoint_bytes:int -> ?fault:Hi_util.Fault.t -> string -> durability_config
 (** [durability wal_dir] with a 64 MiB default checkpoint threshold. *)
 
+(** {1 Replication (DESIGN.md §15)} *)
+
+type repl_config = {
+  sync_replicas : int;  (** follower acks to await per group commit; 0 = async *)
+  retain_bytes : int;  (** per-stream ring retained for gap replay on reconnect *)
+  ack_timeout_s : float;  (** semi-sync degrade deadline *)
+}
+
+val replication :
+  ?sync_replicas:int -> ?retain_bytes:int -> ?ack_timeout_s:float -> unit -> repl_config
+(** Defaults: asynchronous ([sync_replicas = 0]), 4 MiB rings, 1 s
+    semi-sync deadline. *)
+
 (** What startup recovery found and replayed. *)
 type recovery = {
   replayed_txns : int;
@@ -47,6 +60,7 @@ val create :
   ?config:Engine.config ->
   ?sleep:(float -> unit) ->
   ?durability:durability_config ->
+  ?replication:repl_config ->
   partitions:int ->
   init:(int -> Engine.t -> unit) ->
   unit ->
@@ -62,7 +76,26 @@ val create :
     truncates torn tails, attaches a WAL to every engine and installs the
     auto-checkpoint hook.  [init] must then be deterministic (schema plus
     any static seed): replay is an upsert stream over whatever [init]
-    built. *)
+    built.
+
+    With [replication] set (requires [durability]), a
+    {!Hi_wal.Repl_tap} is installed on every partition WAL and on the
+    coordinator decision log before any partition starts: stream [i]
+    mirrors partition [i], stream [partitions] the decision log. *)
+
+val repl_tap : t -> Hi_wal.Repl_tap.t option
+
+val coord_stream : t -> int
+(** The decision log's stream index ([= num_partitions]). *)
+
+val repl_positions : t -> int array option
+(** Last published LSN per stream; [None] without [replication]. *)
+
+val repl_coord_snapshot : t -> (string list -> 'a) -> 'a
+(** Run the callback over the coordinator log's durable records while
+    holding the coordinator lock, so no decision can publish until it
+    returns — the atomic snapshot+activate step for the decision stream
+    (DESIGN.md §15).  @raise Invalid_argument without [durability]. *)
 
 val recovery : t -> recovery option
 (** What startup recovery replayed; [None] without [durability]. *)
@@ -70,9 +103,10 @@ val recovery : t -> recovery option
 val durable_enabled : t -> bool
 
 val checkpoint : t -> int
-(** Snapshot and truncate every partition's log (skipping partitions with
-    evicted rows), then truncate the coordinator decision log if — and
-    only if — every partition checkpointed.  Serialized against
+(** Snapshot and truncate every partition's log (snapshots cover evicted
+    rows, read non-destructively from their anti-cache blocks), then
+    truncate the coordinator decision log if — and only if — every
+    partition checkpointed.  Serialized against
     multi-partition transactions by acquiring {e every} partition's
     coordinator lock in ascending order.  Returns the number of
     partitions checkpointed; [0] without [durability]. *)

@@ -1,0 +1,256 @@
+(* Replication tap (DESIGN.md §15): the publish side of WAL streaming.
+
+   One tap serves a whole primary.  It owns [streams] independent record
+   streams — one per partition WAL plus one for the coordinator decision
+   log — and assigns each published record a per-stream log sequence
+   number (LSN), dense from 0 at primary boot.  [stream_id] identifies
+   the boot: a restarted primary draws fresh LSNs, so a subscriber
+   presenting positions from another [stream_id] must resynchronize from
+   a snapshot rather than resume.
+
+   Records enter through {!publish}, called by the WAL's {!Wal.set_tap}
+   hook with each group-commit batch *after* its fsync — only durable
+   records are ever streamed.  Each stream keeps a bounded ring of its
+   most recent records so a briefly-disconnected follower can resume by
+   replaying the gap; a follower whose position has fallen out of the
+   ring needs a snapshot.
+
+   Followers are registered with {!subscribe} and receive batches
+   through a [push] callback (the server enqueues frames on the
+   connection's writer).  A follower starts inactive on every stream:
+   {!attach} activates all streams atomically when the follower can
+   resume, and {!activate} brings one stream live at the end of its
+   snapshot.  Activation and publication serialize on the tap lock, so a
+   follower observes each stream as a gap-free LSN sequence.
+
+   Semi-synchronous replication: with [sync_replicas = n > 0],
+   {!publish} blocks (bounded by [ack_timeout_s]) until [n] sync
+   followers have acknowledged the batch's last LSN.  Because the tap
+   callback runs inside the partition's group-commit barrier, this
+   delays the primary's client acknowledgments until the batch is also
+   applied on the replicas — the zero-loss-failover guarantee.  When
+   fewer than [n] sync followers are attached, or the deadline passes,
+   the wait degrades to asynchronous (counted in [repl_degraded]) rather
+   than stalling the primary forever. *)
+
+module Metrics = Hi_util.Metrics
+
+let mscope = Metrics.scope "repl"
+let m_published = Metrics.counter mscope "records_published"
+let m_degraded = Metrics.counter mscope "semi_sync_degraded"
+let m_waits = Metrics.histogram mscope "semi_sync_wait_seconds"
+let m_detached = Metrics.counter mscope "followers_detached"
+
+type batch = { stream : int; lsn : int; records : string list }
+
+type follower = {
+  fid : int;
+  push : batch -> bool; (* false = dead sink; the tap detaches it *)
+  sync : bool; (* counts toward the semi-sync quorum *)
+  active : bool array; (* per stream: attached and in LSN order *)
+  acked : int array; (* per stream: highest applied LSN reported *)
+}
+
+type stream_state = {
+  mutable next_lsn : int;
+  ring : (int * string) Queue.t; (* (lsn, record), oldest first, contiguous *)
+  mutable ring_bytes : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  streams : stream_state array;
+  stream_id : int;
+  retain_bytes : int;
+  sync_replicas : int;
+  ack_timeout_s : float;
+  mutable followers : follower list;
+  mutable next_fid : int;
+}
+
+let create ~streams ~stream_id ~retain_bytes ~sync_replicas ~ack_timeout_s =
+  if streams <= 0 then invalid_arg "Repl_tap.create: need at least one stream";
+  {
+    lock = Mutex.create ();
+    streams =
+      Array.init streams (fun _ -> { next_lsn = 0; ring = Queue.create (); ring_bytes = 0 });
+    stream_id;
+    retain_bytes;
+    sync_replicas;
+    ack_timeout_s;
+    followers = [];
+    next_fid = 0;
+  }
+
+let stream_id t = t.stream_id
+let streams t = Array.length t.streams
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let next_lsn t ~stream = locked t (fun () -> t.streams.(stream).next_lsn)
+
+let positions t =
+  locked t (fun () -> Array.map (fun st -> st.next_lsn - 1) t.streams)
+
+let followers t = locked t (fun () -> List.length t.followers)
+
+(* -- follower registry --------------------------------------------------- *)
+
+let subscribe t ~sync ~push =
+  locked t (fun () ->
+      let fid = t.next_fid in
+      t.next_fid <- t.next_fid + 1;
+      let n = Array.length t.streams in
+      t.followers <-
+        { fid; push; sync; active = Array.make n false; acked = Array.make n (-1) }
+        :: t.followers;
+      fid)
+
+let unsubscribe t fid =
+  locked t (fun () -> t.followers <- List.filter (fun f -> f.fid <> fid) t.followers)
+
+let find_follower t fid = List.find_opt (fun f -> f.fid = fid) t.followers
+
+let detach_locked t fid =
+  Metrics.incr m_detached;
+  t.followers <- List.filter (fun f -> f.fid <> fid) t.followers
+
+let ack t fid ~stream ~lsn =
+  locked t (fun () ->
+      match find_follower t fid with
+      | Some f -> if lsn > f.acked.(stream) then f.acked.(stream) <- lsn
+      | None -> ())
+
+(* -- attachment ---------------------------------------------------------- *)
+
+(* The ring holds LSNs [next_lsn - length .. next_lsn - 1]; a follower at
+   position [from] can resume iff every record it is missing is still
+   retained (or it is missing nothing). *)
+let tailable st ~from =
+  from <= st.next_lsn - 1
+  && (from >= st.next_lsn - 1 - Queue.length st.ring)
+
+(* Atomically decide resume-vs-snapshot for a subscriber and, on resume,
+   replay each stream's gap and activate it.  [hello ~resync] runs under
+   the tap lock before any gap batch is pushed, so the server can queue
+   its hello frame ahead of the stream — the decision and the first
+   batches are a single atomic step with respect to {!publish}.
+   [applied = None] (fresh replica or a foreign [stream_id]) always
+   snapshots.  Returns [true] when the follower resumed and is live. *)
+let attach t fid ~applied ~hello =
+  locked t (fun () ->
+      match find_follower t fid with
+      | None -> invalid_arg "Repl_tap.attach: unknown follower"
+      | Some f ->
+        let ok =
+          match applied with
+          | Some a when Array.length a = Array.length t.streams ->
+            Array.for_all2 (fun st from -> tailable st ~from) t.streams a
+          | Some _ | None -> false
+        in
+        hello ~resync:(not ok);
+        (match (ok, applied) with
+        | true, Some a ->
+          (* Replay in descending stream order, so the decision stream
+             (highest index) lands before the partition gaps.  A live
+             connection sees each Decide before any post-decide
+             partition record (the coordinator publishes under its lock
+             before posting the decide jobs); replaying partitions first
+             would invert that — a stashed Prepare would apply after
+             later commits to the same keys instead of before them. *)
+          for s = Array.length t.streams - 1 downto 0 do
+            let st = t.streams.(s) in
+            let from = a.(s) in
+            let gap =
+              Queue.fold
+                (fun acc (lsn, r) -> if lsn > from then r :: acc else acc)
+                [] st.ring
+              |> List.rev
+            in
+            if gap <> [] then ignore (f.push { stream = s; lsn = from + 1; records = gap });
+            f.active.(s) <- true;
+            f.acked.(s) <- from
+          done
+        | _ -> ());
+        ok)
+
+(* Snapshot-mode attachment of one stream: mark it live and return the
+   LSN the snapshot represents ([next_lsn - 1]).  The caller must hold
+   whatever excludes publishes to this stream while it enumerates the
+   snapshot (the partition's own domain; the coordinator lock), so
+   nothing can slip between the snapshot and the activation. *)
+let activate t fid ~stream =
+  locked t (fun () ->
+      match find_follower t fid with
+      | None -> None (* unsubscribed while the snapshot job was queued *)
+      | Some f ->
+        f.active.(stream) <- true;
+        Some (t.streams.(stream).next_lsn - 1))
+
+(* -- publication --------------------------------------------------------- *)
+
+let trim_ring t st =
+  while st.ring_bytes > t.retain_bytes && Queue.length st.ring > 1 do
+    let _, r = Queue.pop st.ring in
+    st.ring_bytes <- st.ring_bytes - String.length r
+  done
+
+(* Block until [t.sync_replicas] sync followers have acked [lsn] on
+   [stream], the attached sync-follower count drops below the quorum, or
+   the deadline passes (both degrade to async).  Polling instead of a
+   condition wait: the stdlib's [Condition] has no timed wait, and the
+   poll granularity is far below the fsync the caller just paid. *)
+let wait_quorum t ~stream ~lsn =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. t.ack_timeout_s in
+  let rec loop () =
+    let acked, attached =
+      locked t (fun () ->
+          List.fold_left
+            (fun (acked, attached) f ->
+              if f.sync && f.active.(stream) then
+                ((if f.acked.(stream) >= lsn then acked + 1 else acked), attached + 1)
+              else (acked, attached))
+            (0, 0) t.followers)
+    in
+    if acked >= t.sync_replicas then true
+    else if attached < t.sync_replicas then false
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.0002;
+      loop ()
+    end
+  in
+  let ok = loop () in
+  Metrics.observe m_waits (Unix.gettimeofday () -. t0);
+  if not ok then Metrics.incr m_degraded
+
+let publish t ~stream records =
+  if records = [] then ()
+  else begin
+    let last =
+      locked t (fun () ->
+          let st = t.streams.(stream) in
+          let first = st.next_lsn in
+          List.iter
+            (fun r ->
+              Queue.add (st.next_lsn, r) st.ring;
+              st.ring_bytes <- st.ring_bytes + String.length r;
+              st.next_lsn <- st.next_lsn + 1)
+            records;
+          trim_ring t st;
+          Metrics.add m_published (List.length records);
+          let batch = { stream; lsn = first; records } in
+          let dead =
+            List.filter_map
+              (fun f ->
+                if f.active.(stream) && not (f.push batch) then Some f.fid else None)
+              t.followers
+          in
+          List.iter (detach_locked t) dead;
+          st.next_lsn - 1)
+    in
+    if t.sync_replicas > 0 then wait_quorum t ~stream ~lsn:last
+  end

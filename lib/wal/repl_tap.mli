@@ -1,0 +1,77 @@
+(** Replication tap (DESIGN.md §15): the publish side of WAL streaming.
+
+    One tap per primary, holding [streams] independent record streams
+    (one per partition WAL plus one for the coordinator decision log).
+    Every published record gets a per-stream LSN, dense from 0 at
+    primary boot; [stream_id] names the boot, so positions from another
+    boot force a snapshot resync instead of a bogus resume.  Each stream
+    retains a bounded ring of recent records for gap replay.
+
+    {!publish} is driven by {!Wal.set_tap}, i.e. runs after each
+    group-commit fsync with only durable records, on the syncing
+    domain.  With [sync_replicas > 0] it also blocks (bounded by
+    [ack_timeout_s]) until that many sync followers acknowledged the
+    batch — semi-synchronous replication, degrading to asynchronous when
+    too few followers are attached or the deadline passes. *)
+
+(** One ordered slice of a stream: [records] carry LSNs
+    [lsn, lsn + length records - 1]. *)
+type batch = { stream : int; lsn : int; records : string list }
+
+type t
+
+val create :
+  streams:int ->
+  stream_id:int ->
+  retain_bytes:int ->
+  sync_replicas:int ->
+  ack_timeout_s:float ->
+  t
+
+val stream_id : t -> int
+val streams : t -> int
+
+val publish : t -> stream:int -> string list -> unit
+(** Assign LSNs to a durable batch, retain it in the stream's ring, push
+    it to every follower active on [stream] (dead sinks are detached),
+    then run the semi-sync wait if configured.  Call only from the
+    WAL tap of the matching stream. *)
+
+val subscribe : t -> sync:bool -> push:(batch -> bool) -> int
+(** Register a follower (inactive on every stream) and return its id.
+    [push] must enqueue without blocking and return [false] when the
+    sink is dead — the tap detaches the follower.  [sync] followers
+    count toward the semi-sync quorum. *)
+
+val unsubscribe : t -> int -> unit
+
+val attach : t -> int -> applied:int array option -> hello:(resync:bool -> unit) -> bool
+(** Atomically decide resume-vs-snapshot for follower [fid].  When
+    [applied] holds a position per stream and every gap is still
+    retained, replay the gaps through [push], activate all streams and
+    return [true].  Otherwise return [false]: the caller must snapshot
+    every stream and {!activate} each.  [hello ~resync] is invoked under
+    the tap lock before any gap batch, so a hello frame queued there is
+    ordered ahead of the stream.  Gaps replay in descending stream
+    order: the decision stream (highest index) lands first, so a
+    follower sees every Decide before the partition records that were
+    generated after it — the same order a live connection delivers. *)
+
+val activate : t -> int -> stream:int -> int option
+(** Snapshot-mode attachment: mark [stream] live for [fid] and return
+    the LSN the snapshot represents ([next_lsn - 1]), or [None] if the
+    follower has unsubscribed meanwhile (a dead connection's snapshot
+    job draining late — skip the snapshot).  The caller must exclude
+    publishes to [stream] from snapshot enumeration through activation
+    (partition domain; coordinator lock). *)
+
+val ack : t -> int -> stream:int -> lsn:int -> unit
+(** Follower [fid] reports it applied [stream] through [lsn]
+    (monotonic; stale acks are ignored). *)
+
+val next_lsn : t -> stream:int -> int
+
+val positions : t -> int array
+(** Last assigned LSN per stream ([-1] when nothing published). *)
+
+val followers : t -> int

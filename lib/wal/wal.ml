@@ -116,8 +116,10 @@ type t = {
   buf : Buffer.t; (* framed, unsynced records *)
   mutable pending : int; (* records in [buf] *)
   mutable pending_sizes : int list; (* framed sizes, newest first (short-write cuts) *)
+  mutable pending_records : string list; (* raw payloads, newest first (replication tap) *)
   mutable synced_bytes : int; (* durable bytes on disk *)
   mutable closed : bool;
+  mutable tap : (string list -> unit) option; (* called with each durable batch *)
   fault : Fault.t option;
 }
 
@@ -144,8 +146,10 @@ let open_log ?fault path =
           buf = Buffer.create 4096;
           pending = 0;
           pending_sizes = [];
+          pending_records = [];
           synced_bytes = valid;
           closed = false;
+          tap = None;
           fault;
         } ))
 
@@ -158,7 +162,22 @@ let append t record =
   frame_into t.buf record;
   t.pending <- t.pending + 1;
   t.pending_sizes <- framed_size record :: t.pending_sizes;
+  (match t.tap with
+  | Some _ -> t.pending_records <- record :: t.pending_records
+  | None -> ());
   Metrics.incr m_appends
+
+(* Replication tap (DESIGN.md §15): [f] is called with each batch of raw
+   record payloads, in append order, immediately after the batch's fsync
+   succeeds — i.e. only with records that are genuinely durable.  A
+   failed sync never reaches the tap: its records were not acknowledged
+   and must not be replicated.  The callback runs on the syncing thread
+   (the partition domain), so a blocking tap delays acknowledgment — the
+   hook semi-synchronous replication uses to gate acks on follower
+   acks. *)
+let set_tap t f =
+  t.tap <- f;
+  match f with None -> t.pending_records <- [] | Some _ -> ()
 
 let pending t = t.pending
 let bytes_on_disk t = t.synced_bytes
@@ -194,10 +213,12 @@ let sync t =
     let batch = Buffer.contents t.buf in
     let len = String.length batch in
     let count = t.pending in
+    let records = List.rev t.pending_records in
     let fail msg =
       Buffer.clear t.buf;
       t.pending <- 0;
       t.pending_sizes <- [];
+      t.pending_records <- [];
       Metrics.incr m_sync_errors;
       raise (Io_error msg)
     in
@@ -227,9 +248,12 @@ let sync t =
     Buffer.clear t.buf;
     t.pending <- 0;
     t.pending_sizes <- [];
+    t.pending_records <- [];
     Metrics.incr m_fsyncs;
     Metrics.add m_bytes len;
     Metrics.observe m_batch (float_of_int count);
+    (* publish after the barrier: the tap sees only durable records *)
+    (match t.tap with Some f -> f records | None -> ());
     count
   end
 
@@ -240,6 +264,7 @@ let truncate t =
   Buffer.clear t.buf;
   t.pending <- 0;
   t.pending_sizes <- [];
+  t.pending_records <- [];
   wrap_unix (fun () ->
       Unix.ftruncate t.fd 0;
       ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);

@@ -52,6 +52,14 @@ val sync : t -> int
 val pending : t -> int
 (** Records appended but not yet synced. *)
 
+val set_tap : t -> (string list -> unit) option -> unit
+(** Replication tap (DESIGN.md §15): install a callback invoked with
+    each batch of raw record payloads, in append order, immediately
+    after the batch's fsync succeeds — only durable records reach it; a
+    failed sync drops the batch without publishing.  Runs on the syncing
+    thread, so a blocking tap delays acknowledgment (the semi-sync
+    hook).  [None] uninstalls. *)
+
 val bytes_on_disk : t -> int
 (** Durable log size (checkpoint trigger input). *)
 

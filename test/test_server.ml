@@ -82,7 +82,31 @@ let test_wire_pinned_rejects () =
   (* truncation reports how many bytes are still owed *)
   check "empty needs header" true (Wire.decode_frame "" ~pos:0 = Error (Wire.Need_more 4));
   let cut = String.sub frame 0 (String.length frame - 3) in
-  check "cut frame needs 3" true (Wire.decode_frame cut ~pos:0 = Error (Wire.Need_more 3))
+  check "cut frame needs 3" true (Wire.decode_frame cut ~pos:0 = Error (Wire.Need_more 3));
+  (* a negative declared length is a hostile 32-bit value, not a short
+     frame: rejected outright, never wrapped into a bogus byte count *)
+  check "negative length" true
+    (Wire.decode_frame "\xff\xff\xff\xff\x00\x00\x00\x00" ~pos:0
+    = Error (Wire.Frame_too_large (-1)));
+  check "min_int length" true
+    (Wire.decode_frame "\x80\x00\x00\x00\x00\x00\x00\x00" ~pos:0
+    = Error (Wire.Frame_too_large (Int32.to_int Int32.min_int)))
+
+let test_wire_pinned_repl_layout () =
+  (* Repl_ack stream 2, lsn 256 under id 5: opcode 0x07, u16 stream,
+     i64 BE lsn *)
+  let payload = "\x01\x07\x00\x00\x00\x05\x00\x02\x00\x00\x00\x00\x00\x00\x01\x00" in
+  check_string "Repl_ack payload" payload
+    (let f = Wire.encode_msg ~id:5 (Wire.Repl_ack { stream = 2; lsn = 256 }) in
+     String.sub f 4 (String.length payload));
+  (* Subscribe from boot 1 with one stream at LSN -1: opcode 0x06,
+     i64 stream_id, u16 count, i64 per stream (-1 = nothing applied) *)
+  let payload =
+    "\x01\x06\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\x00\x01\xff\xff\xff\xff\xff\xff\xff\xff"
+  in
+  check_string "Subscribe payload" payload
+    (let f = Wire.encode_msg ~id:0 (Wire.Subscribe { stream_id = 1; applied = [| -1 |] }) in
+     String.sub f 4 (String.length payload))
 
 let test_wire_roundtrip () =
   for seed = 1 to 400 do
@@ -110,6 +134,16 @@ let test_wire_corruption () =
     let id = Wire_check.gen_id rng in
     let msg = Wire_check.gen_msg rng in
     match Wire_check.corrupt_safe rng ~id msg with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_wire_hostile_lengths () =
+  for seed = 1 to 60 do
+    let rng = Xorshift.create seed in
+    let id = Wire_check.gen_id rng in
+    let msg = Wire_check.gen_msg rng in
+    match Wire_check.hostile_length_safe ~id msg with
     | Ok () -> ()
     | Error e -> Alcotest.failf "seed %d: %s" seed e
   done
@@ -312,6 +346,24 @@ let test_client_disconnect () =
       | _ -> Alcotest.failf "after stop: %s" (Db.response_to_string r));
       Client.close c)
 
+let test_client_close_fails_fast () =
+  with_server (fun _db server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      check_resp "works" (Db.Done true) (Client.call c (Db.Put ("k", Db.Null)));
+      Client.close c;
+      (* a send after close resolves immediately — no hang, no raise,
+         nothing left registered as outstanding *)
+      let t = Client.send c (Db.Get "k") in
+      check_int "nothing pending" 0 (Client.pending c);
+      (match Client.await t with
+      | Db.Failed (Db.Disconnected _) -> ()
+      | r -> Alcotest.failf "after close: %s" (Db.response_to_string r));
+      (* close is idempotent and the state sticks *)
+      Client.close c;
+      match Client.call c (Db.Put ("x", Db.Null)) with
+      | Db.Failed (Db.Disconnected _) -> ()
+      | r -> Alcotest.failf "second send after close: %s" (Db.response_to_string r))
+
 (* --- differential: TCP path vs in-process path, byte-identical --- *)
 
 let test_differential_tcp_vs_inprocess () =
@@ -340,9 +392,11 @@ let () =
         [
           Alcotest.test_case "pinned layout" `Quick test_wire_pinned_layout;
           Alcotest.test_case "pinned rejects" `Quick test_wire_pinned_rejects;
+          Alcotest.test_case "pinned repl layout" `Quick test_wire_pinned_repl_layout;
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "prefixes need more" `Quick test_wire_prefixes;
           Alcotest.test_case "corruption rejected" `Quick test_wire_corruption;
+          Alcotest.test_case "hostile lengths" `Quick test_wire_hostile_lengths;
           Alcotest.test_case "frame stream" `Quick test_wire_stream;
         ] );
       ( "db",
@@ -360,6 +414,7 @@ let () =
           Alcotest.test_case "two clients" `Quick test_server_two_clients;
           Alcotest.test_case "rejects garbage" `Quick test_server_rejects_garbage;
           Alcotest.test_case "client disconnect" `Quick test_client_disconnect;
+          Alcotest.test_case "client close fails fast" `Quick test_client_close_fails_fast;
           Alcotest.test_case "differential vs in-process" `Quick
             test_differential_tcp_vs_inprocess;
         ] );

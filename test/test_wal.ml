@@ -238,6 +238,57 @@ let test_db_checkpoint () =
   check "post-checkpoint write" true (not_failed (Db.get db2 "post") = Some (Db.Str "ckpt"));
   Db.close db2
 
+(* Regression: the auto checkpoint used to skip any partition holding
+   evicted rows, so under anti-caching the WAL grew without bound on
+   exactly the cold workloads eviction targets.  Checkpoints now cover
+   evicted rows (read non-destructively from their blocks): the log
+   stays capped while rows are cold, and recovery restores every row. *)
+let test_checkpoint_under_eviction () =
+  let wal_dir = fresh_dir "evict_ckpt" in
+  let config =
+    {
+      Engine.default_config with
+      eviction_threshold_bytes = Some 4_096;
+      evictable_tables = [ "kv" ];
+    }
+  in
+  let checkpoint_bytes = 16 * 1024 in
+  let partitions = 2 in
+  let db = Db.create ~wal_dir ~config ~checkpoint_bytes ~partitions () in
+  let value i = Db.Str (String.make 200 (Char.chr (Char.code 'a' + (i mod 26)))) in
+  let n = 1500 in
+  for i = 0 to n - 1 do
+    ignore (not_failed (Db.put db (Printf.sprintf "ev%04d" i) (value i)))
+  done;
+  (* the workload must actually have spilled to the anti-cache *)
+  let has_evicted p =
+    let fut = Hi_shard.Future.create () in
+    Hi_shard.Partition.post
+      (Router.partition (Db.router db) p)
+      (fun engine -> Hi_shard.Future.fill fut (Engine.has_evicted_rows engine));
+    Hi_shard.Future.await fut
+  in
+  check "rows evicted" true (has_evicted 0 || has_evicted 1);
+  (* ~150 KB of log was written per partition; auto checkpoints must
+     have kept each log near the threshold despite the evicted rows *)
+  for p = 0 to partitions - 1 do
+    let log = Filename.concat wal_dir (Printf.sprintf "p%d.log" p) in
+    let ckpt = Filename.concat wal_dir (Printf.sprintf "p%d.ckpt" p) in
+    check "auto checkpoint ran" true (Sys.file_exists ckpt);
+    check
+      (Printf.sprintf "p%d log bounded" p)
+      true
+      ((Unix.stat log).Unix.st_size < 4 * checkpoint_bytes)
+  done;
+  Db.close db;
+  (* recovery restores every row, hot and cold alike *)
+  let db2 = Db.create ~wal_dir ~config ~checkpoint_bytes ~partitions () in
+  for i = 0 to n - 1 do
+    check "row survives" true
+      (not_failed (Db.get db2 (Printf.sprintf "ev%04d" i)) = Some (value i))
+  done;
+  Db.close db2
+
 let test_db_torn_tail () =
   let wal_dir = fresh_dir "db_torn" in
   let db = Db.create ~wal_dir ~partitions:2 () in
@@ -395,6 +446,7 @@ let () =
           Alcotest.test_case "clean restart" `Quick test_db_clean_restart;
           Alcotest.test_case "crash image" `Quick test_db_crash_image;
           Alcotest.test_case "checkpoint" `Quick test_db_checkpoint;
+          Alcotest.test_case "checkpoint under eviction" `Quick test_checkpoint_under_eviction;
           Alcotest.test_case "torn tail" `Quick test_db_torn_tail;
           Alcotest.test_case "metrics surfaced" `Quick test_wal_metrics_surfaced;
         ] );
