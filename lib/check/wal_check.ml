@@ -47,10 +47,11 @@ let gen_op rng : Redo.op =
 
 let gen_record rng : Redo.record =
   let ops () = List.init (Xorshift.int rng 6) (fun _ -> gen_op rng) in
-  match Xorshift.int rng 4 with
+  match Xorshift.int rng 5 with
   | 0 | 1 -> Commit (ops ())
   | 2 -> Prepare { txn = Xorshift.int rng 1_000_000; ops = ops () }
-  | _ -> Decide { txn = Xorshift.int rng 1_000_000 }
+  | 3 -> Decide { txn = Xorshift.int rng 1_000_000 }
+  | _ -> Mark { low = Xorshift.int rng 1_000_000 }
 
 (* encode |> decode is the identity; appending a byte must be rejected
    (strict framing is what keeps mis-framed torn tails from decoding). *)

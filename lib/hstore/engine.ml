@@ -545,6 +545,7 @@ let replay t ~decided records =
         end
         else { acc with skipped_undecided = acc.skipped_undecided + 1 }
       | Ok (Redo.Decide { txn }) -> { acc with max_txn = max acc.max_txn txn }
+      | Ok (Redo.Mark _) -> acc
       | Error _ -> { acc with malformed = acc.malformed + 1 })
     report records
 

@@ -20,6 +20,13 @@
    - [Decide {txn}]: the coordinator's commit decision, written to the
      router-owned decision log; the commit point of a cross-partition
      transaction.
+   - [Mark {low}]: a completion low-water mark on the decision log —
+     every 2PC transaction with id < [low] has finished (committed or
+     aborted).  Presumed abort means aborted transactions never write a
+     Decide, so without marks a replica could never tell an aborted
+     Prepare from one whose decision is still in flight; a mark lets it
+     drop stashed Prepares below [low] as aborted and prune its decided
+     set.  Recovery ignores marks (the decided set alone drives replay).
 
    The byte format follows the Wire encoding discipline (strict decode,
    typed tags, bounded counts); framing and checksums are the Wal
@@ -35,6 +42,7 @@ type record =
   | Commit of op list
   | Prepare of { txn : int; ops : op list }
   | Decide of { txn : int }
+  | Mark of { low : int }
 
 (* -- encoding ------------------------------------------------------------ *)
 
@@ -88,7 +96,10 @@ let encode record =
     put_ops b ops
   | Decide { txn } ->
     Buffer.add_uint8 b 3;
-    Buffer.add_int64_be b (Int64.of_int txn));
+    Buffer.add_int64_be b (Int64.of_int txn)
+  | Mark { low } ->
+    Buffer.add_uint8 b 4;
+    Buffer.add_int64_be b (Int64.of_int low));
   Buffer.contents b
 
 (* -- decoding (strict: truncation, bad tags and trailing bytes all fail) - *)
@@ -170,6 +181,7 @@ let decode s =
         let txn = Int64.to_int (i64 c) in
         Prepare { txn; ops = get_ops c }
       | 3 -> Decide { txn = Int64.to_int (i64 c) }
+      | 4 -> Mark { low = Int64.to_int (i64 c) }
       | t -> raise (Decode_error (Printf.sprintf "unknown record kind %d" t))
     in
     if c.pos <> String.length s then raise (Decode_error "trailing bytes");

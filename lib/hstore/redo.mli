@@ -26,6 +26,12 @@ type record =
       (** coordinator commit decision — the commit point of a
           cross-partition transaction; lives in the router's decision
           log *)
+  | Mark of { low : int }
+      (** completion low-water mark on the decision log: every 2PC
+          transaction with id < [low] has finished (committed or
+          aborted).  Lets a replica drop stashed Prepares below [low]
+          as presumed-aborted and prune its decided set (DESIGN.md
+          §15); ignored by recovery *)
 
 val encode : record -> string
 

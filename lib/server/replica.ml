@@ -8,13 +8,24 @@
    (fresh replica, a restarted primary, or positions that fell out of
    the retention ring), so the replica clears every table first.
 
+   A resync is not done until every stream's snapshot is: the replica
+   adopts the primary's [stream_id] at the hello, but keeps a
+   "resyncing" flag raised until each stream has applied its
+   [Snap last=true].  A connection lost mid-snapshot reconnects with
+   nothing resumable (stream_id 0), forcing a fresh snapshot — resuming
+   on the adopted positions would go live with the undelivered snapshot
+   rows silently missing.
+
    Application runs on the owning partition's domain ([Partition.post] +
    a future), exactly like the primary's execution model: stream [i]
    feeds partition [i], stream [partitions] is the coordinator decision
    log.  [Commit] records apply directly; a [Prepare] applies only once
    its transaction's [Decide] has been seen on the decision stream —
-   until then it is stashed, mirroring presumed abort.  Replay is
-   idempotent (upsert semantics), which absorbs the overlap between a
+   until then it is stashed, mirroring presumed abort.  [Mark] records
+   bound both bookkeeping tables: a mark certifies every 2PC txn below
+   its low-water finished, so still-undecided stashed Prepares below it
+   were aborted (dropped) and decisions below it can be pruned.  Replay
+   is idempotent (upsert semantics), which absorbs the overlap between a
    snapshot and records group-committed while it was being cut.
 
    Acks are cumulative per stream and sent only after the records are
@@ -25,8 +36,10 @@
    Any protocol inconsistency (LSN gap, foreign stream, decode error)
    drops the connection; the reconnect resumes or resyncs as the
    primary decides.  Reconnects back off exponentially (50 ms doubling
-   to 1 s, reset on a successful hello).  A partition-count mismatch is
-   fatal: it cannot heal by retrying. *)
+   to 1 s, reset on a successful hello).  A partition-count mismatch,
+   or any exception escaping the apply path (the replica's own state is
+   then suspect — retrying would replay into it), is fatal: the driver
+   gives up and reports through [fatal]. *)
 
 module Future = Hi_shard.Future
 module Router = Hi_shard.Router
@@ -47,17 +60,27 @@ type t = {
   db : Db.t;
   host : string;
   port : int;
-  lock : Mutex.t; (* guards fd, stream_id, applied, connected, fatal *)
+  lock : Mutex.t; (* guards fd, stream_id, applied, connected, fatal, resyncing *)
   mutable fd : Unix.file_descr option;
   mutable stream_id : int; (* primary boot id; 0 = never attached *)
   mutable applied : int array; (* per stream, -1 = nothing applied *)
   mutable connected : bool; (* hello received on the live connection *)
+  mutable resyncing : bool;
+      (* a snapshot resync is in flight: some stream has not yet applied
+         its [Snap last=true].  Until every stream has, the adopted
+         [stream_id]/[applied] must not be presented as resumable — a
+         reconnect mid-snapshot would otherwise resume on top of a
+         partially-applied snapshot and silently drop the undelivered
+         rows — so the subscribe sent while this is set forces a fresh
+         snapshot instead. *)
+  mutable snap_pending : bool array; (* per stream: Snap last=true still owed *)
   mutable fatal : string option;
   mutable stopping : bool;
   mutable driver : Thread.t option;
-  decided : (int, unit) Hashtbl.t; (* 2PC decisions seen *)
+  decided : (int, unit) Hashtbl.t; (* 2PC decisions seen, pruned at Marks *)
   stash : (int, (int * string) list) Hashtbl.t;
-      (* txn -> undecided Prepare records (stream, record), newest first *)
+      (* txn -> undecided Prepare records (stream, record), newest first;
+         aborted transactions' entries are dropped at Marks *)
 }
 
 exception Drop of string
@@ -103,7 +126,7 @@ let apply_partition t p records =
           (Hashtbl.replace t.stash txn
              ((p, r) :: Option.value ~default:[] (Hashtbl.find_opt t.stash txn));
            false)
-        | Ok (Redo.Decide _) | Error _ -> false)
+        | Ok (Redo.Decide _ | Redo.Mark _) | Error _ -> false)
       records
   in
   if to_apply <> [] then
@@ -111,8 +134,14 @@ let apply_partition t p records =
         ignore (Engine.replay engine ~decided:(fun _ -> true) to_apply));
   Metrics.add m_applied (List.length records)
 
-(* Decision stream: record the decision and flush any stashed Prepares
-   it unblocks, oldest first. *)
+(* Decision stream: record each decision and flush any stashed Prepares
+   it unblocks, oldest first.  A [Mark {low}] certifies every 2PC txn
+   below [low] finished; because the stream delivers records in publish
+   order (live and replayed gaps alike), any decision below [low] has
+   already been seen, so a stashed Prepare still undecided at the mark
+   was aborted — drop it — and decided entries below [low] can no longer
+   be needed by a future Prepare — prune them.  Marks are what keep both
+   tables bounded on a long-running replica. *)
 let apply_coord t records =
   List.iter
     (fun r ->
@@ -128,6 +157,13 @@ let apply_coord t records =
                   ignore (Engine.replay engine ~decided:(fun _ -> true) [ record ])))
             (List.rev entries)
         | None -> ())
+      | Ok (Redo.Mark { low }) ->
+        let prune tbl =
+          let stale = Hashtbl.fold (fun txn _ acc -> if txn < low then txn :: acc else acc) tbl [] in
+          List.iter (Hashtbl.remove tbl) stale
+        in
+        prune t.decided;
+        prune t.stash
       | Ok _ | Error _ -> ())
     records;
   Metrics.add m_applied (List.length records)
@@ -138,8 +174,14 @@ let run_connection t fd =
   let rd = Wire.reader fd in
   let subscribe =
     locked t (fun () ->
-        Wire.encode_msg ~id:0
-          (Wire.Subscribe { stream_id = t.stream_id; applied = Array.copy t.applied }))
+        if t.resyncing then
+          (* the previous connection died mid-snapshot: the adopted
+             stream_id/positions describe a partially-applied snapshot,
+             so present nothing resumable — force a fresh snapshot *)
+          Wire.encode_msg ~id:0 (Wire.Subscribe { stream_id = 0; applied = [||] })
+        else
+          Wire.encode_msg ~id:0
+            (Wire.Subscribe { stream_id = t.stream_id; applied = Array.copy t.applied }))
   in
   ignore (Wire.write_frame fd subscribe);
   let partitions = Db.num_partitions t.db in
@@ -160,11 +202,17 @@ let run_connection t fd =
       end;
       dbg "[replica] hello stream_id=%d resync=%b\n%!" stream_id resync;
       if resync then begin
-        reset t;
         locked t (fun () ->
+            t.resyncing <- true;
+            t.snap_pending <- Array.make streams true;
             t.stream_id <- stream_id;
-            t.applied <- Array.make streams (-1))
-      end;
+            t.applied <- Array.make streams (-1));
+        reset t
+      end
+      else if locked t (fun () -> t.resyncing) then
+        (* we subscribed with nothing resumable; a resume answer means
+           the primary is not following the protocol *)
+        raise (Drop "primary resumed a mid-resync subscription");
       locked t (fun () -> t.connected <- true)
     | Wire.Repl_batch { stream; lsn; kind; records } -> (
       if stream < 0 || stream >= streams then raise (Drop "stream out of range");
@@ -187,7 +235,15 @@ let run_connection t fd =
           (List.length records) last;
         apply stream records;
         if last then begin
-          locked t (fun () -> t.applied.(stream) <- lsn);
+          locked t (fun () ->
+              t.applied.(stream) <- lsn;
+              (* the resync holds until every stream's snapshot has
+                 fully applied; only then are the adopted positions a
+                 truthful resume point *)
+              if t.resyncing then begin
+                t.snap_pending.(stream) <- false;
+                if Array.for_all not t.snap_pending then t.resyncing <- false
+              end);
           ack stream lsn
         end)
     | Wire.Repl_heartbeat -> ()
@@ -240,7 +296,17 @@ let driver t =
     | None -> ()
     | Some fd ->
       Metrics.incr m_reconnects;
-      (try run_connection t fd with Drop _ | Unix.Unix_error _ -> ());
+      (try run_connection t fd with
+      | Drop _ | Unix.Unix_error _ -> () (* protocol/socket trouble: reconnect *)
+      | e ->
+        (* anything else escaped the apply path — a partition job
+           failure, [Mailbox.Closed] from a stopped Db.  Retrying would
+           re-apply the same records into the same broken state, so
+           surface it through [fatal] instead of dying silently with
+           [connected] stuck true and the driver thread gone. *)
+        dbg "[replica] apply failed: %s\n%!" (Printexc.to_string e);
+        locked t (fun () ->
+            if t.fatal = None then t.fatal <- Some ("apply failed: " ^ Printexc.to_string e)));
       let was_connected =
         locked t (fun () ->
             let w = t.connected in
@@ -270,6 +336,8 @@ let start ~host ~port ~db () =
       stream_id = 0;
       applied = Array.make (Db.num_partitions db + 1) (-1);
       connected = false;
+      resyncing = false;
+      snap_pending = [||];
       fatal = None;
       stopping = false;
       driver = None;
@@ -284,7 +352,14 @@ let db t = t.db
 let connected t = locked t (fun () -> t.connected)
 let stream_id t = locked t (fun () -> t.stream_id)
 let applied t = locked t (fun () -> Array.copy t.applied)
+let resyncing t = locked t (fun () -> t.resyncing)
 let fatal t = locked t (fun () -> t.fatal)
+
+(* Driver-thread tables read without the lock: sizes are instantaneous
+   observations for tests and health reporting, not a synchronized
+   snapshot. *)
+let decided_size t = Hashtbl.length t.decided
+let stash_size t = Hashtbl.length t.stash
 
 let disconnect t =
   locked t (fun () ->

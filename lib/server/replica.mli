@@ -41,9 +41,23 @@ val applied : t -> int array
 (** Last applied LSN per stream ([-1] = nothing); index [i] is
     partition [i], the last index the coordinator decision log. *)
 
+val resyncing : t -> bool
+(** A snapshot resync is still in flight: some stream has not yet
+    applied its final snapshot chunk.  While set, a reconnect
+    re-subscribes with nothing resumable (forcing a fresh snapshot)
+    rather than resuming on top of a partially-applied one. *)
+
 val fatal : t -> string option
 (** Set when replication cannot proceed by retrying (partition-count
-    mismatch); the driver has given up. *)
+    mismatch, or an exception escaping the apply path); the driver has
+    given up. *)
+
+val decided_size : t -> int
+(** 2PC decisions currently held (pruned at decision-stream Marks). *)
+
+val stash_size : t -> int
+(** Transactions with stashed undecided Prepare records (flushed by
+    their Decide, or dropped as aborted at a Mark). *)
 
 val disconnect : t -> unit
 (** Drop the current connection (test hook): the driver reconnects with

@@ -25,8 +25,13 @@
    callback encodes batches into pre-framed bytes on the publishing
    partition's domain and enqueues them on this connection's writer
    mailbox, interleaving with ordinary responses; replication frames do
-   not consume the request semaphore (their flow control is the tap's
-   semi-sync ack protocol, not per-request backpressure).  A follower
+   not consume the request semaphore.  Their flow control is a
+   per-connection byte high-water mark instead: queued replication
+   bytes are tracked, and a follower that stops draining its socket
+   (live batches keep arriving, nothing gets written) is detached and
+   disconnected at [repl_queue_bytes] rather than buffering the stream
+   in primary memory without bound — it reconnects and the tap resumes
+   or resyncs it.  A follower
    the tap cannot resume gets a full snapshot: one job per partition —
    posted to the partition's own mailbox, so the enumeration and the
    stream activation are atomic against that partition's commits — plus
@@ -48,6 +53,7 @@ type handles = {
   bytes_in : Metrics.counter;
   bytes_out : Metrics.counter;
   protocol_errors : Metrics.counter;
+  repl_overflows : Metrics.counter;
   lat_get : Metrics.histogram;
   lat_put : Metrics.histogram;
   lat_delete : Metrics.histogram;
@@ -65,6 +71,7 @@ let handles () =
     bytes_in = Metrics.counter s "bytes_in";
     bytes_out = Metrics.counter s "bytes_out";
     protocol_errors = Metrics.counter s "protocol_errors";
+    repl_overflows = Metrics.counter s "repl_queue_overflows";
     lat_get = Metrics.histogram s "latency_get";
     lat_put = Metrics.histogram s "latency_put";
     lat_delete = Metrics.histogram s "latency_delete";
@@ -80,6 +87,7 @@ type t = {
   port : int;
   batch : int;
   max_inflight : int;
+  repl_queue_bytes : int;
   m : handles;
   lock : Mutex.t;
   mutable conns : (conn * Thread.t) list;
@@ -119,6 +127,11 @@ let handle_conn t conn =
   (* once a write fails the socket is dead; keep draining so every
      acquired semaphore token is still released *)
   let broken = ref false in
+  (* replication bytes sitting in [writer_q]: incremented at enqueue,
+     decremented when the writer pulls the frame for the socket.  The
+     tap's push callback reads it to cut loose a follower that stopped
+     draining (the high-water check below). *)
+  let repl_queued = Atomic.make 0 in
   let writer () =
     (* coalesce: drain whatever responses are queued into one write, so a
        pipelined burst costs one syscall instead of one per response —
@@ -136,7 +149,9 @@ let handle_conn t conn =
           | Resp (id, resp) ->
             Buffer.add_string buf (Wire.encode_response ~id resp);
             incr resps
-          | Frames s -> Buffer.add_string buf s
+          | Frames s ->
+            ignore (Atomic.fetch_and_add repl_queued (-String.length s));
+            Buffer.add_string buf s
         in
         add first;
         let rec drain () =
@@ -163,9 +178,12 @@ let handle_conn t conn =
   in
   let writer_t = Thread.create writer () in
   let push_frames s =
+    Atomic.fetch_and_add repl_queued (String.length s) |> ignore;
     match Mailbox.push writer_q (Frames s) with
     | () -> true
-    | exception Mailbox.Closed -> false
+    | exception Mailbox.Closed ->
+      ignore (Atomic.fetch_and_add repl_queued (-String.length s));
+      false
   in
   (* replication follower state: at most one subscription per connection *)
   let subscription = ref None in
@@ -229,9 +247,21 @@ let handle_conn t conn =
       false
     | Some tap ->
       let push (b : Repl_tap.batch) =
-        match Wire.encode_repl_batches ~stream:b.stream ~lsn:b.lsn ~kind:Wire.Log b.records with
-        | frames -> push_frames (String.concat "" frames)
-        | exception Invalid_argument _ -> false (* oversized record: detach, don't crash *)
+        if Atomic.get repl_queued > t.repl_queue_bytes then begin
+          (* the follower stopped draining its socket: detach (return
+             false) and disconnect it rather than buffer the stream
+             without bound — on reconnect it resumes from its acked
+             positions or resyncs from a snapshot *)
+          Metrics.incr t.m.repl_overflows;
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          false
+        end
+        else
+          match
+            Wire.encode_repl_batches ~stream:b.stream ~lsn:b.lsn ~kind:Wire.Log b.records
+          with
+          | frames -> push_frames (String.concat "" frames)
+          | exception Invalid_argument _ -> false (* oversized record: detach, don't crash *)
       in
       let fid = Repl_tap.subscribe tap ~sync:true ~push in
       subscription := Some (tap, fid);
@@ -350,7 +380,7 @@ let accept_loop t =
   Mutex.unlock t.lock
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(batch = Shard_runner.default_batch)
-    ?(max_inflight = 64) ~db () =
+    ?(max_inflight = 64) ?(repl_queue_bytes = 64 * 1024 * 1024) ~db () =
   Wire.ignore_sigpipe ();
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -368,6 +398,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(batch = Shard_runner.default_batch
       port;
       batch;
       max_inflight;
+      repl_queue_bytes;
       m = handles ();
       lock = Mutex.create ();
       conns = [];

@@ -30,13 +30,19 @@ val start :
   ?port:int ->
   ?batch:int ->
   ?max_inflight:int ->
+  ?repl_queue_bytes:int ->
   db:Db.t ->
   unit ->
   t
 (** Bind, listen and start accepting.  [port] defaults to [0] (the
     kernel picks; read it back with {!port}), [host] to loopback,
     [batch] to {!Hi_shard.Shard_runner.default_batch}, [max_inflight] to
-    [64] requests per connection. *)
+    [64] requests per connection.  [repl_queue_bytes] (default 64 MiB)
+    is the per-follower high-water mark on queued replication frames: a
+    follower that stops draining its socket is detached and
+    disconnected once that many bytes are buffered for it, instead of
+    growing the primary's memory without bound (it reconnects and
+    resumes or resyncs). *)
 
 val port : t -> int
 val db : t -> Db.t

@@ -72,6 +72,12 @@ type durable = {
          appends.  It guards only the append+sync of a Decide record (and
          the truncate at global checkpoint), never the span of a
          transaction — coordinators overlap everywhere else. *)
+  coord_pub : int ref;
+      (* last LSN the replication tap assigned to the decision stream,
+         written by the tap callback inside [Wal.sync d.coord] (i.e.
+         under coord_lock).  Lets [log_decide] run the semi-sync wait
+         after releasing the lock, so a lagging replica stalls only its
+         own commit, not every concurrent coordinator. *)
 }
 
 type t = {
@@ -83,6 +89,13 @@ type t = {
          its participants; never taken by the single-partition path. *)
   mode : mode;
   next_txn : int Atomic.t; (* 2PC transaction ids; resumed past the logs at recovery *)
+  inflight : (int, unit) Hashtbl.t;
+      (* 2PC txns begun but not finished, maintained only under
+         replication: their minimum is the completion low-water mark the
+         decision stream carries as [Redo.Mark] records, which is what
+         lets a replica prune its decided set and drop stashed Prepares
+         of aborted (never-decided) transactions *)
+  inflight_lock : Mutex.t;
   durable : durable option;
   repl : Hi_wal.Repl_tap.t option;
   recovery : recovery option;
@@ -171,7 +184,7 @@ let recover_durable dc parts =
     parts;
   let duration_s = Unix.gettimeofday () -. t0 in
   Wal.observe_recovery duration_s;
-  ( { dconfig = dc; coord; coord_lock = Mutex.create () },
+  ( { dconfig = dc; coord; coord_lock = Mutex.create (); coord_pub = ref (-1) },
     {
       replayed_txns = !replayed;
       skipped_undecided = !skipped;
@@ -228,8 +241,15 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
             Wal.set_tap w (Some (fun records -> Hi_wal.Repl_tap.publish tap ~stream:i records))
           | None -> ())
         parts;
+      (* the decision stream publishes without the semi-sync wait: the
+         callback runs inside [Wal.sync d.coord] under coord_lock, and
+         blocking there on a lagging replica would serialize every
+         concurrent 2PC commit behind one follower.  [log_decide] waits
+         on [coord_pub] after releasing the lock instead. *)
       Wal.set_tap d.coord
-        (Some (fun records -> Hi_wal.Repl_tap.publish tap ~stream:partitions records));
+        (Some
+           (fun records ->
+             d.coord_pub := Hi_wal.Repl_tap.publish_nowait tap ~stream:partitions records));
       Some tap
     | _ -> None
   in
@@ -241,6 +261,8 @@ let create ?(mode = Parallel) ?(config = Engine.default_config) ?sleep ?durabili
     locks = Array.init partitions (fun _ -> Mutex.create ());
     mode;
     next_txn = Atomic.make next_txn;
+    inflight = Hashtbl.create 16;
+    inflight_lock = Mutex.create ();
     durable;
     repl;
     recovery;
@@ -364,32 +386,97 @@ let shuffle rng a =
     a.(j) <- tmp
   done
 
+(* -- 2PC transaction lifecycle & completion low-water marks -------------- *)
+
+let fresh_txn t = Atomic.fetch_and_add t.next_txn 1
+
+(* In-flight bookkeeping is only consumed by Mark records, so it is kept
+   only when a replication tap exists. *)
+let txn_begin t =
+  let txn = fresh_txn t in
+  if t.repl <> None then begin
+    Mutex.lock t.inflight_lock;
+    Hashtbl.replace t.inflight txn ();
+    Mutex.unlock t.inflight_lock
+  end;
+  txn
+
+(* Remove [txn] only once its outcome is settled: for a commit, after the
+   Decide is synced (and therefore published) — a mark computed past an
+   unpublished Decide could reach the replica first and make it drop the
+   transaction's stashed Prepares as aborted. *)
+let txn_end t txn =
+  if t.repl <> None then begin
+    Mutex.lock t.inflight_lock;
+    Hashtbl.remove t.inflight txn;
+    Mutex.unlock t.inflight_lock
+  end
+
+(* Every id below the returned low-water belongs to a finished txn. *)
+let txn_low t =
+  Mutex.lock t.inflight_lock;
+  let low =
+    Hashtbl.fold (fun txn () low -> min txn low) t.inflight (Atomic.get t.next_txn)
+  in
+  Mutex.unlock t.inflight_lock;
+  low
+
 (* The commit point of a cross-partition transaction (DESIGN.md §13):
    a durable Decide record in the coordinator log.  Participants already
    hold durable Prepare records when this runs, so recovery commits
    exactly the transactions whose decision survived — presumed abort for
    the rest.  Concurrent coordinators serialize on the log's I/O lock for
-   just this append+fsync.  Raises on sync failure: the decision did not
-   happen. *)
+   just this append+fsync; the semi-sync replication wait runs after the
+   lock is released, so a lagging sync replica delays only this commit's
+   acknowledgment.  With replication, a completion Mark rides the same
+   sync (its low computed while [txn] is still in flight, so it never
+   outruns an unpublished decision).  Raises on sync failure: the
+   decision did not happen. *)
 let log_decide t txn =
   match t.durable with
   | None -> ()
   | Some d ->
     Mutex.lock d.coord_lock;
+    let lsn =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock d.coord_lock)
+        (fun () ->
+          Wal.append d.coord (Redo.encode (Redo.Decide { txn }));
+          if t.repl <> None then
+            Wal.append d.coord (Redo.encode (Redo.Mark { low = txn_low t }));
+          ignore (Wal.sync d.coord);
+          !(d.coord_pub))
+    in
+    (match t.repl with
+    | Some tap -> Hi_wal.Repl_tap.wait tap ~stream:(Array.length t.partitions) ~lsn
+    | None -> ())
+
+(* Publish a standalone completion mark after an abort: presumed abort
+   writes no Decide, so this is the only signal that lets a replica drop
+   the aborted transaction's stashed Prepares.  Advisory — a failure here
+   is swallowed (the next mark covers the cleanup), and no semi-sync wait
+   applies (marks gate no acknowledgment). *)
+let log_mark t =
+  match (t.durable, t.repl) with
+  | Some d, Some _ -> (
+    let record = Redo.encode (Redo.Mark { low = txn_low t }) in
+    Mutex.lock d.coord_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock d.coord_lock)
       (fun () ->
-        Wal.append d.coord (Redo.encode (Redo.Decide { txn }));
-        ignore (Wal.sync d.coord))
-
-let fresh_txn t = Atomic.fetch_and_add t.next_txn 1
+        match
+          Wal.append d.coord record;
+          Wal.sync d.coord
+        with
+        | _ -> ()
+        | exception _ -> ()))
+  | _ -> ()
 
 (* Sequential mode: prepare the participants inline in a seeded order; on
    first failure abort what is prepared, otherwise log the decision and
    commit everything.  Deterministic given the rng state — the check
    harness's scheduler. *)
-let multi_sequential t rng participants =
-  let txn = fresh_txn t in
+let multi_sequential t rng participants txn =
   let order = Array.of_list participants in
   shuffle rng order;
   let prepared = ref [] in
@@ -439,8 +526,7 @@ let multi_sequential t rng participants =
    If posting fails partway (a partition was stopped mid-flight), every
    already-posted participant gets an Abort_all verdict before the
    failure propagates: stop never strands a prepared partition. *)
-let multi_parallel t participants =
-  let txn = fresh_txn t in
+let multi_parallel t participants txn =
   let posted = ref [] in
   let post_participant { part; body } =
     let prepared = Future.create () in
@@ -526,11 +612,22 @@ let multi t participants =
     Hi_util.Metrics.incr t.m_multi;
     let r =
       with_partition_locks t parts (fun () ->
-          match t.mode with
-          | Sequential rng -> multi_sequential t rng participants
-          | Parallel -> multi_parallel t participants)
+          let txn = txn_begin t in
+          Fun.protect
+            ~finally:(fun () -> txn_end t txn)
+            (fun () ->
+              match t.mode with
+              | Sequential rng -> multi_sequential t rng participants txn
+              | Parallel -> multi_parallel t participants txn))
     in
-    (match r with Error _ -> Hi_util.Metrics.incr t.m_multi_aborts | Ok () -> ());
+    (match r with
+    | Error _ ->
+      Hi_util.Metrics.incr t.m_multi_aborts;
+      (* presumed abort wrote no Decide; tell the replicas the txn is
+         finished so they drop its stashed Prepares (outside the
+         partition locks — the mark serializes only on the log I/O) *)
+      log_mark t
+    | Ok () -> ());
     r
 
 (* Force a group-commit barrier on every partition and wait for it.

@@ -53,7 +53,10 @@ type follower = {
 
 type stream_state = {
   mutable next_lsn : int;
-  ring : (int * string) Queue.t; (* (lsn, record), oldest first, contiguous *)
+  ring : (int * int * string) Queue.t;
+      (* (lsn, publish seq, record), oldest first, contiguous LSNs; the
+         seq is global across streams so a resume can replay the gaps in
+         the original publish order *)
   mutable ring_bytes : int;
 }
 
@@ -64,6 +67,7 @@ type t = {
   retain_bytes : int;
   sync_replicas : int;
   ack_timeout_s : float;
+  mutable pub_seq : int; (* global publish order, all streams *)
   mutable followers : follower list;
   mutable next_fid : int;
 }
@@ -78,6 +82,7 @@ let create ~streams ~stream_id ~retain_bytes ~sync_replicas ~ack_timeout_s =
     retain_bytes;
     sync_replicas;
     ack_timeout_s;
+    pub_seq = 0;
     followers = [];
     next_fid = 0;
   }
@@ -153,26 +158,45 @@ let attach t fid ~applied ~hello =
         hello ~resync:(not ok);
         (match (ok, applied) with
         | true, Some a ->
-          (* Replay in descending stream order, so the decision stream
-             (highest index) lands before the partition gaps.  A live
-             connection sees each Decide before any post-decide
-             partition record (the coordinator publishes under its lock
-             before posting the decide jobs); replaying partitions first
-             would invert that — a stashed Prepare would apply after
-             later commits to the same keys instead of before them. *)
-          for s = Array.length t.streams - 1 downto 0 do
-            let st = t.streams.(s) in
-            let from = a.(s) in
-            let gap =
-              Queue.fold
-                (fun acc (lsn, r) -> if lsn > from then r :: acc else acc)
-                [] st.ring
-              |> List.rev
-            in
-            if gap <> [] then ignore (f.push { stream = s; lsn = from + 1; records = gap });
-            f.active.(s) <- true;
-            f.acked.(s) <- from
-          done
+          (* Replay the gaps of every stream merged by their global
+             publish sequence, so a resumed follower observes exactly
+             the record order a live connection saw: each Decide after
+             the Prepares that precede it, each Mark after everything
+             published before it.  Replaying stream by stream would
+             invert cross-stream orderings — a stashed Prepare could
+             apply after later commits to the same keys, or a Mark
+             could prune a decision a partition gap still needs. *)
+          let entries = ref [] in
+          Array.iteri
+            (fun s st ->
+              Queue.iter
+                (fun (lsn, seq, r) ->
+                  if lsn > a.(s) then entries := (seq, s, lsn, r) :: !entries)
+                st.ring)
+            t.streams;
+          let entries =
+            List.sort (fun (s1, _, _, _) (s2, _, _, _) -> compare s1 s2) !entries
+          in
+          (* batch maximal same-stream runs: per-stream LSNs are dense,
+             so a run is a contiguous slice of its stream *)
+          let rec emit = function
+            | [] -> ()
+            | (_, s, lsn, r) :: rest ->
+              let rec take acc next = function
+                | (_, s', lsn', r') :: rest' when s' = s && lsn' = next ->
+                  take (r' :: acc) (next + 1) rest'
+                | rest' -> (List.rev acc, rest')
+              in
+              let records, rest = take [ r ] (lsn + 1) rest in
+              ignore (f.push { stream = s; lsn; records });
+              emit rest
+          in
+          emit entries;
+          Array.iteri
+            (fun s _ ->
+              f.active.(s) <- true;
+              f.acked.(s) <- a.(s))
+            t.streams
         | _ -> ());
         ok)
 
@@ -193,7 +217,7 @@ let activate t fid ~stream =
 
 let trim_ring t st =
   while st.ring_bytes > t.retain_bytes && Queue.length st.ring > 1 do
-    let _, r = Queue.pop st.ring in
+    let _, _, r = Queue.pop st.ring in
     st.ring_bytes <- st.ring_bytes - String.length r
   done
 
@@ -227,30 +251,42 @@ let wait_quorum t ~stream ~lsn =
   Metrics.observe m_waits (Unix.gettimeofday () -. t0);
   if not ok then Metrics.incr m_degraded
 
+(* Assign LSNs, retain, and push to active followers — the part that
+   must serialize with other publishes and with attachment.  Returns the
+   batch's last LSN ([next_lsn - 1] when [records] is empty).  The
+   semi-sync wait is separate ({!wait}) so a caller holding a lock the
+   acking followers contend with (the coordinator's decision log lock)
+   can release it first. *)
+let publish_nowait t ~stream records =
+  locked t (fun () ->
+      let st = t.streams.(stream) in
+      let first = st.next_lsn in
+      List.iter
+        (fun r ->
+          Queue.add (st.next_lsn, t.pub_seq, r) st.ring;
+          t.pub_seq <- t.pub_seq + 1;
+          st.ring_bytes <- st.ring_bytes + String.length r;
+          st.next_lsn <- st.next_lsn + 1)
+        records;
+      trim_ring t st;
+      Metrics.add m_published (List.length records);
+      (if records <> [] then begin
+         let batch = { stream; lsn = first; records } in
+         let dead =
+           List.filter_map
+             (fun f ->
+               if f.active.(stream) && not (f.push batch) then Some f.fid else None)
+             t.followers
+         in
+         List.iter (detach_locked t) dead
+       end);
+      st.next_lsn - 1)
+
+let wait t ~stream ~lsn =
+  if t.sync_replicas > 0 && lsn >= 0 then wait_quorum t ~stream ~lsn
+
 let publish t ~stream records =
-  if records = [] then ()
-  else begin
-    let last =
-      locked t (fun () ->
-          let st = t.streams.(stream) in
-          let first = st.next_lsn in
-          List.iter
-            (fun r ->
-              Queue.add (st.next_lsn, r) st.ring;
-              st.ring_bytes <- st.ring_bytes + String.length r;
-              st.next_lsn <- st.next_lsn + 1)
-            records;
-          trim_ring t st;
-          Metrics.add m_published (List.length records);
-          let batch = { stream; lsn = first; records } in
-          let dead =
-            List.filter_map
-              (fun f ->
-                if f.active.(stream) && not (f.push batch) then Some f.fid else None)
-              t.followers
-          in
-          List.iter (detach_locked t) dead;
-          st.next_lsn - 1)
-    in
-    if t.sync_replicas > 0 then wait_quorum t ~stream ~lsn:last
+  if records <> [] then begin
+    let last = publish_nowait t ~stream records in
+    wait t ~stream ~lsn:last
   end

@@ -37,6 +37,17 @@ val publish : t -> stream:int -> string list -> unit
     then run the semi-sync wait if configured.  Call only from the
     WAL tap of the matching stream. *)
 
+val publish_nowait : t -> stream:int -> string list -> int
+(** Like {!publish} but without the semi-sync wait; returns the batch's
+    last LSN.  For publishers that hold a lock the acking followers
+    contend with (the coordinator decision-log lock): publish under the
+    lock, release it, then {!wait} on the returned LSN. *)
+
+val wait : t -> stream:int -> lsn:int -> unit
+(** The semi-sync quorum wait of {!publish}, alone: block (bounded by
+    [ack_timeout_s]) until [sync_replicas] sync followers acked [lsn]
+    on [stream].  No-op when semi-sync is off or [lsn < 0]. *)
+
 val subscribe : t -> sync:bool -> push:(batch -> bool) -> int
 (** Register a follower (inactive on every stream) and return its id.
     [push] must enqueue without blocking and return [false] when the
@@ -52,10 +63,11 @@ val attach : t -> int -> applied:int array option -> hello:(resync:bool -> unit)
     return [true].  Otherwise return [false]: the caller must snapshot
     every stream and {!activate} each.  [hello ~resync] is invoked under
     the tap lock before any gap batch, so a hello frame queued there is
-    ordered ahead of the stream.  Gaps replay in descending stream
-    order: the decision stream (highest index) lands first, so a
-    follower sees every Decide before the partition records that were
-    generated after it — the same order a live connection delivers. *)
+    ordered ahead of the stream.  Gaps replay merged across streams in
+    the original global publish order, so a resumed follower observes
+    exactly what a live connection delivered: every Decide after the
+    Prepares that precede it, every Mark after all records published
+    before it. *)
 
 val activate : t -> int -> stream:int -> int option
 (** Snapshot-mode attachment: mark [stream] live for [fid] and return

@@ -5,6 +5,14 @@
    acknowledged write is still readable on the replica. *)
 
 open Hi_check
+module Wire = Hi_server.Wire
+module Db = Hi_server.Db
+module Server = Hi_server.Server
+module Replica = Hi_server.Replica
+module Redo = Hi_hstore.Redo
+module Value = Hi_hstore.Value
+module Router = Hi_shard.Router
+module Repl_tap = Hi_wal.Repl_tap
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -37,6 +45,193 @@ let test_failover () =
     (o.Repl_check.replica_entries >= o.Repl_check.acked);
   check "replica rejects writes" true o.Repl_check.write_rejected
 
+(* -- fake-primary wire harness ------------------------------------------- *)
+(* A raw listening socket standing in for the primary lets the tests
+   drive the replica through exact protocol sequences (partial
+   snapshots, hand-built record batches) that a real primary would
+   never emit on demand. *)
+
+let listen_loopback () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  (fd, port)
+
+let read_msg rd =
+  let rec go () =
+    match Wire.try_msg rd with
+    | `Msg (_, m) -> m
+    | `Nothing -> if Wire.refill rd = 0 then failwith "peer closed" else go ()
+    | `Error e -> failwith (Wire.error_to_string e)
+  in
+  go ()
+
+let expect_subscribe rd =
+  match read_msg rd with
+  | Wire.Subscribe { stream_id; applied } -> (stream_id, applied)
+  | _ -> Alcotest.fail "expected a Subscribe"
+
+let send fd msg = ignore (Wire.write_frame fd (Wire.encode_msg ~id:0 msg))
+
+let send_batches fd ~stream ~lsn ~kind records =
+  List.iter
+    (fun f -> ignore (Wire.write_frame fd f))
+    (Wire.encode_repl_batches ~stream ~lsn ~kind records)
+
+let await ?(timeout_s = 10.0) f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () > deadline then false
+    else (
+      Thread.delay 0.002;
+      go ())
+  in
+  go ()
+
+(* A reconnect during a snapshot resync must re-subscribe with nothing
+   resumable.  Pre-fix the replica adopted the primary's stream_id at
+   the resync hello, so a mid-snapshot disconnect could resume on top
+   of a partially-applied snapshot. *)
+let test_resync_restart () =
+  let lfd, port = listen_loopback () in
+  let rdb = Db.create ~read_only:true ~partitions:2 () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port ~db:rdb () in
+  let conn1, _ = Unix.accept lfd in
+  let rd1 = Wire.reader conn1 in
+  ignore (expect_subscribe rd1);
+  send conn1 (Wire.Repl_hello { stream_id = 77; partitions = 2; resync = true });
+  (* one of the three streams finishes its snapshot; the others never do *)
+  send_batches conn1 ~stream:0 ~lsn:5 ~kind:(Wire.Snap { first = true; last = true }) [];
+  check "partial snapshot applied" true
+    (await (fun () ->
+         Replica.stream_id replica = 77 && (Replica.applied replica).(0) = 5));
+  check "still resyncing" true (Replica.resyncing replica);
+  Unix.close conn1;
+  let conn2, _ = Unix.accept lfd in
+  let rd2 = Wire.reader conn2 in
+  let stream_id, applied = expect_subscribe rd2 in
+  check_int "re-subscribe offers no stream" 0 stream_id;
+  check_int "re-subscribe offers no positions" 0 (Array.length applied);
+  Replica.stop replica;
+  Unix.close conn2;
+  Unix.close lfd;
+  Db.close rdb
+
+(* Decision-stream Marks bound the replica's 2PC bookkeeping: a Mark
+   flushes stashed Prepares of transactions that never decided
+   (presumed abort) and prunes the decided set. *)
+let test_mark_pruning () =
+  let partitions = 2 in
+  let lfd, port = listen_loopback () in
+  let rdb = Db.create ~read_only:true ~partitions () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port ~db:rdb () in
+  let conn, _ = Unix.accept lfd in
+  let rd = Wire.reader conn in
+  ignore (expect_subscribe rd);
+  send conn (Wire.Repl_hello { stream_id = 9; partitions; resync = true });
+  for s = 0 to partitions do
+    send_batches conn ~stream:s ~lsn:(-1) ~kind:(Wire.Snap { first = true; last = true }) []
+  done;
+  check "empty snapshot applied" true (await (fun () -> not (Replica.resyncing replica)));
+  (* a kv row as Db stores it: [key, vtag=3 (Str), vint, vfloat, vstr] *)
+  let row k v = [| Value.Str k; Value.Int 3; Value.Int 0; Value.Float 0.0; Value.Str v |] in
+  let prepare txn k v =
+    Redo.encode (Redo.Prepare { txn; ops = [ Redo.Put { table = "kv"; row = row k v } ] })
+  in
+  let next = Array.make (partitions + 1) 0 in
+  let send_log stream records =
+    send_batches conn ~stream ~lsn:next.(stream) ~kind:Wire.Log records;
+    next.(stream) <- next.(stream) + List.length records
+  in
+  let coord = partitions in
+  send_log (Db.route rdb "alive") [ prepare 5 "alive" "yes" ];
+  send_log (Db.route rdb "doomed") [ prepare 6 "doomed" "no" ];
+  send_log coord [ Redo.encode (Redo.Decide { txn = 5 }) ];
+  (* txn 6 never decides; the mark says everything below 7 is finished *)
+  send_log coord [ Redo.encode (Redo.Mark { low = 7 }) ];
+  check "bookkeeping pruned" true
+    (await (fun () -> Replica.decided_size replica = 0 && Replica.stash_size replica = 0));
+  check "decided txn readable" true
+    (await (fun () -> Db.get rdb "alive" = Ok (Some (Value.Str "yes"))));
+  check "undecided txn dropped as aborted" true (Db.get rdb "doomed" = Ok None);
+  Replica.stop replica;
+  Unix.close conn;
+  Unix.close lfd;
+  Db.close rdb
+
+(* An exception escaping the apply path (here: a record naming a table
+   the replica does not have) must surface as [fatal], not silently
+   kill the driver thread leaving [connected] true forever. *)
+let test_apply_failure_fatal () =
+  let partitions = 2 in
+  let lfd, port = listen_loopback () in
+  let rdb = Db.create ~read_only:true ~partitions () in
+  let replica = Replica.start ~host:"127.0.0.1" ~port ~db:rdb () in
+  let conn, _ = Unix.accept lfd in
+  let rd = Wire.reader conn in
+  ignore (expect_subscribe rd);
+  send conn (Wire.Repl_hello { stream_id = 3; partitions; resync = true });
+  for s = 0 to partitions do
+    send_batches conn ~stream:s ~lsn:(-1) ~kind:(Wire.Snap { first = true; last = true }) []
+  done;
+  check "empty snapshot applied" true (await (fun () -> not (Replica.resyncing replica)));
+  let bad =
+    Redo.encode
+      (Redo.Commit [ Redo.Put { table = "no_such_table"; row = [| Value.Str "k" |] } ])
+  in
+  send_batches conn ~stream:0 ~lsn:0 ~kind:Wire.Log [ bad ];
+  check "driver reports fatal" true (await (fun () -> Replica.fatal replica <> None));
+  Replica.stop replica;
+  Unix.close conn;
+  Unix.close lfd;
+  Db.close rdb
+
+(* A follower that subscribes and never reads must be detached at the
+   queued-bytes high-water mark instead of growing the primary's
+   writer mailbox without bound. *)
+let test_slow_follower_detached () =
+  let dir = Repl_check.fresh_dir "overflow" in
+  let primary =
+    Db.create ~wal_dir:(Filename.concat dir "wal")
+      ~replication:(Router.replication ()) ~partitions:2 ()
+  in
+  let server = Server.start ~repl_queue_bytes:(128 * 1024) ~db:primary () in
+  let tap = Option.get (Router.repl_tap (Db.router primary)) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (* a tiny receive buffer keeps the kernel from absorbing the stream,
+     so the backlog lands in the primary's queue where the limit is *)
+  Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  send fd (Wire.Subscribe { stream_id = 0; applied = [||] });
+  check "follower attached" true (await (fun () -> Repl_tap.followers tap = 1));
+  let payload = Value.Str (String.make 256 'x') in
+  let i = ref 0 in
+  while Repl_tap.followers tap > 0 && !i < 50_000 do
+    incr i;
+    ignore (Db.put primary (Printf.sprintf "k%05d" !i) payload)
+  done;
+  check "slow follower detached" true (await (fun () -> Repl_tap.followers tap = 0));
+  (* the primary also hung up: draining our side must reach EOF *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  let buf = Bytes.create 65536 in
+  let rec drain () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> true
+    | _ -> drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
+  in
+  check "primary closed the connection" true (drain ());
+  Unix.close fd;
+  Server.stop server;
+  Db.close primary;
+  Repl_check.rm_rf dir
+
 let () =
   Repl_check.maybe_crash_child ();
   Alcotest.run "repl"
@@ -47,4 +242,14 @@ let () =
           Alcotest.test_case "with disconnects" `Quick test_differential_disconnects;
         ] );
       ("failover", [ Alcotest.test_case "sigkill primary" `Quick test_failover ]);
+      ( "protocol",
+        [
+          Alcotest.test_case "mid-snapshot restart forces fresh snapshot" `Quick
+            test_resync_restart;
+          Alcotest.test_case "marks prune 2PC bookkeeping" `Quick test_mark_pruning;
+          Alcotest.test_case "apply failure surfaces as fatal" `Quick
+            test_apply_failure_fatal;
+          Alcotest.test_case "slow follower detached at high-water" `Quick
+            test_slow_follower_detached;
+        ] );
     ]
