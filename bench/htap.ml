@@ -1,0 +1,178 @@
+(* HTAP bench: OLTP throughput degradation vs OLAP query latency
+   (DESIGN.md §16).
+
+   Two phases over identical fresh deployments — hybrid-index Db behind a
+   loopback wire-protocol server:
+
+     oltp-only   — point-op clients alone: the baseline tps
+     oltp+olap   — the same OLTP load plus one analytical client issuing
+                   grouped Scan_agg queries back-to-back
+
+   The comparison is the HTAP claim: because analytical aggregates run
+   against pinned snapshots outside the partition job loop (only capture
+   is a partition job, and only once per merge generation), the OLTP tps
+   of phase two should stay near the baseline while OLAP queries report
+   their own latency and snapshot staleness — both recorded here, the
+   staleness being the price of merge-boundary snapshots.  The CI
+   htap-smoke job asserts both phases record rows with nonzero tps and
+   that the mixed phase actually served OLAP queries. *)
+
+open Hi_util
+open Hi_server
+
+let ops_per_client () = max 2_000 (Common.scaled 20_000)
+let key_space = 50_000
+
+let key rng = Key_codec.encode_u64 (Int64.of_int (Xorshift.int rng key_space))
+
+let oltp_request rng =
+  if Xorshift.int rng 10 < 6 then Db.Put (key rng, Db.Int (Xorshift.int rng 1_000))
+  else Db.Get (key rng)
+
+(* group by the first 4 key bytes: u64-encoded keys share a fixed-width
+   prefix, so the answer has a handful of groups, not one per key *)
+let olap_request = Db.Scan_agg { fn = Db.Sum; lo = ""; hi = None; group_prefix = 4 }
+
+let preload ~port =
+  let c = Client.connect ~port () in
+  let rng = Xorshift.create 7 in
+  let tickets = ref [] in
+  for _ = 1 to 5_000 do
+    tickets := Client.send c (Db.Put (key rng, Db.Int (Xorshift.int rng 1_000))) :: !tickets;
+    if List.length !tickets >= 32 then begin
+      List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+      tickets := []
+    end
+  done;
+  List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+  Client.close c
+
+let oltp_thread ~port ~ops ~seed ~failures ~hist =
+  Thread.create
+    (fun () ->
+      let c = Client.connect ~port () in
+      let rng = Xorshift.create seed in
+      for _ = 1 to ops do
+        let t0 = Unix.gettimeofday () in
+        (match Client.call c (oltp_request rng) with
+        | Db.Failed _ -> incr failures
+        | _ -> ());
+        Histogram.record hist (Unix.gettimeofday () -. t0)
+      done;
+      Client.close c)
+    ()
+
+type olap_stats = {
+  o_lat : Histogram.t;  (* per-query completion latency, seconds *)
+  o_age : Histogram.t;  (* reported snapshot staleness, seconds *)
+  mutable o_queries : int;
+  mutable o_rows : int;
+  mutable o_failures : int;
+}
+
+(* Issue aggregates back-to-back until [stop] flips, then finish cleanly. *)
+let olap_thread ~port ~stop stats =
+  Thread.create
+    (fun () ->
+      let c = Client.connect ~port () in
+      while not (Atomic.get stop) do
+        let t0 = Unix.gettimeofday () in
+        (match Client.call c olap_request with
+        | Db.Aggregate a ->
+          Histogram.record stats.o_lat (Unix.gettimeofday () -. t0);
+          Histogram.record stats.o_age a.max_age_s;
+          stats.o_queries <- stats.o_queries + 1;
+          stats.o_rows <- stats.o_rows + a.rows_scanned
+        | _ -> stats.o_failures <- stats.o_failures + 1)
+      done;
+      Client.close c)
+    ()
+
+let run_phase ~partitions ~clients ~analytics =
+  let phase = if analytics then "oltp+olap" else "oltp-only" in
+  let config = { Hi_hstore.Engine.default_config with index_kind = Hybrid_config } in
+  let db = Db.create ~config ~partitions () in
+  let server = Server.start ~db () in
+  let port = Server.port server in
+  preload ~port;
+  let ops = ops_per_client () in
+  let failures = List.init clients (fun _ -> ref 0) in
+  let hists = List.init clients (fun _ -> Histogram.create ()) in
+  let stop = Atomic.make false in
+  let ostats =
+    {
+      o_lat = Histogram.create ();
+      o_age = Histogram.create ();
+      o_queries = 0;
+      o_rows = 0;
+      o_failures = 0;
+    }
+  in
+  let olap = if analytics then Some (olap_thread ~port ~stop ostats) else None in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.mapi
+      (fun i (fail, hist) -> oltp_thread ~port ~ops ~seed:(201 + i) ~failures:fail ~hist)
+      (List.combine failures hists)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  Option.iter Thread.join olap;
+  Server.stop server;
+  Db.close db;
+  let total = ops * clients in
+  let tps = if elapsed > 0.0 then float_of_int total /. elapsed else 0.0 in
+  let failed = List.fold_left (fun acc r -> acc + !r) 0 failures in
+  let all = Histogram.create () in
+  List.iter (fun h -> Histogram.merge_into ~into:all h) hists;
+  let rows_per_query =
+    if ostats.o_queries = 0 then 0.0
+    else float_of_int ostats.o_rows /. float_of_int ostats.o_queries
+  in
+  Printf.printf "%-10s %8d %12.0f %10.3f %10.3f %8d %10.3f %10.3f %10.3f %8.0f %6d\n%!" phase
+    total tps
+    (1000.0 *. Histogram.mean all)
+    (1000.0 *. Histogram.percentile all 99.0)
+    ostats.o_queries
+    (1000.0 *. Histogram.mean ostats.o_lat)
+    (1000.0 *. Histogram.percentile ostats.o_lat 99.0)
+    (Histogram.max_value ostats.o_age)
+    rows_per_query (failed + ostats.o_failures);
+  Results.(
+    record
+      ~config:
+        [
+          ("phase", str phase);
+          ("partitions", int partitions);
+          ("clients", int clients);
+          ("ops", int total);
+        ]
+      ~metrics:
+        [
+          ("oltp_tps", num tps);
+          ("elapsed_s", num elapsed);
+          ("oltp_mean_latency_ms", num (1000.0 *. Histogram.mean all));
+          ("oltp_p99_latency_ms", num (1000.0 *. Histogram.percentile all 99.0));
+          ("olap_queries", int ostats.o_queries);
+          ("olap_mean_latency_ms", num (1000.0 *. Histogram.mean ostats.o_lat));
+          ("olap_p99_latency_ms", num (1000.0 *. Histogram.percentile ostats.o_lat 99.0));
+          ("snapshot_age_mean_s", num (Histogram.mean ostats.o_age));
+          ("snapshot_age_max_s", num (Histogram.max_value ostats.o_age));
+          ("olap_rows_per_query", num rows_per_query);
+          ("failed", int (failed + ostats.o_failures));
+        ]);
+  tps
+
+let htap () =
+  let partitions = max 2 !Common.partitions in
+  let clients = 2 in
+  Common.section
+    (Printf.sprintf "htap: OLTP vs OLAP over hybrid indexes (%d partitions, %d clients)"
+       partitions clients);
+  Printf.printf "%-10s %8s %12s %10s %10s %8s %10s %10s %10s %8s %6s\n" "phase" "ops" "tps"
+    "mean ms" "p99 ms" "queries" "olap ms" "olap p99" "max age" "rows/q" "fail";
+  let base = run_phase ~partitions ~clients ~analytics:false in
+  let mixed = run_phase ~partitions ~clients ~analytics:true in
+  if base > 0.0 then
+    Printf.printf "\nOLTP throughput retained under analytics: %.1f%%\n" (100.0 *. mixed /. base)

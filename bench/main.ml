@@ -12,6 +12,8 @@
                       protocol of DESIGN.md §14 is what lets the mixed
                       rows scale past one coordinator)
      netbench        (wire-protocol server loadgen over loopback TCP)
+     htap            (OLTP tps degradation vs OLAP aggregate latency and
+                      snapshot staleness over hybrid indexes, DESIGN.md §16)
      durability      (WAL group-commit cost + SIGKILL/recover verification)
      replication     (semi-sync WAL streaming: SIGKILL the primary,
                       audit every acknowledged write on the replica)
@@ -45,6 +47,7 @@ let experiments : (string * (unit -> unit)) list =
     ("appendixA", Micro.appendix_a);
     ("scaling", Shard_bench.scaling);
     ("netbench", Net_bench.netbench);
+    ("htap", Htap.htap);
     ("durability", Durability.durability);
     ("replication", Replication.replication);
     ("bechamel", Bechamel_suite.run);

@@ -341,15 +341,37 @@ let parse_value s =
     | None -> (
       match float_of_string_opt s with Some f -> Db.Float f | None -> Db.Str s)
 
+let parse_agg_fn = function
+  | "count" -> Db.Count
+  | "sum" -> Db.Sum
+  | "min" -> Db.Min
+  | "max" -> Db.Max
+  | "avg" -> Db.Avg
+  | other -> failwith ("unknown aggregate (want count|sum|min|max|avg): " ^ other)
+
 let client host port args =
+  let agg fn lo hi prefix =
+    Db.Scan_agg
+      {
+        fn = parse_agg_fn fn;
+        lo = parse_key lo;
+        hi = Option.map parse_key hi;
+        group_prefix = prefix;
+      }
+  in
   let req =
     match args with
     | [ "get"; k ] -> Db.Get (parse_key k)
     | [ "put"; k; v ] -> Db.Put (parse_key k, parse_value v)
     | [ "del"; k ] | [ "delete"; k ] -> Db.Delete (parse_key k)
     | [ "scan"; probe; n ] -> Db.Scan_from (parse_key probe, int_of_string n)
+    | [ "agg"; fn; lo ] -> agg fn lo None 0
+    | [ "agg"; fn; lo; hi ] -> agg fn lo (Some hi) 0
+    | [ "agg"; fn; lo; hi; prefix ] -> agg fn lo (Some hi) (int_of_string prefix)
     | _ ->
-      failwith "expected one of: get KEY | put KEY VALUE | del KEY | scan PROBE COUNT"
+      failwith
+        "expected one of: get KEY | put KEY VALUE | del KEY | scan PROBE COUNT | agg FN LO [HI \
+         [PREFIX]]"
   in
   let c = Client.connect ~host ~port () in
   let resp = Client.call c req in

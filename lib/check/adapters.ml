@@ -45,17 +45,23 @@ module Of_static
     (M : sig
       val mode : Index_intf.merge_mode
     end) : Hybrid_index.Index_sig.INDEX = struct
-  type t = { mutable s : S.t }
+  type t = { mutable s : S.t; mutable gen : int; mutable pinned : int }
 
   let mode_tag = match M.mode with Index_intf.Replace -> "replace" | Index_intf.Concat -> "concat"
   let name = "static-" ^ S.name ^ "-" ^ mode_tag
-  let create () = { s = S.empty }
+  let create () = { s = S.empty; gen = 0; pinned = 0 }
   let no_deletes _ = false
-  let insert t k v = t.s <- S.merge t.s [| (k, [| v |]) |] ~mode:M.mode ~deleted:no_deletes
+
+  let bump t = t.gen <- t.gen + 1
+
+  let insert t k v =
+    bump t;
+    t.s <- S.merge t.s [| (k, [| v |]) |] ~mode:M.mode ~deleted:no_deletes
 
   let insert_unique t k v =
     if S.mem t.s k then false
     else begin
+      bump t;
       t.s <- S.merge t.s [| (k, [| v |]) |] ~mode:Index_intf.Replace ~deleted:no_deletes;
       true
     end
@@ -63,8 +69,15 @@ module Of_static
   let mem t k = S.mem t.s k
   let find t k = S.find t.s k
   let find_all t k = S.find_all t.s k
-  let update t k v = S.update t.s k v
-  let drop_key t k = t.s <- S.merge t.s [||] ~mode:M.mode ~deleted:(String.equal k)
+
+  let update t k v =
+    let r = S.update t.s k v in
+    if r then bump t;
+    r
+
+  let drop_key t k =
+    bump t;
+    t.s <- S.merge t.s [||] ~mode:M.mode ~deleted:(String.equal k)
 
   let delete t k =
     if S.mem t.s k then begin
@@ -87,59 +100,98 @@ module Of_static
   let scan_from t k n = S.scan_from t.s k n
   let iter_sorted t f = S.iter_sorted t.s f
   let entry_count t = S.entry_count t.s
-  let clear t = t.s <- S.empty
+
+  let clear t =
+    bump t;
+    t.s <- S.empty
+
   let memory_bytes t = S.memory_bytes t.s
   let flush _ = ()
   let merge_pending _ = false
   let check_invariants t = static_check (module S) t.s
+
+  let snapshot t =
+    let out = ref [] in
+    S.iter_sorted t.s (fun k vs -> out := (k, Array.copy vs) :: !out);
+    t.pinned <- t.pinned + 1;
+    Index_intf.materialized_snapshot ~generation:t.gen
+      ~release:(fun () -> t.pinned <- t.pinned - 1)
+      (Array.of_list (List.rev !out))
+
+  let generation t = t.gen
+  let pinned_snapshots t = t.pinned
 end
 
 (* The equality-only hash index (Appendix A): primary-style semantics, no
    ordered operations. *)
 module Of_hash : Hybrid_index.Index_sig.INDEX = struct
-  type t = Hash_index.t
+  type t = { h : Hash_index.t; mutable gen : int; mutable pinned : int }
 
   let name = "hash"
-  let create = Hash_index.create
-  let insert = Hash_index.insert (* replaces on duplicate key *)
+  let create () = { h = Hash_index.create (); gen = 0; pinned = 0 }
+  let bump t = t.gen <- t.gen + 1
+
+  let insert t k v =
+    bump t;
+    Hash_index.insert t.h k v (* replaces on duplicate key *)
 
   let insert_unique t k v =
-    if Hash_index.mem t k then false
+    if Hash_index.mem t.h k then false
     else begin
-      Hash_index.insert t k v;
+      bump t;
+      Hash_index.insert t.h k v;
       true
     end
 
-  let mem = Hash_index.mem
-  let find = Hash_index.find
-  let find_all t k = match Hash_index.find t k with Some v -> [ v ] | None -> []
+  let mem t k = Hash_index.mem t.h k
+  let find t k = Hash_index.find t.h k
+  let find_all t k = match Hash_index.find t.h k with Some v -> [ v ] | None -> []
 
   let update t k v =
-    if Hash_index.mem t k then begin
-      Hash_index.insert t k v;
+    if Hash_index.mem t.h k then begin
+      bump t;
+      Hash_index.insert t.h k v;
       true
     end
     else false
 
-  let delete = Hash_index.delete
+  let delete t k =
+    let r = Hash_index.delete t.h k in
+    if r then bump t;
+    r
 
   let delete_value t k v =
-    if Hash_index.find t k = Some v then Hash_index.delete t k else false
+    if Hash_index.find t.h k = Some v then delete t k else false
 
   let scan_from _ _ _ = []
   let iter_sorted _ _ = ()
-  let entry_count = Hash_index.entry_count
-  let clear = Hash_index.clear
-  let memory_bytes = Hash_index.memory_bytes
+  let entry_count t = Hash_index.entry_count t.h
+
+  let clear t =
+    bump t;
+    Hash_index.clear t.h
+
+  let memory_bytes t = Hash_index.memory_bytes t.h
   let flush _ = ()
   let merge_pending _ = false
 
   let check_invariants t =
     (* the table grows at 70% occupancy, so the live load factor must
        never exceed it *)
-    if Hash_index.entry_count t > 0 && Hash_index.load_factor t > 0.7 then
-      [ Printf.sprintf "load factor %.3f above grow threshold" (Hash_index.load_factor t) ]
+    if Hash_index.entry_count t.h > 0 && Hash_index.load_factor t.h > 0.7 then
+      [ Printf.sprintf "load factor %.3f above grow threshold" (Hash_index.load_factor t.h) ]
     else []
+
+  (* No ordered iteration, so a snapshot is empty: the structure cannot
+     serve ordered analytical scans at all (Appendix A trade-off). *)
+  let snapshot t =
+    t.pinned <- t.pinned + 1;
+    Index_intf.materialized_snapshot ~generation:t.gen
+      ~release:(fun () -> t.pinned <- t.pinned - 1)
+      [||]
+
+  let generation t = t.gen
+  let pinned_snapshots t = t.pinned
 end
 
 (* The incremental-merge hybrid exposes a subset of INDEX (no delete_value,
@@ -161,6 +213,9 @@ module type INCREMENTAL = sig
   val entry_count : t -> int
   val memory_bytes : t -> int
   val force_merge : t -> unit
+  val snapshot : t -> Index_intf.snapshot
+  val generation : t -> int
+  val pinned_snapshots : t -> int
 end
 
 module Of_incremental
@@ -199,4 +254,7 @@ module Of_incremental
   let flush = H.force_merge
   let merge_pending _ = false
   let check_invariants _ = []
+  let snapshot = H.snapshot
+  let generation = H.generation
+  let pinned_snapshots = H.pinned_snapshots
 end

@@ -1,0 +1,147 @@
+(* Differential check for pinned-snapshot analytics (DESIGN.md §16).
+
+   The property: a snapshot pinned at time T keeps answering exactly the
+   index's T-state — entries, order, probe/early-stop iteration and
+   aggregate folds — no matter what writes and forced merges race against
+   the pin afterwards.  A merge that frees static arrays under a pin, a
+   write that leaks into a captured view, or a tombstone copy shared with
+   the live index all show up as a mismatch against the capture-time
+   oracle (the live index's [iter_sorted] at pin time).
+
+   Everything is seeded, so a failure reproduces from one integer.  The
+   check drives primary-style operations only: Secondary-kind in-place
+   static updates are a documented staleness caveat (DESIGN.md §16), not
+   a pinning bug, and are excluded here. *)
+
+open Hi_util
+module Index_intf = Hi_index.Index_intf
+
+type report = {
+  rounds : int;
+  entries_checked : int;  (* oracle entries compared across all rounds *)
+  merges_raced : int;  (* forced merges run while a snapshot was pinned *)
+  errors : string list;  (* [] = the differential held *)
+}
+
+(* The live index's current entries — the capture-time oracle. *)
+let oracle_entries (type s) (module I : Index_intf.INDEX with type t = s) (t : s) =
+  let acc = ref [] in
+  I.iter_sorted t (fun k vs -> acc := (k, Array.copy vs) :: !acc);
+  List.rev !acc
+
+(* Drain a snapshot from [probe], stopping after [limit] entries. *)
+let snap_entries ?(probe = "") ?limit (snap : Index_intf.snapshot) =
+  let acc = ref [] and n = ref 0 in
+  snap.snap_iter probe (fun k vs ->
+      acc := (k, Array.copy vs) :: !acc;
+      incr n;
+      match limit with Some l -> !n < l | None -> true);
+  List.rev !acc
+
+let sorted vs =
+  let c = Array.copy vs in
+  Array.sort compare c;
+  c
+
+let compare_entries (add : string -> unit) ~ctx expect got =
+  if List.length expect <> List.length got then
+    add
+      (Printf.sprintf "%s: %d entries expected, %d from the snapshot" ctx
+         (List.length expect) (List.length got))
+  else
+    List.iter2
+      (fun (ek, evs) (gk, gvs) ->
+        if ek <> gk then
+          add (Printf.sprintf "%s: key %S expected, snapshot gave %S" ctx ek gk)
+        else if sorted evs <> sorted gvs then
+          add
+            (Printf.sprintf "%s: key %S values differ (%d vs %d entries)" ctx ek
+               (Array.length evs) (Array.length gvs)))
+      expect got
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* count/sum over entries whose key is in [lo, hi) — the oracle fold a
+   Scan_agg-style aggregate must match. *)
+let fold_range entries ~lo ~hi =
+  List.fold_left
+    (fun (count, sum) (k, vs) ->
+      if String.compare k lo >= 0 && String.compare k hi < 0 then
+        (count + Array.length vs, Array.fold_left ( + ) sum vs)
+      else (count, sum))
+    (0, 0) entries
+
+let run (module I : Index_intf.INDEX) ~seed ~rounds ~ops_per_round =
+  let rng = Xorshift.create seed in
+  let t = I.create () in
+  let universe = 400 in
+  let key i = Printf.sprintf "key%05d" i in
+  for i = 0 to (universe / 2) - 1 do
+    ignore (I.insert_unique t (key (Xorshift.int rng universe)) i)
+  done;
+  I.flush t (* start each run with a populated static stage *);
+  let errors = ref [] in
+  let add_s m = errors := m :: !errors in
+  let add fmt = Printf.ksprintf add_s fmt in
+  let entries_checked = ref 0 and merges = ref 0 in
+  for round = 1 to rounds do
+    let snap = I.snapshot t in
+    let oracle = oracle_entries (module I) t in
+    if I.pinned_snapshots t < 1 then
+      add "round %d: pinned_snapshots %d under a live pin" round (I.pinned_snapshots t);
+    if snap.Index_intf.snap_generation <> I.generation t then
+      add "round %d: snapshot generation %d but index at %d" round
+        snap.Index_intf.snap_generation (I.generation t);
+    (* race writes and forced merges against the pin *)
+    for op = 1 to ops_per_round do
+      let k = key (Xorshift.int rng universe) in
+      match Xorshift.int rng 8 with
+      | 0 | 1 | 2 -> ignore (I.insert_unique t k ((round * 10_000) + op))
+      | 3 | 4 -> ignore (I.update t k ((round * 10_000) + op))
+      | 5 | 6 -> ignore (I.delete t k)
+      | _ ->
+        I.flush t;
+        incr merges
+    done;
+    I.flush t;
+    incr merges;
+    (* the pinned snapshot must still read exactly the capture-time state *)
+    let total = List.fold_left (fun n (_, vs) -> n + Array.length vs) 0 oracle in
+    if snap.Index_intf.snap_entry_count <> total then
+      add "round %d: snap_entry_count %d, oracle holds %d" round
+        snap.Index_intf.snap_entry_count total;
+    compare_entries add_s ~ctx:(Printf.sprintf "round %d full iteration" round) oracle
+      (snap_entries snap);
+    (* probe + early-stop iteration matches the oracle suffix *)
+    let probe = key (Xorshift.int rng universe) in
+    let suffix = List.filter (fun (k, _) -> String.compare k probe >= 0) oracle in
+    let limit = 1 + Xorshift.int rng 10 in
+    compare_entries add_s
+      ~ctx:(Printf.sprintf "round %d probe %S limit %d" round probe limit)
+      (take limit suffix)
+      (snap_entries ~probe ~limit snap);
+    (* aggregate fold over a random range equals the oracle fold *)
+    let a = Xorshift.int rng universe and b = Xorshift.int rng universe in
+    let lo = key (min a b) and hi = key (max a b) in
+    let scount = ref 0 and ssum = ref 0 in
+    snap.Index_intf.snap_iter lo (fun k vs ->
+        if String.compare k hi < 0 then begin
+          scount := !scount + Array.length vs;
+          Array.iter (fun v -> ssum := !ssum + v) vs;
+          true
+        end
+        else false);
+    let ocount, osum = fold_range oracle ~lo ~hi in
+    if (!scount, !ssum) <> (ocount, osum) then
+      add "round %d: aggregate over [%S, %S) gave (%d, %d), oracle (%d, %d)" round lo hi
+        !scount !ssum ocount osum;
+    entries_checked := !entries_checked + List.length oracle;
+    snap.Index_intf.snap_release ();
+    snap.Index_intf.snap_release () (* double release must be a no-op *)
+  done;
+  if I.pinned_snapshots t <> 0 then
+    add "snapshot pins leaked: %d still counted after release" (I.pinned_snapshots t);
+  (match I.check_invariants t with
+  | [] -> ()
+  | errs -> List.iter (add "post-run invariant: %s") errs);
+  { rounds; entries_checked = !entries_checked; merges_raced = !merges; errors = List.rev !errors }

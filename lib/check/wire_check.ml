@@ -44,12 +44,28 @@ let gen_value rng : Db.value =
   | 3 | 4 -> Float (gen_float rng)
   | _ -> Str (gen_bytes rng Db.max_value_len)
 
-let gen_request rng : Db.request =
+let gen_agg_fn rng : Db.agg_fn =
   match Xorshift.int rng 5 with
+  | 0 -> Count
+  | 1 -> Sum
+  | 2 -> Min
+  | 3 -> Max
+  | _ -> Avg
+
+let gen_request rng : Db.request =
+  match Xorshift.int rng 6 with
   | 0 -> Get (gen_key rng)
   | 1 -> Put (gen_key rng, gen_value rng)
   | 2 -> Delete (gen_key rng)
   | 3 -> Scan_from (gen_bytes rng Db.max_key_len, Xorshift.int rng (Db.max_scan + 1))
+  | 4 ->
+    Scan_agg
+      {
+        fn = gen_agg_fn rng;
+        lo = gen_bytes rng Db.max_key_len;
+        hi = (if Xorshift.bool rng then Some (gen_bytes rng Db.max_key_len) else None);
+        group_prefix = Xorshift.int rng 256 (* u8 on the wire *);
+      }
   | _ ->
     let n = 1 + Xorshift.int rng 8 in
     Txn
@@ -72,12 +88,27 @@ let gen_error rng : Db.error =
   | _ -> Read_only
 
 let gen_response rng : Db.response =
-  match Xorshift.int rng 5 with
+  match Xorshift.int rng 6 with
   | 0 -> Value (if Xorshift.bool rng then Some (gen_value rng) else None)
   | 1 -> Done (Xorshift.bool rng)
   | 2 | 3 ->
     let n = Xorshift.int rng 20 in
     Entries (List.init n (fun _ -> (gen_key rng, gen_value rng)))
+  | 4 ->
+    let n = Xorshift.int rng 8 in
+    Aggregate
+      {
+        groups =
+          List.init n (fun _ : Db.agg_group ->
+              {
+                g_key = gen_bytes rng 8;
+                g_count = Xorshift.int rng 1_000_000;
+                g_value = gen_float rng;
+              });
+        rows_scanned = Xorshift.int rng 1_000_000;
+        max_age_s = Xorshift.float01 rng *. 10.0;
+        generation = Xorshift.int rng 1_000_000;
+      }
   | _ -> Failed (gen_error rng)
 
 (* LSNs on the wire may legitimately be [-1] (nothing applied yet). *)

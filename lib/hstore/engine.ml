@@ -173,6 +173,10 @@ let delete t tbl rowid =
 
 let read _t tbl rowid = Table.read tbl rowid
 
+(* Analytical (non-transactional) column extraction: no undo logging, no
+   access-clock bump — used by the OLAP capture job (DESIGN.md Â§16). *)
+let project _t tbl rowid cols = Table.project_columns tbl rowid cols
+
 let rollback t =
   List.iter (fun f -> f ()) t.undo;
   t.undo <- [];

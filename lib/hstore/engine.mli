@@ -68,6 +68,12 @@ val update : t -> Table.t -> int -> (int * Value.t) list -> unit
 val delete : t -> Table.t -> int -> unit
 val read : t -> Table.t -> int -> Value.t array
 
+val project : t -> Table.t -> int -> int array -> Value.t array
+(** Typed column extraction for analytics: the named columns of one row,
+    without undo logging or an access-clock bump — the OLAP capture job's
+    read primitive (DESIGN.md §16).
+    @raise Table.Evicted_access when the tuple is anti-cached. *)
+
 (** Why a transaction failed. *)
 type txn_error =
   | Txn_aborted of string  (** user abort via {!Abort} *)

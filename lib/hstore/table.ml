@@ -86,6 +86,26 @@ let get_row t rowid =
 
 let read t rowid = (get_row t rowid).vals
 
+(* Typed column extraction for analytics: no access-clock bump, so an
+   OLAP capture does not make cold tuples look hot (DESIGN.md §16). *)
+let project_columns t rowid (cols : int array) =
+  match Vec.get t.slots rowid with
+  | Live row -> Array.map (fun c -> row.vals.(c)) cols
+  | Evicted_slot block -> raise (Evicted_access { table = name t; block })
+  | Free -> invalid_arg (Printf.sprintf "Table.%s: dangling rowid %d" (name t) rowid)
+
+let pk_snapshot t =
+  let (Packed ((module I), i)) = t.pk.packed in
+  I.snapshot i
+
+let pk_generation t =
+  let (Packed ((module I), i)) = t.pk.packed in
+  I.generation i
+
+let pk_pinned_snapshots t =
+  let (Packed ((module I), i)) = t.pk.packed in
+  I.pinned_snapshots i
+
 (* --- writes (each returns an undo closure for transaction rollback) --- *)
 
 let alloc_slot t =

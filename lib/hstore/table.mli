@@ -62,6 +62,23 @@ val scan_index : t -> string -> prefix:Value.t list -> limit:int -> int list
 val scan_index_prefix_eq : t -> string -> prefix:Value.t list -> limit:int -> int list
 (** Rowids whose index key starts with exactly the prefix columns. *)
 
+val project_columns : t -> int -> int array -> Value.t array
+(** Typed column extraction for analytics: the named columns of one row,
+    in the given order, without bumping its access clock — an OLAP
+    capture must not make cold tuples look hot (DESIGN.md §16).
+    @raise Evicted_access when the tuple is anti-cached. *)
+
+val pk_snapshot : t -> Hi_index.Index_intf.snapshot
+(** Pin a point-in-time view of the primary-key index (key → rowid) for
+    analytical scans.  The caller must release it. *)
+
+val pk_generation : t -> int
+(** The primary-key index's snapshot generation — lets an OLAP cache
+    decide whether a prior capture is still current. *)
+
+val pk_pinned_snapshots : t -> int
+(** Unreleased primary-key index snapshots. *)
+
 val iter_live : t -> (int -> Value.t array -> unit) -> unit
 (** Visit every live row (rowid and values) without bumping the access
     clock — checkpoint enumeration (DESIGN.md §13) must not disturb

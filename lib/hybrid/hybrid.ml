@@ -118,6 +118,22 @@ module type S = sig
       and (primary indexes) no key may be live in both stages — between
       merges a primary-key delete+reinsert legitimately leaves a stale,
       logically-dead static entry behind, which the next merge collects. *)
+
+  val snapshot : t -> Index_intf.snapshot
+  (** Pin a point-in-time view of both stages for analytical scans
+      (DESIGN.md §16).  The static stage is pinned by reference — a
+      concurrent merge swaps [stat] wholesale rather than mutating it, so
+      the pinned arrays stay intact until the snapshot is released — and
+      dynamic-stage entries plus tombstones are copied, making the
+      capture O(dynamic stage), independent of static-stage size. *)
+
+  val generation : t -> int
+  (** Merge count — the [snap_generation] a capture taken now carries.
+      Static-stage contents only change at merges, so equal generations
+      mean the bulk of the snapshot data is shared. *)
+
+  val pinned_snapshots : t -> int
+  (** Snapshots captured but not yet released. *)
 end
 
 module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
@@ -139,6 +155,7 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
     mutable bloom_false_positives : int;
     mutable bloom_rebuilds : int;
     mutable merge_log : (int * float) list; (* newest first internally *)
+    mutable pinned : int; (* live snapshots (DESIGN.md §16) *)
   }
 
   let name = "hybrid-" ^ D.name
@@ -180,6 +197,7 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
       bloom_false_positives = 0;
       bloom_rebuilds = 0;
       merge_log = [];
+      pinned = 0;
     }
 
   let tombstoned t key = Hashtbl.mem t.tombstones key
@@ -547,6 +565,88 @@ module Make (D : Index_intf.DYNAMIC) (S : Index_intf.STATIC) : S = struct
         end
     in
     go (List.rev !dyn) (List.rev !stat)
+
+  (* --- snapshots (DESIGN.md §16) --- *)
+
+  (* Pin a point-in-time view.  The static stage needs no copy: merges
+     replace [t.stat] wholesale ([t.stat <- S.merge ...]), never mutate
+     the structure a snapshot holds, so keeping the old value reachable
+     from the closure IS the pin — the GC frees the arrays only once the
+     last snapshot over them is dropped.  Dynamic-stage entries are
+     deep-copied (their value arrays are mutated in place by updates) and
+     the tombstone set is copied, so the view is immutable under every
+     concurrent write.  Caveat: a [Secondary] static stage updates value
+     cells in place; the primary-index OLAP path never does this, and the
+     exposure is documented rather than paid for with a full copy. *)
+  let snapshot t =
+    let stat = t.stat in
+    let kind = t.config.kind in
+    let dead = Hashtbl.copy t.tombstones in
+    let dyn_entries =
+      let out = ref [] in
+      D.iter_sorted t.dyn (fun k vs -> out := (k, Array.copy vs) :: !out);
+      List.rev !out
+    in
+    let masked =
+      Hashtbl.fold (fun k () acc -> acc + List.length (S.find_all stat k)) dead 0
+    in
+    let count =
+      List.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 dyn_entries
+      + S.entry_count stat - masked
+    in
+    let snap_iter probe f =
+      let ds = List.filter (fun (k, _) -> String.compare k probe >= 0) dyn_entries in
+      let ss = ref [] in
+      S.iter_sorted stat (fun k vs ->
+          if String.compare k probe >= 0 && not (Hashtbl.mem dead k) then ss := (k, vs) :: !ss);
+      let exception Stop in
+      let emit k vs = if not (f k vs) then raise_notrace Stop in
+      let rec go ds ss =
+        match (ds, ss) with
+        | [], [] -> ()
+        | (k, vs) :: ds', [] ->
+          emit k vs;
+          go ds' []
+        | [], (k, vs) :: ss' ->
+          emit k vs;
+          go [] ss'
+        | (dk, dvs) :: ds', (sk, svs) :: ss' ->
+          let c = String.compare dk sk in
+          if c < 0 then begin
+            emit dk dvs;
+            go ds' ss
+          end
+          else if c > 0 then begin
+            emit sk svs;
+            go ds ss'
+          end
+          else begin
+            (match kind with
+            | Primary -> emit dk dvs
+            | Secondary -> emit dk (Array.append dvs svs));
+            go ds' ss'
+          end
+      in
+      (try go ds (List.rev !ss) with Stop -> ())
+    in
+    t.pinned <- t.pinned + 1;
+    let released = ref false in
+    let snap_release () =
+      if not !released then begin
+        released := true;
+        t.pinned <- t.pinned - 1
+      end
+    in
+    {
+      Index_intf.snap_generation = t.merges;
+      snap_captured_at = Unix.gettimeofday ();
+      snap_entry_count = count;
+      snap_iter;
+      snap_release;
+    }
+
+  let generation t = t.merges
+  let pinned_snapshots t = t.pinned
 
   (* --- accounting --- *)
 

@@ -96,6 +96,19 @@ module type S = sig
       and (primary indexes) no key may be live in both stages — between
       merges a primary-key delete+reinsert legitimately leaves a stale,
       logically-dead static entry behind, which the next merge collects. *)
+
+  val snapshot : t -> Hi_index.Index_intf.snapshot
+  (** Pin a point-in-time view of both stages for analytical scans
+      (DESIGN.md §16).  The static stage is pinned by reference — a
+      concurrent merge swaps it wholesale rather than mutating it, so the
+      pinned arrays stay intact until release — and dynamic-stage entries
+      plus tombstones are copied, making the capture O(dynamic stage). *)
+
+  val generation : t -> int
+  (** Merge count — the [snap_generation] a capture taken now carries. *)
+
+  val pinned_snapshots : t -> int
+  (** Snapshots captured but not yet released. *)
 end
 
 (** Apply the dual-stage transformation to a (dynamic, static) structure

@@ -86,6 +86,10 @@ module type S = sig
   val dynamic_entry_count : t -> int
   val memory_bytes : t -> int
   val stats : t -> stats
+
+  val snapshot : t -> Index_intf.snapshot
+  val generation : t -> int
+  val pinned_snapshots : t -> int
 end
 
 module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
@@ -114,6 +118,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     mutable merges_completed : int;
     mutable max_entries_per_op : int;
     mutable total_merge_seconds : float;
+    mutable pinned : int; (* live snapshots (DESIGN.md §16) *)
   }
 
   let name = "incremental-hybrid-" ^ D.name
@@ -130,6 +135,7 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
       merges_completed = 0;
       max_entries_per_op = 0;
       total_merge_seconds = 0.0;
+      pinned = 0;
     }
 
   let tombstoned t key = Hashtbl.mem t.tombstones key
@@ -482,6 +488,112 @@ module Make (D : Index_intf.DYNAMIC) (S : STATIC_SEQ) = struct
     + (if t.config.use_bloom then Bloom.memory_bytes t.bloom else 0)
 
   let merging t = t.merging <> None
+
+  (* --- snapshots (DESIGN.md §16) --- *)
+
+  (* Pin the full logical view at capture: dynamic stage (copied), frozen
+     run if a merge is in flight (copied — its value cells are mutable),
+     and the old static stage (by reference: merge completion swaps
+     [t.stat] wholesale, never mutates the pinned structure).  Both
+     tombstone generations are frozen with it — [t.tombstones] masks the
+     frozen run and the static stage, [ms.dead] masks the static stage
+     only — mirroring the live read path exactly. *)
+  let snapshot t =
+    let stat = t.stat in
+    let kind = t.config.kind in
+    let tomb = Hashtbl.copy t.tombstones in
+    let dead = match t.merging with Some ms -> Hashtbl.copy ms.dead | None -> Hashtbl.create 1 in
+    let dyn_entries =
+      let out = ref [] in
+      D.iter_sorted t.dyn (fun k vs -> out := (k, Array.copy vs) :: !out);
+      List.rev !out
+    in
+    let frozen_entries =
+      match t.merging with
+      | None -> []
+      | Some ms ->
+        Array.to_list ms.frozen
+        |> List.filter_map (fun (k, vs) ->
+               if Array.length vs = 0 then None else Some (k, Array.copy vs))
+    in
+    let count =
+      List.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 dyn_entries
+      + List.fold_left
+          (fun acc (k, vs) -> if Hashtbl.mem tomb k then acc else acc + Array.length vs)
+          0 frozen_entries
+      + S.entry_count stat
+      - Hashtbl.fold (fun k () acc -> acc + List.length (S.find_all stat k)) tomb 0
+      - Hashtbl.fold
+          (fun k () acc ->
+            if Hashtbl.mem tomb k then acc else acc + List.length (S.find_all stat k))
+          dead 0
+    in
+    let snap_iter probe f =
+      let ge k = String.compare k probe >= 0 in
+      let ds = List.filter (fun (k, _) -> ge k) dyn_entries in
+      let fs = List.filter (fun (k, _) -> ge k && not (Hashtbl.mem tomb k)) frozen_entries in
+      let ss = ref [] in
+      S.iter_sorted stat (fun k vs ->
+          if ge k && (not (Hashtbl.mem tomb k)) && not (Hashtbl.mem dead k) then
+            ss := (k, vs) :: !ss);
+      let exception Stop in
+      let emit k vs = if Array.length vs > 0 && not (f k vs) then raise_notrace Stop in
+      let head = function [] -> None | (k, _) :: _ -> Some k in
+      let rec go ds fs ss =
+        let kmin =
+          List.fold_left
+            (fun acc k ->
+              match (acc, k) with
+              | None, x -> x
+              | x, None -> x
+              | Some a, Some b -> Some (if String.compare a b <= 0 then a else b))
+            None
+            [ head ds; head fs; head ss ]
+        in
+        match kmin with
+        | None -> ()
+        | Some k ->
+          let take l =
+            match l with (k', vs) :: rest when k' = k -> (Some vs, rest) | _ -> (None, l)
+          in
+          let dv, ds = take ds in
+          let fv, fs = take fs in
+          let sv, ss = take ss in
+          let vs =
+            match kind with
+            | Hybrid.Primary -> (
+              (* overwrite priority dyn > frozen > static *)
+              match (dv, fv, sv) with
+              | Some v, _, _ -> v
+              | None, Some v, _ -> v
+              | None, None, Some v -> v
+              | None, None, None -> [||])
+            | Hybrid.Secondary ->
+              Array.concat (List.filter_map (fun x -> x) [ dv; fv; sv ])
+          in
+          emit k vs;
+          go ds fs ss
+      in
+      (try go ds fs (List.rev !ss) with Stop -> ())
+    in
+    t.pinned <- t.pinned + 1;
+    let released = ref false in
+    let snap_release () =
+      if not !released then begin
+        released := true;
+        t.pinned <- t.pinned - 1
+      end
+    in
+    {
+      Index_intf.snap_generation = t.merges_completed;
+      snap_captured_at = Unix.gettimeofday ();
+      snap_entry_count = count;
+      snap_iter;
+      snap_release;
+    }
+
+  let generation t = t.merges_completed
+  let pinned_snapshots t = t.pinned
 
   let stats t =
     {

@@ -70,6 +70,18 @@ module type S = sig
   val dynamic_entry_count : t -> int
   val memory_bytes : t -> int
   val stats : t -> stats
+
+  val snapshot : t -> Hi_index.Index_intf.snapshot
+  (** Pin a point-in-time view for analytical scans (DESIGN.md §16):
+      dynamic-stage and frozen-run entries are copied, the static stage
+      is pinned by reference (merge completion swaps it wholesale), and
+      both tombstone generations are applied as of capture. *)
+
+  val generation : t -> int
+  (** Completed-merge count — the [snap_generation] a capture carries. *)
+
+  val pinned_snapshots : t -> int
+  (** Snapshots captured but not yet released. *)
 end
 
 module Make (D : Hi_index.Index_intf.DYNAMIC) (S : STATIC_SEQ) : S

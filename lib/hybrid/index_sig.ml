@@ -13,18 +13,74 @@ type index = (module INDEX)
 
 (** Adapt a plain dynamic structure to {!INDEX}. *)
 module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
-  include D
+  (* Wrapped rather than [include]d: the uniform interface carries
+     snapshot state — a generation and a pin count (DESIGN.md §16) — that
+     the plain structure does not track. *)
+  type t = { d : D.t; mutable gen : int; mutable pinned : int }
+
+  let name = D.name
+  let create () = { d = D.create (); gen = 0; pinned = 0 }
+  let bump t = t.gen <- t.gen + 1
+
+  let insert t key value =
+    bump t;
+    D.insert t.d key value
 
   let insert_unique t key value =
-    if D.mem t key then false
+    if D.mem t.d key then false
     else begin
-      D.insert t key value;
+      bump t;
+      D.insert t.d key value;
       true
     end
 
+  let mem t key = D.mem t.d key
+  let find t key = D.find t.d key
+  let find_all t key = D.find_all t.d key
+
+  let update t key value =
+    let r = D.update t.d key value in
+    if r then bump t;
+    r
+
+  let delete t key =
+    let r = D.delete t.d key in
+    if r then bump t;
+    r
+
+  let delete_value t key value =
+    let r = D.delete_value t.d key value in
+    if r then bump t;
+    r
+
+  let scan_from t key n = D.scan_from t.d key n
+  let iter_sorted t f = D.iter_sorted t.d f
+  let entry_count t = D.entry_count t.d
+
+  let clear t =
+    bump t;
+    D.clear t.d
+
+  let memory_bytes t = D.memory_bytes t.d
   let flush _ = ()
   let merge_pending _ = false
-  let check_invariants = D.check_structure
+  let check_invariants t = D.check_structure t.d
+
+  (* Every write is a trivial "merge boundary" for a single-stage
+     structure: a snapshot materializes the current contents and the
+     generation advances per mutation, so equal generations really do
+     mean identical data. *)
+  let snapshot t =
+    let out = ref [] in
+    D.iter_sorted t.d (fun k vs -> out := (k, Array.copy vs) :: !out);
+    let entries = Array.of_list (List.rev !out) in
+    t.pinned <- t.pinned + 1;
+    Hi_index.Index_intf.materialized_snapshot ~generation:t.gen
+      ~release:(fun () -> t.pinned <- t.pinned - 1)
+      entries
+
+  let generation t = t.gen
+  let pinned_snapshots t = t.pinned
 end
 
 (** Instantiate a hybrid index with a fixed configuration as {!INDEX}. *)
@@ -56,4 +112,7 @@ module Of_hybrid
   let flush = H.force_merge
   let merge_pending = H.merge_pending
   let check_invariants = H.check_invariants
+  let snapshot = H.snapshot
+  let generation = H.generation
+  let pinned_snapshots = H.pinned_snapshots
 end

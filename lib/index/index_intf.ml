@@ -109,6 +109,63 @@ module type STATIC = sig
   val memory_bytes : t -> int
 end
 
+(** A pinned, point-in-time view of an index, captured at a merge
+    boundary for analytical scans (HTAP read path, DESIGN.md §16).  The
+    snapshot stays valid — its arrays are never freed or mutated under a
+    reader — while concurrent writes and merges proceed on the live
+    index.  [snap_iter probe f] visits entries with key >= [probe] in
+    ascending key order until [f] returns [false].  [snap_release] drops
+    the pin; releasing twice is a no-op. *)
+type snapshot = {
+  snap_generation : int;
+      (** Stage generation the snapshot was cut at: merge count for
+          hybrid indexes, a per-write mutation counter for plain ones.
+          Equal generations from the same index mean identical data. *)
+  snap_captured_at : float;  (** [Unix.gettimeofday] at capture. *)
+  snap_entry_count : int;
+  snap_iter : string -> (string -> int array -> bool) -> unit;
+  snap_release : unit -> unit;
+}
+
+(** Snapshot backed by a materialized sorted entry array — the simple
+    pinning strategy for structures without cheap stage sharing: copy
+    once at capture, then readers touch only the private copy. *)
+let materialized_snapshot ~generation ?release (entries : entries) =
+  let n = Array.length entries in
+  let total = Array.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 entries in
+  (* leftmost index with key >= probe *)
+  let lower_bound probe =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare (fst entries.(mid)) probe < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let snap_iter probe f =
+    let i = ref (lower_bound probe) in
+    let continue = ref true in
+    while !continue && !i < n do
+      let k, vs = entries.(!i) in
+      continue := f k vs;
+      incr i
+    done
+  in
+  let released = ref false in
+  let snap_release () =
+    if not !released then begin
+      released := true;
+      match release with Some r -> r () | None -> ()
+    end
+  in
+  {
+    snap_generation = generation;
+    snap_captured_at = Unix.gettimeofday ();
+    snap_entry_count = total;
+    snap_iter;
+    snap_release;
+  }
+
 (** The uniform first-class-module interface over plain dynamic indexes
     and hybrid indexes, so benchmarks and the DBMS engine can swap index
     implementations freely (paper §6.4 compares each hybrid index against
@@ -152,4 +209,17 @@ module type INDEX = sig
   (** Structural self-check, [] when consistent.  For hybrid indexes this
       verifies the dual-stage invariants (see [Hybrid.S.check_invariants]);
       plain structures have nothing to check. *)
+
+  val snapshot : t -> snapshot
+  (** Pin a point-in-time view for analytical scans (DESIGN.md §16).
+      Concurrent writes and merges never mutate a pinned snapshot; the
+      caller must [snap_release] it when done. *)
+
+  val generation : t -> int
+  (** Current stage generation — the [snap_generation] a snapshot taken
+      now would carry.  Hybrid indexes advance it per merge, plain
+      structures per write. *)
+
+  val pinned_snapshots : t -> int
+  (** Snapshots captured but not yet released. *)
 end

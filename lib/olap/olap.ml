@@ -1,0 +1,296 @@
+(* Analytical scan executor over pinned index snapshots (DESIGN.md §16).
+
+   The hybrid index's compact static stage is exactly the layout the
+   HTAP compaction literature exploits for analytics over cold data: a
+   sorted, read-only, cache-friendly array.  This module turns it into a
+   read path.  Per partition it materializes a columnar capture — exact
+   keys plus a numeric projection of each row — from a pinned snapshot of
+   the table's primary-key index, then serves aggregate queries (Count /
+   Sum / Min / Max / Avg over a key range, optionally grouped by key
+   prefix) from that capture on the caller's thread.
+
+   Division of labour, so OLTP latency is insulated from OLAP work:
+
+   - capture runs as an ordinary partition job (serial with commits, so
+     it cuts a transaction-consistent view and may safely read rows the
+     partition domain owns); the index snapshot pins the static stage
+     for the duration, so a merge racing the capture cannot free the
+     arrays under it;
+   - everything else — range selection, grouping, cross-partition merge,
+     finalization — runs outside the partition's serial job loop, on the
+     querying thread, against the immutable capture.
+
+   A capture is cached per partition and reused while the partition's
+   snapshot generation is unchanged.  Hybrid indexes advance their
+   generation once per merge, so analytical answers are stale by at most
+   one merge period (the staleness the [max_age_s] field reports); plain
+   single-stage indexes advance per write and always serve fresh data. *)
+
+open Hi_util
+open Hi_hstore
+module Router = Hi_shard.Router
+module Future = Hi_shard.Future
+module Index_intf = Hi_index.Index_intf
+
+type agg_fn = Count | Sum | Min | Max | Avg
+
+let agg_fn_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+type query = {
+  fn : agg_fn;
+  lo : string;  (* inclusive lower key bound *)
+  hi : string option;  (* exclusive upper key bound; [None] = to the end *)
+  group_prefix : int;  (* group key = first [group_prefix] bytes; 0 = one group *)
+}
+
+type group = {
+  g_key : string;  (* "" when [group_prefix] is 0 *)
+  g_count : int;  (* all rows of the group, numeric or not *)
+  g_value : float;  (* the finalized aggregate over the numeric rows *)
+}
+
+type answer = {
+  groups : group list;  (* ascending by [g_key] *)
+  rows_scanned : int;
+  max_age_s : float;  (* worst capture age across partitions at answer time *)
+  generation : int;  (* combined version stamp: sum of partition generations *)
+}
+
+(* How to read one partition's table: which columns to project and how to
+   interpret the projected cells.  [src_key] must be monotone in primary
+   index order (the kv table stores exact keys whose NUL-padded index
+   encoding is order-preserving). *)
+type source = {
+  src_table : Table.t;
+  src_columns : int array;
+  src_key : Value.t array -> string;
+  src_numeric : Value.t array -> float option;  (* [None] = non-numeric row *)
+}
+
+(* One partition's immutable columnar capture. *)
+type columnar = {
+  keys : string array;  (* exact keys, ascending *)
+  isnum : bool array;
+  nums : float array;
+  c_generation : int;
+  captured_at : float;
+}
+
+type t = {
+  router : Router.t;
+  sources : source array;
+  slots : columnar option ref array;
+  locks : Mutex.t array;  (* per-partition: serialize refresh-and-read *)
+}
+
+let mscope = Metrics.scope "olap"
+let m_captures = Metrics.counter mscope "snapshot_captures"
+let m_capture_rows = Metrics.counter mscope "capture_rows"
+let m_scans = Metrics.counter mscope "scans_served"
+let m_scan_rows = Metrics.counter mscope "scan_rows"
+let m_scan_bytes = Metrics.counter mscope "scan_bytes"
+let m_age = Metrics.histogram mscope "snapshot_age_seconds"
+let m_pins = Metrics.gauge mscope "snapshot_pins"
+
+let create ~router ~sources =
+  let n = Array.length sources in
+  {
+    router;
+    sources;
+    slots = Array.init n (fun _ -> ref None);
+    locks = Array.init n (fun _ -> Mutex.create ());
+  }
+
+(* -- capture (runs on the owning partition's domain) --------------------- *)
+
+(* Pin the primary-key snapshot, project every reachable row into the
+   columnar layout, release the pin.  Evicted rows are skipped — an
+   analytical capture must neither fetch anti-cache blocks nor perturb
+   eviction order, so analytics cover the memory-resident data
+   (DESIGN.md §16). *)
+let capture src =
+  let snap = Table.pk_snapshot src.src_table in
+  Metrics.incr m_captures;
+  Metrics.set_int m_pins (Table.pk_pinned_snapshots src.src_table);
+  let acc = ref [] and n = ref 0 in
+  snap.Index_intf.snap_iter "" (fun _padded_key rowids ->
+      Array.iter
+        (fun rowid ->
+          match Table.project_columns src.src_table rowid src.src_columns with
+          | cells ->
+            acc := (src.src_key cells, src.src_numeric cells) :: !acc;
+            incr n
+          | exception Table.Evicted_access _ -> ())
+        rowids;
+      true);
+  let keys = Array.make !n "" in
+  let isnum = Array.make !n false in
+  let nums = Array.make !n 0.0 in
+  (* [acc] is in descending key order (consed while iterating ascending) *)
+  List.iteri
+    (fun j (k, num) ->
+      let i = !n - 1 - j in
+      keys.(i) <- k;
+      match num with
+      | Some x ->
+        isnum.(i) <- true;
+        nums.(i) <- x
+      | None -> ())
+    !acc;
+  let generation = snap.Index_intf.snap_generation in
+  let captured_at = snap.Index_intf.snap_captured_at in
+  snap.Index_intf.snap_release ();
+  Metrics.add m_capture_rows !n;
+  { keys; isnum; nums; c_generation = generation; captured_at }
+
+(* -- aggregation (runs on the querying thread) ---------------------------- *)
+
+type partial = {
+  mutable p_rows : int;
+  mutable p_num : int;  (* numeric rows *)
+  mutable p_sum : float;
+  mutable p_min : float;
+  mutable p_max : float;
+}
+
+let lower_bound keys probe =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) probe < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Fold one partition's capture into the cross-partition group table.
+   Returns (rows, bytes) scanned. *)
+let aggregate_columnar c q groups =
+  let n = Array.length c.keys in
+  let rows = ref 0 and bytes = ref 0 in
+  let i = ref (lower_bound c.keys q.lo) in
+  let in_range k = match q.hi with Some h -> String.compare k h < 0 | None -> true in
+  let continue_ = ref true in
+  while !continue_ && !i < n do
+    let k = c.keys.(!i) in
+    if not (in_range k) then continue_ := false
+    else begin
+      let gkey =
+        if q.group_prefix = 0 then ""
+        else String.sub k 0 (min q.group_prefix (String.length k))
+      in
+      let p =
+        match Hashtbl.find_opt groups gkey with
+        | Some p -> p
+        | None ->
+          let p = { p_rows = 0; p_num = 0; p_sum = 0.0; p_min = 0.0; p_max = 0.0 } in
+          Hashtbl.add groups gkey p;
+          p
+      in
+      p.p_rows <- p.p_rows + 1;
+      if c.isnum.(!i) then begin
+        let x = c.nums.(!i) in
+        if p.p_num = 0 then begin
+          p.p_min <- x;
+          p.p_max <- x
+        end
+        else begin
+          if x < p.p_min then p.p_min <- x;
+          if x > p.p_max then p.p_max <- x
+        end;
+        p.p_num <- p.p_num + 1;
+        p.p_sum <- p.p_sum +. x
+      end;
+      incr rows;
+      bytes := !bytes + String.length k + 9 (* 8-byte numeric cell + tag *);
+      incr i
+    end
+  done;
+  (!rows, !bytes)
+
+let finalize fn p =
+  match fn with
+  | Count -> float_of_int p.p_rows
+  | Sum -> p.p_sum
+  | Min -> p.p_min (* 0.0 when the group has no numeric rows *)
+  | Max -> p.p_max
+  | Avg -> if p.p_num = 0 then 0.0 else p.p_sum /. float_of_int p.p_num
+
+(* -- cache refresh and the query entry point ------------------------------ *)
+
+(* Current capture for partition [p], re-capturing when the partition's
+   snapshot generation moved.  The generation read is deliberately
+   lock-free against the partition domain: a torn decision either serves
+   one more query from the old capture or refreshes a query early — both
+   benign.  The per-partition mutex only serializes querying threads. *)
+let current t p =
+  let src = t.sources.(p) in
+  Mutex.lock t.locks.(p);
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.locks.(p)) @@ fun () ->
+  let gen = Table.pk_generation src.src_table in
+  match !(t.slots.(p)) with
+  | Some c when c.c_generation = gen -> Ok c
+  | _ -> (
+    match
+      Future.await (Router.single_async t.router ~partition:p (fun _engine -> capture src))
+    with
+    | Ok c ->
+      t.slots.(p) := Some c;
+      Ok c
+    | Error e -> Error e)
+
+let refresh t =
+  Array.iteri
+    (fun p _ ->
+      Mutex.lock t.locks.(p);
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.locks.(p)) @@ fun () ->
+      match
+        Future.await
+          (Router.single_async t.router ~partition:p (fun _engine -> capture t.sources.(p)))
+      with
+      | Ok c -> t.slots.(p) := Some c
+      | Error _ -> ())
+    t.sources
+
+let query t q =
+  let parts = Array.length t.sources in
+  let rec captures p acc =
+    if p = parts then Ok (List.rev acc)
+    else
+      match current t p with
+      | Ok c -> captures (p + 1) (c :: acc)
+      | Error e -> Error e
+  in
+  match captures 0 [] with
+  | Error e -> Error e
+  | Ok cs ->
+    let groups = Hashtbl.create 16 in
+    let rows = ref 0 and bytes = ref 0 in
+    List.iter
+      (fun c ->
+        let r, b = aggregate_columnar c q groups in
+        rows := !rows + r;
+        bytes := !bytes + b)
+      cs;
+    let now = Unix.gettimeofday () in
+    let max_age =
+      List.fold_left
+        (fun acc c ->
+          let age = now -. c.captured_at in
+          Metrics.observe m_age age;
+          max acc age)
+        0.0 cs
+    in
+    let generation = List.fold_left (fun acc c -> acc + c.c_generation) 0 cs in
+    let out =
+      Hashtbl.fold (fun k p acc -> (k, p) :: acc) groups []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (k, p) -> { g_key = k; g_count = p.p_rows; g_value = finalize q.fn p })
+    in
+    Metrics.incr m_scans;
+    Metrics.add m_scan_rows !rows;
+    Metrics.add m_scan_bytes !bytes;
+    Ok { groups = out; rows_scanned = !rows; max_age_s = max_age; generation }

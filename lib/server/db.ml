@@ -18,6 +18,7 @@
 
 open Hi_hstore
 module Router = Hi_shard.Router
+module Olap = Hi_olap.Olap
 
 type value = Value.t = Int of int | Float of float | Str of string | Null
 
@@ -26,11 +27,32 @@ let max_value_len = 256
 let max_scan = 1024
 let max_txn_ops = 1024
 
+(* Analytical aggregate surface (DESIGN.md §16), re-exported from
+   {!Hi_olap.Olap} so wire codec and clients need only this module. *)
+type agg_fn = Olap.agg_fn = Count | Sum | Min | Max | Avg
+
+type agg_query = Olap.query = {
+  fn : agg_fn;
+  lo : string;
+  hi : string option;
+  group_prefix : int;
+}
+
+type agg_group = Olap.group = { g_key : string; g_count : int; g_value : float }
+
+type agg_answer = Olap.answer = {
+  groups : agg_group list;
+  rows_scanned : int;
+  max_age_s : float;
+  generation : int;
+}
+
 type request =
   | Get of string
   | Put of string * value
   | Delete of string
   | Scan_from of string * int
+  | Scan_agg of agg_query
   | Txn of (string * value option) list
 
 type error =
@@ -46,6 +68,7 @@ type response =
   | Value of value option
   | Done of bool
   | Entries of (string * value) list
+  | Aggregate of agg_answer
   | Failed of error
 
 let error_to_string = function
@@ -72,6 +95,15 @@ let response_to_string = function
   | Entries es ->
     String.concat "\n"
       (List.map (fun (k, v) -> Printf.sprintf "%S\t%s" k (value_to_string v)) es)
+  | Aggregate a ->
+    String.concat "\n"
+      (List.map
+         (fun g -> Printf.sprintf "%S\t%d\t%.17g" g.g_key g.g_count g.g_value)
+         a.groups
+      @ [
+          Printf.sprintf "(%d rows scanned, snapshot age %.3fs, generation %d)" a.rows_scanned
+            a.max_age_s a.generation;
+        ])
   | Failed e -> "error: " ^ error_to_string e
 
 let error_of_txn = function
@@ -115,7 +147,24 @@ let kv_of_row row =
   | 2 -> Value.Float (Value.as_float row.(3))
   | _ -> Value.Str (Value.as_str row.(4))
 
-type t = { router : Router.t; tables : Table.t array; read_only : bool }
+type t = { router : Router.t; tables : Table.t array; olap : Olap.t; read_only : bool }
+
+(* The OLAP projection of the kv row layout: exact key (column 0), tag
+   (column 1) and both numeric payload columns.  [Int] and [Float] rows
+   aggregate by value; [Null] and [Str] rows are counted but carry no
+   numeric payload. *)
+let kv_olap_source tbl =
+  {
+    Olap.src_table = tbl;
+    src_columns = [| 0; 1; 2; 3 |];
+    src_key = (fun cells -> Value.as_str cells.(0));
+    src_numeric =
+      (fun cells ->
+        match Value.as_int cells.(1) with
+        | 1 -> Some (float_of_int (Value.as_int cells.(2)))
+        | 2 -> Some (Value.as_float cells.(3))
+        | _ -> None);
+  }
 
 let create ?(mode = Router.Parallel) ?config ?sleep ?wal_dir ?checkpoint_bytes ?wal_fault
     ?replication ?(read_only = false) ~partitions () =
@@ -132,7 +181,8 @@ let create ?(mode = Router.Parallel) ?config ?sleep ?wal_dir ?checkpoint_bytes ?
   let tables =
     Array.map (function Some t -> t | None -> assert false) tables
   in
-  { router; tables; read_only }
+  let olap = Olap.create ~router ~sources:(Array.map kv_olap_source tables) in
+  { router; tables; olap; read_only }
 
 let router t = t.router
 let num_partitions t = Array.length t.tables
@@ -167,6 +217,17 @@ let validate req =
       Some (Printf.sprintf "probe is %d bytes; max is %d" (String.length k) max_key_len)
     else if n < 0 then Some "negative scan count"
     else None
+  | Scan_agg q ->
+    if String.length q.lo > max_key_len then
+      Some (Printf.sprintf "lower bound is %d bytes; max is %d" (String.length q.lo) max_key_len)
+    else (
+      match q.hi with
+      | Some h when String.length h > max_key_len ->
+        Some (Printf.sprintf "upper bound is %d bytes; max is %d" (String.length h) max_key_len)
+      | _ ->
+        if q.group_prefix < 0 || q.group_prefix > max_key_len then
+          Some (Printf.sprintf "group prefix %d out of range [0, %d]" q.group_prefix max_key_len)
+        else None)
   | Txn ops ->
     if ops = [] then Some "empty transaction"
     else if List.length ops > max_txn_ops then
@@ -240,7 +301,7 @@ let plan t req =
     | Get k ->
       let p = route t k in
       Single (p, get_body t.tables.(p) k)
-    | Scan_from _ -> Inline)
+    | Scan_from _ | Scan_agg _ -> Inline)
   | None -> (
     match req with
     | Get k ->
@@ -252,7 +313,7 @@ let plan t req =
     | Delete k ->
       let p = route t k in
       Single (p, delete_body t.tables.(p) k)
-    | Scan_from _ | Txn _ -> Inline)
+    | Scan_from _ | Scan_agg _ | Txn _ -> Inline)
 
 let scan_exec t probe n =
   let n = min n max_scan in
@@ -271,12 +332,44 @@ let scan_exec t probe n =
     match err with
     | Some e -> Failed (error_of_txn e)
     | None ->
-      let all =
-        Array.to_list slices
-        |> List.concat_map (function Ok es -> es | Error _ -> [])
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      (* k-way merge of the already-sorted per-partition slices, stopping
+         at [n] — no concat-and-re-sort of everything fetched.  Keys are
+         disjoint across partitions (each key has one owner), so there
+         are no ties to resolve. *)
+      let heads = Array.map (function Ok es -> es | Error _ -> []) slices in
+      let rec merge_take acc remaining =
+        if remaining = 0 then List.rev acc
+        else begin
+          let best = ref (-1) in
+          Array.iteri
+            (fun i l ->
+              match l with
+              | [] -> ()
+              | (k, _) :: _ -> (
+                match !best with
+                | -1 -> best := i
+                | b -> if String.compare k (fst (List.hd heads.(b))) < 0 then best := i))
+            heads;
+          match !best with
+          | -1 -> List.rev acc
+          | b -> (
+            match heads.(b) with
+            | e :: rest ->
+              heads.(b) <- rest;
+              merge_take (e :: acc) (remaining - 1)
+            | [] -> assert false)
+        end
       in
-      Entries (List.filteri (fun i _ -> i < n) all)
+      Entries (merge_take [] n)
+
+(* Aggregates run against each partition's cached columnar capture: only
+   a stale partition posts a (snapshot-pinning) capture job through the
+   router; selection, grouping and the cross-partition merge all happen
+   on this thread, outside every partition's serial job loop. *)
+let scan_agg_exec t q =
+  match Olap.query t.olap q with
+  | Ok a -> Aggregate a
+  | Error e -> Failed (error_of_txn e)
 
 let txn_exec t ops =
   let groups = Array.make (num_partitions t) [] in
@@ -317,6 +410,7 @@ let exec t req =
   | Inline -> (
     match req with
     | Scan_from (probe, n) -> scan_exec t probe n
+    | Scan_agg q -> scan_agg_exec t q
     | Txn ops -> txn_exec t ops
     | Get _ | Put _ | Delete _ -> assert false)
 
@@ -328,28 +422,34 @@ let get t k =
   match exec t (Get k) with
   | Value v -> Ok v
   | Failed e -> Error e
-  | Done _ | Entries _ -> wrong_shape
+  | Done _ | Entries _ | Aggregate _ -> wrong_shape
 
 let put t k v =
   match exec t (Put (k, v)) with
   | Done b -> Ok b
   | Failed e -> Error e
-  | Value _ | Entries _ -> wrong_shape
+  | Value _ | Entries _ | Aggregate _ -> wrong_shape
 
 let delete t k =
   match exec t (Delete k) with
   | Done b -> Ok b
   | Failed e -> Error e
-  | Value _ | Entries _ -> wrong_shape
+  | Value _ | Entries _ | Aggregate _ -> wrong_shape
 
 let scan_from t probe n =
   match exec t (Scan_from (probe, n)) with
   | Entries es -> Ok es
   | Failed e -> Error e
-  | Value _ | Done _ -> wrong_shape
+  | Value _ | Done _ | Aggregate _ -> wrong_shape
+
+let scan_agg t q =
+  match exec t (Scan_agg q) with
+  | Aggregate a -> Ok a
+  | Failed e -> Error e
+  | Value _ | Done _ | Entries _ -> wrong_shape
 
 let txn t ops =
   match exec t (Txn ops) with
   | Done _ -> Ok ()
   | Failed e -> Error e
-  | Value _ | Entries _ -> wrong_shape
+  | Value _ | Entries _ | Aggregate _ -> wrong_shape

@@ -29,6 +29,36 @@ val max_scan : int  (** per-scan result cap, 1024 entries *)
 
 val max_txn_ops : int  (** operations per transaction, 1024 *)
 
+(** {1 Analytical aggregates (DESIGN.md §16)}
+
+    Re-exported from {!Hi_olap.Olap} so wire codec and clients need only
+    this module.  A {!request.Scan_agg} runs against per-partition
+    snapshots of the primary-key index captured at merge boundaries, so
+    its answer may lag the latest writes by up to one merge period — the
+    reported [max_age_s] — while leaving OLTP traffic undisturbed. *)
+
+type agg_fn = Hi_olap.Olap.agg_fn = Count | Sum | Min | Max | Avg
+
+type agg_query = Hi_olap.Olap.query = {
+  fn : agg_fn;
+  lo : string;  (** inclusive lower key bound *)
+  hi : string option;  (** exclusive upper key bound; [None] = to the end *)
+  group_prefix : int;  (** group key = first [group_prefix] bytes; 0 = one group *)
+}
+
+type agg_group = Hi_olap.Olap.group = {
+  g_key : string;
+  g_count : int;  (** all rows of the group *)
+  g_value : float;  (** finalized aggregate over the numeric rows *)
+}
+
+type agg_answer = Hi_olap.Olap.answer = {
+  groups : agg_group list;  (** ascending by [g_key] *)
+  rows_scanned : int;
+  max_age_s : float;  (** worst snapshot age across partitions *)
+  generation : int;  (** combined snapshot-generation stamp *)
+}
+
 (** Protocol-versioned request surface.  In {!request.Txn}, each element
     is a write: [(key, Some v)] puts, [(key, None)] deletes; the ops are
     applied in order, atomically across every partition they touch. *)
@@ -37,6 +67,7 @@ type request =
   | Put of string * value
   | Delete of string
   | Scan_from of string * int  (** up to [n] entries with key >= probe *)
+  | Scan_agg of agg_query  (** snapshot aggregate over a key range *)
   | Txn of (string * value option) list
 
 (** Why a request failed.  The middle four mirror
@@ -57,6 +88,7 @@ type response =
       (** {!request.Put}: the key was new; {!request.Delete}: the key
           existed; {!request.Txn}: always [true] *)
   | Entries of (string * value) list  (** {!request.Scan_from}, ascending *)
+  | Aggregate of agg_answer  (** {!request.Scan_agg} *)
   | Failed of error
 
 val error_to_string : error -> string
@@ -124,6 +156,7 @@ val get : t -> string -> (value option, error) result
 val put : t -> string -> value -> (bool, error) result
 val delete : t -> string -> (bool, error) result
 val scan_from : t -> string -> int -> ((string * value) list, error) result
+val scan_agg : t -> agg_query -> (agg_answer, error) result
 val txn : t -> (string * value option) list -> (unit, error) result
 
 (** {1 Execution planning (used by the wire-protocol server)} *)

@@ -58,6 +58,7 @@ type handles = {
   lat_put : Metrics.histogram;
   lat_delete : Metrics.histogram;
   lat_scan : Metrics.histogram;
+  lat_scan_agg : Metrics.histogram;
   lat_txn : Metrics.histogram;
 }
 
@@ -76,6 +77,7 @@ let handles () =
     lat_put = Metrics.histogram s "latency_put";
     lat_delete = Metrics.histogram s "latency_delete";
     lat_scan = Metrics.histogram s "latency_scan";
+    lat_scan_agg = Metrics.histogram s "latency_scan_agg";
     lat_txn = Metrics.histogram s "latency_txn";
   }
 
@@ -112,6 +114,7 @@ let hist_for m (req : Db.request) =
   | Put _ -> m.lat_put
   | Delete _ -> m.lat_delete
   | Scan_from _ -> m.lat_scan
+  | Scan_agg _ -> m.lat_scan_agg
   | Txn _ -> m.lat_txn
 
 (* What the writer thread sends: a response to a numbered request, or

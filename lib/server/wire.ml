@@ -58,6 +58,7 @@ let op_scan = 0x04
 let op_txn = 0x05
 let op_subscribe = 0x06
 let op_repl_ack = 0x07
+let op_scan_agg = 0x08
 let op_value = 0x81
 let op_done = 0x82
 let op_entries = 0x83
@@ -65,6 +66,7 @@ let op_failed = 0x84
 let op_repl_hello = 0x85
 let op_repl_batch = 0x86
 let op_repl_heartbeat = 0x87
+let op_aggregate = 0x88
 
 (* Most partitions a Subscribe may name; far above any deployment, low
    enough that a corrupt count cannot make the decoder allocate wildly. *)
@@ -113,6 +115,18 @@ let put_request b (req : Db.request) =
     fun () ->
       put_str16 b k;
       put_u32 b n
+  | Scan_agg q ->
+    Buffer.add_uint8 b op_scan_agg;
+    fun () ->
+      Buffer.add_uint8 b
+        (match q.fn with Count -> 0 | Sum -> 1 | Min -> 2 | Max -> 3 | Avg -> 4);
+      put_str16 b q.lo;
+      (match q.hi with
+      | None -> Buffer.add_uint8 b 0
+      | Some h ->
+        Buffer.add_uint8 b 1;
+        put_str16 b h);
+      Buffer.add_uint8 b q.group_prefix
   | Txn ops ->
     Buffer.add_uint8 b op_txn;
     fun () ->
@@ -177,6 +191,19 @@ let put_response b (resp : Db.response) =
           put_str16 b k;
           put_value b v)
         es
+  | Aggregate a ->
+    Buffer.add_uint8 b op_aggregate;
+    fun () ->
+      put_u32 b a.rows_scanned;
+      Buffer.add_int64_be b (Int64.bits_of_float a.max_age_s);
+      put_u32 b a.generation;
+      put_u32 b (List.length a.groups);
+      List.iter
+        (fun (g : Db.agg_group) ->
+          put_str16 b g.g_key;
+          Buffer.add_int64_be b (Int64.of_int g.g_count);
+          Buffer.add_int64_be b (Int64.bits_of_float g.g_value))
+        a.groups
   | Failed e ->
     Buffer.add_uint8 b op_failed;
     fun () -> put_error b e
@@ -375,6 +402,24 @@ let get_msg c =
     else if opcode = op_scan then
       let k = str16 c in
       Request (Scan_from (k, u32 c))
+    else if opcode = op_scan_agg then
+      let fn : Db.agg_fn =
+        match u8 c with
+        | 0 -> Count
+        | 1 -> Sum
+        | 2 -> Min
+        | 3 -> Max
+        | 4 -> Avg
+        | t -> raise (Fail (Printf.sprintf "unknown aggregate fn %d" t))
+      in
+      let lo = str16 c in
+      let hi =
+        match u8 c with
+        | 0 -> None
+        | 1 -> Some (str16 c)
+        | t -> raise (Fail (Printf.sprintf "unknown option tag %d" t))
+      in
+      Request (Scan_agg { fn; lo; hi; group_prefix = u8 c })
     else if opcode = op_txn then
       let n = u16 c in
       Request
@@ -408,6 +453,20 @@ let get_msg c =
            (List.init n (fun _ ->
                 let k = str16 c in
                 (k, get_value c))))
+    else if opcode = op_aggregate then
+      let rows_scanned = u32 c in
+      let max_age_s = Int64.float_of_bits (i64 c) in
+      let generation = u32 c in
+      let n = u32 c in
+      if n > max_payload then raise (Fail "oversized group count");
+      let groups =
+        List.init n (fun _ : Db.agg_group ->
+            let g_key = str16 c in
+            let g_count = Int64.to_int (i64 c) in
+            let g_value = Int64.float_of_bits (i64 c) in
+            { g_key; g_count; g_value })
+      in
+      Response (Aggregate { groups; rows_scanned; max_age_s; generation })
     else if opcode = op_failed then Response (Failed (get_error c))
     else if opcode = op_subscribe then begin
       let stream_id = Int64.to_int (i64 c) in

@@ -9,21 +9,31 @@
      read-only     — workload C
      read-write    — workload A (50 % reads / 50 % updates)
      scan-insert   — workload E (95 % short scans / 5 % inserts)
+     htap          — workload A plus a periodic analytical pass: every
+                     1024 ops the driver pins an index snapshot and folds
+                     a count/sum over it (the hybrid-index HTAP story:
+                     analytics read the compact static stage while the
+                     OLTP mix keeps writing; DESIGN.md §16)
 
    Key types: 64-bit random integers, 64-bit monotonically increasing
    integers, and ~30-byte emails.  Values are 64-bit "tuple pointers". *)
 
 open Hi_util
 
-type workload = Insert_only | Read_only | Read_write | Scan_insert
+type workload = Insert_only | Read_only | Read_write | Scan_insert | Htap
 
 let workload_name = function
   | Insert_only -> "insert-only"
   | Read_only -> "read-only"
   | Read_write -> "read/write"
   | Scan_insert -> "scan/insert"
+  | Htap -> "htap"
 
+(* [Htap] is not a paper workload, so the Fig 8/9 sweeps exclude it. *)
 let all_workloads = [ Insert_only; Read_write; Read_only; Scan_insert ]
+
+(* OLTP ops between analytical passes in the [Htap] mix. *)
+let htap_analytic_period = 1024
 
 type spec = {
   workload : workload;
@@ -106,6 +116,26 @@ let run ?(primary = true) (module I : Hi_index.Index_intf.INDEX) spec =
       else begin
         let len = 1 + Xorshift.int rng spec.max_scan_len in
         ignore (I.scan_from t keys.(Zipf.next zipf) len)
+      end
+    done
+  | Htap ->
+    for op = 1 to spec.num_ops do
+      if op mod htap_analytic_period = 0 then begin
+        (* the analytical pass: pin a snapshot, fold count+sum over every
+           entry, release — the in-index equivalent of a Scan_agg *)
+        let snap = I.snapshot t in
+        let count = ref 0 and sum = ref 0 in
+        snap.Hi_index.Index_intf.snap_iter "" (fun _k vs ->
+            count := !count + Array.length vs;
+            Array.iter (fun v -> sum := !sum + v) vs;
+            true);
+        ignore !count;
+        ignore !sum;
+        snap.Hi_index.Index_intf.snap_release ()
+      end
+      else begin
+        let k = keys.(Zipf.next zipf) in
+        if op land 1 = 0 then ignore (I.find t k) else ignore (I.update t k op)
       end
     done);
   let run_seconds = Unix.gettimeofday () -. t1 in

@@ -4,9 +4,13 @@
     reported as the insert-only workload), then a measurement phase runs
     [num_ops] operations of one of YCSB's core mixes with Zipfian key
     popularity: read-only (C), read-write (A, 50/50), scan-insert (E,
-    95/5). *)
+    95/5), or the htap mix — workload A with a periodic analytical pass
+    over a pinned index snapshot (DESIGN.md §16). *)
 
-type workload = Insert_only | Read_only | Read_write | Scan_insert
+type workload = Insert_only | Read_only | Read_write | Scan_insert | Htap
+
+val htap_analytic_period : int
+(** OLTP operations between analytical passes in the [Htap] mix. *)
 
 val workload_name : workload -> string
 val all_workloads : workload list

@@ -1,0 +1,176 @@
+(* OLAP subsystem tests (DESIGN.md §16).
+
+   Two layers: the pinned-snapshot differential (Olap_check) across index
+   families — a snapshot must keep answering its capture-time state while
+   writes and forced merges race the pin — and Scan_agg end-to-end through
+   the Db facade, where the kv table's plain btree primary index advances
+   its generation per write, so every query sees fresh data. *)
+
+open Hi_util
+open Hi_server
+open Hi_check
+open Common
+
+(* -- the snapshot differential across index families ---------------------- *)
+
+let diff_case name index =
+  Alcotest.test_case ("differential: " ^ name) `Quick (fun () ->
+      let r = Olap_check.run index ~seed:0xA11C ~rounds:10 ~ops_per_round:60 in
+      List.iter (fun e -> Printf.printf "  olap_check %s: %s\n" name e) r.Olap_check.errors;
+      check_int (name ^ " differential errors") 0 (List.length r.Olap_check.errors);
+      check (name ^ " merges raced the pin") true (r.Olap_check.merges_raced > 0);
+      check (name ^ " entries compared") true (r.Olap_check.entries_checked > 0))
+
+let incremental_index : Hybrid_index.Index_sig.index =
+  let module C = struct
+    let config =
+      {
+        Hybrid_index.Incremental.default_config with
+        trigger = Hybrid_index.Hybrid.Constant 24;
+        min_merge_size = 16;
+        step = 8;
+      }
+  end in
+  (module Adapters.Of_incremental (Hybrid_index.Incremental.Incremental_btree) (C))
+
+let differential_cases =
+  [
+    diff_case "btree" (module Hybrid_index.Instances.Btree_index : Hybrid_index.Index_sig.INDEX);
+    diff_case "hybrid-btree" (Hybrid_index.Instances.hybrid_index "btree");
+    diff_case "hybrid-compressed-btree" (Hybrid_index.Instances.hybrid_index "compressed-btree");
+    diff_case "hybrid-skiplist" (Hybrid_index.Instances.hybrid_index "skiplist");
+    diff_case "incremental-btree" incremental_index;
+  ]
+
+(* -- Scan_agg through the Db facade --------------------------------------- *)
+
+let with_db ?(partitions = 2) f =
+  let db = Db.create ~partitions () in
+  Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+
+let agg ?(fn = Db.Count) ?(lo = "") ?hi ?(group_prefix = 0) db =
+  match Db.scan_agg db { fn; lo; hi; group_prefix } with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "scan_agg failed: %s" (Db.error_to_string e)
+
+let one_group name (a : Db.agg_answer) =
+  match a.groups with
+  | [ g ] -> g
+  | gs -> Alcotest.failf "%s: expected one group, got %d" name (List.length gs)
+
+let test_aggregates () =
+  with_db (fun db ->
+      for i = 1 to 9 do
+        check "put" true (Db.put db (Printf.sprintf "a%d" i) (Db.Int i) = Ok true)
+      done;
+      check "put str" true (Db.put db "b1" (Db.Str "text") = Ok true);
+      check "put float" true (Db.put db "b2" (Db.Float 2.5) = Ok true);
+      (* count sees every row, numeric or not *)
+      let g = one_group "count" (agg db) in
+      check_int "count rows" 11 g.g_count;
+      check "count value" true (g.g_value = 11.0);
+      (* sum/min/max/avg fold only the numeric rows in range *)
+      let g = one_group "sum" (agg ~fn:Db.Sum ~lo:"a1" ~hi:"b" db) in
+      check_int "sum group count" 9 g.g_count;
+      check "sum 1..9" true (g.g_value = 45.0);
+      let g = one_group "avg" (agg ~fn:Db.Avg ~lo:"a1" ~hi:"b" db) in
+      check "avg 1..9" true (g.g_value = 5.0);
+      let g = one_group "min" (agg ~fn:Db.Min ~lo:"a" db) in
+      check "min" true (g.g_value = 1.0);
+      let g = one_group "max" (agg ~fn:Db.Max ~lo:"a" db) in
+      check "max" true (g.g_value = 9.0);
+      (* the str row counts toward g_count but not the numeric fold *)
+      let g = one_group "sum all" (agg ~fn:Db.Sum db) in
+      check_int "sum all rows" 11 g.g_count;
+      check "sum all value" true (g.g_value = 47.5);
+      (* range bounds: lo inclusive, hi exclusive *)
+      let g = one_group "hi excl" (agg ~lo:"a3" ~hi:"a7" db) in
+      check_int "a3..a6" 4 g.g_count)
+
+let test_group_by_prefix () =
+  with_db (fun db ->
+      List.iter
+        (fun (k, v) -> check ("put " ^ k) true (Db.put db k (Db.Int v) = Ok true))
+        [ ("ant", 1); ("axe", 2); ("bat", 3); ("bee", 4); ("cat", 5) ];
+      match (agg ~fn:Db.Sum ~group_prefix:1 db).groups with
+      | [ a; b; c ] ->
+        check_string "group a" "a" a.g_key;
+        check_int "a count" 2 a.g_count;
+        check "a sum" true (a.g_value = 3.0);
+        check_string "group b" "b" b.g_key;
+        check "b sum" true (b.g_value = 7.0);
+        check_string "group c" "c" c.g_key;
+        check "c sum" true (c.g_value = 5.0)
+      | gs -> Alcotest.failf "expected 3 groups, got %d" (List.length gs))
+
+let test_freshness_and_generation () =
+  with_db (fun db ->
+      ignore (Db.put db "k1" (Db.Int 1));
+      let a1 = agg db in
+      check_int "first count" 1 (one_group "g1" a1).g_count;
+      ignore (Db.put db "k2" (Db.Int 2));
+      ignore (Db.delete db "k1");
+      (* the kv table's plain btree advances its generation per write, so
+         the next query re-captures and sees the delete *)
+      let a2 = agg db in
+      check_int "post-write count" 1 (one_group "g2" a2).g_count;
+      check "generation advanced" true (a2.generation > a1.generation);
+      check "age sane" true (a2.max_age_s >= 0.0 && a2.max_age_s < 60.0);
+      check_int "rows scanned" 1 a2.rows_scanned)
+
+let test_empty_and_validation () =
+  with_db (fun db ->
+      let a = agg db in
+      check_int "empty db scans zero rows" 0 a.rows_scanned;
+      check "empty db has no groups" true (a.groups = []);
+      let is_bad = function Error (Db.Bad_request _) -> true | _ -> false in
+      let long = String.make (Db.max_key_len + 1) 'x' in
+      check "long lo rejected" true
+        (is_bad (Db.scan_agg db { fn = Count; lo = long; hi = None; group_prefix = 0 }));
+      check "long hi rejected" true
+        (is_bad (Db.scan_agg db { fn = Count; lo = ""; hi = Some long; group_prefix = 0 }));
+      check "oversized prefix rejected" true
+        (is_bad
+           (Db.scan_agg db
+              { fn = Count; lo = ""; hi = None; group_prefix = Db.max_key_len + 1 })))
+
+let test_many_partitions_merge () =
+  with_db ~partitions:4 (fun db ->
+      for i = 0 to 99 do
+        ignore (Db.put db (Printf.sprintf "p%02d" i) (Db.Int i))
+      done;
+      let g = one_group "sum" (agg ~fn:Db.Sum db) in
+      check_int "all partitions counted" 100 g.g_count;
+      check "cross-partition sum" true (g.g_value = 4950.0);
+      (* grouped: ten prefixes p0..p9, each summing its decade *)
+      match (agg ~fn:Db.Count ~group_prefix:2 db).groups with
+      | gs ->
+        check_int "ten decades" 10 (List.length gs);
+        List.iter (fun (g : Db.agg_group) -> check_int ("decade " ^ g.g_key) 10 g.g_count) gs)
+
+let test_metrics_surface () =
+  with_db (fun db ->
+      ignore (Db.put db "m1" (Db.Int 7));
+      ignore (agg db);
+      let s = Metrics.scope "olap" in
+      (match Metrics.find_counter s "scans_served" with
+      | Some n -> check "scans_served counted" true (n > 0)
+      | None -> Alcotest.fail "olap/scans_served metric missing");
+      match Metrics.find_counter s "snapshot_captures" with
+      | Some n -> check "captures counted" true (n > 0)
+      | None -> Alcotest.fail "olap/snapshot_captures metric missing")
+
+let () =
+  Alcotest.run "olap"
+    [
+      ("differential", differential_cases);
+      ( "scan_agg",
+        [
+          Alcotest.test_case "aggregate functions" `Quick test_aggregates;
+          Alcotest.test_case "group by prefix" `Quick test_group_by_prefix;
+          Alcotest.test_case "freshness and generation" `Quick test_freshness_and_generation;
+          Alcotest.test_case "empty db and validation" `Quick test_empty_and_validation;
+          Alcotest.test_case "cross-partition merge" `Quick test_many_partitions_merge;
+          Alcotest.test_case "metrics surface" `Quick test_metrics_surface;
+        ] );
+    ]

@@ -108,6 +108,66 @@ let test_wire_pinned_repl_layout () =
     (let f = Wire.encode_msg ~id:0 (Wire.Subscribe { stream_id = 1; applied = [| -1 |] }) in
      String.sub f 4 (String.length payload))
 
+let frame_of payload =
+  let b = Buffer.create 64 in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Crc32.string payload);
+  Buffer.contents b
+
+let test_wire_pinned_agg_layout () =
+  (* Scan_agg {Sum; lo="a"; hi=Some "b"; prefix 2} under id 9: opcode 0x08,
+     fn u8 (Count=0 Sum=1 Min=2 Max=3 Avg=4), lo str16, hi option tag +
+     str16, group_prefix u8 *)
+  let payload = "\x01\x08\x00\x00\x00\x09\x01\x00\x01a\x01\x00\x01b\x02" in
+  check_string "Scan_agg frame" (frame_of payload)
+    (Wire.encode_request ~id:9
+       (Db.Scan_agg { fn = Db.Sum; lo = "a"; hi = Some "b"; group_prefix = 2 }));
+  (* hi = None is a single 0 tag byte *)
+  let payload = "\x01\x08\x00\x00\x00\x00\x00\x00\x00\x00\x00" in
+  check_string "Scan_agg open range" (frame_of payload)
+    (Wire.encode_request ~id:0
+       (Db.Scan_agg { fn = Db.Count; lo = ""; hi = None; group_prefix = 0 }));
+  (* Aggregate {rows 3; age 0.0; generation 4; one group "g" count 2 value
+     1.5} under id 1: opcode 0x88, rows u32, age f64 bits, generation u32,
+     ngroups u32, then key str16 + count i64 + value f64 bits per group *)
+  let payload =
+    "\x01\x88\x00\x00\x00\x01" ^ "\x00\x00\x00\x03"
+    ^ "\x00\x00\x00\x00\x00\x00\x00\x00" ^ "\x00\x00\x00\x04" ^ "\x00\x00\x00\x01"
+    ^ "\x00\x01g" ^ "\x00\x00\x00\x00\x00\x00\x00\x02" ^ "\x3f\xf8\x00\x00\x00\x00\x00\x00"
+  in
+  check_string "Aggregate frame" (frame_of payload)
+    (Wire.encode_response ~id:1
+       (Db.Aggregate
+          {
+            groups = [ { g_key = "g"; g_count = 2; g_value = 1.5 } ];
+            rows_scanned = 3;
+            max_age_s = 0.0;
+            generation = 4;
+          }))
+
+let test_wire_pinned_agg_rejects () =
+  let is_bad f =
+    match Wire.decode_frame f ~pos:0 with Error (Wire.Bad_payload _) -> true | _ -> false
+  in
+  (* aggregate fn 5 is out of range *)
+  check "bad fn" true (is_bad (frame_of "\x01\x08\x00\x00\x00\x00\x05\x00\x00\x00\x00"));
+  (* hi option tag 2 is neither absent nor present *)
+  check "bad option tag" true
+    (is_bad (frame_of "\x01\x08\x00\x00\x00\x00\x00\x00\x00\x02\x00"));
+  (* body cut before the group_prefix byte *)
+  check "truncated body" true (is_bad (frame_of "\x01\x08\x00\x00\x00\x00\x00\x00\x00\x00"));
+  (* an Aggregate declaring more groups than a frame can carry is rejected
+     before any allocation *)
+  check "oversized group count" true
+    (is_bad
+       (frame_of
+          ("\x01\x88\x00\x00\x00\x00" ^ "\x00\x00\x00\x00"
+         ^ "\x00\x00\x00\x00\x00\x00\x00\x00" ^ "\x00\x00\x00\x00" ^ "\x00\x10\x00\x01")));
+  (* trailing bytes after a complete Scan_agg body *)
+  check "trailing bytes" true
+    (is_bad (frame_of "\x01\x08\x00\x00\x00\x00\x00\x00\x00\x00\x00\xff"))
+
 let test_wire_roundtrip () =
   for seed = 1 to 400 do
     let rng = Xorshift.create seed in
@@ -385,6 +445,33 @@ let test_differential_tcp_vs_inprocess () =
       (List.combine in_proc over_tcp)
   done
 
+let test_tcp_scan_agg () =
+  with_server (fun _db server ->
+      with_client server (fun c ->
+          List.iteri
+            (fun i k ->
+              check_resp "agg load" (Db.Done true) (Client.call c (Db.Put (k, Db.Int (i + 1)))))
+            [ "u1"; "u2"; "u3"; "u4" ];
+          (match
+             Client.call c (Db.Scan_agg { fn = Db.Sum; lo = "u"; hi = None; group_prefix = 0 })
+           with
+          | Db.Aggregate a -> (
+            check_int "tcp agg rows" 4 a.rows_scanned;
+            check "tcp agg age" true (a.max_age_s >= 0.0);
+            match a.groups with
+            | [ g ] ->
+              check_int "tcp agg count" 4 g.g_count;
+              check "tcp agg sum" true (g.g_value = 10.0)
+            | gs -> Alcotest.failf "tcp agg: %d groups" (List.length gs))
+          | r -> Alcotest.failf "tcp agg: %s" (Db.response_to_string r));
+          (* a group_prefix that fits the wire's u8 but exceeds max_key_len
+             is rejected by server-side validation, not the codec *)
+          match
+            Client.call c (Db.Scan_agg { fn = Db.Count; lo = ""; hi = None; group_prefix = 200 })
+          with
+          | Db.Failed (Db.Bad_request _) -> ()
+          | r -> Alcotest.failf "hostile prefix: %s" (Db.response_to_string r)))
+
 let () =
   Alcotest.run "server"
     [
@@ -393,6 +480,8 @@ let () =
           Alcotest.test_case "pinned layout" `Quick test_wire_pinned_layout;
           Alcotest.test_case "pinned rejects" `Quick test_wire_pinned_rejects;
           Alcotest.test_case "pinned repl layout" `Quick test_wire_pinned_repl_layout;
+          Alcotest.test_case "pinned agg layout" `Quick test_wire_pinned_agg_layout;
+          Alcotest.test_case "pinned agg rejects" `Quick test_wire_pinned_agg_rejects;
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "prefixes need more" `Quick test_wire_prefixes;
           Alcotest.test_case "corruption rejected" `Quick test_wire_corruption;
@@ -413,6 +502,7 @@ let () =
           Alcotest.test_case "pipelining" `Quick test_server_pipelining;
           Alcotest.test_case "two clients" `Quick test_server_two_clients;
           Alcotest.test_case "rejects garbage" `Quick test_server_rejects_garbage;
+          Alcotest.test_case "scan_agg end-to-end" `Quick test_tcp_scan_agg;
           Alcotest.test_case "client disconnect" `Quick test_client_disconnect;
           Alcotest.test_case "client close fails fast" `Quick test_client_close_fails_fast;
           Alcotest.test_case "differential vs in-process" `Quick
