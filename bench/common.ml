@@ -64,9 +64,9 @@ let zipf_probes keys nops seed =
   let z = Zipf.create ~items:(Array.length keys) rng in
   Array.init nops (fun _ -> keys.(Zipf.next z))
 
-let hybrid_with ?(structure = "btree") config : Index_sig.index = Instances.hybrid_index ~config structure
+let hybrid_with ?(structure = "btree") config : Index_intf.index = Instances.hybrid_index ~config structure
 
-(* The hybrid functor instance itself (not the erased Index_sig.index),
+(* The hybrid functor instance itself (not the erased Index_intf.index),
    for experiments that read [Hybrid.stats] — merge counts, measured
    Bloom FPR. *)
 let hybrid_module structure =

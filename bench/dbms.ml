@@ -49,8 +49,8 @@ let evictable_for = function
 
 let table1 () =
   section "Table 1: % of memory for tuples / primary indexes / secondary indexes (B+tree defaults)";
-  Printf.printf "%-10s | %8s %12s %14s | %10s\n" "benchmark" "tuples" "primary idx" "secondary idx"
-    "DB MB";
+  Printf.printf "%-10s | %8s %12s %14s %10s | %10s\n" "benchmark" "tuples" "primary idx"
+    "secondary idx" "hash idx" "DB MB";
   hr ();
   List.iter
     (fun benchmark ->
@@ -68,12 +68,14 @@ let table1 () =
             ("tuple_bytes", Results.int m.Engine.tuple_bytes);
             ("pk_index_bytes", Results.int m.Engine.pk_index_bytes);
             ("secondary_index_bytes", Results.int m.Engine.secondary_index_bytes);
+            ("hash_index_bytes", Results.int m.Engine.hash_index_bytes);
             ("total_bytes", Results.int total);
           ];
-      Printf.printf "%-10s | %7.1f%% %11.1f%% %13.1f%% | %10.1f\n" benchmark
+      Printf.printf "%-10s | %7.1f%% %11.1f%% %13.1f%% %9.1f%% | %10.1f\n" benchmark
         (pct m.Engine.tuple_bytes total)
         (pct m.Engine.pk_index_bytes total)
         (pct m.Engine.secondary_index_bytes total)
+        (pct m.Engine.hash_index_bytes total)
         (mb total))
     benchmarks
 
@@ -137,6 +139,7 @@ let fig8 () =
                 ("tps", Results.num r.Runner.tps);
                 ("tuple_bytes", Results.int m.Engine.tuple_bytes);
                 ("index_bytes", Results.int index_bytes);
+                ("hash_index_bytes", Results.int m.Engine.hash_index_bytes);
                 ("total_bytes", Results.int total);
                 ("committed", Results.int r.Runner.committed);
                 ("user_aborts", Results.int r.Runner.user_aborts);

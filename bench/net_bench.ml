@@ -24,13 +24,37 @@ let key_space = 50_000
 
 let key rng = Key_codec.encode_u64 (Int64.of_int (Xorshift.int rng key_space))
 
-type workload = { wname : string; gen : Xorshift.t -> Db.request }
+(* [prep] loads a cell's working set before the clients start; [gen] draws
+   one request. *)
+type workload = { wname : string; prep : port:int -> unit; gen : Xorshift.t -> Db.request }
 
 (* single-partition point ops only: every request takes the router's fast
    path through the per-connection window *)
+(* pipelined bulk load shared by the prep phases *)
+let pipelined_load ~port reqs =
+  let c = Client.connect ~port () in
+  let tickets = ref [] in
+  List.iter
+    (fun req ->
+      tickets := Client.send c req :: !tickets;
+      if List.length !tickets >= 32 then begin
+        List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+        tickets := []
+      end)
+    reqs;
+  List.iter (fun tk -> ignore (Client.await tk)) !tickets;
+  Client.close c
+
+(* sparse random preload: 2,000 of the 50,000 possible keys, so point ops
+   mix hits and misses *)
+let sparse_prep ~port =
+  let rng = Xorshift.create 7 in
+  pipelined_load ~port (List.init 2_000 (fun _ -> Db.Put (key rng, Db.Int 0)))
+
 let kv_point =
   {
     wname = "kv-point";
+    prep = sparse_prep;
     gen =
       (fun rng ->
         if Xorshift.int rng 10 < 6 then Db.Put (key rng, Db.Int (Xorshift.int rng 1_000))
@@ -42,6 +66,7 @@ let kv_point =
 let kv_mixed =
   {
     wname = "kv-mixed";
+    prep = sparse_prep;
     gen =
       (fun rng ->
         let r = Xorshift.int rng 10 in
@@ -52,21 +77,25 @@ let kv_mixed =
         else Db.Scan_from (key rng, 16));
   }
 
+(* YCSB workload C (100% point reads, paper §6): a dense preloaded key set
+   so every Get hits a live row — the cell that isolates the hash
+   sidecar's O(1) fast path against the ordered-only configuration. *)
+let ycsb_keys = 4_096
+
+let ycsb_key i = Key_codec.encode_u64 (Int64.of_int i)
+
+let ycsb_c =
+  {
+    wname = "ycsb-c";
+    prep = (fun ~port -> pipelined_load ~port (List.init ycsb_keys (fun i -> Db.Put (ycsb_key i, Db.Int i))));
+    gen = (fun rng -> Db.Get (ycsb_key (Xorshift.int rng ycsb_keys)));
+  }
+
 let workloads = [ kv_point; kv_mixed ]
 
-let preload ~port =
-  let c = Client.connect ~port () in
-  let rng = Xorshift.create 7 in
-  let tickets = ref [] in
-  for _ = 1 to 2_000 do
-    tickets := Client.send c (Db.Put (key rng, Db.Int 0)) :: !tickets;
-    if List.length !tickets >= 32 then begin
-      List.iter (fun tk -> ignore (Client.await tk)) !tickets;
-      tickets := []
-    end
-  done;
-  List.iter (fun tk -> ignore (Client.await tk)) !tickets;
-  Client.close c
+let hash_counter name =
+  Option.value ~default:0
+    (Metrics.find_counter Hi_index.Hash_index.metrics_scope name)
 
 let client_thread ~port ~window ~ops ~seed ~gen ~failures ~hist =
   Thread.create
@@ -90,12 +119,15 @@ let client_thread ~port ~window ~ops ~seed ~gen ~failures ~hist =
       Client.close c)
     ()
 
-let run_cell ~workload ~partitions ~clients ~window =
-  let db = Db.create ~partitions () in
+let run_cell ~workload ~partitions ~clients ~window ~hash =
+  let config = { Hi_hstore.Engine.default_config with hash_sidecar = hash } in
+  let db = Db.create ~config ~partitions () in
   let server = Server.start ~db () in
   let port = Server.port server in
-  preload ~port;
+  workload.prep ~port;
   let errs0 = Server.protocol_errors server in
+  (* process-wide counters; cells run sequentially, so deltas are per-cell *)
+  let hits0 = hash_counter "hits" and misses0 = hash_counter "misses" in
   let ops = ops_per_client () in
   let failures = List.init clients (fun _ -> ref 0) in
   let hists = List.init clients (fun _ -> Histogram.create ()) in
@@ -110,6 +142,8 @@ let run_cell ~workload ~partitions ~clients ~window =
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
   let protocol_errors = Server.protocol_errors server - errs0 in
+  let hash_hits = hash_counter "hits" - hits0
+  and hash_misses = hash_counter "misses" - misses0 in
   Server.stop server;
   Db.close db;
   let total = ops * clients in
@@ -117,8 +151,9 @@ let run_cell ~workload ~partitions ~clients ~window =
   let failed = List.fold_left (fun acc r -> acc + !r) 0 failures in
   let all = Histogram.create () in
   List.iter (fun h -> Histogram.merge_into ~into:all h) hists;
-  Printf.printf "%-10s %8d %8d %8d %12.0f %10.3f %10.3f %6d %6d\n%!" workload.wname clients
-    window total tps
+  Printf.printf "%-10s %4s %8d %8d %8d %12.0f %10.3f %10.3f %6d %6d\n%!" workload.wname
+    (if hash then "on" else "off")
+    clients window total tps
     (1000.0 *. Histogram.mean all)
     (1000.0 *. Histogram.percentile all 99.0)
     failed protocol_errors;
@@ -130,6 +165,7 @@ let run_cell ~workload ~partitions ~clients ~window =
           ("partitions", int partitions);
           ("clients", int clients);
           ("window", int window);
+          ("hash", str (if hash then "on" else "off"));
           ("ops", int total);
         ]
       ~metrics:
@@ -140,21 +176,32 @@ let run_cell ~workload ~partitions ~clients ~window =
           ("p99_latency_ms", num (1000.0 *. Histogram.percentile all 99.0));
           ("failed", int failed);
           ("protocol_errors", int protocol_errors);
+          ("hash_hits", int hash_hits);
+          ("hash_misses", int hash_misses);
         ])
 
 (* The netbench experiment: loopback server, >=2 clients, >=2 partitions,
-   synchronous vs pipelined windows (the CI server-smoke job asserts
-   nonzero throughput, zero protocol errors, and summed pipelined >=
-   summed synchronous throughput). *)
+   synchronous vs pipelined windows on the kv workloads, plus the YCSB-C
+   point-read cell with the hash sidecar on and off (the CI server-smoke
+   job asserts nonzero throughput, zero protocol errors, summed pipelined
+   >= summed synchronous throughput on the kv cells, nonzero sidecar hits
+   on the hash-on YCSB-C cell, and hash-on tps >= hash-off tps). *)
 let netbench () =
   let partitions = max 2 !Common.partitions in
   let clients = 2 in
   Common.section
     (Printf.sprintf "netbench: wire-protocol loadgen (%d partitions, %d clients)" partitions
        clients);
-  Printf.printf "%-10s %8s %8s %8s %12s %10s %10s %6s %6s\n" "workload" "clients" "window"
-    "ops" "tps" "mean ms" "p99 ms" "fail" "perr";
+  Printf.printf "%-10s %4s %8s %8s %8s %12s %10s %10s %6s %6s\n" "workload" "hash" "clients"
+    "window" "ops" "tps" "mean ms" "p99 ms" "fail" "perr";
   List.iter
     (fun workload ->
-      List.iter (fun window -> run_cell ~workload ~partitions ~clients ~window) [ 1; 8 ])
-    workloads
+      List.iter
+        (fun window -> run_cell ~workload ~partitions ~clients ~window ~hash:true)
+        [ 1; 8 ])
+    workloads;
+  (* the hash fast-path comparison: identical dense point-read cells,
+     differing only in Engine.config.hash_sidecar *)
+  List.iter
+    (fun hash -> run_cell ~workload:ycsb_c ~partitions ~clients ~window:8 ~hash)
+    [ true; false ]

@@ -65,7 +65,8 @@ let run_sharded benchmark config txns partitions =
   stop ();
   if not ok then exit 1
 
-let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json partitions =
+let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_json partitions
+    no_hash_sidecar =
   let index_kind = parse_index_kind index_kind in
   let evictable =
     match benchmark with
@@ -81,6 +82,7 @@ let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_
       merge_ratio;
       eviction_threshold_bytes = Option.map (fun mbs -> mbs * 1024 * 1024) anticache_mb;
       evictable_tables = (if anticache_mb = None then [] else evictable);
+      hash_sidecar = not no_hash_sidecar;
     }
   in
   let dump_metrics () =
@@ -127,6 +129,8 @@ let run benchmark index_kind txns anticache_mb merge_ratio sample_every metrics_
   let m = r.Runner.memory in
   Printf.printf "memory: %.1f MB tuples, %.1f MB primary idx, %.1f MB secondary idx"
     (mb m.Engine.tuple_bytes) (mb m.Engine.pk_index_bytes) (mb m.Engine.secondary_index_bytes);
+  if m.Engine.hash_index_bytes > 0 then
+    Printf.printf ", %.1f MB hash sidecars" (mb m.Engine.hash_index_bytes);
   if m.Engine.anticache_disk_bytes > 0 then
     Printf.printf ", %.1f MB anti-cached on disk" (mb m.Engine.anticache_disk_bytes);
   print_newline ();
@@ -181,10 +185,18 @@ let partitions =
           "Run the benchmark over $(docv) domain-backed partitions (the sharded runtime, \
            DESIGN.md §11); 1 keeps the single-partition engine.")
 
+let no_hash_sidecar =
+  Arg.(
+    value & flag
+    & info [ "no-hash-sidecar" ]
+        ~doc:
+          "Disable the per-table hash sidecar on primary keys (DESIGN.md §17); point reads fall \
+           back to the ordered primary index.")
+
 let bench_term =
   Term.(
     const run $ benchmark $ index_kind $ txns $ anticache_mb $ merge_ratio $ sample_every
-    $ metrics_json $ partitions)
+    $ metrics_json $ partitions $ no_hash_sidecar)
 
 let bench_cmd =
   let doc = "run an OLTP benchmark on the hybrid-index main-memory engine" in
@@ -208,8 +220,15 @@ let parse_replica_of s =
   | None -> invalid_arg (Printf.sprintf "bad --replica-of %S (want HOST:PORT)" s)
 
 let serve host port server_partitions index_kind merge_ratio wal_dir checkpoint_mb replica_of
-    sync_replicas metrics_json =
-  let config = { Engine.default_config with index_kind = parse_index_kind index_kind; merge_ratio } in
+    sync_replicas metrics_json no_hash_sidecar =
+  let config =
+    {
+      Engine.default_config with
+      index_kind = parse_index_kind index_kind;
+      merge_ratio;
+      hash_sidecar = not no_hash_sidecar;
+    }
+  in
   let checkpoint_bytes = Option.map (fun mb -> mb * 1024 * 1024) checkpoint_mb in
   let primary = Option.map parse_replica_of replica_of in
   if primary <> None && wal_dir <> None then
@@ -319,7 +338,7 @@ let serve_cmd =
       const serve $ host_arg
       $ port_arg 7501 "Port to listen on (0 picks a free port)."
       $ serve_partitions $ index_kind $ merge_ratio $ wal_dir_arg $ checkpoint_mb_arg
-      $ replica_of_arg $ sync_replicas_arg $ metrics_json)
+      $ replica_of_arg $ sync_replicas_arg $ metrics_json $ no_hash_sidecar)
 
 (* --- client: one-shot operations against a running server --- *)
 

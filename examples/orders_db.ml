@@ -56,24 +56,27 @@ let () =
   done;
   Printf.printf "placed %d orders, rejected %d (insufficient balance)\n" !placed !rejected;
 
-  (* look up one customer's orders through the secondary index *)
-  let some_orders = Table.scan_index_prefix_eq orders "orders_by_customer" ~prefix:[ Int 42 ] ~limit:10 in
+  (* look up one customer's orders through a typed index handle *)
+  let by_customer = Table.index_exn orders "orders_by_customer" in
+  let some_orders = Table.scan_prefix_eq by_customer ~prefix:[ Int 42 ] ~limit:10 in
   Printf.printf "customer 42 has %d orders\n" (List.length some_orders);
 
   (* conservation: money only moved from balances into orders *)
   let total_balance = ref 0 in
   List.iter
     (fun rowid -> total_balance := !total_balance + as_int (Table.read customers rowid).(2))
-    (Table.scan_index customers "customers_pk" ~prefix:[] ~limit:max_int);
+    (Table.scan (Table.index_exn customers "customers_pk") ~prefix:[] ~limit:max_int);
   let total_orders = ref 0 in
   List.iter
     (fun rowid -> total_orders := !total_orders + as_int (Table.read orders rowid).(2))
-    (Table.scan_index orders "orders_pk" ~prefix:[] ~limit:max_int);
+    (Table.scan (Table.index_exn orders "orders_pk") ~prefix:[] ~limit:max_int);
   Printf.printf "conservation check: balances %d + orders %d = %d (expected %d)\n" !total_balance
     !total_orders (!total_balance + !total_orders) (10_000 * 1_000);
 
   let m = Engine.memory_breakdown engine in
-  Printf.printf "memory: %.2f MB tuples, %.2f MB primary indexes, %.2f MB secondary indexes\n"
+  Printf.printf
+    "memory: %.2f MB tuples, %.2f MB primary indexes, %.2f MB secondary indexes, %.2f MB hash sidecars\n"
     (float_of_int m.Engine.tuple_bytes /. 1048576.0)
     (float_of_int m.Engine.pk_index_bytes /. 1048576.0)
     (float_of_int m.Engine.secondary_index_bytes /. 1048576.0)
+    (float_of_int m.Engine.hash_index_bytes /. 1048576.0)

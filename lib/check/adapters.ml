@@ -1,4 +1,4 @@
-(* Adapters presenting every remaining structure through Index_sig.INDEX so
+(* Adapters presenting every remaining structure through Index_intf.INDEX so
    the Runner can drive it.
 
    Of_static is deliberately brutal: every mutation goes through S.merge
@@ -44,7 +44,7 @@ module Of_static
     (S : Index_intf.STATIC)
     (M : sig
       val mode : Index_intf.merge_mode
-    end) : Hybrid_index.Index_sig.INDEX = struct
+    end) : Index_intf.INDEX = struct
   type t = { mutable s : S.t; mutable gen : int; mutable pinned : int }
 
   let mode_tag = match M.mode with Index_intf.Replace -> "replace" | Index_intf.Concat -> "concat"
@@ -124,7 +124,7 @@ end
 
 (* The equality-only hash index (Appendix A): primary-style semantics, no
    ordered operations. *)
-module Of_hash : Hybrid_index.Index_sig.INDEX = struct
+module Of_hash : Index_intf.INDEX = struct
   type t = { h : Hash_index.t; mutable gen : int; mutable pinned : int }
 
   let name = "hash"
@@ -222,7 +222,7 @@ module Of_incremental
     (H : INCREMENTAL)
     (C : sig
       val config : Hybrid_index.Incremental.config
-    end) : Hybrid_index.Index_sig.INDEX = struct
+    end) : Index_intf.INDEX = struct
   type t = H.t
 
   let name = H.name

@@ -49,6 +49,7 @@ let engine_config ~index_kind ~fault ~seed ~threshold =
         fault_seed = seed;
       };
     inline_merge = true;
+    hash_sidecar = true;
   }
 
 let run ?(n = 800) ?(threshold = 30_000) ?(index_kind = Engine.Hybrid_config)

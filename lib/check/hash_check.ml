@@ -1,0 +1,227 @@
+(* Hash-sidecar differential mode (DESIGN.md §17): drive one table through
+   an adversarial operation mix — insert batches, deliberate duplicate-key
+   inserts, updates, deletes, user aborts — under hybrid-index merges,
+   anti-caching eviction, optional fault schedules, and periodic crash
+   recovery, asserting throughout that the O(1) hash fast path and the
+   ordered primary index answer every point lookup identically.
+
+   The two access paths share no code below Table.find_by_pk*, so
+   agreement is evidence the sidecar is maintained in the same mutation
+   step as the primary index: same undo-log path, same recovery rebuild,
+   same eviction semantics.  Sweeps run mid-stream (forcing pending
+   merges via verify), after every Engine.recover, and over the full id
+   population at the end. *)
+
+open Hi_hstore
+open Hi_util
+
+type outcome = {
+  committed : int;
+  duplicate_rejections : int; (* Duplicate_key raised, sidecar untouched *)
+  user_aborts : int;
+  unavailable_errors : int;
+  lost_errors : int;
+  recoveries : int;
+  point_checks : int; (* individual fast-path/ordered comparisons *)
+  violations : string list;
+}
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", Value.TInt); ("owner", Value.TStr 16); ("balance", Value.TInt) ]
+    ~pk:[ "id" ]
+    ~secondary:[ ("accounts_owner_idx", [ "owner"; "id" ], false) ]
+    ()
+
+let engine_config ~fault ~seed ~threshold =
+  {
+    Engine.index_kind = Engine.Hybrid_config;
+    merge_ratio = 2;
+    eviction_threshold_bytes = Some threshold;
+    evictable_tables = [ "accounts" ];
+    eviction_block_rows = 32;
+    anticache =
+      {
+        Anticache.fetch_penalty_s = 0.0;
+        backoff_base_s = 0.0;
+        max_retries = 4;
+        fault = (if fault = Fault.no_faults then None else Some fault);
+        fault_seed = seed;
+      };
+    inline_merge = true;
+    hash_sidecar = true;
+  }
+
+let run ?(n = 1_200) ?(threshold = 30_000) ~seed ~fault () =
+  let rng = Xorshift.create seed in
+  let engine =
+    Engine.create ~config:(engine_config ~fault ~seed ~threshold) ~sleep:(fun _ -> ()) ()
+  in
+  let tbl = Engine.create_table engine accounts_schema in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let committed = ref 0
+  and duplicates = ref 0
+  and user_aborts = ref 0
+  and unavailable = ref 0
+  and lost = ref 0
+  and recoveries = ref 0
+  and point_checks = ref 0 in
+  (* every id ever inserted — deletions and lost blocks leave it in place,
+     because agreement on "absent" is as meaningful as agreement on a hit *)
+  let ids = ref [] and n_ids = ref 0 in
+  let remember id =
+    ids := id :: !ids;
+    incr n_ids
+  in
+  let next_id = ref 0 in
+  let pick_id () =
+    if !n_ids = 0 then 0 else List.nth !ids (Xorshift.int rng !n_ids)
+  in
+  (* the differential itself: both access paths, one verdict *)
+  let check_point where id =
+    incr point_checks;
+    let fast = Table.find_by_pk tbl [ Value.Int id ] in
+    let ordered = Table.find_by_pk_ordered tbl [ Value.Int id ] in
+    if fast <> ordered then
+      violate "%s: id %d — hash fast path %s, ordered index %s" where id
+        (match fast with Some r -> string_of_int r | None -> "miss")
+        (match ordered with Some r -> string_of_int r | None -> "miss")
+  in
+  let sweep where =
+    List.iter (check_point where) !ids;
+    match Engine.verify_integrity engine with
+    | [] -> ()
+    | vs -> violate "%s integrity: %s" where (String.concat "; " vs)
+  in
+  let rec attempt budget txn =
+    match Engine.run engine txn with
+    | Error (Engine.Txn_block_unavailable _) when budget > 0 -> attempt (budget - 1) txn
+    | r -> r
+  in
+  let record_err = function
+    | Engine.Txn_block_unavailable _ -> incr unavailable
+    | Engine.Txn_block_lost _ -> incr lost
+    | e -> violate "transaction failed: %s" (Engine.txn_error_to_string e)
+  in
+  let exec () =
+    let r = Xorshift.float01 rng in
+    if r < 0.30 || !n_ids = 0 then begin
+      (* fresh insert batch *)
+      let batch = 1 + Xorshift.int rng 4 in
+      let fresh = List.init batch (fun j -> (!next_id + j, Xorshift.int rng 1_000)) in
+      next_id := !next_id + batch;
+      match
+        attempt 8 (fun e ->
+            List.iter
+              (fun (id, bal) ->
+                ignore
+                  (Engine.insert e tbl
+                     [| Value.Int id; Value.Str (Printf.sprintf "owner%d" (id mod 7)); Value.Int bal |]))
+              fresh)
+      with
+      | Ok () ->
+        incr committed;
+        List.iter (fun (id, _) -> remember id) fresh
+      | Error e -> record_err e
+    end
+    else if r < 0.42 then begin
+      (* deliberate duplicate-key insert: must reject without half-applying
+         the sidecar — the very next point check would expose a stray or
+         clobbered hash entry *)
+      let id = pick_id () in
+      match
+        attempt 8 (fun e ->
+            try
+              ignore
+                (Engine.insert e tbl
+                   [| Value.Int id; Value.Str "dup"; Value.Int (-1) |]);
+              `Inserted
+            with Table.Duplicate_key _ -> `Rejected)
+      with
+      | Ok `Rejected ->
+        incr committed;
+        incr duplicates;
+        check_point "after duplicate rejection" id
+      | Ok `Inserted ->
+        (* legitimate when the id was deleted or lost earlier *)
+        incr committed;
+        check_point "after reinsert" id
+      | Error e -> record_err e
+    end
+    else if r < 0.57 then begin
+      (* update through the fast path *)
+      let id = pick_id () and bal = Xorshift.int rng 1_000 in
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid -> Engine.update e tbl rowid [ (2, Value.Int bal) ]
+            | None -> ())
+      with
+      | Ok () -> incr committed
+      | Error e -> record_err e
+    end
+    else if r < 0.67 then begin
+      (* delete, then check both paths agree the key is gone *)
+      let id = pick_id () in
+      match
+        attempt 8 (fun e ->
+            match Table.find_by_pk tbl [ Value.Int id ] with
+            | Some rowid ->
+              Engine.delete e tbl rowid;
+              true
+            | None -> false)
+      with
+      | Ok deleted ->
+        incr committed;
+        if deleted then check_point "after delete" id
+      | Error e -> record_err e
+    end
+    else if r < 0.76 then begin
+      (* insert then user-abort: the undo log removes the row through
+         Table.delete, which must also unwind the sidecar entry *)
+      let id = !next_id in
+      next_id := !next_id + 1;
+      (match
+         Engine.run engine (fun e ->
+             ignore
+               (Engine.insert e tbl
+                  [| Value.Int id; Value.Str "ghost"; Value.Int 0 |]);
+             raise (Engine.Abort "hash_check"))
+       with
+      | Error (Engine.Txn_aborted _) -> incr user_aborts
+      | Ok () -> violate "aborted insert of id %d committed" id
+      | Error e -> record_err e);
+      check_point "after rollback" id
+    end
+    else begin
+      (* plain point-read differential on a random known id *)
+      check_point "point read" (pick_id ())
+    end
+  in
+  for step = 1 to n do
+    exec ();
+    (* mid-run sweep: verify forces pending hybrid merges first, so this
+       also exercises agreement across dynamic-to-static migration *)
+    if step mod 137 = 0 then sweep (Printf.sprintf "mid-run (step %d)" step);
+    (* periodic crash recovery: the sidecar is rebuilt clear-free from the
+       surviving rows and must come back in full agreement *)
+    if step mod 401 = 0 then begin
+      ignore (Engine.recover engine);
+      incr recoveries;
+      sweep (Printf.sprintf "post-recovery (step %d)" step)
+    end
+  done;
+  ignore (Engine.recover engine);
+  incr recoveries;
+  sweep "final";
+  {
+    committed = !committed;
+    duplicate_rejections = !duplicates;
+    user_aborts = !user_aborts;
+    unavailable_errors = !unavailable;
+    lost_errors = !lost;
+    recoveries = !recoveries;
+    point_checks = !point_checks;
+    violations = List.rev !violations;
+  }

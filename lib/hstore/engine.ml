@@ -45,6 +45,9 @@ type config = {
       (* when false, hybrid indexes never merge inside a transaction; the
          owner (a partition domain) polls [merge_pending] and calls
          [run_pending_merges] between transactions (DESIGN.md §11) *)
+  hash_sidecar : bool;
+      (* maintain a primary-key hash sidecar per table so point reads are
+         O(1) probes (DESIGN.md §17); false = pure-hybrid configuration *)
 }
 
 let default_config =
@@ -56,6 +59,7 @@ let default_config =
     eviction_block_rows = 256;
     anticache = Anticache.default_config;
     inline_merge = true;
+    hash_sidecar = true;
   }
 
 type stats = {
@@ -71,6 +75,9 @@ type t = {
   config : config;
   tables : (string, Table.t) Hashtbl.t;
   table_order : string Hi_util.Vec.t; (* creation order, for stable reports *)
+  handles : (string * string, Table.idx_handle) Hashtbl.t;
+      (* (table, index) -> resolved handle; plan steps resolve names once
+         and transactions then use O(1) typed access *)
   clock : int ref;
   anticache : Anticache.t;
   mutable txns_since_eviction_check : int;
@@ -90,6 +97,7 @@ let create ?(config = default_config) ?sleep () =
     config;
     tables = Hashtbl.create 16;
     table_order = Hi_util.Vec.create "";
+    handles = Hashtbl.create 16;
     clock = ref 0;
     anticache = Anticache.create ~config:config.anticache ?sleep ();
     txns_since_eviction_check = 0;
@@ -129,7 +137,10 @@ let make_index config ~unique : Table.packed_index =
 let create_table t (schema : Schema.t) =
   if Hashtbl.mem t.tables schema.Schema.table_name then
     invalid_arg ("Engine.create_table: duplicate " ^ schema.Schema.table_name);
-  let table = Table.create ~clock:t.clock ~make_index:(make_index t.config) schema in
+  let table =
+    Table.create ~clock:t.clock ~hash_sidecar:t.config.hash_sidecar
+      ~make_index:(make_index t.config) schema
+  in
   Hashtbl.replace t.tables schema.Schema.table_name table;
   Hi_util.Vec.push t.table_order schema.Schema.table_name;
   table
@@ -138,6 +149,19 @@ let table t name =
   match Hashtbl.find_opt t.tables name with
   | Some tbl -> tbl
   | None -> invalid_arg ("Engine.table: unknown table " ^ name)
+
+(* Typed index-handle resolution with a per-engine cache: handles name
+   indexes by schema position, so they stay valid across [recover] and
+   [clear_tables] rebuilds (table instances are never replaced). *)
+let index_of t ~table:tname iname =
+  match Hashtbl.find_opt t.handles (tname, iname) with
+  | Some h -> h
+  | None ->
+    let h = Table.index_exn (table t tname) iname in
+    Hashtbl.replace t.handles (tname, iname) h;
+    h
+
+let pk_of t tname = Table.pk (table t tname)
 
 let tables_in_order t =
   List.map (fun n -> table t n) (Array.to_list (Hi_util.Vec.to_array t.table_order))
@@ -228,23 +252,27 @@ type memory_breakdown = {
   tuple_bytes : int;
   pk_index_bytes : int;
   secondary_index_bytes : int;
+  hash_index_bytes : int; (* pk hash sidecars; 0 with --no-hash-sidecar *)
   anticache_disk_bytes : int;
 }
 
-let total_in_memory m = m.tuple_bytes + m.pk_index_bytes + m.secondary_index_bytes
+let total_in_memory m =
+  m.tuple_bytes + m.pk_index_bytes + m.secondary_index_bytes + m.hash_index_bytes
 
 let memory_breakdown t =
-  let tuple = ref 0 and pk = ref 0 and sec = ref 0 in
+  let tuple = ref 0 and pk = ref 0 and sec = ref 0 and hash = ref 0 in
   Hashtbl.iter
     (fun _ tbl ->
       tuple := !tuple + Table.tuple_memory_bytes tbl;
       pk := !pk + Table.pk_index_memory_bytes tbl;
-      sec := !sec + Table.secondary_index_memory_bytes tbl)
+      sec := !sec + Table.secondary_index_memory_bytes tbl;
+      hash := !hash + Table.hash_sidecar_memory_bytes tbl)
     t.tables;
   {
     tuple_bytes = !tuple;
     pk_index_bytes = !pk;
     secondary_index_bytes = !sec;
+    hash_index_bytes = !hash;
     anticache_disk_bytes = Anticache.disk_bytes t.anticache;
   }
 

@@ -34,6 +34,10 @@ type config = {
       (** when [false], hybrid indexes never merge inside a transaction;
           the owner polls {!merge_pending} and calls
           {!run_pending_merges} between transactions (DESIGN.md §11) *)
+  hash_sidecar : bool;
+      (** maintain a primary-key hash sidecar per table so point reads
+          are O(1) probes (DESIGN.md §17); [false] is the
+          [--no-hash-sidecar] pure-hybrid configuration *)
 }
 
 val default_config : config
@@ -56,6 +60,17 @@ val create_table : t -> Schema.t -> Table.t
 
 val table : t -> string -> Table.t
 (** @raise Invalid_argument on unknown names. *)
+
+val index_of : t -> table:string -> string -> Table.idx_handle
+(** Resolve (table, index) names to a typed handle, cached per engine:
+    plan steps resolve once, transactions then use O(1) typed access.
+    Handles stay valid across {!recover} and {!clear_tables}.
+    @raise Invalid_argument on unknown tables.
+    @raise Table.Unknown_index on unknown index names. *)
+
+val pk_of : t -> string -> Table.pk_handle
+(** The primary-key access handle of the named table.
+    @raise Invalid_argument on unknown tables. *)
 
 val tables_in_order : t -> Table.t list
 
@@ -205,6 +220,7 @@ type memory_breakdown = {
   tuple_bytes : int;
   pk_index_bytes : int;
   secondary_index_bytes : int;
+  hash_index_bytes : int;  (** pk hash sidecars; 0 with [--no-hash-sidecar] *)
   anticache_disk_bytes : int;
 }
 

@@ -5,12 +5,18 @@
 
    Rows are referenced by dense integer rowids — these are the "tuple
    pointers" stored as index values.  A row slot is live, free, or an
-   anti-caching tombstone holding the id of the on-disk block. *)
+   anti-caching tombstone holding the id of the on-disk block.
+
+   Point reads take a Griffin-style fast path (DESIGN.md §17): a hash
+   sidecar on the primary key is maintained in the same mutation step as
+   the primary INDEX, so {!find_by_pk} is an O(1) probe and the ordered
+   hybrid stages serve scans and snapshots only. *)
 
 open Hi_util
 
 exception Evicted_access of { table : string; block : int }
 exception Duplicate_key of string
+exception Unknown_index of { table : string; index : string }
 
 type row = { mutable vals : Value.t array; mutable last_access : int }
 
@@ -27,6 +33,7 @@ type t = {
   mutable pk : index; (* mutable so {!recover} can rebuild from scratch *)
   mutable secondary : index list;
   make_index : unique:bool -> packed_index; (* kept for index reconstruction *)
+  hash : Hi_index.Hash_index.t option; (* pk sidecar; [None] = --no-hash-sidecar *)
   clock : int ref; (* engine-wide access clock for LRU eviction *)
   mutable live_rows : int;
   mutable evicted_rows : int;
@@ -35,7 +42,7 @@ type t = {
 let build_index make_index (def : Schema.index_def) =
   { def; packed = make_index ~unique:def.idx_unique }
 
-let create ?(clock = ref 0) ~make_index (schema : Schema.t) =
+let create ?(clock = ref 0) ?(hash_sidecar = true) ~make_index (schema : Schema.t) =
   {
     schema;
     slots = Vec.create Free;
@@ -43,6 +50,7 @@ let create ?(clock = ref 0) ~make_index (schema : Schema.t) =
     pk = build_index make_index schema.primary_key;
     secondary = List.map (build_index make_index) schema.secondary;
     make_index;
+    hash = (if hash_sidecar then Some (Hi_index.Hash_index.create ()) else None);
     clock;
     live_rows = 0;
     evicted_rows = 0;
@@ -63,12 +71,39 @@ let idx_memory { packed = Packed ((module I), i); _ } = I.memory_bytes i
 let idx_flush { packed = Packed ((module I), i); _ } = I.flush i
 let idx_merge_pending { packed = Packed ((module I), i); _ } = I.merge_pending i
 
-let index_named t iname =
-  if t.pk.def.Schema.idx_name = iname then t.pk
+(* --- typed index handles --- *)
+
+(* A handle names an index by position, not by the [index] record itself:
+   {!recover} and {!clear} rebuild the records from the schema in schema
+   order, so positions stay valid across rebuilds while a captured record
+   would go stale.  Position -1 is the primary key. *)
+
+type pk_handle = t
+
+type idx_handle = { ih_tbl : t; ih_pos : int }
+
+let pk t = t
+
+let index t iname =
+  if t.pk.def.Schema.idx_name = iname then Some { ih_tbl = t; ih_pos = -1 }
   else
-    match List.find_opt (fun ix -> ix.def.Schema.idx_name = iname) t.secondary with
-    | Some ix -> ix
-    | None -> invalid_arg (Printf.sprintf "Table.%s: no index %s" (name t) iname)
+    let rec look pos = function
+      | [] -> None
+      | ix :: rest ->
+        if ix.def.Schema.idx_name = iname then Some { ih_tbl = t; ih_pos = pos }
+        else look (pos + 1) rest
+    in
+    look 0 t.secondary
+
+let index_exn t iname =
+  match index t iname with
+  | Some h -> h
+  | None -> raise (Unknown_index { table = name t; index = iname })
+
+let handle_index { ih_tbl; ih_pos } = if ih_pos < 0 then ih_tbl.pk else List.nth ih_tbl.secondary ih_pos
+
+let index_name h = (handle_index h).def.Schema.idx_name
+let handle_table h = h.ih_tbl
 
 (* --- row access --- *)
 
@@ -132,10 +167,15 @@ let insert t (vals : Value.t array) =
     vals;
   let pk_key = Schema.key_of_row t.schema t.pk.def vals in
   let rowid = alloc_slot t in
+  (* Sidecar maintenance is atomic with the primary insert: the hash is
+     touched only after [insert_unique] succeeds, so a Duplicate_key
+     leaves no half-applied sidecar entry behind (the pre-existing key
+     keeps its original rowid). *)
   if not (idx_insert_unique t.pk pk_key rowid) then begin
     Vec.push t.free rowid;
     raise (Duplicate_key (name t))
   end;
+  Option.iter (fun h -> Hi_index.Hash_index.insert h pk_key rowid) t.hash;
   insert_row_at t rowid vals;
   rowid
 
@@ -143,6 +183,7 @@ let remove_row_entries t rowid vals =
   let pk_key = Schema.key_of_row t.schema t.pk.def vals in
   let (Packed ((module I), i)) = t.pk.packed in
   ignore (I.delete i pk_key);
+  Option.iter (fun h -> ignore (Hi_index.Hash_index.delete h pk_key)) t.hash;
   List.iter (fun ix -> idx_delete_value ix (Schema.key_of_row t.schema ix.def vals) rowid) t.secondary
 
 let delete t rowid =
@@ -177,24 +218,39 @@ let restore t rowid (old : Value.t array) =
 
 (* --- lookups --- *)
 
+(* The hash sidecar is authoritative when present: it holds exactly the
+   primary index's key set (live and evicted rows both keep their keys in
+   memory, paper §7.1), so a probe miss is a real miss and never falls
+   through to the ordered index.  Evicted_access semantics are unchanged
+   — the probe returns a rowid, and reading its slot raises as usual. *)
 let find_by_pk t key_values =
+  let key = Schema.key_of_values t.schema t.pk.def key_values in
+  match t.hash with
+  | Some h -> Hi_index.Hash_index.find h key
+  | None -> idx_find t.pk key
+
+(* Same lookup through the ordered primary index, bypassing the sidecar —
+   the oracle side of the hash_check differential. *)
+let find_by_pk_ordered t key_values =
   idx_find t.pk (Schema.key_of_values t.schema t.pk.def key_values)
 
-let find_by_index t iname key_values =
-  let ix = index_named t iname in
-  idx_find_all ix (Schema.key_of_values t.schema ix.def key_values)
+let pk_find t key_values = find_by_pk t key_values
+
+let find_all h key_values =
+  let ix = handle_index h in
+  idx_find_all ix (Schema.key_of_values h.ih_tbl.schema ix.def key_values)
 
 (* Range scan over an index from a prefix of its columns: returns up to
    [limit] rowids whose keys start at or after the prefix. *)
-let scan_index t iname ~prefix ~limit =
-  let ix = index_named t iname in
-  let key = Schema.prefix_key_of_values t.schema ix.def prefix in
+let scan h ~prefix ~limit =
+  let ix = handle_index h in
+  let key = Schema.prefix_key_of_values h.ih_tbl.schema ix.def prefix in
   List.map snd (idx_scan ix key limit)
 
 (* Rowids whose index key exactly matches the prefix columns. *)
-let scan_index_prefix_eq t iname ~prefix ~limit =
-  let ix = index_named t iname in
-  let key = Schema.prefix_key_of_values t.schema ix.def prefix in
+let scan_prefix_eq h ~prefix ~limit =
+  let ix = handle_index h in
+  let key = Schema.prefix_key_of_values h.ih_tbl.schema ix.def prefix in
   List.filter_map
     (fun (k, rowid) -> if String.length k >= String.length key && String.sub k 0 (String.length key) = key then Some rowid else None)
     (idx_scan ix key limit)
@@ -290,14 +346,19 @@ let unevict_block t (ac : Anticache.t) block =
 
 (* Remove every index entry pointing at a rowid in [dead]. *)
 let purge_rowids_from_indexes t dead =
-  let purge ix =
+  let purge ?(on_dead = fun _ -> ()) ix =
     let (Packed ((module I), i)) = ix.packed in
     let hits = ref [] in
     I.iter_sorted i (fun k vs ->
         Array.iter (fun v -> if Hashtbl.mem dead v then hits := (k, v) :: !hits) vs);
-    List.iter (fun (k, v) -> ignore (I.delete_value i k v)) !hits
+    List.iter
+      (fun (k, v) ->
+        ignore (I.delete_value i k v);
+        on_dead k)
+      !hits
   in
-  purge t.pk;
+  (* dead primary keys leave the sidecar in the same step *)
+  purge t.pk ~on_dead:(fun k -> Option.iter (fun h -> ignore (Hi_index.Hash_index.delete h k)) t.hash);
   List.iter purge t.secondary
 
 (* Graceful degradation when a block is unrecoverable: free its tombstone
@@ -347,12 +408,27 @@ let recover t (ac : Anticache.t) =
   (* fresh indexes *)
   t.pk <- build_index t.make_index t.schema.Schema.primary_key;
   t.secondary <- List.map (build_index t.make_index) t.schema.Schema.secondary;
+  (* clear-free sidecar rebuild: count the surviving slots first so the
+     hash reallocates exactly once, then the sweep below repopulates it
+     alongside the primary index *)
+  Option.iter
+    (fun h ->
+      let expect = ref 0 in
+      for rowid = 0 to Vec.length t.slots - 1 do
+        match Vec.get t.slots rowid with
+        | Live _ | Evicted_slot _ -> incr expect
+        | Free -> ()
+      done;
+      Hi_index.Hash_index.rebuild h ~expect:!expect (fun _insert -> ()))
+    t.hash;
   Vec.clear t.free;
   t.live_rows <- 0;
   t.evicted_rows <- 0;
   let recovered_live = ref 0 and recovered_evicted = ref 0 and dropped = ref 0 in
   let index_row rowid vals =
-    ignore (idx_insert_unique t.pk (Schema.key_of_row t.schema t.pk.def vals) rowid);
+    let pk_key = Schema.key_of_row t.schema t.pk.def vals in
+    if idx_insert_unique t.pk pk_key rowid then
+      Option.iter (fun h -> Hi_index.Hash_index.insert h pk_key rowid) t.hash;
     List.iter (fun ix -> idx_insert ix (Schema.key_of_row t.schema ix.def vals) rowid) t.secondary
   in
   for rowid = 0 to Vec.length t.slots - 1 do
@@ -392,6 +468,7 @@ let recover t (ac : Anticache.t) =
 let clear t =
   t.pk <- build_index t.make_index t.schema.Schema.primary_key;
   t.secondary <- List.map (build_index t.make_index) t.schema.Schema.secondary;
+  Option.iter Hi_index.Hash_index.clear t.hash;
   Vec.clear t.slots;
   Vec.clear t.free;
   t.live_rows <- 0;
@@ -439,6 +516,23 @@ let verify t (ac : Anticache.t) =
   in
   check_index "primary index" t.pk;
   List.iter (check_index "secondary index") t.secondary;
+  (* sidecar agreement: the hash must hold exactly the primary index's
+     key set with identical rowids — both directions, since the entry
+     counts match only when neither side has extras *)
+  Option.iter
+    (fun h ->
+      let (Packed ((module I), i)) = t.pk.packed in
+      let pk_keys = ref 0 in
+      I.iter_sorted i (fun k vs ->
+          incr pk_keys;
+          if Array.length vs > 0 then
+            match Hi_index.Hash_index.find h k with
+            | Some v when v = vs.(0) -> ()
+            | Some v -> bad "hash sidecar maps a key to rowid %d, primary index says %d" v vs.(0)
+            | None -> bad "hash sidecar is missing a primary-index key");
+      let hc = Hi_index.Hash_index.entry_count h in
+      if hc <> !pk_keys then bad "hash sidecar holds %d entries, primary index %d keys" hc !pk_keys)
+    t.hash;
   List.rev !violations
 
 (* --- accounting --- *)
@@ -450,6 +544,11 @@ let tuple_memory_bytes t =
 
 let pk_index_memory_bytes t = idx_memory t.pk
 let secondary_index_memory_bytes t = List.fold_left (fun acc ix -> acc + idx_memory ix) 0 t.secondary
+
+let hash_sidecar_memory_bytes t =
+  match t.hash with Some h -> Hi_index.Hash_index.memory_bytes h | None -> 0
+
+let hash_sidecar_enabled t = Option.is_some t.hash
 let flush_indexes t =
   idx_flush t.pk;
   List.iter idx_flush t.secondary

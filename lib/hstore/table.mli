@@ -13,15 +13,23 @@ exception Evicted_access of { table : string; block : int }
 exception Duplicate_key of string
 (** Raised by {!insert} on a primary-key violation. *)
 
+exception Unknown_index of { table : string; index : string }
+(** Raised by {!index_exn} when the name resolves to no index — the typed
+    plan-time error replacing per-operation name-lookup failures. *)
+
 type packed_index =
   | Packed : (module Hi_index.Index_intf.INDEX with type t = 'i) * 'i -> packed_index
       (** An index implementation paired with an instance of it. *)
 
 type t
 
-val create : ?clock:int ref -> make_index:(unique:bool -> packed_index) -> Schema.t -> t
+val create :
+  ?clock:int ref -> ?hash_sidecar:bool -> make_index:(unique:bool -> packed_index) -> Schema.t -> t
 (** [create ~make_index schema] builds the table and its indexes.  [clock]
-    is the engine-wide access clock used for LRU eviction. *)
+    is the engine-wide access clock used for LRU eviction.  [hash_sidecar]
+    (default [true]) maintains a {!Hi_index.Hash_index} on the primary key
+    so {!find_by_pk} is an O(1) probe (DESIGN.md §17); [false] is the
+    [--no-hash-sidecar] pure-hybrid configuration. *)
 
 val name : t -> string
 val schema : t -> Schema.t
@@ -50,16 +58,52 @@ val restore : t -> int -> Value.t array -> unit
 val delete : t -> int -> Value.t array
 (** Remove a row and its index entries; returns the removed values. *)
 
-(** {1 Index access} *)
+(** {1 Index access}
+
+    Index access is handle-based: a plan step resolves names to typed
+    handles once ({!pk}, {!index}), then per-operation calls are direct
+    — no per-op string lookup.  Handles survive {!recover} and {!clear}
+    (they name indexes by schema position, and rebuilds follow schema
+    order). *)
+
+type pk_handle
+(** The primary-key access path of one table: an O(1) hash-sidecar probe
+    when the sidecar is enabled, the ordered primary index otherwise. *)
+
+type idx_handle
+(** A resolved (table, index) pair for ordered lookups and scans. *)
+
+val pk : t -> pk_handle
+
+val index : t -> string -> idx_handle option
+(** Resolve an index by name (primary or secondary); [None] when the
+    table has no such index. *)
+
+val index_exn : t -> string -> idx_handle
+(** @raise Unknown_index when the name resolves to no index. *)
+
+val index_name : idx_handle -> string
+val handle_table : idx_handle -> t
+
+val pk_find : pk_handle -> Value.t list -> int option
+(** Point lookup through the handle — same semantics as {!find_by_pk}. *)
 
 val find_by_pk : t -> Value.t list -> int option
-val find_by_index : t -> string -> Value.t list -> int list
+(** Point lookup by primary key: an O(1) probe of the hash sidecar when
+    enabled (counted under the ["hash"] metrics scope), else the ordered
+    primary index. *)
 
-val scan_index : t -> string -> prefix:Value.t list -> limit:int -> int list
-(** Rowids of up to [limit] entries at or after the prefix of the named
-    index. *)
+val find_by_pk_ordered : t -> Value.t list -> int option
+(** The same lookup forced through the ordered primary index, bypassing
+    the sidecar — the oracle side of the [hash_check] differential. *)
 
-val scan_index_prefix_eq : t -> string -> prefix:Value.t list -> limit:int -> int list
+val find_all : idx_handle -> Value.t list -> int list
+(** All rowids whose index key equals the given column values. *)
+
+val scan : idx_handle -> prefix:Value.t list -> limit:int -> int list
+(** Rowids of up to [limit] entries at or after the prefix. *)
+
+val scan_prefix_eq : idx_handle -> prefix:Value.t list -> limit:int -> int list
 (** Rowids whose index key starts with exactly the prefix columns. *)
 
 val project_columns : t -> int -> int array -> Value.t array
@@ -132,9 +176,11 @@ val recover : t -> Anticache.t -> recovery
 val verify : t -> Anticache.t -> string list
 (** Integrity check: counter consistency, live rows reachable through the
     primary key, no dangling index entries, tombstones only over blocks
-    the store still holds, plus each index's
-    {!Hi_index.Index_intf.INDEX.check_invariants}.  Returns
-    human-readable violations; [] means consistent. *)
+    the store still holds, each index's
+    {!Hi_index.Index_intf.INDEX.check_invariants}, and hash-sidecar
+    agreement (the sidecar holds exactly the primary index's key set with
+    identical rowids).  Returns human-readable violations; [] means
+    consistent. *)
 
 (** {1 Accounting} *)
 
@@ -144,6 +190,13 @@ val tuple_memory_bytes : t -> int
 
 val pk_index_memory_bytes : t -> int
 val secondary_index_memory_bytes : t -> int
+
+val hash_sidecar_memory_bytes : t -> int
+(** Modelled footprint of the primary-key hash sidecar; 0 when disabled.
+    Counted separately so the paper's hybrid-index storage story stays
+    honest (DESIGN.md §17). *)
+
+val hash_sidecar_enabled : t -> bool
 
 val flush_indexes : t -> unit
 (** Force pending hybrid-index merges. *)

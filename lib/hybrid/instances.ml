@@ -12,14 +12,52 @@ module Hybrid_skiplist = Hybrid.Make (Hi_skiplist.Skiplist) (Hi_skiplist.Compact
 module Hybrid_masstree = Hybrid.Make (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree)
 module Hybrid_art = Hybrid.Make (Hi_art.Art) (Hi_art.Compact_art)
 
-(** {!Index_sig.INDEX} packages of the four original structures. *)
+(** Instantiate a hybrid index with a fixed configuration as
+    {!Hi_index.Index_intf.INDEX}.  This is the hybrid counterpart of
+    {!Hi_index.Index_pack.Of_dynamic}; it lives here because only the
+    hybrid library knows the dual-stage machinery. *)
+module Of_hybrid
+    (D : Hi_index.Index_intf.DYNAMIC)
+    (S : Hi_index.Index_intf.STATIC)
+    (C : sig
+      val config : Hybrid.config
+    end) : Hi_index.Index_intf.INDEX = struct
+  module H = Hybrid.Make (D) (S)
 
-module Btree_index = Index_sig.Of_dynamic (Hi_btree.Btree)
-module Skiplist_index = Index_sig.Of_dynamic (Hi_skiplist.Skiplist)
-module Masstree_index = Index_sig.Of_dynamic (Hi_masstree.Masstree)
-module Art_index = Index_sig.Of_dynamic (Hi_art.Art)
+  type t = H.t
 
-let original_indexes : (string * Index_sig.index) list =
+  let name = H.name
+  let create () = H.create ~config:C.config ()
+  let insert = H.insert
+  let insert_unique = H.insert_unique
+  let mem = H.mem
+  let find = H.find
+  let find_all = H.find_all
+  let update = H.update
+  let delete = H.delete
+  let delete_value = H.delete_value
+  let scan_from = H.scan_from
+  let iter_sorted = H.iter_sorted
+  let entry_count = H.entry_count
+  let clear = H.clear
+  let memory_bytes = H.memory_bytes
+  let flush = H.force_merge
+  let merge_pending = H.merge_pending
+  let check_invariants = H.check_invariants
+  let snapshot = H.snapshot
+  let generation = H.generation
+  let pinned_snapshots = H.pinned_snapshots
+end
+
+(** {!Hi_index.Index_intf.INDEX} packages of the four original
+    structures. *)
+
+module Btree_index = Hi_index.Index_pack.Of_dynamic (Hi_btree.Btree)
+module Skiplist_index = Hi_index.Index_pack.Of_dynamic (Hi_skiplist.Skiplist)
+module Masstree_index = Hi_index.Index_pack.Of_dynamic (Hi_masstree.Masstree)
+module Art_index = Hi_index.Index_pack.Of_dynamic (Hi_art.Art)
+
+let original_indexes : (string * Hi_index.Index_intf.index) list =
   [
     ("btree", (module Btree_index));
     ("masstree", (module Masstree_index));
@@ -27,16 +65,17 @@ let original_indexes : (string * Index_sig.index) list =
     ("art", (module Art_index));
   ]
 
-(** Hybrid {!Index_sig.INDEX} packages for a given configuration. *)
-let hybrid_index ?(config = Hybrid.default_config) name : Index_sig.index =
+(** Hybrid {!Hi_index.Index_intf.INDEX} packages for a given
+    configuration. *)
+let hybrid_index ?(config = Hybrid.default_config) name : Hi_index.Index_intf.index =
   let module C = struct
     let config = config
   end in
   match name with
-  | "btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Compact_btree) (C))
-  | "compressed-btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Compressed_btree) (C))
-  | "frontcoded-btree" -> (module Index_sig.Of_hybrid (Hi_btree.Btree) (Hi_btree.Frontcoded_btree) (C))
-  | "masstree" -> (module Index_sig.Of_hybrid (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree) (C))
-  | "skiplist" -> (module Index_sig.Of_hybrid (Hi_skiplist.Skiplist) (Hi_skiplist.Compact_skiplist) (C))
-  | "art" -> (module Index_sig.Of_hybrid (Hi_art.Art) (Hi_art.Compact_art) (C))
+  | "btree" -> (module Of_hybrid (Hi_btree.Btree) (Hi_btree.Compact_btree) (C))
+  | "compressed-btree" -> (module Of_hybrid (Hi_btree.Btree) (Hi_btree.Compressed_btree) (C))
+  | "frontcoded-btree" -> (module Of_hybrid (Hi_btree.Btree) (Hi_btree.Frontcoded_btree) (C))
+  | "masstree" -> (module Of_hybrid (Hi_masstree.Masstree) (Hi_masstree.Compact_masstree) (C))
+  | "skiplist" -> (module Of_hybrid (Hi_skiplist.Skiplist) (Hi_skiplist.Compact_skiplist) (C))
+  | "art" -> (module Of_hybrid (Hi_art.Art) (Hi_art.Compact_art) (C))
   | other -> invalid_arg ("Instances.hybrid_index: unknown structure " ^ other)

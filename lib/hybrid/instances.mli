@@ -13,17 +13,27 @@ module Hybrid_skiplist : Hybrid.S
 module Hybrid_masstree : Hybrid.S
 module Hybrid_art : Hybrid.S
 
+(** Instantiate a hybrid index with a fixed configuration behind the
+    uniform {!Hi_index.Index_intf.INDEX} interface — the hybrid
+    counterpart of {!Hi_index.Index_pack.Of_dynamic}. *)
+module Of_hybrid
+    (_ : Hi_index.Index_intf.DYNAMIC)
+    (_ : Hi_index.Index_intf.STATIC)
+    (_ : sig
+      val config : Hybrid.config
+    end) : Hi_index.Index_intf.INDEX
+
 (** {!Hi_index.Index_intf.INDEX} packages of the four original
     structures. *)
 
-module Btree_index : Index_sig.INDEX
-module Skiplist_index : Index_sig.INDEX
-module Masstree_index : Index_sig.INDEX
-module Art_index : Index_sig.INDEX
+module Btree_index : Hi_index.Index_intf.INDEX
+module Skiplist_index : Hi_index.Index_intf.INDEX
+module Masstree_index : Hi_index.Index_intf.INDEX
+module Art_index : Hi_index.Index_intf.INDEX
 
-val original_indexes : (string * Index_sig.index) list
+val original_indexes : (string * Hi_index.Index_intf.index) list
 
-val hybrid_index : ?config:Hybrid.config -> string -> Index_sig.index
+val hybrid_index : ?config:Hybrid.config -> string -> Hi_index.Index_intf.index
 (** Hybrid {!Hi_index.Index_intf.INDEX} package for a given configuration:
     one of ["btree"], ["compressed-btree"], ["frontcoded-btree"],
     ["masstree"], ["skiplist"], ["art"].

@@ -4,12 +4,24 @@
    ship a hash index, but none uses it as the default because it cannot
    answer range queries.  This implementation provides the equality-only
    counterpart for that comparison: point operations in O(1) expected
-   time, no ordered scans.
+   time, no ordered scans.  Tables use it as the primary-key sidecar
+   (DESIGN.md §17), so it carries production niceties: load-factor
+   driven resize in both directions, a clear-free presized rebuild for
+   recovery, and hit/miss/probe-length counters under the "hash"
+   metrics scope.
 
    One value per key (primary-index style); inserting an existing key
    replaces its value. *)
 
 open Hi_util
+
+let metrics_scope = Metrics.scope "hash"
+let m_hits = Metrics.counter metrics_scope "hits"
+let m_misses = Metrics.counter metrics_scope "misses"
+let m_probe_steps = Metrics.counter metrics_scope "probe_steps"
+let m_grows = Metrics.counter metrics_scope "grows"
+let m_shrinks = Metrics.counter metrics_scope "shrinks"
+let m_rebuilds = Metrics.counter metrics_scope "rebuilds"
 
 type t = {
   mutable keys : string array; (* "" = empty slot *)
@@ -21,20 +33,30 @@ type t = {
 
 let name = "hash"
 
-let initial_capacity = 16
+let min_capacity = 16
 
-let create () =
+(* Smallest power-of-two table that keeps [n] entries under the 0.7
+   load-factor growth target. *)
+let capacity_for n =
+  let c = ref min_capacity in
+  while n * 10 > !c * 7 do
+    c := !c * 2
+  done;
+  !c
+
+let create ?(capacity = 0) () =
+  let capacity = capacity_for capacity in
   {
-    keys = Array.make initial_capacity "";
-    values = Array.make initial_capacity 0;
-    dist = Array.make initial_capacity (-1);
+    keys = Array.make capacity "";
+    values = Array.make capacity 0;
+    dist = Array.make capacity (-1);
     count = 0;
-    mask = initial_capacity - 1;
+    mask = capacity - 1;
   }
 
 let hash key = Int64.to_int (Int64.shift_right_logical (Bloom.fnv1a_64 key) 2)
 
-let rec insert_slot t key value =
+let insert_slot t key value =
   (* robin-hood: displace entries closer to their home slot *)
   let key = ref key and value = ref value and d = ref 0 in
   let i = ref (hash !key land t.mask) in
@@ -67,15 +89,18 @@ let rec insert_slot t key value =
     end
   done
 
-and grow t =
+let resize t capacity =
   let old_keys = t.keys and old_values = t.values and old_dist = t.dist in
-  let capacity = (t.mask + 1) * 2 in
   t.keys <- Array.make capacity "";
   t.values <- Array.make capacity 0;
   t.dist <- Array.make capacity (-1);
   t.mask <- capacity - 1;
   t.count <- 0;
   Array.iteri (fun i k -> if old_dist.(i) >= 0 then insert_slot t k old_values.(i)) old_keys
+
+let grow t =
+  Metrics.incr m_grows;
+  resize t ((t.mask + 1) * 2)
 
 let insert t key value =
   if (t.count + 1) * 10 > (t.mask + 1) * 7 then grow t;
@@ -95,14 +120,32 @@ let find_slot t key =
       i := (!i + 1) land t.mask
     end
   done;
+  Metrics.add m_probe_steps (!d + 1);
   !result
 
 let find t key =
   Op_counter.visit ();
   let s = find_slot t key in
-  if s >= 0 then Some t.values.(s) else None
+  if s >= 0 then begin
+    Metrics.incr m_hits;
+    Some t.values.(s)
+  end
+  else begin
+    Metrics.incr m_misses;
+    None
+  end
 
 let mem t key = find_slot t key >= 0
+
+(* Shrink once occupancy drops below 1/8th; landing at half capacity
+   leaves the survivor around 25% full, well clear of both the growth
+   target and the next shrink trigger (hysteresis against thrash). *)
+let maybe_shrink t =
+  let capacity = t.mask + 1 in
+  if capacity > min_capacity && t.count * 8 < capacity then begin
+    Metrics.incr m_shrinks;
+    resize t (max min_capacity (capacity / 2))
+  end
 
 let delete t key =
   let s = find_slot t key in
@@ -126,17 +169,31 @@ let delete t key =
       end
     done;
     t.count <- t.count - 1;
+    maybe_shrink t;
     true
   end
 
 let entry_count t = t.count
 
 let clear t =
-  t.keys <- Array.make initial_capacity "";
-  t.values <- Array.make initial_capacity 0;
-  t.dist <- Array.make initial_capacity (-1);
+  t.keys <- Array.make min_capacity "";
+  t.values <- Array.make min_capacity 0;
+  t.dist <- Array.make min_capacity (-1);
   t.count <- 0;
-  t.mask <- initial_capacity - 1
+  t.mask <- min_capacity - 1
+
+let rebuild t ~expect iter =
+  Metrics.incr m_rebuilds;
+  (* Single right-sized allocation: with an accurate [expect] the feed
+     below never triggers an intermediate grow (recovery replays the
+     table exactly once, so this is the clear-free rebuild path). *)
+  let capacity = capacity_for expect in
+  t.keys <- Array.make capacity "";
+  t.values <- Array.make capacity 0;
+  t.dist <- Array.make capacity (-1);
+  t.count <- 0;
+  t.mask <- capacity - 1;
+  iter (fun key value -> insert t key value)
 
 (* Modelled layout: per slot an 8-byte key pointer/slice, 8-byte value and
    1-byte metadata, plus out-of-line long keys. *)
@@ -148,3 +205,6 @@ let memory_bytes t =
   ((t.mask + 1) * 17) + !out_of_line
 
 let load_factor t = float_of_int t.count /. float_of_int (t.mask + 1)
+
+let iter t f =
+  Array.iteri (fun i k -> if t.dist.(i) >= 0 then f k t.values.(i)) t.keys

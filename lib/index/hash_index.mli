@@ -2,14 +2,23 @@
     deletion).
 
     The equality-only counterpart discussed in the paper's Appendix A:
-    supported by most in-memory DBMSs, default in none, because it cannot
-    answer range queries.  One value per key; inserting an existing key
-    replaces its value. *)
+    supported by most in-memory DBMSs, default in none, because it
+    cannot answer range queries.  Used as the per-table primary-key
+    sidecar (DESIGN.md §17).  One value per key; inserting an existing
+    key replaces its value.
+
+    Capacity management: the table grows at a 0.7 load factor, shrinks
+    when occupancy drops below 1/8th, and [rebuild] reallocates once at
+    the right size for bulk reloads.  Point probes report hit/miss and
+    probe-length counters under the ["hash"] metrics scope. *)
 
 type t
 
 val name : string
-val create : unit -> t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is an expected-entry hint: the table is presized so that
+    many inserts fit without resizing.  Defaults to a minimal table. *)
 
 val insert : t -> string -> int -> unit
 (** Insert or replace. *)
@@ -18,13 +27,26 @@ val find : t -> string -> int option
 val mem : t -> string -> bool
 
 val delete : t -> string -> bool
-(** Remove a key; [false] when absent. *)
+(** Remove a key; [false] when absent.  May shrink the table. *)
 
 val entry_count : t -> int
 val clear : t -> unit
+
+val rebuild : t -> expect:int -> ((string -> int -> unit) -> unit) -> unit
+(** [rebuild t ~expect feed] discards the current contents and reloads
+    from [feed insert_fn] with a single allocation sized for [expect]
+    entries — the clear-free path for recovery/checkpoint replay.  An
+    inaccurate [expect] is safe (the table resizes as usual). *)
+
+val iter : t -> (string -> int -> unit) -> unit
+(** Iterate live entries in unspecified order. *)
 
 val memory_bytes : t -> int
 (** Modelled layout: 17 bytes per slot (key slice/pointer, value,
     metadata) plus out-of-line long keys. *)
 
 val load_factor : t -> float
+
+val metrics_scope : Hi_util.Metrics.scope
+(** The ["hash"] scope carrying hits/misses/probe_steps/grows/shrinks/
+    rebuilds counters. *)

@@ -2,9 +2,10 @@
     one canonical home of the index signatures.  {!DYNAMIC} and {!STATIC}
     describe the two stages of the dual-stage architecture; {!INDEX} is
     the uniform client-facing interface the DBMS engine, benchmarks and
-    check harness program against.  [Hybrid_index.Index_sig] re-exports
-    {!INDEX} and provides the adapters packaging plain and hybrid
-    structures behind it.
+    check harness program against.  {!Index_pack.Of_dynamic} packages a
+    plain dynamic structure behind {!INDEX};
+    [Hybrid_index.Instances.Of_hybrid] does the same for the dual-stage
+    hybrid machinery.
 
     All indexes are keyed by order-preserving byte strings (see
     {!Hi_util.Key_codec}) and hold [int] values (tuple pointers, paper
@@ -171,7 +172,7 @@ let materialized_snapshot ~generation ?release (entries : entries) =
     implementations freely (paper §6.4 compares each hybrid index against
     its original structure through exactly this kind of common API).
     Adapters packaging concrete structures behind it live in
-    [Hybrid_index.Index_sig]. *)
+    {!Index_pack} and [Hybrid_index.Instances]. *)
 module type INDEX = sig
   type t
 
@@ -223,3 +224,7 @@ module type INDEX = sig
   val pinned_snapshots : t -> int
   (** Snapshots captured but not yet released. *)
 end
+
+(** A first-class {!INDEX} package — the currency the engine, benchmarks
+    and check harness pass index implementations around as. *)
+type index = (module INDEX)

@@ -1,18 +1,9 @@
-(** Re-export of the canonical uniform index interface plus the adapters
-    that package plain and hybrid structures behind it.
+(** Packaging of plain dynamic structures behind the uniform
+    {!Index_intf.INDEX} interface.  The hybrid packaging functor lives
+    with the hybrid machinery in [Hybrid_index.Instances.Of_hybrid]. *)
 
-    The module type itself lives in {!Hi_index.Index_intf.INDEX} — the one
-    canonical home of the index signatures — so the DBMS engine, the
-    benchmarks and the check harness all program against the same
-    definition; this module keeps the historical [Index_sig.INDEX] path
-    working and holds the functors that need the hybrid machinery. *)
-
-module type INDEX = Hi_index.Index_intf.INDEX
-
-type index = (module INDEX)
-
-(** Adapt a plain dynamic structure to {!INDEX}. *)
-module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
+(** Adapt a plain dynamic structure to {!Index_intf.INDEX}. *)
+module Of_dynamic (D : Index_intf.DYNAMIC) : Index_intf.INDEX = struct
   (* Wrapped rather than [include]d: the uniform interface carries
      snapshot state — a generation and a pin count (DESIGN.md §16) — that
      the plain structure does not track. *)
@@ -75,44 +66,10 @@ module Of_dynamic (D : Hi_index.Index_intf.DYNAMIC) : INDEX = struct
     D.iter_sorted t.d (fun k vs -> out := (k, Array.copy vs) :: !out);
     let entries = Array.of_list (List.rev !out) in
     t.pinned <- t.pinned + 1;
-    Hi_index.Index_intf.materialized_snapshot ~generation:t.gen
+    Index_intf.materialized_snapshot ~generation:t.gen
       ~release:(fun () -> t.pinned <- t.pinned - 1)
       entries
 
   let generation t = t.gen
   let pinned_snapshots t = t.pinned
-end
-
-(** Instantiate a hybrid index with a fixed configuration as {!INDEX}. *)
-module Of_hybrid
-    (D : Hi_index.Index_intf.DYNAMIC)
-    (S : Hi_index.Index_intf.STATIC)
-    (C : sig
-      val config : Hybrid.config
-    end) : INDEX = struct
-  module H = Hybrid.Make (D) (S)
-
-  type t = H.t
-
-  let name = H.name
-  let create () = H.create ~config:C.config ()
-  let insert = H.insert
-  let insert_unique = H.insert_unique
-  let mem = H.mem
-  let find = H.find
-  let find_all = H.find_all
-  let update = H.update
-  let delete = H.delete
-  let delete_value = H.delete_value
-  let scan_from = H.scan_from
-  let iter_sorted = H.iter_sorted
-  let entry_count = H.entry_count
-  let clear = H.clear
-  let memory_bytes = H.memory_bytes
-  let flush = H.force_merge
-  let merge_pending = H.merge_pending
-  let check_invariants = H.check_invariants
-  let snapshot = H.snapshot
-  let generation = H.generation
-  let pinned_snapshots = H.pinned_snapshots
 end

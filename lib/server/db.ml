@@ -147,7 +147,13 @@ let kv_of_row row =
   | 2 -> Value.Float (Value.as_float row.(3))
   | _ -> Value.Str (Value.as_str row.(4))
 
-type t = { router : Router.t; tables : Table.t array; olap : Olap.t; read_only : bool }
+(* One partition's kv table with its index handles resolved once at
+   startup: the plan step hands transaction bodies pre-resolved typed
+   handles instead of per-operation string lookups.  [pk] probes the
+   hash sidecar (O(1)); [kv_pk] is the ordered index for scans. *)
+type part = { tbl : Table.t; pk : Table.pk_handle; kv_pk : Table.idx_handle }
+
+type t = { router : Router.t; parts : part array; olap : Olap.t; read_only : bool }
 
 (* The OLAP projection of the kv row layout: exact key (column 0), tag
    (column 1) and both numeric payload columns.  [Int] and [Float] rows
@@ -182,10 +188,13 @@ let create ?(mode = Router.Parallel) ?config ?sleep ?wal_dir ?checkpoint_bytes ?
     Array.map (function Some t -> t | None -> assert false) tables
   in
   let olap = Olap.create ~router ~sources:(Array.map kv_olap_source tables) in
-  { router; tables; olap; read_only }
+  let parts =
+    Array.map (fun tbl -> { tbl; pk = Table.pk tbl; kv_pk = Table.index_exn tbl "kv_pk" }) tables
+  in
+  { router; parts; olap; read_only }
 
 let router t = t.router
-let num_partitions t = Array.length t.tables
+let num_partitions t = Array.length t.parts
 let route t key = Router.route_key t.router key
 let close t = Router.stop t.router
 let recovery t = Router.recovery t.router
@@ -242,46 +251,46 @@ let validate req =
 
 (* -- transaction bodies (run on the owner partition's domain) ------------ *)
 
-(* The PK index answers in padded-key space; confirm the exact key before
+(* The PK probe answers in padded-key space; confirm the exact key before
    trusting a hit, so a padding twin reads as a miss. *)
-let find_exact engine tbl k =
-  match Table.find_by_pk tbl [ Value.Str k ] with
+let find_exact engine part k =
+  match Table.pk_find part.pk [ Value.Str k ] with
   | None -> None
   | Some rowid ->
-    let row = Engine.read engine tbl rowid in
+    let row = Engine.read engine part.tbl rowid in
     if String.equal (Value.as_str row.(0)) k then Some (rowid, row) else None
 
-let apply_put engine tbl k v =
-  match find_exact engine tbl k with
+let apply_put engine part k v =
+  match find_exact engine part k with
   | Some (rowid, _) ->
-    Engine.update engine tbl rowid (cols_of_value v);
+    Engine.update engine part.tbl rowid (cols_of_value v);
     false
   | None -> (
     try
-      ignore (Engine.insert engine tbl (row_of_kv k v));
+      ignore (Engine.insert engine part.tbl (row_of_kv k v));
       true
     with Table.Duplicate_key _ ->
       (* same padded key, different exact key *)
       raise (Engine.Abort (Printf.sprintf "key %S collides with a NUL-padding twin" k)))
 
-let apply_delete engine tbl k =
-  match find_exact engine tbl k with
+let apply_delete engine part k =
+  match find_exact engine part k with
   | Some (rowid, _) ->
-    Engine.delete engine tbl rowid;
+    Engine.delete engine part.tbl rowid;
     true
   | None -> false
 
-let get_body tbl k engine =
-  Value (Option.map (fun (_, row) -> kv_of_row row) (find_exact engine tbl k))
+let get_body part k engine =
+  Value (Option.map (fun (_, row) -> kv_of_row row) (find_exact engine part k))
 
-let put_body tbl k v engine = Done (apply_put engine tbl k v)
-let delete_body tbl k engine = Done (apply_delete engine tbl k)
+let put_body part k v engine = Done (apply_put engine part k v)
+let delete_body part k engine = Done (apply_delete engine part k)
 
-let scan_body tbl probe n engine =
-  let rowids = Table.scan_index tbl "kv_pk" ~prefix:[ Value.Str probe ] ~limit:n in
+let scan_body part probe n engine =
+  let rowids = Table.scan part.kv_pk ~prefix:[ Value.Str probe ] ~limit:n in
   List.map
     (fun rowid ->
-      let row = Engine.read engine tbl rowid in
+      let row = Engine.read engine part.tbl rowid in
       (Value.as_str row.(0), kv_of_row row))
     rowids
 
@@ -300,19 +309,19 @@ let plan t req =
     | Put _ | Delete _ | Txn _ -> Invalid (Failed Read_only)
     | Get k ->
       let p = route t k in
-      Single (p, get_body t.tables.(p) k)
+      Single (p, get_body t.parts.(p) k)
     | Scan_from _ | Scan_agg _ -> Inline)
   | None -> (
     match req with
     | Get k ->
       let p = route t k in
-      Single (p, get_body t.tables.(p) k)
+      Single (p, get_body t.parts.(p) k)
     | Put (k, v) ->
       let p = route t k in
-      Single (p, put_body t.tables.(p) k v)
+      Single (p, put_body t.parts.(p) k v)
     | Delete k ->
       let p = route t k in
-      Single (p, delete_body t.tables.(p) k)
+      Single (p, delete_body t.parts.(p) k)
     | Scan_from _ | Scan_agg _ | Txn _ -> Inline)
 
 let scan_exec t probe n =
@@ -321,7 +330,7 @@ let scan_exec t probe n =
   else
     let futs =
       Array.init (num_partitions t) (fun p ->
-          Router.single_async t.router ~partition:p (scan_body t.tables.(p) probe n))
+          Router.single_async t.router ~partition:p (scan_body t.parts.(p) probe n))
     in
     let slices = Array.map Hi_shard.Future.await futs in
     let err =
@@ -381,7 +390,7 @@ let txn_exec t ops =
            | [] -> []
            | rev_ops ->
              let ops = List.rev rev_ops in
-             let tbl = t.tables.(p) in
+             let part = t.parts.(p) in
              [
                {
                  Router.part = p;
@@ -390,8 +399,8 @@ let txn_exec t ops =
                      List.iter
                        (fun (k, vo) ->
                          match vo with
-                         | Some v -> ignore (apply_put engine tbl k v)
-                         | None -> ignore (apply_delete engine tbl k))
+                         | Some v -> ignore (apply_put engine part k v)
+                         | None -> ignore (apply_delete engine part k))
                        ops);
                };
              ]))

@@ -292,7 +292,7 @@ module Articles_shard = struct
     for p = 0 to n - 1 do
       let engine = Partition.engine (Router.partition t.router p) in
       let articles = Engine.table engine "articles" in
-      let comments = Engine.table engine "comments" in
+      let comments_idx = Engine.index_of engine ~table:"comments" "comments_article_idx" in
       let owned = owned_initial ~partitions:n ~total:t.scale.Articles.initial_articles p in
       for k = 0 to owned - 1 do
         let a = p + 1 + (n * k) in
@@ -301,9 +301,7 @@ module Articles_shard = struct
         | Some rowid ->
           let declared = as_int (Table.read articles rowid).(declared_col) in
           let actual =
-            List.length
-              (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ]
-                 ~limit:10_000)
+            List.length (Table.scan_prefix_eq comments_idx ~prefix:[ Int a ] ~limit:10_000)
           in
           if declared <> actual then ok := false
       done

@@ -103,7 +103,9 @@ let get_article_by_id engine a =
     ignore (Engine.read engine articles a_rowid);
     List.iter
       (fun c_rowid -> ignore (Engine.read engine comments c_rowid))
-      (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ] ~limit:50)
+      (Table.scan_prefix_eq
+         (Engine.index_of engine ~table:"comments" "comments_article_idx")
+         ~prefix:[ Int a ] ~limit:50)
 
 let get_article st engine = get_article_by_id engine (1 + Xorshift.int st.rng st.next_article)
 
@@ -111,7 +113,9 @@ let get_articles_of_user engine u =
   let articles = Engine.table engine "articles" in
   List.iter
     (fun a_rowid -> ignore (Engine.read engine articles a_rowid))
-    (Table.scan_index_prefix_eq articles "articles_user_idx" ~prefix:[ Int u ] ~limit:20)
+    (Table.scan_prefix_eq
+       (Engine.index_of engine ~table:"articles" "articles_user_idx")
+       ~prefix:[ Int u ] ~limit:20)
 
 let get_articles_by_user st engine =
   get_articles_of_user engine (1 + Xorshift.int st.rng st.scale.users)
@@ -169,7 +173,6 @@ let transaction st engine =
    articles that existed at load (tests use small runs). *)
 let check_comment_counts engine upto =
   let articles = Engine.table engine "articles" in
-  let comments = Engine.table engine "comments" in
   let ok = ref true in
   for a = 1 to upto do
     match Table.find_by_pk articles [ Int a ] with
@@ -177,7 +180,10 @@ let check_comment_counts engine upto =
     | Some a_rowid ->
       let declared = as_int (Table.read articles a_rowid).(col articles_schema "a_num_comments") in
       let actual =
-        List.length (Table.scan_index_prefix_eq comments "comments_article_idx" ~prefix:[ Int a ] ~limit:10_000)
+        List.length
+          (Table.scan_prefix_eq
+             (Engine.index_of engine ~table:"comments" "comments_article_idx")
+             ~prefix:[ Int a ] ~limit:10_000)
       in
       if declared <> actual then ok := false
   done;

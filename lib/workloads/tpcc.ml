@@ -234,10 +234,9 @@ let pick_customer_sel st =
 
 let lookup_customer_sel engine w d = function
   | By_name lname -> (
-    let customer = Engine.table engine "customer" in
+    let name_idx = Engine.index_of engine ~table:"customer" "customer_name_idx" in
     let rowids =
-      Table.scan_index_prefix_eq customer "customer_name_idx" ~prefix:[ Int w; Int d; Str lname ]
-        ~limit:100
+      Table.scan_prefix_eq name_idx ~prefix:[ Int w; Int d; Str lname ] ~limit:100
     in
     match rowids with
     | [] -> None
@@ -412,8 +411,9 @@ let order_status_with engine ~w ~d ~sel =
     let c_id = as_int c_row.(col customer_schema "c_id") in
     (* most recent order of this customer via the secondary index *)
     let rowids =
-      Table.scan_index_prefix_eq orders "orders_customer_idx" ~prefix:[ Int w; Int d; Int c_id ]
-        ~limit:1000
+      Table.scan_prefix_eq
+        (Engine.index_of engine ~table:"orders" "orders_customer_idx")
+        ~prefix:[ Int w; Int d; Int c_id ] ~limit:1000
     in
     (match List.rev rowids with
     | [] -> ()
@@ -439,7 +439,11 @@ let delivery_with engine ~w ~carrier =
   let customer = Engine.table engine "customer" in
   for d = 1 to districts_per_warehouse do
     (* oldest undelivered order in this district *)
-    match Table.scan_index_prefix_eq neworder "new_order_pk" ~prefix:[ Int w; Int d ] ~limit:1 with
+    match
+      Table.scan_prefix_eq
+        (Engine.index_of engine ~table:"new_order" "new_order_pk")
+        ~prefix:[ Int w; Int d ] ~limit:1
+    with
     | [] -> ()
     | no_rowid :: _ ->
       let no_row = Engine.read engine neworder no_rowid in
@@ -501,8 +505,9 @@ let stock_level_with engine ~w ~d ~threshold =
               let s_row = Engine.read engine stock s_rowid in
               if as_int s_row.(col stock_schema "s_quantity") < threshold then incr low
           end)
-        (Table.scan_index_prefix_eq orderline "order_line_pk" ~prefix:[ Int w; Int d; Int o_id ]
-           ~limit:20)
+        (Table.scan_prefix_eq
+           (Engine.index_of engine ~table:"order_line" "order_line_pk")
+           ~prefix:[ Int w; Int d; Int o_id ] ~limit:20)
     done;
     ignore !low
 
@@ -540,6 +545,8 @@ let check_ytd_consistency engine =
       done;
       (* loaded values: w_ytd = 300 000, d_ytd = 30 000 * 10 *)
       if abs_float (w_ytd -. !d_sum) > 0.01 then ok := false)
-    (let pk = Table.scan_index warehouse "warehouse_pk" ~prefix:[] ~limit:max_int in
+    (let pk =
+       Table.scan (Engine.index_of engine ~table:"warehouse" "warehouse_pk") ~prefix:[] ~limit:max_int
+     in
      List.map (fun r -> ((), r)) pk);
   !ok

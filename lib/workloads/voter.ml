@@ -55,8 +55,9 @@ let vote_as ~vote_limit ~phone ~contestant engine =
     | Some r -> r
     | None -> raise (Engine.Abort "unknown contestant")
   in
+  let votes_pk = Engine.index_of engine ~table:"votes" "votes_pk" in
   let prior =
-    List.length (Table.scan_index_prefix_eq votes "votes_pk" ~prefix:[ Int phone ] ~limit:vote_limit)
+    List.length (Table.scan_prefix_eq votes_pk ~prefix:[ Int phone ] ~limit:vote_limit)
   in
   if prior >= vote_limit then raise (Engine.Abort "vote limit reached");
   ignore (Engine.insert engine votes [| Int phone; Int (prior + 1); Str "ca"; Int contestant |]);
@@ -78,5 +79,5 @@ let check_consistency engine =
   let total = ref 0 in
   List.iter
     (fun rowid -> total := !total + as_int (Table.read contestants rowid).(col contestants_schema "num_votes"))
-    (Table.scan_index contestants "contestants_pk" ~prefix:[] ~limit:max_int);
+    (Table.scan (Engine.index_of engine ~table:"contestants" "contestants_pk") ~prefix:[] ~limit:max_int);
   !total = Table.row_count votes

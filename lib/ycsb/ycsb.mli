@@ -37,7 +37,7 @@ type result = {
   memory_bytes : int;  (** measured at the end of the trial, like the paper *)
 }
 
-val run : ?primary:bool -> Hybrid_index.Index_sig.index -> spec -> result
+val run : ?primary:bool -> Hi_index.Index_intf.index -> spec -> result
 (** Run [spec] against any index behind the uniform interface.  [primary]
     (default true) selects unique-insert semantics; [false] loads
     [values_per_key] values per key with blind inserts (Appendix E). *)

@@ -275,7 +275,7 @@ let test_recover_rebuilds_secondary_indexes () =
   (* secondary index rebuilt over live + evicted rows: owner3 owns
      ids 3, 13, ..., 1993 *)
   let rowids =
-    Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:10_000
+    Table.scan_prefix_eq (Table.index_exn tbl "accounts_owner_idx") ~prefix:[ Str "owner3" ] ~limit:10_000
   in
   check_int "secondary entries rebuilt" 200 (List.length rowids);
   for i = 1 to 2_000 do

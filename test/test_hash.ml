@@ -1,0 +1,173 @@
+(* Hash sidecar fast path (DESIGN.md §17): the typed index-handle API, the
+   duplicate-key atomicity regression, and the Hash_check differential
+   driving sidecar/primary agreement through merges, eviction faults,
+   rollbacks and recovery replay. *)
+
+open Hi_util
+open Hi_hstore
+open Hi_check
+open Common
+open Value
+
+let seed =
+  match Sys.getenv_opt "HI_CHECK_SEED" with Some s -> int_of_string s | None -> 0xD5E97
+
+let accounts_schema =
+  Schema.make ~name:"accounts"
+    ~columns:[ ("id", TInt); ("owner", TStr 16); ("balance", TInt) ]
+    ~pk:[ "id" ]
+    ~secondary:[ ("accounts_owner_idx", [ "owner"; "id" ], false) ]
+    ()
+
+let counter_value name =
+  Option.value ~default:0 (Metrics.find_counter Hi_index.Hash_index.metrics_scope name)
+
+(* --- the differential, with and without fault schedules ---------------- *)
+
+let check_outcome name (o : Hash_check.outcome) =
+  if o.Hash_check.violations <> [] then
+    Alcotest.failf "%s (seed %d): %s" name seed (String.concat "\n  " o.Hash_check.violations)
+
+let test_check_no_faults () =
+  let o = Hash_check.run ~seed ~fault:Fault.no_faults () in
+  check_outcome "hash/no-faults" o;
+  check "work happened" true (o.Hash_check.committed > 100);
+  check "duplicates exercised" true (o.Hash_check.duplicate_rejections > 0);
+  check "rollbacks exercised" true (o.Hash_check.user_aborts > 0);
+  check "recovery exercised" true (o.Hash_check.recoveries >= 3);
+  check "points compared" true (o.Hash_check.point_checks > 1_000)
+
+let test_check_transient_faults () =
+  let fault = { Fault.no_faults with transient_fetch_p = 0.25 } in
+  let o = Hash_check.run ~seed ~fault () in
+  check_outcome "hash/transient" o;
+  check_int "transient faults never lose data" 0 o.Hash_check.lost_errors
+
+let test_check_lossy_faults () =
+  let fault = { Fault.no_faults with transient_fetch_p = 0.05; corrupt_block_p = 0.04 } in
+  (* lost blocks drop rows from BOTH paths at once; agreement must hold *)
+  check_outcome "hash/lossy" (Hash_check.run ~seed ~fault ())
+
+(* --- duplicate-key atomicity regression -------------------------------- *)
+
+(* A rejected duplicate insert must leave the sidecar exactly as it was:
+   before the fix, the hash entry was written before the primary-index
+   uniqueness check, so the loser's rowid shadowed the winner's. *)
+let test_duplicate_insert_atomic () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine accounts_schema in
+  let r1 = Table.insert tbl [| Int 1; Str "alice"; Int 100 |] in
+  (try
+     ignore (Table.insert tbl [| Int 1; Str "mallory"; Int 666 |]);
+     Alcotest.fail "duplicate primary key accepted"
+   with Table.Duplicate_key _ -> ());
+  Alcotest.(check (option int)) "fast path still serves the winner" (Some r1)
+    (Table.find_by_pk tbl [ Int 1 ]);
+  Alcotest.(check (option int)) "ordered path agrees" (Some r1)
+    (Table.find_by_pk_ordered tbl [ Int 1 ]);
+  check "winner's row intact" true ((Table.read tbl r1).(2) = Int 100);
+  check_int "no stray index entries" 0 (List.length (Engine.verify_integrity engine))
+
+(* --- typed handle API --------------------------------------------------- *)
+
+let test_handle_resolution () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine accounts_schema in
+  check "secondary resolves" true (Table.index tbl "accounts_owner_idx" <> None);
+  check "primary resolves" true (Table.index tbl "accounts_pk" <> None);
+  check "unknown index is None" true (Table.index tbl "no_such_idx" = None);
+  (match Table.index_exn tbl "no_such_idx" with
+  | exception Table.Unknown_index { table = "accounts"; index = "no_such_idx" } -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "index_exn accepted an unknown name");
+  check_string "handle keeps its name" "accounts_owner_idx"
+    (Table.index_name (Table.index_exn tbl "accounts_owner_idx"))
+
+let test_handles_survive_recovery () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine accounts_schema in
+  let pk = Table.pk tbl in
+  let owner_idx = Table.index_exn tbl "accounts_owner_idx" in
+  for id = 1 to 50 do
+    ignore (Table.insert tbl [| Int id; Str (Printf.sprintf "o%d" (id mod 5)); Int id |])
+  done;
+  ignore (Engine.recover engine);
+  (* handles resolved before recovery keep working on the rebuilt indexes *)
+  Alcotest.(check (option int)) "pk handle live after recover"
+    (Table.find_by_pk_ordered tbl [ Int 7 ])
+    (Table.pk_find pk [ Int 7 ]);
+  check_int "secondary handle live after recover" 10
+    (List.length (Table.scan_prefix_eq owner_idx ~prefix:[ Str "o3" ] ~limit:100));
+  check_int "clean integrity" 0 (List.length (Engine.verify_integrity engine))
+
+let test_engine_handle_cache () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine accounts_schema in
+  ignore (Table.insert tbl [| Int 1; Str "a"; Int 1 |]);
+  let h1 = Engine.index_of engine ~table:"accounts" "accounts_owner_idx" in
+  let h2 = Engine.index_of engine ~table:"accounts" "accounts_owner_idx" in
+  check "resolution is cached" true (h1 == h2);
+  check_int "cached handle scans" 1
+    (List.length (Table.scan_prefix_eq h1 ~prefix:[ Str "a" ] ~limit:10))
+
+(* --- sidecar on/off equivalence and accounting -------------------------- *)
+
+let test_sidecar_off_equivalence () =
+  let on = Engine.create () in
+  let off =
+    Engine.create ~config:{ Engine.default_config with hash_sidecar = false } ()
+  in
+  let t_on = Engine.create_table on accounts_schema in
+  let t_off = Engine.create_table off accounts_schema in
+  check "sidecar on by default" true (Table.hash_sidecar_enabled t_on);
+  check "sidecar off by config" false (Table.hash_sidecar_enabled t_off);
+  check_int "disabled sidecar costs nothing" 0 (Table.hash_sidecar_memory_bytes t_off);
+  for id = 1 to 200 do
+    let row () = [| Int id; Str (Printf.sprintf "o%d" (id mod 7)); Int id |] in
+    ignore (Table.insert t_on (row ()));
+    ignore (Table.insert t_off (row ()))
+  done;
+  check "enabled sidecar is accounted" true (Table.hash_sidecar_memory_bytes t_on > 0);
+  let m = Engine.memory_breakdown on in
+  check_int "engine accounting matches the table" (Table.hash_sidecar_memory_bytes t_on)
+    m.Engine.hash_index_bytes;
+  for id = 0 to 201 do
+    Alcotest.(check (option bool))
+      (Printf.sprintf "lookup %d agrees across configurations" id)
+      (Option.map (fun _ -> true) (Table.find_by_pk t_off [ Int id ]))
+      (Option.map (fun _ -> true) (Table.find_by_pk t_on [ Int id ]))
+  done
+
+let test_fast_path_counts_hits () =
+  let engine = Engine.create () in
+  let tbl = Engine.create_table engine accounts_schema in
+  ignore (Table.insert tbl [| Int 1; Str "a"; Int 1 |]);
+  let hits0 = counter_value "hits" and misses0 = counter_value "misses" in
+  check "hit served" true (Table.find_by_pk tbl [ Int 1 ] <> None);
+  check "miss served" true (Table.find_by_pk tbl [ Int 2 ] = None);
+  check "hit counted" true (counter_value "hits" > hits0);
+  check "miss counted" true (counter_value "misses" > misses0)
+
+let () =
+  Alcotest.run "hash"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "no faults" `Quick test_check_no_faults;
+          Alcotest.test_case "transient faults" `Quick test_check_transient_faults;
+          Alcotest.test_case "lossy faults" `Quick test_check_lossy_faults;
+        ] );
+      ( "regressions",
+        [ Alcotest.test_case "duplicate insert is atomic" `Quick test_duplicate_insert_atomic ] );
+      ( "handles",
+        [
+          Alcotest.test_case "resolution" `Quick test_handle_resolution;
+          Alcotest.test_case "survive recovery" `Quick test_handles_survive_recovery;
+          Alcotest.test_case "engine cache" `Quick test_engine_handle_cache;
+        ] );
+      ( "sidecar",
+        [
+          Alcotest.test_case "on/off equivalence" `Quick test_sidecar_off_equivalence;
+          Alcotest.test_case "metrics count hits" `Quick test_fast_path_counts_hits;
+        ] );
+    ]

@@ -88,7 +88,7 @@ let test_secondary_lookup () =
   let engine = new_engine () in
   let tbl = setup_accounts engine 100 in
   (* owner3 owns ids 3, 13, ..., 93 *)
-  let rowids = Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:100 in
+  let rowids = Table.scan_prefix_eq (Table.index_exn tbl "accounts_owner_idx") ~prefix:[ Str "owner3" ] ~limit:100 in
   check_int "ten accounts for owner3" 10 (List.length rowids);
   List.iter
     (fun r -> check "owner matches" true (as_str (Table.read tbl r).(1) = "owner3"))
@@ -101,7 +101,7 @@ let test_delete_maintains_indexes () =
   | Some rowid -> ignore (Table.delete tbl rowid)
   | None -> Alcotest.fail "missing row");
   check "pk entry gone" true (Table.find_by_pk tbl [ Int 3 ] = None);
-  let rowids = Table.scan_index_prefix_eq tbl "accounts_owner_idx" ~prefix:[ Str "owner3" ] ~limit:100 in
+  let rowids = Table.scan_prefix_eq (Table.index_exn tbl "accounts_owner_idx") ~prefix:[ Str "owner3" ] ~limit:100 in
   check_int "secondary entry gone" 1 (List.length rowids);
   (* rowid slot is recycled *)
   ignore (Table.insert tbl [| Int 3; Str "fresh"; Int 1 |]);

@@ -21,7 +21,7 @@ let diff_case name index =
       check (name ^ " merges raced the pin") true (r.Olap_check.merges_raced > 0);
       check (name ^ " entries compared") true (r.Olap_check.entries_checked > 0))
 
-let incremental_index : Hybrid_index.Index_sig.index =
+let incremental_index : Hi_index.Index_intf.index =
   let module C = struct
     let config =
       {
@@ -35,7 +35,7 @@ let incremental_index : Hybrid_index.Index_sig.index =
 
 let differential_cases =
   [
-    diff_case "btree" (module Hybrid_index.Instances.Btree_index : Hybrid_index.Index_sig.INDEX);
+    diff_case "btree" (module Hybrid_index.Instances.Btree_index : Hi_index.Index_intf.INDEX);
     diff_case "hybrid-btree" (Hybrid_index.Instances.hybrid_index "btree");
     diff_case "hybrid-compressed-btree" (Hybrid_index.Instances.hybrid_index "compressed-btree");
     diff_case "hybrid-skiplist" (Hybrid_index.Instances.hybrid_index "skiplist");

@@ -25,7 +25,7 @@ let seq_len = 1_200
 
 type case = {
   target : string;
-  index : Hybrid_index.Index_sig.index;
+  index : Hi_index.Index_intf.index;
   profile : Gen.profile;
   cmp : Runner.cmp;
   caps : Runner.caps;
@@ -155,7 +155,7 @@ let incremental_cases =
         caps = incr_caps;
       })
     [
-      ("btree", (module IB : Hybrid_index.Index_sig.INDEX));
+      ("btree", (module IB : Hi_index.Index_intf.INDEX));
       ("skiplist", (module IS));
       ("masstree", (module IM));
       ("art", (module IA));
@@ -203,7 +203,7 @@ let differential_suite kt =
 
 (* A sabotaged B+tree whose [update] acknowledges the write but stores the
    wrong value: the minimal exposing sequence is insert; update; find. *)
-module Broken_update : Hybrid_index.Index_sig.INDEX = struct
+module Broken_update : Hi_index.Index_intf.INDEX = struct
   include Hybrid_index.Instances.Btree_index
 
   let update t k v = update t k (v + 1)
